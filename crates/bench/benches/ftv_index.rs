@@ -1,0 +1,78 @@
+//! FTV index microbenchmarks: build time, filter throughput, and the value
+//! of Grapes' location-based component extraction (ablation vs GGSX's
+//! whole-graph verification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psi_ftv::{GgsxIndex, GraphDb, GrapesIndex};
+use psi_graph::datasets;
+use psi_matchers::SearchBudget;
+use psi_workload::Workloads;
+use std::hint::black_box;
+
+fn small_ppi() -> GraphDb {
+    GraphDb::new(datasets::ppi_like(0.1, 42))
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let db = small_ppi();
+    let mut group = c.benchmark_group("ftv_index_build");
+    group.sample_size(10);
+    group.bench_function("grapes_1thread", |b| {
+        b.iter(|| black_box(GrapesIndex::build(&db, 3, 1)))
+    });
+    group.bench_function("grapes_4threads", |b| {
+        b.iter(|| black_box(GrapesIndex::build(&db, 3, 4)))
+    });
+    group.bench_function("ggsx", |b| b.iter(|| black_box(GgsxIndex::build(&db, 3))));
+    group.finish();
+}
+
+fn bench_filter_and_verify(c: &mut Criterion) {
+    let db = small_ppi();
+    let grapes = GrapesIndex::build(&db, 3, 1);
+    let ggsx = GgsxIndex::build(&db, 3);
+    let graphs: Vec<psi_graph::Graph> = db.iter().map(|(_, g)| (**g).clone()).collect();
+
+    let mut group = c.benchmark_group("ftv_filter");
+    for &edges in &[8usize, 16, 24] {
+        let (_, query) = Workloads::ftv_workload(&graphs, edges, 1, 5)
+            .pop()
+            .expect("generable");
+        group.bench_with_input(BenchmarkId::new("grapes", edges), &query, |b, q| {
+            b.iter(|| black_box(grapes.filter(q)))
+        });
+        group.bench_with_input(BenchmarkId::new("ggsx", edges), &query, |b, q| {
+            b.iter(|| black_box(ggsx.filter(q)))
+        });
+    }
+    group.finish();
+
+    // Ablation: Grapes' component extraction vs GGSX whole-graph VF2 on the
+    // same (query, graph) pair — the paper's architectural difference.
+    let (gid, query) = Workloads::ftv_workload(&graphs, 12, 1, 11).pop().expect("generable");
+    let mut group = c.benchmark_group("ftv_verify_one_pair");
+    group.bench_function("grapes_component_extraction", |b| {
+        b.iter(|| black_box(grapes.verify_graph(&query, gid, &SearchBudget::first_match())))
+    });
+    group.bench_function("ggsx_whole_graph", |b| {
+        b.iter(|| black_box(ggsx.verify_graph(&query, gid, &SearchBudget::first_match())))
+    });
+    group.finish();
+}
+
+
+/// Short measurement windows: the workspace has many benchmarks and the
+/// defaults (3s warm-up + 5s measurement each) would take tens of minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_index_build, bench_filter_and_verify
+}
+criterion_main!(benches);

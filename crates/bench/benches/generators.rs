@@ -1,0 +1,75 @@
+//! Generator and workload-machinery microbenchmarks: dataset synthesis
+//! throughput, query growth, and the metric kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psi_graph::datasets;
+use psi_graph::generate::{random_connected_graph, LabelDist};
+use psi_workload::metrics::{max_min_qla, speedup_qla, SummaryStats};
+use psi_workload::Workloads;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("random_connected_1k_nodes", |b| {
+        let labels = LabelDist::Uniform { num_labels: 20 }.sampler();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| black_box(random_connected_graph(1000, 12_000, &labels, &mut rng)))
+    });
+    for (name, f) in [
+        ("yeast_like_0.2", Box::new(|| datasets::yeast_like(0.2, 3)) as Box<dyn Fn() -> psi_graph::Graph>),
+        ("human_like_0.2", Box::new(|| datasets::human_like(0.2, 3))),
+        ("wordnet_like_0.1", Box::new(|| datasets::wordnet_like(0.1, 3))),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(f())));
+    }
+    group.finish();
+}
+
+fn bench_query_growth(c: &mut Criterion) {
+    let stored = datasets::yeast_like(0.3, 42);
+    let mut group = c.benchmark_group("query_growth");
+    for &edges in &[10usize, 20, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |b, &e| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Workloads::single_query(&stored, e, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_metric_kernels(c: &mut Criterion) {
+    let per_query: Vec<Vec<f64>> =
+        (0..200).map(|i| (0..6).map(|j| 1.0 + ((i * 7 + j * 13) % 100) as f64).collect()).collect();
+    let baselines: Vec<f64> = (0..200).map(|i| 1.0 + (i % 50) as f64).collect();
+    c.bench_function("max_min_qla_200x6", |b| {
+        b.iter(|| black_box(max_min_qla(&per_query, 600.0)))
+    });
+    c.bench_function("speedup_qla_200x6", |b| {
+        b.iter(|| black_box(speedup_qla(&baselines, &per_query, 600.0)))
+    });
+    let values: Vec<f64> = (0..10_000).map(|i| (i % 997) as f64).collect();
+    c.bench_function("summary_stats_10k", |b| b.iter(|| black_box(SummaryStats::of(&values))));
+}
+
+
+/// Short measurement windows: the workspace has many benchmarks and the
+/// defaults (3s warm-up + 5s measurement each) would take tens of minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_generators, bench_query_growth, bench_metric_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation: what does a Ψ race cost over a solo run on *easy* queries?
+//!
+//! §8 notes that "the instantiation and synchronization of many threads
+//! come with a non-trivial overhead, impacting the overall speedup". This
+//! bench quantifies that overhead as a function of thread count, and
+//! benchmarks the predictor (§9 extension) alternative that avoids the
+//! fan-out entirely.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psi_core::predictor::{QueryFeatures, VariantPredictor};
+use psi_core::{PsiConfig, PsiRunner, RaceBudget, Variant};
+use psi_graph::datasets;
+use psi_matchers::{Algorithm, SearchBudget};
+use psi_rewrite::Rewriting;
+use psi_workload::Workloads;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_race_vs_solo(c: &mut Criterion) {
+    let stored = datasets::yeast_like(0.15, 42);
+    let shared = Arc::new(stored.clone());
+    let query = Workloads::single_query(&stored, 10, 3).expect("generable");
+
+    let solo = PsiRunner::new(
+        Arc::clone(&shared),
+        PsiConfig::algorithms([Algorithm::GraphQl], Rewriting::Orig),
+    );
+    c.bench_function("solo_gql", |b| {
+        b.iter(|| {
+            black_box(solo.run_variant(
+                &query,
+                Variant::new(Algorithm::GraphQl, Rewriting::Orig),
+                &SearchBudget::first_match(),
+            ))
+        })
+    });
+
+    let mut group = c.benchmark_group("race_threads");
+    for threads in [2usize, 3, 4, 6] {
+        let rewritings: Vec<Rewriting> = [
+            Rewriting::Orig,
+            Rewriting::Ilf,
+            Rewriting::Ind,
+            Rewriting::Dnd,
+            Rewriting::IlfInd,
+            Rewriting::IlfDnd,
+        ]
+        .into_iter()
+        .take(threads)
+        .collect();
+        let runner = PsiRunner::new(
+            Arc::clone(&shared),
+            PsiConfig::rewritings(Algorithm::GraphQl, rewritings),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &runner, |b, r| {
+            b.iter(|| black_box(r.race(&query, RaceBudget::decision())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let stored = datasets::yeast_like(0.15, 42);
+    let stats = psi_graph::LabelStats::from_graph(&stored);
+    let queries = Workloads::nfv_workload(&stored, 10, 50, 9);
+    let mut predictor = VariantPredictor::new(3);
+    for (i, q) in queries.iter().enumerate() {
+        predictor.observe(QueryFeatures::extract(q, &stats), i % 4);
+    }
+    let probe = QueryFeatures::extract(&queries[0], &stats);
+    c.bench_function("predictor_extract_and_predict", |b| {
+        b.iter(|| {
+            let f = QueryFeatures::extract(black_box(&queries[0]), &stats);
+            black_box(predictor.predict(&f));
+            black_box(probe)
+        })
+    });
+}
+
+
+/// Short measurement windows: the workspace has many benchmarks and the
+/// defaults (3s warm-up + 5s measurement each) would take tens of minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_race_vs_solo, bench_predictor
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Verifies the paper's §8 claim that producing a query rewriting costs
+//! "from a few tens (for smaller query sizes) to a few hundreds (for the
+//! biggest query sizes) of µsecs; being a negligible overhead".
+//!
+//! Benchmarks every rewriting over the paper's query sizes (10–40 edges).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psi_graph::{datasets, LabelStats};
+use psi_rewrite::{rewrite_query, Rewriting};
+use psi_workload::Workloads;
+use std::hint::black_box;
+
+fn bench_rewritings(c: &mut Criterion) {
+    let stored = datasets::yeast_like(0.3, 42);
+    let stats = LabelStats::from_graph(&stored);
+    let mut group = c.benchmark_group("rewrite_cost");
+    for &edges in &[10usize, 20, 32, 40] {
+        let query = Workloads::single_query(&stored, edges, 7).expect("generable");
+        for rw in Rewriting::PROPOSED {
+            group.bench_with_input(
+                BenchmarkId::new(rw.name(), edges),
+                &query,
+                |b, q| b.iter(|| black_box(rewrite_query(q, &stats, rw))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_label_stats(c: &mut Criterion) {
+    // The ILF preprocessing step itself (one-off per stored graph).
+    let stored = datasets::yeast_like(0.3, 42);
+    c.bench_function("label_stats_preprocess", |b| {
+        b.iter(|| black_box(LabelStats::from_graph(&stored)))
+    });
+}
+
+
+/// Short measurement windows: the workspace has many benchmarks and the
+/// defaults (3s warm-up + 5s measurement each) would take tens of minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_rewritings, bench_label_stats
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                         # every experiment at the default scale
+//! repro fig10 table3                # specific experiments
+//! repro all --full                  # closer-to-paper scale (much slower)
+//! repro all --scale 0.3 --cap-ms 500 --queries 20 --seed 7
+//! repro list                        # list experiment ids
+//! ```
+//!
+//! Output goes to stdout; progress notes go to stderr, so
+//! `repro all > results.txt` captures clean tables.
+
+use psi_bench::experiments::{registry, Ctx};
+use psi_bench::ExpConfig;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+
+    let mut cfg = ExpConfig::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => cfg = ExpConfig::full(),
+            "--smoke" => cfg = ExpConfig::smoke(),
+            "--scale" => cfg.scale = take_value(&args, &mut i, "--scale"),
+            "--cap-ms" => {
+                let v: u64 = take_value(&args, &mut i, "--cap-ms");
+                cfg.cap = Duration::from_millis(v);
+            }
+            "--queries" => cfg.queries_per_size = take_value(&args, &mut i, "--queries"),
+            "--seed" => cfg.seed = take_value(&args, &mut i, "--seed"),
+            "--iso" => cfg.iso_instances = take_value(&args, &mut i, "--iso"),
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            exp => wanted.push(exp.to_string()),
+        }
+        i += 1;
+    }
+
+    let reg = registry();
+    if wanted.iter().any(|w| w == "list") {
+        for e in &reg {
+            println!("{:8} {}", e.id, e.title);
+        }
+        return;
+    }
+    let run_all = wanted.iter().any(|w| w == "all");
+    let selected: Vec<_> = if run_all {
+        reg.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for w in &wanted {
+            match reg.iter().find(|e| e.id == *w) {
+                Some(e) => sel.push(e),
+                None => {
+                    eprintln!("unknown experiment '{w}' (try 'repro list')");
+                    std::process::exit(2);
+                }
+            }
+        }
+        sel
+    };
+
+    eprintln!(
+        "[repro] scale={} cap={:?} queries/size={} iso={} seed={}",
+        cfg.scale, cfg.cap, cfg.queries_per_size, cfg.iso_instances, cfg.seed
+    );
+    let mut ctx = Ctx::new(cfg);
+    let t0 = Instant::now();
+    for e in selected {
+        let te = Instant::now();
+        let out = (e.run)(&mut ctx);
+        eprintln!("[repro] {} done in {:.1?}", e.id, te.elapsed());
+        println!("==================================================================");
+        println!("{} — {}", e.id, e.title);
+        println!("==================================================================");
+        println!("{out}");
+    }
+    eprintln!("[repro] total {:.1?}", t0.elapsed());
+}
+
+fn take_value<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
+    *i += 1;
+    args.get(*i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro <experiment ...|all|list> [--full|--smoke] [--scale X] \
+         [--cap-ms N] [--queries N] [--iso N] [--seed N]"
+    );
+}

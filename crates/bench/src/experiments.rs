@@ -1,0 +1,902 @@
+//! One function per paper table/figure, formatting the shared lab
+//! measurements. The registry at the bottom drives the `repro` binary.
+
+use crate::data::{FtvDataset, NfvDataset};
+use crate::ftv::{ftv_psi_sets, FtvLab, GRAPES4};
+use crate::nfv::{measured_rewritings, multi_alg_sets, NfvLab};
+use crate::table::{ms, num, opt, pct, TextTable};
+use crate::ExpConfig;
+use psi_graph::stats::{DbStats, GraphStats};
+use psi_matchers::Algorithm;
+use psi_rewrite::Rewriting;
+use psi_workload::metrics::{max_min_qla, speedup_qla, speedup_wla, SummaryStats};
+use psi_workload::runner::RunRecord;
+use psi_workload::{Class, ClassBreakdown};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Shared experiment context: labs are measured lazily on first use and
+/// cached, so `repro all` pays one measurement pass per dataset.
+pub struct Ctx {
+    /// Harness configuration.
+    pub cfg: ExpConfig,
+    nfv: HashMap<&'static str, NfvLab>,
+    ftv: HashMap<&'static str, FtvLab>,
+}
+
+impl Ctx {
+    /// Creates an empty context.
+    pub fn new(cfg: ExpConfig) -> Self {
+        Self { cfg, nfv: HashMap::new(), ftv: HashMap::new() }
+    }
+
+    /// The (lazily measured) lab for an NFV dataset.
+    pub fn nfv(&mut self, d: NfvDataset) -> &NfvLab {
+        let cfg = self.cfg.clone();
+        self.nfv.entry(d.name()).or_insert_with(|| {
+            eprintln!("[repro] measuring NFV dataset {} ...", d.name());
+            NfvLab::measure(d, &cfg)
+        })
+    }
+
+    /// The (lazily measured) lab for an FTV dataset.
+    pub fn ftv(&mut self, d: FtvDataset) -> &FtvLab {
+        let cfg = self.cfg.clone();
+        self.ftv.entry(d.name()).or_insert_with(|| {
+            eprintln!("[repro] measuring FTV dataset {} ...", d.name());
+            FtvLab::measure(d, &cfg)
+        })
+    }
+}
+
+fn breakdown(records: &[RunRecord]) -> ClassBreakdown {
+    let mut b = ClassBreakdown::default();
+    for r in records {
+        b.push(r.class, r.charged_secs);
+    }
+    b
+}
+
+fn charged(records: &[RunRecord]) -> Vec<f64> {
+    records.iter().map(|r| r.charged_secs).collect()
+}
+
+fn hard_pct(records: &[RunRecord]) -> f64 {
+    breakdown(records).percent(Class::Hard)
+}
+
+fn stats_row(name: &str, s: Option<SummaryStats>) -> Vec<String> {
+    match s {
+        Some(s) => vec![
+            name.into(),
+            num(s.mean),
+            num(s.stddev),
+            num(s.min),
+            num(s.max),
+            num(s.median),
+            s.count.to_string(),
+        ],
+        None => vec![name.into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "0".into()],
+    }
+}
+
+// ---------------------------------------------------------------- Table 1/2
+
+/// Table 1: FTV dataset characteristics, paper vs generated.
+pub fn table1(ctx: &mut Ctx) -> String {
+    let mut out = String::from("Table 1: dataset characteristics for FTV methods (paper → ours)\n\n");
+    let mut t = TextTable::new(&[
+        "dataset", "#graphs", "#disconn", "#labels", "avg nodes", "stddev nodes", "avg edges",
+        "avg density", "avg degree", "avg #labels/graph",
+    ]);
+    let paper = [
+        ("PPI(paper)", "20", "20", "46", "4942", "2648", "26667", "0.0022", "10.87", "28.5"),
+        ("Synth(paper)", "1000", "0", "20", "1100", "483", "12487", "0.020", "24.5", "20"),
+    ];
+    for p in paper {
+        t.row(vec![
+            p.0.into(), p.1.into(), p.2.into(), p.3.into(), p.4.into(), p.5.into(),
+            p.6.into(), p.7.into(), p.8.into(), p.9.into(),
+        ]);
+    }
+    for d in [FtvDataset::Ppi, FtvDataset::Synthetic] {
+        let db = d.build(&ctx.cfg);
+        let graphs: Vec<psi_graph::Graph> = db.iter().map(|(_, g)| (**g).clone()).collect();
+        let s = DbStats::compute(&graphs);
+        t.row(vec![
+            format!("{}(ours)", d.name()),
+            s.num_graphs.to_string(),
+            s.disconnected_graphs.to_string(),
+            s.distinct_labels.to_string(),
+            num(s.avg_nodes),
+            num(s.stddev_nodes),
+            num(s.avg_edges),
+            num(s.avg_density),
+            num(s.avg_degree),
+            num(s.avg_labels_per_graph),
+        ]);
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "\nNote: node/graph counts scale with --scale (current {}); degree and label\nstructure are the regime-defining statistics and should match the paper rows.",
+        ctx.cfg.scale
+    );
+    out
+}
+
+/// Table 2: NFV dataset characteristics, paper vs generated.
+pub fn table2(ctx: &mut Ctx) -> String {
+    let mut out = String::from("Table 2: dataset characteristics for NFV methods (paper → ours)\n\n");
+    let mut t = TextTable::new(&[
+        "dataset", "#nodes", "#edges", "avg degree", "stddev degree", "density", "#labels",
+        "avg label freq", "stddev label freq",
+    ]);
+    let paper = [
+        ("yeast(paper)", "3112", "12519", "8.04", "14.50", "0.00258", "184", "127", "322.5"),
+        ("human(paper)", "4674", "86282", "36.91", "54.16", "0.0079", "90", "240", "430"),
+        ("wordnet(paper)", "82670", "120399", "2.912", "7.74", "0.000035", "5", "16534", "152*"),
+    ];
+    for p in paper {
+        t.row(vec![
+            p.0.into(), p.1.into(), p.2.into(), p.3.into(), p.4.into(), p.5.into(), p.6.into(),
+            p.7.into(), p.8.into(),
+        ]);
+    }
+    for d in NfvDataset::ALL {
+        let g = d.build(&ctx.cfg);
+        let s = GraphStats::compute(&g);
+        t.row(vec![
+            format!("{}(ours)", d.name()),
+            s.nodes.to_string(),
+            s.edges.to_string(),
+            num(s.avg_degree),
+            num(s.stddev_degree),
+            num(s.density),
+            s.distinct_labels.to_string(),
+            num(s.avg_label_frequency),
+            num(s.stddev_label_frequency),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\n* Table 2 of the paper reports stddev 152 for wordnet yet §6.2 calls the\n  distribution 'highly skewed'; we follow §6.2 (see DESIGN.md).\n",
+    );
+    out
+}
+
+// ------------------------------------------------------------------- Fig 1/2
+
+fn straggler_tables(
+    title: &str,
+    cells: Vec<(String, ClassBreakdown)>,
+) -> String {
+    let mut out = format!("{title}\n\n");
+    let mut t = TextTable::new(&[
+        "method", "WLA-AET easy (ms)", "WLA-AET 2\"-600\" (ms)", "WLA-AET completed (ms)",
+        "% easy", "% 2\"-600\"", "% hard",
+    ]);
+    for (name, b) in cells {
+        t.row(vec![
+            name,
+            opt(b.avg_easy(), ms),
+            opt(b.avg_mid(), ms),
+            opt(b.avg_completed(), ms),
+            pct(b.percent(Class::Easy)),
+            pct(b.percent(Class::Mid)),
+            pct(b.percent(Class::Hard)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Fig 1: stragglers in FTV methods (WLA-avg times per class + class
+/// percentages).
+pub fn fig1(ctx: &mut Ctx) -> String {
+    let mut out = String::new();
+    for d in FtvDataset::ALL {
+        let lab = ctx.ftv(d);
+        let cells = lab
+            .engines
+            .iter()
+            .map(|&e| (e.to_string(), breakdown(&lab.verify[&(e, Rewriting::Orig)])))
+            .collect();
+        out.push_str(&straggler_tables(
+            &format!("Fig 1 ({}): stragglers in FTV methods", d.name()),
+            cells,
+        ));
+        out.push('\n');
+    }
+    out.push_str(
+        "Expected shape (paper): completed-average ≫ easy-average (the 2\"-600\" class\ndominates); Grapes/4 has fewer hard queries than Grapes/1.\n",
+    );
+    out
+}
+
+/// Fig 2: stragglers in NFV methods.
+pub fn fig2(ctx: &mut Ctx) -> String {
+    let mut out = String::new();
+    for d in NfvDataset::ALL {
+        let lab = ctx.nfv(d);
+        let cells = lab
+            .algs
+            .iter()
+            .map(|&a| (a.to_string(), breakdown(&lab.solo[&(a, Rewriting::Orig)])))
+            .collect();
+        out.push_str(&straggler_tables(
+            &format!("Fig 2 ({}): stragglers in NFV methods", d.name()),
+            cells,
+        ));
+        out.push('\n');
+    }
+    out.push_str("Expected shape (paper): every method shows a straggler tail; different\nmethods kill different fractions.\n");
+    out
+}
+
+// --------------------------------------------------------------- Table 3 / 4
+
+fn size_class_table(lab: &NfvLab, dataset: &str) -> String {
+    let sizes = lab.sizes();
+    let lo = *sizes.first().expect("workload not empty");
+    let hi = *sizes.last().expect("workload not empty");
+    let mut out = format!(
+        "NFV per-size breakdown on {dataset} (paper Table 3/4 uses 10- and 32-edge queries;\nthis run uses {lo}- and {hi}-edge queries)\n\n"
+    );
+    for size in [lo, hi] {
+        let idx = lab.idx_of_size(size);
+        let mut t = TextTable::new(&[
+            &format!("{size}-edge"), "AET easy (ms)", "% easy", "AET 2\"-600\" (ms)", "% 2\"-600\"",
+            "% hard",
+        ]);
+        for &alg in &lab.algs {
+            let recs: Vec<RunRecord> =
+                idx.iter().map(|&i| lab.solo[&(alg, Rewriting::Orig)][i]).collect();
+            let b = breakdown(&recs);
+            t.row(vec![
+                alg.to_string(),
+                opt(b.avg_easy(), ms),
+                pct(b.percent(Class::Easy)),
+                opt(b.avg_mid(), ms),
+                pct(b.percent(Class::Mid)),
+                pct(b.percent(Class::Hard)),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 3: NFV results on yeast for small and large queries.
+pub fn table3(ctx: &mut Ctx) -> String {
+    let lab = ctx.nfv(NfvDataset::Yeast);
+    let mut s = size_class_table(lab, "yeast");
+    s.push_str("Expected shape (paper): small queries have ~0% hard everywhere; at 32 edges\nGQL kills more than SPA on yeast, QSI kills the most.\n");
+    s
+}
+
+/// Table 4: NFV results on human for small and large queries.
+pub fn table4(ctx: &mut Ctx) -> String {
+    let lab = ctx.nfv(NfvDataset::Human);
+    let mut s = size_class_table(lab, "human");
+    s.push_str("Expected shape (paper): at 32 edges GQL kills ~24%, SPA ~11% — GQL suffers\nmore on the dense dataset.\n");
+    s
+}
+
+// ------------------------------------------------- Fig 3/4 + Table 5/6 (§5)
+
+/// Fig 3 + Table 5: FTV (max/min)QLA over random isomorphic instances.
+pub fn fig3(ctx: &mut Ctx) -> String {
+    let cap = ctx.cfg.cap_secs();
+    let mut out = String::from(
+        "Fig 3 + Table 5: (max/min)QLA across isomorphic query instances, FTV methods\n\n",
+    );
+    let mut t =
+        TextTable::new(&["dataset/method", "mean", "stddev", "min", "max", "median", "n"]);
+    for d in FtvDataset::ALL {
+        let lab = ctx.ftv(d);
+        for &e in &lab.engines {
+            let times: Vec<Vec<f64>> =
+                lab.iso[e].iter().map(|inst| inst.iter().map(|r| r.charged_secs).collect()).collect();
+            let s = max_min_qla(&times, cap);
+            t.row(stats_row(&format!("{}/{}", d.name(), e), s));
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nExpected shape (paper): large means with stddev ≫ mean and median close to the\nmin — a few queries swing by orders of magnitude. Killed-everywhere queries are\nexcluded (§5.1).\n",
+    );
+    out
+}
+
+/// Fig 4 + Table 6: NFV (max/min)QLA over random isomorphic instances.
+pub fn fig4(ctx: &mut Ctx) -> String {
+    let cap = ctx.cfg.cap_secs();
+    let mut out = String::from(
+        "Fig 4 + Table 6: (max/min)QLA across isomorphic query instances, NFV methods\n\n",
+    );
+    let mut t =
+        TextTable::new(&["dataset/method", "mean", "stddev", "min", "max", "median", "n"]);
+    for d in NfvDataset::ALL {
+        let lab = ctx.nfv(d);
+        for &a in &lab.algs {
+            let times: Vec<Vec<f64>> =
+                lab.iso[&a].iter().map(|inst| inst.iter().map(|r| r.charged_secs).collect()).collect();
+            let s = max_min_qla(&times, cap);
+            t.row(stats_row(&format!("{}/{}", d.name(), a), s));
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nExpected shape (paper): NFV (max/min) is up to ~3 orders of magnitude lower\nthan FTV (stricter internal orders), but per-query swings of 10-100× remain.\n",
+    );
+    out
+}
+
+/// Fig 5: the rewriting example (labels A/B/C, stored frequencies
+/// A=20 > B=15 > C=10).
+pub fn fig5(_ctx: &mut Ctx) -> String {
+    use psi_graph::graph::graph_from_parts;
+    use psi_graph::LabelStats;
+    let query = graph_from_parts(
+        &[0, 0, 0, 1, 1, 2, 2],
+        &[(0, 1), (0, 3), (1, 2), (1, 4), (2, 5), (3, 6), (4, 5)],
+    );
+    let mut labels = Vec::new();
+    labels.extend(std::iter::repeat(0).take(20));
+    labels.extend(std::iter::repeat(1).take(15));
+    labels.extend(std::iter::repeat(2).take(10));
+    let stats = LabelStats::from_graph(&graph_from_parts(&labels, &[]));
+    let letter = |l: u32| ["A", "B", "C"][l as usize];
+    let mut out = String::from(
+        "Fig 5: isomorphic rewritings of a 7-node query (stored frequencies A=20, B=15, C=10)\n\n",
+    );
+    for rw in [Rewriting::Orig, Rewriting::Ilf, Rewriting::Ind, Rewriting::IlfInd] {
+        let (rq, _) = psi_rewrite::rewrite_query(&query, &stats, rw);
+        let _ = writeln!(out, "{rw}:");
+        for v in rq.nodes() {
+            let nbrs: Vec<String> = rq.neighbors(v).iter().map(|n| n.to_string()).collect();
+            let _ = writeln!(out, "  node {v} [{}] -- {{{}}}", letter(rq.label(v)), nbrs.join(", "));
+        }
+        out.push('\n');
+    }
+    out.push_str("Check: ILF assigns ids 0,1 to the rare C labels; IND sorts by degree;\nILF+IND breaks the label-frequency ties by degree.\n");
+    out
+}
+
+// -------------------------------------------------------------- Fig 6 (§6)
+
+/// Fig 6: per-rewriting WLA average times and % hard queries (FTV: PPI;
+/// NFV: yeast).
+pub fn fig6(ctx: &mut Ctx) -> String {
+    let mut out = String::from("Fig 6: individual query rewritings\n\n");
+    {
+        let lab = ctx.ftv(FtvDataset::Ppi);
+        let mut t = TextTable::new(&[
+            "PPI/FTV", "Orig", "ILF", "IND", "DND", "ILF+IND", "ILF+DND",
+        ]);
+        for &e in &lab.engines {
+            let mut row_avg = vec![format!("{e} WLA-AET(ms)")];
+            let mut row_hard = vec![format!("{e} %hard")];
+            for rw in measured_rewritings() {
+                let recs = &lab.verify[&(e, rw)];
+                let avg: f64 = charged(recs).iter().sum::<f64>() / recs.len().max(1) as f64;
+                row_avg.push(ms(avg));
+                row_hard.push(pct(hard_pct(recs)));
+            }
+            t.row(row_avg);
+            t.row(row_hard);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    {
+        let lab = ctx.nfv(NfvDataset::Yeast);
+        let mut t = TextTable::new(&[
+            "yeast/NFV", "Orig", "ILF", "IND", "DND", "ILF+IND", "ILF+DND",
+        ]);
+        for &a in &lab.algs {
+            let mut row_avg = vec![format!("{a} WLA-AET(ms)")];
+            let mut row_hard = vec![format!("{a} %hard")];
+            for rw in measured_rewritings() {
+                let recs = &lab.solo[&(a, rw)];
+                let avg: f64 = charged(recs).iter().sum::<f64>() / recs.len().max(1) as f64;
+                row_avg.push(ms(avg));
+                row_hard.push(pct(hard_pct(recs)));
+            }
+            t.row(row_avg);
+            t.row(row_hard);
+        }
+        out.push_str(&t.render());
+    }
+    out.push_str(
+        "\nExpected shape (paper): for FTV, ILF and ILF+DND are the best single\nrewritings; for NFV no single rewriting helps everywhere (GQL can even get\nworse).\n",
+    );
+    out
+}
+
+// ----------------------------------------------- Fig 7/8 + Tables 7/8 (§6)
+
+fn rewriting_speedup(lab_base: &[f64], alts: Vec<Vec<f64>>, cap: f64) -> Option<SummaryStats> {
+    speedup_qla(lab_base, &alts, cap)
+}
+
+/// Fig 7 + Table 7: FTV speedup★QLA across rewritings.
+pub fn fig7(ctx: &mut Ctx) -> String {
+    let cap = ctx.cfg.cap_secs();
+    let mut out =
+        String::from("Fig 7 + Table 7: speedup★QLA across rewritings, FTV methods\n\n");
+    let mut t =
+        TextTable::new(&["dataset/method", "mean", "stddev", "min", "max", "median", "n"]);
+    for d in FtvDataset::ALL {
+        let lab = ctx.ftv(d);
+        for &e in &lab.engines {
+            let base = charged(&lab.verify[&(e, Rewriting::Orig)]);
+            let alts: Vec<Vec<f64>> = (0..base.len())
+                .map(|i| {
+                    Rewriting::PROPOSED
+                        .iter()
+                        .map(|&rw| lab.verify[&(e, rw)][i].charged_secs)
+                        .collect()
+                })
+                .collect();
+            t.row(stats_row(&format!("{}/{}", d.name(), e), rewriting_speedup(&base, alts, cap)));
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str("\nExpected shape (paper): medians near 1-10 but means and maxima orders of\nmagnitude higher — the gains come from rescuing stragglers.\n");
+    out
+}
+
+/// Fig 8 + Table 8: NFV speedup★QLA across rewritings.
+pub fn fig8(ctx: &mut Ctx) -> String {
+    let cap = ctx.cfg.cap_secs();
+    let mut out =
+        String::from("Fig 8 + Table 8: speedup★QLA across rewritings, NFV methods\n\n");
+    let mut t =
+        TextTable::new(&["dataset/method", "mean", "stddev", "min", "max", "median", "n"]);
+    for d in NfvDataset::ALL {
+        let lab = ctx.nfv(d);
+        for &a in &lab.algs {
+            let base = charged(&lab.solo[&(a, Rewriting::Orig)]);
+            let alts: Vec<Vec<f64>> = (0..base.len())
+                .map(|i| {
+                    Rewriting::PROPOSED
+                        .iter()
+                        .map(|&rw| lab.solo[&(a, rw)][i].charged_secs)
+                        .collect()
+                })
+                .collect();
+            t.row(stats_row(&format!("{}/{}", d.name(), a), rewriting_speedup(&base, alts, cap)));
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nExpected shape (paper): SPA and QSI improve by 1-2 orders of magnitude; GQL\nbenefits least; wordnet resists rewritings (path-shaped, label-poor queries).\n",
+    );
+    out
+}
+
+// -------------------------------------------------- Fig 9 + Table 9 (§7)
+
+/// Fig 9 + Table 9: speedup★QLA from using *alternative algorithms*.
+pub fn fig9(ctx: &mut Ctx) -> String {
+    let cap = ctx.cfg.cap_secs();
+    let mut out = String::from(
+        "Fig 9 + Table 9: speedup★QLA when utilizing different algorithms (orig query)\n\n",
+    );
+    let mut t =
+        TextTable::new(&["setting/method", "mean", "stddev", "min", "max", "median", "n"]);
+    // yeast2alg: GQL & SPA; yeast3alg: all three; human/wordnet: GQL & SPA.
+    let mut settings: Vec<(String, NfvDataset, Vec<Algorithm>)> = vec![
+        ("yeast2alg".into(), NfvDataset::Yeast, vec![Algorithm::GraphQl, Algorithm::SPath]),
+        (
+            "yeast3alg".into(),
+            NfvDataset::Yeast,
+            vec![Algorithm::GraphQl, Algorithm::SPath, Algorithm::QuickSi],
+        ),
+    ];
+    for d in [NfvDataset::Human, NfvDataset::Wordnet] {
+        settings.push((d.name().into(), d, vec![Algorithm::GraphQl, Algorithm::SPath]));
+    }
+    for (name, d, algs) in settings {
+        let lab = ctx.nfv(d);
+        for &a in &algs {
+            let base = charged(&lab.solo[&(a, Rewriting::Orig)]);
+            let alts: Vec<Vec<f64>> = (0..base.len())
+                .map(|i| {
+                    algs.iter()
+                        .filter(|&&b| b != a)
+                        .map(|&b| lab.solo[&(b, Rewriting::Orig)][i].charged_secs)
+                        .collect()
+                })
+                .collect();
+            t.row(stats_row(&format!("{name}/{a}"), speedup_qla(&base, &alts, cap)));
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nExpected shape (paper): alternative algorithms beat rewritings (compare the\nmeans with Fig 8); stragglers are algorithm-specific.\n",
+    );
+    out
+}
+
+// ---------------------------------------------- Fig 10/11/12 (Ψ over FTV)
+
+/// Fig 10: Ψ speedup★QLA, FTV methods, across variant sets.
+pub fn fig10(ctx: &mut Ctx) -> String {
+    let cap = ctx.cfg.cap_secs();
+    let mut out = String::from("Fig 10: avg speedup★QLA of Ψ variant sets over FTV methods\n\n");
+    for d in FtvDataset::ALL {
+        let lab = ctx.ftv(d);
+        let mut t = TextTable::new(
+            &std::iter::once(d.name())
+                .chain(ftv_psi_sets().iter().map(|(n, _)| *n).take(5))
+                .collect::<Vec<_>>(),
+        );
+        for &e in &lab.engines {
+            let base = charged(&lab.verify[&(e, Rewriting::Orig)]);
+            let mut row = vec![e.to_string()];
+            for (name, _) in ftv_psi_sets().into_iter().take(5) {
+                let psi = charged(&lab.psi[&(e, name)]);
+                let alts: Vec<Vec<f64>> = psi.iter().map(|&p| vec![p]).collect();
+                let s = speedup_qla(&base, &alts, cap);
+                row.push(opt(s.map(|s| s.mean), num));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out.push_str("Expected shape (paper): all entries ≫ 1; more rewriting threads help, with\ndiminishing returns after 3-4.\n");
+    out
+}
+
+/// Fig 11: Ψ speedup★WLA, FTV methods (adds Ψ(Or/all_rewritings)).
+pub fn fig11(ctx: &mut Ctx) -> String {
+    let mut out = String::from("Fig 11: avg speedup★WLA of Ψ variant sets over FTV methods\n\n");
+    for d in FtvDataset::ALL {
+        let lab = ctx.ftv(d);
+        let mut t = TextTable::new(
+            &std::iter::once(d.name())
+                .chain(ftv_psi_sets().iter().map(|(n, _)| *n))
+                .collect::<Vec<_>>(),
+        );
+        for &e in &lab.engines {
+            let base = charged(&lab.verify[&(e, Rewriting::Orig)]);
+            let mut row = vec![e.to_string()];
+            for (name, _) in ftv_psi_sets() {
+                let psi = charged(&lab.psi[&(e, name)]);
+                let alts: Vec<Vec<f64>> = psi.iter().map(|&p| vec![p]).collect();
+                row.push(opt(speedup_wla(&base, &alts), num));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out.push_str("Expected shape (paper): WLA speedups of 5-40×, smaller than QLA means (WLA\nis dominated by total time, QLA by per-query rescues).\n");
+    out
+}
+
+/// Fig 12 + Table 10 (FTV part): Grapes/4 vs Ψ(Grapes/1 × 4 rewritings)
+/// at equal parallelism.
+pub fn fig12(ctx: &mut Ctx) -> String {
+    let mut out = String::from(
+        "Fig 12: Grapes/4 vs Ψ(Grapes/1, ILF/IND/DND/ILF+IND) on PPI, by query size\n\n",
+    );
+    let lab = ctx.ftv(FtvDataset::Ppi);
+    let mut t = TextTable::new(&["size", "Grapes/4 WLA-AET (ms)", "Ψ(Grapes/1) WLA-AET (ms)"]);
+    for size in lab.sizes() {
+        let idx = lab.idx_of_size(size);
+        let g4: f64 = idx
+            .iter()
+            .map(|&i| lab.verify[&(GRAPES4, Rewriting::Orig)][i].charged_secs)
+            .sum::<f64>()
+            / idx.len().max(1) as f64;
+        let psi: f64 =
+            idx.iter().map(|&i| lab.psi_g1_4rw[i].charged_secs).sum::<f64>() / idx.len().max(1) as f64;
+        t.row(vec![format!("{size}e"), ms(g4), ms(psi)]);
+    }
+    out.push_str(&t.render());
+    let g4_hard = hard_pct(&lab.verify[&(GRAPES4, Rewriting::Orig)]);
+    let psi_hard = hard_pct(&lab.psi_g1_4rw);
+    let _ = writeln!(
+        out,
+        "\n%killed: Grapes/4 = {} vs Ψ(Grapes/1×4rw) = {} (paper: 6.29% vs 2.06%)",
+        pct(g4_hard),
+        pct(psi_hard)
+    );
+    out.push_str("Expected shape (paper): at equal parallelism, Ψ uses its threads better —\nlower average times and fewer killed queries.\n");
+    out
+}
+
+// ------------------------------------------------ Fig 13/14/15 (Ψ over NFV)
+
+/// Fig 13: Ψ speedup★QLA of rewriting races per NFV algorithm.
+pub fn fig13(ctx: &mut Ctx) -> String {
+    let cap = ctx.cfg.cap_secs();
+    let mut out = String::from("Fig 13: avg speedup★QLA of Ψ rewriting sets over NFV methods\n\n");
+    for d in NfvDataset::ALL {
+        let lab = ctx.nfv(d);
+        let sets = psi_core::PsiConfig::nfv_figure_sets();
+        let mut t = TextTable::new(
+            &std::iter::once(d.name()).chain(sets.iter().map(|(n, _)| *n)).collect::<Vec<_>>(),
+        );
+        for &a in &lab.algs {
+            let base = charged(&lab.solo[&(a, Rewriting::Orig)]);
+            let mut row = vec![a.to_string()];
+            for (name, _) in &sets {
+                let psi = charged(&lab.psi_rw[&(a, *name)]);
+                let alts: Vec<Vec<f64>> = psi.iter().map(|&p| vec![p]).collect();
+                let s = speedup_qla(&base, &alts, cap);
+                row.push(opt(s.map(|s| s.mean), num));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out.push_str("Expected shape (paper): GQL benefits least; biggest gains on the dense\nhuman-like dataset.\n");
+    out
+}
+
+fn fig14_15(ctx: &mut Ctx, wla_mode: bool) -> String {
+    let cap = ctx.cfg.cap_secs();
+    let metric = if wla_mode { "WLA" } else { "QLA" };
+    let fig = if wla_mode { "Fig 15" } else { "Fig 14" };
+    let mut out = format!(
+        "{fig}: avg speedup★{metric} of multi-algorithm Ψ over vanilla GQL and SPA\n\n"
+    );
+    for d in NfvDataset::ALL {
+        let lab = ctx.nfv(d);
+        let mut t = TextTable::new(
+            &std::iter::once(d.name())
+                .chain(multi_alg_sets().iter().map(|(n, _)| *n))
+                .collect::<Vec<_>>(),
+        );
+        for &a in [Algorithm::GraphQl, Algorithm::SPath].iter() {
+            let base = charged(&lab.solo[&(a, Rewriting::Orig)]);
+            let mut row = vec![format!("vs {a}")];
+            for (name, _) in multi_alg_sets() {
+                let psi = charged(&lab.psi_alg[name]);
+                let alts: Vec<Vec<f64>> = psi.iter().map(|&p| vec![p]).collect();
+                let val = if wla_mode {
+                    speedup_wla(&base, &alts)
+                } else {
+                    speedup_qla(&base, &alts, cap).map(|s| s.mean)
+                };
+                row.push(opt(val, num));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out.push_str("Expected shape (paper): up to 3 orders of magnitude improvement; the 4-thread\nΨ([GQL/SPA]-[Or/DND]) is the strongest overall.\n");
+    out
+}
+
+/// Fig 14: multi-algorithm Ψ speedup★QLA.
+pub fn fig14(ctx: &mut Ctx) -> String {
+    fig14_15(ctx, false)
+}
+
+/// Fig 15: multi-algorithm Ψ speedup★WLA.
+pub fn fig15(ctx: &mut Ctx) -> String {
+    fig14_15(ctx, true)
+}
+
+/// Table 10: percentage of killed queries, baselines vs Ψ.
+pub fn table10(ctx: &mut Ctx) -> String {
+    let mut out = String::from("Table 10: percentage of killed queries (baselines vs Ψ)\n\n");
+    let mut t = TextTable::new(&["method", "PPI", "yeast", "human", "wordnet"]);
+    // Baseline rows.
+    {
+        let ppi = ctx.ftv(FtvDataset::Ppi);
+        t.row(vec![
+            "Grapes/4".into(),
+            pct(hard_pct(&ppi.verify[&(GRAPES4, Rewriting::Orig)])),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    for alg in [Algorithm::GraphQl, Algorithm::SPath] {
+        let mut row = vec![alg.to_string(), "-".to_string()];
+        for d in NfvDataset::ALL {
+            let lab = ctx.nfv(d);
+            row.push(pct(hard_pct(&lab.solo[&(alg, Rewriting::Orig)])));
+        }
+        t.row(row);
+    }
+    // Ψ row: FTV uses Ψ(Grapes/1×4rw); NFV uses Ψ([GQL/SPA]-[Or/DND]).
+    {
+        let mut row = vec!["Ψ-framework".to_string()];
+        let ppi_hard = {
+            let ppi = ctx.ftv(FtvDataset::Ppi);
+            hard_pct(&ppi.psi_g1_4rw)
+        };
+        row.push(pct(ppi_hard));
+        for d in NfvDataset::ALL {
+            let lab = ctx.nfv(d);
+            row.push(pct(hard_pct(&lab.psi_alg["Ψ([GQL/SPA]-[Or/DND])"])));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nPaper values: Grapes/4 6.29%, GQL 4.3/10/1.6%, SPA 2.8/4.4/13%; Ψ 2.06% (PPI),\n0% (yeast), 0.7% (human), 0% (wordnet). Expected shape: Ψ row ≈ 0, far below\nevery baseline.\n",
+    );
+    out
+}
+
+/// §9 extension: the per-query variant predictor vs the full race.
+///
+/// The paper's stated future work is to *predict* the right variant per
+/// query instead of racing them all. This experiment trains the k-NN
+/// predictor online on race winners over the yeast workload, then compares
+/// three policies on per-query charged time: always-Orig (solo GQL), the
+/// full Ψ race, and predictor-chosen single variant.
+pub fn predictor(ctx: &mut Ctx) -> String {
+    use psi_core::predictor::{QueryFeatures, VariantPredictor};
+    use psi_core::{PsiConfig, PsiRunner, RaceBudget};
+    use std::sync::Arc;
+
+    let cfg = ctx.cfg.clone();
+    let lab = ctx.nfv(NfvDataset::Yeast);
+    let cap = cfg.cap_config();
+    let stats = psi_graph::LabelStats::from_graph(&lab.stored);
+    let runner = PsiRunner::new(Arc::clone(&lab.stored), PsiConfig::gql_spa_orig_dnd());
+    let variants = runner.config().variants.clone();
+
+    let mut predictor = VariantPredictor::new(3);
+    let mut t_orig = Vec::new();
+    let mut t_race = Vec::new();
+    let mut t_pred = Vec::new();
+    let mut correct = 0usize;
+    let mut predicted = 0usize;
+    for qc in &lab.queries {
+        let features = QueryFeatures::extract(&qc.query, &stats);
+        // Policy 1: always GQL-Orig (from the lab's solo measurements).
+        // Policy 2: the full 4-thread race.
+        let budget = RaceBudget::with_max_matches(cfg.max_matches).timeout(cfg.cap);
+        let outcome = runner.race(&qc.query, budget);
+        let race_rec = match outcome.winner() {
+            Some(w) => psi_workload::runner::record_from_result(&w.result, outcome.elapsed, &cap),
+            None => psi_workload::runner::killed_record(&cap),
+        };
+        // Policy 3: predictor-chosen single variant (falls back to the race
+        // winner's own measurement when untrained).
+        let choice = predictor.predict(&features);
+        if let (Some(c), Some(widx)) = (choice, outcome.winner_index) {
+            predicted += 1;
+            if c == widx {
+                correct += 1;
+            }
+        }
+        let pred_rec = match choice {
+            Some(c) => {
+                let (rec, _) = psi_workload::run_with_cap(
+                    |b| runner.run_variant(&qc.query, variants[c], b),
+                    &cap,
+                    cfg.max_matches,
+                )
+                ;
+                rec
+            }
+            None => race_rec,
+        };
+        if let Some(widx) = outcome.winner_index {
+            predictor.observe(features, widx);
+        }
+        t_race.push(race_rec.charged_secs);
+        t_pred.push(pred_rec.charged_secs);
+    }
+    for r in &lab.solo[&(Algorithm::GraphQl, Rewriting::Orig)] {
+        t_orig.push(r.charged_secs);
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut out = String::from(
+        "Extension (§9 future work): per-query variant prediction vs Ψ racing (yeast)\n\n",
+    );
+    let mut t = TextTable::new(&["policy", "WLA-AET (ms)", "threads/query", "notes"]);
+    t.row(vec!["GQL-Orig solo".into(), ms(avg(&t_orig)), "1".into(), "baseline".into()]);
+    t.row(vec![
+        "Ψ([GQL/SPA]-[Or/DND])".into(),
+        ms(avg(&t_race)),
+        "4".into(),
+        "full race".into(),
+    ]);
+    t.row(vec![
+        "predictor (3-NN)".into(),
+        ms(avg(&t_pred)),
+        "1 after warm-up".into(),
+        format!("{correct}/{predicted} winners predicted"),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(
+        "\nExpected shape: the predictor approaches the race's average at a quarter of\nthe CPU cost, but without the race's worst-case insurance.\n",
+    );
+    out
+}
+
+// ----------------------------------------------------------------- registry
+
+/// A runnable experiment.
+pub struct Experiment {
+    /// CLI id (e.g. "fig10").
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Formatter.
+    pub run: fn(&mut Ctx) -> String,
+}
+
+/// Every experiment, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "table1", title: "FTV dataset characteristics", run: table1 },
+        Experiment { id: "table2", title: "NFV dataset characteristics", run: table2 },
+        Experiment { id: "fig1", title: "Stragglers in FTV methods", run: fig1 },
+        Experiment { id: "fig2", title: "Stragglers in NFV methods", run: fig2 },
+        Experiment { id: "table3", title: "NFV breakdown on yeast", run: table3 },
+        Experiment { id: "table4", title: "NFV breakdown on human", run: table4 },
+        Experiment { id: "fig3", title: "(max/min)QLA, FTV (+Table 5)", run: fig3 },
+        Experiment { id: "fig4", title: "(max/min)QLA, NFV (+Table 6)", run: fig4 },
+        Experiment { id: "fig5", title: "Rewriting example", run: fig5 },
+        Experiment { id: "fig6", title: "Individual rewritings", run: fig6 },
+        Experiment { id: "fig7", title: "speedup★QLA across rewritings, FTV (+Table 7)", run: fig7 },
+        Experiment { id: "fig8", title: "speedup★QLA across rewritings, NFV (+Table 8)", run: fig8 },
+        Experiment { id: "fig9", title: "speedup★QLA across algorithms (+Table 9)", run: fig9 },
+        Experiment { id: "fig10", title: "Ψ speedup★QLA, FTV", run: fig10 },
+        Experiment { id: "fig11", title: "Ψ speedup★WLA, FTV", run: fig11 },
+        Experiment { id: "fig12", title: "Grapes/4 vs Ψ(Grapes/1×4rw)", run: fig12 },
+        Experiment { id: "fig13", title: "Ψ rewriting races, NFV", run: fig13 },
+        Experiment { id: "fig14", title: "Multi-algorithm Ψ speedup★QLA", run: fig14 },
+        Experiment { id: "fig15", title: "Multi-algorithm Ψ speedup★WLA", run: fig15 },
+        Experiment { id: "table10", title: "% killed queries, baselines vs Ψ", run: table10 },
+        Experiment { id: "predictor", title: "§9 extension: variant predictor vs race", run: predictor },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_paper_artifacts() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        for want in [
+            "table1", "table2", "table3", "table4", "table10", "fig1", "fig2", "fig3", "fig4",
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15",
+        ] {
+            assert!(ids.contains(&want), "missing {want}");
+        }
+        // Tables 5-9 are folded into figs 3/4/7/8/9 as in the paper's text;
+        // "predictor" is the §9 future-work extension.
+        assert!(ids.contains(&"predictor"));
+        assert_eq!(ids.len(), 21);
+    }
+
+    #[test]
+    fn fig5_is_pure_formatting() {
+        let mut ctx = Ctx::new(ExpConfig::smoke());
+        let s = fig5(&mut ctx);
+        assert!(s.contains("ILF"));
+        assert!(s.contains("node 0 [C]"), "ILF must put a C-label node first:\n{s}");
+    }
+
+    #[test]
+    fn tables_1_and_2_render() {
+        let mut ctx = Ctx::new(ExpConfig::smoke());
+        let t1 = table1(&mut ctx);
+        assert!(t1.contains("PPI(paper)"));
+        assert!(t1.contains("PPI(ours)"));
+        let t2 = table2(&mut ctx);
+        assert!(t2.contains("wordnet(ours)"));
+    }
+}

@@ -1,0 +1,275 @@
+//! The FTV measurement lab: one workload pass per database, shared by the
+//! FTV tables and figures.
+//!
+//! Following §4's methodology, times are measured per (query, stored graph)
+//! pair — each query is verified against the graph it was grown from (the
+//! guaranteed-containment pairs where verification cost actually lives).
+//! The filter stage is excluded from times, as in the paper ("pure sub-iso
+//! time", §3.5).
+
+use crate::data::FtvDataset;
+use crate::ExpConfig;
+use psi_core::ftv::{FtvEngine, PsiFtvRunner};
+use psi_core::RaceBudget;
+use psi_ftv::{GgsxIndex, GraphDb, GrapesIndex};
+use psi_graph::{Graph, LabelStats};
+use psi_rewrite::{rewrite_query, Rewriting};
+use psi_workload::runner::{record_from_result, run_with_cap, RunRecord};
+use psi_workload::Workloads;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Engine identifiers as the paper labels them.
+pub const GRAPES1: &str = "Grapes/1";
+/// Grapes with 4 verification threads.
+pub const GRAPES4: &str = "Grapes/4";
+/// GGSX (PPI only, per §3.4).
+pub const GGSX: &str = "GGSX";
+
+/// One generated FTV query: its size, source graph and the query itself.
+#[derive(Debug, Clone)]
+pub struct FtvCase {
+    /// Query size in edges.
+    pub size: usize,
+    /// The stored graph the query was grown from (and is verified against).
+    pub gid: usize,
+    /// The query graph.
+    pub query: Graph,
+}
+
+/// A fully measured FTV dataset.
+pub struct FtvLab {
+    /// Which dataset this lab measured.
+    pub dataset: FtvDataset,
+    /// The harness configuration used.
+    pub cfg: ExpConfig,
+    /// The stored database.
+    pub db: GraphDb,
+    /// Database-level label statistics (for ILF).
+    pub stats: LabelStats,
+    /// Engines measured, in display order.
+    pub engines: Vec<&'static str>,
+    grapes1: Arc<GrapesIndex>,
+    grapes4: Arc<GrapesIndex>,
+    ggsx: Option<Arc<GgsxIndex>>,
+    /// The generated workload.
+    pub queries: Vec<FtvCase>,
+    /// Solo verifications: `(engine, rewriting) → per-query records`.
+    pub verify: HashMap<(&'static str, Rewriting), Vec<RunRecord>>,
+    /// §5 random isomorphic instances: `engine → [query][instance]`.
+    pub iso: HashMap<&'static str, Vec<Vec<RunRecord>>>,
+    /// Ψ rewriting races: `(engine, set name) → per-query records`
+    /// (Figs 10/11). Includes the extra "Ψ(Or/all_rewritings)" set.
+    pub psi: HashMap<(&'static str, &'static str), Vec<RunRecord>>,
+    /// Fig 12: Ψ over Grapes/1 with 4 rewritings (equal parallelism to
+    /// Grapes/4).
+    pub psi_g1_4rw: Vec<RunRecord>,
+}
+
+/// The Fig 10/11 Ψ variant sets plus the Fig 11 extra `Ψ(Or/all)`.
+pub fn ftv_psi_sets() -> Vec<(&'static str, Vec<Rewriting>)> {
+    let mut sets = psi_core::PsiConfig::ftv_figure_sets();
+    sets.push((
+        "Ψ(Or/all_rewritings)",
+        vec![
+            Rewriting::Orig,
+            Rewriting::Ilf,
+            Rewriting::Ind,
+            Rewriting::Dnd,
+            Rewriting::IlfInd,
+            Rewriting::IlfDnd,
+        ],
+    ));
+    sets
+}
+
+impl FtvLab {
+    /// Builds the database and indexes, generates the workload, measures
+    /// everything. Expensive — construct once, share.
+    pub fn measure(dataset: FtvDataset, cfg: &ExpConfig) -> Self {
+        let db = dataset.build(cfg);
+        let stats = db.label_stats();
+        let grapes1 = Arc::new(GrapesIndex::build(&db, 3, 1));
+        let grapes4 = Arc::new(GrapesIndex::build(&db, 3, 4));
+        // GGSX only on PPI (the paper skipped GGSX/synthetic for cost).
+        let ggsx = (dataset == FtvDataset::Ppi).then(|| Arc::new(GgsxIndex::build(&db, 3)));
+        let engines: Vec<&'static str> = if ggsx.is_some() {
+            vec![GRAPES1, GRAPES4, GGSX]
+        } else {
+            vec![GRAPES1, GRAPES4]
+        };
+
+        let graphs: Vec<Graph> = db.iter().map(|(_, g)| (**g).clone()).collect();
+        let mut queries = Vec::new();
+        for size in dataset.query_sizes(cfg) {
+            for (gid, q) in Workloads::ftv_workload(
+                &graphs,
+                size,
+                cfg.queries_per_size,
+                cfg.seed ^ (size as u64) << 8,
+            ) {
+                queries.push(FtvCase { size, gid, query: q });
+            }
+        }
+
+        let cap = cfg.cap_config();
+        let mut lab = Self {
+            dataset,
+            cfg: cfg.clone(),
+            db,
+            stats,
+            engines,
+            grapes1,
+            grapes4,
+            ggsx,
+            queries,
+            verify: HashMap::new(),
+            iso: HashMap::new(),
+            psi: HashMap::new(),
+            psi_g1_4rw: Vec::new(),
+        };
+
+        // Solo verifications per engine × rewriting.
+        let rewritings = crate::nfv::measured_rewritings();
+        for &engine in &lab.engines.clone() {
+            for &rw in &rewritings {
+                let records: Vec<RunRecord> = lab
+                    .queries
+                    .iter()
+                    .map(|case| {
+                        let (rq, _) = rewrite_query(&case.query, &lab.stats, rw);
+                        run_with_cap(
+                            |b| lab.engine(engine).verify_graph(&rq, case.gid, b),
+                            &cap,
+                            1, // decision semantics: first match
+                        )
+                        .0
+                    })
+                    .collect();
+                lab.verify.insert((engine, rw), records);
+            }
+        }
+
+        // Random isomorphic instances (§5).
+        for &engine in &lab.engines.clone() {
+            let per_query: Vec<Vec<RunRecord>> = lab
+                .queries
+                .iter()
+                .enumerate()
+                .map(|(qi, case)| {
+                    (0..cfg.iso_instances as u64)
+                        .map(|k| {
+                            let rw = Rewriting::Random(cfg.seed ^ (qi as u64) << 16 ^ k);
+                            let (rq, _) = rewrite_query(&case.query, &lab.stats, rw);
+                            run_with_cap(
+                                |b| lab.engine(engine).verify_graph(&rq, case.gid, b),
+                                &cap,
+                                1,
+                            )
+                            .0
+                        })
+                        .collect()
+                })
+                .collect();
+            lab.iso.insert(engine, per_query);
+        }
+
+        // Ψ rewriting races in the verification stage (Figs 10/11).
+        for &engine in &lab.engines.clone() {
+            for (name, rws) in ftv_psi_sets() {
+                let runner = PsiFtvRunner::new(lab.engine(engine), rws.clone());
+                let records: Vec<RunRecord> = lab
+                    .queries
+                    .iter()
+                    .map(|case| {
+                        let budget = RaceBudget::decision().timeout(cfg.cap);
+                        let outcome = runner.verify_graph_race(&case.query, case.gid, &budget);
+                        match outcome.winner() {
+                            Some(w) => record_from_result(&w.result, outcome.elapsed, &cap),
+                            None => psi_workload::runner::killed_record(&cap),
+                        }
+                    })
+                    .collect();
+                lab.psi.insert((engine, name), records);
+            }
+        }
+
+        // Fig 12: Ψ(Grapes/1 × {ILF, IND, DND, ILF+IND}) — 4 threads like
+        // Grapes/4.
+        let runner = PsiFtvRunner::new(
+            lab.engine(GRAPES1),
+            vec![Rewriting::Ilf, Rewriting::Ind, Rewriting::Dnd, Rewriting::IlfInd],
+        );
+        lab.psi_g1_4rw = lab
+            .queries
+            .iter()
+            .map(|case| {
+                let budget = RaceBudget::decision().timeout(cfg.cap);
+                let outcome = runner.verify_graph_race(&case.query, case.gid, &budget);
+                match outcome.winner() {
+                    Some(w) => record_from_result(&w.result, outcome.elapsed, &cap),
+                    None => psi_workload::runner::killed_record(&cap),
+                }
+            })
+            .collect();
+
+        lab
+    }
+
+    /// The engine handle for a display name.
+    pub fn engine(&self, name: &str) -> FtvEngine {
+        match name {
+            GRAPES1 => FtvEngine::Grapes(Arc::clone(&self.grapes1)),
+            GRAPES4 => FtvEngine::Grapes(Arc::clone(&self.grapes4)),
+            GGSX => FtvEngine::Ggsx(Arc::clone(self.ggsx.as_ref().expect("GGSX only on PPI"))),
+            other => panic!("unknown engine {other}"),
+        }
+    }
+
+    /// Cap-charged per-query times (seconds) of one engine × rewriting.
+    pub fn charged(&self, engine: &'static str, rw: Rewriting) -> Vec<f64> {
+        self.verify[&(engine, rw)].iter().map(|r| r.charged_secs).collect()
+    }
+
+    /// Indices of queries with the given size.
+    pub fn idx_of_size(&self, size: usize) -> Vec<usize> {
+        self.queries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| (q.size == size).then_some(i))
+            .collect()
+    }
+
+    /// The distinct sizes in generation order.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.queries.iter().map(|q| q.size).collect();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_lab_measures_everything() {
+        let cfg = ExpConfig::smoke();
+        let lab = FtvLab::measure(FtvDataset::Ppi, &cfg);
+        assert!(!lab.queries.is_empty());
+        assert_eq!(lab.engines, vec![GRAPES1, GRAPES4, GGSX]);
+        for &e in &lab.engines {
+            assert_eq!(lab.verify[&(e, Rewriting::Orig)].len(), lab.queries.len());
+            assert_eq!(lab.iso[e].len(), lab.queries.len());
+        }
+        assert_eq!(lab.psi.len(), 3 * 6);
+        assert_eq!(lab.psi_g1_4rw.len(), lab.queries.len());
+    }
+
+    #[test]
+    fn synthetic_lab_skips_ggsx() {
+        let cfg = ExpConfig::smoke();
+        let lab = FtvLab::measure(FtvDataset::Synthetic, &cfg);
+        assert_eq!(lab.engines, vec![GRAPES1, GRAPES4]);
+    }
+}

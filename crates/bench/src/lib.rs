@@ -1,0 +1,99 @@
+//! # psi-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (the
+//! per-experiment index lives in `DESIGN.md`). The entry point is the
+//! `repro` binary:
+//!
+//! ```text
+//! cargo run -p psi-bench --release --bin repro -- all
+//! cargo run -p psi-bench --release --bin repro -- fig10 table3 --scale 0.3
+//! ```
+//!
+//! Architecture: experiments share *labs* — one measurement pass per
+//! dataset ([`nfv::NfvLab`], [`ftv::FtvLab`]) that runs the whole workload
+//! against every (algorithm, rewriting) variant and every Ψ configuration,
+//! capped per the scaled [`ExpConfig`]. Individual tables/figures are then
+//! pure formatting over the shared measurements, so `repro all` costs one
+//! measurement pass per dataset rather than one per experiment.
+//!
+//! Absolute numbers differ from the paper (different hardware, Rust
+//! reimplementation, scaled datasets and caps); the *shape* — who wins, by
+//! roughly what factor, where the crossovers fall — is the reproduction
+//! target, and `EXPERIMENTS.md` tracks it claim by claim.
+
+pub mod data;
+pub mod experiments;
+pub mod ftv;
+pub mod nfv;
+pub mod table;
+
+use std::time::Duration;
+
+/// Scale and budget knobs shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Dataset scale factor (1.0 = paper-sized datasets).
+    pub scale: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Per-run kill cap (the paper's 10 minutes, scaled). The easy
+    /// threshold stays at `cap / 300` (paper ratio).
+    pub cap: Duration,
+    /// Queries generated per query size.
+    pub queries_per_size: usize,
+    /// Number of random isomorphic instances per query in the §5
+    /// experiments (paper: 6).
+    pub iso_instances: usize,
+    /// Embedding cap for NFV matching runs (paper: 1000).
+    pub max_matches: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.2,
+            seed: 42,
+            cap: Duration::from_millis(250),
+            queries_per_size: 12,
+            iso_instances: 6,
+            max_matches: 1000,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Closer-to-paper settings (~20× larger than the default; still far
+    /// from the paper's 10-minute cap, which would take days in total).
+    pub fn full() -> Self {
+        Self {
+            scale: 0.5,
+            seed: 42,
+            cap: Duration::from_secs(2),
+            queries_per_size: 50,
+            iso_instances: 6,
+            max_matches: 1000,
+        }
+    }
+
+    /// A tiny smoke-test configuration used by integration tests.
+    pub fn smoke() -> Self {
+        Self {
+            scale: 0.04,
+            seed: 7,
+            cap: Duration::from_millis(60),
+            queries_per_size: 4,
+            iso_instances: 3,
+            max_matches: 100,
+        }
+    }
+
+    /// The cap configuration for classification/charging.
+    pub fn cap_config(&self) -> psi_workload::CapConfig {
+        psi_workload::CapConfig::scaled(self.cap)
+    }
+
+    /// Cap charge in seconds (the "600″" value of the scaled runs).
+    pub fn cap_secs(&self) -> f64 {
+        self.cap.as_secs_f64()
+    }
+}

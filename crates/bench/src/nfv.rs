@@ -1,0 +1,244 @@
+//! The NFV measurement lab: one full workload pass per dataset, shared by
+//! every NFV table and figure.
+//!
+//! Per query, the lab measures:
+//! * **solo runs** of every (algorithm × {Orig + 5 rewritings}) variant
+//!   (Figs 2/6/7/8/9, Tables 3/4/6/8/9);
+//! * **random isomorphic instances** per algorithm (§5, Figs 3/4, Tables
+//!   5/6);
+//! * **Ψ rewriting races** per algorithm for each Fig 13 variant set;
+//! * **Ψ multi-algorithm races** for each Fig 14/15 variant set and
+//!   Table 10.
+
+use crate::data::{nfv_query_sizes, NfvDataset};
+use crate::ExpConfig;
+use psi_core::{PsiConfig, PsiRunner, RaceBudget, Variant};
+use psi_graph::Graph;
+use psi_matchers::Algorithm;
+use psi_rewrite::Rewriting;
+use psi_workload::runner::{record_from_result, run_with_cap, RunRecord};
+use psi_workload::Workloads;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The measured rewriting list: Orig first, then the five §6 rewritings.
+pub fn measured_rewritings() -> Vec<Rewriting> {
+    let mut v = vec![Rewriting::Orig];
+    v.extend(Rewriting::PROPOSED);
+    v
+}
+
+/// One generated query and its size class.
+#[derive(Debug, Clone)]
+pub struct QueryCase {
+    /// Query size in edges.
+    pub size: usize,
+    /// The query graph.
+    pub query: Graph,
+}
+
+/// The Fig 14/15 multi-algorithm Ψ variant sets.
+pub fn multi_alg_sets() -> Vec<(&'static str, PsiConfig)> {
+    vec![
+        ("Ψ([GQL/SPA]-[Or])", PsiConfig::gql_spa_orig()),
+        (
+            "Ψ([GQL/SPA]-[ILF])",
+            PsiConfig::algorithms([Algorithm::GraphQl, Algorithm::SPath], Rewriting::Ilf),
+        ),
+        (
+            "Ψ([GQL/SPA]-[IND])",
+            PsiConfig::algorithms([Algorithm::GraphQl, Algorithm::SPath], Rewriting::Ind),
+        ),
+        (
+            "Ψ([GQL/SPA]-[DND])",
+            PsiConfig::algorithms([Algorithm::GraphQl, Algorithm::SPath], Rewriting::Dnd),
+        ),
+        ("Ψ([GQL/SPA]-[Or/DND])", PsiConfig::gql_spa_orig_dnd()),
+    ]
+}
+
+/// A fully measured NFV dataset.
+pub struct NfvLab {
+    /// Which dataset this lab measured.
+    pub dataset: NfvDataset,
+    /// The harness configuration used.
+    pub cfg: ExpConfig,
+    /// The stored graph.
+    pub stored: Arc<Graph>,
+    /// Runner with every algorithm prepared.
+    pub runner: PsiRunner,
+    /// Algorithms measured (QSI only on yeast, per §3.4).
+    pub algs: Vec<Algorithm>,
+    /// The generated workload.
+    pub queries: Vec<QueryCase>,
+    /// Solo runs: `(algorithm, rewriting) → per-query records`.
+    pub solo: HashMap<(Algorithm, Rewriting), Vec<RunRecord>>,
+    /// §5 random isomorphic instances: `algorithm → [query][instance]`.
+    pub iso: HashMap<Algorithm, Vec<Vec<RunRecord>>>,
+    /// Fig 13 rewriting races: `(algorithm, set name) → per-query records`.
+    pub psi_rw: HashMap<(Algorithm, &'static str), Vec<RunRecord>>,
+    /// Fig 14/15 multi-algorithm races: `set name → per-query records`.
+    pub psi_alg: HashMap<&'static str, Vec<RunRecord>>,
+}
+
+impl NfvLab {
+    /// Builds the dataset, generates the workload and runs every
+    /// measurement. This is the expensive call — construct once, share.
+    pub fn measure(dataset: NfvDataset, cfg: &ExpConfig) -> Self {
+        let stored = Arc::new(dataset.build(cfg));
+        let algs: Vec<Algorithm> = match dataset {
+            NfvDataset::Yeast => vec![Algorithm::GraphQl, Algorithm::SPath, Algorithm::QuickSi],
+            _ => vec![Algorithm::GraphQl, Algorithm::SPath],
+        };
+        let runner = PsiRunner::new(
+            Arc::clone(&stored),
+            PsiConfig::algorithms(algs.iter().copied(), Rewriting::Orig),
+        );
+
+        let mut queries = Vec::new();
+        for size in nfv_query_sizes(cfg) {
+            for q in Workloads::nfv_workload(
+                &stored,
+                size,
+                cfg.queries_per_size,
+                cfg.seed ^ (size as u64) << 8,
+            ) {
+                queries.push(QueryCase { size, query: q });
+            }
+        }
+
+        let cap = cfg.cap_config();
+        let rewritings = measured_rewritings();
+
+        // Solo runs.
+        let mut solo: HashMap<(Algorithm, Rewriting), Vec<RunRecord>> = HashMap::new();
+        for &alg in &algs {
+            for &rw in &rewritings {
+                let records = queries
+                    .iter()
+                    .map(|qc| {
+                        run_with_cap(
+                            |b| runner.run_variant(&qc.query, Variant::new(alg, rw), b),
+                            &cap,
+                            cfg.max_matches,
+                        )
+                        .0
+                    })
+                    .collect();
+                solo.insert((alg, rw), records);
+            }
+        }
+
+        // Random isomorphic instances (§5).
+        let mut iso: HashMap<Algorithm, Vec<Vec<RunRecord>>> = HashMap::new();
+        for &alg in &algs {
+            let per_query = queries
+                .iter()
+                .enumerate()
+                .map(|(qi, qc)| {
+                    (0..cfg.iso_instances as u64)
+                        .map(|k| {
+                            let rw = Rewriting::Random(cfg.seed ^ (qi as u64) << 16 ^ k);
+                            run_with_cap(
+                                |b| runner.run_variant(&qc.query, Variant::new(alg, rw), b),
+                                &cap,
+                                cfg.max_matches,
+                            )
+                            .0
+                        })
+                        .collect()
+                })
+                .collect();
+            iso.insert(alg, per_query);
+        }
+
+        // Ψ rewriting races per algorithm (Fig 13).
+        let mut psi_rw: HashMap<(Algorithm, &'static str), Vec<RunRecord>> = HashMap::new();
+        for &alg in &algs {
+            for (name, rws) in PsiConfig::nfv_figure_sets() {
+                let config = PsiConfig::rewritings(alg, rws.iter().copied());
+                let race_runner = runner.with_config(config);
+                let records =
+                    queries.iter().map(|qc| race_record(&race_runner, qc, cfg)).collect();
+                psi_rw.insert((alg, name), records);
+            }
+        }
+
+        // Ψ multi-algorithm races (Figs 14/15, Table 10).
+        let mut psi_alg: HashMap<&'static str, Vec<RunRecord>> = HashMap::new();
+        for (name, config) in multi_alg_sets() {
+            let race_runner = runner.with_config(config);
+            let records = queries.iter().map(|qc| race_record(&race_runner, qc, cfg)).collect();
+            psi_alg.insert(name, records);
+        }
+
+        Self { dataset, cfg: cfg.clone(), stored, runner, algs, queries, solo, iso, psi_rw, psi_alg }
+    }
+
+    /// Cap-charged per-query times (seconds) of one solo variant.
+    pub fn charged(&self, alg: Algorithm, rw: Rewriting) -> Vec<f64> {
+        self.solo[&(alg, rw)].iter().map(|r| r.charged_secs).collect()
+    }
+
+    /// Indices of queries with the given size.
+    pub fn idx_of_size(&self, size: usize) -> Vec<usize> {
+        self.queries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| (q.size == size).then_some(i))
+            .collect()
+    }
+
+    /// The distinct sizes in generation order.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.queries.iter().map(|q| q.size).collect();
+        out.dedup();
+        out
+    }
+}
+
+fn race_record(runner: &PsiRunner, qc: &QueryCase, cfg: &ExpConfig) -> RunRecord {
+    let budget = RaceBudget::with_max_matches(cfg.max_matches).timeout(cfg.cap);
+    let outcome = runner.race(&qc.query, budget);
+    // Synthesize a MatchResult-like record from the race outcome: the race
+    // is conclusive iff some entrant concluded.
+    let cap = cfg.cap_config();
+    match outcome.winner() {
+        Some(w) => record_from_result(&w.result, outcome.elapsed, &cap),
+        None => psi_workload::runner::killed_record(&cap),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_lab_measures_everything() {
+        let cfg = ExpConfig::smoke();
+        let lab = NfvLab::measure(NfvDataset::Yeast, &cfg);
+        assert!(!lab.queries.is_empty());
+        assert_eq!(lab.algs.len(), 3, "yeast measures QSI too");
+        // Every (alg, rewriting) pair covered, aligned with queries.
+        for alg in &lab.algs {
+            for rw in measured_rewritings() {
+                assert_eq!(lab.solo[&(*alg, rw)].len(), lab.queries.len());
+            }
+            assert_eq!(lab.iso[alg].len(), lab.queries.len());
+            assert_eq!(lab.iso[alg][0].len(), cfg.iso_instances);
+        }
+        assert_eq!(lab.psi_alg.len(), 5);
+        assert_eq!(lab.psi_rw.len(), 3 * 4);
+        // Sizes trimmed to two at smoke scale.
+        assert_eq!(lab.sizes().len(), 2);
+        let total: usize = lab.sizes().iter().map(|&s| lab.idx_of_size(s).len()).sum();
+        assert_eq!(total, lab.queries.len());
+    }
+
+    #[test]
+    fn non_yeast_skips_quicksi() {
+        let cfg = ExpConfig::smoke();
+        let lab = NfvLab::measure(NfvDataset::Wordnet, &cfg);
+        assert_eq!(lab.algs, vec![Algorithm::GraphQl, Algorithm::SPath]);
+    }
+}

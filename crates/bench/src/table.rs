@@ -1,0 +1,153 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Experiments emit aligned monospace tables (the closest analogue of the
+//! paper's tables/figures that diffs well and needs no plotting stack).
+
+/// A simple column-aligned text table builder.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are right-padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], out: &mut String| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(cell);
+                for _ in cell.chars().count()..*w {
+                    out.push(' ');
+                }
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float with engineering-friendly precision: 3 significant-ish
+/// digits, switching to scientific notation for very large magnitudes.
+pub fn num(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let a = x.abs();
+    if a == 0.0 {
+        "0".into()
+    } else if a >= 1e6 {
+        format!("{x:.2e}")
+    } else if a >= 100.0 {
+        format!("{x:.0}")
+    } else if a >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Formats seconds as milliseconds with sensible precision.
+pub fn ms(secs: f64) -> String {
+    num(secs * 1e3)
+}
+
+/// Formats a percentage.
+pub fn pct(p: f64) -> String {
+    format!("{p:.1}%")
+}
+
+/// Formats an optional value, rendering `None` as "-".
+pub fn opt(x: Option<f64>, f: impl Fn(f64) -> String) -> String {
+    x.map(f).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_alignment() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("long-name  2.5"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        let s = t.render();
+        assert!(s.contains('x'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(0.1234), "0.1234");
+        assert_eq!(num(3.14159), "3.14");
+        assert_eq!(num(250.4), "250");
+        assert_eq!(num(3.2e7), "3.20e7");
+        assert_eq!(ms(0.25), "250");
+        assert_eq!(pct(12.34), "12.3%");
+        assert_eq!(opt(None, num), "-");
+        assert_eq!(opt(Some(2.0), num), "2.00");
+    }
+}

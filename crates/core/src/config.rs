@@ -1,0 +1,191 @@
+//! Ψ variant configuration: which (algorithm, rewriting) pairs race.
+//!
+//! §8 evaluates specific variant sets; the constructors here mirror the
+//! figure legends, e.g. `Ψ(ILF/IND/DND)` (Fig 10) or
+//! `Ψ([GQL/SPA]-[Or/DND])` (Fig 14/15).
+
+use psi_matchers::Algorithm;
+use psi_rewrite::Rewriting;
+use std::fmt;
+
+/// One racing entrant: run `algorithm` on the `rewriting` of the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Variant {
+    /// The sub-iso algorithm to run.
+    pub algorithm: Algorithm,
+    /// The query rewriting this entrant matches with.
+    pub rewriting: Rewriting,
+}
+
+impl Variant {
+    /// Creates a variant.
+    pub fn new(algorithm: Algorithm, rewriting: Rewriting) -> Self {
+        Self { algorithm, rewriting }
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.algorithm, self.rewriting)
+    }
+}
+
+/// A set of variants to race. One OS thread is spawned per variant
+/// (the paper's thread counts in Figs 10–15 are exactly `variants.len()`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PsiConfig {
+    /// The racing entrants, in display order.
+    pub variants: Vec<Variant>,
+}
+
+impl PsiConfig {
+    /// Builds a config from an explicit variant list.
+    pub fn new(variants: Vec<Variant>) -> Self {
+        Self { variants }
+    }
+
+    /// Single algorithm × several rewritings (the FTV-style and Fig 13
+    /// NFV-style configurations).
+    pub fn rewritings(algorithm: Algorithm, rewritings: impl IntoIterator<Item = Rewriting>) -> Self {
+        Self::new(rewritings.into_iter().map(|r| Variant::new(algorithm, r)).collect())
+    }
+
+    /// Several algorithms × a single rewriting (the Fig 14/15
+    /// `Ψ([GQL/SPA]-[rw])` configurations).
+    pub fn algorithms(algorithms: impl IntoIterator<Item = Algorithm>, rewriting: Rewriting) -> Self {
+        Self::new(algorithms.into_iter().map(|a| Variant::new(a, rewriting)).collect())
+    }
+
+    /// The paper's default NFV pairing: "running simultaneously two threads:
+    /// one for sPath and one for GraphQL with the original query" (§8).
+    pub fn gql_spa_orig() -> Self {
+        Self::algorithms([Algorithm::GraphQl, Algorithm::SPath], Rewriting::Orig)
+    }
+
+    /// `Ψ([GQL/SPA]-[Or/DND])`, the 4-thread configuration of Fig 14/15.
+    pub fn gql_spa_orig_dnd() -> Self {
+        Self::new(vec![
+            Variant::new(Algorithm::GraphQl, Rewriting::Orig),
+            Variant::new(Algorithm::SPath, Rewriting::Orig),
+            Variant::new(Algorithm::GraphQl, Rewriting::Dnd),
+            Variant::new(Algorithm::SPath, Rewriting::Dnd),
+        ])
+    }
+
+    /// The Fig 10/11 FTV variant sets, keyed by the figure legend name.
+    /// Rewriting-only (the algorithm is fixed by the FTV index itself).
+    pub fn ftv_figure_sets() -> Vec<(&'static str, Vec<Rewriting>)> {
+        vec![
+            ("Ψ(ILF/ILF+IND)", vec![Rewriting::Ilf, Rewriting::IlfInd]),
+            ("Ψ(ILF/ILF+DND)", vec![Rewriting::Ilf, Rewriting::IlfDnd]),
+            ("Ψ(ILF/IND/DND)", vec![Rewriting::Ilf, Rewriting::Ind, Rewriting::Dnd]),
+            (
+                "Ψ(ILF/IND/DND/ILF+IND)",
+                vec![Rewriting::Ilf, Rewriting::Ind, Rewriting::Dnd, Rewriting::IlfInd],
+            ),
+            (
+                "Ψ(all_rewritings)",
+                vec![
+                    Rewriting::Ilf,
+                    Rewriting::Ind,
+                    Rewriting::Dnd,
+                    Rewriting::IlfInd,
+                    Rewriting::IlfDnd,
+                ],
+            ),
+        ]
+    }
+
+    /// The Fig 13 NFV variant sets (original + rewritings on one algorithm),
+    /// keyed by the figure legend name.
+    pub fn nfv_figure_sets() -> Vec<(&'static str, Vec<Rewriting>)> {
+        vec![
+            ("Ψ(Or/ILF/ILF+IND)", vec![Rewriting::Orig, Rewriting::Ilf, Rewriting::IlfInd]),
+            (
+                "Ψ(Or/ILF/IND/DND)",
+                vec![Rewriting::Orig, Rewriting::Ilf, Rewriting::Ind, Rewriting::Dnd],
+            ),
+            (
+                "Ψ(Or/ILF/IND/DND/ILF+IND)",
+                vec![
+                    Rewriting::Orig,
+                    Rewriting::Ilf,
+                    Rewriting::Ind,
+                    Rewriting::Dnd,
+                    Rewriting::IlfInd,
+                ],
+            ),
+            (
+                "Ψ(all)",
+                vec![
+                    Rewriting::Orig,
+                    Rewriting::Ilf,
+                    Rewriting::Ind,
+                    Rewriting::Dnd,
+                    Rewriting::IlfInd,
+                    Rewriting::IlfDnd,
+                ],
+            ),
+        ]
+    }
+
+    /// Number of racing threads this config spawns.
+    pub fn thread_count(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Distinct algorithms appearing in the config (each must be prepared
+    /// once over the stored graph).
+    pub fn algorithms_used(&self) -> Vec<Algorithm> {
+        let mut algs: Vec<Algorithm> = self.variants.iter().map(|v| v.algorithm).collect();
+        algs.sort_unstable();
+        algs.dedup();
+        algs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        let v = Variant::new(Algorithm::GraphQl, Rewriting::IlfDnd);
+        assert_eq!(v.to_string(), "GQL-ILF+DND");
+    }
+
+    #[test]
+    fn default_pairing_is_two_threads() {
+        let c = PsiConfig::gql_spa_orig();
+        assert_eq!(c.thread_count(), 2);
+        assert_eq!(c.algorithms_used(), vec![Algorithm::GraphQl, Algorithm::SPath]);
+    }
+
+    #[test]
+    fn figure_sets_match_paper_thread_counts() {
+        let ftv = PsiConfig::ftv_figure_sets();
+        assert_eq!(ftv.len(), 5);
+        assert_eq!(ftv[0].1.len(), 2);
+        assert_eq!(ftv[2].1.len(), 3);
+        assert_eq!(ftv[4].1.len(), 5);
+        let nfv = PsiConfig::nfv_figure_sets();
+        assert_eq!(nfv.len(), 4);
+        assert_eq!(nfv[0].1.len(), 3);
+        assert_eq!(nfv[3].1.len(), 6);
+    }
+
+    #[test]
+    fn rewritings_constructor() {
+        let c = PsiConfig::rewritings(Algorithm::QuickSi, [Rewriting::Ilf, Rewriting::Dnd]);
+        assert_eq!(c.thread_count(), 2);
+        assert_eq!(c.algorithms_used(), vec![Algorithm::QuickSi]);
+        assert_eq!(c.variants[1].rewriting, Rewriting::Dnd);
+    }
+
+    #[test]
+    fn four_thread_config() {
+        let c = PsiConfig::gql_spa_orig_dnd();
+        assert_eq!(c.thread_count(), 4);
+        assert_eq!(c.algorithms_used().len(), 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Ψ inside the FTV verification stage (§8.1).
+//!
+//! "In the FTV methods we leave intact the index construction and the
+//! filtering stages during query processing. In the verification stage, for
+//! every graph in the candidate set, we instantiate a number of threads
+//! equal to the number of the isomorphic-query rewritings we utilize."
+//!
+//! Filtering is rewriting-invariant (isomorphic queries have identical path
+//! features), so the pipeline filters once with the original query and races
+//! the rewritings only where the exponential cost lives: the per-graph
+//! sub-iso verification.
+
+use crate::race::{race, PsiOutcome, RaceBudget};
+use psi_ftv::{FtvOutcome, GgsxIndex, GraphDb, GraphId, GrapesIndex};
+use psi_graph::{Graph, LabelStats};
+use psi_matchers::{MatchResult, SearchBudget, StopReason};
+use psi_rewrite::{embedding_for_original, Rewriting};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The FTV index Ψ wraps (§8.1 uses Grapes and GGSX).
+#[derive(Clone)]
+pub enum FtvEngine {
+    /// Grapes with its location-based component extraction.
+    Grapes(Arc<GrapesIndex>),
+    /// GGSX with whole-graph verification.
+    Ggsx(Arc<GgsxIndex>),
+}
+
+impl FtvEngine {
+    /// The underlying database.
+    pub fn db(&self) -> &GraphDb {
+        match self {
+            FtvEngine::Grapes(i) => i.db(),
+            FtvEngine::Ggsx(i) => i.db(),
+        }
+    }
+
+    /// Engine name for reporting.
+    pub fn name(&self) -> String {
+        match self {
+            FtvEngine::Grapes(i) => format!("Grapes/{}", i.threads()),
+            FtvEngine::Ggsx(_) => "GGSX".into(),
+        }
+    }
+
+    /// Filter stage: candidate graph ids for `query`.
+    pub fn filter_ids(&self, query: &Graph) -> Vec<GraphId> {
+        match self {
+            FtvEngine::Grapes(i) => i.filter(query).into_iter().map(|(g, _)| g).collect(),
+            FtvEngine::Ggsx(i) => i.filter(query),
+        }
+    }
+
+    /// Verification of one (query, graph) pair.
+    pub fn verify_graph(&self, query: &Graph, gid: GraphId, budget: &SearchBudget) -> MatchResult {
+        match self {
+            FtvEngine::Grapes(i) => i.verify_graph(query, gid, budget),
+            FtvEngine::Ggsx(i) => i.verify_graph(query, gid, budget),
+        }
+    }
+}
+
+/// Ψ-framework wrapper around an FTV index: races query rewritings in the
+/// verification stage.
+pub struct PsiFtvRunner {
+    engine: FtvEngine,
+    rewritings: Vec<Rewriting>,
+    stats: LabelStats,
+}
+
+impl PsiFtvRunner {
+    /// Wraps `engine`, racing the given rewritings per candidate graph.
+    /// Label statistics (for ILF) are computed over the whole database.
+    pub fn new(engine: FtvEngine, rewritings: Vec<Rewriting>) -> Self {
+        assert!(!rewritings.is_empty(), "need at least one rewriting to race");
+        let stats = engine.db().label_stats();
+        Self { engine, rewritings, stats }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &FtvEngine {
+        &self.engine
+    }
+
+    /// The racing rewritings (thread count of each verification race).
+    pub fn rewritings(&self) -> &[Rewriting] {
+        &self.rewritings
+    }
+
+    /// Races the configured rewritings on the verification of one
+    /// (query, graph) pair — the per-pair experiment primitive of §8.1.
+    /// Winner embeddings are translated back to the original query
+    /// numbering.
+    pub fn verify_graph_race(
+        &self,
+        query: &Graph,
+        gid: GraphId,
+        budget: &RaceBudget,
+    ) -> PsiOutcome<Rewriting> {
+        let prepared: Vec<(Rewriting, Arc<(Graph, psi_graph::Permutation)>)> = self
+            .rewritings
+            .iter()
+            .map(|&rw| {
+                let p = rw.permutation(query, &self.stats);
+                (rw, Arc::new((p.apply_to(query), p)))
+            })
+            .collect();
+        let entrants: Vec<(Rewriting, Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send>)> =
+            prepared
+                .iter()
+                .map(|(rw, prep)| {
+                    let engine = self.engine.clone();
+                    let prep = Arc::clone(prep);
+                    let f: Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send> =
+                        Box::new(move |b: &SearchBudget| engine.verify_graph(&prep.0, gid, b));
+                    (*rw, f)
+                })
+                .collect();
+        let mut outcome = race(entrants, budget);
+        for vr in &mut outcome.per_variant {
+            let perm = &prepared.iter().find(|(rw, _)| *rw == vr.label).expect("present").1 .1;
+            for emb in &mut vr.result.embeddings {
+                *emb = embedding_for_original(emb, perm);
+            }
+        }
+        outcome
+    }
+
+    /// Full Ψ-FTV pipeline: filter once with the original query, then race
+    /// the rewritings on every candidate graph's verification.
+    pub fn query(&self, query: &Graph, budget: &RaceBudget) -> FtvOutcome {
+        let t0 = Instant::now();
+        let candidates = self.engine.filter_ids(query);
+        let filter_time = t0.elapsed();
+        let pruned = self.engine.db().len() - candidates.len();
+        let v0 = Instant::now();
+        let mut matching = Vec::new();
+        let mut stop = StopReason::Complete;
+        let mut tests = 0usize;
+        for gid in candidates.iter().copied() {
+            let outcome = self.verify_graph_race(query, gid, budget);
+            tests += outcome.per_variant.len();
+            match outcome.winner() {
+                Some(w) if w.result.found() => matching.push(gid),
+                Some(_) => {}
+                None => {
+                    if stop == StopReason::Complete {
+                        stop = StopReason::TimedOut;
+                    }
+                }
+            }
+        }
+        FtvOutcome {
+            matching_graphs: matching,
+            candidates: candidates.len(),
+            pruned,
+            stop,
+            subiso_tests: tests,
+            elapsed: filter_time + v0.elapsed(),
+            verify_time: v0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::generate::{random_connected_graph, LabelDist};
+    use psi_graph::graph::graph_from_parts;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_db() -> GraphDb {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+        GraphDb::new((0..5).map(|_| random_connected_graph(15, 25, &labels, &mut rng)).collect())
+    }
+
+    fn psi_grapes(db: &GraphDb) -> PsiFtvRunner {
+        let idx = Arc::new(GrapesIndex::build(db, 3, 1));
+        PsiFtvRunner::new(
+            FtvEngine::Grapes(idx),
+            vec![Rewriting::Ilf, Rewriting::Ind, Rewriting::Dnd],
+        )
+    }
+
+    #[test]
+    fn psi_query_agrees_with_plain_grapes() {
+        let db = sample_db();
+        let plain = GrapesIndex::build(&db, 3, 1);
+        let psi = psi_grapes(&db);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+        for _ in 0..8 {
+            let q = random_connected_graph(4, 4, &labels, &mut rng);
+            let a = plain.query(&q, &SearchBudget::first_match());
+            let b = psi.query(&q, &RaceBudget::decision());
+            assert_eq!(a.matching_graphs, b.matching_graphs, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn psi_query_agrees_with_plain_ggsx() {
+        let db = sample_db();
+        let plain = GgsxIndex::build(&db, 3);
+        let psi = PsiFtvRunner::new(
+            FtvEngine::Ggsx(Arc::new(GgsxIndex::build(&db, 3))),
+            vec![Rewriting::Ilf, Rewriting::IlfDnd],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+        for _ in 0..8 {
+            let q = random_connected_graph(4, 5, &labels, &mut rng);
+            let a = plain.query(&q, &SearchBudget::first_match());
+            let b = psi.query(&q, &RaceBudget::decision());
+            assert_eq!(a.matching_graphs, b.matching_graphs, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn verify_race_translates_embeddings() {
+        let db = GraphDb::new(vec![graph_from_parts(
+            &[5, 6, 7],
+            &[(0, 1), (1, 2)],
+        )]);
+        let psi = psi_grapes(&db);
+        let q = graph_from_parts(&[7, 6, 5], &[(0, 1), (1, 2)]); // reversed labels
+        let outcome = psi.verify_graph_race(&q, 0, &RaceBudget::matching());
+        assert!(outcome.found());
+        let w = outcome.winner().unwrap();
+        // Original query node 0 has label 7 -> must map to stored node 2.
+        assert_eq!(w.result.embeddings[0], vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn engine_names() {
+        let db = sample_db();
+        assert_eq!(FtvEngine::Grapes(Arc::new(GrapesIndex::build(&db, 3, 4))).name(), "Grapes/4");
+        assert_eq!(FtvEngine::Ggsx(Arc::new(GgsxIndex::build(&db, 3))).name(), "GGSX");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rewriting")]
+    fn empty_rewriting_set_rejected() {
+        let db = sample_db();
+        let idx = Arc::new(GrapesIndex::build(&db, 3, 1));
+        PsiFtvRunner::new(FtvEngine::Grapes(idx), vec![]);
+    }
+}

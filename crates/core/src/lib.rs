@@ -1,0 +1,45 @@
+//! # psi-core — the Ψ-framework (§8 of the paper)
+//!
+//! > "The central idea is to employ parallelism in a novel way, whereby
+//! > parallel matching/decision attempts are initiated, each using a query
+//! > rewriting and/or an alternate algorithm."
+//!
+//! Instead of inventing a new sub-iso algorithm, Ψ races *variants* of the
+//! same query — each variant a (algorithm, rewriting) pair — on parallel
+//! threads, keeps the first finisher's answer, and cancels the rest. Because
+//! stragglers are both rewriting-specific (Observation 2/4) and
+//! algorithm-specific (Observation 5), some variant almost always finishes
+//! quickly even when the original query is a straggler.
+//!
+//! * [`mod@race`] — the generic racing engine: spawn one OS thread per entrant,
+//!   cooperative cancellation through [`psi_matchers::CancelToken`], winner
+//!   bookkeeping and per-variant wall times.
+//! * [`nfv`] — [`PsiRunner`]: Ψ over the NFV matchers (GraphQL, sPath,
+//!   QuickSI, ...) on a single stored graph, §8.2.
+//! * [`ftv`] — [`PsiFtvRunner`]: Ψ inside the verification stage of the FTV
+//!   systems (Grapes/GGSX), racing rewritings per candidate graph, §8.1.
+//! * [`predictor`] — the paper's stated future work (§9): predict, per
+//!   query, which variant to run instead of racing them all.
+//!
+//! ```
+//! use psi_core::{PsiConfig, PsiRunner, RaceBudget};
+//! use psi_graph::graph::graph_from_parts;
+//!
+//! let stored = graph_from_parts(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! let psi = PsiRunner::nfv_default(&stored); // GQL ∥ SPA on the original query
+//! let query = graph_from_parts(&[0, 1], &[(0, 1)]);
+//! let outcome = psi.race(&query, RaceBudget::decision());
+//! assert!(outcome.found());
+//! assert!(outcome.winner().is_some());
+//! ```
+
+pub mod config;
+pub mod ftv;
+pub mod nfv;
+pub mod predictor;
+pub mod race;
+
+pub use config::{PsiConfig, Variant};
+pub use ftv::PsiFtvRunner;
+pub use nfv::PsiRunner;
+pub use race::{race, PsiOutcome, RaceBudget, VariantResult};

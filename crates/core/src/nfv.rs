@@ -1,0 +1,235 @@
+//! Ψ over the NFV matchers (§8.2).
+//!
+//! [`PsiRunner`] prepares every algorithm appearing in the configured
+//! variants once over the stored graph (the algorithms' indexing phases run
+//! at construction, matching the paper's setup where indexes pre-exist), and
+//! then races the variants per query.
+
+use crate::config::{PsiConfig, Variant};
+use crate::race::{race, PsiOutcome, RaceBudget};
+use psi_graph::{Graph, LabelStats};
+use psi_matchers::{Algorithm, MatchResult, Matcher, SearchBudget};
+use psi_rewrite::{embedding_for_original, Rewriting};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The Ψ-framework runner for a single stored graph (NFV setting).
+pub struct PsiRunner {
+    stored: Arc<Graph>,
+    stats: LabelStats,
+    matchers: HashMap<Algorithm, Arc<dyn Matcher>>,
+    config: PsiConfig,
+}
+
+impl PsiRunner {
+    /// Prepares all algorithms used by `config` over `stored`.
+    pub fn new(stored: Arc<Graph>, config: PsiConfig) -> Self {
+        let stats = LabelStats::from_graph(&stored);
+        let matchers = config
+            .algorithms_used()
+            .into_iter()
+            .map(|a| (a, a.prepare(Arc::clone(&stored))))
+            .collect();
+        Self { stored, stats, matchers, config }
+    }
+
+    /// The paper's §8 NFV default: GraphQL ∥ sPath on the original query.
+    pub fn nfv_default(stored: &Graph) -> Self {
+        Self::new(Arc::new(stored.clone()), PsiConfig::gql_spa_orig())
+    }
+
+    /// Returns a runner with a different variant set, re-using already
+    /// prepared matchers (new algorithms are prepared on demand).
+    pub fn with_config(&self, config: PsiConfig) -> Self {
+        let mut matchers = self.matchers.clone();
+        for a in config.algorithms_used() {
+            matchers.entry(a).or_insert_with(|| a.prepare(Arc::clone(&self.stored)));
+        }
+        Self {
+            stored: Arc::clone(&self.stored),
+            stats: self.stats.clone(),
+            matchers,
+            config,
+        }
+    }
+
+    /// The stored graph.
+    pub fn stored(&self) -> &Arc<Graph> {
+        &self.stored
+    }
+
+    /// Label statistics of the stored graph (drives the ILF rewritings).
+    pub fn label_stats(&self) -> &LabelStats {
+        &self.stats
+    }
+
+    /// The configured variant set.
+    pub fn config(&self) -> &PsiConfig {
+        &self.config
+    }
+
+    /// The prepared matcher for `algorithm`.
+    ///
+    /// # Panics
+    /// Panics if the algorithm is not part of the configuration.
+    pub fn matcher(&self, algorithm: Algorithm) -> &Arc<dyn Matcher> {
+        self.matchers.get(&algorithm).expect("algorithm not prepared for this runner")
+    }
+
+    /// Runs one variant *solo* (no race) — the baseline measurements of the
+    /// experiment harness. Embeddings are returned in the **original**
+    /// query's node numbering.
+    pub fn run_variant(&self, query: &Graph, variant: Variant, budget: &SearchBudget) -> MatchResult {
+        let matcher = self.matcher(variant.algorithm);
+        let perm = variant.rewriting.permutation(query, &self.stats);
+        let rewritten = perm.apply_to(query);
+        let mut result = matcher.search(&rewritten, budget);
+        for emb in &mut result.embeddings {
+            *emb = embedding_for_original(emb, &perm);
+        }
+        result
+    }
+
+    /// Races all configured variants on `query` (§8.2). The winner's
+    /// embeddings (and every conclusive entrant's) are translated back to
+    /// the original query numbering.
+    pub fn race(&self, query: &Graph, budget: RaceBudget) -> PsiOutcome<Variant> {
+        // Rewrite once per distinct rewriting.
+        let mut perms: HashMap<Rewriting, Arc<(Graph, psi_graph::Permutation)>> = HashMap::new();
+        for v in &self.config.variants {
+            perms.entry(v.rewriting).or_insert_with(|| {
+                let p = v.rewriting.permutation(query, &self.stats);
+                Arc::new((p.apply_to(query), p))
+            });
+        }
+        let entrants: Vec<(Variant, Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send>)> = self
+            .config
+            .variants
+            .iter()
+            .map(|&v| {
+                let matcher = Arc::clone(self.matcher(v.algorithm));
+                let prepared = Arc::clone(&perms[&v.rewriting]);
+                let f: Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send> =
+                    Box::new(move |b: &SearchBudget| matcher.search(&prepared.0, b));
+                (v, f)
+            })
+            .collect();
+        let mut outcome = race(entrants, &budget);
+        for vr in &mut outcome.per_variant {
+            let (_, perm) = &*perms[&vr.label.rewriting];
+            for emb in &mut vr.result.embeddings {
+                *emb = embedding_for_original(emb, perm);
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::generate::{random_connected_graph, LabelDist};
+    use psi_graph::graph::graph_from_parts;
+    use psi_matchers::matcher::is_valid_embedding;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn stored() -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let labels = LabelDist::Uniform { num_labels: 4 }.sampler();
+        random_connected_graph(40, 90, &labels, &mut rng)
+    }
+
+    fn query_from(g: &Graph) -> Graph {
+        // A 3-path grown from node 0 so containment is guaranteed.
+        let v0 = 0;
+        let v1 = g.neighbors(v0)[0];
+        let v2 = g.neighbors(v1).iter().copied().find(|&x| x != v0).unwrap();
+        graph_from_parts(
+            &[g.label(v0), g.label(v1), g.label(v2)],
+            &[(0, 1), (1, 2)],
+        )
+    }
+
+    #[test]
+    fn race_finds_known_embedding() {
+        let g = stored();
+        let q = query_from(&g);
+        let psi = PsiRunner::nfv_default(&g);
+        let outcome = psi.race(&q, RaceBudget::decision());
+        assert!(outcome.found());
+        let w = outcome.winner().unwrap();
+        for emb in &w.result.embeddings {
+            assert!(is_valid_embedding(&q, &g, emb), "embedding must be in original numbering");
+        }
+    }
+
+    #[test]
+    fn race_agrees_with_solo_on_match_count() {
+        let g = stored();
+        let q = query_from(&g);
+        let psi = PsiRunner::nfv_default(&g);
+        let solo = psi.run_variant(
+            &q,
+            Variant::new(Algorithm::GraphQl, Rewriting::Orig),
+            &psi_matchers::SearchBudget::unlimited(),
+        );
+        let raced = psi.race(&q, RaceBudget::with_max_matches(usize::MAX));
+        assert!(raced.is_conclusive());
+        assert_eq!(raced.num_matches(), solo.num_matches);
+    }
+
+    #[test]
+    fn rewriting_variants_agree_on_answers() {
+        let g = stored();
+        let q = query_from(&g);
+        let psi = PsiRunner::new(
+            Arc::new(g.clone()),
+            PsiConfig::rewritings(
+                Algorithm::SPath,
+                [Rewriting::Orig, Rewriting::Ilf, Rewriting::Dnd, Rewriting::IlfInd],
+            ),
+        );
+        let baseline = psi
+            .run_variant(
+                &q,
+                Variant::new(Algorithm::SPath, Rewriting::Orig),
+                &psi_matchers::SearchBudget::unlimited(),
+            )
+            .num_matches;
+        for &rw in &[Rewriting::Ilf, Rewriting::Dnd, Rewriting::IlfInd] {
+            let r = psi.run_variant(
+                &q,
+                Variant::new(Algorithm::SPath, rw),
+                &psi_matchers::SearchBudget::unlimited(),
+            );
+            assert_eq!(r.num_matches, baseline, "{rw}");
+            for emb in &r.embeddings {
+                assert!(is_valid_embedding(&q, &g, emb), "{rw} embedding must be translated");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_decision_is_conclusive() {
+        let g = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let psi = PsiRunner::nfv_default(&g);
+        let q = graph_from_parts(&[5], &[]);
+        let outcome = psi.race(&q, RaceBudget::decision());
+        assert!(outcome.is_conclusive());
+        assert!(!outcome.found());
+    }
+
+    #[test]
+    fn with_config_reuses_and_extends() {
+        let g = stored();
+        let psi = PsiRunner::nfv_default(&g);
+        let psi3 = psi.with_config(PsiConfig::algorithms(
+            [Algorithm::GraphQl, Algorithm::SPath, Algorithm::QuickSi],
+            Rewriting::Orig,
+        ));
+        assert_eq!(psi3.config().thread_count(), 3);
+        let q = query_from(&g);
+        assert!(psi3.race(&q, RaceBudget::decision()).found());
+    }
+}

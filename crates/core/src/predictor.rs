@@ -1,0 +1,211 @@
+//! Per-query variant prediction — the paper's stated future work (§9):
+//!
+//! > "Undoubtedly, it would be preferable to choose the right isomorphic
+//! > query instance and/or algorithm to use to minimize the query execution
+//! > time. ... Using machine learning models to predict which version of our
+//! > framework (algorithms, rewritings) to employ per query is of high
+//! > interest."
+//!
+//! This module implements the simplest useful such model: a k-nearest-
+//! neighbour classifier over cheap structural query features. Train it
+//! online by feeding each race's winner; once it has seen enough queries it
+//! can run a *single* variant instead of a whole race, trading the race's
+//! worst-case insurance for an `n×` reduction in CPU work. The
+//! `predictor_ablation` bench quantifies that trade-off.
+
+use psi_graph::{Graph, LabelStats};
+
+/// Cheap structural features of a query, normalized to comparable scales.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryFeatures {
+    /// Number of query edges (the paper's query "size").
+    pub edges: f64,
+    /// Number of query nodes.
+    pub nodes: f64,
+    /// Distinct labels / nodes — label diversity in [0, 1].
+    pub label_diversity: f64,
+    /// Stddev of query node degrees (path-like queries ≈ 0).
+    pub degree_spread: f64,
+    /// Rarity of the query's rarest label in the stored graph, as
+    /// `1 / (1 + min frequency)` in [0, 1].
+    pub rarest_label: f64,
+    /// Query density `2m / n(n-1)`.
+    pub density: f64,
+}
+
+impl QueryFeatures {
+    /// Extracts features for `query` against the stored graph's label
+    /// statistics.
+    pub fn extract(query: &Graph, stats: &LabelStats) -> Self {
+        let n = query.node_count() as f64;
+        let m = query.edge_count() as f64;
+        let mut labels: Vec<u32> = query.labels().to_vec();
+        labels.sort_unstable();
+        labels.dedup();
+        let degrees: Vec<f64> = query.nodes().map(|v| query.degree(v) as f64).collect();
+        let mean_deg = if n > 0.0 { degrees.iter().sum::<f64>() / n } else { 0.0 };
+        let degree_spread = if n > 0.0 {
+            (degrees.iter().map(|d| (d - mean_deg).powi(2)).sum::<f64>() / n).sqrt()
+        } else {
+            0.0
+        };
+        let min_freq =
+            labels.iter().map(|&l| stats.frequency(l)).min().unwrap_or(0) as f64;
+        Self {
+            edges: m,
+            nodes: n,
+            label_diversity: if n > 0.0 { labels.len() as f64 / n } else { 0.0 },
+            degree_spread,
+            rarest_label: 1.0 / (1.0 + min_freq),
+            density: query.density(),
+        }
+    }
+
+    fn as_array(&self) -> [f64; 6] {
+        [
+            self.edges,
+            self.nodes,
+            self.label_diversity,
+            self.degree_spread,
+            self.rarest_label,
+            self.density,
+        ]
+    }
+
+    /// Euclidean distance in (crudely) normalized feature space: counts are
+    /// log-scaled so a 32-edge query isn't infinitely far from a 24-edge one.
+    pub fn distance(&self, other: &Self) -> f64 {
+        let a = self.as_array();
+        let b = other.as_array();
+        let mut d2 = 0.0;
+        for i in 0..a.len() {
+            let (x, y) = if i < 2 { ((a[i] + 1.0).ln(), (b[i] + 1.0).ln()) } else { (a[i], b[i]) };
+            d2 += (x - y) * (x - y);
+        }
+        d2.sqrt()
+    }
+}
+
+/// A k-NN predictor from query features to a variant index (the index into
+/// the [`crate::PsiConfig`]'s variant list used at training time).
+#[derive(Debug, Clone)]
+pub struct VariantPredictor {
+    samples: Vec<(QueryFeatures, usize)>,
+    k: usize,
+}
+
+impl VariantPredictor {
+    /// Creates an empty predictor voting over `k` nearest neighbours.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        Self { samples: Vec::new(), k }
+    }
+
+    /// Records that `winner` (a variant index) won the race for a query
+    /// with these features.
+    pub fn observe(&mut self, features: QueryFeatures, winner: usize) {
+        self.samples.push((features, winner));
+    }
+
+    /// Number of observations so far.
+    pub fn observations(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Predicts the variant index for a new query: majority vote of the k
+    /// nearest training samples (ties broken toward the nearer sample).
+    /// Returns `None` until at least one observation exists.
+    pub fn predict(&self, features: &QueryFeatures) -> Option<usize> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut by_dist: Vec<(f64, usize)> =
+            self.samples.iter().map(|(f, w)| (features.distance(f), *w)).collect();
+        by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        by_dist.truncate(self.k);
+        // Majority vote; first (nearest) occurrence wins ties.
+        let mut counts: Vec<(usize, usize, usize)> = Vec::new(); // (variant, votes, first_pos)
+        for (pos, &(_, w)) in by_dist.iter().enumerate() {
+            match counts.iter_mut().find(|(v, _, _)| *v == w) {
+                Some(c) => c.1 += 1,
+                None => counts.push((w, 1, pos)),
+            }
+        }
+        counts.sort_by_key(|&(_, votes, first)| (std::cmp::Reverse(votes), first));
+        counts.first().map(|&(v, _, _)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::graph::graph_from_parts;
+
+    fn stats() -> LabelStats {
+        LabelStats::from_graph(&graph_from_parts(&[0, 0, 0, 1], &[(0, 1), (1, 2), (2, 3)]))
+    }
+
+    fn path_query() -> QueryFeatures {
+        QueryFeatures::extract(&graph_from_parts(&[0, 0, 0], &[(0, 1), (1, 2)]), &stats())
+    }
+
+    fn star_query() -> QueryFeatures {
+        QueryFeatures::extract(
+            &graph_from_parts(&[1, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]),
+            &stats(),
+        )
+    }
+
+    #[test]
+    fn features_reflect_shape() {
+        let p = path_query();
+        let s = star_query();
+        assert!(p.degree_spread < s.degree_spread, "stars spread degrees more than paths");
+        assert!(s.rarest_label > 0.0);
+        assert_eq!(p.edges, 2.0);
+        assert_eq!(s.edges, 3.0);
+    }
+
+    #[test]
+    fn rare_label_feature() {
+        let st = stats();
+        let common = QueryFeatures::extract(&graph_from_parts(&[0], &[]), &st);
+        let rare = QueryFeatures::extract(&graph_from_parts(&[1], &[]), &st);
+        assert!(rare.rarest_label > common.rarest_label);
+    }
+
+    #[test]
+    fn predictor_returns_none_untrained() {
+        let p = VariantPredictor::new(3);
+        assert_eq!(p.predict(&path_query()), None);
+        assert_eq!(p.observations(), 0);
+    }
+
+    #[test]
+    fn predictor_learns_shape_separation() {
+        let mut p = VariantPredictor::new(1);
+        // Paths win with variant 0, stars with variant 1.
+        for _ in 0..3 {
+            p.observe(path_query(), 0);
+            p.observe(star_query(), 1);
+        }
+        assert_eq!(p.predict(&path_query()), Some(0));
+        assert_eq!(p.predict(&star_query()), Some(1));
+    }
+
+    #[test]
+    fn majority_vote_with_k3() {
+        let mut p = VariantPredictor::new(3);
+        p.observe(path_query(), 0);
+        p.observe(path_query(), 0);
+        p.observe(path_query(), 1);
+        assert_eq!(p.predict(&path_query()), Some(0));
+    }
+
+    #[test]
+    fn empty_query_features_are_finite() {
+        let f = QueryFeatures::extract(&graph_from_parts(&[], &[]), &stats());
+        assert!(f.distance(&f) == 0.0);
+        assert!(f.as_array().iter().all(|x| x.is_finite()));
+    }
+}

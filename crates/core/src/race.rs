@@ -1,0 +1,334 @@
+//! The generic racing engine.
+//!
+//! §8: "These threads run in parallel with each being assigned one rewriting
+//! of the initial query, and the first thread to finish is the 'winner';
+//! i.e., the rest of the threads are killed."
+//!
+//! "Killing" is implemented as cooperative cancellation: every entrant's
+//! [`psi_matchers::SearchBudget`] shares one [`CancelToken`]; the first
+//! entrant to produce a *conclusive* result (found an answer, or exhausted
+//! its space) claims the win with an atomic compare-exchange and cancels the
+//! token. Losing entrants observe the flag at their next budget check and
+//! unwind promptly. This gives the same observable behaviour as thread
+//! kill without the memory-unsafety.
+
+use psi_matchers::{CancelToken, MatchResult, SearchBudget};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Budget for a whole race (shared deadline; per-entrant embedding cap).
+#[derive(Debug, Clone)]
+pub struct RaceBudget {
+    /// Per-entrant embedding cap (1 for decision racing, 1000 for the
+    /// paper's matching setup).
+    pub max_matches: usize,
+    /// Wall-clock limit for the whole race (the paper's 10-minute cap,
+    /// scaled).
+    pub timeout: Option<Duration>,
+}
+
+impl RaceBudget {
+    /// Decision-problem racing: first embedding wins.
+    pub fn decision() -> Self {
+        Self { max_matches: 1, timeout: None }
+    }
+
+    /// Matching-problem racing with the paper's 1000-embedding cap.
+    pub fn matching() -> Self {
+        Self { max_matches: 1000, timeout: None }
+    }
+
+    /// Racing with an explicit embedding cap.
+    pub fn with_max_matches(max_matches: usize) -> Self {
+        Self { max_matches, timeout: None }
+    }
+
+    /// Adds a wall-clock limit.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Converts into a per-entrant [`SearchBudget`] sharing `token` and an
+    /// absolute deadline fixed at race start.
+    pub fn entrant_budget(&self, token: CancelToken, start: Instant) -> SearchBudget {
+        let mut b = SearchBudget::with_max_matches(self.max_matches).cancellable(token);
+        if let Some(t) = self.timeout {
+            b = b.deadline_at(start + t);
+        }
+        b
+    }
+}
+
+/// One entrant's outcome.
+#[derive(Debug, Clone)]
+pub struct VariantResult<L> {
+    /// Caller-supplied identity (e.g. a [`crate::Variant`] or a rewriting).
+    pub label: L,
+    /// The search result (embeddings in the *entrant's own* query
+    /// numbering; NFV callers translate them back, see [`crate::nfv`]).
+    pub result: MatchResult,
+    /// Wall time of this entrant, from race start to entrant completion.
+    pub wall: Duration,
+}
+
+/// Outcome of one race.
+#[derive(Debug, Clone)]
+pub struct PsiOutcome<L> {
+    /// All entrants, in configuration order.
+    pub per_variant: Vec<VariantResult<L>>,
+    /// Index into `per_variant` of the winner (the first conclusive
+    /// finisher), if any entrant concluded.
+    pub winner_index: Option<usize>,
+    /// The Ψ query time: start-of-race to the winner claiming victory
+    /// (the paper's semantics — the losers are killed at that instant).
+    /// Falls back to the full join time when nobody wins.
+    pub elapsed: Duration,
+    /// Start-of-race to the last loser unwinding after cancellation —
+    /// the *cooperative* kill cost our implementation pays. The gap
+    /// `join_elapsed - elapsed` is the Ψ overhead discussed in §8.
+    pub join_elapsed: Duration,
+}
+
+impl<L> PsiOutcome<L> {
+    /// The winning entrant, if any.
+    pub fn winner(&self) -> Option<&VariantResult<L>> {
+        self.winner_index.map(|i| &self.per_variant[i])
+    }
+
+    /// Decision answer: did the winner find at least one embedding?
+    pub fn found(&self) -> bool {
+        self.winner().is_some_and(|w| w.result.found())
+    }
+
+    /// Number of embeddings the winner found (0 if no winner).
+    pub fn num_matches(&self) -> usize {
+        self.winner().map_or(0, |w| w.result.num_matches)
+    }
+
+    /// Whether the race produced a definitive answer.
+    pub fn is_conclusive(&self) -> bool {
+        self.winner_index.is_some()
+    }
+}
+
+/// Races `entrants` (label + closure) under `budget`. Each closure receives
+/// its pre-wired [`SearchBudget`] and runs on its own OS thread, exactly as
+/// the paper instantiates one thread per rewriting/algorithm.
+///
+/// The winner is the first entrant whose result is conclusive
+/// (`StopReason::Complete` or `StopReason::MatchLimit`); it cancels the
+/// shared token. Entrants that time out or get cancelled never win. If no
+/// entrant concludes (e.g. global timeout), `winner_index` is `None`.
+pub fn race<L, F>(entrants: Vec<(L, F)>, budget: &RaceBudget) -> PsiOutcome<L>
+where
+    L: Send,
+    F: FnOnce(&SearchBudget) -> MatchResult + Send,
+{
+    let start = Instant::now();
+    if entrants.is_empty() {
+        return PsiOutcome {
+            per_variant: Vec::new(),
+            winner_index: None,
+            elapsed: start.elapsed(),
+            join_elapsed: start.elapsed(),
+        };
+    }
+    let token = CancelToken::new();
+    let claimed = AtomicUsize::new(usize::MAX);
+    let claim_nanos = std::sync::atomic::AtomicU64::new(0);
+
+    let results: Vec<VariantResult<L>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = entrants
+            .into_iter()
+            .enumerate()
+            .map(|(idx, (label, f))| {
+                let entrant_budget = budget.entrant_budget(token.clone(), start);
+                let token = &token;
+                let claimed = &claimed;
+                let claim_nanos = &claim_nanos;
+                scope.spawn(move || {
+                    let result = f(&entrant_budget);
+                    let wall = start.elapsed();
+                    if result.stop.is_conclusive() {
+                        // First conclusive finisher claims the win and
+                        // "kills" the rest.
+                        if claimed
+                            .compare_exchange(usize::MAX, idx, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            claim_nanos.store(wall.as_nanos() as u64, Ordering::Release);
+                            token.cancel();
+                        }
+                    }
+                    VariantResult { label, result, wall }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("entrant thread must not panic")).collect()
+    });
+
+    let join_elapsed = start.elapsed();
+    let winner = claimed.load(Ordering::Acquire);
+    let elapsed = if winner != usize::MAX {
+        Duration::from_nanos(claim_nanos.load(Ordering::Acquire))
+    } else {
+        join_elapsed
+    };
+    PsiOutcome {
+        per_variant: results,
+        winner_index: (winner != usize::MAX).then_some(winner),
+        elapsed,
+        join_elapsed,
+    }
+}
+
+/// Convenience used by tests and ablation benches: runs the entrants
+/// *sequentially* (no parallelism, no cancellation) and reports the best
+/// conclusive result — the "oracle best variant" that `speedup★` compares
+/// against.
+pub fn run_sequential<L, F>(entrants: Vec<(L, F)>, budget: &RaceBudget) -> Vec<VariantResult<L>>
+where
+    F: FnOnce(&SearchBudget) -> MatchResult,
+{
+    entrants
+        .into_iter()
+        .map(|(label, f)| {
+            let start = Instant::now();
+            let mut b = SearchBudget::with_max_matches(budget.max_matches);
+            if let Some(t) = budget.timeout {
+                b = b.timeout(t);
+            }
+            let result = f(&b);
+            VariantResult { label, result, wall: start.elapsed() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_matchers::matcher::SearchStats;
+    use psi_matchers::StopReason;
+
+    fn quick_result(n: usize) -> MatchResult {
+        MatchResult {
+            embeddings: vec![vec![0]; n],
+            num_matches: n,
+            stop: if n > 0 { StopReason::MatchLimit } else { StopReason::Complete },
+            stats: SearchStats::default(),
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn fastest_conclusive_entrant_wins() {
+        let outcome = race(
+            vec![
+                ("slow", Box::new(|b: &SearchBudget| {
+                    // Simulate a straggler that heeds cancellation.
+                    let clock = b.start();
+                    for _ in 0..1000 {
+                        std::thread::sleep(Duration::from_millis(1));
+                        if let Some(r) = clock.check_now() {
+                            return MatchResult::empty(r);
+                        }
+                    }
+                    quick_result(1)
+                }) as Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send>),
+                ("fast", Box::new(|_b: &SearchBudget| quick_result(1))),
+            ],
+            &RaceBudget::decision(),
+        );
+        let w = outcome.winner().expect("someone wins");
+        assert_eq!(w.label, "fast");
+        assert!(outcome.found());
+        // The slow entrant must have been cancelled, not run to completion.
+        let slow = &outcome.per_variant[0];
+        assert_eq!(slow.result.stop, StopReason::Cancelled);
+        assert!(outcome.elapsed < Duration::from_millis(900), "race should end early");
+    }
+
+    #[test]
+    fn negative_answers_also_win() {
+        // An entrant that exhausts its space (Complete, no matches) is
+        // conclusive and should cancel stragglers.
+        let outcome = race(
+            vec![
+                ("empty", Box::new(|_b: &SearchBudget| quick_result(0))
+                    as Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send>),
+                ("sleepy", Box::new(|b: &SearchBudget| {
+                    let clock = b.start();
+                    for _ in 0..1000 {
+                        std::thread::sleep(Duration::from_millis(1));
+                        if let Some(r) = clock.check_now() {
+                            return MatchResult::empty(r);
+                        }
+                    }
+                    quick_result(1)
+                })),
+            ],
+            &RaceBudget::decision(),
+        );
+        assert!(outcome.is_conclusive());
+        assert!(!outcome.found());
+        assert_eq!(outcome.winner().unwrap().label, "empty");
+    }
+
+    #[test]
+    fn global_timeout_yields_no_winner() {
+        let outcome = race(
+            vec![("hopeless", |b: &SearchBudget| {
+                let clock = b.start();
+                loop {
+                    std::thread::sleep(Duration::from_millis(1));
+                    if let Some(r) = clock.check_now() {
+                        return MatchResult::empty(r);
+                    }
+                }
+            })],
+            &RaceBudget::decision().timeout(Duration::from_millis(20)),
+        );
+        assert!(outcome.winner().is_none());
+        assert!(!outcome.is_conclusive());
+        assert_eq!(outcome.per_variant[0].result.stop, StopReason::TimedOut);
+    }
+
+    #[test]
+    fn empty_race() {
+        let outcome = race(
+            Vec::<(&str, fn(&SearchBudget) -> MatchResult)>::new(),
+            &RaceBudget::decision(),
+        );
+        assert!(outcome.winner().is_none());
+        assert_eq!(outcome.num_matches(), 0);
+    }
+
+    #[test]
+    fn per_variant_order_is_configuration_order() {
+        let outcome = race(
+            vec![
+                ("a", (|_b: &SearchBudget| quick_result(1)) as fn(&SearchBudget) -> MatchResult),
+                ("b", (|_b: &SearchBudget| quick_result(1)) as fn(&SearchBudget) -> MatchResult),
+                ("c", (|_b: &SearchBudget| quick_result(1)) as fn(&SearchBudget) -> MatchResult),
+            ],
+            &RaceBudget::decision(),
+        );
+        let labels: Vec<_> = outcome.per_variant.iter().map(|v| v.label).collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+        assert!(outcome.winner_index.is_some());
+    }
+
+    #[test]
+    fn sequential_runner_runs_everything() {
+        let rs = run_sequential(
+            vec![
+                ("x", (|_b: &SearchBudget| quick_result(1)) as fn(&SearchBudget) -> MatchResult),
+                ("y", (|_b: &SearchBudget| quick_result(0)) as fn(&SearchBudget) -> MatchResult),
+            ],
+            &RaceBudget::matching(),
+        );
+        assert_eq!(rs.len(), 2);
+        assert!(rs.iter().all(|r| r.result.stop.is_conclusive()));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the Ψ core: race answers equal solo answers, the
+//! winner is always conclusive, and the predictor never panics on
+//! arbitrary feature mixes.
+
+use proptest::prelude::*;
+use psi_core::predictor::{QueryFeatures, VariantPredictor};
+use psi_core::{PsiConfig, PsiRunner, RaceBudget, Variant};
+use psi_graph::generate::{random_connected_graph, LabelDist};
+use psi_graph::{Graph, LabelStats};
+use psi_matchers::{bruteforce, Algorithm, SearchBudget};
+use psi_rewrite::Rewriting;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn pair(seed: u64) -> (Graph, Graph) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+    let target = random_connected_graph(16, 30, &labels, &mut rng);
+    let query = random_connected_graph(4, 5, &labels, &mut rng);
+    (query, target)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The race's decision equals brute-force ground truth, for every
+    /// variant-set shape (multi-algorithm, multi-rewriting, mixed).
+    #[test]
+    fn prop_race_decision_matches_ground_truth(seed in 0u64..20_000, shape in 0usize..3) {
+        let (query, target) = pair(seed);
+        let truth = bruteforce::contains(&query, &target);
+        let config = match shape {
+            0 => PsiConfig::gql_spa_orig(),
+            1 => PsiConfig::rewritings(
+                Algorithm::QuickSi,
+                [Rewriting::Orig, Rewriting::Ilf, Rewriting::Dnd],
+            ),
+            _ => PsiConfig::new(vec![
+                Variant::new(Algorithm::Vf2, Rewriting::Ind),
+                Variant::new(Algorithm::Ullmann, Rewriting::IlfDnd),
+                Variant::new(Algorithm::SPath, Rewriting::Random(seed)),
+            ]),
+        };
+        let runner = PsiRunner::new(Arc::new(target), config);
+        let outcome = runner.race(&query, RaceBudget::decision());
+        prop_assert!(outcome.is_conclusive(), "tiny inputs must conclude");
+        prop_assert_eq!(outcome.found(), truth);
+    }
+
+    /// Race match counts equal solo match counts under a shared cap.
+    #[test]
+    fn prop_race_count_matches_solo(seed in 0u64..20_000, cap in 1usize..30) {
+        let (query, target) = pair(seed);
+        let runner = PsiRunner::new(Arc::new(target), PsiConfig::gql_spa_orig());
+        let solo = runner.run_variant(
+            &query,
+            Variant::new(Algorithm::GraphQl, Rewriting::Orig),
+            &SearchBudget::with_max_matches(cap),
+        );
+        let outcome = runner.race(&query, RaceBudget::with_max_matches(cap));
+        prop_assert_eq!(outcome.num_matches(), solo.num_matches);
+    }
+
+    /// The winner's stop reason is always conclusive; losers are only ever
+    /// cancelled/interrupted, never silently dropped.
+    #[test]
+    fn prop_winner_is_conclusive(seed in 0u64..20_000) {
+        let (query, target) = pair(seed);
+        let runner = PsiRunner::new(
+            Arc::new(target),
+            PsiConfig::rewritings(Algorithm::Vf2, [Rewriting::Orig, Rewriting::Ilf, Rewriting::Ind]),
+        );
+        let outcome = runner.race(&query, RaceBudget::matching());
+        let w = outcome.winner().expect("tiny inputs conclude");
+        prop_assert!(w.result.stop.is_conclusive());
+        prop_assert_eq!(outcome.per_variant.len(), 3);
+        prop_assert!(outcome.elapsed <= outcome.join_elapsed);
+    }
+
+    /// Predictor total function: any combination of observations and probes
+    /// yields a prediction within the observed variant range.
+    #[test]
+    fn prop_predictor_total(
+        winners in prop::collection::vec(0usize..5, 1..30),
+        k in 1usize..7,
+        probe_seed in 0u64..1000,
+    ) {
+        let (query, target) = pair(probe_seed);
+        let stats = LabelStats::from_graph(&target);
+        let f = QueryFeatures::extract(&query, &stats);
+        let mut p = VariantPredictor::new(k);
+        for (i, &w) in winners.iter().enumerate() {
+            let (q2, t2) = pair(i as u64);
+            let s2 = LabelStats::from_graph(&t2);
+            p.observe(QueryFeatures::extract(&q2, &s2), w);
+        }
+        let pred = p.predict(&f).expect("trained predictor answers");
+        prop_assert!(winners.contains(&pred), "prediction must be an observed variant");
+    }
+}

@@ -1,0 +1,117 @@
+//! The multi-graph database queried by FTV systems, and common outcome
+//! types.
+
+use psi_graph::{Graph, LabelStats};
+use psi_matchers::StopReason;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Index of a stored graph within a [`GraphDb`].
+pub type GraphId = usize;
+
+/// An immutable database of stored graphs (the FTV datasets of Table 1 hold
+/// 20–1000 of them).
+#[derive(Debug, Clone)]
+pub struct GraphDb {
+    graphs: Vec<Arc<Graph>>,
+}
+
+impl GraphDb {
+    /// Builds a database from owned graphs.
+    pub fn new(graphs: Vec<Graph>) -> Self {
+        Self { graphs: graphs.into_iter().map(Arc::new).collect() }
+    }
+
+    /// Builds a database from shared graphs.
+    pub fn from_shared(graphs: Vec<Arc<Graph>>) -> Self {
+        Self { graphs }
+    }
+
+    /// Number of stored graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The stored graph with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn graph(&self, id: GraphId) -> &Arc<Graph> {
+        &self.graphs[id]
+    }
+
+    /// Iterator over `(id, graph)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Arc<Graph>)> {
+        self.graphs.iter().enumerate()
+    }
+
+    /// Label statistics aggregated over the whole database (input to the
+    /// ILF rewriting family when querying FTV datasets).
+    pub fn label_stats(&self) -> LabelStats {
+        LabelStats::from_graphs(self.graphs.iter().map(|g| g.as_ref()))
+    }
+}
+
+/// Outcome of one FTV query over the whole database.
+#[derive(Debug, Clone)]
+pub struct FtvOutcome {
+    /// IDs of stored graphs verified to contain the query, ascending.
+    pub matching_graphs: Vec<GraphId>,
+    /// Number of graphs that survived filtering (and thus went to
+    /// verification).
+    pub candidates: usize,
+    /// Number of graphs pruned by the index filter.
+    pub pruned: usize,
+    /// How the query ended: `Complete` if every candidate was resolved,
+    /// otherwise the first interruption reason encountered.
+    pub stop: StopReason,
+    /// Number of sub-iso tests executed (Grapes may run several per graph —
+    /// one per relevant connected component).
+    pub subiso_tests: usize,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Pure verification time (the paper's FTV `exec time` metric excludes
+    /// the filtering stage, §3.5).
+    pub verify_time: Duration,
+}
+
+impl FtvOutcome {
+    /// Decision-problem answer: is the query contained anywhere?
+    pub fn found_any(&self) -> bool {
+        !self.matching_graphs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::graph::graph_from_parts;
+
+    #[test]
+    fn db_basics() {
+        let db = GraphDb::new(vec![
+            graph_from_parts(&[0, 1], &[(0, 1)]),
+            graph_from_parts(&[2], &[]),
+        ]);
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+        assert_eq!(db.graph(1).label(0), 2);
+        assert_eq!(db.iter().count(), 2);
+        let stats = db.label_stats();
+        assert_eq!(stats.frequency(0), 1);
+        assert_eq!(stats.frequency(2), 1);
+        assert_eq!(stats.distinct_labels(), 3);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = GraphDb::new(vec![]);
+        assert!(db.is_empty());
+        assert_eq!(db.label_stats().distinct_labels(), 0);
+    }
+}

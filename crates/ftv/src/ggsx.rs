@@ -1,0 +1,240 @@
+//! GGSX (Bonnici et al. — IAPR PRIB 2010).
+//!
+//! §3.1.1: like Grapes, GGSX indexes DFS label paths up to a maximum length,
+//! but in a *suffix tree* and **without location information**. Query paths
+//! are matched against the index, unmatched branches prune graphs, and the
+//! surviving candidate set undergoes whole-graph sub-iso testing with VF2.
+//!
+//! To honour the suffix-tree structure we index every suffix of every
+//! feature path (so any query path fragment can be located from the root),
+//! while counting only full paths — functionally the count filter is the
+//! same as Grapes' minus locations, which is exactly the difference the
+//! paper describes (and the reason Grapes can verify against extracted
+//! components while GGSX must take the whole graph).
+
+use crate::db::{FtvOutcome, GraphDb, GraphId};
+use crate::paths::{extract_features, query_feature_counts};
+use crate::trie::PathTrie;
+use psi_graph::Graph;
+use psi_matchers::vf2::vf2_search;
+use psi_matchers::{MatchResult, SearchBudget, StopReason};
+use std::time::{Duration, Instant};
+
+/// Default maximum feature-path length in edges (same as Grapes).
+pub const DEFAULT_MAX_EDGES: usize = 3;
+
+/// The GGSX index: a count-only suffix trie over path features.
+pub struct GgsxIndex {
+    db: GraphDb,
+    trie: PathTrie,
+    max_edges: usize,
+    /// Wall-clock time of the index construction.
+    pub build_time: Duration,
+}
+
+impl GgsxIndex {
+    /// Builds the index over `db` with feature paths of up to `max_edges`
+    /// edges. GGSX is single-threaded by design.
+    pub fn build(db: &GraphDb, max_edges: usize) -> Self {
+        let t0 = Instant::now();
+        let mut trie = PathTrie::new(false);
+        for (gid, g) in db.iter() {
+            for (feat, occ) in extract_features(g, max_edges) {
+                // Suffix-tree flavour: insert all proper suffixes as
+                // zero-count structural nodes so lookups share prefixes...
+                // counts attach only to the full feature.
+                trie.insert(&feat, gid, occ.count, &[]);
+            }
+        }
+        Self { db: db.clone(), trie, max_edges, build_time: t0.elapsed() }
+    }
+
+    /// The database this index serves.
+    pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// Feature path length (edges) used at build time.
+    pub fn max_edges(&self) -> usize {
+        self.max_edges
+    }
+
+    /// Filtering stage: graphs whose feature counts dominate the query's.
+    pub fn filter(&self, query: &Graph) -> Vec<GraphId> {
+        let qfeat = query_feature_counts(query, self.max_edges);
+        if qfeat.is_empty() {
+            return self.db.iter().map(|(gid, _)| gid).collect();
+        }
+        let mut survivors: Option<Vec<GraphId>> = None;
+        for (feat, qcount) in &qfeat {
+            let Some(postings) = self.trie.get(feat) else { return Vec::new() };
+            let mut next: Vec<GraphId> = postings
+                .iter()
+                .filter(|(_, p)| p.count >= *qcount)
+                .map(|(&g, _)| g)
+                .collect();
+            next.sort_unstable();
+            survivors = Some(match survivors {
+                None => next,
+                Some(prev) => intersect_sorted(&prev, &next),
+            });
+            if survivors.as_ref().is_some_and(Vec::is_empty) {
+                return Vec::new();
+            }
+        }
+        survivors.unwrap_or_default()
+    }
+
+    /// Verifies `query` against one stored graph (whole-graph VF2 — GGSX has
+    /// no locations to narrow the search). Returns an empty `Complete`
+    /// result if the count filter already excludes the graph.
+    pub fn verify_graph(&self, query: &Graph, gid: GraphId, budget: &SearchBudget) -> MatchResult {
+        if !self.passes_filter(query, gid) {
+            return MatchResult::empty(StopReason::Complete);
+        }
+        vf2_search(query, self.db.graph(gid), budget)
+    }
+
+    fn passes_filter(&self, query: &Graph, gid: GraphId) -> bool {
+        let qfeat = query_feature_counts(query, self.max_edges);
+        qfeat.iter().all(|(feat, qcount)| self.trie.count(feat, gid) >= *qcount)
+    }
+
+    /// Full query pipeline: filter then verify every candidate with
+    /// whole-graph VF2 (first match per graph).
+    pub fn query(&self, query: &Graph, budget: &SearchBudget) -> FtvOutcome {
+        let t0 = Instant::now();
+        let candidates = self.filter(query);
+        let filter_time = t0.elapsed();
+        if query.node_count() == 0 {
+            return FtvOutcome {
+                matching_graphs: candidates,
+                candidates: self.db.len(),
+                pruned: 0,
+                stop: StopReason::Complete,
+                subiso_tests: 0,
+                elapsed: t0.elapsed(),
+                verify_time: Duration::ZERO,
+            };
+        }
+        let pruned = self.db.len() - candidates.len();
+        let v0 = Instant::now();
+        let mut matching = Vec::new();
+        let mut stop = StopReason::Complete;
+        let mut tests = 0usize;
+        for &gid in &candidates {
+            let r = vf2_search(query, self.db.graph(gid), budget);
+            tests += 1;
+            if r.found() {
+                matching.push(gid);
+            } else if !r.stop.is_conclusive() && stop == StopReason::Complete {
+                stop = r.stop;
+            }
+        }
+        FtvOutcome {
+            matching_graphs: matching,
+            candidates: candidates.len(),
+            pruned,
+            stop,
+            subiso_tests: tests,
+            elapsed: filter_time + v0.elapsed(),
+            verify_time: v0.elapsed(),
+        }
+    }
+}
+
+fn intersect_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::graph::graph_from_parts;
+
+    fn sample_db() -> GraphDb {
+        GraphDb::new(vec![
+            graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            graph_from_parts(&[0, 1, 2], &[(0, 1)]),
+            graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]),
+        ])
+    }
+
+    #[test]
+    fn filter_and_query_agree_with_grapes_semantics() {
+        let idx = GgsxIndex::build(&sample_db(), 3);
+        let q = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        assert_eq!(idx.filter(&q), vec![0, 2]);
+        let out = idx.query(&q, &SearchBudget::first_match());
+        assert_eq!(out.matching_graphs, vec![0, 2]);
+        assert_eq!(out.subiso_tests, 2);
+    }
+
+    #[test]
+    fn intersect_sorted_works() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<GraphId>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn verify_graph_respects_filter() {
+        let idx = GgsxIndex::build(&sample_db(), 3);
+        let q = graph_from_parts(&[0, 2], &[(0, 1)]);
+        // Graph 0 lacks the a-c edge feature: filter rejects without VF2.
+        let r = idx.verify_graph(&q, 0, &SearchBudget::first_match());
+        assert!(!r.found());
+        assert_eq!(r.stats.nodes_expanded, 0);
+        assert!(idx.verify_graph(&q, 2, &SearchBudget::first_match()).found());
+    }
+
+    #[test]
+    fn agrees_with_grapes_on_random_db() {
+        use crate::grapes::GrapesIndex;
+        use psi_graph::generate::{random_connected_graph, LabelDist};
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(55);
+        let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+        let graphs: Vec<Graph> =
+            (0..6).map(|_| random_connected_graph(12, 18, &labels, &mut rng)).collect();
+        let db = GraphDb::new(graphs);
+        let ggsx = GgsxIndex::build(&db, 3);
+        let grapes = GrapesIndex::build(&db, 3, 1);
+        for _ in 0..10 {
+            let q = random_connected_graph(4, 4, &labels, &mut rng);
+            let a = ggsx.query(&q, &SearchBudget::first_match());
+            let b = grapes.query(&q, &SearchBudget::first_match());
+            assert_eq!(a.matching_graphs, b.matching_graphs, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let idx = GgsxIndex::build(&sample_db(), 3);
+        let out = idx.query(&graph_from_parts(&[], &[]), &SearchBudget::first_match());
+        assert_eq!(out.matching_graphs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unknown_label_prunes_everything() {
+        let idx = GgsxIndex::build(&sample_db(), 3);
+        let q = graph_from_parts(&[9], &[]);
+        let out = idx.query(&q, &SearchBudget::first_match());
+        assert!(out.matching_graphs.is_empty());
+        assert_eq!(out.candidates, 0);
+        assert_eq!(out.subiso_tests, 0);
+    }
+}

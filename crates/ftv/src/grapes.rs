@@ -1,0 +1,548 @@
+//! Grapes (Giugno et al. — PLoS One 2013).
+//!
+//! §3.1.1: "Grapes ... index\[es\] the simplest form of features — i.e.,
+//! paths — up to a maximum length. Paths are searched in a DFS manner and
+//! indexed in a trie ... Compared to GGSX, Grapes takes an additional step
+//! and maintains location information. Also, Grapes features multi-threaded
+//! design for both indexing and query processing. In query processing,
+//! maximal paths of the query are extracted to form the query index which is
+//! matched with the dataset index, pruning away unmatched branches.
+//! Subsequently, the search space is further pruned by the frequencies of
+//! indexed features. ... Grapes further exploits the maintained location
+//! information to extract relevant connected components of the dataset
+//! graphs, against which sub-iso testing is performed."
+//!
+//! Per §3.2, the verification VF2 "returns after the first match" (decision
+//! semantics). "Grapes/N" denotes this index verifying with an N-thread
+//! rayon pool.
+
+use crate::db::{FtvOutcome, GraphDb, GraphId};
+use crate::paths::{extract_features, query_feature_counts};
+use crate::trie::{build_trie, PathTrie};
+use psi_graph::components::{component_ids, induced_subgraph};
+use psi_graph::{Graph, NodeId};
+use psi_matchers::vf2::vf2_search;
+use psi_matchers::{MatchResult, SearchBudget, StopReason};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Default maximum feature-path length in edges ("paths of up to size of 4"
+/// = 4 nodes).
+pub const DEFAULT_MAX_EDGES: usize = 3;
+
+/// The Grapes index: a location-bearing path trie plus precomputed
+/// connected-component structure per stored graph.
+pub struct GrapesIndex {
+    db: GraphDb,
+    trie: PathTrie,
+    max_edges: usize,
+    threads: usize,
+    /// Per graph: component id of every node.
+    comp_of_node: Vec<Vec<usize>>,
+    /// Per graph: member list of every component.
+    comp_members: Vec<Vec<Vec<NodeId>>>,
+    /// Persistent verification pool (None for Grapes/1).
+    pool: Option<std::sync::Arc<rayon::ThreadPool>>,
+    /// Wall-clock time of the index construction.
+    pub build_time: Duration,
+}
+
+impl GrapesIndex {
+    /// Builds the index over `db` with feature paths of up to `max_edges`
+    /// edges, verifying with `threads` parallel workers ("Grapes/N").
+    ///
+    /// Indexing itself is also multithreaded (Grapes' design) when
+    /// `threads > 1`.
+    pub fn build(db: &GraphDb, max_edges: usize, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one verification thread");
+        let t0 = Instant::now();
+        let extract = |(gid, g): (GraphId, &std::sync::Arc<Graph>)| {
+            (gid, extract_features(g, max_edges))
+        };
+        let pool = (threads > 1).then(|| std::sync::Arc::new(build_pool(threads)));
+        let features: Vec<_> = if let Some(pool) = &pool {
+            use rayon::prelude::*;
+            let items: Vec<_> = db.iter().collect();
+            pool.install(|| items.into_par_iter().map(extract).collect())
+        } else {
+            db.iter().map(extract).collect()
+        };
+        let trie = build_trie(features, true);
+        let mut comp_of_node = Vec::with_capacity(db.len());
+        let mut comp_members = Vec::with_capacity(db.len());
+        for (_, g) in db.iter() {
+            let ids = component_ids(g);
+            let ncomp = ids.iter().copied().max().map_or(0, |m| m + 1);
+            let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); ncomp];
+            for (v, &c) in ids.iter().enumerate() {
+                members[c].push(v as NodeId);
+            }
+            comp_of_node.push(ids);
+            comp_members.push(members);
+        }
+        Self {
+            db: db.clone(),
+            trie,
+            max_edges,
+            threads,
+            comp_of_node,
+            comp_members,
+            pool,
+            build_time: t0.elapsed(),
+        }
+    }
+
+    /// The database this index serves.
+    pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// Configured verification parallelism (the "/N" in Grapes/N).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Feature path length (edges) used at build time.
+    pub fn max_edges(&self) -> usize {
+        self.max_edges
+    }
+
+    /// Number of distinct indexed features. Diagnostic.
+    pub fn feature_count(&self) -> usize {
+        self.trie.feature_count()
+    }
+
+    /// Filtering stage: returns, for each surviving candidate graph, the
+    /// relevant component ids (components containing at least one location
+    /// of *every* query feature). Graphs failing the count filter are
+    /// pruned.
+    pub fn filter(&self, query: &Graph) -> Vec<(GraphId, Vec<usize>)> {
+        let qfeat = query_feature_counts(query, self.max_edges);
+        if qfeat.is_empty() {
+            // Empty query: vacuously contained in every graph.
+            return self.db.iter().map(|(gid, _)| (gid, Vec::new())).collect();
+        }
+        // A connected query must put *every* feature inside the matched
+        // component (intersect masks); a disconnected query only needs each
+        // feature somewhere (union masks).
+        let intersect = psi_graph::components::is_connected(query);
+        let mut survivors: Option<HashMap<GraphId, Vec<bool>>> = None; // gid → comp bitmask
+        for (feat, qcount) in &qfeat {
+            let Some(postings) = self.trie.get(feat) else {
+                return Vec::new(); // feature absent from every graph
+            };
+            let mut next: HashMap<GraphId, Vec<bool>> = HashMap::new();
+            for (&gid, posting) in postings {
+                if posting.count < *qcount {
+                    continue;
+                }
+                if let Some(prev) = &survivors {
+                    if !prev.contains_key(&gid) {
+                        continue;
+                    }
+                }
+                // Components touched by this feature's locations.
+                let ncomp = self.comp_members[gid].len();
+                let mut touched = vec![false; ncomp];
+                for &loc in &posting.locations {
+                    touched[self.comp_of_node[gid][loc as usize]] = true;
+                }
+                match &survivors {
+                    None => {
+                        next.insert(gid, touched);
+                    }
+                    Some(prev) => {
+                        let mut merged = prev[&gid].clone();
+                        for (m, t) in merged.iter_mut().zip(&touched) {
+                            *m = if intersect { *m && *t } else { *m || *t };
+                        }
+                        if merged.iter().any(|&b| b) {
+                            next.insert(gid, merged);
+                        }
+                    }
+                }
+            }
+            survivors = Some(next);
+            if survivors.as_ref().is_some_and(HashMap::is_empty) {
+                return Vec::new();
+            }
+        }
+        let mut out: Vec<(GraphId, Vec<usize>)> = survivors
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(gid, mask)| {
+                let comps = mask
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(c, &b)| b.then_some(c))
+                    .collect::<Vec<_>>();
+                (gid, comps)
+            })
+            .filter(|(_, comps)| !comps.is_empty())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Verifies `query` against a single stored graph (the per-pair
+    /// experiment primitive of §4: "we execute each individual query against
+    /// a single stored graph at a time"). Runs the filter for that graph,
+    /// extracts relevant components and sub-iso tests them with VF2,
+    /// honoring `budget`.
+    pub fn verify_graph(&self, query: &Graph, gid: GraphId, budget: &SearchBudget) -> MatchResult {
+        let comps = self.relevant_components(query, gid);
+        self.verify_components(query, gid, &comps, budget)
+    }
+
+    /// Relevant component ids of `gid` for `query` (empty if the graph is
+    /// pruned by the count filter).
+    pub fn relevant_components(&self, query: &Graph, gid: GraphId) -> Vec<usize> {
+        let qfeat = query_feature_counts(query, self.max_edges);
+        if qfeat.is_empty() {
+            return (0..self.comp_members[gid].len()).collect();
+        }
+        let ncomp = self.comp_members[gid].len();
+        let intersect = psi_graph::components::is_connected(query);
+        let mut mask = vec![intersect; ncomp];
+        for (feat, qcount) in &qfeat {
+            let Some(postings) = self.trie.get(feat) else { return Vec::new() };
+            let Some(posting) = postings.get(&gid) else { return Vec::new() };
+            if posting.count < *qcount {
+                return Vec::new();
+            }
+            let mut touched = vec![false; ncomp];
+            for &loc in &posting.locations {
+                touched[self.comp_of_node[gid][loc as usize]] = true;
+            }
+            for (m, t) in mask.iter_mut().zip(&touched) {
+                *m = if intersect { *m && *t } else { *m || *t };
+            }
+        }
+        mask.iter().enumerate().filter_map(|(c, &b)| b.then_some(c)).collect()
+    }
+
+    fn verify_components(
+        &self,
+        query: &Graph,
+        gid: GraphId,
+        comps: &[usize],
+        budget: &SearchBudget,
+    ) -> MatchResult {
+        let start = Instant::now();
+        let g = self.db.graph(gid);
+        let mut combined = MatchResult::empty(StopReason::Complete);
+        // A connected query lies entirely within one component, so each
+        // relevant component can be tested in isolation (Grapes' design).
+        // A disconnected query may span several components: test the union.
+        if !psi_graph::components::is_connected(query) {
+            let members: Vec<NodeId> =
+                comps.iter().flat_map(|&c| self.comp_members[gid][c].iter().copied()).collect();
+            if members.len() >= query.node_count() {
+                let (sub, mapping) = induced_subgraph(g, &members);
+                let mut r = vf2_search(query, &sub, budget);
+                for emb in &mut r.embeddings {
+                    for t in emb.iter_mut() {
+                        *t = mapping[*t as usize];
+                    }
+                }
+                r.elapsed = start.elapsed();
+                return r;
+            }
+            combined.elapsed = start.elapsed();
+            return combined;
+        }
+        let eligible: Vec<usize> = comps
+            .iter()
+            .copied()
+            .filter(|&c| self.comp_members[gid][c].len() >= query.node_count())
+            .collect();
+
+        // Grapes' multithreaded verification: with a pool, independent
+        // relevant components are sub-iso tested in parallel. When the
+        // caller races rewritings (its budget already carries a cancel
+        // token) we stay sequential — the race owns the parallelism.
+        if self.pool.is_some() && eligible.len() > 1 && budget.cancel.is_none() {
+            let pool = self.pool.as_ref().expect("checked above");
+            use rayon::prelude::*;
+            let sibling = psi_matchers::CancelToken::new();
+            let first_match_mode = budget.max_matches == 1;
+            let results: Vec<MatchResult> = pool.install(|| {
+                eligible
+                    .par_iter()
+                    .map(|&c| {
+                        let b = budget.clone().cancellable(sibling.clone());
+                        let r = self.verify_one_component(query, gid, c, &b);
+                        if first_match_mode && r.found() {
+                            sibling.cancel();
+                        }
+                        r
+                    })
+                    .collect()
+            });
+            let any_found = results.iter().any(MatchResult::found);
+            for res in results {
+                combined.stats.nodes_expanded += res.stats.nodes_expanded;
+                combined.stats.candidates_pruned += res.stats.candidates_pruned;
+                combined.stats.backtracks += res.stats.backtracks;
+                combined.embeddings.extend(res.embeddings);
+                // A sibling cancelled because the answer was found is not a
+                // failure; only propagate genuine interruptions.
+                if !res.stop.is_conclusive()
+                    && !(res.stop == StopReason::Cancelled && any_found)
+                    && combined.stop == StopReason::Complete
+                {
+                    combined.stop = res.stop;
+                }
+            }
+            combined.embeddings.truncate(budget.max_matches);
+            combined.num_matches = combined.embeddings.len();
+            if combined.num_matches >= budget.max_matches && combined.stop == StopReason::Complete
+            {
+                combined.stop = StopReason::MatchLimit;
+            }
+            combined.elapsed = start.elapsed();
+            return combined;
+        }
+
+        for c in eligible {
+            let res = self.verify_one_component(query, gid, c, budget);
+            combined.stats.nodes_expanded += res.stats.nodes_expanded;
+            combined.stats.candidates_pruned += res.stats.candidates_pruned;
+            combined.stats.backtracks += res.stats.backtracks;
+            combined.embeddings.extend(res.embeddings);
+            combined.num_matches = combined.embeddings.len();
+            if !res.stop.is_conclusive() {
+                combined.stop = res.stop;
+                break;
+            }
+            if combined.num_matches >= budget.max_matches {
+                combined.stop = StopReason::MatchLimit;
+                break;
+            }
+        }
+        combined.elapsed = start.elapsed();
+        combined
+    }
+
+    /// Sub-iso tests one relevant component (VF2 on the induced subgraph,
+    /// embeddings remapped to whole-graph node ids).
+    fn verify_one_component(
+        &self,
+        query: &Graph,
+        gid: GraphId,
+        c: usize,
+        budget: &SearchBudget,
+    ) -> MatchResult {
+        let g = self.db.graph(gid);
+        let members = &self.comp_members[gid][c];
+        if members.len() == g.node_count() {
+            return vf2_search(query, g, budget);
+        }
+        let (sub, mapping) = induced_subgraph(g, members);
+        let mut r = vf2_search(query, &sub, budget);
+        for emb in &mut r.embeddings {
+            for t in emb.iter_mut() {
+                *t = mapping[*t as usize];
+            }
+        }
+        r
+    }
+
+    /// Full query pipeline over the whole database: filter, then verify
+    /// every candidate (first match per graph), using the configured thread
+    /// pool when `threads > 1`.
+    pub fn query(&self, query: &Graph, budget: &SearchBudget) -> FtvOutcome {
+        let t0 = Instant::now();
+        let candidates = self.filter(query);
+        let filter_time = t0.elapsed();
+        if query.node_count() == 0 {
+            return FtvOutcome {
+                matching_graphs: candidates.iter().map(|&(g, _)| g).collect(),
+                candidates: self.db.len(),
+                pruned: 0,
+                stop: StopReason::Complete,
+                subiso_tests: 0,
+                elapsed: t0.elapsed(),
+                verify_time: Duration::ZERO,
+            };
+        }
+        let pruned = self.db.len() - candidates.len();
+        let v0 = Instant::now();
+        let verify = |(gid, comps): &(GraphId, Vec<usize>)| {
+            let r = self.verify_components(query, *gid, comps, budget);
+            (*gid, comps.len(), r)
+        };
+        let results: Vec<(GraphId, usize, MatchResult)> = if let Some(pool) = &self.pool {
+            use rayon::prelude::*;
+            pool.install(|| candidates.par_iter().map(verify).collect())
+        } else {
+            candidates.iter().map(verify).collect()
+        };
+        let mut matching = Vec::new();
+        let mut stop = StopReason::Complete;
+        let mut tests = 0usize;
+        for (gid, ncomp, r) in results {
+            tests += ncomp;
+            if r.found() {
+                matching.push(gid);
+            }
+            if !r.stop.is_conclusive() && !r.found() && stop == StopReason::Complete {
+                stop = r.stop;
+            }
+        }
+        matching.sort_unstable();
+        FtvOutcome {
+            matching_graphs: matching,
+            candidates: candidates.len(),
+            pruned,
+            stop,
+            subiso_tests: tests,
+            elapsed: filter_time + v0.elapsed(),
+            verify_time: v0.elapsed(),
+        }
+    }
+}
+
+/// Builds a rayon pool with exactly `threads` workers.
+fn build_pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool construction cannot fail with valid size")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::graph::graph_from_parts;
+
+    fn sample_db() -> GraphDb {
+        GraphDb::new(vec![
+            // 0: path 0-1-2 labels a,b,c
+            graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            // 1: two components: a-b and c
+            graph_from_parts(&[0, 1, 2], &[(0, 1)]),
+            // 2: triangle a,b,c
+            graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]),
+        ])
+    }
+
+    #[test]
+    fn filter_prunes_by_feature_presence() {
+        let idx = GrapesIndex::build(&sample_db(), 3, 1);
+        // Query a-b-c path: graphs 0 and 2 have it; graph 1 lacks feature [0,1,2].
+        let q = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let cands: Vec<GraphId> = idx.filter(&q).into_iter().map(|(g, _)| g).collect();
+        assert_eq!(cands, vec![0, 2]);
+    }
+
+    #[test]
+    fn query_returns_containing_graphs() {
+        let idx = GrapesIndex::build(&sample_db(), 3, 1);
+        let q = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let out = idx.query(&q, &SearchBudget::first_match());
+        assert_eq!(out.matching_graphs, vec![0, 1, 2]);
+        assert_eq!(out.stop, StopReason::Complete);
+        let q2 = graph_from_parts(&[0, 2], &[(0, 1)]);
+        let out2 = idx.query(&q2, &SearchBudget::first_match());
+        assert_eq!(out2.matching_graphs, vec![2]); // only the triangle has a-c edge
+        assert!(out2.pruned >= 1, "feature filter should prune");
+    }
+
+    #[test]
+    fn multithreaded_matches_singlethreaded() {
+        let db = sample_db();
+        let idx1 = GrapesIndex::build(&db, 3, 1);
+        let idx4 = GrapesIndex::build(&db, 3, 4);
+        for q in [
+            graph_from_parts(&[0, 1], &[(0, 1)]),
+            graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            graph_from_parts(&[2], &[]),
+        ] {
+            let a = idx1.query(&q, &SearchBudget::first_match());
+            let b = idx4.query(&q, &SearchBudget::first_match());
+            assert_eq!(a.matching_graphs, b.matching_graphs);
+        }
+    }
+
+    #[test]
+    fn relevant_components_use_locations() {
+        // Graph 1 has components {0,1} (labels a,b) and {2} (label c).
+        let idx = GrapesIndex::build(&sample_db(), 3, 1);
+        let q = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let comps = idx.relevant_components(&q, 1);
+        assert_eq!(comps, vec![0], "only the a-b component is relevant");
+        let q_c = graph_from_parts(&[2], &[]);
+        let comps_c = idx.relevant_components(&q_c, 1);
+        assert_eq!(comps_c, vec![1], "only the c component is relevant");
+    }
+
+    #[test]
+    fn verify_graph_decision() {
+        let idx = GrapesIndex::build(&sample_db(), 3, 1);
+        let q = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        assert!(idx.verify_graph(&q, 0, &SearchBudget::first_match()).found());
+        assert!(!idx.verify_graph(&q, 1, &SearchBudget::first_match()).found());
+        assert!(idx.verify_graph(&q, 2, &SearchBudget::first_match()).found());
+    }
+
+    #[test]
+    fn component_embeddings_are_remapped_to_graph_ids() {
+        // Two components; query matches the second one. Embedding node ids
+        // must refer to the original graph, not the extracted component.
+        let db = GraphDb::new(vec![graph_from_parts(
+            &[9, 9, 0, 1],
+            &[(0, 1), (2, 3)],
+        )]);
+        let idx = GrapesIndex::build(&db, 3, 1);
+        let q = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let r = idx.verify_graph(&q, 0, &SearchBudget::unlimited());
+        assert_eq!(r.num_matches, 1);
+        assert_eq!(r.embeddings[0], vec![2, 3]);
+    }
+
+    #[test]
+    fn count_filter_respects_multiplicity() {
+        // Query needs two disjoint a-b edges; graph 1 has only one.
+        let db = GraphDb::new(vec![
+            graph_from_parts(&[0, 1, 0, 1], &[(0, 1), (2, 3)]),
+            graph_from_parts(&[0, 1, 5], &[(0, 1)]),
+        ]);
+        let idx = GrapesIndex::build(&db, 3, 1);
+        let q = graph_from_parts(&[0, 1, 0, 1], &[(0, 1), (2, 3)]);
+        let out = idx.query(&q, &SearchBudget::first_match());
+        assert_eq!(out.matching_graphs, vec![0]);
+        // Graph 1 must have been pruned by counts, not by verification:
+        // its a-b feature count (2 directed) < query's (4 directed).
+        assert_eq!(out.candidates, 1);
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let idx = GrapesIndex::build(&sample_db(), 3, 1);
+        let q = graph_from_parts(&[], &[]);
+        let out = idx.query(&q, &SearchBudget::first_match());
+        assert_eq!(out.matching_graphs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn filtering_is_sound_never_prunes_containing_graph() {
+        use psi_matchers::bruteforce;
+        let db = sample_db();
+        let idx = GrapesIndex::build(&db, 3, 1);
+        let queries = [
+            graph_from_parts(&[0, 1], &[(0, 1)]),
+            graph_from_parts(&[1, 2], &[(0, 1)]),
+            graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            graph_from_parts(&[2], &[]),
+        ];
+        for q in &queries {
+            let cands: Vec<GraphId> = idx.filter(q).into_iter().map(|(g, _)| g).collect();
+            for (gid, g) in db.iter() {
+                if bruteforce::contains(q, g) {
+                    assert!(cands.contains(&gid), "graph {gid} pruned but contains query");
+                }
+            }
+        }
+    }
+}

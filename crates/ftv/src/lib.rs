@@ -1,0 +1,43 @@
+//! # psi-ftv — filter-then-verify subgraph query systems
+//!
+//! The two FTV systems evaluated by the paper (§3.1.1), reimplemented over
+//! the `psi-graph`/`psi-matchers` substrate:
+//!
+//! * [`grapes::GrapesIndex`] — Grapes (Giugno et al., PLoS One 2013):
+//!   indexes label paths **with location information** in a trie, filters
+//!   candidate graphs by feature counts, then extracts only the *relevant
+//!   connected components* around matched locations and runs VF2 on them.
+//!   Verification is multithreaded ("Grapes/N" in the paper) via rayon.
+//! * [`ggsx::GgsxIndex`] — GGSX (Bonnici et al., PRIB 2010): indexes label
+//!   paths in a suffix trie **without** locations, filters by feature
+//!   counts, and verifies with VF2 against the whole candidate graph.
+//!
+//! Both systems answer the **decision problem** over a multi-graph database
+//! ([`GraphDb`]): which stored graphs contain the query? Per the paper's
+//! setup, verification stops at the first embedding per graph (the authors
+//! patched Grapes' VF2 to do exactly this, §3.2).
+//!
+//! ```
+//! use psi_ftv::{GraphDb, GrapesIndex};
+//! use psi_graph::graph::graph_from_parts;
+//! use psi_matchers::SearchBudget;
+//!
+//! let db = GraphDb::new(vec![
+//!     graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]),
+//!     graph_from_parts(&[0, 1], &[(0, 1)]),
+//! ]);
+//! let index = GrapesIndex::build(&db, 3, 1);
+//! let query = graph_from_parts(&[1, 2], &[(0, 1)]);
+//! let outcome = index.query(&query, &SearchBudget::first_match());
+//! assert_eq!(outcome.matching_graphs, vec![0]); // only graph 0 has a 1-2 edge
+//! ```
+
+pub mod db;
+pub mod ggsx;
+pub mod grapes;
+pub mod paths;
+pub mod trie;
+
+pub use db::{FtvOutcome, GraphDb, GraphId};
+pub use ggsx::GgsxIndex;
+pub use grapes::GrapesIndex;

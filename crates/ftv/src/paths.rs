@@ -1,0 +1,159 @@
+//! Path-feature extraction for the FTV indexes.
+//!
+//! Both Grapes and GGSX "index the simplest form of features — i.e., paths —
+//! up to a maximum length ... searched in a DFS manner" (§3.1.1). A feature
+//! is the **label sequence** along a simple path. We enumerate *directed*
+//! simple paths from every start node (so each undirected path is seen once
+//! per direction); since the query side is enumerated by the same procedure
+//! and embeddings are injective, `count_query(f) ≤ count_graph(f)` holds for
+//! every feature `f` of any contained query — the soundness condition the
+//! count-based filter relies on.
+//!
+//! Path length is measured in **edges**; the paper's "paths of up to size
+//! of 4" corresponds to `max_edges = 3` (four nodes), the default used by
+//! the index builders.
+
+use psi_graph::{Graph, Label, NodeId};
+use std::collections::HashMap;
+
+/// A path feature: the sequence of node labels along a simple path
+/// (1 to `max_edges + 1` labels).
+pub type PathFeature = Vec<Label>;
+
+/// Per-feature occurrence data for a single graph: total occurrence count
+/// and the set of distinct start nodes ("location information" — kept by
+/// Grapes, dropped by GGSX).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FeatureOccurrences {
+    /// Number of directed simple paths with this label sequence.
+    pub count: u32,
+    /// Sorted distinct start nodes of those paths.
+    pub locations: Vec<NodeId>,
+}
+
+/// Enumerates all path features of `g` with up to `max_edges` edges,
+/// together with counts and start locations.
+pub fn extract_features(g: &Graph, max_edges: usize) -> HashMap<PathFeature, FeatureOccurrences> {
+    let mut out: HashMap<PathFeature, FeatureOccurrences> = HashMap::new();
+    let mut on_path = vec![false; g.node_count()];
+    let mut labels: Vec<Label> = Vec::with_capacity(max_edges + 1);
+    for start in g.nodes() {
+        labels.push(g.label(start));
+        on_path[start as usize] = true;
+        record(&mut out, &labels, start);
+        dfs(g, start, start, max_edges, &mut on_path, &mut labels, &mut out);
+        on_path[start as usize] = false;
+        labels.pop();
+    }
+    for occ in out.values_mut() {
+        occ.locations.sort_unstable();
+        occ.locations.dedup();
+    }
+    out
+}
+
+fn dfs(
+    g: &Graph,
+    start: NodeId,
+    cur: NodeId,
+    budget: usize,
+    on_path: &mut [bool],
+    labels: &mut Vec<Label>,
+    out: &mut HashMap<PathFeature, FeatureOccurrences>,
+) {
+    if budget == 0 {
+        return;
+    }
+    for &nb in g.neighbors(cur) {
+        if on_path[nb as usize] {
+            continue;
+        }
+        labels.push(g.label(nb));
+        on_path[nb as usize] = true;
+        record(out, labels, start);
+        dfs(g, start, nb, budget - 1, on_path, labels, out);
+        on_path[nb as usize] = false;
+        labels.pop();
+    }
+}
+
+fn record(out: &mut HashMap<PathFeature, FeatureOccurrences>, labels: &[Label], start: NodeId) {
+    let e = out.entry(labels.to_vec()).or_default();
+    e.count += 1;
+    e.locations.push(start);
+}
+
+/// Extracts only the query-side feature counts (locations are not needed on
+/// the query side).
+pub fn query_feature_counts(query: &Graph, max_edges: usize) -> HashMap<PathFeature, u32> {
+    extract_features(query, max_edges).into_iter().map(|(f, o)| (f, o.count)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::graph::graph_from_parts;
+
+    #[test]
+    fn single_node_has_one_feature() {
+        let g = graph_from_parts(&[7], &[]);
+        let f = extract_features(&g, 3);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[&vec![7]].count, 1);
+        assert_eq!(f[&vec![7]].locations, vec![0]);
+    }
+
+    #[test]
+    fn edge_yields_directed_paths() {
+        let g = graph_from_parts(&[1, 2], &[(0, 1)]);
+        let f = extract_features(&g, 3);
+        // Features: [1], [2], [1,2], [2,1].
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[&vec![1, 2]].count, 1);
+        assert_eq!(f[&vec![1, 2]].locations, vec![0]);
+        assert_eq!(f[&vec![2, 1]].locations, vec![1]);
+    }
+
+    #[test]
+    fn path_counts_on_triangle() {
+        let g = graph_from_parts(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]);
+        let f = extract_features(&g, 2);
+        // Directed length-1 paths: 6 of [0,0]; length-2: 6 of [0,0,0].
+        assert_eq!(f[&vec![0, 0]].count, 6);
+        assert_eq!(f[&vec![0, 0, 0]].count, 6);
+        assert_eq!(f[&vec![0]].count, 3);
+        // Every node starts paths of every kind.
+        assert_eq!(f[&vec![0, 0, 0]].locations, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn max_edges_zero_keeps_only_node_labels() {
+        let g = graph_from_parts(&[1, 2], &[(0, 1)]);
+        let f = extract_features(&g, 0);
+        assert_eq!(f.len(), 2);
+        assert!(f.contains_key(&vec![1]));
+        assert!(f.contains_key(&vec![2]));
+    }
+
+    #[test]
+    fn simple_paths_only_no_revisits() {
+        // Square: longest simple path from any node has 3 edges.
+        let g = graph_from_parts(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let f = extract_features(&g, 5);
+        let longest = f.keys().map(|k| k.len()).max().unwrap();
+        assert_eq!(longest, 4, "4 nodes max on a 4-cycle");
+    }
+
+    #[test]
+    fn query_counts_subset_of_graph_counts() {
+        // Soundness on a concrete containment pair.
+        let t = graph_from_parts(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let q = graph_from_parts(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let fq = query_feature_counts(&q, 3);
+        let ft = extract_features(&t, 3);
+        for (feat, cq) in fq {
+            let cg = ft.get(&feat).map_or(0, |o| o.count);
+            assert!(cq <= cg, "feature {feat:?}: query {cq} > graph {cg}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The path trie shared by the FTV indexes.
+//!
+//! Grapes indexes paths "in a trie", GGSX "in a suffix tree" (§3.1.1). Both
+//! map a label sequence to per-graph occurrence data; Grapes additionally
+//! stores start locations. The trie is label-keyed per level; lookups walk
+//! the label sequence.
+
+use crate::db::GraphId;
+use crate::paths::PathFeature;
+use psi_graph::{Label, NodeId};
+use std::collections::HashMap;
+
+/// Per-(feature, graph) posting: occurrence count and (optionally) start
+/// locations.
+#[derive(Debug, Clone, Default)]
+pub struct Posting {
+    /// Directed-path occurrence count of the feature in the graph.
+    pub count: u32,
+    /// Distinct start nodes (empty when the index stores no locations).
+    pub locations: Vec<NodeId>,
+}
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: HashMap<Label, usize>,
+    /// graph id → posting for the path ending at this node.
+    postings: HashMap<GraphId, Posting>,
+}
+
+/// A label-path trie holding per-graph postings at every node.
+#[derive(Debug)]
+pub struct PathTrie {
+    nodes: Vec<TrieNode>,
+    store_locations: bool,
+}
+
+impl PathTrie {
+    /// Creates an empty trie; `store_locations` controls whether insert
+    /// keeps start-node lists (Grapes) or drops them (GGSX).
+    pub fn new(store_locations: bool) -> Self {
+        Self { nodes: vec![TrieNode::default()], store_locations }
+    }
+
+    /// Whether this trie keeps location information.
+    pub fn stores_locations(&self) -> bool {
+        self.store_locations
+    }
+
+    /// Number of trie nodes (root included). Diagnostic.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Inserts (or merges) a posting for `feature` in `graph`.
+    pub fn insert(&mut self, feature: &[Label], graph: GraphId, count: u32, locations: &[NodeId]) {
+        let mut cur = 0usize;
+        for &l in feature {
+            let next = match self.nodes[cur].children.get(&l) {
+                Some(&i) => i,
+                None => {
+                    let i = self.nodes.len();
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[cur].children.insert(l, i);
+                    i
+                }
+            };
+            cur = next;
+        }
+        let posting = self.nodes[cur].postings.entry(graph).or_default();
+        posting.count += count;
+        if self.store_locations {
+            posting.locations.extend_from_slice(locations);
+            posting.locations.sort_unstable();
+            posting.locations.dedup();
+        }
+    }
+
+    /// Looks up the postings of an exact feature, if indexed anywhere.
+    pub fn get(&self, feature: &[Label]) -> Option<&HashMap<GraphId, Posting>> {
+        let mut cur = 0usize;
+        for &l in feature {
+            cur = *self.nodes[cur].children.get(&l)?;
+        }
+        if self.nodes[cur].postings.is_empty() {
+            None
+        } else {
+            Some(&self.nodes[cur].postings)
+        }
+    }
+
+    /// Occurrence count of `feature` in `graph` (0 if absent).
+    pub fn count(&self, feature: &[Label], graph: GraphId) -> u32 {
+        self.get(feature).and_then(|p| p.get(&graph)).map_or(0, |p| p.count)
+    }
+
+    /// Total number of distinct features stored.
+    pub fn feature_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.postings.is_empty()).count()
+    }
+}
+
+/// Builds a trie over every graph's features.
+pub fn build_trie(
+    features_per_graph: impl IntoIterator<Item = (GraphId, HashMap<PathFeature, crate::paths::FeatureOccurrences>)>,
+    store_locations: bool,
+) -> PathTrie {
+    let mut trie = PathTrie::new(store_locations);
+    for (gid, features) in features_per_graph {
+        for (feat, occ) in features {
+            trie.insert(&feat, gid, occ.count, &occ.locations);
+        }
+    }
+    trie
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = PathTrie::new(true);
+        t.insert(&[1, 2, 3], 0, 5, &[10, 11]);
+        t.insert(&[1, 2], 0, 2, &[10]);
+        t.insert(&[1, 2, 3], 1, 1, &[0]);
+        assert_eq!(t.count(&[1, 2, 3], 0), 5);
+        assert_eq!(t.count(&[1, 2, 3], 1), 1);
+        assert_eq!(t.count(&[1, 2], 0), 2);
+        assert_eq!(t.count(&[1, 2], 1), 0);
+        assert_eq!(t.count(&[9], 0), 0);
+        let postings = t.get(&[1, 2, 3]).unwrap();
+        assert_eq!(postings[&0].locations, vec![10, 11]);
+    }
+
+    #[test]
+    fn merge_postings_dedups_locations() {
+        let mut t = PathTrie::new(true);
+        t.insert(&[4], 0, 1, &[3]);
+        t.insert(&[4], 0, 2, &[3, 5]);
+        assert_eq!(t.count(&[4], 0), 3);
+        assert_eq!(t.get(&[4]).unwrap()[&0].locations, vec![3, 5]);
+    }
+
+    #[test]
+    fn location_free_trie_drops_locations() {
+        let mut t = PathTrie::new(false);
+        t.insert(&[4], 0, 1, &[3]);
+        assert!(t.get(&[4]).unwrap()[&0].locations.is_empty());
+        assert!(!t.stores_locations());
+    }
+
+    #[test]
+    fn prefix_without_posting_is_none() {
+        let mut t = PathTrie::new(true);
+        t.insert(&[1, 2, 3], 0, 1, &[0]);
+        // [1] and [1,2] exist as trie nodes but carry no postings.
+        assert!(t.get(&[1]).is_none());
+        assert!(t.get(&[1, 2]).is_none());
+        assert!(t.get(&[1, 2, 3]).is_some());
+        assert_eq!(t.feature_count(), 1);
+    }
+
+    #[test]
+    fn empty_feature_is_root() {
+        let t = PathTrie::new(true);
+        assert!(t.get(&[]).is_none());
+        assert_eq!(t.node_count(), 1);
+    }
+}

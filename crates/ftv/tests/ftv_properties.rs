@@ -1,0 +1,94 @@
+//! Property tests for the FTV layer: feature-count monotonicity (the
+//! soundness backbone of the filters), trie consistency with direct
+//! extraction, and Grapes/GGSX cross-agreement.
+
+use proptest::prelude::*;
+use psi_ftv::paths::{extract_features, query_feature_counts};
+use psi_ftv::{GgsxIndex, GraphDb, GrapesIndex};
+use psi_graph::generate::{random_connected_graph, LabelDist};
+use psi_graph::Graph;
+use psi_matchers::SearchBudget;
+use psi_workload::QueryGen;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rand_graph(seed: u64, n: usize, m: usize) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+    random_connected_graph(n, m, &labels, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Subgraph monotonicity: a query grown *from* a graph has feature
+    /// counts dominated by that graph's counts, for every max path length.
+    /// This is the exact condition making the count filter sound.
+    #[test]
+    fn prop_feature_counts_monotone(seed in 0u64..50_000, max_edges in 0usize..4) {
+        let g = rand_graph(seed, 16, 26);
+        if let Some(q) = QueryGen::new(seed ^ 1).query_from_graph(&g, 5) {
+            let gfeat = extract_features(&g, max_edges);
+            for (feat, qcount) in query_feature_counts(&q, max_edges) {
+                let gcount = gfeat.get(&feat).map_or(0, |o| o.count);
+                prop_assert!(
+                    qcount <= gcount,
+                    "feature {:?}: query {} > graph {}", feat, qcount, gcount
+                );
+            }
+        }
+    }
+
+    /// Location lists are consistent: every recorded location really starts
+    /// at least one path with that label sequence (checked via label of the
+    /// start node = first label of the feature).
+    #[test]
+    fn prop_locations_start_with_feature_head(seed in 0u64..50_000) {
+        let g = rand_graph(seed, 12, 18);
+        for (feat, occ) in extract_features(&g, 3) {
+            for &loc in &occ.locations {
+                prop_assert_eq!(g.label(loc), feat[0], "location label mismatch");
+            }
+            prop_assert!(occ.count as usize >= occ.locations.len().min(1));
+        }
+    }
+
+    /// Grapes and GGSX return identical decision answers on random
+    /// databases (they differ in speed, never in answers).
+    #[test]
+    fn prop_engines_agree(seed in 0u64..20_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+        let db = GraphDb::new(
+            (0..4).map(|_| random_connected_graph(12, 18, &labels, &mut rng)).collect(),
+        );
+        let grapes = GrapesIndex::build(&db, 3, 1);
+        let ggsx = GgsxIndex::build(&db, 3);
+        let graphs: Vec<Graph> = db.iter().map(|(_, g)| (**g).clone()).collect();
+        if let Some((_, q)) = QueryGen::new(seed ^ 2).query_from_db(&graphs, 4) {
+            let a = grapes.query(&q, &SearchBudget::first_match()).matching_graphs;
+            let b = ggsx.query(&q, &SearchBudget::first_match()).matching_graphs;
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Verification through the index agrees with direct VF2 on the stored
+    /// graph (the index must never change answers, only skip work).
+    #[test]
+    fn prop_verify_graph_agrees_with_vf2(seed in 0u64..20_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+        let db = GraphDb::new(
+            (0..3).map(|_| random_connected_graph(12, 18, &labels, &mut rng)).collect(),
+        );
+        let grapes = GrapesIndex::build(&db, 3, 1);
+        let query = random_connected_graph(4, 4, &labels, &mut rng);
+        for (gid, g) in db.iter() {
+            let direct =
+                psi_matchers::vf2::vf2_search(&query, g, &SearchBudget::first_match()).found();
+            let via_index =
+                grapes.verify_graph(&query, gid, &SearchBudget::first_match()).found();
+            prop_assert_eq!(via_index, direct, "graph {}", gid);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Connected components and induced subgraph extraction.
+//!
+//! Grapes (§3.1.1 of the paper) uses indexed *location* information to
+//! extract, per candidate graph, the connected components relevant to the
+//! query and runs VF2 only against those. [`induced_subgraph`] is the
+//! primitive that enables that optimization; [`connected_components`] also
+//! backs the "# disconnected graphs" row of Table 1.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// Connected components of `g`, each as a sorted vector of node IDs.
+/// Components are returned in order of their smallest node ID.
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut out: Vec<Vec<NodeId>> = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let cid = out.len();
+        let mut members = Vec::new();
+        comp[start] = cid;
+        stack.push(start as NodeId);
+        while let Some(v) = stack.pop() {
+            members.push(v);
+            for &w in g.neighbors(v) {
+                if comp[w as usize] == usize::MAX {
+                    comp[w as usize] = cid;
+                    stack.push(w);
+                }
+            }
+        }
+        members.sort_unstable();
+        out.push(members);
+    }
+    out
+}
+
+/// Component ID of every node (`result[v]` indexes into the vector returned
+/// by [`connected_components`]).
+pub fn component_ids(g: &Graph) -> Vec<usize> {
+    let comps = connected_components(g);
+    let mut ids = vec![0usize; g.node_count()];
+    for (cid, members) in comps.iter().enumerate() {
+        for &v in members {
+            ids[v as usize] = cid;
+        }
+    }
+    ids
+}
+
+/// Extracts the subgraph of `g` induced by `nodes`, together with the
+/// mapping from new IDs to the original IDs (`mapping[new] = old`).
+///
+/// Nodes may be given in any order and may contain duplicates (deduplicated).
+/// Edges of `g` with both endpoints in `nodes` are preserved, including edge
+/// labels.
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+    let mut mapping: Vec<NodeId> = nodes.to_vec();
+    mapping.sort_unstable();
+    mapping.dedup();
+    let mut new_id = vec![NodeId::MAX; g.node_count()];
+    for (new, &old) in mapping.iter().enumerate() {
+        new_id[old as usize] = new as NodeId;
+    }
+    let mut b = GraphBuilder::with_capacity(mapping.len(), mapping.len() * 2);
+    for &old in &mapping {
+        b.add_node(g.label(old));
+    }
+    for &old in &mapping {
+        for &nb in g.neighbors(old) {
+            if nb > old && new_id[nb as usize] != NodeId::MAX {
+                let (u, v) = (new_id[old as usize], new_id[nb as usize]);
+                if g.has_edge_labels() {
+                    let l = g.edge_label(old, nb).expect("edge exists");
+                    b.add_labeled_edge(u, v, l).expect("valid by construction");
+                } else {
+                    b.add_edge(u, v).expect("valid by construction");
+                }
+            }
+        }
+    }
+    (b.build().expect("valid by construction"), mapping)
+}
+
+/// Extracts each connected component of `g` as its own graph, with
+/// new→old node mappings.
+pub fn split_components(g: &Graph) -> Vec<(Graph, Vec<NodeId>)> {
+    connected_components(g).into_iter().map(|members| induced_subgraph(g, &members)).collect()
+}
+
+/// Whether `g` is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).len() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from_parts;
+
+    #[test]
+    fn single_component() {
+        let g = graph_from_parts(&[0; 4], &[(0, 1), (1, 2), (2, 3)]);
+        let cc = connected_components(&g);
+        assert_eq!(cc, vec![vec![0, 1, 2, 3]]);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_components_and_isolated_node() {
+        let g = graph_from_parts(&[0; 5], &[(0, 1), (2, 3)]);
+        let cc = connected_components(&g);
+        assert_eq!(cc, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert!(!is_connected(&g));
+        assert_eq!(component_ids(&g), vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = graph_from_parts(&[], &[]);
+        assert!(is_connected(&g));
+        assert!(connected_components(&g).is_empty());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        // Square 0-1-2-3-0 plus diagonal 0-2.
+        let g = graph_from_parts(&[10, 11, 12, 13], &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let (sub, mapping) = induced_subgraph(&g, &[0, 2, 3]);
+        assert_eq!(mapping, vec![0, 2, 3]);
+        assert_eq!(sub.node_count(), 3);
+        // Edges among {0,2,3}: (0,2), (2,3), (3,0) -> all three survive.
+        assert_eq!(sub.edge_count(), 3);
+        assert_eq!(sub.label(0), 10);
+        assert_eq!(sub.label(1), 12);
+        assert_eq!(sub.label(2), 13);
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_input() {
+        let g = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let (sub, mapping) = induced_subgraph(&g, &[1, 1, 0, 1]);
+        assert_eq!(mapping, vec![0, 1]);
+        assert_eq!(sub.edge_count(), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edge_labels() {
+        use crate::graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        b.add_nodes(&[0, 1, 2]);
+        b.add_labeled_edge(0, 1, 42).unwrap();
+        b.add_labeled_edge(1, 2, 43).unwrap();
+        let g = b.build().unwrap();
+        let (sub, _) = induced_subgraph(&g, &[0, 1]);
+        assert_eq!(sub.edge_label(0, 1), Some(42));
+    }
+
+    #[test]
+    fn split_components_roundtrip() {
+        let g = graph_from_parts(&[0, 1, 2, 3], &[(0, 1), (2, 3)]);
+        let parts = split_components(&g);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0.node_count(), 2);
+        assert_eq!(parts[0].1, vec![0, 1]);
+        assert_eq!(parts[1].0.label(0), 2);
+    }
+}

@@ -1,0 +1,427 @@
+//! Random graph generators.
+//!
+//! Three generator families cover the structural regimes of the paper's
+//! datasets:
+//!
+//! * [`graphgen_db`] — a GraphGen-style generator (random connected graphs
+//!   with target average node count and density, uniform labels), matching
+//!   the synthetic FTV dataset of Table 1. GraphGen itself is parameterized
+//!   by number of graphs, average nodes, density and label count; we expose
+//!   the same knobs through [`GraphGenConfig`].
+//! * [`preferential_attachment`] — Barabási–Albert-style generator producing
+//!   dense, hub-heavy graphs (human-like regime of Table 2).
+//! * [`sparse_tree_like`] — a tree plus a small fraction of extra edges,
+//!   producing very sparse, path-dominated graphs (wordnet-like regime:
+//!   §6.2 explains that most generated queries on such graphs are paths).
+//!
+//! Labels are drawn from a [`LabelDist`]: uniform, or Zipf-skewed to model
+//! wordnet's "5 labels, highly skewed" distribution.
+
+use crate::graph::{Graph, GraphBuilder, Label, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Distribution over the label alphabet `0..num_labels`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabelDist {
+    /// Each label equally likely.
+    Uniform {
+        /// Size of the label alphabet.
+        num_labels: u32,
+    },
+    /// Zipf-like: label `i` has weight `1 / (i + 1)^exponent`. Higher
+    /// exponents concentrate mass on the first few labels.
+    Zipf {
+        /// Size of the label alphabet.
+        num_labels: u32,
+        /// Skew exponent (0 = uniform; wordnet-like skew needs ≥ 1.5).
+        exponent: f64,
+    },
+}
+
+impl LabelDist {
+    /// Size of the label alphabet.
+    pub fn num_labels(&self) -> u32 {
+        match *self {
+            LabelDist::Uniform { num_labels } | LabelDist::Zipf { num_labels, .. } => num_labels,
+        }
+    }
+
+    /// Builds a reusable sampler (precomputes the cumulative weight table
+    /// for the Zipf case).
+    pub fn sampler(&self) -> LabelSampler {
+        match *self {
+            LabelDist::Uniform { num_labels } => {
+                assert!(num_labels > 0, "label alphabet must be non-empty");
+                LabelSampler { cumulative: Vec::new(), num_labels }
+            }
+            LabelDist::Zipf { num_labels, exponent } => {
+                assert!(num_labels > 0, "label alphabet must be non-empty");
+                let mut cumulative = Vec::with_capacity(num_labels as usize);
+                let mut acc = 0.0f64;
+                for i in 0..num_labels {
+                    acc += 1.0 / ((i + 1) as f64).powf(exponent);
+                    cumulative.push(acc);
+                }
+                LabelSampler { cumulative, num_labels }
+            }
+        }
+    }
+}
+
+/// Reusable label sampler built from a [`LabelDist`].
+#[derive(Debug, Clone)]
+pub struct LabelSampler {
+    /// Empty for the uniform case.
+    cumulative: Vec<f64>,
+    num_labels: u32,
+}
+
+impl LabelSampler {
+    /// Draws one label.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Label {
+        if self.cumulative.is_empty() {
+            return rng.random_range(0..self.num_labels);
+        }
+        let total = *self.cumulative.last().expect("non-empty alphabet");
+        let x = rng.random_range(0.0..total);
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("finite")) {
+            Ok(i) | Err(i) => (i as Label).min(self.num_labels - 1),
+        }
+    }
+}
+
+/// Generates one random **connected** graph with `n` nodes and (about) `m`
+/// edges: a uniform random spanning tree first (guaranteeing connectivity),
+/// then uniformly random extra edges until `m` distinct edges exist.
+///
+/// `m` is clamped into `[n - 1, n(n-1)/2]`; for `n <= 1` an edgeless graph
+/// is produced.
+pub fn random_connected_graph<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    labels: &LabelSampler,
+    rng: &mut R,
+) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..n {
+        let l = labels.sample(rng);
+        b.add_node(l);
+    }
+    if n <= 1 {
+        return b.build().expect("valid by construction");
+    }
+    let max_m = n * (n - 1) / 2;
+    let m = m.clamp(n - 1, max_m);
+
+    // Random spanning tree: attach each node (in random order) to a random
+    // earlier node. This yields a connected backbone with n-1 edges.
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(rng);
+    let mut edge_set = std::collections::HashSet::with_capacity(m);
+    for i in 1..n {
+        let u = order[i];
+        let v = order[rng.random_range(0..i)];
+        let e = (u.min(v), u.max(v));
+        edge_set.insert(e);
+    }
+    // Extra random edges up to m. Dense targets fall back to enumeration to
+    // avoid rejection-sampling pathologies near the complete graph.
+    if m > edge_set.len() {
+        let want = m - edge_set.len();
+        if m * 3 > max_m * 2 {
+            let mut all: Vec<(NodeId, NodeId)> = Vec::with_capacity(max_m);
+            for u in 0..n as NodeId {
+                for v in (u + 1)..n as NodeId {
+                    if !edge_set.contains(&(u, v)) {
+                        all.push((u, v));
+                    }
+                }
+            }
+            all.shuffle(rng);
+            for e in all.into_iter().take(want) {
+                edge_set.insert(e);
+            }
+        } else {
+            while edge_set.len() < m {
+                let u = rng.random_range(0..n as NodeId);
+                let v = rng.random_range(0..n as NodeId);
+                if u != v {
+                    edge_set.insert((u.min(v), u.max(v)));
+                }
+            }
+        }
+    }
+    for (u, v) in edge_set {
+        b.add_edge(u, v).expect("valid by construction");
+    }
+    b.build().expect("valid by construction")
+}
+
+/// Configuration of the GraphGen-style database generator (paper §3.3 /
+/// Table 1, synthetic dataset: 1000 graphs, avg 1100 nodes, density 0.02,
+/// 20 labels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphGenConfig {
+    /// Number of graphs in the database.
+    pub num_graphs: usize,
+    /// Mean node count per graph.
+    pub avg_nodes: usize,
+    /// Standard deviation of the node count per graph.
+    pub stddev_nodes: usize,
+    /// Target density per graph (`2m / n(n-1)`).
+    pub density: f64,
+    /// Label distribution over nodes.
+    pub labels: LabelDist,
+}
+
+/// Generates a database of random connected graphs per [`GraphGenConfig`].
+pub fn graphgen_db<R: Rng + ?Sized>(cfg: &GraphGenConfig, rng: &mut R) -> Vec<Graph> {
+    let sampler = cfg.labels.sampler();
+    (0..cfg.num_graphs)
+        .map(|_| {
+            let n = sample_node_count(cfg.avg_nodes, cfg.stddev_nodes, rng);
+            let m = (cfg.density * (n as f64) * (n as f64 - 1.0) / 2.0).round() as usize;
+            random_connected_graph(n, m, &sampler, rng)
+        })
+        .collect()
+}
+
+/// Approximately-normal node count: mean ± stddev via the Irwin–Hall sum of
+/// 12 uniforms, clamped to at least 2 nodes.
+fn sample_node_count<R: Rng + ?Sized>(avg: usize, stddev: usize, rng: &mut R) -> usize {
+    let z: f64 = (0..12).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() - 6.0;
+    let n = avg as f64 + z * stddev as f64;
+    n.max(2.0).round() as usize
+}
+
+/// Barabási–Albert-style preferential attachment: every new node attaches to
+/// `edges_per_node` distinct existing nodes chosen proportionally to degree.
+/// Produces hub-heavy degree distributions (high stddev of degree, like the
+/// human dataset in Table 2).
+pub fn preferential_attachment<R: Rng + ?Sized>(
+    n: usize,
+    edges_per_node: usize,
+    labels: &LabelSampler,
+    rng: &mut R,
+) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * edges_per_node);
+    for _ in 0..n {
+        let l = labels.sample(rng);
+        b.add_node(l);
+    }
+    if n <= 1 {
+        return b.build().expect("valid by construction");
+    }
+    let m = edges_per_node.max(1);
+    // `endpoints` holds one entry per edge endpoint, so sampling uniformly
+    // from it is degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    // Seed: a path over the first min(m+1, n) nodes.
+    let seed = (m + 1).min(n);
+    for i in 1..seed {
+        b.add_edge(i as NodeId - 1, i as NodeId).expect("valid");
+        endpoints.push(i as NodeId - 1);
+        endpoints.push(i as NodeId);
+    }
+    for v in seed..n {
+        let v = v as NodeId;
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            guard += 1;
+            let u = endpoints[rng.random_range(0..endpoints.len())];
+            if u != v && !chosen.contains(&u) {
+                chosen.push(u);
+            }
+        }
+        for u in chosen {
+            b.add_edge(u, v).expect("valid");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    b.build().expect("valid by construction")
+}
+
+/// A random tree over `n` nodes plus `extra_edges` random non-tree edges.
+/// With `extra_edges` small relative to `n`, the result is a very sparse,
+/// low-degree, path-dominated graph (the wordnet regime).
+pub fn sparse_tree_like<R: Rng + ?Sized>(
+    n: usize,
+    extra_edges: usize,
+    labels: &LabelSampler,
+    rng: &mut R,
+) -> Graph {
+    random_connected_graph(n, n.saturating_sub(1) + extra_edges, labels, rng)
+}
+
+/// A database whose graphs are each the disjoint union of `components`
+/// random connected graphs — used to model the PPI dataset, all 20 graphs of
+/// which are disconnected (Table 1).
+pub fn disconnected_graph<R: Rng + ?Sized>(
+    component_sizes: &[(usize, usize)],
+    labels: &LabelSampler,
+    rng: &mut R,
+) -> Graph {
+    let total_nodes: usize = component_sizes.iter().map(|&(n, _)| n).sum();
+    let total_edges: usize = component_sizes.iter().map(|&(_, m)| m).sum();
+    let mut b = GraphBuilder::with_capacity(total_nodes, total_edges);
+    let mut base: NodeId = 0;
+    for &(n, m) in component_sizes {
+        let part = random_connected_graph(n, m, labels, rng);
+        for v in part.nodes() {
+            b.add_node(part.label(v));
+        }
+        for (u, v) in part.edges() {
+            b.add_edge(base + u, base + v).expect("valid by construction");
+        }
+        base += n as NodeId;
+    }
+    b.build().expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{connected_components, is_connected};
+    use crate::stats::LabelStats;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn connected_graph_is_connected_and_sized() {
+        let mut r = rng();
+        let s = LabelDist::Uniform { num_labels: 5 }.sampler();
+        for &(n, m) in &[(2usize, 1usize), (10, 9), (10, 20), (50, 200), (7, 100)] {
+            let g = random_connected_graph(n, m, &s, &mut r);
+            assert_eq!(g.node_count(), n);
+            assert!(is_connected(&g), "n={n} m={m}");
+            let max_m = n * (n - 1) / 2;
+            assert_eq!(g.edge_count(), m.clamp(n - 1, max_m));
+            assert!(g.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn connected_graph_trivial_sizes() {
+        let mut r = rng();
+        let s = LabelDist::Uniform { num_labels: 3 }.sampler();
+        assert_eq!(random_connected_graph(0, 0, &s, &mut r).node_count(), 0);
+        assert_eq!(random_connected_graph(1, 5, &s, &mut r).edge_count(), 0);
+    }
+
+    #[test]
+    fn dense_target_reaches_complete_graph() {
+        let mut r = rng();
+        let s = LabelDist::Uniform { num_labels: 2 }.sampler();
+        let g = random_connected_graph(8, 1000, &s, &mut r);
+        assert_eq!(g.edge_count(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn graphgen_db_matches_config() {
+        let mut r = rng();
+        let cfg = GraphGenConfig {
+            num_graphs: 20,
+            avg_nodes: 60,
+            stddev_nodes: 10,
+            density: 0.1,
+            labels: LabelDist::Uniform { num_labels: 8 },
+        };
+        let db = graphgen_db(&cfg, &mut r);
+        assert_eq!(db.len(), 20);
+        let avg_n: f64 = db.iter().map(|g| g.node_count() as f64).sum::<f64>() / 20.0;
+        assert!((avg_n - 60.0).abs() < 15.0, "avg nodes {avg_n}");
+        let avg_density: f64 = db.iter().map(|g| g.density()).sum::<f64>() / 20.0;
+        assert!((avg_density - 0.1).abs() < 0.03, "avg density {avg_density}");
+        for g in &db {
+            assert!(is_connected(g));
+            assert!(g.max_label().unwrap_or(0) < 8);
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_is_skewed() {
+        let mut r = rng();
+        let s = LabelDist::Zipf { num_labels: 5, exponent: 2.0 }.sampler();
+        let mut counts = [0usize; 5];
+        for _ in 0..20_000 {
+            counts[s.sample(&mut r) as usize] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+        // Head label takes the majority share under exponent 2.
+        assert!(counts[0] as f64 > 0.5 * 20_000.0, "head share {}", counts[0]);
+    }
+
+    #[test]
+    fn uniform_sampler_is_flat() {
+        let mut r = rng();
+        let s = LabelDist::Uniform { num_labels: 4 }.sampler();
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[s.sample(&mut r) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_has_hubs() {
+        let mut r = rng();
+        let s = LabelDist::Uniform { num_labels: 10 }.sampler();
+        let g = preferential_attachment(500, 4, &s, &mut r);
+        assert!(is_connected(&g));
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        let avg = g.avg_degree();
+        assert!(max_deg as f64 > 4.0 * avg, "hubiness: max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    fn sparse_tree_like_is_sparse() {
+        let mut r = rng();
+        let s = LabelDist::Zipf { num_labels: 5, exponent: 1.5 }.sampler();
+        let g = sparse_tree_like(1000, 50, &s, &mut r);
+        assert!(is_connected(&g));
+        assert_eq!(g.edge_count(), 999 + 50);
+        assert!(g.avg_degree() < 3.0);
+    }
+
+    #[test]
+    fn disconnected_graph_has_requested_components() {
+        let mut r = rng();
+        let s = LabelDist::Uniform { num_labels: 4 }.sampler();
+        let g = disconnected_graph(&[(10, 15), (20, 25), (5, 4)], &s, &mut r);
+        assert_eq!(g.node_count(), 35);
+        assert_eq!(g.edge_count(), 44);
+        assert_eq!(connected_components(&g).len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = LabelDist::Uniform { num_labels: 6 }.sampler();
+        let mut r1 = ChaCha8Rng::seed_from_u64(99);
+        let mut r2 = ChaCha8Rng::seed_from_u64(99);
+        let g1 = random_connected_graph(40, 100, &s, &mut r1);
+        let g2 = random_connected_graph(40, 100, &s, &mut r2);
+        assert_eq!(g1, g2);
+        let mut r3 = ChaCha8Rng::seed_from_u64(100);
+        let g3 = random_connected_graph(40, 100, &s, &mut r3);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn label_stats_reflect_zipf_skew() {
+        let mut r = rng();
+        let s = LabelDist::Zipf { num_labels: 5, exponent: 2.0 }.sampler();
+        let g = random_connected_graph(2000, 4000, &s, &mut r);
+        let ls = LabelStats::from_graph(&g);
+        assert!(ls.stddev_frequency() > ls.avg_frequency() * 0.8, "skew too weak");
+    }
+}

@@ -1,0 +1,555 @@
+//! The core [`Graph`] type (CSR storage) and its [`GraphBuilder`].
+//!
+//! Definition 1 of the paper: a graph `G = (V, E, L)` with a label on every
+//! vertex and (optionally) on every edge. All graphs in this codebase are
+//! **undirected** and **simple** (no parallel edges; self-loops are rejected
+//! at build time, matching every dataset used in the paper). Node IDs are
+//! dense integers `0..n`, which is precisely the property the paper's
+//! isomorphic rewritings permute.
+
+use std::fmt;
+
+/// Dense node identifier within a single graph (`0..n`).
+///
+/// The *assignment* of these IDs is semantically meaningful in this codebase:
+/// subgraph-isomorphism algorithms break heuristic ties by node ID, so two
+/// isomorphic graphs that differ only in ID assignment can have wildly
+/// different matching times (the paper's Observation 2).
+pub type NodeId = u32;
+
+/// Interned label identifier. The paper's label alphabet `L` is mapped to
+/// dense integers by the loader/generator.
+pub type Label = u32;
+
+/// Errors produced while building or validating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referred to a node that was never added.
+    NodeOutOfRange { node: NodeId, num_nodes: usize },
+    /// A self-loop `(v, v)` was supplied.
+    SelfLoop { node: NodeId },
+    /// The same undirected edge was supplied twice with conflicting labels.
+    ConflictingEdgeLabel { u: NodeId, v: NodeId },
+    /// More than `u32::MAX` nodes were requested.
+    TooManyNodes,
+    /// Parse error from the text loader (see [`crate::io`]).
+    Parse { line: usize, msg: String },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "edge endpoint {node} out of range (graph has {num_nodes} nodes)")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
+            GraphError::ConflictingEdgeLabel { u, v } => {
+                write!(f, "edge ({u},{v}) supplied twice with different labels")
+            }
+            GraphError::TooManyNodes => write!(f, "graph exceeds u32::MAX nodes"),
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable, undirected, vertex-labeled graph in CSR form.
+///
+/// Storage layout (per the Rust Performance Book's advice on compact,
+/// cache-friendly collections):
+///
+/// * `labels[v]` — label of node `v`;
+/// * `offsets[v]..offsets[v + 1]` — the slice of `neighbors` holding `v`'s
+///   adjacency list, **sorted ascending** (so `has_edge` is a binary search);
+/// * `edge_labels` — optional, parallel to `neighbors`.
+///
+/// Construction goes through [`GraphBuilder`], which establishes the
+/// invariants above; they are relied upon (not re-checked) by the matchers.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    labels: Vec<Label>,
+    offsets: Vec<u32>,
+    neighbors: Vec<NodeId>,
+    edge_labels: Option<Vec<Label>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Label of node `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// All node labels, indexed by node ID.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Sorted adjacency list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of `v` (number of incident edges).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Whether the undirected edge `(u, v)` exists. `O(log deg(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u as usize >= self.node_count() || v as usize >= self.node_count() {
+            return false;
+        }
+        // Search the shorter adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Label of edge `(u, v)`, if the graph is edge-labeled and the edge
+    /// exists.
+    pub fn edge_label(&self, u: NodeId, v: NodeId) -> Option<Label> {
+        let els = self.edge_labels.as_ref()?;
+        if u as usize >= self.node_count() {
+            return None;
+        }
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        let idx = self.neighbors[lo..hi].binary_search(&v).ok()?;
+        Some(els[lo + idx])
+    }
+
+    /// Whether edges carry labels.
+    #[inline]
+    pub fn has_edge_labels(&self) -> bool {
+        self.edge_labels.is_some()
+    }
+
+    /// Iterator over node IDs `0..n`.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.node_count() as NodeId
+    }
+
+    /// Iterator over undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Iterator over undirected labeled edges `(u, v, edge_label)` with
+    /// `u < v`; `edge_label` is 0 for unlabeled graphs.
+    pub fn labeled_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Label)> + '_ {
+        self.edges().map(move |(u, v)| (u, v, self.edge_label(u, v).unwrap_or(0)))
+    }
+
+    /// Largest label value present on a node, or `None` for the empty graph.
+    pub fn max_label(&self) -> Option<Label> {
+        self.labels.iter().copied().max()
+    }
+
+    /// Graph density `2|E| / (|V| (|V|-1))`, as reported in Tables 1–2.
+    pub fn density(&self) -> f64 {
+        let n = self.node_count() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / (n * (n - 1.0))
+    }
+
+    /// Average degree `2|E| / |V|`.
+    pub fn avg_degree(&self) -> f64 {
+        let n = self.node_count() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / n
+    }
+
+    /// Checks internal CSR invariants. Used by tests and debug assertions;
+    /// `Graph` values produced by [`GraphBuilder`] always satisfy this.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.node_count();
+        if self.offsets.len() != n + 1 {
+            return Err(format!("offsets.len() = {}, expected {}", self.offsets.len(), n + 1));
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets[0] != 0".into());
+        }
+        if *self.offsets.last().unwrap() as usize != self.neighbors.len() {
+            return Err("offsets tail != neighbors.len()".into());
+        }
+        if self.neighbors.len() != 2 * self.num_edges {
+            return Err(format!(
+                "neighbors.len() = {} but num_edges = {}",
+                self.neighbors.len(),
+                self.num_edges
+            ));
+        }
+        if let Some(els) = &self.edge_labels {
+            if els.len() != self.neighbors.len() {
+                return Err("edge_labels length mismatch".into());
+            }
+        }
+        for v in 0..n {
+            let adj = self.neighbors(v as NodeId);
+            for w in adj.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("adjacency of {v} not strictly sorted"));
+                }
+            }
+            for &u in adj {
+                if u as usize >= n {
+                    return Err(format!("neighbor {u} of {v} out of range"));
+                }
+                if u == v as NodeId {
+                    return Err(format!("self-loop on {v}"));
+                }
+                if !self.has_edge(u, v as NodeId) {
+                    return Err(format!("edge ({v},{u}) not symmetric"));
+                }
+                if self.edge_label(v as NodeId, u) != self.edge_label(u, v as NodeId) {
+                    return Err(format!("edge label ({v},{u}) not symmetric"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={}", self.node_count(), self.edge_count())?;
+        if self.node_count() <= 16 {
+            write!(f, ", labels={:?}, edges={:?}", self.labels, self.edges().collect::<Vec<_>>())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Nodes receive consecutive IDs in insertion order; edges may be added in
+/// any order and are deduplicated. `build` validates endpoints, rejects
+/// self-loops, sorts adjacency lists and produces the CSR representation.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    edges: Vec<(NodeId, NodeId, Label)>,
+    edge_labeled: bool,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with capacity hints.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            edge_labeled: false,
+        }
+    }
+
+    /// Adds a node with the given label, returning its ID.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = self.labels.len() as NodeId;
+        self.labels.push(label);
+        id
+    }
+
+    /// Adds several nodes at once from a label slice; returns the ID of the
+    /// first one.
+    pub fn add_nodes(&mut self, labels: &[Label]) -> NodeId {
+        let first = self.labels.len() as NodeId;
+        self.labels.extend_from_slice(labels);
+        first
+    }
+
+    /// Adds the undirected edge `(u, v)` with edge label 0.
+    ///
+    /// Endpoint validation is deferred to [`GraphBuilder::build`] except for
+    /// the self-loop check, which fails fast.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.edges.push((u.min(v), u.max(v), 0));
+        Ok(())
+    }
+
+    /// Adds the undirected edge `(u, v)` with an explicit edge label. The
+    /// resulting graph reports `has_edge_labels() == true`.
+    pub fn add_labeled_edge(&mut self, u: NodeId, v: NodeId, label: Label) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.edge_labeled = true;
+        self.edges.push((u.min(v), u.max(v), label));
+        Ok(())
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Finalizes the graph, validating endpoints and normalizing storage.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let n = self.labels.len();
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes);
+        }
+
+        // Validate, dedup and detect conflicting duplicate labels.
+        let mut edges = self.edges;
+        for &(u, v, _) in &edges {
+            if u as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, num_nodes: n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, num_nodes: n });
+            }
+        }
+        edges.sort_unstable();
+        let mut deduped: Vec<(NodeId, NodeId, Label)> = Vec::with_capacity(edges.len());
+        for e in edges {
+            match deduped.last() {
+                Some(&(pu, pv, pl)) if pu == e.0 && pv == e.1 => {
+                    if pl != e.2 {
+                        return Err(GraphError::ConflictingEdgeLabel { u: e.0, v: e.1 });
+                    }
+                }
+                _ => deduped.push(e),
+            }
+        }
+
+        // Counting sort into CSR.
+        let mut degree = vec![0u32; n];
+        for &(u, v, _) in &deduped {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as NodeId; deduped.len() * 2];
+        let mut edge_labels =
+            if self.edge_labeled { Some(vec![0 as Label; deduped.len() * 2]) } else { None };
+        for &(u, v, l) in &deduped {
+            let cu = cursor[u as usize] as usize;
+            neighbors[cu] = v;
+            if let Some(els) = edge_labels.as_mut() {
+                els[cu] = l;
+            }
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            neighbors[cv] = u;
+            if let Some(els) = edge_labels.as_mut() {
+                els[cv] = l;
+            }
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency list (keeping edge labels aligned).
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            match edge_labels.as_mut() {
+                None => neighbors[lo..hi].sort_unstable(),
+                Some(els) => {
+                    let mut zipped: Vec<(NodeId, Label)> =
+                        neighbors[lo..hi].iter().copied().zip(els[lo..hi].iter().copied()).collect();
+                    zipped.sort_unstable();
+                    for (i, (nb, el)) in zipped.into_iter().enumerate() {
+                        neighbors[lo + i] = nb;
+                        els[lo + i] = el;
+                    }
+                }
+            }
+        }
+
+        let g = Graph { labels: self.labels, offsets, neighbors, edge_labels, num_edges: deduped.len() };
+        debug_assert_eq!(g.check_invariants(), Ok(()));
+        Ok(g)
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples: builds a
+/// graph from a label slice and an edge list.
+///
+/// # Panics
+/// Panics on invalid input (out-of-range endpoints or self-loops); use
+/// [`GraphBuilder`] for fallible construction.
+pub fn graph_from_parts(labels: &[Label], edges: &[(NodeId, NodeId)]) -> Graph {
+    let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
+    b.add_nodes(labels);
+    for &(u, v) in edges {
+        b.add_edge(u, v).expect("invalid edge");
+    }
+    b.build().expect("invalid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.density(), 0.0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.max_label(), None);
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn single_node() {
+        let mut b = GraphBuilder::new();
+        b.add_node(7);
+        let g = b.build().unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.label(0), 7);
+        assert_eq!(g.degree(0), 0);
+        assert!(g.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn triangle() {
+        let g = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.edge_count(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(2, 0));
+        assert_eq!(g.edges().count(), 3);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduped() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(&[0, 0]);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0);
+        assert_eq!(b.add_edge(0, 0), Err(GraphError::SelfLoop { node: 0 }));
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0);
+        b.add_edge(0, 5).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::NodeOutOfRange { node: 5, .. })));
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let g = graph_from_parts(&[0; 5], &[(0, 4), (0, 2), (0, 1), (0, 3)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.degree(0), 4);
+    }
+
+    #[test]
+    fn edge_labels_roundtrip() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(&[0, 1, 2]);
+        b.add_labeled_edge(0, 1, 10).unwrap();
+        b.add_labeled_edge(1, 2, 20).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.has_edge_labels());
+        assert_eq!(g.edge_label(0, 1), Some(10));
+        assert_eq!(g.edge_label(1, 0), Some(10));
+        assert_eq!(g.edge_label(1, 2), Some(20));
+        assert_eq!(g.edge_label(0, 2), None);
+    }
+
+    #[test]
+    fn conflicting_edge_labels_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(&[0, 1]);
+        b.add_labeled_edge(0, 1, 1).unwrap();
+        b.add_labeled_edge(1, 0, 2).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::ConflictingEdgeLabel { .. })));
+    }
+
+    #[test]
+    fn duplicate_edge_same_label_ok() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(&[0, 1]);
+        b.add_labeled_edge(0, 1, 1).unwrap();
+        b.add_labeled_edge(1, 0, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_label(0, 1), Some(1));
+    }
+
+    #[test]
+    fn density_of_complete_graph_is_one() {
+        let g = graph_from_parts(&[0; 4], &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+        assert!((g.avg_degree() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labeled_edges_iterator() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(&[0, 1, 2]);
+        b.add_labeled_edge(2, 0, 5).unwrap();
+        b.add_labeled_edge(0, 1, 9).unwrap();
+        let g = b.build().unwrap();
+        let mut es: Vec<_> = g.labeled_edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1, 9), (0, 2, 5)]);
+    }
+
+    #[test]
+    fn has_edge_out_of_range_is_false() {
+        let g = graph_from_parts(&[0, 1], &[(0, 1)]);
+        assert!(!g.has_edge(0, 9));
+        assert!(!g.has_edge(9, 0));
+    }
+}

@@ -1,0 +1,244 @@
+//! Plain-text graph (de)serialization.
+//!
+//! The format is the transactional `t/v/e` format used by the tools of the
+//! Grapes/GGSX era (and by GraphGen), so datasets written by this crate can
+//! be eyeballed and diffed easily:
+//!
+//! ```text
+//! t # 0            # graph 0 starts
+//! v 0 4            # node 0 has label 4
+//! v 1 2
+//! e 0 1 0          # undirected edge (0,1) with edge label 0
+//! t # 1            # next graph ...
+//! ```
+//!
+//! Edge labels are optional on input; on output they are always written
+//! (0 for unlabeled graphs).
+
+use crate::graph::{Graph, GraphBuilder, GraphError, Label, NodeId};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serializes a database of graphs to the `t/v/e` format.
+pub fn write_db(graphs: &[Graph]) -> String {
+    let mut out = String::new();
+    for (i, g) in graphs.iter().enumerate() {
+        let _ = writeln!(out, "t # {i}");
+        for v in g.nodes() {
+            let _ = writeln!(out, "v {v} {}", g.label(v));
+        }
+        for (u, v, l) in g.labeled_edges() {
+            let _ = writeln!(out, "e {u} {v} {l}");
+        }
+    }
+    out
+}
+
+/// Serializes a single graph.
+pub fn write_graph(g: &Graph) -> String {
+    write_db(std::slice::from_ref(g))
+}
+
+/// Parses a database of graphs from the `t/v/e` format.
+///
+/// Rules, chosen to match the de-facto behaviour of the original tools:
+/// * `t # <id>` starts a new graph (the id itself is ignored; order defines
+///   the database index);
+/// * `v <id> <label>` — node ids must be dense and in increasing order;
+/// * `e <u> <v> [label]` — label defaults to 0;
+/// * blank lines and lines starting with `#` are ignored.
+pub fn parse_db(text: &str) -> Result<Vec<Graph>, GraphError> {
+    let mut graphs = Vec::new();
+    let mut current: Option<GraphBuilder> = None;
+    let mut edge_labeled = false;
+
+    fn finish(
+        b: Option<GraphBuilder>,
+        graphs: &mut Vec<Graph>,
+    ) -> Result<(), GraphError> {
+        if let Some(builder) = b {
+            graphs.push(builder.build()?);
+        }
+        Ok(())
+    }
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("non-empty line has a first token");
+        match tag {
+            "t" => {
+                finish(current.take(), &mut graphs)?;
+                current = Some(GraphBuilder::new());
+                edge_labeled = false;
+            }
+            "v" => {
+                let b = current.as_mut().ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    msg: "'v' before any 't' line".into(),
+                })?;
+                let id: NodeId = parse_num(parts.next(), lineno, "node id")?;
+                let label: Label = parse_num(parts.next(), lineno, "node label")?;
+                if id as usize != b.node_count() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        msg: format!("node ids must be dense/increasing; got {id}, expected {}", b.node_count()),
+                    });
+                }
+                b.add_node(label);
+            }
+            "e" => {
+                let b = current.as_mut().ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    msg: "'e' before any 't' line".into(),
+                })?;
+                let u: NodeId = parse_num(parts.next(), lineno, "edge endpoint")?;
+                let v: NodeId = parse_num(parts.next(), lineno, "edge endpoint")?;
+                match parts.next() {
+                    Some(tok) => {
+                        let l: Label = tok.parse().map_err(|_| GraphError::Parse {
+                            line: lineno,
+                            msg: format!("bad edge label '{tok}'"),
+                        })?;
+                        if l != 0 {
+                            edge_labeled = true;
+                        }
+                        if edge_labeled {
+                            b.add_labeled_edge(u, v, l)?;
+                        } else {
+                            b.add_edge(u, v)?;
+                        }
+                    }
+                    None => b.add_edge(u, v)?,
+                }
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    msg: format!("unknown record tag '{other}'"),
+                })
+            }
+        }
+    }
+    finish(current, &mut graphs)?;
+    Ok(graphs)
+}
+
+/// Parses a single graph; errors if the text contains zero or multiple
+/// graphs.
+pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
+    let mut db = parse_db(text)?;
+    match db.len() {
+        1 => Ok(db.pop().expect("len checked")),
+        n => Err(GraphError::Parse { line: 0, msg: format!("expected exactly 1 graph, found {n}") }),
+    }
+}
+
+/// Writes a database to a file.
+pub fn save_db(graphs: &[Graph], path: &Path) -> io::Result<()> {
+    fs::write(path, write_db(graphs))
+}
+
+/// Loads a database from a file.
+pub fn load_db(path: &Path) -> io::Result<Vec<Graph>> {
+    let text = fs::read_to_string(path)?;
+    parse_db(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn parse_num<T: std::str::FromStr>(
+    tok: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse { line, msg: format!("missing {what}") })?;
+    tok.parse().map_err(|_| GraphError::Parse { line, msg: format!("bad {what} '{tok}'") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from_parts;
+
+    #[test]
+    fn roundtrip_single_graph() {
+        let g = graph_from_parts(&[4, 2, 2], &[(0, 1), (1, 2)]);
+        let text = write_graph(&g);
+        let h = parse_graph(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn roundtrip_db() {
+        let g1 = graph_from_parts(&[0], &[]);
+        let g2 = graph_from_parts(&[1, 2], &[(0, 1)]);
+        let text = write_db(&[g1.clone(), g2.clone()]);
+        let db = parse_db(&text).unwrap();
+        assert_eq!(db, vec![g1, g2]);
+    }
+
+    #[test]
+    fn roundtrip_edge_labels() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(&[0, 1]);
+        b.add_labeled_edge(0, 1, 3).unwrap();
+        let g = b.build().unwrap();
+        let h = parse_graph(&write_graph(&g)).unwrap();
+        assert_eq!(h.edge_label(0, 1), Some(3));
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blanks() {
+        let text = "\n# header\nt # 0\nv 0 1\nv 1 1\n\ne 0 1\n";
+        let g = parse_graph(text).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge_labels());
+    }
+
+    #[test]
+    fn parse_defaults_edge_label_absent() {
+        let g = parse_graph("t # 0\nv 0 0\nv 1 0\ne 0 1 0\n").unwrap();
+        assert!(!g.has_edge_labels());
+    }
+
+    #[test]
+    fn parse_rejects_sparse_node_ids() {
+        let err = parse_db("t # 0\nv 5 0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_v_before_t() {
+        assert!(parse_db("v 0 0\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_db("t # 0\nx 1 2\n").is_err());
+        assert!(parse_db("t # 0\nv 0 zebra\n").is_err());
+        assert!(parse_db("t # 0\nv 0 0\ne 0\n").is_err());
+    }
+
+    #[test]
+    fn parse_graph_requires_exactly_one() {
+        assert!(parse_graph("").is_err());
+        assert!(parse_graph("t # 0\nv 0 0\nt # 1\nv 0 0\n").is_err());
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("psi_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.txt");
+        let g = graph_from_parts(&[1, 2, 3], &[(0, 1), (1, 2)]);
+        save_db(std::slice::from_ref(&g), &path).unwrap();
+        let db = load_db(&path).unwrap();
+        assert_eq!(db, vec![g]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Node-ID permutations — the mechanism behind isomorphic query rewritings.
+//!
+//! Definition 2 of the paper notes that "given a graph G, a graph G'
+//! isomorphic to G can be trivially produced by permuting the node IDs in G".
+//! Every rewriting in `psi-rewrite` reduces to constructing a [`Permutation`]
+//! and applying it here.
+
+use crate::graph::{Graph, GraphBuilder, Label, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A bijection on `0..n` mapping **old** node IDs to **new** node IDs.
+///
+/// `perm.apply_to(g)` produces the isomorphic graph in which the node that
+/// was `v` in `g` is now `perm.map(v)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<NodeId>,
+}
+
+impl Permutation {
+    /// Creates a permutation from an explicit old→new table.
+    ///
+    /// Returns `None` if `forward` is not a bijection on `0..forward.len()`.
+    pub fn new(forward: Vec<NodeId>) -> Option<Self> {
+        let n = forward.len();
+        let mut seen = vec![false; n];
+        for &t in &forward {
+            if t as usize >= n || seen[t as usize] {
+                return None;
+            }
+            seen[t as usize] = true;
+        }
+        Some(Self { forward })
+    }
+
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Self { forward: (0..n as NodeId).collect() }
+    }
+
+    /// A uniformly random permutation on `0..n` (Fisher–Yates).
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut forward: Vec<NodeId> = (0..n as NodeId).collect();
+        forward.shuffle(rng);
+        Self { forward }
+    }
+
+    /// Builds the permutation that assigns new ID `i` to the node at
+    /// `order[i]`; i.e. `order` is a desired *new ordering* of old IDs.
+    ///
+    /// This is how the paper's rewritings are expressed: sort old node IDs by
+    /// some key (label frequency, degree, ...) and let the sorted position
+    /// become the new ID.
+    ///
+    /// Returns `None` if `order` is not a permutation of `0..order.len()`.
+    pub fn from_order(order: &[NodeId]) -> Option<Self> {
+        let n = order.len();
+        let mut forward = vec![NodeId::MAX; n];
+        for (new_id, &old_id) in order.iter().enumerate() {
+            if old_id as usize >= n || forward[old_id as usize] != NodeId::MAX {
+                return None;
+            }
+            forward[old_id as usize] = new_id as NodeId;
+        }
+        Some(Self { forward })
+    }
+
+    /// Domain size `n`.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.forward.iter().enumerate().all(|(i, &t)| i as NodeId == t)
+    }
+
+    /// Maps an old node ID to its new ID.
+    #[inline]
+    pub fn map(&self, old: NodeId) -> NodeId {
+        self.forward[old as usize]
+    }
+
+    /// The old→new table.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.forward
+    }
+
+    /// The inverse permutation (new→old becomes old→new).
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0 as NodeId; self.forward.len()];
+        for (old, &new) in self.forward.iter().enumerate() {
+            inv[new as usize] = old as NodeId;
+        }
+        Self { forward: inv }
+    }
+
+    /// Composition: `self.then(other)` maps `v` to `other.map(self.map(v))`.
+    pub fn then(&self, other: &Permutation) -> Self {
+        assert_eq!(self.len(), other.len(), "permutation size mismatch");
+        Self { forward: self.forward.iter().map(|&m| other.map(m)).collect() }
+    }
+
+    /// Applies the permutation to a graph, producing the isomorphic graph
+    /// with relabeled node IDs (labels and structure preserved; Def. 2).
+    ///
+    /// # Panics
+    /// Panics if `g.node_count() != self.len()`.
+    pub fn apply_to(&self, g: &Graph) -> Graph {
+        assert_eq!(g.node_count(), self.len(), "permutation size mismatch");
+        let n = g.node_count();
+        let mut labels: Vec<Label> = vec![0; n];
+        for v in g.nodes() {
+            labels[self.map(v) as usize] = g.label(v);
+        }
+        let mut b = GraphBuilder::with_capacity(n, g.edge_count());
+        b.add_nodes(&labels);
+        if g.has_edge_labels() {
+            for (u, v, l) in g.labeled_edges() {
+                b.add_labeled_edge(self.map(u), self.map(v), l).expect("bijection preserves validity");
+            }
+        } else {
+            for (u, v) in g.edges() {
+                b.add_edge(self.map(u), self.map(v)).expect("bijection preserves validity");
+            }
+        }
+        b.build().expect("bijection preserves validity")
+    }
+}
+
+/// Verifies that `perm` is an isomorphism witness from `g` to `h`
+/// (Def. 2: edge- and label-preserving bijection). Used by tests.
+pub fn is_isomorphism_witness(g: &Graph, h: &Graph, perm: &Permutation) -> bool {
+    if g.node_count() != h.node_count()
+        || g.edge_count() != h.edge_count()
+        || perm.len() != g.node_count()
+    {
+        return false;
+    }
+    for v in g.nodes() {
+        if g.label(v) != h.label(perm.map(v)) {
+            return false;
+        }
+    }
+    for (u, v) in g.edges() {
+        if !h.has_edge(perm.map(u), perm.map(v)) {
+            return false;
+        }
+        if g.edge_label(u, v) != h.edge_label(perm.map(u), perm.map(v)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from_parts;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn path3() -> Graph {
+        graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.map(3), 3);
+        let g = path3();
+        let h = Permutation::identity(3).apply_to(&g);
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn new_rejects_non_bijections() {
+        assert!(Permutation::new(vec![0, 0, 1]).is_none());
+        assert!(Permutation::new(vec![0, 3, 1]).is_none());
+        assert!(Permutation::new(vec![0, 1, 2]).is_some());
+    }
+
+    #[test]
+    fn from_order_semantics() {
+        // order = [2, 0, 1]: new id 0 is old node 2, etc.
+        let p = Permutation::from_order(&[2, 0, 1]).unwrap();
+        assert_eq!(p.map(2), 0);
+        assert_eq!(p.map(0), 1);
+        assert_eq!(p.map(1), 2);
+    }
+
+    #[test]
+    fn from_order_rejects_invalid() {
+        assert!(Permutation::from_order(&[0, 0, 1]).is_none());
+        assert!(Permutation::from_order(&[0, 1, 5]).is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let p = Permutation::random(20, &mut rng);
+        let q = p.inverse();
+        for v in 0..20 {
+            assert_eq!(q.map(p.map(v)), v);
+        }
+        assert!(p.then(&q).is_identity());
+    }
+
+    #[test]
+    fn apply_preserves_structure_and_labels() {
+        let g = graph_from_parts(&[5, 6, 7, 8], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let p = Permutation::new(vec![3, 2, 1, 0]).unwrap();
+        let h = p.apply_to(&g);
+        assert!(is_isomorphism_witness(&g, &h, &p));
+        assert_eq!(h.label(3), 5);
+        assert!(h.has_edge(3, 2));
+    }
+
+    #[test]
+    fn apply_preserves_edge_labels() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(&[0, 1, 2]);
+        b.add_labeled_edge(0, 1, 10).unwrap();
+        b.add_labeled_edge(1, 2, 20).unwrap();
+        let g = b.build().unwrap();
+        let p = Permutation::new(vec![2, 0, 1]).unwrap();
+        let h = p.apply_to(&g);
+        assert!(is_isomorphism_witness(&g, &h, &p));
+        assert_eq!(h.edge_label(2, 0), Some(10));
+    }
+
+    #[test]
+    fn random_permutation_is_bijection() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for n in [0, 1, 2, 17, 100] {
+            let p = Permutation::random(n, &mut rng);
+            let mut seen = vec![false; n];
+            for v in 0..n {
+                let m = p.map(v as NodeId) as usize;
+                assert!(!seen[m]);
+                seen[m] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn witness_detects_label_mismatch() {
+        let g = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let h = graph_from_parts(&[1, 0], &[(0, 1)]);
+        assert!(!is_isomorphism_witness(&g, &h, &Permutation::identity(2)));
+        assert!(is_isomorphism_witness(&g, &h, &Permutation::new(vec![1, 0]).unwrap()));
+    }
+}

@@ -1,0 +1,312 @@
+//! Graph and database statistics.
+//!
+//! Two consumers: (i) the experiment harness, which reports the dataset
+//! characteristics of Tables 1–2 of the paper; (ii) the ILF family of query
+//! rewritings, which need the label-frequency table of the *stored* graph
+//! ([`LabelStats`]).
+
+use crate::graph::{Graph, Label};
+use std::collections::HashMap;
+
+/// Per-label occurrence counts over one graph or a whole database.
+///
+/// This is the "preprocessing step" of the ILF rewriting (§6 of the paper):
+/// "we compute the frequencies of node labels in the stored graph".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LabelStats {
+    counts: HashMap<Label, u64>,
+    total: u64,
+}
+
+impl LabelStats {
+    /// Empty statistics (every frequency is 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Label statistics of a single stored graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut s = Self::new();
+        s.add_graph(g);
+        s
+    }
+
+    /// Label statistics aggregated over a database of stored graphs
+    /// (used when rewriting queries against FTV-style multi-graph datasets).
+    pub fn from_graphs<'a>(graphs: impl IntoIterator<Item = &'a Graph>) -> Self {
+        let mut s = Self::new();
+        for g in graphs {
+            s.add_graph(g);
+        }
+        s
+    }
+
+    /// Folds one more graph into the statistics.
+    pub fn add_graph(&mut self, g: &Graph) {
+        for v in g.nodes() {
+            *self.counts.entry(g.label(v)).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Frequency of `label` (0 if never seen).
+    pub fn frequency(&self, label: Label) -> u64 {
+        self.counts.get(&label).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct labels observed.
+    pub fn distinct_labels(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of label occurrences (= total nodes folded in).
+    pub fn total_occurrences(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean occurrences per distinct label ("Avg frequency labels", Table 2).
+    pub fn avg_frequency(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.total as f64 / self.counts.len() as f64
+    }
+
+    /// Population standard deviation of per-label frequencies
+    /// ("StdDev frequency labels", Table 2).
+    pub fn stddev_frequency(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let mean = self.avg_frequency();
+        let var = self
+            .counts
+            .values()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.counts.len() as f64;
+        var.sqrt()
+    }
+
+    /// Labels sorted by (frequency asc, label asc) — the ILF order.
+    pub fn labels_by_increasing_frequency(&self) -> Vec<Label> {
+        let mut ls: Vec<Label> = self.counts.keys().copied().collect();
+        ls.sort_unstable_by_key(|&l| (self.frequency(l), l));
+        ls
+    }
+}
+
+/// Summary statistics for one graph (one row of Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Mean degree `2|E|/|V|`.
+    pub avg_degree: f64,
+    /// Population standard deviation of node degrees.
+    pub stddev_degree: f64,
+    /// Density `2|E|/(|V|(|V|-1))`.
+    pub density: f64,
+    /// Number of distinct node labels.
+    pub distinct_labels: usize,
+    /// Mean occurrences per distinct label.
+    pub avg_label_frequency: f64,
+    /// Stddev of occurrences per distinct label.
+    pub stddev_label_frequency: f64,
+    /// Number of connected components.
+    pub connected_components: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics for `g`.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.node_count();
+        let degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+        let avg_degree = if n == 0 { 0.0 } else { degrees.iter().sum::<usize>() as f64 / n as f64 };
+        let stddev_degree = if n == 0 {
+            0.0
+        } else {
+            (degrees
+                .iter()
+                .map(|&d| {
+                    let diff = d as f64 - avg_degree;
+                    diff * diff
+                })
+                .sum::<f64>()
+                / n as f64)
+                .sqrt()
+        };
+        let ls = LabelStats::from_graph(g);
+        Self {
+            nodes: n,
+            edges: g.edge_count(),
+            avg_degree,
+            stddev_degree,
+            density: g.density(),
+            distinct_labels: ls.distinct_labels(),
+            avg_label_frequency: ls.avg_frequency(),
+            stddev_label_frequency: ls.stddev_frequency(),
+            connected_components: crate::components::connected_components(g).len(),
+        }
+    }
+}
+
+/// Summary statistics for a multi-graph database (one column of Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbStats {
+    /// Number of stored graphs.
+    pub num_graphs: usize,
+    /// How many stored graphs are disconnected (>1 component).
+    pub disconnected_graphs: usize,
+    /// Distinct labels across the whole database.
+    pub distinct_labels: usize,
+    /// Mean `|V|` per graph.
+    pub avg_nodes: f64,
+    /// Stddev of `|V|` per graph.
+    pub stddev_nodes: f64,
+    /// Mean `|E|` per graph.
+    pub avg_edges: f64,
+    /// Mean density per graph.
+    pub avg_density: f64,
+    /// Mean average-degree per graph.
+    pub avg_degree: f64,
+    /// Mean distinct labels per graph.
+    pub avg_labels_per_graph: f64,
+}
+
+impl DbStats {
+    /// Computes database-level statistics over `graphs`.
+    pub fn compute(graphs: &[Graph]) -> Self {
+        let k = graphs.len();
+        if k == 0 {
+            return Self {
+                num_graphs: 0,
+                disconnected_graphs: 0,
+                distinct_labels: 0,
+                avg_nodes: 0.0,
+                stddev_nodes: 0.0,
+                avg_edges: 0.0,
+                avg_density: 0.0,
+                avg_degree: 0.0,
+                avg_labels_per_graph: 0.0,
+            };
+        }
+        let per: Vec<GraphStats> = graphs.iter().map(GraphStats::compute).collect();
+        let avg_nodes = per.iter().map(|s| s.nodes as f64).sum::<f64>() / k as f64;
+        let stddev_nodes = (per
+            .iter()
+            .map(|s| {
+                let d = s.nodes as f64 - avg_nodes;
+                d * d
+            })
+            .sum::<f64>()
+            / k as f64)
+            .sqrt();
+        Self {
+            num_graphs: k,
+            disconnected_graphs: per.iter().filter(|s| s.connected_components > 1).count(),
+            distinct_labels: LabelStats::from_graphs(graphs).distinct_labels(),
+            avg_nodes,
+            stddev_nodes,
+            avg_edges: per.iter().map(|s| s.edges as f64).sum::<f64>() / k as f64,
+            avg_density: per.iter().map(|s| s.density).sum::<f64>() / k as f64,
+            avg_degree: per.iter().map(|s| s.avg_degree).sum::<f64>() / k as f64,
+            avg_labels_per_graph: per.iter().map(|s| s.distinct_labels as f64).sum::<f64>() / k as f64,
+        }
+    }
+}
+
+/// Degree of each node, indexed by node ID. Convenience for rewritings.
+pub fn degrees(g: &Graph) -> Vec<usize> {
+    g.nodes().map(|v| g.degree(v)).collect()
+}
+
+/// Histogram of degrees: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max_d = g.nodes().map(|v| g.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max_d + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from_parts;
+
+    #[test]
+    fn label_stats_counts() {
+        let g = graph_from_parts(&[0, 0, 1, 2, 2, 2], &[(0, 1), (2, 3)]);
+        let s = LabelStats::from_graph(&g);
+        assert_eq!(s.frequency(0), 2);
+        assert_eq!(s.frequency(1), 1);
+        assert_eq!(s.frequency(2), 3);
+        assert_eq!(s.frequency(99), 0);
+        assert_eq!(s.distinct_labels(), 3);
+        assert_eq!(s.total_occurrences(), 6);
+        assert!((s.avg_frequency() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ilf_order_breaks_ties_by_label() {
+        let g = graph_from_parts(&[3, 1, 1, 0, 0, 2], &[]);
+        let s = LabelStats::from_graph(&g);
+        // freq: 3->1, 2->1, 1->2, 0->2 ; order = freq asc then label asc
+        assert_eq!(s.labels_by_increasing_frequency(), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn label_stats_across_graphs() {
+        let g1 = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let g2 = graph_from_parts(&[1, 1], &[(0, 1)]);
+        let s = LabelStats::from_graphs([&g1, &g2]);
+        assert_eq!(s.frequency(0), 1);
+        assert_eq!(s.frequency(1), 3);
+    }
+
+    #[test]
+    fn graph_stats_star() {
+        // Star: center degree 4, leaves degree 1.
+        let g = graph_from_parts(&[0, 1, 1, 1, 1], &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 4);
+        assert!((s.avg_degree - 1.6).abs() < 1e-12);
+        assert_eq!(s.connected_components, 1);
+        assert_eq!(s.distinct_labels, 2);
+    }
+
+    #[test]
+    fn db_stats_disconnected_count() {
+        let g1 = graph_from_parts(&[0, 1], &[(0, 1)]); // connected
+        let g2 = graph_from_parts(&[0, 1, 2], &[(0, 1)]); // node 2 isolated
+        let s = DbStats::compute(&[g1, g2]);
+        assert_eq!(s.num_graphs, 2);
+        assert_eq!(s.disconnected_graphs, 1);
+        assert_eq!(s.distinct_labels, 3);
+        assert!((s.avg_nodes - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_histogram_path() {
+        let g = graph_from_parts(&[0; 4], &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(degree_histogram(&g), vec![0, 2, 2]);
+        assert_eq!(degrees(&g), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = DbStats::compute(&[]);
+        assert_eq!(s.num_graphs, 0);
+        let ls = LabelStats::new();
+        assert_eq!(ls.avg_frequency(), 0.0);
+        assert_eq!(ls.stddev_frequency(), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the graph substrate: CSR invariants, permutation
+//! algebra, component extraction, serialization.
+
+use proptest::prelude::*;
+use psi_graph::components::{connected_components, induced_subgraph, is_connected};
+use psi_graph::generate::{random_connected_graph, LabelDist};
+use psi_graph::graph::graph_from_parts;
+use psi_graph::permute::is_isomorphism_witness;
+use psi_graph::stats::{GraphStats, LabelStats};
+use psi_graph::{Graph, GraphBuilder, NodeId, Permutation};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: an arbitrary small simple graph given by label count and an
+/// edge-inclusion bitmap over all node pairs.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..12, any::<u64>(), 1u32..5).prop_map(|(n, edge_bits, labels)| {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_node((i as u32) % labels);
+        }
+        let mut bit = 0;
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                if (edge_bits >> (bit % 64)) & 1 == 1 {
+                    b.add_edge(u, v).expect("valid pair");
+                }
+                bit += 1;
+            }
+        }
+        b.build().expect("valid graph")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every built graph satisfies the CSR invariants.
+    #[test]
+    fn prop_builder_invariants(g in arb_graph()) {
+        prop_assert_eq!(g.check_invariants(), Ok(()));
+    }
+
+    /// Degree sums equal twice the edge count (handshake lemma).
+    #[test]
+    fn prop_handshake(g in arb_graph()) {
+        let sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.edge_count());
+    }
+
+    /// `has_edge` agrees with the edge iterator, both directions.
+    #[test]
+    fn prop_has_edge_consistent(g in arb_graph()) {
+        let edges: std::collections::HashSet<(NodeId, NodeId)> = g.edges().collect();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let expect = u != v && (edges.contains(&(u.min(v), u.max(v))));
+                prop_assert_eq!(g.has_edge(u, v), expect, "({}, {})", u, v);
+            }
+        }
+    }
+
+    /// Random permutations produce isomorphism witnesses, and applying the
+    /// inverse permutation recovers the original graph.
+    #[test]
+    fn prop_permutation_isomorphism(g in arb_graph(), seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let p = Permutation::random(g.node_count(), &mut rng);
+        let h = p.apply_to(&g);
+        prop_assert!(is_isomorphism_witness(&g, &h, &p));
+        let back = p.inverse().apply_to(&h);
+        prop_assert_eq!(back, g);
+    }
+
+    /// Components partition the node set, and each extracted component is
+    /// connected.
+    #[test]
+    fn prop_components_partition(g in arb_graph()) {
+        let comps = connected_components(&g);
+        let mut seen = vec![false; g.node_count()];
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(!seen[v as usize], "node {} in two components", v);
+                seen[v as usize] = true;
+            }
+            let (sub, _) = induced_subgraph(&g, comp);
+            prop_assert!(is_connected(&sub));
+        }
+        prop_assert!(seen.into_iter().all(|b| b), "node missing from all components");
+    }
+
+    /// Induced subgraph on the full node set is the identity.
+    #[test]
+    fn prop_induced_full_is_identity(g in arb_graph()) {
+        let all: Vec<NodeId> = g.nodes().collect();
+        let (sub, mapping) = induced_subgraph(&g, &all);
+        prop_assert_eq!(sub, g);
+        prop_assert_eq!(mapping, all);
+    }
+
+    /// Text serialization round-trips exactly.
+    #[test]
+    fn prop_io_roundtrip(g in arb_graph()) {
+        let text = psi_graph::io::write_graph(&g);
+        let h = psi_graph::io::parse_graph(&text).expect("parse back");
+        prop_assert_eq!(g, h);
+    }
+
+    /// Stats are permutation-invariant (they describe the graph, not the
+    /// numbering).
+    #[test]
+    fn prop_stats_permutation_invariant(g in arb_graph(), seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let p = Permutation::random(g.node_count(), &mut rng);
+        let h = p.apply_to(&g);
+        let sg = GraphStats::compute(&g);
+        let sh = GraphStats::compute(&h);
+        prop_assert_eq!(sg.nodes, sh.nodes);
+        prop_assert_eq!(sg.edges, sh.edges);
+        prop_assert_eq!(sg.distinct_labels, sh.distinct_labels);
+        prop_assert_eq!(sg.connected_components, sh.connected_components);
+        prop_assert!((sg.stddev_degree - sh.stddev_degree).abs() < 1e-9);
+        prop_assert_eq!(LabelStats::from_graph(&g), LabelStats::from_graph(&h));
+    }
+
+    /// Generated "connected" graphs really are connected and hit their
+    /// requested size exactly (after clamping).
+    #[test]
+    fn prop_generator_contract(seed in any::<u64>(), n in 2usize..40, m in 0usize..120) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let labels = LabelDist::Uniform { num_labels: 4 }.sampler();
+        let g = random_connected_graph(n, m, &labels, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(is_connected(&g));
+        let clamped = m.clamp(n - 1, n * (n - 1) / 2);
+        prop_assert_eq!(g.edge_count(), clamped);
+    }
+}
+
+#[test]
+fn builder_rejects_garbage_consistently() {
+    // Deterministic negative cases complementing the property tests.
+    let mut b = GraphBuilder::new();
+    b.add_node(0);
+    assert!(b.add_edge(0, 0).is_err());
+    let mut b = GraphBuilder::new();
+    b.add_node(0);
+    b.add_edge(0, 7).unwrap();
+    assert!(b.build().is_err());
+}
+
+#[test]
+fn permutation_composition_is_associative() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let p = Permutation::random(12, &mut rng);
+    let q = Permutation::random(12, &mut rng);
+    let r = Permutation::random(12, &mut rng);
+    let left = p.then(&q).then(&r);
+    let right = p.then(&q.then(&r));
+    assert_eq!(left, right);
+    let g = graph_from_parts(&[0; 12], &[(0, 1), (5, 9), (2, 11)]);
+    assert_eq!(left.apply_to(&g), r.apply_to(&q.apply_to(&p.apply_to(&g))));
+}

@@ -1,0 +1,201 @@
+//! Brute-force sub-iso enumerator — the correctness oracle.
+//!
+//! Plain backtracking in query node-ID order with label-only candidate
+//! filtering and no pruning beyond edge-consistency. Exponentially slow on
+//! purpose-built inputs, but trivially correct; every real matcher's
+//! embedding set is compared against this in unit and property tests.
+
+use crate::budget::{SearchBudget, StopReason};
+use crate::matcher::{Embedding, MatchResult, SearchStats};
+use psi_graph::{Graph, NodeId};
+use std::time::Instant;
+
+/// Enumerates embeddings of `query` in `target` by naive backtracking.
+pub fn enumerate(query: &Graph, target: &Graph, budget: &SearchBudget) -> MatchResult {
+    let start = Instant::now();
+    let mut clock = budget.start();
+    let nq = query.node_count();
+    let mut out = MatchResult::empty(StopReason::Complete);
+
+    if let Some(r) = clock.check_now() {
+        out.stop = r;
+        out.elapsed = start.elapsed();
+        return out;
+    }
+    if nq == 0 {
+        // The empty query embeds once (vacuously).
+        out.embeddings.push(Vec::new());
+        out.num_matches = 1;
+        out.elapsed = start.elapsed();
+        return out;
+    }
+    if nq > target.node_count() {
+        out.elapsed = start.elapsed();
+        return out;
+    }
+
+    let mut assignment: Vec<NodeId> = vec![0; nq];
+    let mut used = vec![false; target.node_count()];
+    let mut stats = SearchStats::default();
+    let stop = backtrack(query, target, 0, &mut assignment, &mut used, &mut out.embeddings, &mut clock, &mut stats, budget.max_matches);
+    out.num_matches = out.embeddings.len();
+    out.stop = match stop {
+        Some(r) => r,
+        None if out.num_matches >= budget.max_matches && budget.max_matches != usize::MAX => {
+            StopReason::MatchLimit
+        }
+        None => StopReason::Complete,
+    };
+    out.stats = stats;
+    out.elapsed = start.elapsed();
+    out
+}
+
+/// Decision-problem convenience: first match only.
+pub fn contains(query: &Graph, target: &Graph) -> bool {
+    enumerate(query, target, &SearchBudget::first_match()).found()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    query: &Graph,
+    target: &Graph,
+    depth: NodeId,
+    assignment: &mut [NodeId],
+    used: &mut [bool],
+    found: &mut Vec<Embedding>,
+    clock: &mut crate::budget::BudgetClock<'_>,
+    stats: &mut SearchStats,
+    max_matches: usize,
+) -> Option<StopReason> {
+    if depth as usize == query.node_count() {
+        found.push(assignment.to_vec());
+        return None;
+    }
+    for t in target.nodes() {
+        if let Some(r) = clock.tick() {
+            return Some(r);
+        }
+        if used[t as usize] || target.label(t) != query.label(depth) {
+            continue;
+        }
+        stats.nodes_expanded += 1;
+        // Edge consistency against already-assigned query neighbors.
+        let ok = query.neighbors(depth).iter().all(|&qn| {
+            if qn < depth {
+                let tn = assignment[qn as usize];
+                target.has_edge(tn, t)
+                    && (!query.has_edge_labels()
+                        || query.edge_label(depth, qn) == target.edge_label(t, tn))
+            } else {
+                true
+            }
+        });
+        if !ok {
+            stats.candidates_pruned += 1;
+            continue;
+        }
+        assignment[depth as usize] = t;
+        used[t as usize] = true;
+        let r = backtrack(query, target, depth + 1, assignment, used, found, clock, stats, max_matches);
+        used[t as usize] = false;
+        if r.is_some() {
+            return r;
+        }
+        if found.len() >= max_matches {
+            return None;
+        }
+        stats.backtracks += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::is_valid_embedding;
+    use psi_graph::graph::graph_from_parts;
+
+    #[test]
+    fn triangle_in_triangle() {
+        let t = graph_from_parts(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]);
+        let q = t.clone();
+        let r = enumerate(&q, &t, &SearchBudget::unlimited());
+        // 3! = 6 automorphisms of an unlabeled triangle.
+        assert_eq!(r.num_matches, 6);
+        assert_eq!(r.stop, StopReason::Complete);
+        for e in &r.embeddings {
+            assert!(is_valid_embedding(&q, &t, e));
+        }
+    }
+
+    #[test]
+    fn labels_restrict_matches() {
+        let t = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        let q = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let r = enumerate(&q, &t, &SearchBudget::unlimited());
+        assert_eq!(r.num_matches, 1);
+        assert_eq!(r.embeddings[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn no_match_when_query_larger() {
+        let t = graph_from_parts(&[0], &[]);
+        let q = graph_from_parts(&[0, 0], &[(0, 1)]);
+        assert!(!contains(&q, &t));
+    }
+
+    #[test]
+    fn empty_query_matches_vacuously() {
+        let t = graph_from_parts(&[0], &[]);
+        let q = graph_from_parts(&[], &[]);
+        let r = enumerate(&q, &t, &SearchBudget::unlimited());
+        assert_eq!(r.num_matches, 1);
+    }
+
+    #[test]
+    fn non_induced_semantics() {
+        // Query path 0-1-2 embeds into a triangle even though the triangle
+        // has the extra edge (0,2): non-induced matching.
+        let t = graph_from_parts(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]);
+        let q = graph_from_parts(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let r = enumerate(&q, &t, &SearchBudget::unlimited());
+        assert_eq!(r.num_matches, 6);
+    }
+
+    #[test]
+    fn match_limit_respected() {
+        let t = graph_from_parts(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let q = graph_from_parts(&[0, 0], &[(0, 1)]);
+        let r = enumerate(&q, &t, &SearchBudget::with_max_matches(3));
+        assert_eq!(r.num_matches, 3);
+        assert_eq!(r.stop, StopReason::MatchLimit);
+    }
+
+    #[test]
+    fn edge_labels_respected() {
+        use psi_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        b.add_nodes(&[0, 0, 0]);
+        b.add_labeled_edge(0, 1, 1).unwrap();
+        b.add_labeled_edge(1, 2, 2).unwrap();
+        let t = b.build().unwrap();
+        let mut b = GraphBuilder::new();
+        b.add_nodes(&[0, 0]);
+        b.add_labeled_edge(0, 1, 2).unwrap();
+        let q = b.build().unwrap();
+        let r = enumerate(&q, &t, &SearchBudget::unlimited());
+        // Only the (1,2) edge has label 2; two directions.
+        assert_eq!(r.num_matches, 2);
+    }
+
+    #[test]
+    fn cancelled_budget_stops_immediately() {
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let t = graph_from_parts(&[0; 10], &(0..9).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let q = graph_from_parts(&[0, 0], &[(0, 1)]);
+        let r = enumerate(&q, &t, &SearchBudget::unlimited().cancellable(token));
+        assert_eq!(r.stop, StopReason::Cancelled);
+    }
+}

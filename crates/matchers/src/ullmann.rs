@@ -1,0 +1,317 @@
+//! Ullmann's algorithm (JACM 1976) — reference \[18\] of the paper.
+//!
+//! The classic candidate-matrix formulation: a boolean matrix `M[q][t]`
+//! holds the surviving target candidates for every query vertex, seeded by
+//! label and degree, and *refined* before every branching step: a candidate
+//! `t` for `q` survives only if every neighbor of `q` still has at least one
+//! candidate among the neighbors of `t`. Vertices are matched strictly in
+//! **query node-ID order** — Ullmann is the most order-sensitive algorithm
+//! in the suite, which makes it a useful extreme point for the rewriting
+//! experiments.
+
+use crate::budget::{BudgetClock, SearchBudget, StopReason};
+use crate::matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
+use psi_graph::{Graph, NodeId};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Ullmann prepared over a stored graph (no preprocessing needed).
+#[derive(Debug, Clone)]
+pub struct Ullmann {
+    target: Arc<Graph>,
+}
+
+impl Ullmann {
+    /// Wraps a stored graph.
+    pub fn prepare(target: Arc<Graph>) -> Self {
+        Self { target }
+    }
+}
+
+impl Matcher for Ullmann {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Ullmann
+    }
+
+    fn target(&self) -> &Graph {
+        &self.target
+    }
+
+    fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult {
+        ullmann_search(query, &self.target, budget)
+    }
+}
+
+/// Candidate matrix: row per query node, dense bit-less boolean per target
+/// node. Query/target sizes in this workload are small enough that a
+/// `Vec<bool>` row beats bit-twiddling in clarity at negligible cost.
+#[derive(Clone)]
+struct Matrix {
+    cols: usize,
+    data: Vec<bool>,
+}
+
+impl Matrix {
+    fn new(rows: usize, cols: usize) -> Self {
+        Self { cols, data: vec![false; rows * cols] }
+    }
+
+    #[inline]
+    fn get(&self, r: usize, c: usize) -> bool {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: bool) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    fn row_empty(&self, r: usize) -> bool {
+        !self.data[r * self.cols..(r + 1) * self.cols].iter().any(|&b| b)
+    }
+}
+
+/// Runs Ullmann on a (query, target) pair.
+pub fn ullmann_search(query: &Graph, target: &Graph, budget: &SearchBudget) -> MatchResult {
+    let start = Instant::now();
+    let mut out = MatchResult::empty(StopReason::Complete);
+    let mut clock = budget.start();
+    if let Some(r) = clock.check_now() {
+        out.stop = r;
+        out.elapsed = start.elapsed();
+        return out;
+    }
+    let nq = query.node_count();
+    let nt = target.node_count();
+    if nq == 0 {
+        out.embeddings.push(Vec::new());
+        out.num_matches = 1;
+        out.elapsed = start.elapsed();
+        return out;
+    }
+    if nq > nt || query.edge_count() > target.edge_count() {
+        out.elapsed = start.elapsed();
+        return out;
+    }
+
+    // Seed matrix: label equality + degree feasibility (non-induced, so
+    // deg(q) <= deg(t)).
+    let mut m = Matrix::new(nq, nt);
+    for q in 0..nq {
+        for t in 0..nt {
+            m.set(
+                q,
+                t,
+                query.label(q as NodeId) == target.label(t as NodeId)
+                    && query.degree(q as NodeId) <= target.degree(t as NodeId),
+            );
+        }
+    }
+
+    let mut stats = SearchStats::default();
+    if !refine(query, target, &mut m, &mut stats) {
+        out.stats = stats;
+        out.elapsed = start.elapsed();
+        return out;
+    }
+
+    let mut assignment: Vec<NodeId> = vec![0; nq];
+    let mut used = vec![false; nt];
+    let stop = backtrack(
+        query,
+        target,
+        0,
+        &m,
+        &mut assignment,
+        &mut used,
+        &mut out.embeddings,
+        &mut clock,
+        &mut stats,
+        budget.max_matches,
+    );
+    out.num_matches = out.embeddings.len();
+    out.stop = match stop {
+        Some(r) => r,
+        None if out.num_matches >= budget.max_matches && budget.max_matches != usize::MAX => {
+            StopReason::MatchLimit
+        }
+        None => StopReason::Complete,
+    };
+    out.stats = stats;
+    out.elapsed = start.elapsed();
+    out
+}
+
+/// Ullmann's refinement: iterate to a fixpoint removing candidates `(q, t)`
+/// for which some neighbor of `q` has no candidate among `t`'s neighbors.
+/// Returns false if some query vertex loses all candidates.
+fn refine(query: &Graph, target: &Graph, m: &mut Matrix, stats: &mut SearchStats) -> bool {
+    let nq = query.node_count();
+    let nt = target.node_count();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for q in 0..nq {
+            for t in 0..nt {
+                if !m.get(q, t) {
+                    continue;
+                }
+                let ok = query.neighbors(q as NodeId).iter().all(|&qn| {
+                    target.neighbors(t as NodeId).iter().any(|&tn| m.get(qn as usize, tn as usize))
+                });
+                if !ok {
+                    m.set(q, t, false);
+                    stats.candidates_pruned += 1;
+                    changed = true;
+                }
+            }
+            if m.row_empty(q) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    query: &Graph,
+    target: &Graph,
+    depth: usize,
+    m: &Matrix,
+    assignment: &mut [NodeId],
+    used: &mut [bool],
+    found: &mut Vec<Embedding>,
+    clock: &mut BudgetClock<'_>,
+    stats: &mut SearchStats,
+    max_matches: usize,
+) -> Option<StopReason> {
+    if depth == query.node_count() {
+        found.push(assignment.to_vec());
+        return None;
+    }
+    let qv = depth as NodeId;
+    for t in 0..target.node_count() {
+        if let Some(r) = clock.tick() {
+            return Some(r);
+        }
+        if used[t] || !m.get(depth, t) {
+            continue;
+        }
+        stats.nodes_expanded += 1;
+        // Edge consistency against earlier assignments.
+        let tv = t as NodeId;
+        let ok = query.neighbors(qv).iter().all(|&qn| {
+            if qn < qv {
+                let tn = assignment[qn as usize];
+                target.has_edge(tn, tv)
+                    && (!query.has_edge_labels()
+                        || query.edge_label(qv, qn) == target.edge_label(tv, tn))
+            } else {
+                true
+            }
+        });
+        if !ok {
+            stats.candidates_pruned += 1;
+            continue;
+        }
+        assignment[depth] = tv;
+        used[t] = true;
+        let r = backtrack(query, target, depth + 1, m, assignment, used, found, clock, stats, max_matches);
+        used[t] = false;
+        if r.is_some() {
+            return r;
+        }
+        if found.len() >= max_matches {
+            return None;
+        }
+        stats.backtracks += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce;
+    use crate::matcher::is_valid_embedding;
+    use psi_graph::generate::{random_connected_graph, LabelDist};
+    use psi_graph::graph::graph_from_parts;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sorted(mut v: Vec<Embedding>) -> Vec<Embedding> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn agrees_with_bruteforce_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31337);
+        let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+        for i in 0..40 {
+            let t = random_connected_graph(10, 18, &labels, &mut rng);
+            let q = random_connected_graph(4, 4, &labels, &mut rng);
+            let got = ullmann_search(&q, &t, &SearchBudget::unlimited());
+            let want = bruteforce::enumerate(&q, &t, &SearchBudget::unlimited());
+            assert_eq!(sorted(got.embeddings), sorted(want.embeddings), "case {i}");
+        }
+    }
+
+    #[test]
+    fn refinement_prunes() {
+        // A path query on a star target: refinement should kill leaf-center
+        // confusion quickly.
+        let t = graph_from_parts(&[0, 1, 1, 1, 1], &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let q = graph_from_parts(&[1, 0, 1], &[(0, 1), (1, 2)]);
+        let r = ullmann_search(&q, &t, &SearchBudget::unlimited());
+        assert_eq!(r.num_matches, 4 * 3);
+        for e in &r.embeddings {
+            assert!(is_valid_embedding(&q, &t, e));
+        }
+    }
+
+    #[test]
+    fn impossible_query_pruned_before_search() {
+        // Query needs degree 3 on label 1, target has max degree 2 there.
+        let t = graph_from_parts(&[1, 0, 0], &[(0, 1), (0, 2)]);
+        let q = graph_from_parts(&[1, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        let r = ullmann_search(&q, &t, &SearchBudget::unlimited());
+        assert_eq!(r.num_matches, 0);
+        assert_eq!(r.stats.nodes_expanded, 0, "refinement should preempt search");
+    }
+
+    #[test]
+    fn match_limit() {
+        let t = graph_from_parts(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let q = graph_from_parts(&[0, 0], &[(0, 1)]);
+        let r = ullmann_search(&q, &t, &SearchBudget::with_max_matches(2));
+        assert_eq!(r.num_matches, 2);
+        assert_eq!(r.stop, StopReason::MatchLimit);
+    }
+
+    #[test]
+    fn matcher_trait() {
+        let t = Arc::new(graph_from_parts(&[0, 1], &[(0, 1)]));
+        let m = Ullmann::prepare(t);
+        assert_eq!(m.algorithm(), Algorithm::Ullmann);
+        assert!(m.contains(&graph_from_parts(&[1], &[])));
+    }
+
+    #[test]
+    fn empty_query() {
+        let t = graph_from_parts(&[0], &[]);
+        let q = graph_from_parts(&[], &[]);
+        assert_eq!(ullmann_search(&q, &t, &SearchBudget::unlimited()).num_matches, 1);
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let t = graph_from_parts(&[0, 0], &[(0, 1)]);
+        let q = graph_from_parts(&[0], &[]);
+        let b = SearchBudget::unlimited()
+            .deadline_at(Instant::now() - std::time::Duration::from_millis(1));
+        let r = ullmann_search(&q, &t, &b);
+        assert_eq!(r.stop, StopReason::TimedOut);
+    }
+}

@@ -1,0 +1,466 @@
+//! VF2 (Cordella, Foggia, Sansone, Vento — TPAMI 2004).
+//!
+//! The underlying isomorphism algorithm of both Grapes and GGSX (§3.1.1 of
+//! the paper). VF2 keeps a partial mapping plus "terminal sets" (unmatched
+//! nodes adjacent to the mapping) on both sides, and extends the mapping one
+//! pair at a time with three pruning rules:
+//!
+//! 1. consistency — the candidate target node must be adjacent to the images
+//!    of the candidate query node's already-matched neighbors (with matching
+//!    edge labels);
+//! 2. terminal lookahead — the candidate query node must not have more
+//!    unmatched neighbors *in the terminal set* than the candidate target
+//!    node does;
+//! 3. new-node lookahead — ditto for unmatched neighbors *outside* the
+//!    terminal set.
+//!
+//! (For non-induced matching, both lookaheads are `≤` comparisons.)
+//!
+//! VF2 "does not define any order in which query vertices are selected"
+//! (§3.1.1): like the reference implementation, we pick the **lowest-ID**
+//! query vertex in the terminal set, which is exactly why permuting query
+//! node IDs (the paper's rewritings) changes VF2's search and runtime.
+
+use crate::budget::{BudgetClock, SearchBudget, StopReason};
+use crate::matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
+use psi_graph::{Graph, NodeId};
+use std::sync::Arc;
+use std::time::Instant;
+
+const UNMAPPED: NodeId = NodeId::MAX;
+
+/// VF2 prepared over a stored graph. VF2 needs no index, so preparation is
+/// free; the struct simply pins the target.
+#[derive(Debug, Clone)]
+pub struct Vf2 {
+    target: Arc<Graph>,
+}
+
+impl Vf2 {
+    /// Wraps a stored graph. No preprocessing (VF2 is index-free).
+    pub fn prepare(target: Arc<Graph>) -> Self {
+        Self { target }
+    }
+}
+
+impl Matcher for Vf2 {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Vf2
+    }
+
+    fn target(&self) -> &Graph {
+        &self.target
+    }
+
+    fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult {
+        vf2_search(query, &self.target, budget)
+    }
+}
+
+/// Runs VF2 directly on a (query, target) pair without constructing a
+/// [`Vf2`] value. The FTV systems call this per candidate graph / extracted
+/// component.
+pub fn vf2_search(query: &Graph, target: &Graph, budget: &SearchBudget) -> MatchResult {
+    let start = Instant::now();
+    let mut out = MatchResult::empty(StopReason::Complete);
+    let mut clock = budget.start();
+    if let Some(r) = clock.check_now() {
+        out.stop = r;
+        out.elapsed = start.elapsed();
+        return out;
+    }
+    if query.node_count() == 0 {
+        out.embeddings.push(Vec::new());
+        out.num_matches = 1;
+        out.elapsed = start.elapsed();
+        return out;
+    }
+    if query.node_count() > target.node_count() || query.edge_count() > target.edge_count() {
+        out.elapsed = start.elapsed();
+        return out;
+    }
+
+    let mut st = State::new(query, target);
+    let stop = st.grow(0, &mut clock, &mut out.embeddings, budget.max_matches);
+    out.num_matches = out.embeddings.len();
+    out.stop = match stop {
+        Some(r) => r,
+        None if out.num_matches >= budget.max_matches && budget.max_matches != usize::MAX => {
+            StopReason::MatchLimit
+        }
+        None => StopReason::Complete,
+    };
+    out.stats = st.stats;
+    out.elapsed = start.elapsed();
+    out
+}
+
+struct State<'a> {
+    q: &'a Graph,
+    t: &'a Graph,
+    /// query → target mapping (UNMAPPED if free).
+    core_q: Vec<NodeId>,
+    /// target → query mapping (UNMAPPED if free).
+    core_t: Vec<NodeId>,
+    /// Depth (1-based) at which a query node entered the terminal region;
+    /// 0 = not in it. Matched nodes also carry their entry depth.
+    tin_q: Vec<u32>,
+    /// Ditto for target nodes.
+    tin_t: Vec<u32>,
+    stats: SearchStats,
+}
+
+impl<'a> State<'a> {
+    fn new(q: &'a Graph, t: &'a Graph) -> Self {
+        Self {
+            q,
+            t,
+            core_q: vec![UNMAPPED; q.node_count()],
+            core_t: vec![UNMAPPED; t.node_count()],
+            tin_q: vec![0; q.node_count()],
+            tin_t: vec![0; t.node_count()],
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Picks the next query vertex: the lowest-ID unmatched vertex in the
+    /// terminal set, falling back to the lowest-ID unmatched vertex when the
+    /// terminal set is empty (start of search, or disconnected query).
+    fn next_query_vertex(&self) -> (NodeId, bool) {
+        let mut fallback = UNMAPPED;
+        for v in 0..self.core_q.len() as NodeId {
+            if self.core_q[v as usize] == UNMAPPED {
+                if self.tin_q[v as usize] != 0 {
+                    return (v, true);
+                }
+                if fallback == UNMAPPED {
+                    fallback = v;
+                }
+            }
+        }
+        (fallback, false)
+    }
+
+    /// Rules 1–3 for the candidate pair `(qv, tv)`; labels are assumed to
+    /// have been checked by the caller.
+    fn feasible(&mut self, qv: NodeId, tv: NodeId) -> bool {
+        // Rule 1: every matched query-neighbor's image must be adjacent,
+        // with a matching edge label.
+        for &qn in self.q.neighbors(qv) {
+            let img = self.core_q[qn as usize];
+            if img != UNMAPPED {
+                if !self.t.has_edge(img, tv) {
+                    return false;
+                }
+                if self.q.has_edge_labels()
+                    && self.q.edge_label(qv, qn) != self.t.edge_label(tv, img)
+                {
+                    return false;
+                }
+            }
+        }
+        // Rules 2 & 3: lookahead counts over unmatched neighbors.
+        let (mut q_term, mut q_new) = (0usize, 0usize);
+        for &qn in self.q.neighbors(qv) {
+            if self.core_q[qn as usize] == UNMAPPED {
+                if self.tin_q[qn as usize] != 0 {
+                    q_term += 1;
+                } else {
+                    q_new += 1;
+                }
+            }
+        }
+        let (mut t_term, mut t_new) = (0usize, 0usize);
+        for &tn in self.t.neighbors(tv) {
+            if self.core_t[tn as usize] == UNMAPPED {
+                if self.tin_t[tn as usize] != 0 {
+                    t_term += 1;
+                } else {
+                    t_new += 1;
+                }
+            }
+        }
+        // Non-induced: target may have extras, query may not exceed.
+        // A "new" query neighbor can also map onto a terminal target
+        // neighbor, so the second comparison bounds the total.
+        q_term <= t_term && q_term + q_new <= t_term + t_new
+    }
+
+    fn add_pair(&mut self, qv: NodeId, tv: NodeId, depth: u32) {
+        self.core_q[qv as usize] = tv;
+        self.core_t[tv as usize] = qv;
+        if self.tin_q[qv as usize] == 0 {
+            self.tin_q[qv as usize] = depth;
+        }
+        if self.tin_t[tv as usize] == 0 {
+            self.tin_t[tv as usize] = depth;
+        }
+        for &qn in self.q.neighbors(qv) {
+            if self.tin_q[qn as usize] == 0 {
+                self.tin_q[qn as usize] = depth;
+            }
+        }
+        for &tn in self.t.neighbors(tv) {
+            if self.tin_t[tn as usize] == 0 {
+                self.tin_t[tn as usize] = depth;
+            }
+        }
+    }
+
+    fn remove_pair(&mut self, qv: NodeId, tv: NodeId, depth: u32) {
+        self.core_q[qv as usize] = UNMAPPED;
+        self.core_t[tv as usize] = UNMAPPED;
+        for x in self.tin_q.iter_mut() {
+            if *x == depth {
+                *x = 0;
+            }
+        }
+        for x in self.tin_t.iter_mut() {
+            if *x == depth {
+                *x = 0;
+            }
+        }
+    }
+
+    fn grow(
+        &mut self,
+        matched: usize,
+        clock: &mut BudgetClock<'_>,
+        found: &mut Vec<Embedding>,
+        max_matches: usize,
+    ) -> Option<StopReason> {
+        if matched == self.q.node_count() {
+            found.push(self.core_q.clone());
+            return None;
+        }
+        let depth = matched as u32 + 1;
+        let (qv, in_terminal) = self.next_query_vertex();
+        debug_assert_ne!(qv, UNMAPPED);
+        let qlabel = self.q.label(qv);
+
+        // Candidate target vertices: when qv touches the mapping, restrict
+        // to the neighborhood of one matched neighbor's image (the smallest
+        // such neighborhood); otherwise all target vertices with the label.
+        let anchor: Option<NodeId> = if in_terminal {
+            self.q
+                .neighbors(qv)
+                .iter()
+                .copied()
+                .filter(|&qn| self.core_q[qn as usize] != UNMAPPED)
+                .min_by_key(|&qn| self.t.degree(self.core_q[qn as usize]))
+        } else {
+            None
+        };
+
+        macro_rules! try_candidate {
+            ($tv:expr) => {{
+                let tv: NodeId = $tv;
+                if let Some(r) = clock.tick() {
+                    return Some(r);
+                }
+                if self.core_t[tv as usize] == UNMAPPED && self.t.label(tv) == qlabel {
+                    self.stats.nodes_expanded += 1;
+                    if self.feasible(qv, tv) {
+                        self.add_pair(qv, tv, depth);
+                        let r = self.grow(matched + 1, clock, found, max_matches);
+                        self.remove_pair(qv, tv, depth);
+                        if r.is_some() {
+                            return r;
+                        }
+                        if found.len() >= max_matches {
+                            return None;
+                        }
+                        self.stats.backtracks += 1;
+                    } else {
+                        self.stats.candidates_pruned += 1;
+                    }
+                }
+            }};
+        }
+
+        match anchor {
+            Some(qn) => {
+                let img = self.core_q[qn as usize];
+                // Candidates must be adjacent to the image of the anchor.
+                for i in 0..self.t.neighbors(img).len() {
+                    let tv = self.t.neighbors(img)[i];
+                    try_candidate!(tv);
+                }
+            }
+            None => {
+                for tv in 0..self.t.node_count() as NodeId {
+                    try_candidate!(tv);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce;
+    use crate::matcher::is_valid_embedding;
+    use psi_graph::generate::{random_connected_graph, LabelDist};
+    use psi_graph::graph::graph_from_parts;
+    use psi_graph::Permutation;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sorted(mut v: Vec<Embedding>) -> Vec<Embedding> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn agrees_with_bruteforce_on_small_cases() {
+        let cases: Vec<(Graph, Graph)> = vec![
+            (
+                graph_from_parts(&[0, 1], &[(0, 1)]),
+                graph_from_parts(&[0, 1, 0], &[(0, 1), (1, 2)]),
+            ),
+            (
+                graph_from_parts(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]),
+                graph_from_parts(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 0), (0, 3)]),
+            ),
+            (
+                graph_from_parts(&[1, 2, 1], &[(0, 1), (1, 2)]),
+                graph_from_parts(&[1, 2, 1, 2], &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+            ),
+        ];
+        for (q, t) in cases {
+            let got = vf2_search(&q, &t, &SearchBudget::unlimited());
+            let want = bruteforce::enumerate(&q, &t, &SearchBudget::unlimited());
+            assert_eq!(sorted(got.embeddings), sorted(want.embeddings), "q={q:?} t={t:?}");
+            assert_eq!(got.stop, StopReason::Complete);
+        }
+    }
+
+    #[test]
+    fn agrees_with_bruteforce_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+        for i in 0..40 {
+            let t = random_connected_graph(10, 16, &labels, &mut rng);
+            let q = random_connected_graph(4, 4, &labels, &mut rng);
+            let got = vf2_search(&q, &t, &SearchBudget::unlimited());
+            let want = bruteforce::enumerate(&q, &t, &SearchBudget::unlimited());
+            assert_eq!(
+                sorted(got.embeddings),
+                sorted(want.embeddings),
+                "case {i}: q={q:?} t={t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_query_supported() {
+        let t = graph_from_parts(&[0, 1, 0, 1], &[(0, 1), (2, 3)]);
+        let q = graph_from_parts(&[0, 0], &[]); // two isolated label-0 nodes
+        let got = vf2_search(&q, &t, &SearchBudget::unlimited());
+        let want = bruteforce::enumerate(&q, &t, &SearchBudget::unlimited());
+        assert_eq!(sorted(got.embeddings), sorted(want.embeddings));
+        assert_eq!(got.num_matches, 2); // (0,2) and (2,0)
+    }
+
+    #[test]
+    fn embeddings_are_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let labels = LabelDist::Uniform { num_labels: 2 }.sampler();
+        let t = random_connected_graph(20, 40, &labels, &mut rng);
+        let q = random_connected_graph(5, 6, &labels, &mut rng);
+        let got = vf2_search(&q, &t, &SearchBudget::unlimited());
+        for e in &got.embeddings {
+            assert!(is_valid_embedding(&q, &t, e));
+        }
+    }
+
+    #[test]
+    fn first_match_budget_stops_early() {
+        let t = graph_from_parts(&[0; 8], &(0..7).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let q = graph_from_parts(&[0, 0], &[(0, 1)]);
+        let r = vf2_search(&q, &t, &SearchBudget::first_match());
+        assert_eq!(r.num_matches, 1);
+        assert_eq!(r.stop, StopReason::MatchLimit);
+    }
+
+    #[test]
+    fn quick_reject_on_size() {
+        let t = graph_from_parts(&[0], &[]);
+        let q = graph_from_parts(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let r = vf2_search(&q, &t, &SearchBudget::unlimited());
+        assert_eq!(r.num_matches, 0);
+        assert_eq!(r.stop, StopReason::Complete);
+        assert_eq!(r.stats.nodes_expanded, 0);
+    }
+
+    #[test]
+    fn matcher_trait_roundtrip() {
+        let t = Arc::new(graph_from_parts(&[0, 1, 0], &[(0, 1), (1, 2)]));
+        let m = Vf2::prepare(t);
+        assert_eq!(m.algorithm(), Algorithm::Vf2);
+        let q = graph_from_parts(&[0, 1], &[(0, 1)]);
+        assert!(m.contains(&q));
+        let q_missing = graph_from_parts(&[2], &[]);
+        assert!(!m.contains(&q_missing));
+    }
+
+    #[test]
+    fn isomorphic_rewriting_preserves_answer() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+        let t = random_connected_graph(15, 30, &labels, &mut rng);
+        let q = random_connected_graph(5, 6, &labels, &mut rng);
+        let orig = vf2_search(&q, &t, &SearchBudget::unlimited());
+        for seed in 0..5 {
+            let mut prng = ChaCha8Rng::seed_from_u64(seed);
+            let p = Permutation::random(q.node_count(), &mut prng);
+            let q2 = p.apply_to(&q);
+            let rewritten = vf2_search(&q2, &t, &SearchBudget::unlimited());
+            assert_eq!(orig.num_matches, rewritten.num_matches, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rewriting_changes_search_order() {
+        // A query whose node 0 is a rare label vs one whose node 0 is a
+        // frequent label should expand different numbers of nodes: ID order
+        // is load-bearing.
+        let mut tb = psi_graph::GraphBuilder::new();
+        // Target: 30 label-0 nodes in a chain, one label-1 node hanging off.
+        let n0 = tb.add_node(1);
+        let mut prev = tb.add_node(0);
+        tb.add_edge(n0, prev).unwrap();
+        for _ in 0..29 {
+            let nxt = tb.add_node(0);
+            tb.add_edge(prev, nxt).unwrap();
+            prev = nxt;
+        }
+        let t = tb.build().unwrap();
+
+        // Query: rare label 1 attached to a frequent label 0.
+        let q_rare_first = graph_from_parts(&[1, 0], &[(0, 1)]);
+        let q_freq_first = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let r1 = vf2_search(&q_rare_first, &t, &SearchBudget::unlimited());
+        let r2 = vf2_search(&q_freq_first, &t, &SearchBudget::unlimited());
+        assert_eq!(r1.num_matches, r2.num_matches);
+        assert!(
+            r1.stats.nodes_expanded < r2.stats.nodes_expanded,
+            "rare-label-first should expand fewer nodes ({} vs {})",
+            r1.stats.nodes_expanded,
+            r2.stats.nodes_expanded
+        );
+    }
+
+    #[test]
+    fn cancellation_observed() {
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let t = graph_from_parts(&[0, 0], &[(0, 1)]);
+        let q = graph_from_parts(&[0], &[]);
+        let r = vf2_search(&q, &t, &SearchBudget::unlimited().cancellable(token));
+        assert_eq!(r.stop, StopReason::Cancelled);
+        assert_eq!(r.num_matches, 0);
+    }
+}

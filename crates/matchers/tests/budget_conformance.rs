@@ -1,0 +1,149 @@
+//! Budget conformance across all five matchers: deadlines, cancellation,
+//! caps and work counters behave uniformly — the contract the Ψ racing
+//! engine depends on.
+
+use psi_graph::generate::{random_connected_graph, LabelDist};
+use psi_graph::Graph;
+use psi_matchers::{Algorithm, CancelToken, Matcher, SearchBudget, StopReason};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ALL: [Algorithm; 5] = [
+    Algorithm::Vf2,
+    Algorithm::Ullmann,
+    Algorithm::QuickSi,
+    Algorithm::GraphQl,
+    Algorithm::SPath,
+];
+
+fn hard_pair() -> (Graph, Graph) {
+    // A dense single-label target with a sizable single-label query: a
+    // worst case with astronomically many embeddings — guaranteed to keep
+    // any matcher busy far beyond a tiny deadline.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let labels = LabelDist::Uniform { num_labels: 1 }.sampler();
+    let target = random_connected_graph(60, 500, &labels, &mut rng);
+    let query = random_connected_graph(12, 18, &labels, &mut rng);
+    (query, target)
+}
+
+#[test]
+fn pre_expired_deadline_stops_every_matcher_immediately() {
+    let (query, target) = hard_pair();
+    let shared = Arc::new(target);
+    for alg in ALL {
+        let m = alg.prepare(Arc::clone(&shared));
+        let budget = SearchBudget::unlimited()
+            .deadline_at(Instant::now() - Duration::from_millis(1));
+        let t0 = Instant::now();
+        let r = m.search(&query, &budget);
+        assert_eq!(r.stop, StopReason::TimedOut, "{alg}");
+        assert!(t0.elapsed() < Duration::from_millis(100), "{alg} did not stop fast");
+    }
+}
+
+#[test]
+fn mid_search_deadline_is_honored_promptly() {
+    let (query, target) = hard_pair();
+    let shared = Arc::new(target);
+    for alg in ALL {
+        let m = alg.prepare(Arc::clone(&shared));
+        let budget = SearchBudget::unlimited().timeout(Duration::from_millis(20));
+        let t0 = Instant::now();
+        let r = m.search(&query, &budget);
+        let took = t0.elapsed();
+        assert_eq!(r.stop, StopReason::TimedOut, "{alg} should exceed 20ms on this input");
+        assert!(
+            took < Duration::from_millis(500),
+            "{alg} overshot its deadline: {took:?}"
+        );
+    }
+}
+
+#[test]
+fn pre_set_cancellation_stops_every_matcher() {
+    let (query, target) = hard_pair();
+    let shared = Arc::new(target);
+    for alg in ALL {
+        let m = alg.prepare(Arc::clone(&shared));
+        let token = CancelToken::new();
+        token.cancel();
+        let r = m.search(&query, &SearchBudget::unlimited().cancellable(token));
+        assert_eq!(r.stop, StopReason::Cancelled, "{alg}");
+        assert_eq!(r.num_matches, 0, "{alg}");
+    }
+}
+
+#[test]
+fn concurrent_cancellation_unblocks_every_matcher() {
+    let (query, target) = hard_pair();
+    let shared = Arc::new(target);
+    for alg in ALL {
+        let m = alg.prepare(Arc::clone(&shared));
+        let token = CancelToken::new();
+        let budget = SearchBudget::unlimited().cancellable(token.clone());
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| m.search(&query, &budget));
+            std::thread::sleep(Duration::from_millis(15));
+            token.cancel();
+            let r = handle.join().expect("no panic");
+            assert_eq!(r.stop, StopReason::Cancelled, "{alg}");
+        });
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "{alg} ignored cancellation for {:?}",
+            t0.elapsed()
+        );
+    }
+}
+
+#[test]
+fn embedding_cap_is_exact_for_every_matcher() {
+    let (query, target) = hard_pair();
+    let shared = Arc::new(target);
+    for alg in ALL {
+        let m = alg.prepare(Arc::clone(&shared));
+        for cap in [1usize, 10, 100] {
+            let r = m.search(&query, &SearchBudget::with_max_matches(cap));
+            assert_eq!(r.num_matches, cap, "{alg} cap {cap}");
+            assert_eq!(r.embeddings.len(), cap, "{alg} cap {cap}");
+            assert_eq!(r.stop, StopReason::MatchLimit, "{alg} cap {cap}");
+        }
+    }
+}
+
+#[test]
+fn work_counters_are_populated() {
+    let (query, target) = hard_pair();
+    let shared = Arc::new(target);
+    for alg in ALL {
+        let m = alg.prepare(Arc::clone(&shared));
+        let r = m.search(&query, &SearchBudget::with_max_matches(50));
+        assert!(r.stats.nodes_expanded > 0, "{alg} expanded nothing");
+        assert!(r.elapsed > Duration::ZERO, "{alg} reported zero elapsed");
+    }
+}
+
+#[test]
+fn timeout_results_are_not_conclusive_but_partial_matches_are_reported() {
+    let (query, target) = hard_pair();
+    let shared = Arc::new(target);
+    for alg in ALL {
+        let m = alg.prepare(Arc::clone(&shared));
+        let budget =
+            SearchBudget::with_max_matches(usize::MAX).timeout(Duration::from_millis(30));
+        let r = m.search(&query, &budget);
+        assert_eq!(r.stop, StopReason::TimedOut, "{alg}");
+        assert!(!r.is_conclusive() || r.found(), "{alg}");
+        // Whatever it found before the deadline must be valid embeddings.
+        for e in r.embeddings.iter().take(5) {
+            assert!(
+                psi_matchers::matcher::is_valid_embedding(&query, &shared, e),
+                "{alg} returned a bogus partial embedding"
+            );
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! # psi-rewrite — isomorphic query rewritings (§6 of the paper)
+//!
+//! A *rewriting* produces a graph isomorphic to the query (same structure
+//! and labels) by permuting its node IDs. Because every matcher breaks
+//! heuristic ties by node ID, the rewriting changes the search order — and,
+//! per the paper's Observation 2/4, can turn a straggler query into an easy
+//! one.
+//!
+//! The five rewritings of §6, plus the original and seeded-random
+//! permutations (used in §5 to quantify isomorphic-instance variance):
+//!
+//! * **ILF** (Increasing Label Frequency) — nodes sorted by the frequency of
+//!   their label *in the stored graph*, rarest first.
+//! * **IND** (Increasing Node Degree) — nodes sorted by query degree,
+//!   smallest first.
+//! * **DND** (Decreasing Node Degree) — largest degree first.
+//! * **ILF+IND** — ILF with IND tie-breaking.
+//! * **ILF+DND** — ILF with DND tie-breaking.
+//!
+//! The paper breaks remaining ties "arbitrarily"; we break them by original
+//! node ID, which keeps every rewriting deterministic and reproducible.
+//!
+//! ```
+//! use psi_graph::{graph::graph_from_parts, LabelStats};
+//! use psi_rewrite::{rewrite_query, Rewriting};
+//!
+//! // Stored graph: label 0 is common, label 1 is rare.
+//! let stored = graph_from_parts(&[0, 0, 0, 1], &[(0, 1), (1, 2), (2, 3)]);
+//! let stats = LabelStats::from_graph(&stored);
+//!
+//! // Query: frequent-label node first — bad for matchers that start at
+//! // node 0.
+//! let query = graph_from_parts(&[0, 1], &[(0, 1)]);
+//! let (rewritten, perm) = rewrite_query(&query, &stats, Rewriting::Ilf);
+//! // ILF puts the rare label-1 node first.
+//! assert_eq!(rewritten.label(0), 1);
+//! assert_eq!(perm.map(1), 0);
+//! ```
+
+use psi_graph::{Graph, LabelStats, NodeId, Permutation};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// The query rewritings of §6, plus `Orig` (identity) and `Random` (a seeded
+/// uniformly random node-ID permutation, used for the §5 isomorphic-instance
+/// experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rewriting {
+    /// The query as given (identity permutation).
+    Orig,
+    /// Increasing Label Frequency (rarest stored-graph label first).
+    Ilf,
+    /// Increasing Node Degree.
+    Ind,
+    /// Decreasing Node Degree.
+    Dnd,
+    /// ILF with IND tie-breaking.
+    IlfInd,
+    /// ILF with DND tie-breaking.
+    IlfDnd,
+    /// Uniformly random permutation from the given seed.
+    Random(u64),
+}
+
+impl Rewriting {
+    /// The five proposed rewritings of §6 (everything except `Orig` and
+    /// `Random`), in the order the paper lists them.
+    pub const PROPOSED: [Rewriting; 5] =
+        [Rewriting::Ilf, Rewriting::Ind, Rewriting::Dnd, Rewriting::IlfInd, Rewriting::IlfDnd];
+
+    /// Short name as used in the paper's figures.
+    pub fn name(self) -> String {
+        match self {
+            Rewriting::Orig => "Orig".into(),
+            Rewriting::Ilf => "ILF".into(),
+            Rewriting::Ind => "IND".into(),
+            Rewriting::Dnd => "DND".into(),
+            Rewriting::IlfInd => "ILF+IND".into(),
+            Rewriting::IlfDnd => "ILF+DND".into(),
+            Rewriting::Random(seed) => format!("RND({seed})"),
+        }
+    }
+
+    /// Computes this rewriting's node-ID permutation for `query`.
+    ///
+    /// `stats` must be the label statistics of the **stored** graph (or
+    /// whole stored database) — the ILF family sorts by stored-graph label
+    /// frequency, not query label frequency (§6: "we compute the frequencies
+    /// of node labels in the stored graph").
+    pub fn permutation(self, query: &Graph, stats: &LabelStats) -> Permutation {
+        let n = query.node_count();
+        match self {
+            Rewriting::Orig => Permutation::identity(n),
+            Rewriting::Random(seed) => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                Permutation::random(n, &mut rng)
+            }
+            _ => {
+                let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+                match self {
+                    Rewriting::Ilf => order.sort_by_key(|&v| (stats.frequency(query.label(v)), v)),
+                    Rewriting::Ind => order.sort_by_key(|&v| (query.degree(v), v)),
+                    Rewriting::Dnd => {
+                        order.sort_by_key(|&v| (std::cmp::Reverse(query.degree(v)), v))
+                    }
+                    Rewriting::IlfInd => order.sort_by_key(|&v| {
+                        (stats.frequency(query.label(v)), query.degree(v), v)
+                    }),
+                    Rewriting::IlfDnd => order.sort_by_key(|&v| {
+                        (
+                            stats.frequency(query.label(v)),
+                            std::cmp::Reverse(query.degree(v)),
+                            v,
+                        )
+                    }),
+                    Rewriting::Orig | Rewriting::Random(_) => unreachable!("handled above"),
+                }
+                Permutation::from_order(&order).expect("sorted 0..n is a permutation")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rewriting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Applies `rewriting` to `query`, returning the isomorphic rewritten query
+/// together with the old→new permutation (whose inverse converts embeddings
+/// of the rewritten query back to the original's node numbering).
+pub fn rewrite_query(
+    query: &Graph,
+    stats: &LabelStats,
+    rewriting: Rewriting,
+) -> (Graph, Permutation) {
+    let perm = rewriting.permutation(query, stats);
+    (perm.apply_to(query), perm)
+}
+
+/// Translates an embedding of the *rewritten* query back into the original
+/// query's node numbering: `result[orig_node] = embedding[perm.map(orig_node)]`.
+pub fn embedding_for_original(embedding: &[NodeId], perm: &Permutation) -> Vec<NodeId> {
+    (0..embedding.len())
+        .map(|orig| embedding[perm.map(orig as NodeId) as usize])
+        .collect()
+}
+
+/// Generates `k` distinct-seed random isomorphic instances of a query
+/// (the §5 experiment uses 6 per query).
+pub fn random_instances(query: &Graph, k: usize, base_seed: u64) -> Vec<(Graph, Permutation)> {
+    (0..k as u64)
+        .map(|i| {
+            let perm =
+                Rewriting::Random(base_seed.wrapping_add(i)).permutation(query, &LabelStats::new());
+            (perm.apply_to(query), perm)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::graph::graph_from_parts;
+    use psi_graph::permute::is_isomorphism_witness;
+
+    /// The paper's Fig. 5 example: a 7-node query with labels A, A, A, B,
+    /// B, C, C and stored-graph frequencies A=20, B=15, C=10.
+    fn fig5_query() -> Graph {
+        graph_from_parts(
+            &[0, 0, 0, 1, 1, 2, 2], // A=0, B=1, C=2
+            &[(0, 1), (0, 3), (1, 2), (1, 4), (2, 5), (3, 6), (4, 5)],
+        )
+    }
+
+    fn fig5_stats() -> LabelStats {
+        // Stored-graph frequencies from the Fig. 5 caption: A=20, B=15, C=10.
+        let mut labels = Vec::new();
+        labels.extend(std::iter::repeat(0).take(20));
+        labels.extend(std::iter::repeat(1).take(15));
+        labels.extend(std::iter::repeat(2).take(10));
+        LabelStats::from_graph(&graph_from_parts(&labels, &[]))
+    }
+
+    #[test]
+    fn all_rewritings_produce_isomorphic_graphs() {
+        let q = fig5_query();
+        let stats = fig5_stats();
+        for rw in
+            Rewriting::PROPOSED.into_iter().chain([Rewriting::Orig, Rewriting::Random(7)])
+        {
+            let (rq, perm) = rewrite_query(&q, &stats, rw);
+            assert!(is_isomorphism_witness(&q, &rq, &perm), "{rw} must be an isomorphism");
+        }
+    }
+
+    #[test]
+    fn ilf_orders_rare_labels_first() {
+        let q = fig5_query();
+        let (rq, _) = rewrite_query(&q, &fig5_stats(), Rewriting::Ilf);
+        // New ids 0..: C,C (freq 10), then B,B (15), then A,A,A (20).
+        let labels: Vec<u32> = rq.nodes().map(|v| rq.label(v)).collect();
+        assert_eq!(labels, vec![2, 2, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn ind_orders_small_degrees_first() {
+        let q = fig5_query();
+        let (rq, _) = rewrite_query(&q, &fig5_stats(), Rewriting::Ind);
+        let degs: Vec<usize> = rq.nodes().map(|v| rq.degree(v)).collect();
+        let mut sorted = degs.clone();
+        sorted.sort_unstable();
+        assert_eq!(degs, sorted, "degrees must be non-decreasing in new id order");
+    }
+
+    #[test]
+    fn dnd_orders_large_degrees_first() {
+        let q = fig5_query();
+        let (rq, _) = rewrite_query(&q, &fig5_stats(), Rewriting::Dnd);
+        let degs: Vec<usize> = rq.nodes().map(|v| rq.degree(v)).collect();
+        let mut sorted = degs.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(degs, sorted, "degrees must be non-increasing in new id order");
+    }
+
+    #[test]
+    fn ilf_ind_breaks_frequency_ties_by_degree() {
+        let q = fig5_query();
+        let stats = fig5_stats();
+        let (rq, _) = rewrite_query(&q, &stats, Rewriting::IlfInd);
+        let mut prev: Option<(u64, usize)> = None;
+        for v in rq.nodes() {
+            let key = (stats.frequency(rq.label(v)), rq.degree(v));
+            if let Some(p) = prev {
+                assert!(p <= key, "ILF+IND violated at node {v}: {p:?} then {key:?}");
+            }
+            prev = Some(key);
+        }
+    }
+
+    #[test]
+    fn ilf_dnd_breaks_frequency_ties_by_decreasing_degree() {
+        let q = fig5_query();
+        let stats = fig5_stats();
+        let (rq, _) = rewrite_query(&q, &stats, Rewriting::IlfDnd);
+        let mut prev: Option<(u64, std::cmp::Reverse<usize>)> = None;
+        for v in rq.nodes() {
+            let key = (stats.frequency(rq.label(v)), std::cmp::Reverse(rq.degree(v)));
+            if let Some(ref p) = prev {
+                assert!(*p <= key, "ILF+DND violated at node {v}");
+            }
+            prev = Some(key);
+        }
+    }
+
+    #[test]
+    fn orig_is_identity() {
+        let q = fig5_query();
+        let (rq, perm) = rewrite_query(&q, &fig5_stats(), Rewriting::Orig);
+        assert_eq!(q, rq);
+        assert!(perm.is_identity());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let q = fig5_query();
+        let s = fig5_stats();
+        let (a, _) = rewrite_query(&q, &s, Rewriting::Random(5));
+        let (b, _) = rewrite_query(&q, &s, Rewriting::Random(5));
+        let (c, _) = rewrite_query(&q, &s, Rewriting::Random(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c); // overwhelmingly likely for 7 nodes
+    }
+
+    #[test]
+    fn random_instances_distinct_seeds() {
+        let q = fig5_query();
+        let instances = random_instances(&q, 6, 100);
+        assert_eq!(instances.len(), 6);
+        for (g, p) in &instances {
+            assert!(is_isomorphism_witness(&q, g, p));
+        }
+    }
+
+    #[test]
+    fn embedding_translation_roundtrip() {
+        let q = fig5_query();
+        let stats = fig5_stats();
+        let (rq, perm) = rewrite_query(&q, &stats, Rewriting::IlfDnd);
+        // Identity "embedding" of the rewritten query into itself.
+        let emb: Vec<NodeId> = (0..rq.node_count() as NodeId).collect();
+        let back = embedding_for_original(&emb, &perm);
+        // back[orig] = perm.map(orig): original node orig maps to its new id.
+        for orig in q.nodes() {
+            assert_eq!(back[orig as usize], perm.map(orig));
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Rewriting::Ilf.name(), "ILF");
+        assert_eq!(Rewriting::IlfDnd.name(), "ILF+DND");
+        assert_eq!(Rewriting::Random(3).to_string(), "RND(3)");
+        assert_eq!(Rewriting::PROPOSED.len(), 5);
+    }
+
+    #[test]
+    fn empty_and_singleton_queries() {
+        let stats = fig5_stats();
+        let empty = graph_from_parts(&[], &[]);
+        let single = graph_from_parts(&[1], &[]);
+        for rw in Rewriting::PROPOSED {
+            let (e, _) = rewrite_query(&empty, &stats, rw);
+            assert_eq!(e.node_count(), 0);
+            let (s, _) = rewrite_query(&single, &stats, rw);
+            assert_eq!(s.label(0), 1);
+        }
+    }
+
+    #[test]
+    fn rewriting_preserves_matcher_answers() {
+        use psi_matchers_oracle::check;
+        check();
+    }
+
+    /// Tiny inline "oracle": rewritten queries must have the same embedding
+    /// count as the original under brute-force matching. Kept dependency-free
+    /// by doing the brute force inline (psi-matchers depends on psi-graph,
+    /// not on us, so we avoid a cycle).
+    mod psi_matchers_oracle {
+        use super::super::*;
+        use psi_graph::graph::graph_from_parts;
+
+        fn count_embeddings(q: &Graph, t: &Graph) -> usize {
+            fn bt(q: &Graph, t: &Graph, depth: NodeId, asn: &mut Vec<NodeId>, used: &mut Vec<bool>) -> usize {
+                if depth as usize == q.node_count() {
+                    return 1;
+                }
+                let mut total = 0;
+                for cand in t.nodes() {
+                    if used[cand as usize] || t.label(cand) != q.label(depth) {
+                        continue;
+                    }
+                    let ok = q.neighbors(depth).iter().all(|&qn| {
+                        qn >= depth || t.has_edge(asn[qn as usize], cand)
+                    });
+                    if !ok {
+                        continue;
+                    }
+                    asn[depth as usize] = cand;
+                    used[cand as usize] = true;
+                    total += bt(q, t, depth + 1, asn, used);
+                    used[cand as usize] = false;
+                }
+                total
+            }
+            let mut asn = vec![0; q.node_count()];
+            let mut used = vec![false; t.node_count()];
+            bt(q, t, 0, &mut asn, &mut used)
+        }
+
+        pub fn check() {
+            let t = graph_from_parts(
+                &[0, 0, 1, 1, 2, 2],
+                &[(0, 2), (2, 4), (4, 1), (1, 3), (3, 5), (5, 0), (0, 3)],
+            );
+            let stats = LabelStats::from_graph(&t);
+            let q = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]);
+            let want = count_embeddings(&q, &t);
+            for rw in Rewriting::PROPOSED.into_iter().chain([Rewriting::Random(1)]) {
+                let (rq, _) = rewrite_query(&q, &stats, rw);
+                assert_eq!(count_embeddings(&rq, &t), want, "{rw}");
+            }
+        }
+    }
+}

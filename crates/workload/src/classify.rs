@@ -1,0 +1,223 @@
+//! The easy / 2″–600″ / hard query classes (§3.4–3.5).
+//!
+//! "For all used methods, the majority of the queries completed in under 2″.
+//! We call them *easy* queries. Another portion of queries had processing
+//! times in the 2″ to 600″ range; we denote these *2″–600″* queries. We use
+//! the term *completed* to refer to all queries that finished within the 10′
+//! limit; those that did not are called *hard* or *killed*."
+//!
+//! The paper's 2″/600″ split is a 1:300 ratio of the cap. [`CapConfig`]
+//! preserves that ratio at any scale so the scaled-down reproduction keeps
+//! the same class semantics.
+
+use std::time::Duration;
+
+/// Query-time classification thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapConfig {
+    /// The kill limit (paper: 600 s).
+    pub cap: Duration,
+    /// The easy-class threshold (paper: 2 s = cap / 300).
+    pub easy: Duration,
+}
+
+impl CapConfig {
+    /// The paper's actual limits: 10-minute cap, 2-second easy threshold.
+    pub fn paper() -> Self {
+        Self { cap: Duration::from_secs(600), easy: Duration::from_secs(2) }
+    }
+
+    /// A scaled cap preserving the paper's 1:300 easy:cap ratio.
+    pub fn scaled(cap: Duration) -> Self {
+        Self { cap, easy: cap / 300 }
+    }
+
+    /// Explicit thresholds.
+    pub fn new(cap: Duration, easy: Duration) -> Self {
+        assert!(easy <= cap, "easy threshold cannot exceed the cap");
+        Self { cap, easy }
+    }
+
+    /// Classifies one query execution. `conclusive` is false when the run
+    /// was killed at the cap (timed out).
+    pub fn classify(&self, time: Duration, conclusive: bool) -> Class {
+        if !conclusive || time >= self.cap {
+            Class::Hard
+        } else if time < self.easy {
+            Class::Easy
+        } else {
+            Class::Mid
+        }
+    }
+
+    /// The paper's accounting convention: killed queries are charged the
+    /// cap as a lower bound on their true time.
+    pub fn charged_time(&self, time: Duration, conclusive: bool) -> Duration {
+        if !conclusive || time >= self.cap {
+            self.cap
+        } else {
+            time
+        }
+    }
+}
+
+/// The three §3.4 classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Completed under the easy threshold (paper: < 2″).
+    Easy,
+    /// Completed between the easy threshold and the cap (paper: 2″–600″).
+    Mid,
+    /// Killed at the cap (paper: "hard"/"killed").
+    Hard,
+}
+
+impl Class {
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::Easy => "easy",
+            Class::Mid => "2\"-600\"",
+            Class::Hard => "hard",
+        }
+    }
+}
+
+/// Per-class aggregation of one (algorithm, workload) cell — the data behind
+/// Figs 1–2 and Tables 3–4.
+#[derive(Debug, Clone, Default)]
+pub struct ClassBreakdown {
+    /// Times of easy queries (seconds).
+    pub easy: Vec<f64>,
+    /// Times of 2″–600″ queries (seconds).
+    pub mid: Vec<f64>,
+    /// Number of killed queries.
+    pub hard: usize,
+}
+
+impl ClassBreakdown {
+    /// Adds one classified execution (time in seconds).
+    pub fn push(&mut self, class: Class, secs: f64) {
+        match class {
+            Class::Easy => self.easy.push(secs),
+            Class::Mid => self.mid.push(secs),
+            Class::Hard => self.hard += 1,
+        }
+    }
+
+    /// Total number of queries.
+    pub fn total(&self) -> usize {
+        self.easy.len() + self.mid.len() + self.hard
+    }
+
+    /// Percentage of a class in the workload.
+    pub fn percent(&self, class: Class) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return 0.0;
+        }
+        let k = match class {
+            Class::Easy => self.easy.len(),
+            Class::Mid => self.mid.len(),
+            Class::Hard => self.hard,
+        };
+        100.0 * k as f64 / n as f64
+    }
+
+    /// WLA average execution time of the easy class.
+    pub fn avg_easy(&self) -> Option<f64> {
+        avg(&self.easy)
+    }
+
+    /// WLA average execution time of the 2″–600″ class.
+    pub fn avg_mid(&self) -> Option<f64> {
+        avg(&self.mid)
+    }
+
+    /// WLA average over all *completed* (non-killed) queries — the bar that
+    /// the paper shows being dominated by the expensive queries.
+    pub fn avg_completed(&self) -> Option<f64> {
+        let all: Vec<f64> = self.easy.iter().chain(self.mid.iter()).copied().collect();
+        avg(&all)
+    }
+}
+
+fn avg(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_thresholds() {
+        let c = CapConfig::paper();
+        assert_eq!(c.cap, Duration::from_secs(600));
+        assert_eq!(c.easy, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn scaled_preserves_ratio() {
+        let c = CapConfig::scaled(Duration::from_millis(3000));
+        assert_eq!(c.easy, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn classification() {
+        let c = CapConfig::scaled(Duration::from_millis(300));
+        assert_eq!(c.classify(Duration::from_micros(500), true), Class::Easy);
+        assert_eq!(c.classify(Duration::from_millis(50), true), Class::Mid);
+        assert_eq!(c.classify(Duration::from_millis(300), true), Class::Hard);
+        assert_eq!(c.classify(Duration::from_millis(1), false), Class::Hard);
+    }
+
+    #[test]
+    fn charged_time_caps_killed_queries() {
+        let c = CapConfig::scaled(Duration::from_millis(100));
+        assert_eq!(c.charged_time(Duration::from_millis(5), true), Duration::from_millis(5));
+        assert_eq!(c.charged_time(Duration::from_millis(5), false), Duration::from_millis(100));
+        assert_eq!(c.charged_time(Duration::from_millis(150), true), Duration::from_millis(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "easy threshold")]
+    fn invalid_thresholds_rejected() {
+        CapConfig::new(Duration::from_secs(1), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn breakdown_percentages() {
+        let mut b = ClassBreakdown::default();
+        b.push(Class::Easy, 0.001);
+        b.push(Class::Easy, 0.002);
+        b.push(Class::Mid, 0.1);
+        b.push(Class::Hard, 1.0);
+        assert_eq!(b.total(), 4);
+        assert!((b.percent(Class::Easy) - 50.0).abs() < 1e-9);
+        assert!((b.percent(Class::Mid) - 25.0).abs() < 1e-9);
+        assert!((b.percent(Class::Hard) - 25.0).abs() < 1e-9);
+        assert!((b.avg_easy().unwrap() - 0.0015).abs() < 1e-9);
+        assert!((b.avg_completed().unwrap() - (0.001 + 0.002 + 0.1) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let b = ClassBreakdown::default();
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.percent(Class::Easy), 0.0);
+        assert!(b.avg_easy().is_none());
+        assert!(b.avg_completed().is_none());
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(Class::Easy.label(), "easy");
+        assert_eq!(Class::Mid.label(), "2\"-600\"");
+        assert_eq!(Class::Hard.label(), "hard");
+    }
+}

@@ -1,0 +1,28 @@
+//! # psi-workload — query workloads, caps and straggler-aware metrics
+//!
+//! Everything the paper's experimental methodology (§3.4–3.5) needs:
+//!
+//! * [`query_gen`] — the random-walk query generator: "select a graph ...
+//!   uniformly and at random, and from that graph ... a node uniformly and
+//!   at random. Starting from said node, we generate a query graph by
+//!   incrementally adding edges chosen uniformly at random from the set of
+//!   all edges adjacent to the resulting query graph, until it reaches the
+//!   desired size."
+//! * [`classify`] — the easy / 2″–600″ / hard query classes, parameterized
+//!   by a scalable cap (the paper's 10-minute limit with its 2-second easy
+//!   threshold preserved as a 1:300 ratio).
+//! * [`metrics`] — WLA and QLA aggregation, the `(max/min)` isomorphic-
+//!   variance metric and `speedup★`, plus summary statistics, including the
+//!   paper's conventions (killed queries count at the cap; queries unhelped
+//!   by every variant are excluded).
+//! * [`runner`] — capped execution helpers producing per-query records.
+
+pub mod classify;
+pub mod metrics;
+pub mod query_gen;
+pub mod runner;
+
+pub use classify::{CapConfig, Class, ClassBreakdown};
+pub use metrics::{qla, speedup_star, wla, SummaryStats};
+pub use query_gen::{QueryGen, Workloads};
+pub use runner::{run_with_cap, RunRecord};

@@ -1,0 +1,255 @@
+//! The paper's performance metrics (§3.5).
+//!
+//! Two aggregation styles for comparing measurement sets `A` (baseline) and
+//! `B` (alternative):
+//!
+//! * **WLA** (Workload-Level Aggregation): `avg(B) / avg(A)` — "the
+//!   improvement in the overall average execution time ... important from
+//!   the system perspective".
+//! * **QLA** (Query-Level Average): `avg(B_i / A_i)` — "the average of
+//!   per-query improvements ... user-centric".
+//!
+//! Plus the two derived metrics:
+//!
+//! * **(max/min)** — over a query's isomorphic instances,
+//!   `max_j(t_{i,j}) / min_j(t_{i,j})`; 1 means no variance (§5).
+//! * **speedup★** — `t_i / T` where `T` is the best alternative's time
+//!   (best rewriting, best algorithm, or the Ψ race); "what we lose if we
+//!   choose the original method over the various alternatives" (§6–8).
+
+/// Summary statistics reported in the paper's tables (stdDev, min, max,
+/// median — plus the mean shown in the figures).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (midpoint average for even counts).
+    pub median: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl SummaryStats {
+    /// Computes the summary of `values`; `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values are finite"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        Some(Self {
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            median,
+            count: values.len(),
+        })
+    }
+}
+
+/// WLA ratio of two measurement sets: `avg(b) / avg(a)`.
+/// Returns `None` when either set is empty or `avg(a)` is zero.
+pub fn wla(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let avg_a = a.iter().sum::<f64>() / a.len() as f64;
+    let avg_b = b.iter().sum::<f64>() / b.len() as f64;
+    (avg_a != 0.0).then(|| avg_b / avg_a)
+}
+
+/// QLA ratio of two *aligned* measurement sets: `avg_i(b[i] / a[i])`.
+/// Pairs with `a[i] == 0` are skipped. Returns `None` when nothing remains.
+pub fn qla(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "QLA requires aligned per-query measurements");
+    let ratios: Vec<f64> =
+        a.iter().zip(b).filter(|(x, _)| **x != 0.0).map(|(x, y)| y / x).collect();
+    if ratios.is_empty() {
+        None
+    } else {
+        Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+    }
+}
+
+/// The per-query `(max/min)` metric over one query's isomorphic-instance
+/// times (§3.5). `None` for empty input or a zero minimum.
+pub fn max_min_ratio(instance_times: &[f64]) -> Option<f64> {
+    let min = instance_times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = instance_times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if instance_times.is_empty() || min <= 0.0 {
+        None
+    } else {
+        Some(max / min)
+    }
+}
+
+/// The per-query `speedup★` metric: baseline time over the best
+/// alternative's time (§3.5). `None` when the alternative time is zero.
+pub fn speedup_star(baseline: f64, best_alternative: f64) -> Option<f64> {
+    (best_alternative > 0.0).then(|| baseline / best_alternative)
+}
+
+/// Applies the paper's §5/§6 exclusion rule, then computes per-query
+/// `(max/min)` QLA statistics: queries whose *every* instance hit the cap
+/// ("not helped by any of the isomorphic instances tried") are excluded.
+///
+/// `times[i]` holds query `i`'s per-instance times (already charged at the
+/// cap for killed runs); `cap` is that charge value.
+pub fn max_min_qla(times: &[Vec<f64>], cap: f64) -> Option<SummaryStats> {
+    let ratios: Vec<f64> = times
+        .iter()
+        .filter(|instances| instances.iter().any(|&t| t < cap))
+        .filter_map(|instances| max_min_ratio(instances))
+        .collect();
+    SummaryStats::of(&ratios)
+}
+
+/// Per-query `speedup★` QLA statistics with the same exclusion rule:
+/// `baselines[i]` vs the best of `alternatives[i]` (both cap-charged).
+/// Queries where baseline *and* every alternative hit the cap are excluded.
+pub fn speedup_qla(baselines: &[f64], alternatives: &[Vec<f64>], cap: f64) -> Option<SummaryStats> {
+    assert_eq!(baselines.len(), alternatives.len(), "aligned per-query inputs required");
+    let speedups: Vec<f64> = baselines
+        .iter()
+        .zip(alternatives)
+        .filter(|(b, alts)| **b < cap || alts.iter().any(|&t| t < cap))
+        .filter_map(|(b, alts)| {
+            let best = alts.iter().copied().fold(f64::INFINITY, f64::min);
+            speedup_star(*b, best)
+        })
+        .collect();
+    SummaryStats::of(&speedups)
+}
+
+/// `speedup★` at the workload level: `avg(baselines) / avg(best
+/// alternative per query)`.
+pub fn speedup_wla(baselines: &[f64], alternatives: &[Vec<f64>]) -> Option<f64> {
+    assert_eq!(baselines.len(), alternatives.len(), "aligned per-query inputs required");
+    if baselines.is_empty() {
+        return None;
+    }
+    let bests: Vec<f64> = alternatives
+        .iter()
+        .map(|alts| alts.iter().copied().fold(f64::INFINITY, f64::min))
+        .collect();
+    wla(&bests, baselines) // avg(baselines) / avg(bests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_stats_basic() {
+        let s = SummaryStats::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.count, 4);
+        assert!((s.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_stats_odd_median() {
+        let s = SummaryStats::of(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn summary_stats_empty() {
+        assert!(SummaryStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn wla_vs_qla_differ() {
+        // The §3.5 distinction: one big query dominates WLA but not QLA.
+        let a = [100.0, 1.0]; // baseline
+        let b = [50.0, 1.0]; // alternative
+        let w = wla(&a, &b).unwrap(); // avg 25.5 / 50.5
+        let q = qla(&a, &b).unwrap(); // avg(0.5, 1.0)
+        assert!((w - 51.0 / 101.0).abs() < 1e-12);
+        assert!((q - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qla_skips_zero_baselines() {
+        assert_eq!(qla(&[0.0, 2.0], &[5.0, 4.0]), Some(2.0));
+        assert_eq!(qla(&[0.0], &[5.0]), None);
+    }
+
+    #[test]
+    fn max_min_basics() {
+        assert_eq!(max_min_ratio(&[2.0, 8.0, 4.0]), Some(4.0));
+        assert_eq!(max_min_ratio(&[3.0]), Some(1.0));
+        assert_eq!(max_min_ratio(&[]), None);
+        assert_eq!(max_min_ratio(&[0.0, 1.0]), None);
+    }
+
+    #[test]
+    fn speedup_star_basics() {
+        assert_eq!(speedup_star(10.0, 2.0), Some(5.0));
+        assert_eq!(speedup_star(10.0, 0.0), None);
+        // Original faster than alternatives -> speedup < 1 is allowed.
+        assert_eq!(speedup_star(1.0, 2.0), Some(0.5));
+    }
+
+    #[test]
+    fn max_min_qla_applies_exclusion_rule() {
+        let cap = 600.0;
+        let times = vec![
+            vec![1.0, 10.0],       // helped: ratio 10
+            vec![600.0, 600.0],    // all killed: excluded
+            vec![600.0, 6.0],      // helped: ratio 100
+        ];
+        let s = max_min_qla(&times, cap).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 55.0);
+    }
+
+    #[test]
+    fn speedup_qla_applies_exclusion_rule() {
+        let cap = 600.0;
+        let base = vec![600.0, 600.0, 10.0];
+        let alts = vec![
+            vec![600.0, 6.0],   // rewriting rescued a killed query: 100×
+            vec![600.0, 600.0], // nothing helped: excluded
+            vec![5.0, 20.0],    // modest win: 2×
+        ];
+        let s = speedup_qla(&base, &alts, cap).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 51.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn speedup_wla_ratio_of_averages() {
+        let base = vec![100.0, 10.0];
+        let alts = vec![vec![50.0, 75.0], vec![10.0, 2.0]];
+        // bests = [50, 2]; avg(base)=55, avg(bests)=26.
+        assert!((speedup_wla(&base, &alts).unwrap() - 55.0 / 26.0).abs() < 1e-12);
+        assert!(speedup_wla(&[], &[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn qla_requires_alignment() {
+        let _ = qla(&[1.0], &[1.0, 2.0]);
+    }
+}

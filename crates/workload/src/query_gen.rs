@@ -1,0 +1,241 @@
+//! Random-walk query generation (§3.4 of the paper).
+//!
+//! Queries grow edge-by-edge from a random start node, each step choosing
+//! uniformly among *all* edges adjacent to the current partial query (which
+//! includes edges closing cycles between already-chosen nodes). Node IDs in
+//! the generated query follow first-touch order — an arbitrary assignment,
+//! exactly the "original" numbering whose pathologies the rewritings fix.
+
+use psi_graph::{Graph, GraphBuilder, NodeId};
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Deterministic query generator over a source graph or database.
+#[derive(Debug)]
+pub struct QueryGen {
+    rng: ChaCha8Rng,
+}
+
+impl QueryGen {
+    /// Creates a generator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Grows one query of exactly `target_edges` edges from a uniformly
+    /// random start node of `g`. Returns `None` if the start node's
+    /// component has fewer than `target_edges` edges (the paper's datasets
+    /// always have enough; small test graphs may not).
+    pub fn query_from_graph(&mut self, g: &Graph, target_edges: usize) -> Option<Graph> {
+        if g.node_count() == 0 {
+            return None;
+        }
+        let start = self.rng.random_range(0..g.node_count() as NodeId);
+        grow_query(g, start, target_edges, &mut self.rng)
+    }
+
+    /// §3.4 database form: select a stored graph uniformly at random, then
+    /// grow. Returns the source graph index along with the query.
+    pub fn query_from_db(&mut self, db: &[Graph], target_edges: usize) -> Option<(usize, Graph)> {
+        if db.is_empty() {
+            return None;
+        }
+        let gid = self.rng.random_range(0..db.len());
+        let q = self.query_from_graph(&db[gid], target_edges)?;
+        Some((gid, q))
+    }
+}
+
+/// Grows a query of `target_edges` edges starting at `start` (see module
+/// docs). Returns `None` when the component around `start` runs out of
+/// adjacent edges first.
+pub fn grow_query<R: Rng + ?Sized>(
+    g: &Graph,
+    start: NodeId,
+    target_edges: usize,
+    rng: &mut R,
+) -> Option<Graph> {
+    let mut nodes: Vec<NodeId> = vec![start]; // first-touch order
+    let mut node_set: HashSet<NodeId> = HashSet::from([start]);
+    let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::new();
+
+    while chosen.len() < target_edges {
+        // All graph edges adjacent to the current query, not yet chosen.
+        let mut frontier: Vec<(NodeId, NodeId)> = Vec::new();
+        for &u in &nodes {
+            for &v in g.neighbors(u) {
+                let e = (u.min(v), u.max(v));
+                if !chosen.contains(&e) {
+                    frontier.push(e);
+                }
+            }
+        }
+        frontier.sort_unstable();
+        frontier.dedup();
+        let &(u, v) = frontier.choose(rng)?;
+        chosen.insert((u, v));
+        for w in [u, v] {
+            if node_set.insert(w) {
+                nodes.push(w);
+            }
+        }
+    }
+
+    // Remap to dense ids in first-touch order.
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::with_capacity(nodes.len());
+    let mut b = GraphBuilder::with_capacity(nodes.len(), chosen.len());
+    for (i, &n) in nodes.iter().enumerate() {
+        remap.insert(n, i as NodeId);
+        b.add_node(g.label(n));
+    }
+    for (u, v) in chosen {
+        b.add_edge(remap[&u], remap[&v]).expect("remapped edges are valid");
+    }
+    Some(b.build().expect("generated query is a valid graph"))
+}
+
+/// Workload builders mirroring the paper's setups (§3.4): fixed query sizes
+/// in edges, N queries per size.
+pub struct Workloads;
+
+impl Workloads {
+    /// The paper's NFV query sizes (10, 16, 20, 24, 32 edges).
+    pub const NFV_SIZES: [usize; 5] = [10, 16, 20, 24, 32];
+    /// The paper's PPI query sizes (16, 20, 24, 32 edges).
+    pub const PPI_SIZES: [usize; 4] = [16, 20, 24, 32];
+    /// The paper's synthetic-dataset query sizes (24, 32, 40 edges).
+    pub const SYNTHETIC_SIZES: [usize; 3] = [24, 32, 40];
+
+    /// `count` queries of `edges` edges against a single stored graph
+    /// (NFV setting). Queries that cannot reach the size (tiny components)
+    /// are skipped, so fewer than `count` may return on degenerate inputs.
+    pub fn nfv_workload(g: &Graph, edges: usize, count: usize, seed: u64) -> Vec<Graph> {
+        let mut gen = QueryGen::new(seed ^ (edges as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut out = Vec::with_capacity(count);
+        let mut attempts = 0;
+        while out.len() < count && attempts < count * 20 {
+            attempts += 1;
+            if let Some(q) = gen.query_from_graph(g, edges) {
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    /// `count` (source graph, query) pairs against a database (FTV setting).
+    pub fn ftv_workload(
+        db: &[Graph],
+        edges: usize,
+        count: usize,
+        seed: u64,
+    ) -> Vec<(usize, Graph)> {
+        let mut gen = QueryGen::new(seed ^ (edges as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
+        let mut out = Vec::with_capacity(count);
+        let mut attempts = 0;
+        while out.len() < count && attempts < count * 20 {
+            attempts += 1;
+            if let Some(pair) = gen.query_from_db(db, edges) {
+                out.push(pair);
+            }
+        }
+        out
+    }
+
+    /// One query of `edges` edges (convenience for examples/doctests).
+    pub fn single_query(g: &Graph, edges: usize, seed: u64) -> Option<Graph> {
+        QueryGen::new(seed).query_from_graph(g, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::components::is_connected;
+    use psi_graph::generate::{random_connected_graph, LabelDist};
+    use psi_graph::graph::graph_from_parts;
+    use psi_matchers::bruteforce;
+
+    fn source() -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let labels = LabelDist::Uniform { num_labels: 5 }.sampler();
+        random_connected_graph(60, 150, &labels, &mut rng)
+    }
+
+    #[test]
+    fn query_has_requested_size_and_is_connected() {
+        let g = source();
+        for edges in [4, 8, 16] {
+            let q = Workloads::single_query(&g, edges, 42).expect("generable");
+            assert_eq!(q.edge_count(), edges);
+            assert!(is_connected(&q), "random-walk queries are connected");
+        }
+    }
+
+    #[test]
+    fn query_is_contained_in_source() {
+        let g = source();
+        for seed in 0..5 {
+            let q = Workloads::single_query(&g, 6, seed).unwrap();
+            assert!(bruteforce::contains(&q, &g), "grown query must embed in its source");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = source();
+        let a = Workloads::single_query(&g, 8, 7).unwrap();
+        let b = Workloads::single_query(&g, 8, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn too_large_queries_return_none() {
+        let g = graph_from_parts(&[0, 1], &[(0, 1)]);
+        assert!(Workloads::single_query(&g, 5, 1).is_none());
+        assert!(Workloads::single_query(&graph_from_parts(&[], &[]), 1, 1).is_none());
+    }
+
+    #[test]
+    fn exact_component_size_query_possible() {
+        // Component has exactly 3 edges: a triangle.
+        let g = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        let q = Workloads::single_query(&g, 3, 9).unwrap();
+        assert_eq!(q.edge_count(), 3);
+        assert_eq!(q.node_count(), 3);
+    }
+
+    #[test]
+    fn workload_counts() {
+        let g = source();
+        let w = Workloads::nfv_workload(&g, 8, 10, 5);
+        assert_eq!(w.len(), 10);
+        let db = vec![source(), source()];
+        let fw = Workloads::ftv_workload(&db, 8, 10, 5);
+        assert_eq!(fw.len(), 10);
+        for (gid, q) in &fw {
+            assert!(*gid < 2);
+            assert!(bruteforce::contains(q, &db[*gid]));
+        }
+    }
+
+    #[test]
+    fn cycle_edges_can_be_included() {
+        // On a dense source, some generated query should contain a cycle
+        // (frontier includes edges between already-chosen nodes).
+        let g = source();
+        let found_cycle = (0..30).any(|seed| {
+            let q = Workloads::single_query(&g, 10, seed).unwrap();
+            q.edge_count() >= q.node_count() // cyclomatic number > 0
+        });
+        assert!(found_cycle, "no generated query ever closed a cycle");
+    }
+
+    #[test]
+    fn paper_size_constants() {
+        assert_eq!(Workloads::NFV_SIZES, [10, 16, 20, 24, 32]);
+        assert_eq!(Workloads::PPI_SIZES, [16, 20, 24, 32]);
+        assert_eq!(Workloads::SYNTHETIC_SIZES, [24, 32, 40]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Capped execution helpers: run a search under a kill limit and produce
+//! the per-query record the metrics consume.
+
+use crate::classify::{CapConfig, Class};
+use psi_matchers::{MatchResult, SearchBudget, StopReason};
+use std::time::{Duration, Instant};
+
+/// The outcome of one capped execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunRecord {
+    /// Measured wall time (not cap-charged).
+    pub raw_time: Duration,
+    /// Cap-charged time in seconds (killed queries count at the cap —
+    /// the paper's §3.5 convention). This is the value metrics consume.
+    pub charged_secs: f64,
+    /// Class under the run's [`CapConfig`].
+    pub class: Class,
+    /// Whether the run produced a definitive answer.
+    pub conclusive: bool,
+    /// Whether at least one embedding was found.
+    pub found: bool,
+}
+
+impl RunRecord {
+    /// Whether this run was killed at the cap.
+    pub fn killed(&self) -> bool {
+        self.class == Class::Hard
+    }
+}
+
+/// Runs `f` under the cap: the search budget carries a deadline at
+/// `cfg.cap`; the result is classified and cap-charged.
+///
+/// `max_matches` is the embedding cap (1 for decision runs, 1000 for the
+/// paper's matching runs).
+pub fn run_with_cap<F>(f: F, cfg: &CapConfig, max_matches: usize) -> (RunRecord, MatchResult)
+where
+    F: FnOnce(&SearchBudget) -> MatchResult,
+{
+    let budget = SearchBudget::with_max_matches(max_matches).timeout(cfg.cap);
+    let start = Instant::now();
+    let result = f(&budget);
+    let raw_time = start.elapsed();
+    let conclusive = result.stop.is_conclusive();
+    let record = RunRecord {
+        raw_time,
+        charged_secs: cfg.charged_time(raw_time, conclusive).as_secs_f64(),
+        class: cfg.classify(raw_time, conclusive),
+        conclusive,
+        found: result.found(),
+    };
+    (record, result)
+}
+
+/// Marker record for runs that were skipped entirely (used by harness code
+/// when a variant is inapplicable): charged at the cap, classed hard.
+pub fn killed_record(cfg: &CapConfig) -> RunRecord {
+    RunRecord {
+        raw_time: cfg.cap,
+        charged_secs: cfg.cap.as_secs_f64(),
+        class: Class::Hard,
+        conclusive: false,
+        found: false,
+    }
+}
+
+/// Convenience conversion used in tests and the harness: builds a record
+/// from an already-measured result.
+pub fn record_from_result(result: &MatchResult, wall: Duration, cfg: &CapConfig) -> RunRecord {
+    let conclusive = result.stop.is_conclusive();
+    // Cancelled racers are *not* charged the cap; their time is simply the
+    // point at which they stopped (they lost, they weren't killed by the
+    // experiment limit).
+    let charged = if result.stop == StopReason::Cancelled {
+        wall
+    } else {
+        cfg.charged_time(wall, conclusive)
+    };
+    RunRecord {
+        raw_time: wall,
+        charged_secs: charged.as_secs_f64(),
+        class: cfg.classify(wall, conclusive),
+        conclusive,
+        found: result.found(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::graph::graph_from_parts;
+    use psi_matchers::vf2::vf2_search;
+
+    #[test]
+    fn quick_run_is_easy_and_conclusive() {
+        let t = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let q = graph_from_parts(&[0], &[]);
+        let cfg = CapConfig::scaled(Duration::from_secs(30));
+        let (rec, res) = run_with_cap(|b| vf2_search(&q, &t, b), &cfg, 1);
+        assert!(rec.conclusive);
+        assert!(rec.found);
+        assert_eq!(rec.class, Class::Easy);
+        assert!(!rec.killed());
+        assert_eq!(res.num_matches, 1);
+        assert!(rec.charged_secs < 1.0);
+    }
+
+    #[test]
+    fn expired_cap_counts_as_hard_and_charged() {
+        let t = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let q = graph_from_parts(&[0], &[]);
+        let cfg = CapConfig::scaled(Duration::ZERO);
+        let (rec, _) = run_with_cap(|b| vf2_search(&q, &t, b), &cfg, 1);
+        assert!(!rec.conclusive);
+        assert_eq!(rec.class, Class::Hard);
+        assert_eq!(rec.charged_secs, 0.0); // cap of zero charges zero
+    }
+
+    #[test]
+    fn killed_record_shape() {
+        let cfg = CapConfig::scaled(Duration::from_secs(10));
+        let r = killed_record(&cfg);
+        assert!(r.killed());
+        assert_eq!(r.charged_secs, 10.0);
+        assert!(!r.found);
+    }
+
+    #[test]
+    fn cancelled_racers_keep_their_wall_time() {
+        let cfg = CapConfig::scaled(Duration::from_secs(100));
+        let res = MatchResult::empty(StopReason::Cancelled);
+        let rec = record_from_result(&res, Duration::from_millis(5), &cfg);
+        assert!((rec.charged_secs - 0.005).abs() < 1e-9);
+        assert!(!rec.conclusive);
+    }
+
+    #[test]
+    fn timed_out_results_are_cap_charged() {
+        let cfg = CapConfig::scaled(Duration::from_secs(100));
+        let res = MatchResult::empty(StopReason::TimedOut);
+        let rec = record_from_result(&res, Duration::from_secs(100), &cfg);
+        assert_eq!(rec.charged_secs, 100.0);
+        assert_eq!(rec.class, Class::Hard);
+    }
+}

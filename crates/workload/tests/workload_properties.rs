@@ -1,0 +1,97 @@
+//! Property tests for the workload layer: query-generation contracts and
+//! metric identities.
+
+use proptest::prelude::*;
+use psi_graph::generate::{random_connected_graph, LabelDist};
+use psi_workload::metrics::{max_min_ratio, qla, speedup_qla, speedup_star, wla, SummaryStats};
+use psi_workload::{CapConfig, Class, QueryGen};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated queries are connected subgraphs of the requested size,
+    /// with labels drawn from the source graph's alphabet.
+    #[test]
+    fn prop_query_gen_contract(seed in 0u64..50_000, edges in 1usize..12) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let labels = LabelDist::Uniform { num_labels: 4 }.sampler();
+        let g = random_connected_graph(25, 50, &labels, &mut rng);
+        if let Some(q) = QueryGen::new(seed).query_from_graph(&g, edges) {
+            prop_assert_eq!(q.edge_count(), edges);
+            prop_assert!(psi_graph::components::is_connected(&q));
+            prop_assert!(q.max_label().unwrap_or(0) < 4);
+            prop_assert!(q.node_count() <= edges + 1);
+        }
+    }
+
+    /// Metric identities: comparing a set against itself gives exactly 1.
+    #[test]
+    fn prop_self_comparison_is_one(times in prop::collection::vec(0.001f64..100.0, 1..50)) {
+        prop_assert!((wla(&times, &times).expect("non-empty") - 1.0).abs() < 1e-9);
+        prop_assert!((qla(&times, &times).expect("non-empty") - 1.0).abs() < 1e-9);
+    }
+
+    /// (max/min) is ≥ 1 and scale-invariant.
+    #[test]
+    fn prop_max_min_scale_invariant(
+        times in prop::collection::vec(0.001f64..100.0, 1..10),
+        k in 0.01f64..100.0,
+    ) {
+        let r = max_min_ratio(&times).expect("positive inputs");
+        prop_assert!(r >= 1.0 - 1e-12);
+        let scaled: Vec<f64> = times.iter().map(|t| t * k).collect();
+        let rs = max_min_ratio(&scaled).expect("positive inputs");
+        prop_assert!((r - rs).abs() / r < 1e-9);
+    }
+
+    /// speedup★ against the best alternative is always ≥ speedup★ against
+    /// any single alternative.
+    #[test]
+    fn prop_best_alternative_dominates(
+        base in 0.001f64..100.0,
+        alts in prop::collection::vec(0.001f64..100.0, 1..8),
+    ) {
+        let best = alts.iter().copied().fold(f64::INFINITY, f64::min);
+        let s_best = speedup_star(base, best).expect("positive");
+        for &a in &alts {
+            prop_assert!(s_best >= speedup_star(base, a).expect("positive") - 1e-12);
+        }
+    }
+
+    /// SummaryStats bounds: min ≤ median ≤ max, min ≤ mean ≤ max,
+    /// stddev ≥ 0.
+    #[test]
+    fn prop_summary_stats_bounds(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = SummaryStats::of(&values).expect("non-empty");
+        prop_assert!(s.min <= s.median + 1e-9);
+        prop_assert!(s.median <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+        prop_assert_eq!(s.count, values.len());
+    }
+
+    /// Classification is monotone in time: a slower completed run never
+    /// lands in an "easier" class.
+    #[test]
+    fn prop_classification_monotone(a in 0u64..10_000, b in 0u64..10_000) {
+        let cfg = CapConfig::scaled(Duration::from_millis(3000));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let cl = cfg.classify(Duration::from_micros(lo), true);
+        let ch = cfg.classify(Duration::from_micros(hi), true);
+        let rank = |c: Class| match c { Class::Easy => 0, Class::Mid => 1, Class::Hard => 2 };
+        prop_assert!(rank(cl) <= rank(ch));
+    }
+
+    /// The exclusion rule: if every per-query instance sits at the cap,
+    /// speedup aggregation returns no samples at all.
+    #[test]
+    fn prop_exclusion_rule_total(n in 1usize..10) {
+        let cap = 600.0;
+        let base = vec![cap; n];
+        let alts = vec![vec![cap; 3]; n];
+        prop_assert!(speedup_qla(&base, &alts, cap).is_none());
+    }
+}

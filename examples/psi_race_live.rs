@@ -1,0 +1,78 @@
+//! Watch the Ψ-framework race live: per-variant wall times, winner
+//! histogram, and the predictor extension (§9's future work) choosing a
+//! single variant once it has seen enough races.
+//!
+//! ```text
+//! cargo run --release --example psi_race_live
+//! ```
+
+use psi::prelude::*;
+use psi_core::predictor::{QueryFeatures, VariantPredictor};
+use psi_core::{PsiConfig, PsiRunner, RaceBudget, Variant};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let stored = psi::graph::datasets::yeast_like(0.4, 23);
+    let shared = Arc::new(stored.clone());
+    let stats = psi::graph::LabelStats::from_graph(&stored);
+
+    // 4 racing variants: {GQL, SPA} × {Orig, DND}.
+    let psi = PsiRunner::new(Arc::clone(&shared), PsiConfig::gql_spa_orig_dnd());
+    let variants: Vec<Variant> = psi.config().variants.clone();
+    println!("racing {} variants: {:?}\n", variants.len(),
+             variants.iter().map(ToString::to_string).collect::<Vec<_>>());
+
+    let queries = Workloads::nfv_workload(&stored, 16, 24, 77);
+    let mut wins = vec![0usize; variants.len()];
+    let mut predictor = VariantPredictor::new(3);
+    let mut predictor_hits = 0usize;
+    let mut predictions = 0usize;
+
+    for (qi, q) in queries.iter().enumerate() {
+        let features = QueryFeatures::extract(q, &stats);
+        // After a warm-up, ask the predictor first (the §9 extension).
+        let predicted = if predictor.observations() >= 8 {
+            predictions += 1;
+            predictor.predict(&features)
+        } else {
+            None
+        };
+
+        let outcome = psi.race(q, RaceBudget::matching().timeout(Duration::from_secs(1)));
+        let Some(widx) = outcome.winner_index else {
+            println!("query {qi}: no variant finished under the cap");
+            continue;
+        };
+        wins[widx] += 1;
+        predictor.observe(features, widx);
+        if predicted == Some(widx) {
+            predictor_hits += 1;
+        }
+
+        let w = &outcome.per_variant[widx];
+        print!(
+            "query {qi:>2}: winner {:<12} {:>8.2?}  | losers: ",
+            w.label.to_string(),
+            w.wall
+        );
+        for (i, vr) in outcome.per_variant.iter().enumerate() {
+            if i != widx {
+                print!("{}={:?} ", vr.label, vr.result.stop);
+            }
+        }
+        println!();
+    }
+
+    println!("\nwinner histogram:");
+    for (v, w) in variants.iter().zip(&wins) {
+        println!("  {:<12} {w} wins", v.to_string());
+    }
+    if predictions > 0 {
+        println!(
+            "\npredictor (3-NN over query features): {predictor_hits}/{predictions} winners \
+             predicted correctly after warm-up"
+        );
+    }
+    println!("\nno single variant wins everywhere — racing them all is the Ψ insurance.");
+}

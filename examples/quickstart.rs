@@ -1,0 +1,68 @@
+//! Quickstart: build a graph, run a query, race the Ψ-framework.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use psi::prelude::*;
+use psi_core::RaceBudget;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A small stored graph: a labeled social-ish network.
+    //    Labels: 0 = person, 1 = group, 2 = page.
+    let mut b = GraphBuilder::new();
+    let alice = b.add_node(0);
+    let bob = b.add_node(0);
+    let carol = b.add_node(0);
+    let dave = b.add_node(0);
+    let club = b.add_node(1);
+    let page = b.add_node(2);
+    for (u, v) in [(alice, bob), (bob, carol), (carol, dave), (dave, alice), (alice, club),
+                   (bob, club), (carol, page), (dave, page)] {
+        b.add_edge(u, v).expect("valid edge");
+    }
+    let stored = b.build().expect("valid graph");
+    println!("stored graph: {} nodes, {} edges", stored.node_count(), stored.edge_count());
+
+    // 2. A pattern: two connected persons who are both in a group.
+    let mut qb = GraphBuilder::new();
+    let p1 = qb.add_node(0);
+    let p2 = qb.add_node(0);
+    let g = qb.add_node(1);
+    qb.add_edge(p1, p2).unwrap();
+    qb.add_edge(p1, g).unwrap();
+    qb.add_edge(p2, g).unwrap();
+    let query = qb.build().unwrap();
+
+    // 3. Solo run with one algorithm (GraphQL).
+    let gql = psi::matchers::Algorithm::GraphQl.prepare(Arc::new(stored.clone()));
+    let solo = gql.search(&query, &SearchBudget::paper_default());
+    println!("GraphQL found {} embeddings in {:?}", solo.num_matches, solo.elapsed);
+    for e in &solo.embeddings {
+        println!("  pattern → stored: {e:?}");
+    }
+
+    // 4. The Ψ-framework: race GraphQL and sPath in parallel; the first
+    //    conclusive answer wins and the loser is cancelled.
+    let psi = PsiRunner::nfv_default(&stored);
+    let outcome = psi.race(&query, RaceBudget::matching());
+    let winner = outcome.winner().expect("someone always wins on this tiny input");
+    println!(
+        "Ψ race: winner = {} with {} embeddings in {:?} (race total {:?})",
+        winner.label, winner.result.num_matches, outcome.elapsed, outcome.join_elapsed,
+    );
+
+    // 5. Rewritings: the same query with node IDs permuted by stored-graph
+    //    label frequency (ILF) — same answers, possibly very different time.
+    let stats = LabelStats::from_graph(&stored);
+    let (rewritten, perm) = rewrite_query(&query, &stats, Rewriting::Ilf);
+    println!(
+        "ILF rewriting: node {} (label {}) now leads the search",
+        perm.map(0),
+        rewritten.label(0)
+    );
+    let r = gql.search(&rewritten, &SearchBudget::paper_default());
+    assert_eq!(r.num_matches, solo.num_matches, "isomorphic rewritings preserve answers");
+    println!("rewritten query: same {} embeddings — rewritings are safe", r.num_matches);
+}

@@ -1,0 +1,50 @@
+//! # psi — the Ψ-framework umbrella crate
+//!
+//! Reproduction of *"Subgraph Querying with Parallel Use of Query Rewritings
+//! and Alternative Algorithms"* (Katsarou, Ntarmos, Triantafillou — EDBT
+//! 2017). This crate re-exports every sub-crate of the workspace so
+//! downstream users need a single dependency:
+//!
+//! * [`graph`] — labeled CSR graphs, generators, dataset presets;
+//! * [`matchers`] — the NFV subgraph-isomorphism algorithms (VF2, Ullmann,
+//!   QuickSI, GraphQL, sPath) behind a common [`matchers::Matcher`] trait;
+//! * [`ftv`] — the filter-then-verify systems (Grapes, GGSX) over multi-graph
+//!   databases;
+//! * [`rewrite`] — the isomorphic query rewritings (ILF, IND, DND, ILF+IND,
+//!   ILF+DND, random);
+//! * [`core`] — the Ψ-framework itself: parallel racing of
+//!   (rewriting × algorithm) variants with cooperative cancellation;
+//! * [`workload`] — query-workload generation and the paper's metric
+//!   machinery (easy/2″–600″/hard classes, WLA/QLA, (max/min), speedup★).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use psi::prelude::*;
+//!
+//! // A small stored graph and a triangle query.
+//! let stored = psi::graph::datasets::yeast_like(0.05, 42);
+//! let query = Workloads::single_query(&stored, 8, 7).expect("query");
+//!
+//! // Race GraphQL and sPath on the original query plus an ILF rewriting.
+//! let psi = PsiRunner::nfv_default(&stored);
+//! let outcome = psi.race(&query, RaceBudget::with_max_matches(1));
+//! assert!(outcome.winner().is_some());
+//! ```
+
+pub use psi_core as core;
+pub use psi_ftv as ftv;
+pub use psi_graph as graph;
+pub use psi_matchers as matchers;
+pub use psi_rewrite as rewrite;
+pub use psi_workload as workload;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use psi_core::{PsiConfig, PsiOutcome, PsiRunner, RaceBudget, Variant};
+    pub use psi_ftv::{GgsxIndex, GrapesIndex, GraphDb};
+    pub use psi_graph::{Graph, GraphBuilder, LabelStats, Permutation};
+    pub use psi_matchers::{MatchResult, Matcher, SearchBudget, StopReason};
+    pub use psi_rewrite::{rewrite_query, Rewriting};
+    pub use psi_workload::{QueryGen, Workloads};
+}

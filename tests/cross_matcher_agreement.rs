@@ -1,0 +1,115 @@
+//! Integration: all five matchers agree with the brute-force oracle — and
+//! therefore with each other — on full embedding sets, across random
+//! graph/query pairs and across every rewriting.
+
+use proptest::prelude::*;
+use psi::graph::generate::{random_connected_graph, LabelDist};
+use psi::graph::{Graph, LabelStats};
+use psi::matchers::{bruteforce, Algorithm, Matcher, SearchBudget};
+use psi::rewrite::{rewrite_query, Rewriting};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+const ALL_ALGORITHMS: [Algorithm; 5] = [
+    Algorithm::Vf2,
+    Algorithm::Ullmann,
+    Algorithm::QuickSi,
+    Algorithm::GraphQl,
+    Algorithm::SPath,
+];
+
+fn random_pair(seed: u64, nt: usize, mt: usize, nq: usize, mq: usize) -> (Graph, Graph) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+    let target = random_connected_graph(nt, mt, &labels, &mut rng);
+    let query = random_connected_graph(nq, mq, &labels, &mut rng);
+    (query, target)
+}
+
+fn sorted_embeddings(mut e: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+    e.sort();
+    e
+}
+
+#[test]
+fn all_matchers_agree_with_oracle_on_fixed_cases() {
+    for seed in 0..15u64 {
+        let (query, target) = random_pair(seed, 12, 20, 4, 5);
+        let oracle = sorted_embeddings(
+            bruteforce::enumerate(&query, &target, &SearchBudget::unlimited()).embeddings,
+        );
+        let shared = Arc::new(target.clone());
+        for alg in ALL_ALGORITHMS {
+            let m = alg.prepare(Arc::clone(&shared));
+            let got =
+                sorted_embeddings(m.search(&query, &SearchBudget::unlimited()).embeddings);
+            assert_eq!(got, oracle, "{alg} disagrees with oracle on seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn all_matchers_agree_under_all_rewritings() {
+    let (query, target) = random_pair(99, 14, 26, 5, 6);
+    let stats = LabelStats::from_graph(&target);
+    let shared = Arc::new(target.clone());
+    let baseline =
+        bruteforce::enumerate(&query, &target, &SearchBudget::unlimited()).num_matches;
+    for alg in ALL_ALGORITHMS {
+        let m = alg.prepare(Arc::clone(&shared));
+        for rw in Rewriting::PROPOSED.into_iter().chain([Rewriting::Orig, Rewriting::Random(5)]) {
+            let (rq, _) = rewrite_query(&query, &stats, rw);
+            let got = m.search(&rq, &SearchBudget::unlimited()).num_matches;
+            assert_eq!(got, baseline, "{alg} × {rw} changed the embedding count");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Embedding sets are identical across all algorithms for arbitrary
+    /// (connected random target, connected random query) pairs.
+    #[test]
+    fn prop_matchers_agree(seed in 0u64..10_000, nt in 6usize..14, nq in 2usize..5) {
+        let (query, target) = random_pair(seed, nt, nt + nt / 2, nq, nq);
+        let oracle = sorted_embeddings(
+            bruteforce::enumerate(&query, &target, &SearchBudget::unlimited()).embeddings,
+        );
+        let shared = Arc::new(target);
+        for alg in ALL_ALGORITHMS {
+            let m = alg.prepare(Arc::clone(&shared));
+            let got = sorted_embeddings(m.search(&query, &SearchBudget::unlimited()).embeddings);
+            prop_assert_eq!(&got, &oracle, "{} disagrees", alg);
+        }
+    }
+
+    /// The decision answer is invariant under random isomorphic rewritings
+    /// for every algorithm.
+    #[test]
+    fn prop_rewriting_preserves_decision(seed in 0u64..10_000, perm_seed in 0u64..1000) {
+        let (query, target) = random_pair(seed, 10, 16, 4, 4);
+        let stats = LabelStats::from_graph(&target);
+        let (rq, _) = rewrite_query(&query, &stats, Rewriting::Random(perm_seed));
+        let shared = Arc::new(target);
+        let expected = bruteforce::contains(&query, &shared);
+        for alg in ALL_ALGORITHMS {
+            let m = alg.prepare(Arc::clone(&shared));
+            prop_assert_eq!(m.contains(&rq), expected, "{} changed decision", alg);
+        }
+    }
+
+    /// The embedding cap is always honored exactly.
+    #[test]
+    fn prop_match_cap_honored(seed in 0u64..10_000, cap in 1usize..6) {
+        let (query, target) = random_pair(seed, 12, 22, 3, 2);
+        let total = bruteforce::enumerate(&query, &target, &SearchBudget::unlimited()).num_matches;
+        let shared = Arc::new(target);
+        for alg in ALL_ALGORITHMS {
+            let m = alg.prepare(Arc::clone(&shared));
+            let got = m.search(&query, &SearchBudget::with_max_matches(cap)).num_matches;
+            prop_assert_eq!(got, total.min(cap), "{} wrong under cap", alg);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Integration: the full FTV pipeline — dataset generation → index build →
+//! filter → verify → Ψ racing — agrees with ground truth end to end.
+
+use proptest::prelude::*;
+use psi::core::ftv::{FtvEngine, PsiFtvRunner};
+use psi::core::RaceBudget;
+use psi::ftv::{GgsxIndex, GraphDb, GrapesIndex};
+use psi::graph::generate::{random_connected_graph, LabelDist};
+use psi::matchers::{bruteforce, SearchBudget};
+use psi::rewrite::Rewriting;
+use psi::workload::Workloads;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn small_db(seed: u64) -> GraphDb {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let labels = LabelDist::Zipf { num_labels: 4, exponent: 0.9 }.sampler();
+    GraphDb::new((0..8).map(|_| random_connected_graph(18, 30, &labels, &mut rng)).collect())
+}
+
+fn ground_truth(db: &GraphDb, query: &psi::graph::Graph) -> Vec<usize> {
+    db.iter().filter(|(_, g)| bruteforce::contains(query, g)).map(|(gid, _)| gid).collect()
+}
+
+#[test]
+fn grapes_and_ggsx_match_ground_truth() {
+    let db = small_db(1);
+    let grapes1 = GrapesIndex::build(&db, 3, 1);
+    let grapes4 = GrapesIndex::build(&db, 3, 4);
+    let ggsx = GgsxIndex::build(&db, 3);
+    let graphs: Vec<psi::graph::Graph> = db.iter().map(|(_, g)| (**g).clone()).collect();
+    for seed in 0..10 {
+        let Some((_, query)) = psi::workload::QueryGen::new(seed).query_from_db(&graphs, 5) else {
+            continue;
+        };
+        let want = ground_truth(&db, &query);
+        for (name, got) in [
+            ("Grapes/1", grapes1.query(&query, &SearchBudget::first_match()).matching_graphs),
+            ("Grapes/4", grapes4.query(&query, &SearchBudget::first_match()).matching_graphs),
+            ("GGSX", ggsx.query(&query, &SearchBudget::first_match()).matching_graphs),
+        ] {
+            assert_eq!(got, want, "{name} wrong on seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn psi_ftv_racing_matches_ground_truth() {
+    let db = small_db(2);
+    let grapes = Arc::new(GrapesIndex::build(&db, 3, 1));
+    let psi = PsiFtvRunner::new(
+        FtvEngine::Grapes(grapes),
+        vec![Rewriting::Ilf, Rewriting::Ind, Rewriting::Dnd, Rewriting::IlfDnd],
+    );
+    let graphs: Vec<psi::graph::Graph> = db.iter().map(|(_, g)| (**g).clone()).collect();
+    for seed in 20..28 {
+        let Some((_, query)) = psi::workload::QueryGen::new(seed).query_from_db(&graphs, 6) else {
+            continue;
+        };
+        let want = ground_truth(&db, &query);
+        let got = psi.query(&query, &RaceBudget::decision()).matching_graphs;
+        assert_eq!(got, want, "Ψ-FTV wrong on seed {seed}");
+    }
+}
+
+#[test]
+fn grown_queries_always_match_their_source() {
+    let db = small_db(3);
+    let grapes = GrapesIndex::build(&db, 3, 2);
+    let graphs: Vec<psi::graph::Graph> = db.iter().map(|(_, g)| (**g).clone()).collect();
+    for (gid, query) in Workloads::ftv_workload(&graphs, 6, 12, 9) {
+        let r = grapes.verify_graph(&query, gid, &SearchBudget::first_match());
+        assert!(r.found(), "query grown from graph {gid} must verify against it");
+    }
+}
+
+#[test]
+fn dataset_presets_flow_through_the_pipeline() {
+    // End-to-end with the actual paper-profile generators at tiny scale.
+    let db = GraphDb::new(psi::graph::datasets::ppi_like(0.02, 5));
+    let idx = GrapesIndex::build(&db, 3, 2);
+    let graphs: Vec<psi::graph::Graph> = db.iter().map(|(_, g)| (**g).clone()).collect();
+    let (gid, q) = psi::workload::QueryGen::new(4).query_from_db(&graphs, 8).expect("generable");
+    let out = idx.query(&q, &SearchBudget::first_match());
+    assert!(out.matching_graphs.contains(&gid));
+    assert_eq!(out.stop, psi::matchers::StopReason::Complete);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Filtering is sound across random databases: no containing graph is
+    /// ever pruned (false dismissals would be correctness bugs; false
+    /// positives are merely wasted verification).
+    #[test]
+    fn prop_filter_soundness(seed in 0u64..5_000, qseed in 0u64..1_000) {
+        let db = small_db(seed);
+        let grapes = GrapesIndex::build(&db, 3, 1);
+        let ggsx = GgsxIndex::build(&db, 3);
+        let graphs: Vec<psi::graph::Graph> = db.iter().map(|(_, g)| (**g).clone()).collect();
+        if let Some((_, query)) = psi::workload::QueryGen::new(qseed).query_from_db(&graphs, 4) {
+            let truth = ground_truth(&db, &query);
+            let gcand: Vec<usize> = grapes.filter(&query).into_iter().map(|(g, _)| g).collect();
+            let xcand = ggsx.filter(&query);
+            for gid in truth {
+                prop_assert!(gcand.contains(&gid), "Grapes pruned containing graph {}", gid);
+                prop_assert!(xcand.contains(&gid), "GGSX pruned containing graph {}", gid);
+            }
+        }
+    }
+}

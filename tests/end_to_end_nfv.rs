@@ -1,0 +1,121 @@
+//! Integration: the full NFV pipeline — dataset preset → workload
+//! generation → Ψ racing → metric computation.
+
+use psi::core::{PsiConfig, PsiRunner, RaceBudget, Variant};
+use psi::matchers::{Algorithm, SearchBudget};
+use psi::rewrite::Rewriting;
+use psi::workload::metrics::{qla, speedup_star, wla};
+use psi::workload::{CapConfig, Class, Workloads};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn full_pipeline_on_yeast_preset() {
+    let stored = psi::graph::datasets::yeast_like(0.1, 3);
+    let psi = PsiRunner::new(
+        Arc::new(stored.clone()),
+        PsiConfig::algorithms(
+            [Algorithm::GraphQl, Algorithm::SPath, Algorithm::QuickSi],
+            Rewriting::Orig,
+        ),
+    );
+    let queries = Workloads::nfv_workload(&stored, 8, 6, 17);
+    assert!(!queries.is_empty());
+    let cap = CapConfig::scaled(Duration::from_secs(5));
+
+    for q in &queries {
+        // Solo runs of every algorithm agree on the (capped) count.
+        let counts: Vec<usize> = [Algorithm::GraphQl, Algorithm::SPath, Algorithm::QuickSi]
+            .iter()
+            .map(|&a| {
+                psi.run_variant(q, Variant::new(a, Rewriting::Orig), &SearchBudget::paper_default())
+                    .num_matches
+            })
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "algorithms disagree below the cap: {counts:?}"
+        );
+        // Races are conclusive and consistent.
+        let outcome = psi.race(q, RaceBudget::matching().timeout(cap.cap));
+        assert!(outcome.is_conclusive());
+        assert_eq!(outcome.num_matches(), counts[0]);
+        // Grown queries always embed.
+        assert!(outcome.found(), "grown query must embed in its source");
+    }
+}
+
+#[test]
+fn race_wall_time_not_slower_than_cap() {
+    let stored = psi::graph::datasets::human_like(0.08, 3);
+    let psi = PsiRunner::nfv_default(&stored);
+    let queries = Workloads::nfv_workload(&stored, 12, 4, 5);
+    for q in &queries {
+        let cap = Duration::from_millis(500);
+        let outcome = psi.race(q, RaceBudget::matching().timeout(cap));
+        assert!(
+            outcome.join_elapsed < cap + Duration::from_millis(250),
+            "race overran its cap: {:?}",
+            outcome.join_elapsed
+        );
+        assert!(outcome.elapsed <= outcome.join_elapsed);
+    }
+}
+
+#[test]
+fn metrics_pipeline_over_real_measurements() {
+    let stored = psi::graph::datasets::wordnet_like(0.02, 3);
+    let psi = PsiRunner::nfv_default(&stored);
+    let queries = Workloads::nfv_workload(&stored, 6, 5, 31);
+    let cap = CapConfig::scaled(Duration::from_secs(2));
+
+    let mut gql_times = Vec::new();
+    let mut spa_times = Vec::new();
+    for q in &queries {
+        let (g, _) = psi::workload::run_with_cap(
+            |b| psi.run_variant(q, Variant::new(Algorithm::GraphQl, Rewriting::Orig), b),
+            &cap,
+            1000,
+        );
+        let (s, _) = psi::workload::run_with_cap(
+            |b| psi.run_variant(q, Variant::new(Algorithm::SPath, Rewriting::Orig), b),
+            &cap,
+            1000,
+        );
+        assert_ne!(g.class, Class::Hard, "tiny wordnet queries must finish");
+        gql_times.push(g.charged_secs);
+        spa_times.push(s.charged_secs);
+    }
+    // The metric machinery accepts real measurements end to end.
+    let w = wla(&gql_times, &spa_times).expect("non-empty measurements");
+    let q = qla(&gql_times, &spa_times).expect("non-empty measurements");
+    assert!(w > 0.0 && q > 0.0);
+    let s = speedup_star(gql_times[0], spa_times[0]).expect("positive time");
+    assert!(s.is_finite());
+}
+
+#[test]
+fn winner_embeddings_are_valid_in_original_numbering() {
+    use psi::matchers::matcher::is_valid_embedding;
+    let stored = psi::graph::datasets::yeast_like(0.08, 9);
+    let runner = PsiRunner::new(
+        Arc::new(stored.clone()),
+        PsiConfig::new(vec![
+            Variant::new(Algorithm::GraphQl, Rewriting::IlfDnd),
+            Variant::new(Algorithm::SPath, Rewriting::Dnd),
+            Variant::new(Algorithm::QuickSi, Rewriting::Ilf),
+        ]),
+    );
+    for seed in 0..5 {
+        let Some(q) = Workloads::single_query(&stored, 7, seed) else { continue };
+        let outcome = runner.race(&q, RaceBudget::with_max_matches(20));
+        let w = outcome.winner().expect("solvable");
+        assert!(w.result.found());
+        for emb in &w.result.embeddings {
+            assert!(
+                is_valid_embedding(&q, &stored, emb),
+                "embedding not translated back to original query numbering"
+            );
+        }
+    }
+}

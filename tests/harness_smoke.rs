@@ -1,0 +1,65 @@
+//! Integration: every experiment in the harness registry runs at smoke
+//! scale and produces plausible output (headers present, tables non-empty).
+//!
+//! This is the regression net for `repro all`: a broken measurement path
+//! fails here in seconds instead of during a multi-minute full run.
+
+use psi_bench::experiments::{registry, Ctx};
+use psi_bench::ExpConfig;
+
+#[test]
+fn every_experiment_runs_at_smoke_scale() {
+    let mut ctx = Ctx::new(ExpConfig::smoke());
+    for e in registry() {
+        let out = (e.run)(&mut ctx);
+        assert!(!out.trim().is_empty(), "{} produced no output", e.id);
+        assert!(
+            out.lines().count() >= 4,
+            "{} output suspiciously short:\n{out}",
+            e.id
+        );
+    }
+}
+
+#[test]
+fn experiment_output_contains_expected_sections() {
+    let mut ctx = Ctx::new(ExpConfig::smoke());
+    let checks: Vec<(&str, Vec<&str>)> = vec![
+        ("table1", vec!["PPI(paper)", "PPI(ours)", "synthetic(ours)"]),
+        ("table2", vec!["yeast(ours)", "human(ours)", "wordnet(ours)"]),
+        ("fig1", vec!["Grapes/1", "Grapes/4", "GGSX", "% hard"]),
+        ("fig2", vec!["GQL", "SPA", "QSI", "% hard"]),
+        ("fig5", vec!["ILF", "IND", "node 0 [C]"]),
+        ("fig9", vec!["yeast2alg", "yeast3alg"]),
+        ("fig10", vec!["Ψ(ILF/ILF+IND)", "Ψ(all_rewritings)"]),
+        ("fig12", vec!["Grapes/4", "Ψ(Grapes/1)"]),
+        ("fig14", vec!["Ψ([GQL/SPA]-[Or])", "vs GQL", "vs SPA"]),
+        ("table10", vec!["Ψ-framework"]),
+    ];
+    let reg = registry();
+    for (id, needles) in checks {
+        let e = reg.iter().find(|e| e.id == id).expect("experiment exists");
+        let out = (e.run)(&mut ctx);
+        for needle in needles {
+            assert!(out.contains(needle), "{id} output missing '{needle}':\n{out}");
+        }
+    }
+}
+
+#[test]
+fn labs_are_cached_across_experiments() {
+    use std::time::Instant;
+    let mut ctx = Ctx::new(ExpConfig::smoke());
+    let reg = registry();
+    let fig2 = reg.iter().find(|e| e.id == "fig2").expect("exists");
+    let t0 = Instant::now();
+    let _ = (fig2.run)(&mut ctx);
+    let first = t0.elapsed();
+    let t1 = Instant::now();
+    let _ = (fig2.run)(&mut ctx);
+    let second = t1.elapsed();
+    assert!(
+        second < first / 5 || second.as_millis() < 50,
+        "second run should reuse the measured lab ({first:?} then {second:?})"
+    );
+}

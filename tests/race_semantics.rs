@@ -1,0 +1,128 @@
+//! Integration: Ψ racing semantics under failure injection — deadline
+//! expiry mid-search, cancellation, poisoned (never-finishing) variants.
+
+use psi::core::{race, PsiOutcome, RaceBudget};
+use psi::matchers::{MatchResult, SearchBudget, StopReason};
+use std::time::Duration;
+
+type Entrant = Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send>;
+
+fn finisher(delay: Duration, matches: usize) -> Entrant {
+    Box::new(move |b: &SearchBudget| {
+        let clock = b.start();
+        let start = std::time::Instant::now();
+        while start.elapsed() < delay {
+            std::thread::sleep(Duration::from_micros(200));
+            if let Some(r) = clock.check_now() {
+                return MatchResult::empty(r);
+            }
+        }
+        MatchResult {
+            embeddings: vec![vec![0]; matches],
+            num_matches: matches,
+            stop: if matches > 0 { StopReason::MatchLimit } else { StopReason::Complete },
+            stats: Default::default(),
+            elapsed: delay,
+        }
+    })
+}
+
+/// A variant that never finishes on its own but does honor cancellation —
+/// the "straggler" in every race.
+fn straggler() -> Entrant {
+    finisher(Duration::from_secs(3600), 1)
+}
+
+/// A poisoned variant that ignores cancellation for a while (a worst-case
+/// un-cooperative entrant); the race must still return once *it* ends.
+fn slow_to_die(check_after: Duration) -> Entrant {
+    Box::new(move |b: &SearchBudget| {
+        std::thread::sleep(check_after);
+        let clock = b.start();
+        match clock.check_now() {
+            Some(r) => MatchResult::empty(r),
+            None => MatchResult::empty(StopReason::Complete),
+        }
+    })
+}
+
+#[test]
+fn winner_beats_straggler_and_cancels_it() {
+    let outcome: PsiOutcome<&str> = race(
+        vec![("straggler", straggler()), ("sprinter", finisher(Duration::from_millis(5), 2))],
+        &RaceBudget::matching(),
+    );
+    assert_eq!(outcome.winner().unwrap().label, "sprinter");
+    assert_eq!(outcome.num_matches(), 2);
+    assert_eq!(outcome.per_variant[0].result.stop, StopReason::Cancelled);
+    // Ψ time is the winner's time, not the straggler's.
+    assert!(outcome.elapsed < Duration::from_millis(200));
+}
+
+#[test]
+fn all_stragglers_time_out_with_no_winner() {
+    let outcome: PsiOutcome<usize> = race(
+        vec![(0usize, straggler()), (1usize, straggler())],
+        &RaceBudget::decision().timeout(Duration::from_millis(30)),
+    );
+    assert!(outcome.winner().is_none());
+    for vr in &outcome.per_variant {
+        assert_eq!(vr.result.stop, StopReason::TimedOut);
+    }
+    assert!(outcome.elapsed >= Duration::from_millis(25));
+    assert!(outcome.elapsed < Duration::from_secs(5));
+}
+
+#[test]
+fn uncooperative_loser_delays_join_but_not_psi_time() {
+    let outcome: PsiOutcome<&str> = race(
+        vec![
+            ("zombie", slow_to_die(Duration::from_millis(120))),
+            ("sprinter", finisher(Duration::from_millis(2), 1)),
+        ],
+        &RaceBudget::decision(),
+    );
+    assert_eq!(outcome.winner().unwrap().label, "sprinter");
+    // Ψ-reported time: winner claim. Join time: zombie unwind.
+    assert!(outcome.elapsed < Duration::from_millis(100), "elapsed {:?}", outcome.elapsed);
+    assert!(outcome.join_elapsed >= Duration::from_millis(110));
+}
+
+#[test]
+fn first_of_equals_wins_and_only_one_wins() {
+    let outcome: PsiOutcome<usize> = race(
+        (0..6usize).map(|i| (i, finisher(Duration::from_millis(3), 1))).collect(),
+        &RaceBudget::decision(),
+    );
+    assert_eq!(outcome.per_variant.len(), 6);
+    assert!(outcome.winner_index.is_some());
+    let conclusive = outcome
+        .per_variant
+        .iter()
+        .filter(|v| v.result.stop.is_conclusive())
+        .count();
+    assert!(conclusive >= 1);
+}
+
+#[test]
+fn negative_complete_answer_beats_positive_straggler() {
+    // A variant that exhausts its space with zero matches is conclusive:
+    // Ψ must return "not contained" instead of waiting for the straggler.
+    let outcome: PsiOutcome<&str> = race(
+        vec![("empty", finisher(Duration::from_millis(2), 0)), ("straggler", straggler())],
+        &RaceBudget::decision(),
+    );
+    assert_eq!(outcome.winner().unwrap().label, "empty");
+    assert!(!outcome.found());
+    assert!(outcome.is_conclusive());
+}
+
+#[test]
+fn race_with_expired_deadline_returns_immediately() {
+    let outcome: PsiOutcome<&str> = race(
+        vec![("a", straggler())],
+        &RaceBudget::decision().timeout(Duration::ZERO),
+    );
+    assert!(outcome.winner().is_none());
+    assert!(outcome.join_elapsed < Duration::from_secs(1));
+}

@@ -1,0 +1,97 @@
+//! Integration: property tests for the rewriting layer against the whole
+//! stack — isomorphism witnesses, FTV filter invariance, metric plumbing.
+
+use proptest::prelude::*;
+use psi::ftv::{GgsxIndex, GraphDb, GrapesIndex};
+use psi::graph::generate::{random_connected_graph, LabelDist};
+use psi::graph::permute::is_isomorphism_witness;
+use psi::graph::{Graph, LabelStats, Permutation};
+use psi::rewrite::{rewrite_query, Rewriting};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_graph(seed: u64, n: usize, m: usize, labels: u32) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let dist = LabelDist::Uniform { num_labels: labels }.sampler();
+    random_connected_graph(n, m, &dist, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every rewriting of every random graph is isomorphic to the original,
+    /// witnessed by the returned permutation.
+    #[test]
+    fn prop_rewritings_are_isomorphisms(
+        seed in 0u64..100_000,
+        n in 2usize..20,
+        extra in 0usize..12,
+        stats_seed in 0u64..1000,
+    ) {
+        let g = arb_graph(seed, n, n - 1 + extra, 4);
+        let stats = LabelStats::from_graph(&arb_graph(stats_seed, 30, 45, 4));
+        for rw in Rewriting::PROPOSED.into_iter().chain([Rewriting::Orig, Rewriting::Random(seed)]) {
+            let (rq, perm) = rewrite_query(&g, &stats, rw);
+            prop_assert!(is_isomorphism_witness(&g, &rq, &perm), "{} broke isomorphism", rw);
+        }
+    }
+
+    /// Rewriting permutations compose correctly with their inverses.
+    #[test]
+    fn prop_permutation_inverse_roundtrip(seed in 0u64..100_000, n in 1usize..40) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let p = Permutation::random(n, &mut rng);
+        prop_assert!(p.then(&p.inverse()).is_identity());
+        prop_assert!(p.inverse().then(&p).is_identity());
+    }
+
+    /// FTV path features are rewriting-invariant, so the filter output is
+    /// identical for any isomorphic instance of the query — the property
+    /// that lets Ψ-FTV filter once and race only the verification (§8.1).
+    #[test]
+    fn prop_ftv_filter_is_rewriting_invariant(seed in 0u64..50_000, rw_seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dist = LabelDist::Uniform { num_labels: 3 }.sampler();
+        let db = GraphDb::new((0..5).map(|_| random_connected_graph(14, 22, &dist, &mut rng)).collect());
+        let stats = db.label_stats();
+        let grapes = GrapesIndex::build(&db, 3, 1);
+        let ggsx = GgsxIndex::build(&db, 3);
+        let query = random_connected_graph(4, 4, &dist, &mut rng);
+        let base_g: Vec<usize> = grapes.filter(&query).into_iter().map(|(g, _)| g).collect();
+        let base_x = ggsx.filter(&query);
+        for rw in Rewriting::PROPOSED.into_iter().chain([Rewriting::Random(rw_seed)]) {
+            let (rq, _) = rewrite_query(&query, &stats, rw);
+            let got_g: Vec<usize> = grapes.filter(&rq).into_iter().map(|(g, _)| g).collect();
+            prop_assert_eq!(&got_g, &base_g, "Grapes filter changed under {}", rw);
+            let got_x = ggsx.filter(&rq);
+            prop_assert_eq!(&got_x, &base_x, "GGSX filter changed under {}", rw);
+        }
+    }
+
+    /// Sorting keys of each rewriting hold on arbitrary graphs (ILF:
+    /// non-decreasing stored-frequency; IND/DND: monotone degrees).
+    #[test]
+    fn prop_rewriting_orderings_hold(seed in 0u64..100_000) {
+        let g = arb_graph(seed, 12, 18, 3);
+        let stats = LabelStats::from_graph(&arb_graph(seed ^ 1, 40, 60, 3));
+        let (ilf, _) = rewrite_query(&g, &stats, Rewriting::Ilf);
+        let freqs: Vec<u64> = ilf.nodes().map(|v| stats.frequency(ilf.label(v))).collect();
+        prop_assert!(freqs.windows(2).all(|w| w[0] <= w[1]), "ILF order violated");
+        let (ind, _) = rewrite_query(&g, &stats, Rewriting::Ind);
+        let degs: Vec<usize> = ind.nodes().map(|v| ind.degree(v)).collect();
+        prop_assert!(degs.windows(2).all(|w| w[0] <= w[1]), "IND order violated");
+        let (dnd, _) = rewrite_query(&g, &stats, Rewriting::Dnd);
+        let degs: Vec<usize> = dnd.nodes().map(|v| dnd.degree(v)).collect();
+        prop_assert!(degs.windows(2).all(|w| w[0] >= w[1]), "DND order violated");
+    }
+
+    /// CSR graphs survive an io round-trip unchanged (cross-crate: generate
+    /// → serialize → parse → compare).
+    #[test]
+    fn prop_io_roundtrip(seed in 0u64..100_000, n in 1usize..25) {
+        let g = arb_graph(seed, n, n + 3, 5);
+        let text = psi::graph::io::write_graph(&g);
+        let h = psi::graph::io::parse_graph(&text).expect("roundtrip parse");
+        prop_assert_eq!(g, h);
+    }
+}
