@@ -1,0 +1,110 @@
+//! Engine serving benchmarks: cache-hit vs. cold-race latency, and
+//! pooled-race throughput under concurrent clients vs. the one-shot
+//! thread-per-race library path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psi_core::{PsiConfig, PsiRunner, RaceBudget};
+use psi_engine::{Engine, EngineConfig, ServePath};
+use psi_graph::{datasets, Graph};
+use psi_workload::{submit_batch, Workloads};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn serving_engine(stored: &Graph, cache_capacity: usize) -> Engine {
+    Engine::new(
+        PsiRunner::new(Arc::new(stored.clone()), PsiConfig::gql_spa_orig_dnd()),
+        EngineConfig {
+            workers: 4,
+            max_concurrent_races: 4,
+            cache_capacity,
+            // Benchmarks isolate cache/race costs; keep the predictor out.
+            predictor_confidence: 2.0,
+            default_budget: RaceBudget::decision(),
+            ..EngineConfig::default()
+        },
+    )
+}
+
+fn bench_cache_vs_cold(c: &mut Criterion) {
+    let stored = datasets::yeast_like(0.2, 42);
+    let query = Workloads::single_query(&stored, 10, 9).expect("generable query");
+
+    let cold_engine = serving_engine(&stored, 0); // cache disabled: every submit races
+    let warm_engine = serving_engine(&stored, 4096);
+    warm_engine.submit(&query); // prime the cache
+
+    let mut group = c.benchmark_group("engine_repeat_query");
+    group.sample_size(20);
+    group.bench_function("cold_race", |b| b.iter(|| black_box(cold_engine.submit(&query))));
+    group.bench_function("cache_hit", |b| b.iter(|| black_box(warm_engine.submit(&query))));
+    group.finish();
+
+    // Direct headline number for the acceptance check: median cache-hit
+    // latency vs. median cold-race latency on the same repeated query.
+    let median = |f: &dyn Fn()| {
+        let mut times: Vec<f64> = (0..31)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        times[times.len() / 2]
+    };
+    let cold = median(&|| {
+        black_box(cold_engine.submit(&query));
+    });
+    let hit = median(&|| {
+        black_box(warm_engine.submit(&query));
+    });
+    assert_eq!(warm_engine.submit(&query).path, ServePath::CacheHit);
+    println!(
+        "engine_repeat_query/speedup: cache hit {:.1}x faster than cold race \
+         (cold {:.1} µs, hit {:.1} µs)",
+        cold / hit,
+        cold * 1e6,
+        hit * 1e6
+    );
+}
+
+fn bench_concurrent_throughput(c: &mut Criterion) {
+    let stored = datasets::yeast_like(0.2, 42);
+    let queries: Vec<Graph> = Workloads::nfv_workload(&stored, 8, 24, 7);
+    let runner = PsiRunner::new(Arc::new(stored.clone()), PsiConfig::gql_spa_orig_dnd());
+
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    // The library path: one scoped-thread race per query, serially.
+    group.bench_function("one_shot_races_serial", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(runner.race(q, RaceBudget::decision()));
+            }
+        })
+    });
+    // The serving path: same queries as concurrent traffic over a fixed
+    // pool (cache off so every query actually races).
+    let engine = serving_engine(&stored, 0);
+    group.bench_function("engine_pooled_8_clients", |b| {
+        b.iter(|| black_box(submit_batch(&engine, &queries, 8)))
+    });
+    // And with the cache on, a mostly-repeated workload collapses to hits.
+    let cached = serving_engine(&stored, 4096);
+    submit_batch(&cached, &queries, 8);
+    group.bench_function("engine_cached_8_clients", |b| {
+        b.iter(|| black_box(submit_batch(&cached, &queries, 8)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15);
+    targets = bench_cache_vs_cold, bench_concurrent_throughput
+}
+criterion_main!(benches);

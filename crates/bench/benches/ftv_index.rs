@@ -3,7 +3,7 @@
 //! whole-graph verification).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use psi_ftv::{GgsxIndex, GraphDb, GrapesIndex};
+use psi_ftv::{GgsxIndex, GrapesIndex, GraphDb};
 use psi_graph::datasets;
 use psi_matchers::SearchBudget;
 use psi_workload::Workloads;
@@ -17,12 +17,9 @@ fn bench_index_build(c: &mut Criterion) {
     let db = small_ppi();
     let mut group = c.benchmark_group("ftv_index_build");
     group.sample_size(10);
-    group.bench_function("grapes_1thread", |b| {
-        b.iter(|| black_box(GrapesIndex::build(&db, 3, 1)))
-    });
-    group.bench_function("grapes_4threads", |b| {
-        b.iter(|| black_box(GrapesIndex::build(&db, 3, 4)))
-    });
+    group.bench_function("grapes_1thread", |b| b.iter(|| black_box(GrapesIndex::build(&db, 3, 1))));
+    group
+        .bench_function("grapes_4threads", |b| b.iter(|| black_box(GrapesIndex::build(&db, 3, 4))));
     group.bench_function("ggsx", |b| b.iter(|| black_box(GgsxIndex::build(&db, 3))));
     group.finish();
 }
@@ -35,9 +32,7 @@ fn bench_filter_and_verify(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ftv_filter");
     for &edges in &[8usize, 16, 24] {
-        let (_, query) = Workloads::ftv_workload(&graphs, edges, 1, 5)
-            .pop()
-            .expect("generable");
+        let (_, query) = Workloads::ftv_workload(&graphs, edges, 1, 5).pop().expect("generable");
         group.bench_with_input(BenchmarkId::new("grapes", edges), &query, |b, q| {
             b.iter(|| black_box(grapes.filter(q)))
         });
@@ -59,7 +54,6 @@ fn bench_filter_and_verify(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Short measurement windows: the workspace has many benchmarks and the
 /// defaults (3s warm-up + 5s measurement each) would take tens of minutes.

@@ -19,7 +19,10 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| black_box(random_connected_graph(1000, 12_000, &labels, &mut rng)))
     });
     for (name, f) in [
-        ("yeast_like_0.2", Box::new(|| datasets::yeast_like(0.2, 3)) as Box<dyn Fn() -> psi_graph::Graph>),
+        (
+            "yeast_like_0.2",
+            Box::new(|| datasets::yeast_like(0.2, 3)) as Box<dyn Fn() -> psi_graph::Graph>,
+        ),
         ("human_like_0.2", Box::new(|| datasets::human_like(0.2, 3))),
         ("wordnet_like_0.1", Box::new(|| datasets::wordnet_like(0.1, 3))),
     ] {
@@ -47,16 +50,13 @@ fn bench_metric_kernels(c: &mut Criterion) {
     let per_query: Vec<Vec<f64>> =
         (0..200).map(|i| (0..6).map(|j| 1.0 + ((i * 7 + j * 13) % 100) as f64).collect()).collect();
     let baselines: Vec<f64> = (0..200).map(|i| 1.0 + (i % 50) as f64).collect();
-    c.bench_function("max_min_qla_200x6", |b| {
-        b.iter(|| black_box(max_min_qla(&per_query, 600.0)))
-    });
+    c.bench_function("max_min_qla_200x6", |b| b.iter(|| black_box(max_min_qla(&per_query, 600.0))));
     c.bench_function("speedup_qla_200x6", |b| {
         b.iter(|| black_box(speedup_qla(&baselines, &per_query, 600.0)))
     });
     let values: Vec<f64> = (0..10_000).map(|i| (i % 997) as f64).collect();
     c.bench_function("summary_stats_10k", |b| b.iter(|| black_box(SummaryStats::of(&values))));
 }
-
 
 /// Short measurement windows: the workspace has many benchmarks and the
 /// defaults (3s warm-up + 5s measurement each) would take tens of minutes.

@@ -25,11 +25,9 @@ fn bench_matchers(c: &mut Criterion) {
     for &edges in &[8usize, 16] {
         let query = Workloads::single_query(&stored, edges, 3).expect("generable");
         for (alg, m) in &prepared {
-            group.bench_with_input(
-                BenchmarkId::new(alg.short_name(), edges),
-                &query,
-                |b, q| b.iter(|| black_box(m.search(q, &SearchBudget::first_match()))),
-            );
+            group.bench_with_input(BenchmarkId::new(alg.short_name(), edges), &query, |b, q| {
+                b.iter(|| black_box(m.search(q, &SearchBudget::first_match())))
+            });
         }
     }
     group.finish();
@@ -56,7 +54,6 @@ fn bench_prepare(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Short measurement windows: the workspace has many benchmarks and the
 /// defaults (3s warm-up + 5s measurement each) would take tens of minutes.

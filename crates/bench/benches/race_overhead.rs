@@ -77,7 +77,6 @@ fn bench_predictor(c: &mut Criterion) {
     });
 }
 
-
 /// Short measurement windows: the workspace has many benchmarks and the
 /// defaults (3s warm-up + 5s measurement each) would take tens of minutes.
 fn quick() -> Criterion {

@@ -17,11 +17,9 @@ fn bench_rewritings(c: &mut Criterion) {
     for &edges in &[10usize, 20, 32, 40] {
         let query = Workloads::single_query(&stored, edges, 7).expect("generable");
         for rw in Rewriting::PROPOSED {
-            group.bench_with_input(
-                BenchmarkId::new(rw.name(), edges),
-                &query,
-                |b, q| b.iter(|| black_box(rewrite_query(q, &stats, rw))),
-            );
+            group.bench_with_input(BenchmarkId::new(rw.name(), edges), &query, |b, q| {
+                b.iter(|| black_box(rewrite_query(q, &stats, rw)))
+            });
         }
     }
     group.finish();
@@ -34,7 +32,6 @@ fn bench_label_stats(c: &mut Criterion) {
         b.iter(|| black_box(LabelStats::from_graph(&stored)))
     });
 }
-
 
 /// Short measurement windows: the workspace has many benchmarks and the
 /// defaults (3s warm-up + 5s measurement each) would take tens of minutes.

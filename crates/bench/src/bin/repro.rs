@@ -94,12 +94,10 @@ fn main() {
 
 fn take_value<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
     *i += 1;
-    args.get(*i)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("{flag} needs a value");
-            std::process::exit(2);
-        })
+    args.get(*i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
 }
 
 fn usage() {

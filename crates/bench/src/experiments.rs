@@ -76,7 +76,15 @@ fn stats_row(name: &str, s: Option<SummaryStats>) -> Vec<String> {
             num(s.median),
             s.count.to_string(),
         ],
-        None => vec![name.into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "0".into()],
+        None => vec![
+            name.into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "0".into(),
+        ],
     }
 }
 
@@ -84,10 +92,19 @@ fn stats_row(name: &str, s: Option<SummaryStats>) -> Vec<String> {
 
 /// Table 1: FTV dataset characteristics, paper vs generated.
 pub fn table1(ctx: &mut Ctx) -> String {
-    let mut out = String::from("Table 1: dataset characteristics for FTV methods (paper → ours)\n\n");
+    let mut out =
+        String::from("Table 1: dataset characteristics for FTV methods (paper → ours)\n\n");
     let mut t = TextTable::new(&[
-        "dataset", "#graphs", "#disconn", "#labels", "avg nodes", "stddev nodes", "avg edges",
-        "avg density", "avg degree", "avg #labels/graph",
+        "dataset",
+        "#graphs",
+        "#disconn",
+        "#labels",
+        "avg nodes",
+        "stddev nodes",
+        "avg edges",
+        "avg density",
+        "avg degree",
+        "avg #labels/graph",
     ]);
     let paper = [
         ("PPI(paper)", "20", "20", "46", "4942", "2648", "26667", "0.0022", "10.87", "28.5"),
@@ -95,8 +112,16 @@ pub fn table1(ctx: &mut Ctx) -> String {
     ];
     for p in paper {
         t.row(vec![
-            p.0.into(), p.1.into(), p.2.into(), p.3.into(), p.4.into(), p.5.into(),
-            p.6.into(), p.7.into(), p.8.into(), p.9.into(),
+            p.0.into(),
+            p.1.into(),
+            p.2.into(),
+            p.3.into(),
+            p.4.into(),
+            p.5.into(),
+            p.6.into(),
+            p.7.into(),
+            p.8.into(),
+            p.9.into(),
         ]);
     }
     for d in [FtvDataset::Ppi, FtvDataset::Synthetic] {
@@ -127,10 +152,18 @@ pub fn table1(ctx: &mut Ctx) -> String {
 
 /// Table 2: NFV dataset characteristics, paper vs generated.
 pub fn table2(ctx: &mut Ctx) -> String {
-    let mut out = String::from("Table 2: dataset characteristics for NFV methods (paper → ours)\n\n");
+    let mut out =
+        String::from("Table 2: dataset characteristics for NFV methods (paper → ours)\n\n");
     let mut t = TextTable::new(&[
-        "dataset", "#nodes", "#edges", "avg degree", "stddev degree", "density", "#labels",
-        "avg label freq", "stddev label freq",
+        "dataset",
+        "#nodes",
+        "#edges",
+        "avg degree",
+        "stddev degree",
+        "density",
+        "#labels",
+        "avg label freq",
+        "stddev label freq",
     ]);
     let paper = [
         ("yeast(paper)", "3112", "12519", "8.04", "14.50", "0.00258", "184", "127", "322.5"),
@@ -139,8 +172,15 @@ pub fn table2(ctx: &mut Ctx) -> String {
     ];
     for p in paper {
         t.row(vec![
-            p.0.into(), p.1.into(), p.2.into(), p.3.into(), p.4.into(), p.5.into(), p.6.into(),
-            p.7.into(), p.8.into(),
+            p.0.into(),
+            p.1.into(),
+            p.2.into(),
+            p.3.into(),
+            p.4.into(),
+            p.5.into(),
+            p.6.into(),
+            p.7.into(),
+            p.8.into(),
         ]);
     }
     for d in NfvDataset::ALL {
@@ -167,14 +207,16 @@ pub fn table2(ctx: &mut Ctx) -> String {
 
 // ------------------------------------------------------------------- Fig 1/2
 
-fn straggler_tables(
-    title: &str,
-    cells: Vec<(String, ClassBreakdown)>,
-) -> String {
+fn straggler_tables(title: &str, cells: Vec<(String, ClassBreakdown)>) -> String {
     let mut out = format!("{title}\n\n");
     let mut t = TextTable::new(&[
-        "method", "WLA-AET easy (ms)", "WLA-AET 2\"-600\" (ms)", "WLA-AET completed (ms)",
-        "% easy", "% 2\"-600\"", "% hard",
+        "method",
+        "WLA-AET easy (ms)",
+        "WLA-AET 2\"-600\" (ms)",
+        "WLA-AET completed (ms)",
+        "% easy",
+        "% 2\"-600\"",
+        "% hard",
     ]);
     for (name, b) in cells {
         t.row(vec![
@@ -246,7 +288,11 @@ fn size_class_table(lab: &NfvLab, dataset: &str) -> String {
     for size in [lo, hi] {
         let idx = lab.idx_of_size(size);
         let mut t = TextTable::new(&[
-            &format!("{size}-edge"), "AET easy (ms)", "% easy", "AET 2\"-600\" (ms)", "% 2\"-600\"",
+            &format!("{size}-edge"),
+            "AET easy (ms)",
+            "% easy",
+            "AET 2\"-600\" (ms)",
+            "% 2\"-600\"",
             "% hard",
         ]);
         for &alg in &lab.algs {
@@ -292,13 +338,14 @@ pub fn fig3(ctx: &mut Ctx) -> String {
     let mut out = String::from(
         "Fig 3 + Table 5: (max/min)QLA across isomorphic query instances, FTV methods\n\n",
     );
-    let mut t =
-        TextTable::new(&["dataset/method", "mean", "stddev", "min", "max", "median", "n"]);
+    let mut t = TextTable::new(&["dataset/method", "mean", "stddev", "min", "max", "median", "n"]);
     for d in FtvDataset::ALL {
         let lab = ctx.ftv(d);
         for &e in &lab.engines {
-            let times: Vec<Vec<f64>> =
-                lab.iso[e].iter().map(|inst| inst.iter().map(|r| r.charged_secs).collect()).collect();
+            let times: Vec<Vec<f64>> = lab.iso[e]
+                .iter()
+                .map(|inst| inst.iter().map(|r| r.charged_secs).collect())
+                .collect();
             let s = max_min_qla(&times, cap);
             t.row(stats_row(&format!("{}/{}", d.name(), e), s));
         }
@@ -316,13 +363,14 @@ pub fn fig4(ctx: &mut Ctx) -> String {
     let mut out = String::from(
         "Fig 4 + Table 6: (max/min)QLA across isomorphic query instances, NFV methods\n\n",
     );
-    let mut t =
-        TextTable::new(&["dataset/method", "mean", "stddev", "min", "max", "median", "n"]);
+    let mut t = TextTable::new(&["dataset/method", "mean", "stddev", "min", "max", "median", "n"]);
     for d in NfvDataset::ALL {
         let lab = ctx.nfv(d);
         for &a in &lab.algs {
-            let times: Vec<Vec<f64>> =
-                lab.iso[&a].iter().map(|inst| inst.iter().map(|r| r.charged_secs).collect()).collect();
+            let times: Vec<Vec<f64>> = lab.iso[&a]
+                .iter()
+                .map(|inst| inst.iter().map(|r| r.charged_secs).collect())
+                .collect();
             let s = max_min_qla(&times, cap);
             t.row(stats_row(&format!("{}/{}", d.name(), a), s));
         }
@@ -344,9 +392,9 @@ pub fn fig5(_ctx: &mut Ctx) -> String {
         &[(0, 1), (0, 3), (1, 2), (1, 4), (2, 5), (3, 6), (4, 5)],
     );
     let mut labels = Vec::new();
-    labels.extend(std::iter::repeat(0).take(20));
-    labels.extend(std::iter::repeat(1).take(15));
-    labels.extend(std::iter::repeat(2).take(10));
+    labels.extend(std::iter::repeat_n(0, 20));
+    labels.extend(std::iter::repeat_n(1, 15));
+    labels.extend(std::iter::repeat_n(2, 10));
     let stats = LabelStats::from_graph(&graph_from_parts(&labels, &[]));
     let letter = |l: u32| ["A", "B", "C"][l as usize];
     let mut out = String::from(
@@ -357,7 +405,8 @@ pub fn fig5(_ctx: &mut Ctx) -> String {
         let _ = writeln!(out, "{rw}:");
         for v in rq.nodes() {
             let nbrs: Vec<String> = rq.neighbors(v).iter().map(|n| n.to_string()).collect();
-            let _ = writeln!(out, "  node {v} [{}] -- {{{}}}", letter(rq.label(v)), nbrs.join(", "));
+            let _ =
+                writeln!(out, "  node {v} [{}] -- {{{}}}", letter(rq.label(v)), nbrs.join(", "));
         }
         out.push('\n');
     }
@@ -373,9 +422,7 @@ pub fn fig6(ctx: &mut Ctx) -> String {
     let mut out = String::from("Fig 6: individual query rewritings\n\n");
     {
         let lab = ctx.ftv(FtvDataset::Ppi);
-        let mut t = TextTable::new(&[
-            "PPI/FTV", "Orig", "ILF", "IND", "DND", "ILF+IND", "ILF+DND",
-        ]);
+        let mut t = TextTable::new(&["PPI/FTV", "Orig", "ILF", "IND", "DND", "ILF+IND", "ILF+DND"]);
         for &e in &lab.engines {
             let mut row_avg = vec![format!("{e} WLA-AET(ms)")];
             let mut row_hard = vec![format!("{e} %hard")];
@@ -393,9 +440,8 @@ pub fn fig6(ctx: &mut Ctx) -> String {
     }
     {
         let lab = ctx.nfv(NfvDataset::Yeast);
-        let mut t = TextTable::new(&[
-            "yeast/NFV", "Orig", "ILF", "IND", "DND", "ILF+IND", "ILF+DND",
-        ]);
+        let mut t =
+            TextTable::new(&["yeast/NFV", "Orig", "ILF", "IND", "DND", "ILF+IND", "ILF+DND"]);
         for &a in &lab.algs {
             let mut row_avg = vec![format!("{a} WLA-AET(ms)")];
             let mut row_hard = vec![format!("{a} %hard")];
@@ -425,10 +471,8 @@ fn rewriting_speedup(lab_base: &[f64], alts: Vec<Vec<f64>>, cap: f64) -> Option<
 /// Fig 7 + Table 7: FTV speedup★QLA across rewritings.
 pub fn fig7(ctx: &mut Ctx) -> String {
     let cap = ctx.cfg.cap_secs();
-    let mut out =
-        String::from("Fig 7 + Table 7: speedup★QLA across rewritings, FTV methods\n\n");
-    let mut t =
-        TextTable::new(&["dataset/method", "mean", "stddev", "min", "max", "median", "n"]);
+    let mut out = String::from("Fig 7 + Table 7: speedup★QLA across rewritings, FTV methods\n\n");
+    let mut t = TextTable::new(&["dataset/method", "mean", "stddev", "min", "max", "median", "n"]);
     for d in FtvDataset::ALL {
         let lab = ctx.ftv(d);
         for &e in &lab.engines {
@@ -452,10 +496,8 @@ pub fn fig7(ctx: &mut Ctx) -> String {
 /// Fig 8 + Table 8: NFV speedup★QLA across rewritings.
 pub fn fig8(ctx: &mut Ctx) -> String {
     let cap = ctx.cfg.cap_secs();
-    let mut out =
-        String::from("Fig 8 + Table 8: speedup★QLA across rewritings, NFV methods\n\n");
-    let mut t =
-        TextTable::new(&["dataset/method", "mean", "stddev", "min", "max", "median", "n"]);
+    let mut out = String::from("Fig 8 + Table 8: speedup★QLA across rewritings, NFV methods\n\n");
+    let mut t = TextTable::new(&["dataset/method", "mean", "stddev", "min", "max", "median", "n"]);
     for d in NfvDataset::ALL {
         let lab = ctx.nfv(d);
         for &a in &lab.algs {
@@ -486,8 +528,7 @@ pub fn fig9(ctx: &mut Ctx) -> String {
     let mut out = String::from(
         "Fig 9 + Table 9: speedup★QLA when utilizing different algorithms (orig query)\n\n",
     );
-    let mut t =
-        TextTable::new(&["setting/method", "mean", "stddev", "min", "max", "median", "n"]);
+    let mut t = TextTable::new(&["setting/method", "mean", "stddev", "min", "max", "median", "n"]);
     // yeast2alg: GQL & SPA; yeast3alg: all three; human/wordnet: GQL & SPA.
     let mut settings: Vec<(String, NfvDataset, Vec<Algorithm>)> = vec![
         ("yeast2alg".into(), NfvDataset::Yeast, vec![Algorithm::GraphQl, Algorithm::SPath]),
@@ -595,8 +636,8 @@ pub fn fig12(ctx: &mut Ctx) -> String {
             .map(|&i| lab.verify[&(GRAPES4, Rewriting::Orig)][i].charged_secs)
             .sum::<f64>()
             / idx.len().max(1) as f64;
-        let psi: f64 =
-            idx.iter().map(|&i| lab.psi_g1_4rw[i].charged_secs).sum::<f64>() / idx.len().max(1) as f64;
+        let psi: f64 = idx.iter().map(|&i| lab.psi_g1_4rw[i].charged_secs).sum::<f64>()
+            / idx.len().max(1) as f64;
         t.row(vec![format!("{size}e"), ms(g4), ms(psi)]);
     }
     out.push_str(&t.render());
@@ -646,9 +687,8 @@ fn fig14_15(ctx: &mut Ctx, wla_mode: bool) -> String {
     let cap = ctx.cfg.cap_secs();
     let metric = if wla_mode { "WLA" } else { "QLA" };
     let fig = if wla_mode { "Fig 15" } else { "Fig 14" };
-    let mut out = format!(
-        "{fig}: avg speedup★{metric} of multi-algorithm Ψ over vanilla GQL and SPA\n\n"
-    );
+    let mut out =
+        format!("{fig}: avg speedup★{metric} of multi-algorithm Ψ over vanilla GQL and SPA\n\n");
     for d in NfvDataset::ALL {
         let lab = ctx.nfv(d);
         let mut t = TextTable::new(
@@ -782,8 +822,7 @@ pub fn predictor(ctx: &mut Ctx) -> String {
                     |b| runner.run_variant(&qc.query, variants[c], b),
                     &cap,
                     cfg.max_matches,
-                )
-                ;
+                );
                 rec
             }
             None => race_rec,
@@ -804,12 +843,7 @@ pub fn predictor(ctx: &mut Ctx) -> String {
     );
     let mut t = TextTable::new(&["policy", "WLA-AET (ms)", "threads/query", "notes"]);
     t.row(vec!["GQL-Orig solo".into(), ms(avg(&t_orig)), "1".into(), "baseline".into()]);
-    t.row(vec![
-        "Ψ([GQL/SPA]-[Or/DND])".into(),
-        ms(avg(&t_race)),
-        "4".into(),
-        "full race".into(),
-    ]);
+    t.row(vec!["Ψ([GQL/SPA]-[Or/DND])".into(), ms(avg(&t_race)), "4".into(), "full race".into()]);
     t.row(vec![
         "predictor (3-NN)".into(),
         ms(avg(&t_pred)),
@@ -848,8 +882,16 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "fig4", title: "(max/min)QLA, NFV (+Table 6)", run: fig4 },
         Experiment { id: "fig5", title: "Rewriting example", run: fig5 },
         Experiment { id: "fig6", title: "Individual rewritings", run: fig6 },
-        Experiment { id: "fig7", title: "speedup★QLA across rewritings, FTV (+Table 7)", run: fig7 },
-        Experiment { id: "fig8", title: "speedup★QLA across rewritings, NFV (+Table 8)", run: fig8 },
+        Experiment {
+            id: "fig7",
+            title: "speedup★QLA across rewritings, FTV (+Table 7)",
+            run: fig7,
+        },
+        Experiment {
+            id: "fig8",
+            title: "speedup★QLA across rewritings, NFV (+Table 8)",
+            run: fig8,
+        },
         Experiment { id: "fig9", title: "speedup★QLA across algorithms (+Table 9)", run: fig9 },
         Experiment { id: "fig10", title: "Ψ speedup★QLA, FTV", run: fig10 },
         Experiment { id: "fig11", title: "Ψ speedup★WLA, FTV", run: fig11 },
@@ -858,7 +900,11 @@ pub fn registry() -> Vec<Experiment> {
         Experiment { id: "fig14", title: "Multi-algorithm Ψ speedup★QLA", run: fig14 },
         Experiment { id: "fig15", title: "Multi-algorithm Ψ speedup★WLA", run: fig15 },
         Experiment { id: "table10", title: "% killed queries, baselines vs Ψ", run: table10 },
-        Experiment { id: "predictor", title: "§9 extension: variant predictor vs race", run: predictor },
+        Experiment {
+            id: "predictor",
+            title: "§9 extension: variant predictor vs race",
+            run: predictor,
+        },
     ]
 }
 

@@ -11,7 +11,7 @@ use crate::data::FtvDataset;
 use crate::ExpConfig;
 use psi_core::ftv::{FtvEngine, PsiFtvRunner};
 use psi_core::RaceBudget;
-use psi_ftv::{GgsxIndex, GraphDb, GrapesIndex};
+use psi_ftv::{GgsxIndex, GrapesIndex, GraphDb};
 use psi_graph::{Graph, LabelStats};
 use psi_rewrite::{rewrite_query, Rewriting};
 use psi_workload::runner::{record_from_result, run_with_cap, RunRecord};
@@ -93,11 +93,8 @@ impl FtvLab {
         let grapes4 = Arc::new(GrapesIndex::build(&db, 3, 4));
         // GGSX only on PPI (the paper skipped GGSX/synthetic for cost).
         let ggsx = (dataset == FtvDataset::Ppi).then(|| Arc::new(GgsxIndex::build(&db, 3)));
-        let engines: Vec<&'static str> = if ggsx.is_some() {
-            vec![GRAPES1, GRAPES4, GGSX]
-        } else {
-            vec![GRAPES1, GRAPES4]
-        };
+        let engines: Vec<&'static str> =
+            if ggsx.is_some() { vec![GRAPES1, GRAPES4, GGSX] } else { vec![GRAPES1, GRAPES4] };
 
         let graphs: Vec<Graph> = db.iter().map(|(_, g)| (**g).clone()).collect();
         let mut queries = Vec::new();
@@ -233,11 +230,7 @@ impl FtvLab {
 
     /// Indices of queries with the given size.
     pub fn idx_of_size(&self, size: usize) -> Vec<usize> {
-        self.queries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, q)| (q.size == size).then_some(i))
-            .collect()
+        self.queries.iter().enumerate().filter_map(|(i, q)| (q.size == size).then_some(i)).collect()
     }
 
     /// The distinct sizes in generation order.

@@ -158,8 +158,7 @@ impl NfvLab {
             for (name, rws) in PsiConfig::nfv_figure_sets() {
                 let config = PsiConfig::rewritings(alg, rws.iter().copied());
                 let race_runner = runner.with_config(config);
-                let records =
-                    queries.iter().map(|qc| race_record(&race_runner, qc, cfg)).collect();
+                let records = queries.iter().map(|qc| race_record(&race_runner, qc, cfg)).collect();
                 psi_rw.insert((alg, name), records);
             }
         }
@@ -172,7 +171,18 @@ impl NfvLab {
             psi_alg.insert(name, records);
         }
 
-        Self { dataset, cfg: cfg.clone(), stored, runner, algs, queries, solo, iso, psi_rw, psi_alg }
+        Self {
+            dataset,
+            cfg: cfg.clone(),
+            stored,
+            runner,
+            algs,
+            queries,
+            solo,
+            iso,
+            psi_rw,
+            psi_alg,
+        }
     }
 
     /// Cap-charged per-query times (seconds) of one solo variant.
@@ -182,11 +192,7 @@ impl NfvLab {
 
     /// Indices of queries with the given size.
     pub fn idx_of_size(&self, size: usize) -> Vec<usize> {
-        self.queries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, q)| (q.size == size).then_some(i))
-            .collect()
+        self.queries.iter().enumerate().filter_map(|(i, q)| (q.size == size).then_some(i)).collect()
     }
 
     /// The distinct sizes in generation order.

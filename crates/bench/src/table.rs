@@ -142,7 +142,7 @@ mod tests {
     fn num_formats() {
         assert_eq!(num(0.0), "0");
         assert_eq!(num(0.1234), "0.1234");
-        assert_eq!(num(3.14159), "3.14");
+        assert_eq!(num(4.14159), "4.14");
         assert_eq!(num(250.4), "250");
         assert_eq!(num(3.2e7), "3.20e7");
         assert_eq!(ms(0.25), "250");

@@ -46,13 +46,19 @@ impl PsiConfig {
 
     /// Single algorithm × several rewritings (the FTV-style and Fig 13
     /// NFV-style configurations).
-    pub fn rewritings(algorithm: Algorithm, rewritings: impl IntoIterator<Item = Rewriting>) -> Self {
+    pub fn rewritings(
+        algorithm: Algorithm,
+        rewritings: impl IntoIterator<Item = Rewriting>,
+    ) -> Self {
         Self::new(rewritings.into_iter().map(|r| Variant::new(algorithm, r)).collect())
     }
 
     /// Several algorithms × a single rewriting (the Fig 14/15
     /// `Ψ([GQL/SPA]-[rw])` configurations).
-    pub fn algorithms(algorithms: impl IntoIterator<Item = Algorithm>, rewriting: Rewriting) -> Self {
+    pub fn algorithms(
+        algorithms: impl IntoIterator<Item = Algorithm>,
+        rewriting: Rewriting,
+    ) -> Self {
         Self::new(algorithms.into_iter().map(|a| Variant::new(a, rewriting)).collect())
     }
 

@@ -11,7 +11,7 @@
 //! sub-iso verification.
 
 use crate::race::{race, PsiOutcome, RaceBudget};
-use psi_ftv::{FtvOutcome, GgsxIndex, GraphDb, GraphId, GrapesIndex};
+use psi_ftv::{FtvOutcome, GgsxIndex, GrapesIndex, GraphDb, GraphId};
 use psi_graph::{Graph, LabelStats};
 use psi_matchers::{MatchResult, SearchBudget, StopReason};
 use psi_rewrite::{embedding_for_original, Rewriting};
@@ -106,17 +106,17 @@ impl PsiFtvRunner {
                 (rw, Arc::new((p.apply_to(query), p)))
             })
             .collect();
-        let entrants: Vec<(Rewriting, Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send>)> =
-            prepared
-                .iter()
-                .map(|(rw, prep)| {
-                    let engine = self.engine.clone();
-                    let prep = Arc::clone(prep);
-                    let f: Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send> =
-                        Box::new(move |b: &SearchBudget| engine.verify_graph(&prep.0, gid, b));
-                    (*rw, f)
-                })
-                .collect();
+        type Entrant = Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send>;
+        let entrants: Vec<(Rewriting, Entrant)> = prepared
+            .iter()
+            .map(|(rw, prep)| {
+                let engine = self.engine.clone();
+                let prep = Arc::clone(prep);
+                let f: Entrant =
+                    Box::new(move |b: &SearchBudget| engine.verify_graph(&prep.0, gid, b));
+                (*rw, f)
+            })
+            .collect();
         let mut outcome = race(entrants, budget);
         for vr in &mut outcome.per_variant {
             let perm = &prepared.iter().find(|(rw, _)| *rw == vr.label).expect("present").1 .1;
@@ -220,10 +220,7 @@ mod tests {
 
     #[test]
     fn verify_race_translates_embeddings() {
-        let db = GraphDb::new(vec![graph_from_parts(
-            &[5, 6, 7],
-            &[(0, 1), (1, 2)],
-        )]);
+        let db = GraphDb::new(vec![graph_from_parts(&[5, 6, 7], &[(0, 1), (1, 2)])]);
         let psi = psi_grapes(&db);
         let q = graph_from_parts(&[7, 6, 5], &[(0, 1), (1, 2)]); // reversed labels
         let outcome = psi.verify_graph_race(&q, 0, &RaceBudget::matching());

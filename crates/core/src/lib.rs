@@ -41,5 +41,5 @@ pub mod race;
 
 pub use config::{PsiConfig, Variant};
 pub use ftv::PsiFtvRunner;
-pub use nfv::PsiRunner;
-pub use race::{race, PsiOutcome, RaceBudget, VariantResult};
+pub use nfv::{PreparedEntrant, PsiRunner};
+pub use race::{race, PsiOutcome, RaceBudget, RaceState, VariantResult};

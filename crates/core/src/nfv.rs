@@ -45,12 +45,7 @@ impl PsiRunner {
         for a in config.algorithms_used() {
             matchers.entry(a).or_insert_with(|| a.prepare(Arc::clone(&self.stored)));
         }
-        Self {
-            stored: Arc::clone(&self.stored),
-            stats: self.stats.clone(),
-            matchers,
-            config,
-        }
+        Self { stored: Arc::clone(&self.stored), stats: self.stats.clone(), matchers, config }
     }
 
     /// The stored graph.
@@ -79,7 +74,12 @@ impl PsiRunner {
     /// Runs one variant *solo* (no race) — the baseline measurements of the
     /// experiment harness. Embeddings are returned in the **original**
     /// query's node numbering.
-    pub fn run_variant(&self, query: &Graph, variant: Variant, budget: &SearchBudget) -> MatchResult {
+    pub fn run_variant(
+        &self,
+        query: &Graph,
+        variant: Variant,
+        budget: &SearchBudget,
+    ) -> MatchResult {
         let matcher = self.matcher(variant.algorithm);
         let perm = variant.rewriting.permutation(query, &self.stats);
         let rewritten = perm.apply_to(query);
@@ -90,11 +90,12 @@ impl PsiRunner {
         result
     }
 
-    /// Races all configured variants on `query` (§8.2). The winner's
-    /// embeddings (and every conclusive entrant's) are translated back to
-    /// the original query numbering.
-    pub fn race(&self, query: &Graph, budget: RaceBudget) -> PsiOutcome<Variant> {
-        // Rewrite once per distinct rewriting.
+    /// Prepares every configured variant for execution on `query`: the
+    /// query is rewritten once per distinct rewriting, and each entrant is
+    /// packaged self-contained (matcher + rewritten query + permutation)
+    /// so it can run on any thread — a scoped racing thread here, or a
+    /// pooled worker in `psi-engine`.
+    pub fn prepare_entrants(&self, query: &Graph) -> Vec<PreparedEntrant> {
         let mut perms: HashMap<Rewriting, Arc<(Graph, psi_graph::Permutation)>> = HashMap::new();
         for v in &self.config.variants {
             perms.entry(v.rewriting).or_insert_with(|| {
@@ -102,26 +103,51 @@ impl PsiRunner {
                 Arc::new((p.apply_to(query), p))
             });
         }
-        let entrants: Vec<(Variant, Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send>)> = self
-            .config
+        self.config
             .variants
             .iter()
-            .map(|&v| {
-                let matcher = Arc::clone(self.matcher(v.algorithm));
-                let prepared = Arc::clone(&perms[&v.rewriting]);
-                let f: Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send> =
-                    Box::new(move |b: &SearchBudget| matcher.search(&prepared.0, b));
-                (v, f)
+            .map(|&v| PreparedEntrant {
+                variant: v,
+                matcher: Arc::clone(self.matcher(v.algorithm)),
+                prepared: Arc::clone(&perms[&v.rewriting]),
             })
+            .collect()
+    }
+
+    /// Races all configured variants on `query` (§8.2). The winner's
+    /// embeddings (and every conclusive entrant's) are translated back to
+    /// the original query numbering.
+    pub fn race(&self, query: &Graph, budget: RaceBudget) -> PsiOutcome<Variant> {
+        let entrants: Vec<(Variant, _)> = self
+            .prepare_entrants(query)
+            .into_iter()
+            .map(|e| (e.variant, move |b: &SearchBudget| e.execute(b)))
             .collect();
-        let mut outcome = race(entrants, &budget);
-        for vr in &mut outcome.per_variant {
-            let (_, perm) = &*perms[&vr.label.rewriting];
-            for emb in &mut vr.result.embeddings {
-                *emb = embedding_for_original(emb, perm);
-            }
+        race(entrants, &budget)
+    }
+}
+
+/// One racing entrant, prepared and self-contained: owns (shares) its
+/// matcher and the rewritten query, and translates embeddings back to the
+/// original query numbering on execution. `Send + Sync + 'static`, so it
+/// can be shipped to a worker pool.
+#[derive(Clone)]
+pub struct PreparedEntrant {
+    /// The (algorithm, rewriting) identity of this entrant.
+    pub variant: Variant,
+    matcher: Arc<dyn Matcher>,
+    prepared: Arc<(Graph, psi_graph::Permutation)>,
+}
+
+impl PreparedEntrant {
+    /// Runs the search under `budget`; embeddings come back in the
+    /// **original** query's node numbering.
+    pub fn execute(&self, budget: &SearchBudget) -> MatchResult {
+        let mut result = self.matcher.search(&self.prepared.0, budget);
+        for emb in &mut result.embeddings {
+            *emb = embedding_for_original(emb, &self.prepared.1);
         }
-        outcome
+        result
     }
 }
 
@@ -145,10 +171,7 @@ mod tests {
         let v0 = 0;
         let v1 = g.neighbors(v0)[0];
         let v2 = g.neighbors(v1).iter().copied().find(|&x| x != v0).unwrap();
-        graph_from_parts(
-            &[g.label(v0), g.label(v1), g.label(v2)],
-            &[(0, 1), (1, 2)],
-        )
+        graph_from_parts(&[g.label(v0), g.label(v1), g.label(v2)], &[(0, 1), (1, 2)])
     }
 
     #[test]

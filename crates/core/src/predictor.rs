@@ -49,8 +49,7 @@ impl QueryFeatures {
         } else {
             0.0
         };
-        let min_freq =
-            labels.iter().map(|&l| stats.frequency(l)).min().unwrap_or(0) as f64;
+        let min_freq = labels.iter().map(|&l| stats.frequency(l)).min().unwrap_or(0) as f64;
         Self {
             edges: m,
             nodes: n,
@@ -88,34 +87,68 @@ impl QueryFeatures {
 
 /// A k-NN predictor from query features to a variant index (the index into
 /// the [`crate::PsiConfig`]'s variant list used at training time).
+///
+/// The training set can be bounded ([`VariantPredictor::with_window`]): a
+/// long-lived serving engine observes every race, and an unbounded sample
+/// set would grow forever while making each prediction's nearest-neighbour
+/// scan slower. The window keeps the most recent `window` observations
+/// (ring overwrite), which also lets the predictor track workload drift.
 #[derive(Debug, Clone)]
 pub struct VariantPredictor {
     samples: Vec<(QueryFeatures, usize)>,
+    /// Next ring slot to overwrite once `samples` reaches `window`.
+    next: usize,
+    /// Total observations ever recorded (can exceed `samples.len()`).
+    observed: usize,
     k: usize,
+    window: usize,
 }
 
 impl VariantPredictor {
-    /// Creates an empty predictor voting over `k` nearest neighbours.
+    /// Creates an empty predictor voting over `k` nearest neighbours, with
+    /// an unbounded training set.
     pub fn new(k: usize) -> Self {
+        Self::with_window(k, usize::MAX)
+    }
+
+    /// Creates an empty predictor voting over `k` nearest neighbours,
+    /// retaining only the most recent `window` observations.
+    pub fn with_window(k: usize, window: usize) -> Self {
         assert!(k >= 1, "k must be positive");
-        Self { samples: Vec::new(), k }
+        assert!(window >= 1, "window must be positive");
+        Self { samples: Vec::new(), next: 0, observed: 0, k, window }
     }
 
     /// Records that `winner` (a variant index) won the race for a query
     /// with these features.
     pub fn observe(&mut self, features: QueryFeatures, winner: usize) {
-        self.samples.push((features, winner));
+        self.observed += 1;
+        if self.samples.len() < self.window {
+            self.samples.push((features, winner));
+        } else {
+            self.samples[self.next] = (features, winner);
+            self.next = (self.next + 1) % self.window;
+        }
     }
 
-    /// Number of observations so far.
+    /// Total observations recorded so far (including any that have been
+    /// displaced from a bounded window).
     pub fn observations(&self) -> usize {
-        self.samples.len()
+        self.observed
     }
 
     /// Predicts the variant index for a new query: majority vote of the k
     /// nearest training samples (ties broken toward the nearer sample).
     /// Returns `None` until at least one observation exists.
     pub fn predict(&self, features: &QueryFeatures) -> Option<usize> {
+        self.predict_with_confidence(features).map(|(v, _)| v)
+    }
+
+    /// Like [`predict`](Self::predict), but also reports the vote share of
+    /// the winning variant among the consulted neighbours, in `(0, 1]`. An
+    /// engine can use this to decide between a single-variant fast path
+    /// (confident prediction) and a full race (inconclusive vote).
+    pub fn predict_with_confidence(&self, features: &QueryFeatures) -> Option<(usize, f64)> {
         if self.samples.is_empty() {
             return None;
         }
@@ -132,7 +165,8 @@ impl VariantPredictor {
             }
         }
         counts.sort_by_key(|&(_, votes, first)| (std::cmp::Reverse(votes), first));
-        counts.first().map(|&(v, _, _)| v)
+        let consulted = by_dist.len();
+        counts.first().map(|&(v, votes, _)| (v, votes as f64 / consulted as f64))
     }
 }
 
@@ -190,6 +224,21 @@ mod tests {
             p.observe(star_query(), 1);
         }
         assert_eq!(p.predict(&path_query()), Some(0));
+        assert_eq!(p.predict(&star_query()), Some(1));
+    }
+
+    #[test]
+    fn bounded_window_overwrites_oldest() {
+        let mut p = VariantPredictor::with_window(1, 4);
+        for _ in 0..4 {
+            p.observe(path_query(), 0);
+        }
+        // Ring full of variant 0; six more star observations displace them.
+        for _ in 0..6 {
+            p.observe(star_query(), 1);
+        }
+        assert_eq!(p.observations(), 10, "total observation count keeps growing");
+        assert_eq!(p.predict(&path_query()), Some(1), "old samples displaced from the window");
         assert_eq!(p.predict(&star_query()), Some(1));
     }
 

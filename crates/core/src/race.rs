@@ -112,6 +112,93 @@ impl<L> PsiOutcome<L> {
     }
 }
 
+/// Shared bookkeeping of one in-flight race, decoupled from *where* the
+/// entrants execute. [`race`] drives it from scoped OS threads (one per
+/// entrant, the paper's setup); `psi-engine` drives the same state machine
+/// from pooled workers shared by many concurrent races.
+///
+/// The state is anchored at a start [`Instant`]; entrant deadlines and all
+/// reported wall times are measured from that anchor. An engine passes its
+/// *admission* time so queueing delay inside a worker pool counts against
+/// the race budget's timeout (the paper's 10-minute cap convention).
+#[derive(Debug)]
+pub struct RaceState {
+    token: CancelToken,
+    claimed: AtomicUsize,
+    claim_nanos: std::sync::atomic::AtomicU64,
+    start: Instant,
+}
+
+impl RaceState {
+    /// Race state anchored at `start` (use [`RaceState::begin`] for "now").
+    pub fn new(start: Instant) -> Self {
+        Self {
+            token: CancelToken::new(),
+            claimed: AtomicUsize::new(usize::MAX),
+            claim_nanos: std::sync::atomic::AtomicU64::new(0),
+            start,
+        }
+    }
+
+    /// Race state anchored at the current instant.
+    pub fn begin() -> Self {
+        Self::new(Instant::now())
+    }
+
+    /// The anchor instant all deadlines and wall times are measured from.
+    pub fn start(&self) -> Instant {
+        self.start
+    }
+
+    /// The shared cancellation token losing entrants observe.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Runs one entrant body to completion: executes `f` under the
+    /// race-wired budget, then claims victory if the result is conclusive
+    /// and nobody claimed earlier. Returns the result and the entrant's
+    /// wall time from the race anchor.
+    pub fn run_entrant<F>(&self, idx: usize, budget: &RaceBudget, f: F) -> (MatchResult, Duration)
+    where
+        F: FnOnce(&SearchBudget) -> MatchResult,
+    {
+        let entrant_budget = budget.entrant_budget(self.token.clone(), self.start);
+        let result = f(&entrant_budget);
+        let wall = self.start.elapsed();
+        if result.stop.is_conclusive()
+            && self
+                .claimed
+                .compare_exchange(usize::MAX, idx, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            // First conclusive finisher claims the win and "kills" the rest.
+            self.claim_nanos.store(wall.as_nanos() as u64, Ordering::Release);
+            self.token.cancel();
+        }
+        (result, wall)
+    }
+
+    /// Index of the winning entrant, if any has claimed victory yet.
+    pub fn winner_index(&self) -> Option<usize> {
+        let w = self.claimed.load(Ordering::Acquire);
+        (w != usize::MAX).then_some(w)
+    }
+
+    /// Assembles the outcome once every entrant has reported its
+    /// [`VariantResult`] (in configuration order).
+    pub fn finish<L>(&self, per_variant: Vec<VariantResult<L>>) -> PsiOutcome<L> {
+        let join_elapsed = self.start.elapsed();
+        let winner_index = self.winner_index();
+        let elapsed = if winner_index.is_some() {
+            Duration::from_nanos(self.claim_nanos.load(Ordering::Acquire))
+        } else {
+            join_elapsed
+        };
+        PsiOutcome { per_variant, winner_index, elapsed, join_elapsed }
+    }
+}
+
 /// Races `entrants` (label + closure) under `budget`. Each closure receives
 /// its pre-wired [`SearchBudget`] and runs on its own OS thread, exactly as
 /// the paper instantiates one thread per rewriting/algorithm.
@@ -125,62 +212,25 @@ where
     L: Send,
     F: FnOnce(&SearchBudget) -> MatchResult + Send,
 {
-    let start = Instant::now();
+    let state = RaceState::begin();
     if entrants.is_empty() {
-        return PsiOutcome {
-            per_variant: Vec::new(),
-            winner_index: None,
-            elapsed: start.elapsed(),
-            join_elapsed: start.elapsed(),
-        };
+        return state.finish(Vec::new());
     }
-    let token = CancelToken::new();
-    let claimed = AtomicUsize::new(usize::MAX);
-    let claim_nanos = std::sync::atomic::AtomicU64::new(0);
-
     let results: Vec<VariantResult<L>> = std::thread::scope(|scope| {
         let handles: Vec<_> = entrants
             .into_iter()
             .enumerate()
             .map(|(idx, (label, f))| {
-                let entrant_budget = budget.entrant_budget(token.clone(), start);
-                let token = &token;
-                let claimed = &claimed;
-                let claim_nanos = &claim_nanos;
+                let state = &state;
                 scope.spawn(move || {
-                    let result = f(&entrant_budget);
-                    let wall = start.elapsed();
-                    if result.stop.is_conclusive() {
-                        // First conclusive finisher claims the win and
-                        // "kills" the rest.
-                        if claimed
-                            .compare_exchange(usize::MAX, idx, Ordering::AcqRel, Ordering::Acquire)
-                            .is_ok()
-                        {
-                            claim_nanos.store(wall.as_nanos() as u64, Ordering::Release);
-                            token.cancel();
-                        }
-                    }
+                    let (result, wall) = state.run_entrant(idx, budget, f);
                     VariantResult { label, result, wall }
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("entrant thread must not panic")).collect()
     });
-
-    let join_elapsed = start.elapsed();
-    let winner = claimed.load(Ordering::Acquire);
-    let elapsed = if winner != usize::MAX {
-        Duration::from_nanos(claim_nanos.load(Ordering::Acquire))
-    } else {
-        join_elapsed
-    };
-    PsiOutcome {
-        per_variant: results,
-        winner_index: (winner != usize::MAX).then_some(winner),
-        elapsed,
-        join_elapsed,
-    }
+    state.finish(results)
 }
 
 /// Convenience used by tests and ablation benches: runs the entrants
@@ -225,17 +275,20 @@ mod tests {
     fn fastest_conclusive_entrant_wins() {
         let outcome = race(
             vec![
-                ("slow", Box::new(|b: &SearchBudget| {
-                    // Simulate a straggler that heeds cancellation.
-                    let clock = b.start();
-                    for _ in 0..1000 {
-                        std::thread::sleep(Duration::from_millis(1));
-                        if let Some(r) = clock.check_now() {
-                            return MatchResult::empty(r);
+                (
+                    "slow",
+                    Box::new(|b: &SearchBudget| {
+                        // Simulate a straggler that heeds cancellation.
+                        let clock = b.start();
+                        for _ in 0..1000 {
+                            std::thread::sleep(Duration::from_millis(1));
+                            if let Some(r) = clock.check_now() {
+                                return MatchResult::empty(r);
+                            }
                         }
-                    }
-                    quick_result(1)
-                }) as Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send>),
+                        quick_result(1)
+                    }) as Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send>,
+                ),
                 ("fast", Box::new(|_b: &SearchBudget| quick_result(1))),
             ],
             &RaceBudget::decision(),
@@ -255,18 +308,24 @@ mod tests {
         // conclusive and should cancel stragglers.
         let outcome = race(
             vec![
-                ("empty", Box::new(|_b: &SearchBudget| quick_result(0))
-                    as Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send>),
-                ("sleepy", Box::new(|b: &SearchBudget| {
-                    let clock = b.start();
-                    for _ in 0..1000 {
-                        std::thread::sleep(Duration::from_millis(1));
-                        if let Some(r) = clock.check_now() {
-                            return MatchResult::empty(r);
+                (
+                    "empty",
+                    Box::new(|_b: &SearchBudget| quick_result(0))
+                        as Box<dyn FnOnce(&SearchBudget) -> MatchResult + Send>,
+                ),
+                (
+                    "sleepy",
+                    Box::new(|b: &SearchBudget| {
+                        let clock = b.start();
+                        for _ in 0..1000 {
+                            std::thread::sleep(Duration::from_millis(1));
+                            if let Some(r) = clock.check_now() {
+                                return MatchResult::empty(r);
+                            }
                         }
-                    }
-                    quick_result(1)
-                })),
+                        quick_result(1)
+                    }),
+                ),
             ],
             &RaceBudget::decision(),
         );
@@ -296,10 +355,8 @@ mod tests {
 
     #[test]
     fn empty_race() {
-        let outcome = race(
-            Vec::<(&str, fn(&SearchBudget) -> MatchResult)>::new(),
-            &RaceBudget::decision(),
-        );
+        let outcome =
+            race(Vec::<(&str, fn(&SearchBudget) -> MatchResult)>::new(), &RaceBudget::decision());
         assert!(outcome.winner().is_none());
         assert_eq!(outcome.num_matches(), 0);
     }

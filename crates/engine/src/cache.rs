@@ -1,0 +1,308 @@
+//! Query canonicalization and the sharded LRU result cache.
+//!
+//! Repeated queries are common in serving workloads; a cache hit skips
+//! the race (and its V× CPU cost) entirely. The cache key is a
+//! *canonical* form of the query: nodes are reordered by a label/degree/
+//! neighbourhood refinement and the edge list is label-sorted, so the
+//! same pattern resubmitted — including under many trivial renumberings —
+//! maps to the same key. The canonical form retains the **full**
+//! structure (node labels + exact edge list + edge labels), so two
+//! structurally different queries can never collide: a hit is always a
+//! correct answer. Cached embeddings are stored in canonical numbering
+//! and translated into each requesting query's own numbering.
+//!
+//! Sharding keeps lock contention off the serving path: keys hash to one
+//! of N independently-locked LRU shards.
+
+use psi_core::Variant;
+use psi_graph::{Graph, NodeId};
+use psi_matchers::Embedding;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Canonical identity of a query (plus the answer-shaping embedding cap).
+///
+/// Two graphs with equal keys are identical labeled graphs (node labels,
+/// edge list **and** edge labels, up to the deterministic canonical
+/// renumbering); the key is injective on structure, so cache hits are
+/// sound. Isomorphic queries whose nodes the refinement cannot
+/// distinguish may still get distinct keys — that costs a cache miss,
+/// never a wrong answer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Node labels in canonical order.
+    labels: Vec<u32>,
+    /// Edges as canonical-index pairs `(min, max, edge label)`, sorted.
+    edges: Vec<(u32, u32, Option<u32>)>,
+    /// The embedding cap the cached answer was computed under.
+    max_matches: usize,
+}
+
+impl QueryKey {
+    /// Canonicalizes `query` under embedding cap `max_matches`.
+    pub fn canonical(query: &Graph, max_matches: usize) -> Self {
+        Self::canonical_with_map(query, max_matches).0
+    }
+
+    /// Canonicalizes `query` and also returns the node mapping
+    /// (`map[original] = canonical index`) needed to translate embeddings
+    /// between this query's numbering and the canonical numbering shared
+    /// by every query with the same key.
+    pub fn canonical_with_map(query: &Graph, max_matches: usize) -> (Self, Vec<u32>) {
+        let n = query.node_count();
+        // Refinement signature per node: (label, degree, sorted neighbour
+        // labels). Nodes are ordered by signature; ties keep original
+        // order, which preserves injectivity and determinism.
+        let mut signature: Vec<(u32, usize, Vec<u32>, NodeId)> = query
+            .nodes()
+            .map(|v| {
+                let mut nls: Vec<u32> =
+                    query.neighbors(v).iter().map(|&u| query.label(u)).collect();
+                nls.sort_unstable();
+                (query.label(v), query.degree(v), nls, v)
+            })
+            .collect();
+        signature.sort();
+        // canonical index of original node v
+        let mut canon = vec![0u32; n];
+        for (new_idx, &(_, _, _, old)) in signature.iter().enumerate() {
+            canon[old as usize] = new_idx as u32;
+        }
+        let labels = signature.iter().map(|&(l, _, _, _)| l).collect();
+        let mut edges: Vec<(u32, u32, Option<u32>)> = query
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (canon[u as usize], canon[v as usize]);
+                (a.min(b), a.max(b), query.edge_label(u, v))
+            })
+            .collect();
+        edges.sort_unstable();
+        (Self { labels, edges, max_matches }, canon)
+    }
+
+    fn shard_of(&self, shards: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % shards
+    }
+}
+
+/// Reindexes an embedding from a query's own node numbering into the
+/// canonical numbering of its [`QueryKey`] (`canon` from
+/// [`QueryKey::canonical_with_map`]).
+pub fn embedding_to_canonical(embedding: &[NodeId], canon: &[u32]) -> Embedding {
+    let mut out = vec![0; embedding.len()];
+    for (q, &data_node) in embedding.iter().enumerate() {
+        out[canon[q] as usize] = data_node;
+    }
+    out
+}
+
+/// Reindexes a canonical-numbered embedding into a query's own numbering.
+pub fn embedding_from_canonical(embedding: &[NodeId], canon: &[u32]) -> Embedding {
+    canon.iter().map(|&c| embedding[c as usize]).collect()
+}
+
+/// A cached definitive answer for one canonical query.
+#[derive(Debug, Clone)]
+pub struct CachedAnswer {
+    /// Whether at least one embedding exists.
+    pub found: bool,
+    /// Number of embeddings found (under the key's `max_matches` cap).
+    pub num_matches: usize,
+    /// The embeddings, in **canonical** node numbering — translate with
+    /// [`embedding_from_canonical`] using the requesting query's map
+    /// before handing them to a caller.
+    pub embeddings: Vec<Embedding>,
+    /// The variant that won the race producing this answer, if raced.
+    pub winner: Option<Variant>,
+    /// How long the cold (uncached) execution took — lets callers report
+    /// cache speedups.
+    pub cold_elapsed: Duration,
+}
+
+struct Entry {
+    value: std::sync::Arc<CachedAnswer>,
+    last_used: u64,
+}
+
+struct Shard {
+    map: HashMap<QueryKey, Entry>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// A sharded LRU cache from canonical query keys to definitive answers.
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl ShardedCache {
+    /// Cache with `shards` independent locks and `capacity` total entries
+    /// (split evenly; every shard holds at least one entry).
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (capacity / shards).max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), tick: 0, capacity: per_shard }))
+                .collect(),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &QueryKey) -> Option<std::sync::Arc<CachedAnswer>> {
+        let mut shard =
+            self.shards[key.shard_of(self.shards.len())].lock().expect("cache shard lock");
+        let tick = shard.touch();
+        let entry = shard.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(std::sync::Arc::clone(&entry.value))
+    }
+
+    /// Inserts (or refreshes) an answer, evicting the least-recently-used
+    /// entries of the shard when full.
+    pub fn insert(&self, key: QueryKey, value: std::sync::Arc<CachedAnswer>) {
+        let mut shard =
+            self.shards[key.shard_of(self.shards.len())].lock().expect("cache shard lock");
+        let tick = shard.touch();
+        while shard.map.len() >= shard.capacity && !shard.map.contains_key(&key) {
+            // O(shard size) eviction scan: shards are small (capacity /
+            // shard count) and inserts happen at most once per cache miss,
+            // so this stays off the hot (hit) path.
+            let Some(oldest) =
+                shard.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            shard.map.remove(&oldest);
+        }
+        shard.map.insert(key, Entry { value, last_used: tick });
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard lock").map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::graph::graph_from_parts;
+
+    fn answer(n: usize) -> std::sync::Arc<CachedAnswer> {
+        std::sync::Arc::new(CachedAnswer {
+            found: n > 0,
+            num_matches: n,
+            embeddings: Vec::new(),
+            winner: None,
+            cold_elapsed: Duration::from_millis(1),
+        })
+    }
+
+    #[test]
+    fn identical_queries_share_a_key() {
+        let a = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let b = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        assert_eq!(QueryKey::canonical(&a, 1000), QueryKey::canonical(&b, 1000));
+    }
+
+    #[test]
+    fn renumbered_queries_share_a_key_when_labels_differ() {
+        // Same path, nodes listed in a different order: the refinement
+        // (distinct labels) fully determines the canonical order.
+        let a = graph_from_parts(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let b = graph_from_parts(&[2, 1, 0], &[(2, 1), (1, 0)]);
+        assert_eq!(QueryKey::canonical(&a, 1000), QueryKey::canonical(&b, 1000));
+    }
+
+    #[test]
+    fn different_structure_never_collides() {
+        // Same label multiset and edge count: a path vs. a triangle-free
+        // star. Keys must differ because structure differs.
+        let path = graph_from_parts(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]);
+        let star = graph_from_parts(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        assert_ne!(QueryKey::canonical(&path, 1000), QueryKey::canonical(&star, 1000));
+    }
+
+    #[test]
+    fn edge_labels_are_part_of_the_key() {
+        use psi_graph::GraphBuilder;
+        let labeled = |edge_label: u32| {
+            let mut b = GraphBuilder::new();
+            let u = b.add_node(0);
+            let v = b.add_node(0);
+            b.add_labeled_edge(u, v, edge_label).expect("valid edge");
+            b.build().expect("valid graph")
+        };
+        assert_ne!(
+            QueryKey::canonical(&labeled(1), 1000),
+            QueryKey::canonical(&labeled(2), 1000),
+            "same topology, different edge labels must not collide"
+        );
+        assert_eq!(QueryKey::canonical(&labeled(1), 1000), QueryKey::canonical(&labeled(1), 1000));
+    }
+
+    #[test]
+    fn embedding_canonical_round_trip() {
+        // Query nodes 0,1,2 map to canonical 2,0,1: translating to
+        // canonical numbering and back is the identity.
+        let canon = vec![2, 0, 1];
+        let emb = vec![10, 20, 30];
+        let canonical = embedding_to_canonical(&emb, &canon);
+        assert_eq!(canonical, vec![20, 30, 10]);
+        assert_eq!(embedding_from_canonical(&canonical, &canon), emb);
+    }
+
+    #[test]
+    fn max_matches_is_part_of_the_key() {
+        let g = graph_from_parts(&[0, 1], &[(0, 1)]);
+        assert_ne!(QueryKey::canonical(&g, 1), QueryKey::canonical(&g, 1000));
+    }
+
+    #[test]
+    fn cache_hit_and_miss() {
+        let cache = ShardedCache::new(4, 64);
+        let g = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let key = QueryKey::canonical(&g, 1);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), answer(3));
+        assert_eq!(cache.get(&key).expect("hit").num_matches, 3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard() {
+        // One shard, capacity 2: inserting a third key evicts the least
+        // recently used of the first two.
+        let cache = ShardedCache::new(1, 2);
+        let keys: Vec<QueryKey> = (0..3)
+            .map(|i| {
+                QueryKey::canonical(&graph_from_parts(&[i as u32, i as u32 + 1], &[(0, 1)]), 1)
+            })
+            .collect();
+        cache.insert(keys[0].clone(), answer(0));
+        cache.insert(keys[1].clone(), answer(1));
+        assert!(cache.get(&keys[0]).is_some()); // refresh key 0
+        cache.insert(keys[2].clone(), answer(2));
+        assert!(cache.get(&keys[0]).is_some(), "recently used survives");
+        assert!(cache.get(&keys[1]).is_none(), "LRU entry evicted");
+        assert!(cache.get(&keys[2]).is_some());
+    }
+}

@@ -1,0 +1,476 @@
+//! The query-serving engine: admission control in front of a shared
+//! worker pool, a result cache, and a predictor fast path.
+//!
+//! Serving pipeline per query:
+//!
+//! 1. **Canonicalize + cache probe** — repeated queries return the cached
+//!    definitive answer without touching the pool.
+//! 2. **Admission** — at most `max_concurrent_races` queries may occupy
+//!    the pool at once; [`Engine::submit`] blocks for a slot,
+//!    [`Engine::try_submit`] returns [`EngineError::Busy`]. This bounds
+//!    in-flight work to `max_concurrent_races × variants` tasks no matter
+//!    how many callers pile on.
+//! 3. **Predictor fast path** — once the k-NN predictor has seen enough
+//!    races and votes confidently, the single predicted variant runs on
+//!    the pool instead of a full race; an inconclusive result falls back
+//!    to the race (the race's insurance is never lost).
+//! 4. **Pooled race** — every variant is submitted as one pool task
+//!    sharing a [`RaceState`]; the first conclusive finisher cancels the
+//!    rest through the shared `CancelToken`, exactly as in
+//!    [`psi_core::race`]. Deadlines are anchored at *admission* time, so
+//!    queueing delay counts against the race budget (the paper's cap
+//!    convention).
+
+use crate::cache::{
+    embedding_from_canonical, embedding_to_canonical, CachedAnswer, QueryKey, ShardedCache,
+};
+use crate::pool::WorkerPool;
+use crate::stats::{EngineStats, StatsCollector};
+use psi_core::predictor::{QueryFeatures, VariantPredictor};
+use psi_core::{PreparedEntrant, PsiRunner, RaceBudget, RaceState, Variant, VariantResult};
+use psi_graph::Graph;
+use psi_matchers::{CancelToken, MatchResult, StopReason};
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads shared by all in-flight races (default: available
+    /// parallelism).
+    pub workers: usize,
+    /// Maximum races occupying the pool concurrently; further submissions
+    /// block (or bounce with [`EngineError::Busy`]). Default: `workers`,
+    /// so the pool always has at least one task slot per admitted race.
+    pub max_concurrent_races: usize,
+    /// Independently-locked cache shards (default 8).
+    pub cache_shards: usize,
+    /// Total cached answers across shards (default 4096); 0 disables the
+    /// cache.
+    pub cache_capacity: usize,
+    /// Neighbours consulted by the variant predictor (default 3).
+    pub predictor_k: usize,
+    /// Race observations required before the fast path may trigger
+    /// (default 32).
+    pub predictor_min_observations: usize,
+    /// Most recent race observations the predictor retains (default 4096);
+    /// bounds predictor memory and per-miss prediction cost in a
+    /// long-lived engine.
+    pub predictor_window: usize,
+    /// Minimum vote share for a fast-path prediction, in `(0, 1]`; set
+    /// above 1.0 to disable the fast path (default 0.8).
+    pub predictor_confidence: f64,
+    /// Budget applied by [`Engine::submit`] / [`Engine::try_submit`].
+    pub default_budget: RaceBudget,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Self {
+            workers,
+            max_concurrent_races: workers,
+            cache_shards: 8,
+            cache_capacity: 4096,
+            predictor_k: 3,
+            predictor_min_observations: 32,
+            predictor_window: 4096,
+            predictor_confidence: 0.8,
+            default_budget: RaceBudget::matching(),
+        }
+    }
+}
+
+/// Why the engine refused a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The concurrent-race limit is reached (only from
+    /// [`Engine::try_submit`]; [`Engine::submit`] blocks instead).
+    Busy,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Busy => f.write_str("engine at concurrent-race capacity"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// How a query was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServePath {
+    /// Answered from the result cache; no search executed.
+    CacheHit,
+    /// Answered by the predictor's single-variant fast path.
+    FastPath,
+    /// Answered by a full (rewriting × algorithm) race on the pool.
+    Race,
+}
+
+/// One served query's answer and serving metadata.
+#[derive(Debug, Clone)]
+pub struct EngineResponse {
+    /// The definitive (or, on race timeout, best-effort) answer.
+    pub answer: Arc<CachedAnswer>,
+    /// Which pipeline stage produced the answer.
+    pub path: ServePath,
+    /// End-to-end latency from admission to answer.
+    pub elapsed: Duration,
+    /// Whether the answer is definitive (cache hits always are).
+    pub conclusive: bool,
+}
+
+impl EngineResponse {
+    /// Decision-problem convenience: did the query embed?
+    pub fn found(&self) -> bool {
+        self.answer.found
+    }
+
+    /// Number of embeddings in the answer.
+    pub fn num_matches(&self) -> usize {
+        self.answer.num_matches
+    }
+}
+
+/// Counting semaphore bounding concurrently admitted races.
+struct Admission {
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+    max: usize,
+}
+
+impl Admission {
+    fn acquire(&self) {
+        let mut in_flight = self.in_flight.lock().expect("admission lock");
+        while *in_flight >= self.max {
+            in_flight = self.freed.wait(in_flight).expect("admission lock");
+        }
+        *in_flight += 1;
+    }
+
+    fn try_acquire(&self) -> bool {
+        let mut in_flight = self.in_flight.lock().expect("admission lock");
+        if *in_flight >= self.max {
+            false
+        } else {
+            *in_flight += 1;
+            true
+        }
+    }
+
+    fn release(&self) {
+        *self.in_flight.lock().expect("admission lock") -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// RAII admission slot.
+struct Permit<'a>(&'a Admission);
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// A long-lived, concurrency-safe query-serving engine over one prepared
+/// [`PsiRunner`]. Cheap to share: all methods take `&self`.
+pub struct Engine {
+    runner: Arc<PsiRunner>,
+    pool: WorkerPool,
+    cache: ShardedCache,
+    predictor: Mutex<VariantPredictor>,
+    admission: Admission,
+    stats: StatsCollector,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Builds an engine serving queries against `runner`'s stored graph
+    /// and variant configuration.
+    pub fn new(runner: PsiRunner, config: EngineConfig) -> Self {
+        Self {
+            runner: Arc::new(runner),
+            pool: WorkerPool::new(config.workers),
+            cache: ShardedCache::new(config.cache_shards, config.cache_capacity.max(1)),
+            predictor: Mutex::new(VariantPredictor::with_window(
+                config.predictor_k.max(1),
+                config.predictor_window.max(1),
+            )),
+            admission: Admission {
+                in_flight: Mutex::new(0),
+                freed: Condvar::new(),
+                max: config.max_concurrent_races.max(1),
+            },
+            stats: StatsCollector::new(),
+            config,
+        }
+    }
+
+    /// Engine with default tuning.
+    pub fn with_defaults(runner: PsiRunner) -> Self {
+        Self::new(runner, EngineConfig::default())
+    }
+
+    /// The underlying runner (stored graph, variants, matchers).
+    pub fn runner(&self) -> &Arc<PsiRunner> {
+        &self.runner
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Current serving statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.snapshot()
+    }
+
+    /// Serves `query` under the configured default budget, blocking while
+    /// the engine is at its concurrent-race limit.
+    pub fn submit(&self, query: &Graph) -> EngineResponse {
+        self.serve(query, self.config.default_budget.clone(), true)
+            .expect("blocking submit cannot be Busy")
+    }
+
+    /// Serves `query` under an explicit budget, blocking for admission.
+    pub fn submit_with_budget(&self, query: &Graph, budget: RaceBudget) -> EngineResponse {
+        self.serve(query, budget, true).expect("blocking submit cannot be Busy")
+    }
+
+    /// Non-blocking variant of [`Engine::submit`]: returns
+    /// [`EngineError::Busy`] instead of waiting when the engine is at its
+    /// concurrent-race limit. (Cache hits are always served, even at
+    /// capacity.)
+    pub fn try_submit(&self, query: &Graph) -> Result<EngineResponse, EngineError> {
+        self.serve(query, self.config.default_budget.clone(), false)
+    }
+
+    /// Non-blocking submit with an explicit budget.
+    pub fn try_submit_with_budget(
+        &self,
+        query: &Graph,
+        budget: RaceBudget,
+    ) -> Result<EngineResponse, EngineError> {
+        self.serve(query, budget, false)
+    }
+
+    fn serve(
+        &self,
+        query: &Graph,
+        budget: RaceBudget,
+        block: bool,
+    ) -> Result<EngineResponse, EngineError> {
+        // Admission time anchors every deadline downstream: a query that
+        // waits in line burns its own budget, not the server's.
+        let admitted = Instant::now();
+        // Canonicalization is only needed for the cache; skip it (and its
+        // sorts/allocations) entirely when caching is disabled.
+        let keyed = (self.config.cache_capacity > 0)
+            .then(|| QueryKey::canonical_with_map(query, budget.max_matches));
+
+        if let Some((key, canon)) = &keyed {
+            if let Some(cached) = self.cache.get(key) {
+                self.stats.queries.fetch_add(1, Ordering::Relaxed);
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                // Cached embeddings live in canonical numbering; hand the
+                // caller embeddings in *its* numbering (queries sharing a
+                // key can be renumberings of each other).
+                let answer = Arc::new(CachedAnswer {
+                    embeddings: cached
+                        .embeddings
+                        .iter()
+                        .map(|e| embedding_from_canonical(e, canon))
+                        .collect(),
+                    ..(*cached).clone()
+                });
+                let elapsed = admitted.elapsed();
+                self.stats.record_latency(elapsed);
+                return Ok(EngineResponse {
+                    answer,
+                    path: ServePath::CacheHit,
+                    elapsed,
+                    conclusive: true,
+                });
+            }
+        }
+
+        if block {
+            self.admission.acquire();
+        } else if !self.admission.try_acquire() {
+            self.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::Busy);
+        }
+        let _permit = Permit(&self.admission);
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        let entrants = self.runner.prepare_entrants(query);
+        let features = QueryFeatures::extract(query, self.runner.label_stats());
+
+        // Predictor fast path: run only the predicted variant when the
+        // neighbourhood vote is confident enough.
+        if let Some(idx) = self.confident_prediction(&features, entrants.len()) {
+            if let Some(response) =
+                self.serve_fast_path(&entrants[idx], &budget, admitted, keyed.as_ref())
+            {
+                return Ok(response);
+            }
+            self.stats.fast_path_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+
+        Ok(self.serve_race(entrants, &features, &budget, admitted, keyed.as_ref()))
+    }
+
+    fn confident_prediction(&self, features: &QueryFeatures, variants: usize) -> Option<usize> {
+        if self.config.predictor_confidence > 1.0 {
+            return None;
+        }
+        let predictor = self.predictor.lock().expect("predictor lock");
+        if predictor.observations() < self.config.predictor_min_observations {
+            return None;
+        }
+        let (idx, confidence) = predictor.predict_with_confidence(features)?;
+        (confidence >= self.config.predictor_confidence && idx < variants).then_some(idx)
+    }
+
+    /// Stores `answer` in the cache (no-op when caching is disabled),
+    /// translating embeddings into canonical numbering so any renumbering
+    /// of the query can use the entry on a hit.
+    fn cache_store(&self, keyed: Option<&(QueryKey, Vec<u32>)>, answer: &Arc<CachedAnswer>) {
+        let Some((key, canon)) = keyed else { return };
+        self.cache.insert(
+            key.clone(),
+            Arc::new(CachedAnswer {
+                embeddings: answer
+                    .embeddings
+                    .iter()
+                    .map(|e| embedding_to_canonical(e, canon))
+                    .collect(),
+                ..(**answer).clone()
+            }),
+        );
+    }
+
+    /// Runs the single predicted variant as one pool task. Returns `None`
+    /// when the result is inconclusive (caller falls back to a race).
+    fn serve_fast_path(
+        &self,
+        entrant: &PreparedEntrant,
+        budget: &RaceBudget,
+        admitted: Instant,
+        keyed: Option<&(QueryKey, Vec<u32>)>,
+    ) -> Option<EngineResponse> {
+        let search_budget = budget.entrant_budget(CancelToken::new(), admitted);
+        let entrant = entrant.clone();
+        let variant = entrant.variant;
+        let (tx, rx) = mpsc::channel();
+        self.pool.submit(move || {
+            let _ = tx.send(entrant.execute(&search_budget));
+        });
+        let result = rx.recv().ok()?;
+        if !result.stop.is_conclusive() {
+            return None;
+        }
+        self.stats.fast_paths.fetch_add(1, Ordering::Relaxed);
+        let elapsed = admitted.elapsed();
+        let answer = Arc::new(CachedAnswer {
+            found: result.found(),
+            num_matches: result.num_matches,
+            embeddings: result.embeddings,
+            winner: Some(variant),
+            cold_elapsed: elapsed,
+        });
+        self.cache_store(keyed, &answer);
+        self.stats.record_latency(elapsed);
+        Some(EngineResponse { answer, path: ServePath::FastPath, elapsed, conclusive: true })
+    }
+
+    /// Full Ψ race across the worker pool.
+    fn serve_race(
+        &self,
+        entrants: Vec<PreparedEntrant>,
+        features: &QueryFeatures,
+        budget: &RaceBudget,
+        admitted: Instant,
+        keyed: Option<&(QueryKey, Vec<u32>)>,
+    ) -> EngineResponse {
+        let variants: Vec<Variant> = entrants.iter().map(|e| e.variant).collect();
+        let n = entrants.len();
+        let state = Arc::new(RaceState::new(admitted));
+        let (tx, rx) = mpsc::channel::<(usize, VariantResult<Variant>)>();
+        for (idx, entrant) in entrants.into_iter().enumerate() {
+            let state = Arc::clone(&state);
+            let budget = budget.clone();
+            let tx = tx.clone();
+            self.pool.submit(move || {
+                let variant = entrant.variant;
+                let (result, wall) = state.run_entrant(idx, &budget, |b| entrant.execute(b));
+                let _ = tx.send((idx, VariantResult { label: variant, result, wall }));
+            });
+        }
+        drop(tx);
+
+        // Collect every entrant; a slot can only stay empty if its task
+        // panicked (the pool contains the panic), which we report as a
+        // cancelled entrant rather than poisoning the whole race.
+        let mut slots: Vec<Option<VariantResult<Variant>>> = (0..n).map(|_| None).collect();
+        while let Ok((idx, vr)) = rx.recv() {
+            slots[idx] = Some(vr);
+        }
+        let per_variant: Vec<VariantResult<Variant>> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(idx, slot)| {
+                slot.unwrap_or_else(|| VariantResult {
+                    label: variants[idx],
+                    result: MatchResult::empty(StopReason::Cancelled),
+                    wall: admitted.elapsed(),
+                })
+            })
+            .collect();
+
+        let cancelled =
+            per_variant.iter().filter(|vr| vr.result.stop == StopReason::Cancelled).count();
+        let outcome = state.finish(per_variant);
+        self.stats.races.fetch_add(1, Ordering::Relaxed);
+        self.stats.cancelled_variants.fetch_add(cancelled as u64, Ordering::Relaxed);
+
+        let elapsed = admitted.elapsed();
+        let conclusive = outcome.is_conclusive();
+        if let Some(winner_idx) = outcome.winner_index {
+            self.predictor.lock().expect("predictor lock").observe(*features, winner_idx);
+        } else {
+            self.stats.inconclusive.fetch_add(1, Ordering::Relaxed);
+        }
+        let answer = Arc::new(match outcome.winner() {
+            Some(w) => CachedAnswer {
+                found: w.result.found(),
+                num_matches: w.result.num_matches,
+                embeddings: w.result.embeddings.clone(),
+                winner: Some(w.label),
+                cold_elapsed: elapsed,
+            },
+            None => CachedAnswer {
+                found: false,
+                num_matches: 0,
+                embeddings: Vec::new(),
+                winner: None,
+                cold_elapsed: elapsed,
+            },
+        });
+        // Only definitive answers are cacheable: a timed-out race might
+        // succeed on retry with a fresh budget.
+        if conclusive {
+            self.cache_store(keyed, &answer);
+        }
+        self.stats.record_latency(elapsed);
+        EngineResponse { answer, path: ServePath::Race, elapsed, conclusive }
+    }
+}

@@ -1,0 +1,54 @@
+//! # psi-engine — concurrent query serving for the Ψ-framework
+//!
+//! `psi_core::race` answers **one** query by racing its
+//! (rewriting × algorithm) variants on freshly spawned scoped threads.
+//! That is the paper's experiment setup — and exactly wrong for a server:
+//! T concurrent queries × V variants spawn T×V threads, oversubscribe the
+//! machine, and collapse latency. This crate is the serving layer that
+//! fixes it, shaped like the long-lived engines of production graph
+//! stores: one [`Engine`] owns the shared resources and all queries flow
+//! through it.
+//!
+//! * [`pool`] — a bounded [`pool::WorkerPool`] shared by every in-flight
+//!   race; variants are tasks, loser cancellation still flows through the
+//!   shared `CancelToken`, and total thread count is fixed at
+//!   construction.
+//! * [`engine`] — admission control (block or [`EngineError::Busy`])
+//!   keeping in-flight work ≤ `max_concurrent_races × variants`; the
+//!   predictor fast path (single confident variant instead of a race,
+//!   with race fallback); deadlines anchored at admission so queueing
+//!   delay counts against the race budget.
+//! * [`cache`] — query canonicalization ([`cache::QueryKey`]) feeding a
+//!   sharded LRU result cache; repeated queries skip the race entirely.
+//! * [`stats`] — an [`EngineStats`] snapshot: throughput, p50/p99
+//!   latency, cache hit rate, races vs. fast paths, cancelled variants.
+//!
+//! ```
+//! use psi_core::{PsiRunner, RaceBudget};
+//! use psi_engine::{Engine, EngineConfig};
+//! use psi_graph::graph::graph_from_parts;
+//!
+//! let stored = graph_from_parts(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! let engine = Engine::new(
+//!     PsiRunner::nfv_default(&stored),
+//!     EngineConfig { workers: 2, default_budget: RaceBudget::decision(), ..EngineConfig::default() },
+//! );
+//! let query = graph_from_parts(&[0, 1], &[(0, 1)]);
+//! let first = engine.submit(&query);
+//! assert!(first.found());
+//! let again = engine.submit(&query); // identical query: served from cache
+//! assert_eq!(again.path, psi_engine::ServePath::CacheHit);
+//! assert_eq!(again.num_matches(), first.num_matches());
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod pool;
+pub mod stats;
+
+pub use cache::{
+    embedding_from_canonical, embedding_to_canonical, CachedAnswer, QueryKey, ShardedCache,
+};
+pub use engine::{Engine, EngineConfig, EngineError, EngineResponse, ServePath};
+pub use pool::WorkerPool;
+pub use stats::EngineStats;

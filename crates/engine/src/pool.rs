@@ -1,0 +1,157 @@
+//! A bounded worker pool shared by every in-flight race.
+//!
+//! The one-shot library (`psi_core::race`) spawns one OS thread per
+//! entrant per query — fine for a single query, catastrophic under load:
+//! T concurrent queries × V variants oversubscribe the machine and
+//! latency collapses. The engine instead owns `workers` long-lived
+//! threads; races submit their entrants as tasks, and loser cancellation
+//! still flows through the shared `CancelToken` carried by each task's
+//! `SearchBudget`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of task-running worker threads.
+///
+/// Tasks are closures; submission never blocks (the queue is unbounded —
+/// the engine's admission control bounds how many tasks can be pending).
+/// A panicking task is contained: the worker survives and the panic is
+/// counted, mirroring how a production server isolates request failures.
+pub struct WorkerPool {
+    sender: Option<Sender<Task>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    panics: Arc<AtomicU64>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = channel::<Task>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let panics = Arc::new(AtomicU64::new(0));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let panics = Arc::clone(&panics);
+                std::thread::Builder::new()
+                    .name(format!("psi-engine-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver, &panics))
+                    .expect("spawning a worker thread must succeed")
+            })
+            .collect();
+        Self { sender: Some(sender), handles, workers, panics }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of tasks that panicked (and were contained) so far.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a task. Never blocks; ordering is FIFO per the queue.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool sender alive until drop")
+            .send(Box::new(task))
+            .expect("workers alive until drop");
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Task>>, panics: &AtomicU64) {
+    loop {
+        // Hold the lock only for the dequeue, not while running the task.
+        let task = {
+            let rx = receiver.lock().expect("worker queue lock");
+            rx.recv()
+        };
+        match task {
+            Ok(task) => {
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => break, // Sender dropped: pool is shutting down.
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets each worker drain remaining tasks and
+        // exit; then join so no task outlives the pool.
+        self.sender.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_tasks_across_workers() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(Duration::from_secs(5)).expect("task completes");
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_drains_pending_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    std::thread::sleep(Duration::from_micros(100));
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // Drop joins after draining.
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_worker() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = channel();
+        pool.submit(|| panic!("boom"));
+        pool.submit(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+        assert_eq!(pool.panics(), 1);
+    }
+
+    #[test]
+    fn at_least_one_worker() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Engine observability: lock-cheap counters plus a latency ring, with a
+//! point-in-time [`EngineStats`] snapshot for dashboards and benches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How many of the most recent per-query latencies the ring retains for
+/// percentile estimation.
+const LATENCY_RING: usize = 8192;
+
+/// Live counters updated by the serving path.
+pub(crate) struct StatsCollector {
+    started: Instant,
+    pub queries: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub races: AtomicU64,
+    pub fast_paths: AtomicU64,
+    pub fast_path_fallbacks: AtomicU64,
+    pub cancelled_variants: AtomicU64,
+    pub busy_rejections: AtomicU64,
+    pub inconclusive: AtomicU64,
+    latencies_us: Mutex<Ring>,
+}
+
+struct Ring {
+    buf: Vec<u64>,
+    next: usize,
+    filled: usize,
+}
+
+impl StatsCollector {
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            races: AtomicU64::new(0),
+            fast_paths: AtomicU64::new(0),
+            fast_path_fallbacks: AtomicU64::new(0),
+            cancelled_variants: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            inconclusive: AtomicU64::new(0),
+            latencies_us: Mutex::new(Ring { buf: vec![0; LATENCY_RING], next: 0, filled: 0 }),
+        }
+    }
+
+    /// Records one served query's end-to-end latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let mut ring = self.latencies_us.lock().expect("latency ring lock");
+        let at = ring.next;
+        ring.buf[at] = us;
+        ring.next = (at + 1) % LATENCY_RING;
+        ring.filled = (ring.filled + 1).min(LATENCY_RING);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> EngineStats {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        let (p50, p99) = {
+            let ring = self.latencies_us.lock().expect("latency ring lock");
+            let mut sorted: Vec<u64> = ring.buf[..ring.filled].to_vec();
+            sorted.sort_unstable();
+            if sorted.is_empty() {
+                (Duration::ZERO, Duration::ZERO)
+            } else {
+                let at = |q: f64| {
+                    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+                    Duration::from_micros(sorted[idx])
+                };
+                (at(0.50), at(0.99))
+            }
+        };
+        EngineStats {
+            uptime,
+            queries,
+            cache_hits: hits,
+            cache_misses: misses,
+            hit_rate: if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 },
+            races: self.races.load(Ordering::Relaxed),
+            fast_paths: self.fast_paths.load(Ordering::Relaxed),
+            fast_path_fallbacks: self.fast_path_fallbacks.load(Ordering::Relaxed),
+            cancelled_variants: self.cancelled_variants.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            inconclusive: self.inconclusive.load(Ordering::Relaxed),
+            throughput_qps: if uptime.as_secs_f64() > 0.0 {
+                queries as f64 / uptime.as_secs_f64()
+            } else {
+                0.0
+            },
+            latency_p50: p50,
+            latency_p99: p99,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the engine's serving statistics.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Time since the engine was created.
+    pub uptime: Duration,
+    /// Queries accepted (admitted or served from cache; rejections not
+    /// included).
+    pub queries: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that missed the cache.
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when nothing looked
+    /// up yet.
+    pub hit_rate: f64,
+    /// Full races run on the worker pool.
+    pub races: u64,
+    /// Queries served by the predictor's single-variant fast path.
+    pub fast_paths: u64,
+    /// Fast-path attempts that came back inconclusive and fell back to a
+    /// full race (counted in addition to the race).
+    pub fast_path_fallbacks: u64,
+    /// Losing race entrants observed as cooperatively cancelled — the Ψ
+    /// "kill" count.
+    pub cancelled_variants: u64,
+    /// `try_submit` calls rejected because the engine was at its
+    /// concurrent-race limit.
+    pub busy_rejections: u64,
+    /// Served queries whose answer was not definitive (race timed out).
+    pub inconclusive: u64,
+    /// Queries per second since engine start.
+    pub throughput_qps: f64,
+    /// Median end-to-end latency over the recent-latency window.
+    pub latency_p50: Duration,
+    /// 99th-percentile end-to-end latency over the recent-latency window.
+    pub latency_p99: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = StatsCollector::new().snapshot();
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.hit_rate, 0.0);
+        assert_eq!(s.latency_p50, Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_order() {
+        let c = StatsCollector::new();
+        for i in 1..=100u64 {
+            c.record_latency(Duration::from_micros(i * 10));
+        }
+        let s = c.snapshot();
+        assert!(s.latency_p50 <= s.latency_p99);
+        assert!(s.latency_p50 >= Duration::from_micros(400));
+        assert!(s.latency_p99 >= Duration::from_micros(900));
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let c = StatsCollector::new();
+        c.cache_hits.store(3, Ordering::Relaxed);
+        c.cache_misses.store(1, Ordering::Relaxed);
+        assert!((c.snapshot().hit_rate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_wraps_without_panicking() {
+        let c = StatsCollector::new();
+        for _ in 0..(LATENCY_RING + 100) {
+            c.record_latency(Duration::from_micros(5));
+        }
+        assert_eq!(c.snapshot().latency_p50, Duration::from_micros(5));
+    }
+}

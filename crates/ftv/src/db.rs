@@ -94,10 +94,8 @@ mod tests {
 
     #[test]
     fn db_basics() {
-        let db = GraphDb::new(vec![
-            graph_from_parts(&[0, 1], &[(0, 1)]),
-            graph_from_parts(&[2], &[]),
-        ]);
+        let db =
+            GraphDb::new(vec![graph_from_parts(&[0, 1], &[(0, 1)]), graph_from_parts(&[2], &[])]);
         assert_eq!(db.len(), 2);
         assert!(!db.is_empty());
         assert_eq!(db.graph(1).label(0), 2);

@@ -68,11 +68,8 @@ impl GgsxIndex {
         let mut survivors: Option<Vec<GraphId>> = None;
         for (feat, qcount) in &qfeat {
             let Some(postings) = self.trie.get(feat) else { return Vec::new() };
-            let mut next: Vec<GraphId> = postings
-                .iter()
-                .filter(|(_, p)| p.count >= *qcount)
-                .map(|(&g, _)| g)
-                .collect();
+            let mut next: Vec<GraphId> =
+                postings.iter().filter(|(_, p)| p.count >= *qcount).map(|(&g, _)| g).collect();
             next.sort_unstable();
             survivors = Some(match survivors {
                 None => next,

@@ -56,9 +56,8 @@ impl GrapesIndex {
     pub fn build(db: &GraphDb, max_edges: usize, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one verification thread");
         let t0 = Instant::now();
-        let extract = |(gid, g): (GraphId, &std::sync::Arc<Graph>)| {
-            (gid, extract_features(g, max_edges))
-        };
+        let extract =
+            |(gid, g): (GraphId, &std::sync::Arc<Graph>)| (gid, extract_features(g, max_edges));
         let pool = (threads > 1).then(|| std::sync::Arc::new(build_pool(threads)));
         let features: Vec<_> = if let Some(pool) = &pool {
             use rayon::prelude::*;
@@ -261,8 +260,7 @@ impl GrapesIndex {
         // relevant components are sub-iso tested in parallel. When the
         // caller races rewritings (its budget already carries a cancel
         // token) we stay sequential — the race owns the parallelism.
-        if self.pool.is_some() && eligible.len() > 1 && budget.cancel.is_none() {
-            let pool = self.pool.as_ref().expect("checked above");
+        if let (Some(pool), true, None) = (&self.pool, eligible.len() > 1, &budget.cancel) {
             use rayon::prelude::*;
             let sibling = psi_matchers::CancelToken::new();
             let first_match_mode = budget.max_matches == 1;
@@ -288,7 +286,7 @@ impl GrapesIndex {
                 // A sibling cancelled because the answer was found is not a
                 // failure; only propagate genuine interruptions.
                 if !res.stop.is_conclusive()
-                    && !(res.stop == StopReason::Cancelled && any_found)
+                    && (res.stop != StopReason::Cancelled || !any_found)
                     && combined.stop == StopReason::Complete
                 {
                     combined.stop = res.stop;
@@ -296,8 +294,7 @@ impl GrapesIndex {
             }
             combined.embeddings.truncate(budget.max_matches);
             combined.num_matches = combined.embeddings.len();
-            if combined.num_matches >= budget.max_matches && combined.stop == StopReason::Complete
-            {
+            if combined.num_matches >= budget.max_matches && combined.stop == StopReason::Complete {
                 combined.stop = StopReason::MatchLimit;
             }
             combined.elapsed = start.elapsed();
@@ -490,10 +487,7 @@ mod tests {
     fn component_embeddings_are_remapped_to_graph_ids() {
         // Two components; query matches the second one. Embedding node ids
         // must refer to the original graph, not the extracted component.
-        let db = GraphDb::new(vec![graph_from_parts(
-            &[9, 9, 0, 1],
-            &[(0, 1), (2, 3)],
-        )]);
+        let db = GraphDb::new(vec![graph_from_parts(&[9, 9, 0, 1], &[(0, 1), (2, 3)])]);
         let idx = GrapesIndex::build(&db, 3, 1);
         let q = graph_from_parts(&[0, 1], &[(0, 1)]);
         let r = idx.verify_graph(&q, 0, &SearchBudget::unlimited());

@@ -101,7 +101,9 @@ impl PathTrie {
 
 /// Builds a trie over every graph's features.
 pub fn build_trie(
-    features_per_graph: impl IntoIterator<Item = (GraphId, HashMap<PathFeature, crate::paths::FeatureOccurrences>)>,
+    features_per_graph: impl IntoIterator<
+        Item = (GraphId, HashMap<PathFeature, crate::paths::FeatureOccurrences>),
+    >,
     store_locations: bool,
 ) -> PathTrie {
     let mut trie = PathTrie::new(store_locations);

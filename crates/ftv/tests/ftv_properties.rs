@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use psi_ftv::paths::{extract_features, query_feature_counts};
-use psi_ftv::{GgsxIndex, GraphDb, GrapesIndex};
+use psi_ftv::{GgsxIndex, GrapesIndex, GraphDb};
 use psi_graph::generate::{random_connected_graph, LabelDist};
 use psi_graph::Graph;
 use psi_matchers::SearchBudget;

@@ -133,7 +133,8 @@ pub fn ppi_like(scale: f64, seed: u64) -> Vec<Graph> {
                     rest
                 } else {
                     let share = rng.random_range(0.2..0.6);
-                    ((rest as f64 * share) as usize).clamp(5, rest.saturating_sub(5 * (num_comps - i - 1)).max(5))
+                    ((rest as f64 * share) as usize)
+                        .clamp(5, rest.saturating_sub(5 * (num_comps - i - 1)).max(5))
                 };
                 rest = rest.saturating_sub(s);
                 sizes.push(s.max(5));
@@ -184,7 +185,12 @@ pub fn yeast_like(scale: f64, seed: u64) -> Graph {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6a09_e667_f3bc_c908);
     let n = scaled(YEAST_PROFILE.avg_nodes, scale, 100);
     let sampler = LabelDist::Zipf { num_labels: 184, exponent: 1.3 }.sampler();
-    preferential_attachment(n, (YEAST_PROFILE.avg_degree / 2.0).round() as usize, &sampler, &mut rng)
+    preferential_attachment(
+        n,
+        (YEAST_PROFILE.avg_degree / 2.0).round() as usize,
+        &sampler,
+        &mut rng,
+    )
 }
 
 /// Human-like NFV graph: dense with strong hubs (preferential attachment at
@@ -193,7 +199,12 @@ pub fn human_like(scale: f64, seed: u64) -> Graph {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xbb67_ae85_84ca_a73b);
     let n = scaled(HUMAN_PROFILE.avg_nodes, scale, 100);
     let sampler = LabelDist::Zipf { num_labels: 90, exponent: 1.1 }.sampler();
-    preferential_attachment(n, (HUMAN_PROFILE.avg_degree / 2.0).round() as usize, &sampler, &mut rng)
+    preferential_attachment(
+        n,
+        (HUMAN_PROFILE.avg_degree / 2.0).round() as usize,
+        &sampler,
+        &mut rng,
+    )
 }
 
 /// Wordnet-like NFV graph: very sparse tree-plus-chords structure (average
@@ -236,7 +247,7 @@ mod tests {
         let db = ppi_like(SCALE, 7);
         let s = DbStats::compute(&db);
         assert_eq!(s.num_graphs, 2); // 20 * 0.05 = 1, clamped to the minimum of 2
-        // All PPI graphs are disconnected, like the real dataset.
+                                     // All PPI graphs are disconnected, like the real dataset.
         assert_eq!(s.disconnected_graphs, s.num_graphs);
         assert!(s.avg_degree > 7.0 && s.avg_degree < 15.0, "avg degree {}", s.avg_degree);
         assert!(s.distinct_labels <= 46);

@@ -306,7 +306,12 @@ impl GraphBuilder {
 
     /// Adds the undirected edge `(u, v)` with an explicit edge label. The
     /// resulting graph reports `has_edge_labels() == true`.
-    pub fn add_labeled_edge(&mut self, u: NodeId, v: NodeId, label: Label) -> Result<(), GraphError> {
+    pub fn add_labeled_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        label: Label,
+    ) -> Result<(), GraphError> {
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
@@ -388,8 +393,11 @@ impl GraphBuilder {
             match edge_labels.as_mut() {
                 None => neighbors[lo..hi].sort_unstable(),
                 Some(els) => {
-                    let mut zipped: Vec<(NodeId, Label)> =
-                        neighbors[lo..hi].iter().copied().zip(els[lo..hi].iter().copied()).collect();
+                    let mut zipped: Vec<(NodeId, Label)> = neighbors[lo..hi]
+                        .iter()
+                        .copied()
+                        .zip(els[lo..hi].iter().copied())
+                        .collect();
                     zipped.sort_unstable();
                     for (i, (nb, el)) in zipped.into_iter().enumerate() {
                         neighbors[lo + i] = nb;
@@ -399,7 +407,13 @@ impl GraphBuilder {
             }
         }
 
-        let g = Graph { labels: self.labels, offsets, neighbors, edge_labels, num_edges: deduped.len() };
+        let g = Graph {
+            labels: self.labels,
+            offsets,
+            neighbors,
+            edge_labels,
+            num_edges: deduped.len(),
+        };
         debug_assert_eq!(g.check_invariants(), Ok(()));
         Ok(g)
     }

@@ -54,10 +54,7 @@ pub fn parse_db(text: &str) -> Result<Vec<Graph>, GraphError> {
     let mut current: Option<GraphBuilder> = None;
     let mut edge_labeled = false;
 
-    fn finish(
-        b: Option<GraphBuilder>,
-        graphs: &mut Vec<Graph>,
-    ) -> Result<(), GraphError> {
+    fn finish(b: Option<GraphBuilder>, graphs: &mut Vec<Graph>) -> Result<(), GraphError> {
         if let Some(builder) = b {
             graphs.push(builder.build()?);
         }
@@ -88,7 +85,10 @@ pub fn parse_db(text: &str) -> Result<Vec<Graph>, GraphError> {
                 if id as usize != b.node_count() {
                     return Err(GraphError::Parse {
                         line: lineno,
-                        msg: format!("node ids must be dense/increasing; got {id}, expected {}", b.node_count()),
+                        msg: format!(
+                            "node ids must be dense/increasing; got {id}, expected {}",
+                            b.node_count()
+                        ),
                     });
                 }
                 b.add_node(label);
@@ -136,7 +136,9 @@ pub fn parse_graph(text: &str) -> Result<Graph, GraphError> {
     let mut db = parse_db(text)?;
     match db.len() {
         1 => Ok(db.pop().expect("len checked")),
-        n => Err(GraphError::Parse { line: 0, msg: format!("expected exactly 1 graph, found {n}") }),
+        n => {
+            Err(GraphError::Parse { line: 0, msg: format!("expected exactly 1 graph, found {n}") })
+        }
     }
 }
 

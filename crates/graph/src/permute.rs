@@ -123,7 +123,8 @@ impl Permutation {
         b.add_nodes(&labels);
         if g.has_edge_labels() {
             for (u, v, l) in g.labeled_edges() {
-                b.add_labeled_edge(self.map(u), self.map(v), l).expect("bijection preserves validity");
+                b.add_labeled_edge(self.map(u), self.map(v), l)
+                    .expect("bijection preserves validity");
             }
         } else {
             for (u, v) in g.edges() {

@@ -216,7 +216,8 @@ impl DbStats {
             avg_edges: per.iter().map(|s| s.edges as f64).sum::<f64>() / k as f64,
             avg_density: per.iter().map(|s| s.density).sum::<f64>() / k as f64,
             avg_degree: per.iter().map(|s| s.avg_degree).sum::<f64>() / k as f64,
-            avg_labels_per_graph: per.iter().map(|s| s.distinct_labels as f64).sum::<f64>() / k as f64,
+            avg_labels_per_graph: per.iter().map(|s| s.distinct_labels as f64).sum::<f64>()
+                / k as f64,
         }
     }
 }

@@ -37,7 +37,17 @@ pub fn enumerate(query: &Graph, target: &Graph, budget: &SearchBudget) -> MatchR
     let mut assignment: Vec<NodeId> = vec![0; nq];
     let mut used = vec![false; target.node_count()];
     let mut stats = SearchStats::default();
-    let stop = backtrack(query, target, 0, &mut assignment, &mut used, &mut out.embeddings, &mut clock, &mut stats, budget.max_matches);
+    let stop = backtrack(
+        query,
+        target,
+        0,
+        &mut assignment,
+        &mut used,
+        &mut out.embeddings,
+        &mut clock,
+        &mut stats,
+        budget.max_matches,
+    );
     out.num_matches = out.embeddings.len();
     out.stop = match stop {
         Some(r) => r,
@@ -97,7 +107,8 @@ fn backtrack(
         }
         assignment[depth as usize] = t;
         used[t as usize] = true;
-        let r = backtrack(query, target, depth + 1, assignment, used, found, clock, stats, max_matches);
+        let r =
+            backtrack(query, target, depth + 1, assignment, used, found, clock, stats, max_matches);
         used[t as usize] = false;
         if r.is_some() {
             return r;

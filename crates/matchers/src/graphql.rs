@@ -59,7 +59,8 @@ impl GraphQl {
 
     /// Indexing phase with an explicit pseudo-iso refinement level.
     pub fn with_refine_level(target: Arc<Graph>, refine_level: usize) -> Self {
-        let signatures = (0..target.node_count() as NodeId).map(|v| signature(&target, v)).collect();
+        let signatures =
+            (0..target.node_count() as NodeId).map(|v| signature(&target, v)).collect();
         let mut by_label: HashMap<Label, Vec<NodeId>> = HashMap::new();
         for v in target.nodes() {
             by_label.entry(target.label(v)).or_default().push(v);
@@ -168,13 +169,10 @@ impl GraphQl {
                 let links =
                     query.neighbors(u).iter().filter(|&&n| chosen[n as usize]).count() as i32;
                 let disconnected = u8::from(step > 0 && links == 0);
-                let cost = cands[u as usize].len() as f64
-                    * JOIN_SELECTIVITY.powi(links);
+                let cost = cands[u as usize].len() as f64 * JOIN_SELECTIVITY.powi(links);
                 let better = match best {
                     None => true,
-                    Some((bd, bc, _)) => {
-                        (disconnected, cost) < (bd, bc)
-                    }
+                    Some((bd, bc, _)) => (disconnected, cost) < (bd, bc),
                 };
                 if better {
                     best = Some((disconnected, cost, u));
@@ -565,6 +563,9 @@ mod tests {
     #[test]
     fn empty_query() {
         let t = graph_from_parts(&[0], &[]);
-        assert_eq!(gql(t).search(&graph_from_parts(&[], &[]), &SearchBudget::unlimited()).num_matches, 1);
+        assert_eq!(
+            gql(t).search(&graph_from_parts(&[], &[]), &SearchBudget::unlimited()).num_matches,
+            1
+        );
     }
 }

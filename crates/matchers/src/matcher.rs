@@ -166,7 +166,8 @@ pub fn is_valid_embedding(query: &Graph, target: &Graph, embedding: &[NodeId]) -
             return false;
         }
         if query.has_edge_labels()
-            && query.edge_label(u, v) != target.edge_label(embedding[u as usize], embedding[v as usize])
+            && query.edge_label(u, v)
+                != target.edge_label(embedding[u as usize], embedding[v as usize])
         {
             return false;
         }

@@ -106,7 +106,7 @@ impl QuickSi {
                         vertex_support: self.vertex_support(query.label(nb)),
                         vertex: nb,
                     };
-                    if best.map_or(true, |(b, _)| cand < b) {
+                    if best.is_none_or(|(b, _)| cand < b) {
                         best = Some((cand, pos_in_seq[tv as usize]));
                     }
                 }
@@ -235,9 +235,7 @@ impl QuickSi {
             if let Some(r) = clock.tick() {
                 return Some(r);
             }
-            if used[tv as usize]
-                || self.target.label(tv) != qlabel
-                || self.target.degree(tv) < qdeg
+            if used[tv as usize] || self.target.label(tv) != qlabel || self.target.degree(tv) < qdeg
             {
                 continue;
             }

@@ -123,8 +123,7 @@ impl SPath {
     /// first with node-ID tie-breaks.
     fn path_order(&self, query: &Graph, cands: &[Vec<NodeId>]) -> Vec<NodeId> {
         let nq = query.node_count();
-        let mut remaining: std::collections::HashSet<(NodeId, NodeId)> =
-            query.edges().collect();
+        let mut remaining: std::collections::HashSet<(NodeId, NodeId)> = query.edges().collect();
         let mut order: Vec<NodeId> = Vec::with_capacity(nq);
         let mut in_order = vec![false; nq];
         let push = |v: NodeId, order: &mut Vec<NodeId>, in_order: &mut Vec<bool>| {
@@ -173,8 +172,7 @@ impl SPath {
             }
         }
         // Isolated query vertices (no edges) go last, most selective first.
-        let mut rest: Vec<NodeId> =
-            (0..nq as NodeId).filter(|&v| !in_order[v as usize]).collect();
+        let mut rest: Vec<NodeId> = (0..nq as NodeId).filter(|&v| !in_order[v as usize]).collect();
         rest.sort_unstable_by_key(|&v| selectivity(v));
         for v in rest {
             push(v, &mut order, &mut in_order);
@@ -198,8 +196,8 @@ fn distance_signature(g: &Graph, v: NodeId, radius: usize) -> DistanceSignature 
         let mut next = Vec::new();
         for &u in &frontier {
             for &nb in g.neighbors(u) {
-                if !dist.contains_key(&nb) {
-                    dist.insert(nb, d);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(nb) {
+                    e.insert(d);
                     *counts[d - 1].entry(g.label(nb)).or_insert(0) += 1;
                     next.push(nb);
                 }
@@ -233,10 +231,8 @@ fn signature_fits(qsig: &DistanceSignature, tsig: &DistanceSignature) -> bool {
             return qlayer.is_empty();
         };
         for &(l, qc) in qlayer {
-            let tc = tlayer
-                .binary_search_by_key(&l, |&(tl, _)| tl)
-                .map(|i| tlayer[i].1)
-                .unwrap_or(0);
+            let tc =
+                tlayer.binary_search_by_key(&l, |&(tl, _)| tl).map(|i| tlayer[i].1).unwrap_or(0);
             if qc > tc {
                 return false;
             }
@@ -343,11 +339,8 @@ impl SPath {
         let qv = order[depth];
         // Prefer extending through a bound neighbor's adjacency when
         // available (path traversal); otherwise use the candidate list.
-        let bound_neighbor = query
-            .neighbors(qv)
-            .iter()
-            .copied()
-            .find(|&qn| assignment[qn as usize] != UNMAPPED);
+        let bound_neighbor =
+            query.neighbors(qv).iter().copied().find(|&qn| assignment[qn as usize] != UNMAPPED);
         let from_neighbors: &[NodeId];
         let from_cands: &[NodeId];
         match bound_neighbor {
@@ -360,9 +353,7 @@ impl SPath {
                 from_cands = &cands[qv as usize];
             }
         }
-        let member = |tv: NodeId| {
-            cands[qv as usize].binary_search(&tv).is_ok()
-        };
+        let member = |tv: NodeId| cands[qv as usize].binary_search(&tv).is_ok();
         for &tv in from_neighbors.iter().chain(from_cands) {
             if let Some(r) = clock.tick() {
                 return Some(r);
@@ -494,7 +485,8 @@ mod tests {
     fn path_order_covers_all_vertices_once() {
         let t = graph_from_parts(&[0; 2], &[(0, 1)]);
         let m = spa(t);
-        let q = graph_from_parts(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+        let q =
+            graph_from_parts(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
         let cands: Vec<Vec<NodeId>> = vec![vec![0, 1]; 6];
         let order = m.path_order(&q, &cands);
         let mut sorted_order = order.clone();
@@ -562,6 +554,9 @@ mod tests {
     #[test]
     fn empty_query() {
         let t = graph_from_parts(&[0], &[]);
-        assert_eq!(spa(t).search(&graph_from_parts(&[], &[]), &SearchBudget::unlimited()).num_matches, 1);
+        assert_eq!(
+            spa(t).search(&graph_from_parts(&[], &[]), &SearchBudget::unlimited()).num_matches,
+            1
+        );
     }
 }

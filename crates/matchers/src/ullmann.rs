@@ -217,7 +217,18 @@ fn backtrack(
         }
         assignment[depth] = tv;
         used[t] = true;
-        let r = backtrack(query, target, depth + 1, m, assignment, used, found, clock, stats, max_matches);
+        let r = backtrack(
+            query,
+            target,
+            depth + 1,
+            m,
+            assignment,
+            used,
+            found,
+            clock,
+            stats,
+            max_matches,
+        );
         used[t] = false;
         if r.is_some() {
             return r;

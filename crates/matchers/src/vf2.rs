@@ -316,10 +316,7 @@ mod tests {
     #[test]
     fn agrees_with_bruteforce_on_small_cases() {
         let cases: Vec<(Graph, Graph)> = vec![
-            (
-                graph_from_parts(&[0, 1], &[(0, 1)]),
-                graph_from_parts(&[0, 1, 0], &[(0, 1), (1, 2)]),
-            ),
+            (graph_from_parts(&[0, 1], &[(0, 1)]), graph_from_parts(&[0, 1, 0], &[(0, 1), (1, 2)])),
             (
                 graph_from_parts(&[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]),
                 graph_from_parts(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 0), (0, 3)]),

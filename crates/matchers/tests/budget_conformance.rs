@@ -4,19 +4,14 @@
 
 use psi_graph::generate::{random_connected_graph, LabelDist};
 use psi_graph::Graph;
-use psi_matchers::{Algorithm, CancelToken, Matcher, SearchBudget, StopReason};
+use psi_matchers::{Algorithm, CancelToken, SearchBudget, StopReason};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const ALL: [Algorithm; 5] = [
-    Algorithm::Vf2,
-    Algorithm::Ullmann,
-    Algorithm::QuickSi,
-    Algorithm::GraphQl,
-    Algorithm::SPath,
-];
+const ALL: [Algorithm; 5] =
+    [Algorithm::Vf2, Algorithm::Ullmann, Algorithm::QuickSi, Algorithm::GraphQl, Algorithm::SPath];
 
 fn hard_pair() -> (Graph, Graph) {
     // A dense single-label target with a sizable single-label query: a
@@ -35,8 +30,8 @@ fn pre_expired_deadline_stops_every_matcher_immediately() {
     let shared = Arc::new(target);
     for alg in ALL {
         let m = alg.prepare(Arc::clone(&shared));
-        let budget = SearchBudget::unlimited()
-            .deadline_at(Instant::now() - Duration::from_millis(1));
+        let budget =
+            SearchBudget::unlimited().deadline_at(Instant::now() - Duration::from_millis(1));
         let t0 = Instant::now();
         let r = m.search(&query, &budget);
         assert_eq!(r.stop, StopReason::TimedOut, "{alg}");
@@ -55,10 +50,7 @@ fn mid_search_deadline_is_honored_promptly() {
         let r = m.search(&query, &budget);
         let took = t0.elapsed();
         assert_eq!(r.stop, StopReason::TimedOut, "{alg} should exceed 20ms on this input");
-        assert!(
-            took < Duration::from_millis(500),
-            "{alg} overshot its deadline: {took:?}"
-        );
+        assert!(took < Duration::from_millis(500), "{alg} overshot its deadline: {took:?}");
     }
 }
 
@@ -133,8 +125,7 @@ fn timeout_results_are_not_conclusive_but_partial_matches_are_reported() {
     let shared = Arc::new(target);
     for alg in ALL {
         let m = alg.prepare(Arc::clone(&shared));
-        let budget =
-            SearchBudget::with_max_matches(usize::MAX).timeout(Duration::from_millis(30));
+        let budget = SearchBudget::with_max_matches(usize::MAX).timeout(Duration::from_millis(30));
         let r = m.search(&query, &budget);
         assert_eq!(r.stop, StopReason::TimedOut, "{alg}");
         assert!(!r.is_conclusive() || r.found(), "{alg}");

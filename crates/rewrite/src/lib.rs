@@ -104,15 +104,10 @@ impl Rewriting {
                     Rewriting::Dnd => {
                         order.sort_by_key(|&v| (std::cmp::Reverse(query.degree(v)), v))
                     }
-                    Rewriting::IlfInd => order.sort_by_key(|&v| {
-                        (stats.frequency(query.label(v)), query.degree(v), v)
-                    }),
+                    Rewriting::IlfInd => order
+                        .sort_by_key(|&v| (stats.frequency(query.label(v)), query.degree(v), v)),
                     Rewriting::IlfDnd => order.sort_by_key(|&v| {
-                        (
-                            stats.frequency(query.label(v)),
-                            std::cmp::Reverse(query.degree(v)),
-                            v,
-                        )
+                        (stats.frequency(query.label(v)), std::cmp::Reverse(query.degree(v)), v)
                     }),
                     Rewriting::Orig | Rewriting::Random(_) => unreachable!("handled above"),
                 }
@@ -143,9 +138,7 @@ pub fn rewrite_query(
 /// Translates an embedding of the *rewritten* query back into the original
 /// query's node numbering: `result[orig_node] = embedding[perm.map(orig_node)]`.
 pub fn embedding_for_original(embedding: &[NodeId], perm: &Permutation) -> Vec<NodeId> {
-    (0..embedding.len())
-        .map(|orig| embedding[perm.map(orig as NodeId) as usize])
-        .collect()
+    (0..embedding.len()).map(|orig| embedding[perm.map(orig as NodeId) as usize]).collect()
 }
 
 /// Generates `k` distinct-seed random isomorphic instances of a query
@@ -178,9 +171,9 @@ mod tests {
     fn fig5_stats() -> LabelStats {
         // Stored-graph frequencies from the Fig. 5 caption: A=20, B=15, C=10.
         let mut labels = Vec::new();
-        labels.extend(std::iter::repeat(0).take(20));
-        labels.extend(std::iter::repeat(1).take(15));
-        labels.extend(std::iter::repeat(2).take(10));
+        labels.extend(std::iter::repeat_n(0, 20));
+        labels.extend(std::iter::repeat_n(1, 15));
+        labels.extend(std::iter::repeat_n(2, 10));
         LabelStats::from_graph(&graph_from_parts(&labels, &[]))
     }
 
@@ -188,9 +181,7 @@ mod tests {
     fn all_rewritings_produce_isomorphic_graphs() {
         let q = fig5_query();
         let stats = fig5_stats();
-        for rw in
-            Rewriting::PROPOSED.into_iter().chain([Rewriting::Orig, Rewriting::Random(7)])
-        {
+        for rw in Rewriting::PROPOSED.into_iter().chain([Rewriting::Orig, Rewriting::Random(7)]) {
             let (rq, perm) = rewrite_query(&q, &stats, rw);
             assert!(is_isomorphism_witness(&q, &rq, &perm), "{rw} must be an isomorphism");
         }
@@ -334,7 +325,13 @@ mod tests {
         use psi_graph::graph::graph_from_parts;
 
         fn count_embeddings(q: &Graph, t: &Graph) -> usize {
-            fn bt(q: &Graph, t: &Graph, depth: NodeId, asn: &mut Vec<NodeId>, used: &mut Vec<bool>) -> usize {
+            fn bt(
+                q: &Graph,
+                t: &Graph,
+                depth: NodeId,
+                asn: &mut Vec<NodeId>,
+                used: &mut Vec<bool>,
+            ) -> usize {
                 if depth as usize == q.node_count() {
                     return 1;
                 }
@@ -343,9 +340,10 @@ mod tests {
                     if used[cand as usize] || t.label(cand) != q.label(depth) {
                         continue;
                     }
-                    let ok = q.neighbors(depth).iter().all(|&qn| {
-                        qn >= depth || t.has_edge(asn[qn as usize], cand)
-                    });
+                    let ok = q
+                        .neighbors(depth)
+                        .iter()
+                        .all(|&qn| qn >= depth || t.has_edge(asn[qn as usize], cand));
                     if !ok {
                         continue;
                     }

@@ -1,0 +1,126 @@
+//! Batch submission of a whole workload through a [`psi_engine::Engine`].
+//!
+//! The experiment harness runs workloads query-by-query; a serving system
+//! runs them as concurrent traffic. [`submit_batch`] drives `clients`
+//! client threads pulling queries from a shared cursor and submitting
+//! them through the engine's admission queue, and reports aggregate
+//! serving metrics next to the per-query responses.
+
+use crate::metrics::SummaryStats;
+use psi_engine::{Engine, EngineResponse, ServePath};
+use psi_graph::Graph;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Aggregate outcome of one batch run.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-query responses, in workload order.
+    pub responses: Vec<EngineResponse>,
+    /// Wall time of the whole batch (first submit to last answer).
+    pub wall: Duration,
+    /// Served queries per second over the batch.
+    pub qps: f64,
+    /// Distribution of per-query latencies, in seconds.
+    pub latency: Option<SummaryStats>,
+    /// Queries answered from the result cache.
+    pub cache_hits: usize,
+    /// Queries answered by the predictor fast path.
+    pub fast_paths: usize,
+    /// Queries answered by a full race.
+    pub races: usize,
+    /// Queries whose answer was not definitive (race timed out).
+    pub inconclusive: usize,
+}
+
+/// Submits every query in `queries` through `engine` from `clients`
+/// concurrent client threads (at least 1), blocking until all are served.
+/// Responses come back in workload order regardless of completion order.
+pub fn submit_batch(engine: &Engine, queries: &[Graph], clients: usize) -> BatchReport {
+    let clients = clients.clamp(1, queries.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<EngineResponse>>> = Mutex::new(vec![None; queries.len()]);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= queries.len() {
+                    break;
+                }
+                let response = engine.submit(&queries[idx]);
+                slots.lock().expect("batch slots lock")[idx] = Some(response);
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let responses: Vec<EngineResponse> = slots
+        .into_inner()
+        .expect("batch slots lock")
+        .into_iter()
+        .map(|slot| slot.expect("every query served"))
+        .collect();
+
+    let latencies: Vec<f64> = responses.iter().map(|r| r.elapsed.as_secs_f64()).collect();
+    let count = |path: ServePath| responses.iter().filter(|r| r.path == path).count();
+    BatchReport {
+        cache_hits: count(ServePath::CacheHit),
+        fast_paths: count(ServePath::FastPath),
+        races: count(ServePath::Race),
+        inconclusive: responses.iter().filter(|r| !r.conclusive).count(),
+        latency: SummaryStats::of(&latencies),
+        qps: if wall.as_secs_f64() > 0.0 {
+            responses.len() as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        wall,
+        responses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_gen::Workloads;
+    use psi_core::{PsiRunner, RaceBudget};
+    use psi_engine::EngineConfig;
+    use psi_graph::generate::{random_connected_graph, LabelDist};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn batch_serves_every_query_in_order() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let labels = LabelDist::Uniform { num_labels: 4 }.sampler();
+        let stored = random_connected_graph(50, 110, &labels, &mut rng);
+        let queries: Vec<Graph> = Workloads::nfv_workload(&stored, 6, 10, 77);
+        assert!(!queries.is_empty());
+
+        let engine = Engine::new(
+            PsiRunner::nfv_default(&stored),
+            EngineConfig {
+                workers: 3,
+                max_concurrent_races: 2,
+                default_budget: RaceBudget::decision(),
+                ..EngineConfig::default()
+            },
+        );
+        let cold = submit_batch(&engine, &queries, 4);
+        assert_eq!(cold.responses.len(), queries.len());
+        assert!(cold.responses.iter().all(|r| r.conclusive));
+        assert!(cold.responses.iter().all(|r| r.found()), "grown queries embed");
+        assert_eq!(cold.cache_hits + cold.fast_paths + cold.races, queries.len());
+        assert!(cold.qps > 0.0);
+        assert_eq!(cold.latency.as_ref().map(|s| s.count), Some(queries.len()));
+
+        // A second pass over the same workload is served from the cache.
+        let warm = submit_batch(&engine, &queries, 4);
+        assert_eq!(warm.cache_hits, queries.len());
+        assert_eq!(warm.races, 0);
+        for (c, w) in cold.responses.iter().zip(&warm.responses) {
+            assert_eq!(c.found(), w.found());
+        }
+    }
+}

@@ -16,12 +16,17 @@
 //!   paper's conventions (killed queries count at the cap; queries unhelped
 //!   by every variant are excluded).
 //! * [`runner`] — capped execution helpers producing per-query records.
+//! * [`batch`] — batch submission of a whole workload through a
+//!   [`psi_engine::Engine`] from concurrent client threads, with
+//!   aggregate serving metrics.
 
+pub mod batch;
 pub mod classify;
 pub mod metrics;
 pub mod query_gen;
 pub mod runner;
 
+pub use batch::{submit_batch, BatchReport};
 pub use classify::{CapConfig, Class, ClassBreakdown};
 pub use metrics::{qla, speedup_star, wla, SummaryStats};
 pub use query_gen::{QueryGen, Workloads};

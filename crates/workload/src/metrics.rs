@@ -213,9 +213,9 @@ mod tests {
     fn max_min_qla_applies_exclusion_rule() {
         let cap = 600.0;
         let times = vec![
-            vec![1.0, 10.0],       // helped: ratio 10
-            vec![600.0, 600.0],    // all killed: excluded
-            vec![600.0, 6.0],      // helped: ratio 100
+            vec![1.0, 10.0],    // helped: ratio 10
+            vec![600.0, 600.0], // all killed: excluded
+            vec![600.0, 6.0],   // helped: ratio 100
         ];
         let s = max_min_qla(&times, cap).unwrap();
         assert_eq!(s.count, 2);

@@ -24,8 +24,8 @@ fn main() {
     let shared = Arc::new(stored.clone());
 
     // Prepare all three NFV algorithms once (their §2.1 indexing phases).
-    let algorithms =
-        [Algorithm::GraphQl, Algorithm::SPath, Algorithm::QuickSi].map(|a| a.prepare(Arc::clone(&shared)));
+    let algorithms = [Algorithm::GraphQl, Algorithm::SPath, Algorithm::QuickSi]
+        .map(|a| a.prepare(Arc::clone(&shared)));
 
     // A workload of grown queries (guaranteed to embed).
     let queries = Workloads::nfv_workload(&stored, 12, 5, 3);

@@ -20,8 +20,11 @@ fn main() {
     // 4 racing variants: {GQL, SPA} × {Orig, DND}.
     let psi = PsiRunner::new(Arc::clone(&shared), PsiConfig::gql_spa_orig_dnd());
     let variants: Vec<Variant> = psi.config().variants.clone();
-    println!("racing {} variants: {:?}\n", variants.len(),
-             variants.iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!(
+        "racing {} variants: {:?}\n",
+        variants.len(),
+        variants.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
 
     let queries = Workloads::nfv_workload(&stored, 16, 24, 77);
     let mut wins = vec![0usize; variants.len()];
@@ -51,11 +54,7 @@ fn main() {
         }
 
         let w = &outcome.per_variant[widx];
-        print!(
-            "query {qi:>2}: winner {:<12} {:>8.2?}  | losers: ",
-            w.label.to_string(),
-            w.wall
-        );
+        print!("query {qi:>2}: winner {:<12} {:>8.2?}  | losers: ", w.label.to_string(), w.wall);
         for (i, vr) in outcome.per_variant.iter().enumerate() {
             if i != widx {
                 print!("{}={:?} ", vr.label, vr.result.stop);

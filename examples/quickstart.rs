@@ -18,8 +18,16 @@ fn main() {
     let dave = b.add_node(0);
     let club = b.add_node(1);
     let page = b.add_node(2);
-    for (u, v) in [(alice, bob), (bob, carol), (carol, dave), (dave, alice), (alice, club),
-                   (bob, club), (carol, page), (dave, page)] {
+    for (u, v) in [
+        (alice, bob),
+        (bob, carol),
+        (carol, dave),
+        (dave, alice),
+        (alice, club),
+        (bob, club),
+        (carol, page),
+        (dave, page),
+    ] {
         b.add_edge(u, v).expect("valid edge");
     }
     let stored = b.build().expect("valid graph");

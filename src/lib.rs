@@ -14,10 +14,15 @@
 //!   ILF+DND, random);
 //! * [`core`] — the Ψ-framework itself: parallel racing of
 //!   (rewriting × algorithm) variants with cooperative cancellation;
+//! * [`engine`] — the concurrent query-serving subsystem: a bounded
+//!   worker pool shared by all in-flight races, admission control with
+//!   backpressure, a sharded result cache over canonicalized queries,
+//!   and a predictor fast path — with serving statistics;
 //! * [`workload`] — query-workload generation and the paper's metric
-//!   machinery (easy/2″–600″/hard classes, WLA/QLA, (max/min), speedup★).
+//!   machinery (easy/2″–600″/hard classes, WLA/QLA, (max/min), speedup★),
+//!   plus batch submission of whole workloads through an engine.
 //!
-//! ## Quickstart
+//! ## Quickstart: one query
 //!
 //! ```
 //! use psi::prelude::*;
@@ -31,8 +36,34 @@
 //! let outcome = psi.race(&query, RaceBudget::with_max_matches(1));
 //! assert!(outcome.winner().is_some());
 //! ```
+//!
+//! ## Quickstart: serving concurrent traffic
+//!
+//! One-shot races spawn threads per query — fine for experiments, wrong
+//! for a server. The engine owns a fixed worker pool, admission queue
+//! and result cache, and serves any number of concurrent callers:
+//!
+//! ```
+//! use psi::prelude::*;
+//!
+//! let stored = psi::graph::datasets::yeast_like(0.05, 42);
+//! let engine = Engine::new(
+//!     PsiRunner::nfv_default(&stored),
+//!     EngineConfig {
+//!         workers: 2,
+//!         default_budget: RaceBudget::decision(),
+//!         ..EngineConfig::default()
+//!     },
+//! );
+//! let query = Workloads::single_query(&stored, 8, 7).expect("query");
+//! let cold = engine.submit(&query); // full race on the pool
+//! let warm = engine.submit(&query); // identical query: cache hit
+//! assert_eq!(cold.found(), warm.found());
+//! assert!(engine.stats().cache_hits >= 1);
+//! ```
 
 pub use psi_core as core;
+pub use psi_engine as engine;
 pub use psi_ftv as ftv;
 pub use psi_graph as graph;
 pub use psi_matchers as matchers;
@@ -42,9 +73,10 @@ pub use psi_workload as workload;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use psi_core::{PsiConfig, PsiOutcome, PsiRunner, RaceBudget, Variant};
+    pub use psi_engine::{Engine, EngineConfig, EngineResponse, EngineStats, ServePath};
     pub use psi_ftv::{GgsxIndex, GrapesIndex, GraphDb};
     pub use psi_graph::{Graph, GraphBuilder, LabelStats, Permutation};
     pub use psi_matchers::{MatchResult, Matcher, SearchBudget, StopReason};
     pub use psi_rewrite::{rewrite_query, Rewriting};
-    pub use psi_workload::{QueryGen, Workloads};
+    pub use psi_workload::{submit_batch, BatchReport, QueryGen, Workloads};
 }

@@ -5,19 +5,14 @@
 use proptest::prelude::*;
 use psi::graph::generate::{random_connected_graph, LabelDist};
 use psi::graph::{Graph, LabelStats};
-use psi::matchers::{bruteforce, Algorithm, Matcher, SearchBudget};
+use psi::matchers::{bruteforce, Algorithm, SearchBudget};
 use psi::rewrite::{rewrite_query, Rewriting};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 
-const ALL_ALGORITHMS: [Algorithm; 5] = [
-    Algorithm::Vf2,
-    Algorithm::Ullmann,
-    Algorithm::QuickSi,
-    Algorithm::GraphQl,
-    Algorithm::SPath,
-];
+const ALL_ALGORITHMS: [Algorithm; 5] =
+    [Algorithm::Vf2, Algorithm::Ullmann, Algorithm::QuickSi, Algorithm::GraphQl, Algorithm::SPath];
 
 fn random_pair(seed: u64, nt: usize, mt: usize, nq: usize, mq: usize) -> (Graph, Graph) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -42,8 +37,7 @@ fn all_matchers_agree_with_oracle_on_fixed_cases() {
         let shared = Arc::new(target.clone());
         for alg in ALL_ALGORITHMS {
             let m = alg.prepare(Arc::clone(&shared));
-            let got =
-                sorted_embeddings(m.search(&query, &SearchBudget::unlimited()).embeddings);
+            let got = sorted_embeddings(m.search(&query, &SearchBudget::unlimited()).embeddings);
             assert_eq!(got, oracle, "{alg} disagrees with oracle on seed {seed}");
         }
     }
@@ -54,8 +48,7 @@ fn all_matchers_agree_under_all_rewritings() {
     let (query, target) = random_pair(99, 14, 26, 5, 6);
     let stats = LabelStats::from_graph(&target);
     let shared = Arc::new(target.clone());
-    let baseline =
-        bruteforce::enumerate(&query, &target, &SearchBudget::unlimited()).num_matches;
+    let baseline = bruteforce::enumerate(&query, &target, &SearchBudget::unlimited()).num_matches;
     for alg in ALL_ALGORITHMS {
         let m = alg.prepare(Arc::clone(&shared));
         for rw in Rewriting::PROPOSED.into_iter().chain([Rewriting::Orig, Rewriting::Random(5)]) {

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use psi::core::ftv::{FtvEngine, PsiFtvRunner};
 use psi::core::RaceBudget;
-use psi::ftv::{GgsxIndex, GraphDb, GrapesIndex};
+use psi::ftv::{GgsxIndex, GrapesIndex, GraphDb};
 use psi::graph::generate::{random_connected_graph, LabelDist};
 use psi::matchers::{bruteforce, SearchBudget};
 use psi::rewrite::Rewriting;

@@ -13,11 +13,7 @@ fn every_experiment_runs_at_smoke_scale() {
     for e in registry() {
         let out = (e.run)(&mut ctx);
         assert!(!out.trim().is_empty(), "{} produced no output", e.id);
-        assert!(
-            out.lines().count() >= 4,
-            "{} output suspiciously short:\n{out}",
-            e.id
-        );
+        assert!(out.lines().count() >= 4, "{} output suspiciously short:\n{out}", e.id);
     }
 }
 

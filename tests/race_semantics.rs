@@ -96,11 +96,7 @@ fn first_of_equals_wins_and_only_one_wins() {
     );
     assert_eq!(outcome.per_variant.len(), 6);
     assert!(outcome.winner_index.is_some());
-    let conclusive = outcome
-        .per_variant
-        .iter()
-        .filter(|v| v.result.stop.is_conclusive())
-        .count();
+    let conclusive = outcome.per_variant.iter().filter(|v| v.result.stop.is_conclusive()).count();
     assert!(conclusive >= 1);
 }
 
@@ -119,10 +115,8 @@ fn negative_complete_answer_beats_positive_straggler() {
 
 #[test]
 fn race_with_expired_deadline_returns_immediately() {
-    let outcome: PsiOutcome<&str> = race(
-        vec![("a", straggler())],
-        &RaceBudget::decision().timeout(Duration::ZERO),
-    );
+    let outcome: PsiOutcome<&str> =
+        race(vec![("a", straggler())], &RaceBudget::decision().timeout(Duration::ZERO));
     assert!(outcome.winner().is_none());
     assert!(outcome.join_elapsed < Duration::from_secs(1));
 }

@@ -2,7 +2,7 @@
 //! stack — isomorphism witnesses, FTV filter invariance, metric plumbing.
 
 use proptest::prelude::*;
-use psi::ftv::{GgsxIndex, GraphDb, GrapesIndex};
+use psi::ftv::{GgsxIndex, GrapesIndex, GraphDb};
 use psi::graph::generate::{random_connected_graph, LabelDist};
 use psi::graph::permute::is_isomorphism_witness;
 use psi::graph::{Graph, LabelStats, Permutation};

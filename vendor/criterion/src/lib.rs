@@ -1,0 +1,279 @@
+//! Minimal stand-in for the `criterion` benchmark harness (no crates.io
+//! access in the build environment). Implements the measurement loop and
+//! reporting surface the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `Bencher::iter` — with mean/median/p95 reporting on
+//! stdout. No plots, no statistical regression machinery.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Measurement settings shared by [`Criterion`] and groups.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 50,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// The benchmark context, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.settings.warm_up_time = t;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        run_benchmark(&id.into().id, &self.settings, |b| f(b));
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), settings: self.settings.clone(), _parent: self }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.warm_up_time = t;
+        self
+    }
+
+    /// Sets the measurement duration for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&full, &self.settings, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&full, &self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one sample per batch of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and calibrate how many iterations fit in one sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.settings.measurement_time.as_secs_f64();
+        let per_sample = budget / self.settings.sample_size as f64;
+        let iters_per_sample = ((per_sample / per_iter) as u64).max(1);
+
+        self.samples.clear();
+        let bench_start = Instant::now();
+        for _ in 0..self.settings.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+            // Never run more than ~2x the measurement budget.
+            if bench_start.elapsed().as_secs_f64() > 2.0 * budget {
+                break;
+            }
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn run_benchmark(name: &str, settings: &Settings, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { settings: settings.clone(), samples: Vec::new() };
+    f(&mut bencher);
+    let mut s = bencher.samples;
+    if s.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    let median = s[s.len() / 2];
+    let p95 = s[((s.len() - 1) * 95) / 100];
+    println!(
+        "{name:<50} time: [median {} | mean {} | p95 {}] ({} samples)",
+        format_time(median),
+        format_time(mean),
+        format_time(p95),
+        s.len()
+    );
+}
+
+/// Mirrors `criterion::criterion_group!` (both plain and named forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = ::core::default::Default::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let settings = Settings {
+            sample_size: 5,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut b = Bencher { settings, samples: Vec::new() };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 12).id, "f/12");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

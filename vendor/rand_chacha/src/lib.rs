@@ -1,0 +1,134 @@
+//! Minimal stand-in for the `rand_chacha` crate: a real ChaCha8 block
+//! cipher driving the [`ChaCha8Rng`] generator. Vendored because the build
+//! environment has no crates.io access; seeded streams are deterministic
+//! (which is all the workspace relies on) but are not bit-compatible with
+//! the upstream crate.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, exposed as a `rand`-style RNG.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// The 16-word ChaCha state (constants, key, counter, nonce).
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next word of `block` to emit (16 = exhausted).
+    index: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.block.iter_mut().zip(working.iter().zip(self.state.iter())) {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12/13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into the 256-bit key,
+        // the same scheme `rand` uses for `seed_from_u64`.
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut s = [0u32; 16];
+        s[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for i in 0..4 {
+            let k = next();
+            s[4 + 2 * i] = k as u32;
+            s[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // Counter and nonce start at zero.
+        Self { state: s, block: [0; 16], index: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn output_looks_balanced() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let ones: u32 = (0..1000).map(|_| r.next_u64().count_ones()).sum();
+        // 64 000 bits, expect ~32 000 ones; allow a wide band.
+        assert!((30_000..34_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn clone_forks_the_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,235 @@
+//! Minimal stand-in for the `rayon` crate (no crates.io access in the
+//! build environment). Provides [`ThreadPool`]/[`ThreadPoolBuilder`] and
+//! the `par_iter`/`into_par_iter` → `map` → `collect` pipeline the
+//! workspace uses, executed on scoped `std::thread`s with a shared work
+//! queue. Not work-stealing, but order-preserving and genuinely parallel.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`] on this thread.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn current_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(default_threads)
+}
+
+/// Error building a pool (never produced by this shim; kept for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A parallelism context. This shim spawns scoped threads per parallel
+/// call rather than keeping persistent workers; `install` only records the
+/// configured width for the closures run inside it.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators used inside.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let out = op();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    /// The configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Executes `f` over `items` on `current_threads()` scoped threads,
+/// preserving input order in the output.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let width = current_threads().min(items.len()).max(1);
+    if width == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..width {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").pop();
+                match next {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        done.lock().expect("result lock").push((i, r));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    let mut out = done.into_inner().expect("result lock");
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The `rayon::prelude` equivalent: parallel-iterator entry points.
+pub mod prelude {
+    use super::parallel_map;
+
+    /// Conversion into an owning parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Consumes `self` into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Borrowing parallel iteration (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type (a reference).
+        type Item: Send + 'data;
+        /// Parallel iterator over borrowed items.
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            ParIter { items: self.iter().collect() }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            ParIter { items: self.iter().collect() }
+        }
+    }
+
+    /// An eager parallel iterator over a materialized item list.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Maps each item through `f` (executed at `collect` time).
+        pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+            ParMap { items: self.items, f }
+        }
+    }
+
+    /// A mapped parallel iterator awaiting collection.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, R, F> ParMap<T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Runs the map in parallel and collects results in input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            parallel_map(self.items, &self.f).into_iter().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i64> = (0..1000).collect();
+        let doubled: Vec<i64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        let squared: Vec<i64> = v.into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squared[999], 999 * 999);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(current_threads(), 3);
+        });
+        assert_ne!(INSTALLED_THREADS.with(|c| c.get()), Some(3));
+    }
+
+    #[test]
+    fn parallel_map_actually_uses_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids: Vec<String> = pool.install(|| {
+            (0..64)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    format!("{:?}", std::thread::current().id())
+                })
+                .collect()
+        });
+        let mut distinct = ids.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert!(distinct.len() > 1, "expected work on more than one thread");
+    }
+}
