@@ -1,0 +1,318 @@
+//! The CI bench artifact: a fixed, deterministic serving measurement
+//! emitted as `BENCH_engine.json` and gated against a committed
+//! `BENCH_baseline.json` by the `bench_check` binary.
+//!
+//! The artifact is the performance *trail* of the repo: every CI run
+//! measures the same five headline numbers — single-engine throughput,
+//! serving latency percentiles, the cache-hit speedup, and multi-graph
+//! registry throughput — writes them as flat JSON, uploads the file as a
+//! workflow artifact, and fails the job if any metric regresses more
+//! than the allowed fraction versus the committed baseline. The baseline
+//! is deliberately conservative (CI runners are slower and noisier than
+//! dev machines): it catches order-of-magnitude regressions — a lost
+//! cache, a serialized pool — not single-digit drift.
+//!
+//! No serde in the tree, so the JSON is hand-rolled: a flat object of
+//! numeric fields plus a `schema` version. [`parse_flat_json`] reads
+//! exactly that shape back.
+
+use psi_core::{PsiConfig, PsiRunner, RaceBudget};
+use psi_engine::{Engine, EngineConfig, MultiEngine, MultiEngineConfig, ServePath};
+use psi_graph::{datasets, Graph};
+use psi_workload::{submit_batch, submit_batch_multi, MultiWorkload, MultiWorkloadSpec, Workloads};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Artifact schema version (bump when fields change meaning).
+pub const SCHEMA_VERSION: f64 = 1.0;
+
+/// The headline serving metrics CI tracks over time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineBenchMetrics {
+    /// Single-engine throughput over the standard mixed batch
+    /// (cold + warm pass), queries/second. Higher is better.
+    pub qps: f64,
+    /// Median end-to-end serving latency over the standard batch,
+    /// microseconds. Lower is better.
+    pub p50_us: f64,
+    /// 99th-percentile serving latency, microseconds. Lower is better.
+    pub p99_us: f64,
+    /// Median cache-hit latency vs. median cold-race latency on one
+    /// repeated query. Higher is better.
+    pub cache_hit_speedup: f64,
+    /// Multi-graph registry throughput: 4 graphs, skewed traffic, one
+    /// shared 4-worker pool, queries/second. Higher is better.
+    pub multi_qps: f64,
+}
+
+/// One metric's comparison direction in the regression gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Regression = current falls below baseline (throughput, speedup).
+    HigherIsBetter,
+    /// Regression = current rises above baseline (latency).
+    LowerIsBetter,
+}
+
+impl EngineBenchMetrics {
+    /// Field names, values and directions, in artifact order.
+    pub fn fields(&self) -> Vec<(&'static str, f64, Direction)> {
+        vec![
+            ("qps", self.qps, Direction::HigherIsBetter),
+            ("p50_us", self.p50_us, Direction::LowerIsBetter),
+            ("p99_us", self.p99_us, Direction::LowerIsBetter),
+            ("cache_hit_speedup", self.cache_hit_speedup, Direction::HigherIsBetter),
+            ("multi_qps", self.multi_qps, Direction::HigherIsBetter),
+        ]
+    }
+
+    /// Serializes the artifact as flat JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": {SCHEMA_VERSION},\n"));
+        let fields = self.fields();
+        for (i, (name, value, _)) in fields.iter().enumerate() {
+            let comma = if i + 1 < fields.len() { "," } else { "" };
+            out.push_str(&format!("  \"{name}\": {value:.3}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Reads an artifact back from its flat-JSON form. Unknown fields
+    /// are ignored (forward compatibility); missing fields error.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let map = parse_flat_json(text)?;
+        let get = |name: &str| {
+            map.iter()
+                .find(|(k, _)| k == name)
+                .map(|&(_, v)| v)
+                .ok_or_else(|| format!("missing field {name:?} in bench artifact"))
+        };
+        Ok(Self {
+            qps: get("qps")?,
+            p50_us: get("p50_us")?,
+            p99_us: get("p99_us")?,
+            cache_hit_speedup: get("cache_hit_speedup")?,
+            multi_qps: get("multi_qps")?,
+        })
+    }
+}
+
+/// Parses a flat JSON object of numeric fields — the only JSON shape the
+/// bench trail uses. Returns `(key, value)` pairs in file order.
+pub fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let trimmed = text.trim();
+    let body = trimmed
+        .strip_prefix('{')
+        .and_then(|rest| rest.strip_suffix('}'))
+        .ok_or_else(|| "bench artifact must be a JSON object".to_string())?;
+    let mut out = Vec::new();
+    for raw in body.split(',') {
+        let pair = raw.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) =
+            pair.split_once(':').ok_or_else(|| format!("malformed JSON pair {pair:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("malformed JSON key in {pair:?}"))?;
+        let value: f64 =
+            value.trim().parse().map_err(|_| format!("non-numeric JSON value in {pair:?}"))?;
+        out.push((key.to_string(), value));
+    }
+    Ok(out)
+}
+
+/// One regression found by [`check_regressions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Which metric regressed.
+    pub metric: &'static str,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The value measured in this run.
+    pub current: f64,
+    /// Relative change in the *bad* direction (0.5 = 50% worse).
+    pub ratio: f64,
+}
+
+/// Compares `current` against `baseline`: a metric regresses when it is
+/// more than `max_regression` (a fraction, e.g. 0.30) worse in its bad
+/// direction. Improvements never fail, however large.
+pub fn check_regressions(
+    current: &EngineBenchMetrics,
+    baseline: &EngineBenchMetrics,
+    max_regression: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for ((metric, cur, direction), (_, base, _)) in
+        current.fields().into_iter().zip(baseline.fields())
+    {
+        if base <= 0.0 {
+            continue; // defensively skip degenerate baselines
+        }
+        let ratio = match direction {
+            Direction::HigherIsBetter => (base - cur) / base,
+            Direction::LowerIsBetter => (cur - base) / base,
+        };
+        if ratio > max_regression {
+            regressions.push(Regression { metric, baseline: base, current: cur, ratio });
+        }
+    }
+    regressions
+}
+
+fn serving_engine(stored: &Graph, cache_capacity: usize) -> Engine {
+    Engine::new(
+        PsiRunner::new(Arc::new(stored.clone()), PsiConfig::gql_spa_orig_dnd()),
+        EngineConfig {
+            workers: 4,
+            max_concurrent_races: 4,
+            cache_capacity,
+            // The artifact isolates cache/race/pool costs; the predictor
+            // fast path has its own tests.
+            predictor_confidence: 2.0,
+            default_budget: RaceBudget::decision(),
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// Runs the standard measurement (a few seconds) and returns the
+/// artifact metrics. Fixed seeds and workload sizes keep runs
+/// comparable across commits.
+pub fn measure() -> EngineBenchMetrics {
+    // --- Single-engine batch: cold pass then warm (cached) pass. ---
+    let stored = datasets::yeast_like(0.2, 42);
+    let queries: Vec<Graph> = Workloads::nfv_workload(&stored, 8, 24, 7);
+    let engine = serving_engine(&stored, 4096);
+    let t0 = Instant::now();
+    let cold = submit_batch(&engine, &queries, 8);
+    let warm = submit_batch(&engine, &queries, 8);
+    let wall = t0.elapsed().as_secs_f64();
+    let served = (cold.responses.len() + warm.responses.len()) as f64;
+    let qps = if wall > 0.0 { served / wall } else { 0.0 };
+    let stats = engine.stats();
+    let p50_us = stats.latency_p50.as_secs_f64() * 1e6;
+    let p99_us = stats.latency_p99.as_secs_f64() * 1e6;
+
+    // --- Cache-hit speedup: one repeated query, cold vs. hit medians. ---
+    let repeat = Workloads::single_query(&stored, 10, 9).expect("generable query");
+    let cold_engine = serving_engine(&stored, 0); // cache off: every submit races
+    let hit_engine = serving_engine(&stored, 4096);
+    hit_engine.submit(&repeat); // prime
+    assert_eq!(hit_engine.submit(&repeat).path, ServePath::CacheHit);
+    let median = |f: &dyn Fn()| {
+        let mut times: Vec<f64> = (0..31)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        times[times.len() / 2]
+    };
+    let cold_t = median(&|| {
+        std::hint::black_box(cold_engine.submit(&repeat));
+    });
+    let hit_t = median(&|| {
+        std::hint::black_box(hit_engine.submit(&repeat));
+    });
+    let cache_hit_speedup = if hit_t > 0.0 { cold_t / hit_t } else { 0.0 };
+
+    // --- Multi-graph registry throughput: 4 graphs, one shared pool. ---
+    let spec = MultiWorkloadSpec { total_queries: 160, ..MultiWorkloadSpec::default() };
+    let workload = MultiWorkload::generate(&spec, 2024);
+    let multi = MultiEngine::new(MultiEngineConfig {
+        workers: 4,
+        max_concurrent_races: 4,
+        tenant: EngineConfig {
+            predictor_confidence: 2.0,
+            default_budget: RaceBudget::decision(),
+            ..EngineConfig::default()
+        },
+    });
+    let ids: Vec<_> = workload
+        .graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            multi
+                .register(format!("bench-{i}"), PsiRunner::nfv_default_shared(Arc::clone(g)))
+                .expect("unique name")
+        })
+        .collect();
+    let traffic: Vec<_> = workload.traffic.iter().map(|(g, q)| (ids[*g], q.clone())).collect();
+    let report = submit_batch_multi(&multi, &traffic, 8);
+
+    EngineBenchMetrics { qps, p50_us, p99_us, cache_hit_speedup, multi_qps: report.qps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineBenchMetrics {
+        EngineBenchMetrics {
+            qps: 1000.0,
+            p50_us: 200.0,
+            p99_us: 900.0,
+            cache_hit_speedup: 40.0,
+            multi_qps: 800.0,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = sample();
+        let parsed = EngineBenchMetrics::from_json(&m.to_json()).expect("round trip");
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(EngineBenchMetrics::from_json("not json").is_err());
+        assert!(EngineBenchMetrics::from_json("{\"qps\": \"fast\"}").is_err());
+        assert!(
+            EngineBenchMetrics::from_json("{\"qps\": 1.0}").is_err(),
+            "missing fields must error"
+        );
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let mut json = sample().to_json();
+        json = json.replace("\"qps\"", "\"future_metric\": 7.0,\n  \"qps\"");
+        assert_eq!(EngineBenchMetrics::from_json(&json).expect("forward compatible"), sample());
+    }
+
+    #[test]
+    fn regression_gate_directions() {
+        let base = sample();
+        // 50% qps loss and doubled p99: both flagged at the 30% gate.
+        let worse = EngineBenchMetrics { qps: 500.0, p99_us: 1800.0, ..base.clone() };
+        let regs = check_regressions(&worse, &base, 0.30);
+        let names: Vec<_> = regs.iter().map(|r| r.metric).collect();
+        assert_eq!(names, vec!["qps", "p99_us"]);
+        assert!((regs[0].ratio - 0.5).abs() < 1e-9);
+
+        // Within tolerance: 20% off in the bad direction passes.
+        let mild = EngineBenchMetrics { qps: 800.0, p50_us: 240.0, ..base.clone() };
+        assert!(check_regressions(&mild, &base, 0.30).is_empty());
+
+        // Improvements never fail, however large.
+        let better = EngineBenchMetrics {
+            qps: 10_000.0,
+            p50_us: 1.0,
+            p99_us: 2.0,
+            cache_hit_speedup: 500.0,
+            multi_qps: 9_000.0,
+        };
+        assert!(check_regressions(&better, &base, 0.30).is_empty());
+    }
+}

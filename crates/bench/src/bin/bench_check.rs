@@ -1,0 +1,111 @@
+//! CI bench-trail gate: measure the standard serving metrics, write
+//! them as `BENCH_engine.json`, and fail when any metric regresses more
+//! than the allowed fraction versus the committed baseline.
+//!
+//! ```text
+//! # Measure, write the artifact, gate against the committed baseline:
+//! cargo run --release -p psi-bench --bin bench_check -- \
+//!     --out BENCH_engine.json --baseline BENCH_baseline.json
+//!
+//! # Measure and write only (e.g. to refresh the baseline):
+//! cargo run --release -p psi-bench --bin bench_check -- --out BENCH_baseline.json
+//! ```
+//!
+//! Exit codes: 0 ok, 1 regression detected, 2 usage/IO error.
+
+use psi_bench::artifact::{check_regressions, measure, EngineBenchMetrics};
+use std::process::ExitCode;
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    max_regression: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { out: "BENCH_engine.json".to_string(), baseline: None, max_regression: 0.30 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--out" => args.out = value("--out")?,
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--max-regression" => {
+                args.max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|_| "--max-regression must be a fraction like 0.30".to_string())?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: bench_check [--out PATH] [--baseline PATH] \
+                            [--max-regression FRACTION]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!("measuring serving metrics (fixed seeds, ~a few seconds)...");
+    let current = measure();
+    for (name, value, _) in current.fields() {
+        println!("  {name:>18}  {value:>10.1}");
+    }
+    if let Err(err) = std::fs::write(&args.out, current.to_json()) {
+        eprintln!("cannot write {}: {err}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", args.out);
+
+    let Some(baseline_path) = args.baseline else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read baseline {baseline_path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match EngineBenchMetrics::from_json(&baseline_text) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("cannot parse baseline {baseline_path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let regressions = check_regressions(&current, &baseline, args.max_regression);
+    if regressions.is_empty() {
+        println!(
+            "bench gate ok: no metric regressed more than {:.0}% vs {baseline_path}",
+            args.max_regression * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "bench gate FAILED: {} metric(s) regressed more than {:.0}% vs {baseline_path}",
+        regressions.len(),
+        args.max_regression * 100.0
+    );
+    for r in &regressions {
+        eprintln!(
+            "  {:>18}  baseline {:>10.1}  current {:>10.1}  ({:.0}% worse)",
+            r.metric,
+            r.baseline,
+            r.current,
+            r.ratio * 100.0
+        );
+    }
+    ExitCode::FAILURE
+}

@@ -21,6 +21,7 @@
 //! roughly what factor, where the crossovers fall — is the reproduction
 //! target, and `EXPERIMENTS.md` tracks it claim by claim.
 
+pub mod artifact;
 pub mod data;
 pub mod experiments;
 pub mod ftv;

@@ -38,6 +38,14 @@ impl PsiRunner {
         Self::new(Arc::new(stored.clone()), PsiConfig::gql_spa_orig())
     }
 
+    /// [`PsiRunner::nfv_default`] over an already-shared graph handle —
+    /// no deep clone. A multi-graph registry registering many stored
+    /// graphs hands out `Arc<Graph>` handles; cloning each CSR would
+    /// double resident memory for nothing.
+    pub fn nfv_default_shared(stored: Arc<Graph>) -> Self {
+        Self::new(stored, PsiConfig::gql_spa_orig())
+    }
+
     /// Returns a runner with a different variant set, re-using already
     /// prepared matchers (new algorithms are prepared on demand).
     pub fn with_config(&self, config: PsiConfig) -> Self {

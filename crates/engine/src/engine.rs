@@ -89,12 +89,16 @@ pub enum EngineError {
     /// The concurrent-race limit is reached (only from
     /// [`Engine::try_submit`]; [`Engine::submit`] blocks instead).
     Busy,
+    /// The targeted graph is not registered (multi-graph serving only;
+    /// see [`crate::MultiEngine`]).
+    UnknownGraph,
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Busy => f.write_str("engine at concurrent-race capacity"),
+            EngineError::UnknownGraph => f.write_str("graph not registered with this engine"),
         }
     }
 }
@@ -137,6 +141,20 @@ impl EngineResponse {
     }
 }
 
+/// Where an engine gets permission to occupy the worker pool with a
+/// race. The standalone [`Engine`] uses a plain counting semaphore
+/// ([`Admission`]); a tenant of a [`crate::MultiEngine`] instead goes
+/// through the registry's shared fair gate, which arbitrates slots
+/// *across* graphs.
+pub(crate) trait AdmissionGate: Send + Sync {
+    /// Blocks until a race slot is granted.
+    fn acquire(&self);
+    /// Takes a slot if one is immediately available.
+    fn try_acquire(&self) -> bool;
+    /// Returns a previously acquired slot.
+    fn release(&self);
+}
+
 /// Counting semaphore bounding concurrently admitted races.
 struct Admission {
     in_flight: Mutex<usize>,
@@ -144,7 +162,7 @@ struct Admission {
     max: usize,
 }
 
-impl Admission {
+impl AdmissionGate for Admission {
     fn acquire(&self) {
         let mut in_flight = self.in_flight.lock().expect("admission lock");
         while *in_flight >= self.max {
@@ -170,7 +188,7 @@ impl Admission {
 }
 
 /// RAII admission slot.
-struct Permit<'a>(&'a Admission);
+struct Permit<'a>(&'a dyn AdmissionGate);
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
@@ -182,10 +200,10 @@ impl Drop for Permit<'_> {
 /// [`PsiRunner`]. Cheap to share: all methods take `&self`.
 pub struct Engine {
     runner: Arc<PsiRunner>,
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
     cache: ShardedCache,
     predictor: Mutex<VariantPredictor>,
-    admission: Admission,
+    admission: Arc<dyn AdmissionGate>,
     stats: StatsCollector,
     config: EngineConfig,
 }
@@ -194,19 +212,35 @@ impl Engine {
     /// Builds an engine serving queries against `runner`'s stored graph
     /// and variant configuration.
     pub fn new(runner: PsiRunner, config: EngineConfig) -> Self {
+        let pool = Arc::new(WorkerPool::new(config.workers));
+        let admission = Arc::new(Admission {
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+            max: config.max_concurrent_races.max(1),
+        });
+        Self::with_shared(Arc::new(runner), config, pool, admission)
+    }
+
+    /// Builds an engine on *shared* infrastructure: the worker pool and
+    /// admission gate are owned elsewhere (by a [`crate::MultiEngine`]
+    /// whose registered graphs all drain into one pool). `config.workers`
+    /// and `config.max_concurrent_races` are ignored — capacity lives in
+    /// the shared pool and gate.
+    pub(crate) fn with_shared(
+        runner: Arc<PsiRunner>,
+        config: EngineConfig,
+        pool: Arc<WorkerPool>,
+        admission: Arc<dyn AdmissionGate>,
+    ) -> Self {
         Self {
-            runner: Arc::new(runner),
-            pool: WorkerPool::new(config.workers),
+            runner,
+            pool,
             cache: ShardedCache::new(config.cache_shards, config.cache_capacity.max(1)),
             predictor: Mutex::new(VariantPredictor::with_window(
                 config.predictor_k.max(1),
                 config.predictor_window.max(1),
             )),
-            admission: Admission {
-                in_flight: Mutex::new(0),
-                freed: Condvar::new(),
-                max: config.max_concurrent_races.max(1),
-            },
+            admission,
             stats: StatsCollector::new(),
             config,
         }
@@ -230,6 +264,12 @@ impl Engine {
     /// Current serving statistics.
     pub fn stats(&self) -> EngineStats {
         self.stats.snapshot()
+    }
+
+    /// The live collector behind [`Engine::stats`] — lets the registry
+    /// merge raw latency samples across graphs for aggregate percentiles.
+    pub(crate) fn stats_collector(&self) -> &StatsCollector {
+        &self.stats
     }
 
     /// Serves `query` under the configured default budget, blocking while
@@ -307,7 +347,7 @@ impl Engine {
             self.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
             return Err(EngineError::Busy);
         }
-        let _permit = Permit(&self.admission);
+        let _permit = Permit(self.admission.as_ref());
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
 

@@ -22,6 +22,10 @@
 //!   sharded LRU result cache; repeated queries skip the race entirely.
 //! * [`stats`] — an [`EngineStats`] snapshot: throughput, p50/p99
 //!   latency, cache hit rate, races vs. fast paths, cancelled variants.
+//! * [`registry`] — multi-graph serving: a [`MultiEngine`] registers
+//!   named stored graphs (each with its own runner, predictor state and
+//!   cache partition) and routes all of their races through **one**
+//!   shared pool with fair cross-graph admission.
 //!
 //! ```
 //! use psi_core::{PsiRunner, RaceBudget};
@@ -40,10 +44,38 @@
 //! assert_eq!(again.path, psi_engine::ServePath::CacheHit);
 //! assert_eq!(again.num_matches(), first.num_matches());
 //! ```
+//!
+//! ## Multi-graph quickstart
+//!
+//! One process serving several stored graphs over one shared pool —
+//! register each graph, route by [`GraphId`]:
+//!
+//! ```
+//! use psi_core::{PsiRunner, RaceBudget};
+//! use psi_engine::{EngineConfig, MultiEngine, MultiEngineConfig};
+//! use psi_graph::graph::graph_from_parts;
+//!
+//! let multi = MultiEngine::new(MultiEngineConfig {
+//!     workers: 2,
+//!     max_concurrent_races: 2,
+//!     tenant: EngineConfig { default_budget: RaceBudget::decision(), ..EngineConfig::default() },
+//! });
+//! let square = graph_from_parts(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! let pair = graph_from_parts(&[5, 6], &[(0, 1)]);
+//! let sq = multi.register("square", PsiRunner::nfv_default(&square)).unwrap();
+//! let pr = multi.register("pair", PsiRunner::nfv_default(&pair)).unwrap();
+//!
+//! let query = graph_from_parts(&[0, 1], &[(0, 1)]);
+//! assert!(multi.submit(sq, &query).unwrap().found());
+//! assert!(!multi.submit(pr, &query).unwrap().found()); // per-graph answers
+//! assert_eq!(multi.graph_stats(sq).unwrap().queries, 1);
+//! assert_eq!(multi.stats().queries, 2); // aggregate across graphs
+//! ```
 
 pub mod cache;
 pub mod engine;
 pub mod pool;
+pub mod registry;
 pub mod stats;
 
 pub use cache::{
@@ -51,4 +83,5 @@ pub use cache::{
 };
 pub use engine::{Engine, EngineConfig, EngineError, EngineResponse, ServePath};
 pub use pool::WorkerPool;
+pub use registry::{GraphId, GraphRegistry, MultiEngine, MultiEngineConfig, RegistryError};
 pub use stats::EngineStats;

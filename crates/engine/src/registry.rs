@@ -1,0 +1,704 @@
+//! Multi-graph serving: a registry of named stored graphs multiplexed
+//! over **one** shared worker pool.
+//!
+//! The paper evaluates Ψ across several datasets; a production graph
+//! store serves all of them from one process. [`MultiEngine`] is that
+//! layer: each registered graph keeps its own [`psi_core::PsiRunner`]
+//! (prepared matchers and indexes), its own predictor state, its own
+//! result-cache partition and its own [`EngineStats`] — but every race,
+//! from every graph, drains into a single [`WorkerPool`], and admission
+//! slots are arbitrated *across* graphs by a fair gate.
+//!
+//! **Cache partitioning.** Logically the result cache is keyed by
+//! `(graph_id, QueryKey)`; physically each tenant owns a private
+//! [`crate::ShardedCache`] partition, which makes the two multi-tenant
+//! guarantees structural: identical queries against different graphs can
+//! never collide (distinct partitions), and one graph's eviction churn
+//! can never push another graph's hot entries out (distinct capacities).
+//!
+//! **Fair admission.** A single counting gate bounds races in flight
+//! across *all* graphs. When slots are contended the gate grants the
+//! freed slot to the waiting graph with the fewest races currently in
+//! flight (max–min fairness), tie-broken by arrival order — so a tenant
+//! flooding the engine with traffic cannot starve a light tenant, yet an
+//! uncontended engine behaves exactly like per-graph FIFO.
+
+use crate::engine::{AdmissionGate, Engine, EngineConfig, EngineError, EngineResponse};
+use crate::pool::WorkerPool;
+use crate::stats::{EngineStats, StatsCollector};
+use psi_core::{PsiRunner, RaceBudget};
+use psi_graph::Graph;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
+
+/// Identity of a registered graph, returned by [`MultiEngine::register`].
+/// Cheap to copy; valid only for the registry that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphId(usize);
+
+impl GraphId {
+    /// The registration index (0 for the first registered graph).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GraphId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Why a graph could not be registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A graph with this name is already registered.
+    DuplicateName(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateName(name) => {
+                write!(f, "graph name {name:?} is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Tuning knobs for a [`MultiEngine`].
+#[derive(Debug, Clone)]
+pub struct MultiEngineConfig {
+    /// Worker threads in the one pool shared by every registered graph
+    /// (default: available parallelism).
+    pub workers: usize,
+    /// Races in flight across **all** graphs; further submissions block
+    /// in the fair gate (or bounce with [`EngineError::Busy`]).
+    /// Default: `workers`.
+    pub max_concurrent_races: usize,
+    /// Per-tenant template: cache shards/capacity, predictor knobs and
+    /// default budget for each registered graph. `tenant.workers` and
+    /// `tenant.max_concurrent_races` are ignored — capacity lives in the
+    /// shared pool and gate. Override per graph with
+    /// [`MultiEngine::register_with_config`].
+    pub tenant: EngineConfig,
+}
+
+impl Default for MultiEngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Self { workers, max_concurrent_races: workers, tenant: EngineConfig::default() }
+    }
+}
+
+/// The scheduling core of the fair gate. Pure state machine (no blocking)
+/// so the fairness policy is unit-testable without threads.
+struct FairCore {
+    in_flight_total: usize,
+    /// Races in flight per graph slot.
+    in_flight: Vec<usize>,
+    /// FIFO of waiting tickets per graph slot.
+    waiters: Vec<VecDeque<u64>>,
+    next_ticket: u64,
+    /// The one ticket currently cleared to take a slot. Grants chain:
+    /// the grantee accepts, then scheduling runs again.
+    granted: Option<u64>,
+}
+
+impl FairCore {
+    fn new() -> Self {
+        Self {
+            in_flight_total: 0,
+            in_flight: Vec::new(),
+            waiters: Vec::new(),
+            next_ticket: 0,
+            granted: None,
+        }
+    }
+
+    fn add_graph(&mut self) -> usize {
+        self.in_flight.push(0);
+        self.waiters.push(VecDeque::new());
+        self.in_flight.len() - 1
+    }
+
+    fn take(&mut self, graph: usize) {
+        self.in_flight_total += 1;
+        self.in_flight[graph] += 1;
+    }
+
+    fn enqueue(&mut self, graph: usize) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.waiters[graph].push_back(ticket);
+        ticket
+    }
+
+    /// Whether a submission may bypass the queue entirely: capacity free,
+    /// nobody waiting, no grant pending.
+    fn can_fast_path(&self, max: usize) -> bool {
+        self.granted.is_none()
+            && self.in_flight_total < max
+            && self.waiters.iter().all(|q| q.is_empty())
+    }
+
+    /// Grants a freed slot: among graphs with waiters, the one with the
+    /// fewest races in flight wins; ties go to the oldest ticket.
+    fn schedule(&mut self, max: usize) {
+        if self.granted.is_some() || self.in_flight_total >= max {
+            return;
+        }
+        self.granted = self
+            .waiters
+            .iter()
+            .enumerate()
+            .filter_map(|(g, q)| q.front().map(|&t| (self.in_flight[g], t)))
+            .min()
+            .map(|(_, ticket)| ticket);
+    }
+
+    /// The grantee accepts its slot.
+    fn accept(&mut self, graph: usize, ticket: u64, max: usize) {
+        debug_assert_eq!(self.granted, Some(ticket));
+        self.granted = None;
+        let front = self.waiters[graph].pop_front();
+        debug_assert_eq!(front, Some(ticket), "granted ticket must head its graph's queue");
+        self.take(graph);
+        self.schedule(max);
+    }
+
+    fn release(&mut self, graph: usize, max: usize) {
+        self.in_flight_total -= 1;
+        self.in_flight[graph] -= 1;
+        self.schedule(max);
+    }
+}
+
+/// The shared cross-graph admission gate (see module docs).
+struct FairAdmission {
+    core: Mutex<FairCore>,
+    changed: Condvar,
+    max: usize,
+}
+
+impl FairAdmission {
+    fn new(max: usize) -> Self {
+        Self { core: Mutex::new(FairCore::new()), changed: Condvar::new(), max: max.max(1) }
+    }
+
+    fn add_graph(&self) -> usize {
+        self.core.lock().expect("fair admission lock").add_graph()
+    }
+
+    fn acquire(&self, graph: usize) {
+        let mut core = self.core.lock().expect("fair admission lock");
+        if core.can_fast_path(self.max) {
+            core.take(graph);
+            return;
+        }
+        let ticket = core.enqueue(graph);
+        core.schedule(self.max);
+        loop {
+            if core.granted == Some(ticket) {
+                core.accept(graph, ticket, self.max);
+                drop(core);
+                // A chained grant (or freed capacity) may concern others.
+                self.changed.notify_all();
+                return;
+            }
+            core = self.changed.wait(core).expect("fair admission lock");
+        }
+    }
+
+    fn try_acquire(&self, graph: usize) -> bool {
+        let mut core = self.core.lock().expect("fair admission lock");
+        if core.can_fast_path(self.max) {
+            core.take(graph);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release(&self, graph: usize) {
+        let mut core = self.core.lock().expect("fair admission lock");
+        core.release(graph, self.max);
+        drop(core);
+        self.changed.notify_all();
+    }
+}
+
+/// Binds the shared fair gate to one tenant so the tenant's [`Engine`]
+/// can use it through the ordinary [`AdmissionGate`] interface.
+struct TenantGate {
+    shared: Arc<FairAdmission>,
+    graph: usize,
+}
+
+impl AdmissionGate for TenantGate {
+    fn acquire(&self) {
+        self.shared.acquire(self.graph);
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.shared.try_acquire(self.graph)
+    }
+
+    fn release(&self) {
+        self.shared.release(self.graph);
+    }
+}
+
+/// One registered graph: its name and its serving engine (runner,
+/// predictor, cache partition, stats) wired to the shared pool and gate.
+pub(crate) struct Tenant {
+    name: String,
+    engine: Engine,
+}
+
+struct RegistryInner {
+    tenants: Vec<Arc<Tenant>>,
+    by_name: HashMap<String, GraphId>,
+}
+
+/// The name → graph directory of a [`MultiEngine`].
+///
+/// Registration goes through [`MultiEngine::register`] (the engine must
+/// wire each tenant to its shared pool); the registry exposes lookup and
+/// enumeration.
+pub struct GraphRegistry {
+    inner: RwLock<RegistryInner>,
+}
+
+impl GraphRegistry {
+    fn new() -> Self {
+        Self { inner: RwLock::new(RegistryInner { tenants: Vec::new(), by_name: HashMap::new() }) }
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("registry lock").tenants.len()
+    }
+
+    /// Whether no graph is registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves a graph name to its id.
+    pub fn graph_id(&self, name: &str) -> Option<GraphId> {
+        self.inner.read().expect("registry lock").by_name.get(name).copied()
+    }
+
+    /// The name a graph was registered under.
+    pub fn name(&self, graph: GraphId) -> Option<String> {
+        self.tenant(graph).map(|t| t.name.clone())
+    }
+
+    /// All registered graphs in registration order.
+    pub fn graphs(&self) -> Vec<(GraphId, String)> {
+        let inner = self.inner.read().expect("registry lock");
+        inner.tenants.iter().enumerate().map(|(i, t)| (GraphId(i), t.name.clone())).collect()
+    }
+
+    fn tenant(&self, graph: GraphId) -> Option<Arc<Tenant>> {
+        self.inner.read().expect("registry lock").tenants.get(graph.0).cloned()
+    }
+
+    fn snapshot(&self) -> Vec<Arc<Tenant>> {
+        self.inner.read().expect("registry lock").tenants.clone()
+    }
+}
+
+/// A multi-graph serving engine: named stored graphs registered at
+/// runtime, one shared worker pool, fair cross-graph admission, and
+/// per-graph plus aggregate statistics. All methods take `&self`; share
+/// it freely across client threads.
+///
+/// ```
+/// use psi_core::{PsiRunner, RaceBudget};
+/// use psi_engine::{EngineConfig, MultiEngine, MultiEngineConfig};
+/// use psi_graph::graph::graph_from_parts;
+///
+/// let multi = MultiEngine::new(MultiEngineConfig {
+///     workers: 2,
+///     max_concurrent_races: 2,
+///     tenant: EngineConfig { default_budget: RaceBudget::decision(), ..EngineConfig::default() },
+/// });
+/// let square = graph_from_parts(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// let pair = graph_from_parts(&[7, 7], &[(0, 1)]);
+/// let a = multi.register("square", PsiRunner::nfv_default(&square)).unwrap();
+/// let b = multi.register("pair", PsiRunner::nfv_default(&pair)).unwrap();
+///
+/// let query = graph_from_parts(&[0, 1], &[(0, 1)]);
+/// assert!(multi.submit(a, &query).unwrap().found());
+/// assert!(!multi.submit(b, &query).unwrap().found()); // same query, other graph
+/// assert_eq!(multi.stats().queries, 2);
+/// ```
+pub struct MultiEngine {
+    pool: Arc<WorkerPool>,
+    admission: Arc<FairAdmission>,
+    registry: GraphRegistry,
+    config: MultiEngineConfig,
+    started: Instant,
+}
+
+impl MultiEngine {
+    /// Builds an empty multi-graph engine; register graphs before
+    /// submitting.
+    pub fn new(config: MultiEngineConfig) -> Self {
+        Self {
+            pool: Arc::new(WorkerPool::new(config.workers)),
+            admission: Arc::new(FairAdmission::new(config.max_concurrent_races)),
+            registry: GraphRegistry::new(),
+            config,
+            started: Instant::now(),
+        }
+    }
+
+    /// Multi-graph engine with default tuning.
+    pub fn with_defaults() -> Self {
+        Self::new(MultiEngineConfig::default())
+    }
+
+    /// Registers `runner`'s stored graph under `name` using the tenant
+    /// template config. Returns the graph's id for routing.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        runner: PsiRunner,
+    ) -> Result<GraphId, RegistryError> {
+        self.register_shared(name, Arc::new(runner))
+    }
+
+    /// Registers an already-shared runner handle (no copy; the caller may
+    /// keep using the same [`PsiRunner`] for offline analysis).
+    pub fn register_shared(
+        &self,
+        name: impl Into<String>,
+        runner: Arc<PsiRunner>,
+    ) -> Result<GraphId, RegistryError> {
+        self.register_with_config(name, runner, self.config.tenant.clone())
+    }
+
+    /// Registers a graph with a per-tenant [`EngineConfig`] override
+    /// (cache capacity, predictor knobs, default budget). The config's
+    /// `workers` / `max_concurrent_races` are ignored — capacity lives in
+    /// the shared pool and fair gate.
+    pub fn register_with_config(
+        &self,
+        name: impl Into<String>,
+        runner: Arc<PsiRunner>,
+        tenant_config: EngineConfig,
+    ) -> Result<GraphId, RegistryError> {
+        let name = name.into();
+        let mut inner = self.registry.inner.write().expect("registry lock");
+        if inner.by_name.contains_key(&name) {
+            return Err(RegistryError::DuplicateName(name));
+        }
+        let slot = self.admission.add_graph();
+        debug_assert_eq!(slot, inner.tenants.len(), "gate slots track registration order");
+        let gate = Arc::new(TenantGate { shared: Arc::clone(&self.admission), graph: slot });
+        let engine = Engine::with_shared(runner, tenant_config, Arc::clone(&self.pool), gate);
+        let id = GraphId(slot);
+        inner.tenants.push(Arc::new(Tenant { name: name.clone(), engine }));
+        inner.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// The name → graph directory.
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.registry
+    }
+
+    /// Resolves a graph name to its id (shorthand for
+    /// `registry().graph_id(name)`).
+    pub fn graph_id(&self, name: &str) -> Option<GraphId> {
+        self.registry.graph_id(name)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &MultiEngineConfig {
+        &self.config
+    }
+
+    /// Worker threads in the shared pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The registered runner for `graph` (stored graph, variants,
+    /// prepared matchers).
+    pub fn runner(&self, graph: GraphId) -> Option<Arc<PsiRunner>> {
+        self.registry.tenant(graph).map(|t| Arc::clone(t.engine.runner()))
+    }
+
+    /// Serves `query` against `graph` under the tenant's default budget,
+    /// blocking while the shared gate is at capacity.
+    pub fn submit(&self, graph: GraphId, query: &Graph) -> Result<EngineResponse, EngineError> {
+        let tenant = self.registry.tenant(graph).ok_or(EngineError::UnknownGraph)?;
+        Ok(tenant.engine.submit(query))
+    }
+
+    /// Serves `query` against `graph` under an explicit budget, blocking
+    /// for admission.
+    pub fn submit_with_budget(
+        &self,
+        graph: GraphId,
+        query: &Graph,
+        budget: RaceBudget,
+    ) -> Result<EngineResponse, EngineError> {
+        let tenant = self.registry.tenant(graph).ok_or(EngineError::UnknownGraph)?;
+        Ok(tenant.engine.submit_with_budget(query, budget))
+    }
+
+    /// Non-blocking submit: [`EngineError::Busy`] when the shared gate is
+    /// at capacity (cache hits are always served).
+    pub fn try_submit(&self, graph: GraphId, query: &Graph) -> Result<EngineResponse, EngineError> {
+        let tenant = self.registry.tenant(graph).ok_or(EngineError::UnknownGraph)?;
+        tenant.engine.try_submit(query)
+    }
+
+    /// Non-blocking submit with an explicit budget.
+    pub fn try_submit_with_budget(
+        &self,
+        graph: GraphId,
+        query: &Graph,
+        budget: RaceBudget,
+    ) -> Result<EngineResponse, EngineError> {
+        let tenant = self.registry.tenant(graph).ok_or(EngineError::UnknownGraph)?;
+        tenant.engine.try_submit_with_budget(query, budget)
+    }
+
+    /// Serving statistics of one registered graph.
+    pub fn graph_stats(&self, graph: GraphId) -> Option<EngineStats> {
+        self.registry.tenant(graph).map(|t| t.engine.stats())
+    }
+
+    /// Aggregate serving statistics across every registered graph.
+    /// Counters are summed; percentiles are computed over the merged
+    /// recent-latency samples (not averaged per-graph percentiles);
+    /// throughput is measured against this engine's uptime.
+    pub fn stats(&self) -> EngineStats {
+        let tenants = self.registry.snapshot();
+        let uptime = self.started.elapsed();
+        let mut agg = EngineStats {
+            uptime,
+            queries: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            hit_rate: 0.0,
+            races: 0,
+            fast_paths: 0,
+            fast_path_fallbacks: 0,
+            cancelled_variants: 0,
+            busy_rejections: 0,
+            inconclusive: 0,
+            throughput_qps: 0.0,
+            latency_p50: std::time::Duration::ZERO,
+            latency_p99: std::time::Duration::ZERO,
+        };
+        let mut samples: Vec<u64> = Vec::new();
+        for tenant in &tenants {
+            // Read the raw counters, not EngineStats snapshots: a
+            // snapshot would sort the tenant's whole latency ring to
+            // produce percentiles this aggregate immediately discards.
+            let c = tenant.engine.stats_collector();
+            agg.queries += c.queries.load(Ordering::Relaxed);
+            agg.cache_hits += c.cache_hits.load(Ordering::Relaxed);
+            agg.cache_misses += c.cache_misses.load(Ordering::Relaxed);
+            agg.races += c.races.load(Ordering::Relaxed);
+            agg.fast_paths += c.fast_paths.load(Ordering::Relaxed);
+            agg.fast_path_fallbacks += c.fast_path_fallbacks.load(Ordering::Relaxed);
+            agg.cancelled_variants += c.cancelled_variants.load(Ordering::Relaxed);
+            agg.busy_rejections += c.busy_rejections.load(Ordering::Relaxed);
+            agg.inconclusive += c.inconclusive.load(Ordering::Relaxed);
+            samples.extend(c.latency_samples());
+        }
+        let looked_up = agg.cache_hits + agg.cache_misses;
+        agg.hit_rate = if looked_up > 0 { agg.cache_hits as f64 / looked_up as f64 } else { 0.0 };
+        agg.throughput_qps = if uptime.as_secs_f64() > 0.0 {
+            agg.queries as f64 / uptime.as_secs_f64()
+        } else {
+            0.0
+        };
+        (agg.latency_p50, agg.latency_p99) = StatsCollector::percentiles_of(&mut samples);
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    // ---- FairCore policy (deterministic, no threads) ----
+
+    #[test]
+    fn fair_core_grants_light_graph_before_older_heavy_waiter() {
+        let mut core = FairCore::new();
+        let (g0, g1) = (core.add_graph(), core.add_graph());
+        let max = 2;
+        // g0 saturates both slots.
+        core.take(g0);
+        core.take(g0);
+        // g0 queues another race *before* g1's first ever arrives.
+        let t_heavy = core.enqueue(g0);
+        let t_light = core.enqueue(g1);
+        core.schedule(max);
+        assert_eq!(core.granted, None, "no capacity, no grant");
+        // A slot frees: the light graph (0 in flight) beats the older
+        // ticket of the heavy graph (1 still in flight).
+        core.release(g0, max);
+        assert_eq!(core.granted, Some(t_light));
+        core.accept(g1, t_light, max);
+        // Next freed slot finally reaches the heavy graph's waiter.
+        core.release(g0, max);
+        assert_eq!(core.granted, Some(t_heavy));
+        core.accept(g0, t_heavy, max);
+        assert_eq!(core.in_flight, vec![1, 1]);
+    }
+
+    #[test]
+    fn fair_core_ties_break_by_arrival_order() {
+        let mut core = FairCore::new();
+        let (g0, g1) = (core.add_graph(), core.add_graph());
+        let max = 1;
+        core.take(g0);
+        let first = core.enqueue(g1);
+        let second = core.enqueue(g0);
+        // Slot frees; both graphs are at 0 in flight — FIFO decides.
+        core.release(g0, max);
+        assert_eq!(core.granted, Some(first));
+        core.accept(g1, first, max);
+        core.release(g1, max);
+        assert_eq!(core.granted, Some(second));
+    }
+
+    #[test]
+    fn fair_core_chains_grants_when_capacity_allows() {
+        let mut core = FairCore::new();
+        let g0 = core.add_graph();
+        let max = 2;
+        core.take(g0);
+        core.take(g0);
+        let t1 = core.enqueue(g0);
+        let t2 = core.enqueue(g0);
+        core.release(g0, max);
+        assert_eq!(core.granted, Some(t1));
+        // Accepting t1 re-schedules, but capacity is full again.
+        core.accept(g0, t1, max);
+        assert_eq!(core.granted, None);
+        // Freeing another slot chains straight to t2.
+        core.release(g0, max);
+        assert_eq!(core.granted, Some(t2));
+    }
+
+    #[test]
+    fn fast_path_requires_empty_queue_and_capacity() {
+        let mut core = FairCore::new();
+        let g0 = core.add_graph();
+        assert!(core.can_fast_path(1));
+        core.take(g0);
+        assert!(!core.can_fast_path(1), "no capacity");
+        core.enqueue(g0);
+        core.release(g0, 1);
+        assert!(!core.can_fast_path(1), "grant pending for the waiter");
+    }
+
+    // ---- FairAdmission under real threads ----
+
+    #[test]
+    fn blocking_acquire_eventually_admits_everyone() {
+        let fair = Arc::new(FairAdmission::new(2));
+        let g0 = fair.add_graph();
+        let g1 = fair.add_graph();
+        let admitted = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for i in 0..16 {
+                let fair = Arc::clone(&fair);
+                let admitted = Arc::clone(&admitted);
+                let graph = if i % 2 == 0 { g0 } else { g1 };
+                scope.spawn(move || {
+                    fair.acquire(graph);
+                    admitted.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_micros(200));
+                    fair.release(graph);
+                });
+            }
+        });
+        assert_eq!(admitted.load(Ordering::Relaxed), 16);
+        let core = fair.core.lock().unwrap();
+        assert_eq!(core.in_flight_total, 0);
+        assert!(core.waiters.iter().all(|q| q.is_empty()));
+        assert_eq!(core.granted, None);
+    }
+
+    #[test]
+    fn try_acquire_respects_capacity_and_queue() {
+        let fair = FairAdmission::new(1);
+        let g0 = fair.add_graph();
+        let g1 = fair.add_graph();
+        assert!(fair.try_acquire(g0));
+        assert!(!fair.try_acquire(g1), "at capacity");
+        fair.release(g0);
+        assert!(fair.try_acquire(g1));
+        fair.release(g1);
+    }
+
+    // ---- Registry bookkeeping (graph-free; serving paths are covered
+    // by the integration tests) ----
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        use psi_graph::graph::graph_from_parts;
+        let multi = MultiEngine::new(MultiEngineConfig {
+            workers: 1,
+            max_concurrent_races: 1,
+            tenant: EngineConfig::default(),
+        });
+        let g = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let id = multi.register("alpha", PsiRunner::nfv_default(&g)).expect("first registration");
+        assert_eq!(multi.graph_id("alpha"), Some(id));
+        assert_eq!(
+            multi.register("alpha", PsiRunner::nfv_default(&g)),
+            Err(RegistryError::DuplicateName("alpha".into()))
+        );
+        assert_eq!(multi.registry().len(), 1);
+    }
+
+    #[test]
+    fn unknown_graph_is_an_error_not_a_panic() {
+        use psi_graph::graph::graph_from_parts;
+        let multi = MultiEngine::with_defaults();
+        let q = graph_from_parts(&[0], &[]);
+        let bogus = GraphId(7);
+        assert_eq!(multi.submit(bogus, &q).unwrap_err(), EngineError::UnknownGraph);
+        assert_eq!(multi.try_submit(bogus, &q).unwrap_err(), EngineError::UnknownGraph);
+        assert!(multi.graph_stats(bogus).is_none());
+        assert!(multi.runner(bogus).is_none());
+    }
+
+    #[test]
+    fn registry_directory_tracks_registration_order() {
+        use psi_graph::graph::graph_from_parts;
+        let multi = MultiEngine::with_defaults();
+        let g = graph_from_parts(&[0, 1], &[(0, 1)]);
+        let a = multi.register("first", PsiRunner::nfv_default(&g)).unwrap();
+        let b = multi.register("second", PsiRunner::nfv_default(&g)).unwrap();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(
+            multi.registry().graphs(),
+            vec![(a, "first".to_string()), (b, "second".to_string())]
+        );
+        assert_eq!(multi.registry().name(b).as_deref(), Some("second"));
+        assert_eq!(format!("{a}"), "g0");
+    }
+}

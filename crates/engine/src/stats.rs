@@ -57,26 +57,34 @@ impl StatsCollector {
         ring.filled = (ring.filled + 1).min(LATENCY_RING);
     }
 
+    /// The retained recent-latency samples (microseconds, unordered) —
+    /// merged across graphs by the registry so aggregate percentiles are
+    /// computed over *samples*, not averaged per-graph percentiles.
+    pub(crate) fn latency_samples(&self) -> Vec<u64> {
+        let ring = self.latencies_us.lock().expect("latency ring lock");
+        ring.buf[..ring.filled].to_vec()
+    }
+
+    /// p50/p99 over a set of latency samples in microseconds.
+    pub(crate) fn percentiles_of(samples: &mut [u64]) -> (Duration, Duration) {
+        samples.sort_unstable();
+        if samples.is_empty() {
+            return (Duration::ZERO, Duration::ZERO);
+        }
+        let at = |q: f64| {
+            let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+            Duration::from_micros(samples[idx])
+        };
+        (at(0.50), at(0.99))
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> EngineStats {
         let queries = self.queries.load(Ordering::Relaxed);
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
-        let (p50, p99) = {
-            let ring = self.latencies_us.lock().expect("latency ring lock");
-            let mut sorted: Vec<u64> = ring.buf[..ring.filled].to_vec();
-            sorted.sort_unstable();
-            if sorted.is_empty() {
-                (Duration::ZERO, Duration::ZERO)
-            } else {
-                let at = |q: f64| {
-                    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-                    Duration::from_micros(sorted[idx])
-                };
-                (at(0.50), at(0.99))
-            }
-        };
+        let (p50, p99) = Self::percentiles_of(&mut self.latency_samples());
         EngineStats {
             uptime,
             queries,

@@ -19,15 +19,23 @@
 //! * [`batch`] — batch submission of a whole workload through a
 //!   [`psi_engine::Engine`] from concurrent client threads, with
 //!   aggregate serving metrics.
+//! * [`multi`] — multi-graph workloads (mixed graph sizes and label
+//!   alphabets, Zipf-skewed per-graph traffic with repeats) and batch
+//!   routing through a [`psi_engine::MultiEngine`] with per-graph
+//!   breakdowns.
 
 pub mod batch;
 pub mod classify;
 pub mod metrics;
+pub mod multi;
 pub mod query_gen;
 pub mod runner;
 
 pub use batch::{submit_batch, BatchReport};
 pub use classify::{CapConfig, Class, ClassBreakdown};
 pub use metrics::{qla, speedup_star, wla, SummaryStats};
+pub use multi::{
+    submit_batch_multi, GraphBatchStats, MultiBatchReport, MultiWorkload, MultiWorkloadSpec,
+};
 pub use query_gen::{QueryGen, Workloads};
 pub use runner::{run_with_cap, RunRecord};

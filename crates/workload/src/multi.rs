@@ -1,0 +1,367 @@
+//! Multi-graph workloads: mixed stored graphs plus skewed per-graph
+//! traffic, and batch routing through a [`psi_engine::MultiEngine`].
+//!
+//! A multiplexed graph store never sees uniform traffic: stored graphs
+//! differ in size and label alphabet, a few graphs dominate the request
+//! stream, and within each graph a few queries repeat (cacheable heat).
+//! [`MultiWorkload::generate`] builds exactly that shape,
+//! deterministically, and [`submit_batch_multi`] replays it as
+//! concurrent client traffic with per-graph serving breakdowns.
+
+use crate::metrics::SummaryStats;
+use crate::query_gen::Workloads;
+use psi_engine::{EngineResponse, GraphId, MultiEngine, ServePath};
+use psi_graph::generate::{random_connected_graph, LabelDist};
+use psi_graph::Graph;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shape of a generated multi-graph workload.
+#[derive(Debug, Clone)]
+pub struct MultiWorkloadSpec {
+    /// Number of stored graphs (default 4).
+    pub graphs: usize,
+    /// Nodes in the smallest stored graph (default 40).
+    pub base_nodes: usize,
+    /// Extra nodes per successive graph — graphs have mixed sizes
+    /// (default 25).
+    pub node_step: usize,
+    /// Label alphabet of the smallest graph; successive graphs get one
+    /// more label each, so selectivities differ per graph (default 3).
+    pub base_labels: u32,
+    /// Edges per generated query (default 8).
+    pub query_edges: usize,
+    /// Distinct queries drawn per graph; traffic repeats within this set
+    /// (default 12).
+    pub distinct_per_graph: usize,
+    /// Total requests in the traffic stream (default 200).
+    pub total_queries: usize,
+    /// Zipf exponent of the per-graph traffic skew: weight of graph `g`
+    /// is `1/(g+1)^skew`. 0 means uniform (default 1.0).
+    pub skew: f64,
+}
+
+impl Default for MultiWorkloadSpec {
+    fn default() -> Self {
+        Self {
+            graphs: 4,
+            base_nodes: 40,
+            node_step: 25,
+            base_labels: 3,
+            query_edges: 8,
+            distinct_per_graph: 12,
+            total_queries: 200,
+            skew: 1.0,
+        }
+    }
+}
+
+/// A generated multi-graph workload: the stored graphs and a traffic
+/// stream of `(graph index, query)` requests.
+#[derive(Debug)]
+pub struct MultiWorkload {
+    /// Stored graphs, smallest first (mixed sizes and label alphabets).
+    /// Shared handles: registering them (e.g. via
+    /// [`psi_core::PsiRunner::nfv_default_shared`]) needs no CSR clone.
+    pub graphs: Vec<Arc<Graph>>,
+    /// The request stream: graph index into [`MultiWorkload::graphs`]
+    /// plus the query to run against it. Skewed across graphs and
+    /// repeating within each graph's distinct-query set.
+    pub traffic: Vec<(usize, Graph)>,
+}
+
+impl MultiWorkload {
+    /// Deterministically generates a workload from `spec` and `seed`.
+    pub fn generate(spec: &MultiWorkloadSpec, seed: u64) -> Self {
+        let graphs_n = spec.graphs.max(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let graphs: Vec<Arc<Graph>> = (0..graphs_n)
+            .map(|g| {
+                let nodes = spec.base_nodes + g * spec.node_step;
+                let edges = nodes * 2 + nodes / 4;
+                let labels =
+                    LabelDist::Uniform { num_labels: spec.base_labels + g as u32 }.sampler();
+                Arc::new(random_connected_graph(nodes, edges, &labels, &mut rng))
+            })
+            .collect();
+
+        // Distinct query pool per graph. Queries are grown from their
+        // graph, so every request has a positive answer on *its* graph —
+        // but not necessarily on any other (which is what the per-graph
+        // cache-partition tests rely on).
+        let pools: Vec<Vec<Graph>> = graphs
+            .iter()
+            .enumerate()
+            .map(|(g, stored)| {
+                Workloads::nfv_workload(
+                    stored,
+                    spec.query_edges,
+                    spec.distinct_per_graph.max(1),
+                    seed ^ (g as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            })
+            .collect();
+
+        // Zipf weights across graphs; cumulative for sampling.
+        let weights: Vec<f64> =
+            (0..graphs_n).map(|g| 1.0 / ((g + 1) as f64).powf(spec.skew)).collect();
+        let total_weight: f64 = weights.iter().sum();
+
+        let mut traffic = Vec::with_capacity(spec.total_queries);
+        while traffic.len() < spec.total_queries {
+            let mut pick = rng.random_range(0.0..total_weight);
+            let mut graph = 0;
+            for (g, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    graph = g;
+                    break;
+                }
+                pick -= w;
+            }
+            let pool = &pools[graph];
+            if pool.is_empty() {
+                // Degenerate stored graph (too small for query_edges):
+                // skew the pick elsewhere. All-empty pools would loop
+                // forever, so bail to whatever we have.
+                if pools.iter().all(|p| p.is_empty()) {
+                    break;
+                }
+                continue;
+            }
+            // Triangular repetition inside the pool (index `i` has weight
+            // `n - i`): low indices dominate, so replays hit the cache.
+            let n = pool.len();
+            let mut r = rng.random_range(0..n * (n + 1) / 2);
+            let mut idx = 0;
+            while r >= n - idx {
+                r -= n - idx;
+                idx += 1;
+            }
+            traffic.push((graph, pool[idx].clone()));
+        }
+        Self { graphs, traffic }
+    }
+
+    /// Number of requests targeting each graph.
+    pub fn per_graph_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.graphs.len()];
+        for &(g, _) in &self.traffic {
+            counts[g] += 1;
+        }
+        counts
+    }
+}
+
+/// Per-graph serving breakdown within a [`MultiBatchReport`].
+#[derive(Debug, Clone)]
+pub struct GraphBatchStats {
+    /// The graph these numbers describe.
+    pub graph: GraphId,
+    /// Requests routed to this graph.
+    pub queries: usize,
+    /// Answered from this graph's cache partition.
+    pub cache_hits: usize,
+    /// Answered by a full race on the shared pool.
+    pub races: usize,
+    /// Answered by the predictor fast path.
+    pub fast_paths: usize,
+    /// Mean end-to-end latency for this graph's requests, seconds.
+    pub mean_latency: f64,
+}
+
+/// Aggregate outcome of one multi-graph batch run.
+#[derive(Debug)]
+pub struct MultiBatchReport {
+    /// Per-request `(graph, response)` in traffic order.
+    pub responses: Vec<(GraphId, EngineResponse)>,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+    /// Served requests per second over the batch.
+    pub qps: f64,
+    /// Distribution of per-request latencies, seconds.
+    pub latency: Option<SummaryStats>,
+    /// Requests answered from a cache partition.
+    pub cache_hits: usize,
+    /// Requests answered by the predictor fast path.
+    pub fast_paths: usize,
+    /// Requests answered by a full race.
+    pub races: usize,
+    /// Requests whose answer was not definitive.
+    pub inconclusive: usize,
+    /// Breakdown per registered graph (traffic order of first
+    /// appearance; graphs receiving no traffic are omitted).
+    pub per_graph: Vec<GraphBatchStats>,
+}
+
+/// Routes `traffic` through `multi` from `clients` concurrent client
+/// threads (at least 1), blocking until every request is served.
+/// Responses come back in traffic order regardless of completion order.
+///
+/// # Panics
+/// Panics if a traffic entry references a [`GraphId`] that is not
+/// registered with `multi` — a workload construction bug, not a serving
+/// condition.
+pub fn submit_batch_multi(
+    multi: &MultiEngine,
+    traffic: &[(GraphId, Graph)],
+    clients: usize,
+) -> MultiBatchReport {
+    let clients = clients.clamp(1, traffic.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<EngineResponse>>> = Mutex::new(vec![None; traffic.len()]);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= traffic.len() {
+                    break;
+                }
+                let (graph, query) = &traffic[idx];
+                let response =
+                    multi.submit(*graph, query).expect("traffic must target registered graphs");
+                slots.lock().expect("batch slots lock")[idx] = Some(response);
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let responses: Vec<(GraphId, EngineResponse)> = slots
+        .into_inner()
+        .expect("batch slots lock")
+        .into_iter()
+        .zip(traffic)
+        .map(|(slot, (graph, _))| (*graph, slot.expect("every request served")))
+        .collect();
+
+    let latencies: Vec<f64> = responses.iter().map(|(_, r)| r.elapsed.as_secs_f64()).collect();
+    let count = |path: ServePath| responses.iter().filter(|(_, r)| r.path == path).count();
+
+    let mut per_graph: Vec<GraphBatchStats> = Vec::new();
+    for (graph, response) in &responses {
+        let entry = match per_graph.iter_mut().find(|s| s.graph == *graph) {
+            Some(entry) => entry,
+            None => {
+                per_graph.push(GraphBatchStats {
+                    graph: *graph,
+                    queries: 0,
+                    cache_hits: 0,
+                    races: 0,
+                    fast_paths: 0,
+                    mean_latency: 0.0,
+                });
+                per_graph.last_mut().expect("just pushed")
+            }
+        };
+        entry.queries += 1;
+        entry.mean_latency += response.elapsed.as_secs_f64();
+        match response.path {
+            ServePath::CacheHit => entry.cache_hits += 1,
+            ServePath::Race => entry.races += 1,
+            ServePath::FastPath => entry.fast_paths += 1,
+        }
+    }
+    for entry in &mut per_graph {
+        entry.mean_latency /= entry.queries.max(1) as f64;
+    }
+
+    MultiBatchReport {
+        cache_hits: count(ServePath::CacheHit),
+        fast_paths: count(ServePath::FastPath),
+        races: count(ServePath::Race),
+        inconclusive: responses.iter().filter(|(_, r)| !r.conclusive).count(),
+        latency: SummaryStats::of(&latencies),
+        qps: if wall.as_secs_f64() > 0.0 {
+            responses.len() as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        wall,
+        responses,
+        per_graph,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_core::{PsiRunner, RaceBudget};
+    use psi_engine::{EngineConfig, MultiEngineConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn generated_workload_has_mixed_graphs_and_skewed_traffic() {
+        let spec = MultiWorkloadSpec { total_queries: 120, ..MultiWorkloadSpec::default() };
+        let w = MultiWorkload::generate(&spec, 11);
+        assert_eq!(w.graphs.len(), 4);
+        // Mixed sizes: strictly growing node counts.
+        for pair in w.graphs.windows(2) {
+            assert!(pair[0].node_count() < pair[1].node_count());
+        }
+        assert_eq!(w.traffic.len(), 120);
+        let counts = w.per_graph_counts();
+        assert!(counts.iter().all(|&c| c > 0), "every graph sees some traffic: {counts:?}");
+        assert!(counts[0] > counts[3], "Zipf skew must favour the first graph: {counts:?}");
+        // Determinism.
+        let w2 = MultiWorkload::generate(&spec, 11);
+        assert_eq!(w.per_graph_counts(), w2.per_graph_counts());
+        assert_eq!(w.traffic.len(), w2.traffic.len());
+    }
+
+    #[test]
+    fn batch_routes_every_request_to_its_graph() {
+        let spec = MultiWorkloadSpec {
+            graphs: 3,
+            total_queries: 60,
+            distinct_per_graph: 6,
+            ..MultiWorkloadSpec::default()
+        };
+        let w = MultiWorkload::generate(&spec, 21);
+        let multi = MultiEngine::new(MultiEngineConfig {
+            workers: 3,
+            max_concurrent_races: 3,
+            tenant: EngineConfig {
+                default_budget: RaceBudget::decision(),
+                ..EngineConfig::default()
+            },
+        });
+        let ids: Vec<GraphId> = w
+            .graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                multi
+                    .register_shared(
+                        format!("graph-{i}"),
+                        Arc::new(PsiRunner::nfv_default_shared(Arc::clone(g))),
+                    )
+                    .expect("unique names")
+            })
+            .collect();
+        let traffic: Vec<(GraphId, Graph)> =
+            w.traffic.iter().map(|(g, q)| (ids[*g], q.clone())).collect();
+
+        let report = submit_batch_multi(&multi, &traffic, 4);
+        assert_eq!(report.responses.len(), 60);
+        // Queries are grown from their own graph, so every request must
+        // embed — a response answering from the wrong graph would break
+        // this for cross-graph misses.
+        assert!(report.responses.iter().all(|(_, r)| r.conclusive && r.found()));
+        assert_eq!(report.cache_hits + report.races + report.fast_paths, 60);
+        assert_eq!(report.per_graph.iter().map(|s| s.queries).sum::<usize>(), 60);
+        assert!(report.qps > 0.0);
+
+        // Engine-side accounting agrees with the report.
+        let agg = multi.stats();
+        assert_eq!(agg.queries, 60);
+        let per_engine: u64 = ids.iter().map(|&id| multi.graph_stats(id).unwrap().queries).sum();
+        assert_eq!(per_engine, 60);
+
+        // Replaying the same traffic is served from per-graph caches.
+        let warm = submit_batch_multi(&multi, &traffic, 4);
+        assert_eq!(warm.cache_hits, 60);
+        assert_eq!(warm.races, 0);
+    }
+}

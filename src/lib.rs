@@ -17,10 +17,13 @@
 //! * [`engine`] — the concurrent query-serving subsystem: a bounded
 //!   worker pool shared by all in-flight races, admission control with
 //!   backpressure, a sharded result cache over canonicalized queries,
-//!   and a predictor fast path — with serving statistics;
+//!   a predictor fast path — with serving statistics — and the
+//!   multi-graph registry (`MultiEngine`) multiplexing many stored
+//!   graphs over one shared pool with fair cross-graph admission;
 //! * [`workload`] — query-workload generation and the paper's metric
 //!   machinery (easy/2″–600″/hard classes, WLA/QLA, (max/min), speedup★),
-//!   plus batch submission of whole workloads through an engine.
+//!   plus batch submission of whole (single- or multi-graph) workloads
+//!   through an engine.
 //!
 //! ## Quickstart: one query
 //!
@@ -61,6 +64,37 @@
 //! assert_eq!(cold.found(), warm.found());
 //! assert!(engine.stats().cache_hits >= 1);
 //! ```
+//!
+//! ## Quickstart: many graphs, one process
+//!
+//! A [`engine::MultiEngine`] registers named stored graphs and serves
+//! them all from one shared worker pool — per-graph caches and stats,
+//! fair admission across graphs:
+//!
+//! ```
+//! use psi::prelude::*;
+//! use psi::engine::{MultiEngine, MultiEngineConfig};
+//!
+//! let multi = MultiEngine::new(MultiEngineConfig {
+//!     workers: 2,
+//!     max_concurrent_races: 2,
+//!     tenant: EngineConfig {
+//!         default_budget: RaceBudget::decision(),
+//!         ..EngineConfig::default()
+//!     },
+//! });
+//! let yeast = psi::graph::datasets::yeast_like(0.05, 42);
+//! let human = psi::graph::datasets::human_like(0.05, 43);
+//! let y = multi.register("yeast", PsiRunner::nfv_default(&yeast)).unwrap();
+//! let h = multi.register("human", PsiRunner::nfv_default(&human)).unwrap();
+//!
+//! let query = Workloads::single_query(&yeast, 6, 7).expect("query");
+//! let on_yeast = multi.submit(y, &query).unwrap();
+//! let on_human = multi.submit(h, &query).unwrap(); // same query, other graph
+//! assert!(on_yeast.found());
+//! assert!(on_yeast.conclusive && on_human.conclusive);
+//! assert_eq!(multi.stats().queries, 2);
+//! ```
 
 pub use psi_core as core;
 pub use psi_engine as engine;
@@ -73,10 +107,16 @@ pub use psi_workload as workload;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use psi_core::{PsiConfig, PsiOutcome, PsiRunner, RaceBudget, Variant};
-    pub use psi_engine::{Engine, EngineConfig, EngineResponse, EngineStats, ServePath};
+    pub use psi_engine::{
+        Engine, EngineConfig, EngineResponse, EngineStats, GraphId, MultiEngine, MultiEngineConfig,
+        ServePath,
+    };
     pub use psi_ftv::{GgsxIndex, GrapesIndex, GraphDb};
     pub use psi_graph::{Graph, GraphBuilder, LabelStats, Permutation};
     pub use psi_matchers::{MatchResult, Matcher, SearchBudget, StopReason};
     pub use psi_rewrite::{rewrite_query, Rewriting};
-    pub use psi_workload::{submit_batch, BatchReport, QueryGen, Workloads};
+    pub use psi_workload::{
+        submit_batch, submit_batch_multi, BatchReport, MultiBatchReport, MultiWorkload,
+        MultiWorkloadSpec, QueryGen, Workloads,
+    };
 }
