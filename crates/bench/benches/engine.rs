@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psi_core::{PsiConfig, PsiRunner, RaceBudget};
-use psi_engine::{Engine, EngineConfig, ServePath};
+use psi_engine::{Engine, EngineConfig, RaceStrategy, ServePath};
 use psi_graph::{datasets, Graph};
-use psi_workload::{submit_batch, Workloads};
+use psi_workload::{compare_race_strategies, submit_batch, StrategySpec, Workloads};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -99,12 +99,79 @@ fn bench_concurrent_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_race_strategies(c: &mut Criterion) {
+    let stored = Arc::new(datasets::yeast_like(0.1, 42));
+    let training: Vec<Graph> = Workloads::nfv_workload(&stored, 10, 32, 5);
+    let queries: Vec<Graph> = Workloads::nfv_workload(&stored, 10, 48, 6);
+    let spec = StrategySpec {
+        config: PsiConfig::gql_spa_orig_dnd(),
+        strategy: RaceStrategy::TopK { k: 1, escalate_after: 0.5 },
+        workers: 4,
+        clients: 8,
+        budget: RaceBudget::with_max_matches(64),
+        min_observations: 16,
+    };
+
+    // Criterion loop: one full-field engine vs one trained TopK engine,
+    // each serving the measured workload from 8 clients (cache off, so
+    // every request really races).
+    let build = |strategy: RaceStrategy| {
+        let engine = Engine::new(
+            PsiRunner::new(Arc::clone(&stored), spec.config.clone()),
+            EngineConfig {
+                workers: spec.workers,
+                // Admission above worker count: pruning frees pool slots
+                // so more races can be in flight; don't cap that here.
+                max_concurrent_races: spec.clients,
+                cache_capacity: 0,
+                predictor_confidence: 2.0,
+                predictor_min_observations: spec.min_observations,
+                // The criterion loop replays the workload many times; a
+                // bounded window keeps each ranking's k-NN scan (paid
+                // per miss by the TopK engine) at a fixed cost instead
+                // of growing with every observed race.
+                predictor_window: 256,
+                race_strategy: strategy,
+                default_budget: spec.budget.clone(),
+                ..EngineConfig::default()
+            },
+        );
+        submit_batch(&engine, &training, spec.clients); // warm / train
+        engine
+    };
+    let full = build(RaceStrategy::Full);
+    let topk = build(spec.strategy);
+
+    let mut group = c.benchmark_group("race_strategy_saturated");
+    group.sample_size(10);
+    group.bench_function("full_field_8_clients", |b| {
+        b.iter(|| black_box(submit_batch(&full, &queries, spec.clients)))
+    });
+    group.bench_function("top1_escalating_8_clients", |b| {
+        b.iter(|| black_box(submit_batch(&topk, &queries, spec.clients)))
+    });
+    group.finish();
+
+    // Direct headline comparison (fresh engines, disjoint training) for
+    // eyeball numbers next to the criterion output.
+    let cmp = compare_race_strategies(&stored, &training, &queries, &spec);
+    println!(
+        "race_strategy_saturated/summary: full {:.0} qps, top-1 {:.0} qps ({:.2}x), \
+         {} entrants pruned, {:.1}% of staged races escalated",
+        cmp.full_qps,
+        cmp.topk_qps,
+        cmp.speedup,
+        cmp.pruned_entrants,
+        cmp.escalation_rate * 100.0
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(15);
-    targets = bench_cache_vs_cold, bench_concurrent_throughput
+    targets = bench_cache_vs_cold, bench_concurrent_throughput, bench_race_strategies
 }
 criterion_main!(benches);

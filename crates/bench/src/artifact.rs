@@ -3,10 +3,12 @@
 //! `BENCH_baseline.json` by the `bench_check` binary.
 //!
 //! The artifact is the performance *trail* of the repo: every CI run
-//! measures the same five headline numbers — single-engine throughput,
-//! serving latency percentiles, the cache-hit speedup, and multi-graph
-//! registry throughput — writes them as flat JSON, uploads the file as a
-//! workflow artifact, and fails the job if any metric regresses more
+//! measures the same headline numbers — single-engine throughput,
+//! serving latency percentiles, the cache-hit speedup, multi-graph
+//! registry throughput racing the full field, the same workload under
+//! adaptive top-K racing, and the top-K escalation rate — writes them
+//! as flat JSON (optionally stamped with commit SHA + date), uploads
+//! the file as a workflow artifact, and fails the job if any metric regresses more
 //! than the allowed fraction versus the committed baseline. The baseline
 //! is deliberately conservative (CI runners are slower and noisier than
 //! dev machines): it catches order-of-magnitude regressions — a lost
@@ -17,14 +19,15 @@
 //! exactly that shape back.
 
 use psi_core::{PsiConfig, PsiRunner, RaceBudget};
-use psi_engine::{Engine, EngineConfig, MultiEngine, MultiEngineConfig, ServePath};
+use psi_engine::{Engine, EngineConfig, MultiEngine, MultiEngineConfig, RaceStrategy, ServePath};
 use psi_graph::{datasets, Graph};
 use psi_workload::{submit_batch, submit_batch_multi, MultiWorkload, MultiWorkloadSpec, Workloads};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Artifact schema version (bump when fields change meaning).
-pub const SCHEMA_VERSION: f64 = 1.0;
+/// v2: added `topk_qps` and `escalation_rate` (adaptive top-K racing).
+pub const SCHEMA_VERSION: f64 = 2.0;
 
 /// The headline serving metrics CI tracks over time.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,9 +43,25 @@ pub struct EngineBenchMetrics {
     /// Median cache-hit latency vs. median cold-race latency on one
     /// repeated query. Higher is better.
     pub cache_hit_speedup: f64,
-    /// Multi-graph registry throughput: 4 graphs, skewed traffic, one
-    /// shared 4-worker pool, queries/second. Higher is better.
+    /// Multi-graph registry racing throughput: 4 graphs, skewed traffic,
+    /// a 4-variant field racing in full on one shared saturated 4-worker
+    /// pool, caches off so every request really races, queries/second.
+    /// (v2: previously measured with caches on; hit-serving speed is
+    /// already tracked by `qps` and `cache_hit_speedup`.) Higher is
+    /// better.
     pub multi_qps: f64,
+    /// The same race-only workload served with adaptive top-K racing
+    /// (k=1, staged escalation) by an identical registry whose
+    /// predictors were pre-trained on a disjoint stream, queries/second.
+    /// The headline comparison is `topk_qps` vs `multi_qps`: pruning
+    /// predictable losers frees pool slots, so top-K should meet or beat
+    /// the full field on a saturated pool. Higher is better.
+    pub topk_qps: f64,
+    /// Fraction of the TopK engine's staged races that escalated to the
+    /// full field, in [0, 1]. Tracked for the trail; the gate direction
+    /// is lower-is-better but a conservative baseline keeps it from ever
+    /// failing on noise (the rate is bounded by 1).
+    pub escalation_rate: f64,
 }
 
 /// One metric's comparison direction in the regression gate.
@@ -63,17 +82,31 @@ impl EngineBenchMetrics {
             ("p99_us", self.p99_us, Direction::LowerIsBetter),
             ("cache_hit_speedup", self.cache_hit_speedup, Direction::HigherIsBetter),
             ("multi_qps", self.multi_qps, Direction::HigherIsBetter),
+            ("topk_qps", self.topk_qps, Direction::HigherIsBetter),
+            ("escalation_rate", self.escalation_rate, Direction::LowerIsBetter),
         ]
     }
 
     /// Serializes the artifact as flat JSON.
     pub fn to_json(&self) -> String {
+        self.to_json_stamped(&[])
+    }
+
+    /// Serializes the artifact with trailing provenance stamps (commit
+    /// SHA, date, ...) appended as string fields. [`parse_flat_json`]
+    /// skips string values, so a stamped artifact still round-trips its
+    /// metrics while the trail keeps which commit produced which run.
+    pub fn to_json_stamped(&self, stamps: &[(String, String)]) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"schema\": {SCHEMA_VERSION},\n"));
         let fields = self.fields();
         for (i, (name, value, _)) in fields.iter().enumerate() {
-            let comma = if i + 1 < fields.len() { "," } else { "" };
+            let comma = if i + 1 < fields.len() || !stamps.is_empty() { "," } else { "" };
             out.push_str(&format!("  \"{name}\": {value:.3}{comma}\n"));
+        }
+        for (i, (key, value)) in stamps.iter().enumerate() {
+            let comma = if i + 1 < stamps.len() { "," } else { "" };
+            out.push_str(&format!("  \"{key}\": \"{value}\"{comma}\n"));
         }
         out.push_str("}\n");
         out
@@ -95,6 +128,8 @@ impl EngineBenchMetrics {
             p99_us: get("p99_us")?,
             cache_hit_speedup: get("cache_hit_speedup")?,
             multi_qps: get("multi_qps")?,
+            topk_qps: get("topk_qps")?,
+            escalation_rate: get("escalation_rate")?,
         })
     }
 }
@@ -120,8 +155,14 @@ pub fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
             .strip_prefix('"')
             .and_then(|k| k.strip_suffix('"'))
             .ok_or_else(|| format!("malformed JSON key in {pair:?}"))?;
+        let value = value.trim();
+        if value.starts_with('"') {
+            // Provenance stamps (commit SHA, date) are string-valued;
+            // the numeric trail reader skips them.
+            continue;
+        }
         let value: f64 =
-            value.trim().parse().map_err(|_| format!("non-numeric JSON value in {pair:?}"))?;
+            value.parse().map_err(|_| format!("non-numeric JSON value in {pair:?}"))?;
         out.push((key.to_string(), value));
     }
     Ok(out)
@@ -225,32 +266,71 @@ pub fn measure() -> EngineBenchMetrics {
     });
     let cache_hit_speedup = if hit_t > 0.0 { cold_t / hit_t } else { 0.0 };
 
-    // --- Multi-graph registry throughput: 4 graphs, one shared pool. ---
-    let spec = MultiWorkloadSpec { total_queries: 160, ..MultiWorkloadSpec::default() };
+    // --- Multi-graph registry racing throughput, Full vs TopK: the
+    // same skewed 4-graph workload against two identical registries
+    // (one shared saturated 4-worker pool each, 4-variant field, caches
+    // off so every request really races) that differ only in
+    // RaceStrategy. The TopK registry's predictors are pre-trained on a
+    // disjoint per-graph query stream; the same training pass runs
+    // through the Full registry so both measure equally warm. ---
+    let spec =
+        MultiWorkloadSpec { total_queries: 320, query_edges: 10, ..MultiWorkloadSpec::default() };
     let workload = MultiWorkload::generate(&spec, 2024);
-    let multi = MultiEngine::new(MultiEngineConfig {
-        workers: 4,
-        max_concurrent_races: 4,
-        tenant: EngineConfig {
-            predictor_confidence: 2.0,
-            default_budget: RaceBudget::decision(),
-            ..EngineConfig::default()
-        },
-    });
-    let ids: Vec<_> = workload
-        .graphs
-        .iter()
-        .enumerate()
-        .map(|(i, g)| {
-            multi
-                .register(format!("bench-{i}"), PsiRunner::nfv_default_shared(Arc::clone(g)))
-                .expect("unique name")
-        })
-        .collect();
-    let traffic: Vec<_> = workload.traffic.iter().map(|(g, q)| (ids[*g], q.clone())).collect();
-    let report = submit_batch_multi(&multi, &traffic, 8);
+    let race_only_registry = |strategy: RaceStrategy| {
+        let multi = MultiEngine::new(MultiEngineConfig {
+            workers: 4,
+            // Admission above worker count: pruning frees pool slots so
+            // more races can be in flight; don't cap the benefit under
+            // test (the pool stays the bottleneck for both registries).
+            max_concurrent_races: 8,
+            tenant: EngineConfig {
+                cache_capacity: 0,
+                predictor_confidence: 2.0,
+                predictor_min_observations: 4,
+                race_strategy: strategy,
+                // Matching (not decision) races: enough work per entrant
+                // that pool occupancy, the thing pruning reclaims,
+                // dominates the per-query serving overhead.
+                default_budget: RaceBudget::with_max_matches(64),
+                ..EngineConfig::default()
+            },
+        });
+        let ids: Vec<_> = workload
+            .graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                multi
+                    .register(
+                        format!("bench-{i}"),
+                        PsiRunner::new(Arc::clone(g), PsiConfig::gql_spa_orig_dnd()),
+                    )
+                    .expect("unique name")
+            })
+            .collect();
+        for (i, (graph, id)) in workload.graphs.iter().zip(&ids).enumerate() {
+            for query in Workloads::nfv_workload(graph, spec.query_edges, 8, 7000 + i as u64) {
+                multi.submit(*id, &query).expect("registered graph");
+            }
+        }
+        let traffic: Vec<_> = workload.traffic.iter().map(|(g, q)| (ids[*g], q.clone())).collect();
+        (multi, traffic)
+    };
+    let (full_multi, full_traffic) = race_only_registry(RaceStrategy::Full);
+    let (topk_multi, topk_traffic) =
+        race_only_registry(RaceStrategy::TopK { k: 1, escalate_after: 0.5 });
+    let report = submit_batch_multi(&full_multi, &full_traffic, 8);
+    let topk_report = submit_batch_multi(&topk_multi, &topk_traffic, 8);
 
-    EngineBenchMetrics { qps, p50_us, p99_us, cache_hit_speedup, multi_qps: report.qps }
+    EngineBenchMetrics {
+        qps,
+        p50_us,
+        p99_us,
+        cache_hit_speedup,
+        multi_qps: report.qps,
+        topk_qps: topk_report.qps,
+        escalation_rate: topk_multi.stats().escalation_rate,
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +344,8 @@ mod tests {
             p99_us: 900.0,
             cache_hit_speedup: 40.0,
             multi_qps: 800.0,
+            topk_qps: 900.0,
+            escalation_rate: 0.125,
         }
     }
 
@@ -312,7 +394,33 @@ mod tests {
             p99_us: 2.0,
             cache_hit_speedup: 500.0,
             multi_qps: 9_000.0,
+            topk_qps: 9_500.0,
+            escalation_rate: 0.01,
         };
         assert!(check_regressions(&better, &base, 0.30).is_empty());
+    }
+
+    #[test]
+    fn topk_regressions_are_gated() {
+        let base = sample();
+        // Halved topk throughput trips the gate; a doubled escalation
+        // rate (lower-is-better) does too.
+        let worse = EngineBenchMetrics { topk_qps: 450.0, escalation_rate: 0.5, ..base.clone() };
+        let names: Vec<_> =
+            check_regressions(&worse, &base, 0.30).iter().map(|r| r.metric).collect();
+        assert_eq!(names, vec!["topk_qps", "escalation_rate"]);
+    }
+
+    #[test]
+    fn stamped_artifact_round_trips_metrics() {
+        let m = sample();
+        let stamped = m.to_json_stamped(&[
+            ("commit".to_string(), "0123abcd".to_string()),
+            ("date".to_string(), "2026-07-26T02:47:00Z".to_string()),
+        ]);
+        assert!(stamped.contains("\"commit\": \"0123abcd\""));
+        assert!(stamped.contains("\"date\": \"2026-07-26T02:47:00Z\""));
+        let parsed = EngineBenchMetrics::from_json(&stamped).expect("stamps are skipped");
+        assert_eq!(parsed, m);
     }
 }

@@ -7,8 +7,12 @@
 //! cargo run --release -p psi-bench --bin bench_check -- \
 //!     --out BENCH_engine.json --baseline BENCH_baseline.json
 //!
-//! # Measure and write only (e.g. to refresh the baseline):
-//! cargo run --release -p psi-bench --bin bench_check -- --out BENCH_baseline.json
+//! # Stamp the artifact with provenance (the nightly trail does this):
+//! cargo run --release -p psi-bench --bin bench_check -- \
+//!     --out BENCH_engine.json --commit "$GITHUB_SHA" --date "$(date -u +%FT%TZ)"
+//!
+//! # Release step: refresh the committed baseline in place (no gate):
+//! cargo run --release -p psi-bench --bin bench_check -- --update-baseline
 //! ```
 //!
 //! Exit codes: 0 ok, 1 regression detected, 2 usage/IO error.
@@ -20,11 +24,18 @@ struct Args {
     out: String,
     baseline: Option<String>,
     max_regression: f64,
+    update_baseline: bool,
+    stamps: Vec<(String, String)>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { out: "BENCH_engine.json".to_string(), baseline: None, max_regression: 0.30 };
+    let mut args = Args {
+        out: "BENCH_engine.json".to_string(),
+        baseline: None,
+        max_regression: 0.30,
+        update_baseline: false,
+        stamps: Vec::new(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
@@ -36,9 +47,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--max-regression must be a fraction like 0.30".to_string())?;
             }
+            "--update-baseline" => args.update_baseline = true,
+            "--commit" => args.stamps.push(("commit".to_string(), value("--commit")?)),
+            "--date" => args.stamps.push(("date".to_string(), value("--date")?)),
             "--help" | "-h" => {
                 return Err("usage: bench_check [--out PATH] [--baseline PATH] \
-                            [--max-regression FRACTION]"
+                            [--max-regression FRACTION] [--update-baseline] \
+                            [--commit SHA] [--date DATE]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -61,11 +76,24 @@ fn main() -> ExitCode {
     for (name, value, _) in current.fields() {
         println!("  {name:>18}  {value:>10.1}");
     }
-    if let Err(err) = std::fs::write(&args.out, current.to_json()) {
+    if let Err(err) = std::fs::write(&args.out, current.to_json_stamped(&args.stamps)) {
         eprintln!("cannot write {}: {err}", args.out);
         return ExitCode::from(2);
     }
     println!("wrote {}", args.out);
+
+    if args.update_baseline {
+        // The documented release step: rewrite the committed baseline in
+        // place with this run's numbers (unstamped — the baseline is a
+        // reference, not a trail entry) and skip the gate.
+        let baseline_path = args.baseline.as_deref().unwrap_or("BENCH_baseline.json");
+        if let Err(err) = std::fs::write(baseline_path, current.to_json()) {
+            eprintln!("cannot write baseline {baseline_path}: {err}");
+            return ExitCode::from(2);
+        }
+        println!("updated baseline {baseline_path} in place (gate skipped; commit the file)");
+        return ExitCode::SUCCESS;
+    }
 
     let Some(baseline_path) = args.baseline else {
         return ExitCode::SUCCESS;

@@ -85,6 +85,38 @@ impl QueryFeatures {
     }
 }
 
+/// Lifetime win/loss/timeout record of one racing entrant, accumulated
+/// across every observed race. Unlike the feature samples, tallies are
+/// never windowed: they summarize an entrant's whole history and break
+/// ranking ties where the feature neighbourhood is silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EntrantTally {
+    /// Races this entrant won (first conclusive finisher).
+    pub wins: u64,
+    /// Races another entrant concluded first (including cooperative
+    /// cancellation after the winner claimed).
+    pub losses: u64,
+    /// Races this entrant timed out of without a conclusive result.
+    pub timeouts: u64,
+}
+
+impl EntrantTally {
+    /// Races this entrant participated in.
+    pub fn races(&self) -> u64 {
+        self.wins + self.losses + self.timeouts
+    }
+
+    /// Win fraction in `[0, 1]`; 0 when the entrant never raced.
+    pub fn win_rate(&self) -> f64 {
+        let races = self.races();
+        if races == 0 {
+            0.0
+        } else {
+            self.wins as f64 / races as f64
+        }
+    }
+}
+
 /// A k-NN predictor from query features to a variant index (the index into
 /// the [`crate::PsiConfig`]'s variant list used at training time).
 ///
@@ -93,6 +125,12 @@ impl QueryFeatures {
 /// set would grow forever while making each prediction's nearest-neighbour
 /// scan slower. The window keeps the most recent `window` observations
 /// (ring overwrite), which also lets the predictor track workload drift.
+///
+/// Besides the single-winner vote ([`predict_with_confidence`]
+/// (Self::predict_with_confidence)), the predictor can [`rank`](Self::rank)
+/// the *full* entrant field for a query — the input to adaptive top-K
+/// racing, where only the leading entrants launch and the rest are held
+/// back as an escalation reserve.
 #[derive(Debug, Clone)]
 pub struct VariantPredictor {
     samples: Vec<(QueryFeatures, usize)>,
@@ -100,6 +138,8 @@ pub struct VariantPredictor {
     next: usize,
     /// Total observations ever recorded (can exceed `samples.len()`).
     observed: usize,
+    /// Per-entrant lifetime tallies, indexed by variant index.
+    tallies: Vec<EntrantTally>,
     k: usize,
     window: usize,
 }
@@ -116,19 +156,48 @@ impl VariantPredictor {
     pub fn with_window(k: usize, window: usize) -> Self {
         assert!(k >= 1, "k must be positive");
         assert!(window >= 1, "window must be positive");
-        Self { samples: Vec::new(), next: 0, observed: 0, k, window }
+        Self { samples: Vec::new(), next: 0, observed: 0, tallies: Vec::new(), k, window }
     }
 
     /// Records that `winner` (a variant index) won the race for a query
-    /// with these features.
+    /// with these features. Also credits the winner's lifetime tally.
     pub fn observe(&mut self, features: QueryFeatures, winner: usize) {
         self.observed += 1;
+        self.tally_mut(winner).wins += 1;
         if self.samples.len() < self.window {
             self.samples.push((features, winner));
         } else {
             self.samples[self.next] = (features, winner);
             self.next = (self.next + 1) % self.window;
         }
+    }
+
+    /// Records that entrant `idx` raced and lost (another entrant
+    /// concluded first, or this one was cancelled).
+    pub fn record_loss(&mut self, idx: usize) {
+        self.tally_mut(idx).losses += 1;
+    }
+
+    /// Records that entrant `idx` timed out without a conclusive result.
+    pub fn record_timeout(&mut self, idx: usize) {
+        self.tally_mut(idx).timeouts += 1;
+    }
+
+    /// The lifetime tally of entrant `idx` (zeroed if it never raced).
+    pub fn tally(&self, idx: usize) -> EntrantTally {
+        self.tallies.get(idx).copied().unwrap_or_default()
+    }
+
+    /// Lifetime tallies of every entrant observed so far, by variant index.
+    pub fn tallies(&self) -> &[EntrantTally] {
+        &self.tallies
+    }
+
+    fn tally_mut(&mut self, idx: usize) -> &mut EntrantTally {
+        if self.tallies.len() <= idx {
+            self.tallies.resize(idx + 1, EntrantTally::default());
+        }
+        &mut self.tallies[idx]
     }
 
     /// Total observations recorded so far (including any that have been
@@ -152,10 +221,7 @@ impl VariantPredictor {
         if self.samples.is_empty() {
             return None;
         }
-        let mut by_dist: Vec<(f64, usize)> =
-            self.samples.iter().map(|(f, w)| (features.distance(f), *w)).collect();
-        by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
-        by_dist.truncate(self.k);
+        let by_dist = self.nearest(features);
         // Majority vote; first (nearest) occurrence wins ties.
         let mut counts: Vec<(usize, usize, usize)> = Vec::new(); // (variant, votes, first_pos)
         for (pos, &(_, w)) in by_dist.iter().enumerate() {
@@ -167,6 +233,64 @@ impl VariantPredictor {
         counts.sort_by_key(|&(_, votes, first)| (std::cmp::Reverse(votes), first));
         let consulted = by_dist.len();
         counts.first().map(|&(v, votes, _)| (v, votes as f64 / consulted as f64))
+    }
+
+    /// Ranks the full entrant field `0..variants` for a query, best first.
+    ///
+    /// Variants are ordered by their vote count among the k nearest
+    /// training samples (descending), then by lifetime win rate from the
+    /// per-entrant tallies, then by fewest timeouts, then by variant
+    /// index. The ranking degrades gracefully: an untrained predictor
+    /// falls through to tallies and finally configuration order, so
+    /// callers may consume it unconditionally.
+    pub fn rank(&self, features: &QueryFeatures, variants: usize) -> Vec<usize> {
+        self.rank_with_vote_share(features, variants).0
+    }
+
+    /// [`rank`](Self::rank) plus the leader's vote share among the
+    /// consulted neighbours, in `[0, 1]` (0 when untrained). One
+    /// nearest-neighbour scan serves both decisions an engine makes per
+    /// query — whether the top choice is confident enough for the
+    /// single-variant fast path, and which entrants form a top-K heat.
+    pub fn rank_with_vote_share(
+        &self,
+        features: &QueryFeatures,
+        variants: usize,
+    ) -> (Vec<usize>, f64) {
+        let mut votes = vec![0usize; variants];
+        let mut consulted = 0usize;
+        if !self.samples.is_empty() {
+            for &(_, w) in &self.nearest(features) {
+                consulted += 1;
+                if w < variants {
+                    votes[w] += 1;
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..variants).collect();
+        order.sort_by(|&a, &b| {
+            let (ta, tb) = (self.tally(a), self.tally(b));
+            votes[b]
+                .cmp(&votes[a])
+                .then_with(|| tb.win_rate().partial_cmp(&ta.win_rate()).expect("rates are finite"))
+                .then_with(|| ta.timeouts.cmp(&tb.timeouts))
+                .then_with(|| a.cmp(&b))
+        });
+        let share = match order.first() {
+            Some(&leader) if consulted > 0 => votes[leader] as f64 / consulted as f64,
+            _ => 0.0,
+        };
+        (order, share)
+    }
+
+    /// The k nearest training samples to `features`, as
+    /// `(distance, winner)` pairs ordered nearest first.
+    fn nearest(&self, features: &QueryFeatures) -> Vec<(f64, usize)> {
+        let mut by_dist: Vec<(f64, usize)> =
+            self.samples.iter().map(|(f, w)| (features.distance(f), *w)).collect();
+        by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        by_dist.truncate(self.k);
+        by_dist
     }
 }
 
@@ -249,6 +373,72 @@ mod tests {
         p.observe(path_query(), 0);
         p.observe(path_query(), 1);
         assert_eq!(p.predict(&path_query()), Some(0));
+    }
+
+    #[test]
+    fn observe_credits_winner_tally() {
+        let mut p = VariantPredictor::new(3);
+        p.observe(path_query(), 2);
+        p.observe(path_query(), 2);
+        p.record_loss(0);
+        p.record_timeout(1);
+        assert_eq!(p.tally(2), EntrantTally { wins: 2, losses: 0, timeouts: 0 });
+        assert_eq!(p.tally(0).losses, 1);
+        assert_eq!(p.tally(1).timeouts, 1);
+        assert_eq!(p.tally(9), EntrantTally::default(), "unseen entrants read as zero");
+        assert!((p.tally(2).win_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(p.tally(1).win_rate(), 0.0);
+        assert_eq!(p.tally(1).races(), 1);
+    }
+
+    #[test]
+    fn rank_puts_neighbourhood_winner_first() {
+        let mut p = VariantPredictor::new(3);
+        for _ in 0..3 {
+            p.observe(path_query(), 0);
+            p.observe(star_query(), 1);
+        }
+        assert_eq!(p.rank(&path_query(), 3)[0], 0);
+        assert_eq!(p.rank(&star_query(), 3)[0], 1);
+        // Every rank is a permutation of the full field.
+        let mut r = p.rank(&path_query(), 3);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rank_untrained_is_configuration_order() {
+        let p = VariantPredictor::new(3);
+        assert_eq!(p.rank(&path_query(), 4), vec![0, 1, 2, 3]);
+        assert_eq!(p.rank_with_vote_share(&path_query(), 4).1, 0.0, "no samples, no confidence");
+    }
+
+    #[test]
+    fn vote_share_matches_neighbourhood_majority() {
+        let mut p = VariantPredictor::new(3);
+        p.observe(path_query(), 0);
+        p.observe(path_query(), 0);
+        p.observe(path_query(), 1);
+        let (order, share) = p.rank_with_vote_share(&path_query(), 2);
+        assert_eq!(order[0], 0);
+        assert!((share - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_ties_break_on_tallies() {
+        let mut p = VariantPredictor::new(1);
+        // The neighbourhood only knows variant 0; among the silent rest,
+        // the tallies decide: variant 3 has a better lifetime record than
+        // 1 (which only times out) and 2 (which only loses).
+        p.observe(path_query(), 0);
+        p.record_timeout(1);
+        p.record_loss(2);
+        p.observe(star_query(), 3);
+        let r = p.rank(&path_query(), 4);
+        assert_eq!(r[0], 0, "neighbourhood vote leads");
+        assert_eq!(r[1], 3, "lifetime win rate breaks the tie");
+        assert_eq!(r[2], 2, "fewer timeouts rank above more");
+        assert_eq!(r[3], 1);
     }
 
     #[test]

@@ -58,6 +58,26 @@ impl RaceBudget {
         }
         b
     }
+
+    /// The stage deadline of a staged (top-K) race: the instant, measured
+    /// from the race anchor `start`, at which a still-undecided pruned
+    /// first heat should escalate to the full entrant field.
+    ///
+    /// The deadline sits at the `escalate_after` fraction (clamped to
+    /// `[0, 1]`) of the race timeout. Races without a wall-clock timeout
+    /// measure the fraction against `fallback_window` instead, so
+    /// escalation is always bounded. Entrant deadlines themselves are
+    /// unaffected — escalated entrants still run under the original
+    /// `start`-anchored budget.
+    pub fn stage_deadline(
+        &self,
+        start: Instant,
+        escalate_after: f64,
+        fallback_window: Duration,
+    ) -> Instant {
+        let window = self.timeout.unwrap_or(fallback_window);
+        start + window.mul_f64(escalate_after.clamp(0.0, 1.0))
+    }
 }
 
 /// One entrant's outcome.
@@ -126,6 +146,7 @@ pub struct RaceState {
     token: CancelToken,
     claimed: AtomicUsize,
     claim_nanos: std::sync::atomic::AtomicU64,
+    first_start_nanos: std::sync::atomic::AtomicU64,
     start: Instant,
 }
 
@@ -136,6 +157,7 @@ impl RaceState {
             token: CancelToken::new(),
             claimed: AtomicUsize::new(usize::MAX),
             claim_nanos: std::sync::atomic::AtomicU64::new(0),
+            first_start_nanos: std::sync::atomic::AtomicU64::new(u64::MAX),
             start,
         }
     }
@@ -164,6 +186,11 @@ impl RaceState {
         F: FnOnce(&SearchBudget) -> MatchResult,
     {
         let entrant_budget = budget.entrant_budget(self.token.clone(), self.start);
+        // Mark when the race actually began executing (first entrant to
+        // reach a thread/worker): staged schedulers anchor the stage
+        // window here for budgets without a wall-clock timeout, so pool
+        // queueing delay cannot trigger spurious escalations.
+        self.first_start_nanos.fetch_min(self.start.elapsed().as_nanos() as u64, Ordering::AcqRel);
         let result = f(&entrant_budget);
         let wall = self.start.elapsed();
         if result.stop.is_conclusive()
@@ -183,6 +210,19 @@ impl RaceState {
     pub fn winner_index(&self) -> Option<usize> {
         let w = self.claimed.load(Ordering::Acquire);
         (w != usize::MAX).then_some(w)
+    }
+
+    /// Whether some entrant has already claimed the race.
+    pub fn is_decided(&self) -> bool {
+        self.winner_index().is_some()
+    }
+
+    /// The instant the first entrant began executing, if any has started
+    /// yet. This is distinct from the anchor [`RaceState::start`]: in a
+    /// pooled engine, queueing delay separates admission from execution.
+    pub fn first_entrant_started(&self) -> Option<Instant> {
+        let nanos = self.first_start_nanos.load(Ordering::Acquire);
+        (nanos != u64::MAX).then(|| self.start + Duration::from_nanos(nanos))
     }
 
     /// Assembles the outcome once every entrant has reported its
@@ -374,6 +414,42 @@ mod tests {
         let labels: Vec<_> = outcome.per_variant.iter().map(|v| v.label).collect();
         assert_eq!(labels, vec!["a", "b", "c"]);
         assert!(outcome.winner_index.is_some());
+    }
+
+    #[test]
+    fn stage_deadline_is_a_fraction_of_the_timeout() {
+        let start = Instant::now();
+        let fallback = Duration::from_millis(40);
+        let timed = RaceBudget::decision().timeout(Duration::from_millis(200));
+        assert_eq!(timed.stage_deadline(start, 0.5, fallback), start + Duration::from_millis(100));
+        // Clamped: fractions outside [0, 1] pin to the anchor / full cap.
+        assert_eq!(timed.stage_deadline(start, -3.0, fallback), start);
+        assert_eq!(timed.stage_deadline(start, 7.0, fallback), start + Duration::from_millis(200));
+        // No timeout: the fallback window stands in for the race budget.
+        let untimed = RaceBudget::decision();
+        assert_eq!(
+            untimed.stage_deadline(start, 0.25, fallback),
+            start + Duration::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn first_start_and_decision_tracking() {
+        let state = RaceState::begin();
+        assert!(state.first_entrant_started().is_none(), "nothing has executed yet");
+        assert!(!state.is_decided());
+        let budget = RaceBudget::decision();
+        state.run_entrant(0, &budget, |_b| quick_result(0));
+        let first = state.first_entrant_started().expect("heat has started");
+        assert!(first >= state.start());
+        assert!(state.is_decided(), "a conclusive entrant claims the race");
+        state.run_entrant(1, &budget, |_b| quick_result(1));
+        assert_eq!(
+            state.first_entrant_started(),
+            Some(first),
+            "later entrants never move the first-start marker forward"
+        );
+        assert_eq!(state.winner_index(), Some(0), "late finishers cannot re-claim");
     }
 
     #[test]

@@ -26,14 +26,54 @@ use crate::cache::{
 };
 use crate::pool::WorkerPool;
 use crate::stats::{EngineStats, StatsCollector};
-use psi_core::predictor::{QueryFeatures, VariantPredictor};
+use psi_core::predictor::{EntrantTally, QueryFeatures, VariantPredictor};
 use psi_core::{PreparedEntrant, PsiRunner, RaceBudget, RaceState, Variant, VariantResult};
 use psi_graph::Graph;
 use psi_matchers::{CancelToken, MatchResult, StopReason};
 use std::fmt;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// How a cache-missing, non-fast-path query races its entrant field on
+/// the pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RaceStrategy {
+    /// Race every configured variant at once — the paper's §8 setup and
+    /// the engine's default.
+    Full,
+    /// Adaptive top-K racing with staged escalation: launch only the `k`
+    /// predictor-ranked leading entrants, holding the rest of the field
+    /// back as a reserve. If the pruned heat has not decided the race by
+    /// the `escalate_after` fraction of the race budget — or finishes
+    /// earlier without a conclusive result — the reserve launches on the
+    /// same pool under the same [`RaceState`], so a late full-field
+    /// winner still cancels everyone and deadlines stay anchored at
+    /// admission. Until the predictor has seen
+    /// `predictor_min_observations` races, the full field races (the
+    /// training phase), preserving the race's worst-case insurance.
+    TopK {
+        /// Entrants in the first heat (clamped to the field size;
+        /// 0 or ≥ field size degrades to [`RaceStrategy::Full`]).
+        k: usize,
+        /// Fraction of the race budget after which an undecided pruned
+        /// heat escalates, in `[0, 1]`. Budgets without a wall-clock
+        /// timeout measure the fraction against a small fixed window.
+        escalate_after: f64,
+    },
+}
+
+/// Notional race window used to place the stage deadline when the race
+/// budget has no wall-clock timeout. Conclusive heats on typical serving
+/// queries finish far inside this; only genuinely stuck heats escalate.
+const UNTIMED_STAGE_WINDOW: Duration = Duration::from_millis(25);
+
+/// Every Nth staged race runs the full field instead — an exploration
+/// probe. An uncontested heat win is self-fulfilling evidence (the
+/// pruned entrants never get to disprove the ranking), so only probes
+/// and escalated races feed the predictor; the cadence bounds how long
+/// workload drift can hide behind a stale ranking.
+const EXPLORATION_PERIOD: u64 = 16;
 
 /// Tuning knobs for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -62,6 +102,10 @@ pub struct EngineConfig {
     /// Minimum vote share for a fast-path prediction, in `(0, 1]`; set
     /// above 1.0 to disable the fast path (default 0.8).
     pub predictor_confidence: f64,
+    /// How cache-missing queries race their entrant field (default
+    /// [`RaceStrategy::Full`]; see [`RaceStrategy::TopK`] for adaptive
+    /// pruned racing with staged escalation).
+    pub race_strategy: RaceStrategy,
     /// Budget applied by [`Engine::submit`] / [`Engine::try_submit`].
     pub default_budget: RaceBudget,
 }
@@ -78,6 +122,7 @@ impl Default for EngineConfig {
             predictor_min_observations: 32,
             predictor_window: 4096,
             predictor_confidence: 0.8,
+            race_strategy: RaceStrategy::Full,
             default_budget: RaceBudget::matching(),
         }
     }
@@ -205,6 +250,9 @@ pub struct Engine {
     predictor: Mutex<VariantPredictor>,
     admission: Arc<dyn AdmissionGate>,
     stats: StatsCollector,
+    /// Staged races scheduled so far; every [`EXPLORATION_PERIOD`]th one
+    /// becomes a full-field exploration probe.
+    staged_seq: AtomicU64,
     config: EngineConfig,
 }
 
@@ -242,6 +290,7 @@ impl Engine {
             )),
             admission,
             stats: StatsCollector::new(),
+            staged_seq: AtomicU64::new(0),
             config,
         }
     }
@@ -354,30 +403,59 @@ impl Engine {
         let entrants = self.runner.prepare_entrants(query);
         let features = QueryFeatures::extract(query, self.runner.label_stats());
 
-        // Predictor fast path: run only the predicted variant when the
+        // One predictor consultation per miss: the ranked field serves
+        // both the fast-path confidence check and top-K heat selection.
+        let ranking = self.consult_predictor(&features, entrants.len());
+
+        // Predictor fast path: run only the top-ranked variant when the
         // neighbourhood vote is confident enough.
-        if let Some(idx) = self.confident_prediction(&features, entrants.len()) {
-            if let Some(response) =
-                self.serve_fast_path(&entrants[idx], &budget, admitted, keyed.as_ref())
+        if let Some((order, share)) = &ranking {
+            if self.config.predictor_confidence <= 1.0 && *share >= self.config.predictor_confidence
             {
-                return Ok(response);
+                if let Some(response) =
+                    self.serve_fast_path(&entrants[order[0]], &budget, admitted, keyed.as_ref())
+                {
+                    return Ok(response);
+                }
+                self.stats.fast_path_fallbacks.fetch_add(1, Ordering::Relaxed);
             }
-            self.stats.fast_path_fallbacks.fetch_add(1, Ordering::Relaxed);
         }
 
-        Ok(self.serve_race(entrants, &features, &budget, admitted, keyed.as_ref()))
+        Ok(self.serve_race(entrants, &features, ranking, &budget, admitted, keyed.as_ref()))
     }
 
-    fn confident_prediction(&self, features: &QueryFeatures, variants: usize) -> Option<usize> {
-        if self.config.predictor_confidence > 1.0 {
+    /// The predictor's ranked entrant field and leader vote share for
+    /// this query, or `None` when no caller needs it (fast path disabled
+    /// *and* races unstaged) or the predictor is still inside its
+    /// training phase — pruning or predicting on no evidence would
+    /// forfeit the race's worst-case insurance for nothing.
+    fn consult_predictor(
+        &self,
+        features: &QueryFeatures,
+        variants: usize,
+    ) -> Option<(Vec<usize>, f64)> {
+        let fast_path = self.config.predictor_confidence <= 1.0;
+        let staged = matches!(self.config.race_strategy, RaceStrategy::TopK { k, .. } if k > 0 && k < variants);
+        if !fast_path && !staged {
             return None;
         }
         let predictor = self.predictor.lock().expect("predictor lock");
         if predictor.observations() < self.config.predictor_min_observations {
             return None;
         }
-        let (idx, confidence) = predictor.predict_with_confidence(features)?;
-        (confidence >= self.config.predictor_confidence && idx < variants).then_some(idx)
+        Some(predictor.rank_with_vote_share(features, variants))
+    }
+
+    /// Lifetime win/loss/timeout tallies of each racing entrant, indexed
+    /// like the runner's variant list (entrants that never raced read
+    /// zero). These are the learned statistics behind top-K ranking.
+    pub fn entrant_tallies(&self) -> Vec<EntrantTally> {
+        let mut tallies = self.predictor.lock().expect("predictor lock").tallies().to_vec();
+        let variants = self.runner.config().variants.len();
+        if tallies.len() < variants {
+            tallies.resize(variants, EntrantTally::default());
+        }
+        tallies
     }
 
     /// Stores `answer` in the cache (no-op when caching is disabled),
@@ -432,11 +510,15 @@ impl Engine {
         Some(EngineResponse { answer, path: ServePath::FastPath, elapsed, conclusive: true })
     }
 
-    /// Full Ψ race across the worker pool.
+    /// Races the entrant field on the worker pool — the whole field at
+    /// once ([`RaceStrategy::Full`]), or a predictor-ranked top-K first
+    /// heat with the rest held back as an escalation reserve
+    /// ([`RaceStrategy::TopK`]).
     fn serve_race(
         &self,
         entrants: Vec<PreparedEntrant>,
         features: &QueryFeatures,
+        ranking: Option<(Vec<usize>, f64)>,
         budget: &RaceBudget,
         admitted: Instant,
         keyed: Option<&(QueryKey, Vec<u32>)>,
@@ -445,25 +527,137 @@ impl Engine {
         let n = entrants.len();
         let state = Arc::new(RaceState::new(admitted));
         let (tx, rx) = mpsc::channel::<(usize, VariantResult<Variant>)>();
-        for (idx, entrant) in entrants.into_iter().enumerate() {
-            let state = Arc::clone(&state);
-            let budget = budget.clone();
-            let tx = tx.clone();
-            self.pool.submit(move || {
-                let variant = entrant.variant;
-                let (result, wall) = state.run_entrant(idx, &budget, |b| entrant.execute(b));
-                let _ = tx.send((idx, VariantResult { label: variant, result, wall }));
-            });
+
+        // Package every entrant as a ready-to-submit pool task owning its
+        // own sender clone: the channel disconnects exactly when no task
+        // (launched or still in reserve) can report anymore, which keeps
+        // the collection loop below panic-tolerant in both modes.
+        let make_task =
+            |idx: usize, entrant: PreparedEntrant| -> Box<dyn FnOnce() + Send + 'static> {
+                let state = Arc::clone(&state);
+                let budget = budget.clone();
+                let tx = tx.clone();
+                Box::new(move || {
+                    let variant = entrant.variant;
+                    let (result, wall) = state.run_entrant(idx, &budget, |b| entrant.execute(b));
+                    let _ = tx.send((idx, VariantResult { label: variant, result, wall }));
+                })
+            };
+
+        // Stage only when the strategy says so AND the predictor was
+        // consultable (trained past its observation floor): a `ranking`
+        // may also be present purely for the fast path under Full. Every
+        // EXPLORATION_PERIODth would-be staged race runs the full field
+        // instead, so contested evidence keeps flowing and a drifted
+        // ranking cannot entrench itself behind uncontested heat wins.
+        let heat = match self.config.race_strategy {
+            RaceStrategy::TopK { k, .. } if k > 0 && k < n => ranking
+                .filter(|_| {
+                    !(self.staged_seq.fetch_add(1, Ordering::Relaxed) + 1)
+                        .is_multiple_of(EXPLORATION_PERIOD)
+                })
+                .map(|(order, _)| (order, k)),
+            _ => None,
+        };
+        let (order, k) = heat.unwrap_or_else(|| ((0..n).collect(), n));
+        let staged = k < n;
+        let mut entrant_slots: Vec<Option<PreparedEntrant>> =
+            entrants.into_iter().map(Some).collect();
+        // The first heat launches immediately, best-ranked first.
+        for &idx in &order[..k] {
+            let entrant = entrant_slots[idx].take().expect("each entrant launches once");
+            self.pool.submit(make_task(idx, entrant));
         }
+        // The reserve is pre-packaged so escalation is one submit away;
+        // pruning it (dropping the tasks) releases their senders, letting
+        // the channel disconnect once the heat drains.
+        let mut reserve: Vec<(usize, Box<dyn FnOnce() + Send + 'static>)> = order[k..]
+            .iter()
+            .map(|&idx| {
+                let entrant = entrant_slots[idx].take().expect("each entrant launches once");
+                (idx, make_task(idx, entrant))
+            })
+            .collect();
         drop(tx);
 
-        // Collect every entrant; a slot can only stay empty if its task
-        // panicked (the pool contains the panic), which we report as a
-        // cancelled entrant rather than poisoning the whole race.
-        let mut slots: Vec<Option<VariantResult<Variant>>> = (0..n).map(|_| None).collect();
-        while let Ok((idx, vr)) = rx.recv() {
-            slots[idx] = Some(vr);
+        if staged {
+            self.stats.topk_races.fetch_add(1, Ordering::Relaxed);
         }
+        let escalate_after = match self.config.race_strategy {
+            RaceStrategy::TopK { escalate_after, .. } => escalate_after,
+            RaceStrategy::Full => 0.0,
+        };
+        // Timed budgets anchor the stage deadline at admission — entrant
+        // deadlines are admission-anchored, so escalating any later than
+        // the race deadline would be useless. Untimed budgets have no
+        // such deadline to respect; their stage window anchors at the
+        // instant the heat actually began executing, so pool queueing
+        // delay on a saturated pool cannot trigger spurious escalations
+        // before the heat has even run. `None` = heat still queued.
+        let stage_deadline = || -> Option<Instant> {
+            match budget.timeout {
+                Some(_) => {
+                    Some(budget.stage_deadline(admitted, escalate_after, UNTIMED_STAGE_WINDOW))
+                }
+                None => state.first_entrant_started().map(|begun| {
+                    budget.stage_deadline(begun, escalate_after, UNTIMED_STAGE_WINDOW)
+                }),
+            }
+        };
+
+        // Collect every entrant; a slot can only stay empty if its task
+        // panicked (the pool contains the panic) or never launched
+        // (pruned), both reported as cancelled entrants rather than
+        // poisoning the whole race.
+        let mut slots: Vec<Option<VariantResult<Variant>>> = (0..n).map(|_| None).collect();
+        let mut pruned = vec![false; n];
+        let mut heat_reported = 0usize;
+        loop {
+            if !reserve.is_empty() {
+                if state.is_decided() {
+                    // The pruned heat decided the race: the reserve never
+                    // occupies a worker.
+                    for (idx, _) in reserve.drain(..) {
+                        pruned[idx] = true;
+                    }
+                } else if heat_reported >= k
+                    || stage_deadline().is_some_and(|d| Instant::now() >= d)
+                {
+                    // Stage escalation: the heat finished inconclusive, or
+                    // the stage deadline passed undecided. Launch the rest
+                    // of the field under the same race state — a late
+                    // full-field winner still cancels everyone, and every
+                    // deadline stays anchored at admission.
+                    for (_, task) in reserve.drain(..) {
+                        self.pool.submit(task);
+                    }
+                    self.stats.escalations.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let message = if reserve.is_empty() {
+                rx.recv().ok()
+            } else {
+                let wait = match stage_deadline() {
+                    Some(d) => d.saturating_duration_since(Instant::now()),
+                    // Heat still queued: poll again once it could have
+                    // started; no escalation can fire before then.
+                    None => UNTIMED_STAGE_WINDOW,
+                };
+                match rx.recv_timeout(wait) {
+                    Ok(m) => Some(m),
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                }
+            };
+            match message {
+                Some((idx, vr)) => {
+                    slots[idx] = Some(vr);
+                    heat_reported += 1;
+                }
+                None => break,
+            }
+        }
+        let pruned_count = pruned.iter().filter(|&&p| p).count();
         let per_variant: Vec<VariantResult<Variant>> = slots
             .into_iter()
             .enumerate()
@@ -476,17 +670,43 @@ impl Engine {
             })
             .collect();
 
-        let cancelled =
-            per_variant.iter().filter(|vr| vr.result.stop == StopReason::Cancelled).count();
+        // Pruned entrants carry the Cancelled placeholder but never ran —
+        // count them separately from the Ψ "kill" count.
+        let cancelled = per_variant
+            .iter()
+            .enumerate()
+            .filter(|&(idx, vr)| !pruned[idx] && vr.result.stop == StopReason::Cancelled)
+            .count();
         let outcome = state.finish(per_variant);
         self.stats.races.fetch_add(1, Ordering::Relaxed);
         self.stats.cancelled_variants.fetch_add(cancelled as u64, Ordering::Relaxed);
+        self.stats.pruned_entrants.fetch_add(pruned_count as u64, Ordering::Relaxed);
 
         let elapsed = admitted.elapsed();
         let conclusive = outcome.is_conclusive();
-        if let Some(winner_idx) = outcome.winner_index {
-            self.predictor.lock().expect("predictor lock").observe(*features, winner_idx);
-        } else {
+        // An uncontested win (no other entrant launched) proves nothing
+        // about the rest of the field — feeding it back would make the
+        // ranking self-fulfilling. Only contested races train the
+        // predictor; the exploration probes above guarantee a steady
+        // supply of them.
+        let contested = n - pruned_count > 1;
+        if contested {
+            let mut predictor = self.predictor.lock().expect("predictor lock");
+            if let Some(winner_idx) = outcome.winner_index {
+                predictor.observe(*features, winner_idx);
+            }
+            for (idx, vr) in outcome.per_variant.iter().enumerate() {
+                if pruned[idx] || outcome.winner_index == Some(idx) {
+                    continue;
+                }
+                match vr.result.stop {
+                    StopReason::TimedOut => predictor.record_timeout(idx),
+                    _ if outcome.winner_index.is_some() => predictor.record_loss(idx),
+                    _ => {}
+                }
+            }
+        }
+        if outcome.winner_index.is_none() {
             self.stats.inconclusive.fetch_add(1, Ordering::Relaxed);
         }
         let answer = Arc::new(match outcome.winner() {

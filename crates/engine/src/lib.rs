@@ -17,7 +17,10 @@
 //!   keeping in-flight work ≤ `max_concurrent_races × variants`; the
 //!   predictor fast path (single confident variant instead of a race,
 //!   with race fallback); deadlines anchored at admission so queueing
-//!   delay counts against the race budget.
+//!   delay counts against the race budget; and adaptive top-K racing
+//!   ([`RaceStrategy::TopK`]) — only the predictor-ranked leading
+//!   entrants launch, with staged escalation to the full field if the
+//!   pruned heat is inconclusive by a fraction of the race budget.
 //! * [`cache`] — query canonicalization ([`cache::QueryKey`]) feeding a
 //!   sharded LRU result cache; repeated queries skip the race entirely.
 //! * [`stats`] — an [`EngineStats`] snapshot: throughput, p50/p99
@@ -81,7 +84,7 @@ pub mod stats;
 pub use cache::{
     embedding_from_canonical, embedding_to_canonical, CachedAnswer, QueryKey, ShardedCache,
 };
-pub use engine::{Engine, EngineConfig, EngineError, EngineResponse, ServePath};
+pub use engine::{Engine, EngineConfig, EngineError, EngineResponse, RaceStrategy, ServePath};
 pub use pool::WorkerPool;
 pub use registry::{GraphId, GraphRegistry, MultiEngine, MultiEngineConfig, RegistryError};
 pub use stats::EngineStats;

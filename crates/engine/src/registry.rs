@@ -480,6 +480,16 @@ impl MultiEngine {
         self.registry.tenant(graph).map(|t| t.engine.stats())
     }
 
+    /// Per-graph learned entrant statistics: lifetime win/loss/timeout
+    /// tallies of each racing variant for `graph`, indexed like its
+    /// runner's variant list. This is the evidence top-K racing ranks by.
+    pub fn entrant_tallies(
+        &self,
+        graph: GraphId,
+    ) -> Option<Vec<psi_core::predictor::EntrantTally>> {
+        self.registry.tenant(graph).map(|t| t.engine.entrant_tallies())
+    }
+
     /// Aggregate serving statistics across every registered graph.
     /// Counters are summed; percentiles are computed over the merged
     /// recent-latency samples (not averaged per-graph percentiles);
@@ -499,6 +509,10 @@ impl MultiEngine {
             cancelled_variants: 0,
             busy_rejections: 0,
             inconclusive: 0,
+            topk_races: 0,
+            pruned_entrants: 0,
+            escalations: 0,
+            escalation_rate: 0.0,
             throughput_qps: 0.0,
             latency_p50: std::time::Duration::ZERO,
             latency_p99: std::time::Duration::ZERO,
@@ -518,10 +532,13 @@ impl MultiEngine {
             agg.cancelled_variants += c.cancelled_variants.load(Ordering::Relaxed);
             agg.busy_rejections += c.busy_rejections.load(Ordering::Relaxed);
             agg.inconclusive += c.inconclusive.load(Ordering::Relaxed);
+            agg.topk_races += c.topk_races.load(Ordering::Relaxed);
+            agg.pruned_entrants += c.pruned_entrants.load(Ordering::Relaxed);
+            agg.escalations += c.escalations.load(Ordering::Relaxed);
             samples.extend(c.latency_samples());
         }
-        let looked_up = agg.cache_hits + agg.cache_misses;
-        agg.hit_rate = if looked_up > 0 { agg.cache_hits as f64 / looked_up as f64 } else { 0.0 };
+        agg.hit_rate = EngineStats::rate(agg.cache_hits, agg.cache_hits + agg.cache_misses);
+        agg.escalation_rate = EngineStats::rate(agg.escalations, agg.topk_races);
         agg.throughput_qps = if uptime.as_secs_f64() > 0.0 {
             agg.queries as f64 / uptime.as_secs_f64()
         } else {

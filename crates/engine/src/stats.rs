@@ -21,6 +21,9 @@ pub(crate) struct StatsCollector {
     pub cancelled_variants: AtomicU64,
     pub busy_rejections: AtomicU64,
     pub inconclusive: AtomicU64,
+    pub topk_races: AtomicU64,
+    pub pruned_entrants: AtomicU64,
+    pub escalations: AtomicU64,
     latencies_us: Mutex<Ring>,
 }
 
@@ -43,6 +46,9 @@ impl StatsCollector {
             cancelled_variants: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
             inconclusive: AtomicU64::new(0),
+            topk_races: AtomicU64::new(0),
+            pruned_entrants: AtomicU64::new(0),
+            escalations: AtomicU64::new(0),
             latencies_us: Mutex::new(Ring { buf: vec![0; LATENCY_RING], next: 0, filled: 0 }),
         }
     }
@@ -85,18 +91,24 @@ impl StatsCollector {
         let misses = self.cache_misses.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
         let (p50, p99) = Self::percentiles_of(&mut self.latency_samples());
+        let topk_races = self.topk_races.load(Ordering::Relaxed);
+        let escalations = self.escalations.load(Ordering::Relaxed);
         EngineStats {
             uptime,
             queries,
             cache_hits: hits,
             cache_misses: misses,
-            hit_rate: if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 },
+            hit_rate: EngineStats::rate(hits, hits + misses),
             races: self.races.load(Ordering::Relaxed),
             fast_paths: self.fast_paths.load(Ordering::Relaxed),
             fast_path_fallbacks: self.fast_path_fallbacks.load(Ordering::Relaxed),
             cancelled_variants: self.cancelled_variants.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             inconclusive: self.inconclusive.load(Ordering::Relaxed),
+            topk_races,
+            pruned_entrants: self.pruned_entrants.load(Ordering::Relaxed),
+            escalations,
+            escalation_rate: EngineStats::rate(escalations, topk_races),
             throughput_qps: if uptime.as_secs_f64() > 0.0 {
                 queries as f64 / uptime.as_secs_f64()
             } else {
@@ -138,12 +150,35 @@ pub struct EngineStats {
     pub busy_rejections: u64,
     /// Served queries whose answer was not definitive (race timed out).
     pub inconclusive: u64,
+    /// Races scheduled adaptively: a predictor-ranked top-K first heat
+    /// with the rest of the field held back as an escalation reserve.
+    pub topk_races: u64,
+    /// Entrants that never launched because their race's pruned heat
+    /// decided the answer without them.
+    pub pruned_entrants: u64,
+    /// Staged races whose pruned heat was inconclusive by the stage
+    /// deadline and launched the remaining entrants.
+    pub escalations: u64,
+    /// `escalations / topk_races`, 0 when no race was staged. Low is the
+    /// predictor earning its keep; 1.0 means pruning never helps.
+    pub escalation_rate: f64,
     /// Queries per second since engine start.
     pub throughput_qps: f64,
     /// Median end-to-end latency over the recent-latency window.
     pub latency_p50: Duration,
     /// 99th-percentile end-to-end latency over the recent-latency window.
     pub latency_p99: Duration,
+}
+
+impl EngineStats {
+    /// `part / whole` as a fraction, 0 when `whole` is 0.
+    pub(crate) fn rate(part: u64, whole: u64) -> f64 {
+        if whole == 0 {
+            0.0
+        } else {
+            part as f64 / whole as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +203,18 @@ mod tests {
         assert!(s.latency_p50 <= s.latency_p99);
         assert!(s.latency_p50 >= Duration::from_micros(400));
         assert!(s.latency_p99 >= Duration::from_micros(900));
+    }
+
+    #[test]
+    fn escalation_rate_math() {
+        let c = StatsCollector::new();
+        assert_eq!(c.snapshot().escalation_rate, 0.0, "no staged races, no rate");
+        c.topk_races.store(8, Ordering::Relaxed);
+        c.escalations.store(2, Ordering::Relaxed);
+        c.pruned_entrants.store(18, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert!((s.escalation_rate - 0.25).abs() < 1e-12);
+        assert_eq!(s.pruned_entrants, 18);
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Adaptive top-K racing: staged escalation preserves the full race's
+//! verdicts, pruning actually skips entrants once the predictor has
+//! evidence, and escalation respects the original admission-anchored
+//! deadline.
+
+use proptest::prelude::*;
+use psi_core::{PsiConfig, PsiRunner, RaceBudget};
+use psi_engine::{Engine, EngineConfig, RaceStrategy, ServePath};
+use psi_graph::generate::{random_connected_graph, LabelDist};
+use psi_graph::Graph;
+use psi_matchers::bruteforce;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn pair(seed: u64) -> (Graph, Graph) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+    let target = random_connected_graph(16, 30, &labels, &mut rng);
+    let query = random_connected_graph(4, 5, &labels, &mut rng);
+    (query, target)
+}
+
+/// An engine whose every miss races (no cache, no fast path) under the
+/// given strategy, with the predictor training gate opened so TopK is
+/// active from the first query.
+fn racing_engine(target: &Graph, strategy: RaceStrategy) -> Engine {
+    Engine::new(
+        PsiRunner::new(Arc::new(target.clone()), PsiConfig::gql_spa_orig_dnd()),
+        EngineConfig {
+            workers: 2,
+            max_concurrent_races: 2,
+            cache_capacity: 0,
+            predictor_confidence: 2.0,
+            predictor_min_observations: 0,
+            race_strategy: strategy,
+            default_budget: RaceBudget::decision(),
+            ..EngineConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A TopK race with staged escalation reaches the same conclusive
+    /// found/not-found verdict as a Full race on the same query — and
+    /// both match brute-force ground truth. Escalation fractions cover
+    /// immediate (0.0), mid-budget, and heat-exhaustion-only (1.0).
+    #[test]
+    fn prop_topk_verdict_equals_full_race(seed in 0u64..20_000, stage in 0usize..3) {
+        let (query, target) = pair(seed);
+        let truth = bruteforce::contains(&query, &target);
+        let escalate_after = [0.0, 0.5, 1.0][stage];
+
+        let full = racing_engine(&target, RaceStrategy::Full);
+        let topk = racing_engine(&target, RaceStrategy::TopK { k: 1, escalate_after });
+
+        let full_response = full.submit(&query);
+        let topk_response = topk.submit(&query);
+        prop_assert!(full_response.conclusive, "tiny inputs must conclude");
+        prop_assert!(topk_response.conclusive, "staged race must also conclude");
+        prop_assert_eq!(topk_response.path, ServePath::Race);
+        prop_assert_eq!(full_response.found(), truth);
+        prop_assert_eq!(topk_response.found(), truth);
+        let stats = topk.stats();
+        prop_assert_eq!(stats.topk_races, 1, "k=1 of 4 variants must stage the race");
+        prop_assert_eq!(stats.pruned_entrants + stats.escalations * 3, 3,
+            "either the heat decided (3 pruned) or the reserve launched");
+    }
+}
+
+#[test]
+fn trained_topk_prunes_losing_entrants() {
+    let (_, target) = pair(77);
+    let engine = racing_engine(&target, RaceStrategy::TopK { k: 1, escalate_after: 1.0 });
+    // Serve a batch of small queries; with no race timeout the heat
+    // always concludes, so the three unlaunched variants of every staged
+    // race are pruned. Periodic exploration probes run the full field —
+    // those (and escalated races) are the contested races that feed the
+    // predictor's per-entrant tallies.
+    let mut served = 0u64;
+    for seed in 0..32 {
+        let (query, _) = pair(3000 + seed);
+        let response = engine.submit(&query);
+        assert!(response.conclusive);
+        served += 1;
+    }
+    let stats = engine.stats();
+    assert!(
+        stats.topk_races < served,
+        "exploration probes must run some full-field races: {stats:?}"
+    );
+    assert!(stats.topk_races >= served * 3 / 4, "most races should still be staged: {stats:?}");
+    assert_eq!(
+        stats.pruned_entrants,
+        (stats.topk_races - stats.escalations) * 3,
+        "every non-escalated staged race prunes 3 of 4 entrants: {stats:?}"
+    );
+    let tallies = engine.entrant_tallies();
+    assert_eq!(tallies.len(), 4, "one tally per configured variant");
+    let wins: u64 = tallies.iter().map(|t| t.wins).sum();
+    let contested = served - stats.topk_races + stats.escalations;
+    assert_eq!(
+        wins, contested,
+        "only contested races (probes + escalations) credit a winner — uncontested \
+         heat wins would be self-fulfilling evidence"
+    );
+    assert!(wins >= 1, "probes guarantee some contested evidence");
+}
+
+/// A query/stored-graph pair whose complete search is combinatorially
+/// explosive: single-label dense graph, path query, no cap — no variant
+/// can conclude before any realistic deadline.
+fn explosive_setup() -> (Graph, Graph) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let labels = LabelDist::Uniform { num_labels: 1 }.sampler();
+    let stored = random_connected_graph(120, 1200, &labels, &mut rng);
+    let mut picked = vec![0u32];
+    while picked.len() < 10 {
+        let from = picked[rng.random_range(0..picked.len())];
+        let nbrs = stored.neighbors(from);
+        let next = nbrs[rng.random_range(0..nbrs.len())];
+        if !picked.contains(&next) {
+            picked.push(next);
+        }
+    }
+    let labels: Vec<u32> = picked.iter().map(|&v| stored.label(v)).collect();
+    let mut edges = Vec::new();
+    for (i, &u) in picked.iter().enumerate() {
+        for (j, &v) in picked.iter().enumerate().skip(i + 1) {
+            if stored.has_edge(u, v) {
+                edges.push((i as u32, j as u32));
+            }
+        }
+    }
+    (stored, psi_graph::graph::graph_from_parts(&labels, &edges))
+}
+
+#[test]
+fn escalation_respects_the_admission_anchored_deadline() {
+    let (stored, slow_query) = explosive_setup();
+    let timeout = Duration::from_millis(600);
+    let engine = Engine::new(
+        PsiRunner::nfv_default(&stored),
+        EngineConfig {
+            workers: 1,
+            max_concurrent_races: 1,
+            cache_capacity: 0,
+            predictor_confidence: 2.0,
+            predictor_min_observations: 0,
+            race_strategy: RaceStrategy::TopK { k: 1, escalate_after: 0.75 },
+            default_budget: RaceBudget::with_max_matches(usize::MAX).timeout(timeout),
+            ..EngineConfig::default()
+        },
+    );
+    let admitted = Instant::now();
+    let response = engine.submit(&slow_query);
+    let elapsed = admitted.elapsed();
+    assert!(!response.conclusive, "no variant can finish an explosive search in time");
+    let stats = engine.stats();
+    assert_eq!(stats.topk_races, 1);
+    assert_eq!(stats.escalations, 1, "the undecided heat must escalate at the stage deadline");
+    assert_eq!(stats.pruned_entrants, 0);
+    // Escalated entrants run under the ORIGINAL admission-anchored
+    // deadline: the whole race ends ≈ one timeout after admission. If
+    // escalation re-anchored deadlines at stage time, the race would run
+    // to ~1.75× the timeout; the margins leave ~50% slack either way so
+    // a loaded CI runner cannot flake the assertion.
+    assert!(
+        elapsed < timeout.mul_f64(1.5),
+        "escalated race must still honour the admission-anchored deadline, took {elapsed:?}"
+    );
+    assert!(elapsed >= timeout.mul_f64(0.8), "the race should have used its budget: {elapsed:?}");
+}
+
+#[test]
+fn topk_falls_back_to_full_until_trained() {
+    let (query, target) = pair(5);
+    let engine = Engine::new(
+        PsiRunner::new(Arc::new(target.clone()), PsiConfig::gql_spa_orig_dnd()),
+        EngineConfig {
+            workers: 2,
+            max_concurrent_races: 2,
+            cache_capacity: 0,
+            predictor_confidence: 2.0,
+            predictor_min_observations: 3,
+            race_strategy: RaceStrategy::TopK { k: 1, escalate_after: 0.5 },
+            default_budget: RaceBudget::decision(),
+            ..EngineConfig::default()
+        },
+    );
+    // Below the observation floor every race runs the full field.
+    for _ in 0..3 {
+        assert!(engine.submit(&query).conclusive);
+    }
+    let warmup = engine.stats();
+    assert_eq!(warmup.topk_races, 0, "training-phase races must not be staged");
+    assert_eq!(warmup.pruned_entrants, 0);
+    // With the floor met, staging begins.
+    assert!(engine.submit(&query).conclusive);
+    assert_eq!(engine.stats().topk_races, 1);
+}
+
+#[test]
+fn degenerate_k_runs_the_full_field() {
+    let (query, target) = pair(9);
+    for k in [0, 4, 9] {
+        let engine = racing_engine(&target, RaceStrategy::TopK { k, escalate_after: 0.5 });
+        assert!(engine.submit(&query).conclusive);
+        let stats = engine.stats();
+        assert_eq!(stats.topk_races, 0, "k={k} covers or voids the field: no staging");
+        assert_eq!(stats.pruned_entrants, 0);
+    }
+}

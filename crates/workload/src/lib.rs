@@ -23,6 +23,9 @@
 //!   alphabets, Zipf-skewed per-graph traffic with repeats) and batch
 //!   routing through a [`psi_engine::MultiEngine`] with per-graph
 //!   breakdowns.
+//! * [`strategy`] — saturated-pool comparison of race strategies
+//!   (full-field vs adaptive top-K with staged escalation), feeding the
+//!   CI bench artifact's `topk_qps` trail.
 
 pub mod batch;
 pub mod classify;
@@ -30,6 +33,7 @@ pub mod metrics;
 pub mod multi;
 pub mod query_gen;
 pub mod runner;
+pub mod strategy;
 
 pub use batch::{submit_batch, BatchReport};
 pub use classify::{CapConfig, Class, ClassBreakdown};
@@ -39,3 +43,4 @@ pub use multi::{
 };
 pub use query_gen::{QueryGen, Workloads};
 pub use runner::{run_with_cap, RunRecord};
+pub use strategy::{compare_race_strategies, StrategyComparison, StrategySpec};

@@ -1,0 +1,102 @@
+//! Adaptive top-K racing on a saturated pool: the predictor ranks the
+//! entrant field per query, only the top-ranked entrant launches, and
+//! the rest of the field stays in reserve — escalating in stages only
+//! if the pruned heat can't decide the race. Pruned losers never occupy
+//! workers, so the same pool serves more queries per second than racing
+//! the whole field.
+//!
+//! ```text
+//! cargo run --release --example adaptive_racing
+//! ```
+
+use psi::engine::{Engine, EngineConfig, RaceStrategy};
+use psi::prelude::*;
+use psi::workload::{compare_race_strategies, StrategySpec};
+use psi_core::PsiConfig;
+use std::sync::Arc;
+
+fn main() {
+    // A yeast-like stored graph and the 4-variant field of Fig 14/15:
+    // {GraphQL, sPath} × {original, DND rewriting}.
+    let stored = Arc::new(psi::graph::datasets::yeast_like(0.1, 7));
+    let config = PsiConfig::gql_spa_orig_dnd();
+    println!(
+        "stored graph: {} nodes / {} edges; field of {} variants per query",
+        stored.node_count(),
+        stored.edge_count(),
+        config.thread_count()
+    );
+
+    // Disjoint training and measurement workloads from the same
+    // distribution: the predictor learns on one, is measured on the other.
+    let training: Vec<Graph> = Workloads::nfv_workload(&stored, 10, 48, 11);
+    let queries: Vec<Graph> = Workloads::nfv_workload(&stored, 10, 96, 12);
+    println!(
+        "workload: {} training queries, {} measured queries, 8 clients on a 4-worker pool\n",
+        training.len(),
+        queries.len()
+    );
+
+    // Head-to-head: identical engines (no cache, no fast path — every
+    // query really races) differing only in RaceStrategy.
+    let spec = StrategySpec {
+        config: config.clone(),
+        strategy: RaceStrategy::TopK { k: 1, escalate_after: 0.5 },
+        workers: 4,
+        clients: 8,
+        budget: RaceBudget::with_max_matches(64),
+        min_observations: 16,
+    };
+    let cmp = compare_race_strategies(&stored, &training, &queries, &spec);
+    println!("saturated-pool throughput:");
+    println!("  race-all (Full)   {:>8.0} queries/s", cmp.full_qps);
+    println!("  top-1 + escalate  {:>8.0} queries/s  ({:.2}x)", cmp.topk_qps, cmp.speedup);
+    println!(
+        "  staged races: {} — {} entrants pruned, {:.1}% escalated\n",
+        cmp.topk_races,
+        cmp.pruned_entrants,
+        cmp.escalation_rate * 100.0
+    );
+
+    // The same strategy inside one long-lived engine, to show the
+    // learned per-entrant statistics behind the ranking.
+    let engine = Engine::new(
+        PsiRunner::new(Arc::clone(&stored), config.clone()),
+        EngineConfig {
+            workers: 4,
+            max_concurrent_races: 4,
+            cache_capacity: 0,
+            predictor_confidence: 2.0,
+            predictor_min_observations: 16,
+            race_strategy: RaceStrategy::TopK { k: 1, escalate_after: 0.5 },
+            default_budget: RaceBudget::with_max_matches(64),
+            ..EngineConfig::default()
+        },
+    );
+    for q in training.iter().chain(&queries) {
+        engine.submit(q);
+    }
+    let stats = engine.stats();
+    println!("long-lived TopK engine after {} queries:", stats.queries);
+    println!(
+        "  races          {} total, {} staged top-K, {} escalations ({:.1}%)",
+        stats.races,
+        stats.topk_races,
+        stats.escalations,
+        stats.escalation_rate * 100.0
+    );
+    println!(
+        "  pruning        {} entrants never launched, {} cancelled by winners",
+        stats.pruned_entrants, stats.cancelled_variants
+    );
+    println!("\nlearned entrant record (wins / losses / timeouts):");
+    for (variant, tally) in config.variants.iter().zip(engine.entrant_tallies()) {
+        println!(
+            "  {variant:<12} {:>4} / {:>4} / {:>4}   win rate {:>5.1}%",
+            tally.wins,
+            tally.losses,
+            tally.timeouts,
+            tally.win_rate() * 100.0
+        );
+    }
+}

@@ -109,14 +109,14 @@ pub mod prelude {
     pub use psi_core::{PsiConfig, PsiOutcome, PsiRunner, RaceBudget, Variant};
     pub use psi_engine::{
         Engine, EngineConfig, EngineResponse, EngineStats, GraphId, MultiEngine, MultiEngineConfig,
-        ServePath,
+        RaceStrategy, ServePath,
     };
     pub use psi_ftv::{GgsxIndex, GrapesIndex, GraphDb};
     pub use psi_graph::{Graph, GraphBuilder, LabelStats, Permutation};
     pub use psi_matchers::{MatchResult, Matcher, SearchBudget, StopReason};
     pub use psi_rewrite::{rewrite_query, Rewriting};
     pub use psi_workload::{
-        submit_batch, submit_batch_multi, BatchReport, MultiBatchReport, MultiWorkload,
-        MultiWorkloadSpec, QueryGen, Workloads,
+        compare_race_strategies, submit_batch, submit_batch_multi, BatchReport, MultiBatchReport,
+        MultiWorkload, MultiWorkloadSpec, QueryGen, StrategyComparison, StrategySpec, Workloads,
     };
 }
