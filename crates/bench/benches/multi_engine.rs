@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psi_core::{PsiConfig, PsiRunner, RaceBudget};
-use psi_engine::{Engine, EngineConfig, MultiEngine, MultiEngineConfig};
-use psi_workload::{submit_batch_multi, MultiWorkload, MultiWorkloadSpec};
+use psi_engine::{Engine, EngineConfig, MultiEngine, MultiEngineConfig, QueryRequest};
+use psi_workload::{submit_batch_async, submit_batch_multi, MultiWorkload, MultiWorkloadSpec};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -113,12 +113,55 @@ fn bench_shared_vs_dedicated(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_async_frontend(c: &mut Criterion) {
+    let spec = MultiWorkloadSpec { total_queries: 96, skew: 1.2, ..MultiWorkloadSpec::default() };
+    let workload = MultiWorkload::generate(&spec, 99);
+
+    let mut group = c.benchmark_group("async_frontend");
+    group.sample_size(10);
+
+    // Blocking thread-per-request clients: 8 threads, one in-flight
+    // query each (the classic submit_batch_multi driver).
+    let (blocking, traffic) = build_multi(&workload, 0);
+    group.bench_function("blocking_8clients", |b| {
+        b.iter(|| black_box(submit_batch_multi(&blocking, &traffic, 8)))
+    });
+
+    // Ticket frontend: 2 event-loop clients keep up to 8 tickets each
+    // in flight over the same 4-worker pool (admission raised so the
+    // pool, not the gate, is the bottleneck).
+    let ticketed = MultiEngine::new(MultiEngineConfig {
+        workers: 4,
+        max_concurrent_races: 16,
+        tenant: tenant_config(0),
+    });
+    let ids: Vec<_> = workload
+        .graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            ticketed
+                .register(
+                    format!("bench-{i}"),
+                    PsiRunner::new(Arc::clone(g), PsiConfig::gql_spa_orig_dnd()),
+                )
+                .expect("unique name")
+        })
+        .collect();
+    let requests: Vec<QueryRequest> =
+        workload.traffic.iter().map(|(g, q)| QueryRequest::new(q.clone()).graph(ids[*g])).collect();
+    group.bench_function("tickets_2clients_16inflight", |b| {
+        b.iter(|| black_box(submit_batch_async(&ticketed, &requests, 2, 8)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10);
-    targets = bench_shared_vs_dedicated
+    targets = bench_shared_vs_dedicated, bench_async_frontend
 }
 criterion_main!(benches);

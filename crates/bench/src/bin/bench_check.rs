@@ -13,11 +13,16 @@
 //!
 //! # Release step: refresh the committed baseline in place (no gate):
 //! cargo run --release -p psi-bench --bin bench_check -- --update-baseline
+//!
+//! # Trail mode: diff a directory of downloaded nightly artifacts into
+//! # a qps-over-time table (no measurement, no gate):
+//! cargo run --release -p psi-bench --bin bench_check -- --trail nightlies/
 //! ```
 //!
 //! Exit codes: 0 ok, 1 regression detected, 2 usage/IO error.
 
 use psi_bench::artifact::{check_regressions, measure, EngineBenchMetrics};
+use psi_bench::trail::{trail_table, TrailPoint};
 use std::process::ExitCode;
 
 struct Args {
@@ -25,6 +30,7 @@ struct Args {
     baseline: Option<String>,
     max_regression: f64,
     update_baseline: bool,
+    trail: Option<String>,
     stamps: Vec<(String, String)>,
 }
 
@@ -34,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         max_regression: 0.30,
         update_baseline: false,
+        trail: None,
         stamps: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -48,18 +55,60 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--max-regression must be a fraction like 0.30".to_string())?;
             }
             "--update-baseline" => args.update_baseline = true,
+            "--trail" => args.trail = Some(value("--trail")?),
             "--commit" => args.stamps.push(("commit".to_string(), value("--commit")?)),
             "--date" => args.stamps.push(("date".to_string(), value("--date")?)),
             "--help" | "-h" => {
                 return Err("usage: bench_check [--out PATH] [--baseline PATH] \
                             [--max-regression FRACTION] [--update-baseline] \
-                            [--commit SHA] [--date DATE]"
+                            [--trail DIR] [--commit SHA] [--date DATE]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
     }
     Ok(args)
+}
+
+/// Trail mode: parse every artifact in `dir` — loose `*.json` files or
+/// CI artifact directories containing a `BENCH_engine.json` — and print
+/// the qps-over-time table. Unparseable entries are warned about and
+/// skipped so one bad download cannot hide the rest of the trail.
+fn print_trail(dir: &str) -> ExitCode {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("cannot read trail directory {dir}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut points = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let label = entry.file_name().to_string_lossy().into_owned();
+        let file = if path.is_dir() { path.join("BENCH_engine.json") } else { path.clone() };
+        if !file.is_file() || file.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let text = match std::fs::read_to_string(&file) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("skipping {}: {err}", file.display());
+                continue;
+            }
+        };
+        match TrailPoint::parse(&label, &text) {
+            Ok(point) => points.push(point),
+            Err(err) => eprintln!("skipping {}: {err}", file.display()),
+        }
+    }
+    if points.is_empty() {
+        eprintln!("no bench artifacts found under {dir} (expected *.json or artifact dirs)");
+        return ExitCode::from(2);
+    }
+    println!("bench trail: {} artifact(s) under {dir}\n", points.len());
+    print!("{}", trail_table(&mut points));
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -70,6 +119,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(dir) = &args.trail {
+        return print_trail(dir);
+    }
 
     println!("measuring serving metrics (fixed seeds, ~a few seconds)...");
     let current = measure();

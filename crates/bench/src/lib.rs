@@ -27,6 +27,7 @@ pub mod experiments;
 pub mod ftv;
 pub mod nfv;
 pub mod table;
+pub mod trail;
 
 use std::time::Duration;
 

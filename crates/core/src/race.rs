@@ -153,8 +153,18 @@ pub struct RaceState {
 impl RaceState {
     /// Race state anchored at `start` (use [`RaceState::begin`] for "now").
     pub fn new(start: Instant) -> Self {
+        Self::with_token(start, CancelToken::new())
+    }
+
+    /// Race state anchored at `start` whose cancellation flows through an
+    /// *externally owned* `token`. This is what makes completion handles
+    /// ticket-safe in `psi-engine`: the ticket keeps a clone of the token,
+    /// so dropping the ticket cancels every entrant of the race it refers
+    /// to — exactly as a winning entrant would — without the ticket ever
+    /// touching the race's internal claim state.
+    pub fn with_token(start: Instant, token: CancelToken) -> Self {
         Self {
-            token: CancelToken::new(),
+            token,
             claimed: AtomicUsize::new(usize::MAX),
             claim_nanos: std::sync::atomic::AtomicU64::new(0),
             first_start_nanos: std::sync::atomic::AtomicU64::new(u64::MAX),
@@ -450,6 +460,25 @@ mod tests {
             "later entrants never move the first-start marker forward"
         );
         assert_eq!(state.winner_index(), Some(0), "late finishers cannot re-claim");
+    }
+
+    #[test]
+    fn external_token_cancels_without_claiming() {
+        // A ticket-style owner cancels the race from outside: entrants
+        // observe the shared token through their budgets and unwind, and
+        // nobody claims a win — cancellation is not a verdict.
+        let token = CancelToken::new();
+        let state = RaceState::with_token(Instant::now(), token.clone());
+        token.cancel();
+        let (result, _) = state.run_entrant(0, &RaceBudget::decision(), |b| {
+            let clock = b.start();
+            match clock.check_now() {
+                Some(r) => MatchResult::empty(r),
+                None => quick_result(1),
+            }
+        });
+        assert_eq!(result.stop, StopReason::Cancelled);
+        assert!(!state.is_decided(), "external cancellation must not claim a winner");
     }
 
     #[test]

@@ -1,0 +1,806 @@
+//! In-flight races as reactive state machines.
+//!
+//! The blocking engine drove every race from its caller's thread: submit
+//! the entrant tasks, then sit in a collection loop managing staged
+//! escalation until the last entrant reported. A non-blocking frontend
+//! cannot afford that thread — thousands of tickets may be in flight at
+//! once — so this module turns the collection loop inside out:
+//!
+//! * a [`RaceFlight`] holds everything one race needs to finish
+//!   (result slots, the escalation reserve, the completion slot, the
+//!   admission permit);
+//! * every entrant task reports *into* the flight when it finishes; the
+//!   report that completes the field finalizes the race — predictor
+//!   feedback, cache store, stats, ticket fulfillment — right there on
+//!   the pooled worker;
+//! * staged races register their escalation deadline with the engine's
+//!   one [`StageTimer`] thread, which fires undecided heats' reserves at
+//!   the right fraction of the race budget. A heat that drains
+//!   inconclusive escalates immediately from the reporting task itself.
+//!
+//! No thread belongs to any one query: N in-flight races cost N
+//! allocations, not N threads. Entrant panics are absorbed by a report
+//! guard (the panicking entrant reports a cancelled placeholder), so a
+//! flight can never leak its admission slot or leave its ticket
+//! unfulfilled.
+//!
+//! Shutdown safety: flights reference the worker pool and stage timer
+//! *weakly*. Tasks hold only the pool-free [`ServeCore`], so whichever
+//! thread drops the last reference never joins a worker from inside a
+//! worker.
+
+use crate::cache::{CachedAnswer, QueryKey};
+use crate::engine::{EngineResponse, OwnedPermit, RaceStrategy, ServeCore, ServePath};
+use crate::pool::WorkerPool;
+use crate::submit::CompletionSlot;
+use psi_core::predictor::QueryFeatures;
+use psi_core::{PreparedEntrant, RaceBudget, RaceState, Variant, VariantResult};
+use psi_matchers::{CancelToken, MatchResult, StopReason};
+use std::collections::BinaryHeap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Notional race window used to place the stage deadline when the race
+/// budget has no wall-clock timeout. Conclusive heats on typical serving
+/// queries finish far inside this; only genuinely stuck heats escalate.
+const UNTIMED_STAGE_WINDOW: Duration = Duration::from_millis(25);
+
+/// Every Nth staged race runs the full field instead — an exploration
+/// probe. An uncontested heat win is self-fulfilling evidence (the
+/// pruned entrants never get to disprove the ranking), so only probes
+/// and escalated races feed the predictor; the cadence bounds how long
+/// workload drift can hide behind a stale ranking.
+const EXPLORATION_PERIOD: u64 = 16;
+
+/// Everything a cache-missing, admitted query carries into its race (or
+/// predictor fast path): the prepared entrants, the resolved budget, the
+/// admission-anchored clock, the ticket's completion slot and cancel
+/// token, and the admission permit that frees the slot when the flight
+/// finalizes.
+pub(crate) struct PendingRace {
+    pub core: Arc<ServeCore>,
+    pub entrants: Vec<PreparedEntrant>,
+    pub features: QueryFeatures,
+    pub ranking: Option<(Vec<usize>, f64)>,
+    pub budget: RaceBudget,
+    pub admitted: Instant,
+    pub keyed: Option<(QueryKey, Vec<u32>)>,
+    pub token: CancelToken,
+    pub slot: Arc<CompletionSlot>,
+    pub permit: OwnedPermit,
+}
+
+/// A best-effort inconclusive answer for a flight that cannot race
+/// (cancelled before racing, or the engine shut down under it).
+fn inconclusive_response(admitted: Instant) -> EngineResponse {
+    let elapsed = admitted.elapsed();
+    EngineResponse {
+        answer: Arc::new(CachedAnswer {
+            found: false,
+            num_matches: 0,
+            embeddings: Vec::new(),
+            winner: None,
+            cold_elapsed: elapsed,
+        }),
+        path: ServePath::Race,
+        elapsed,
+        conclusive: false,
+    }
+}
+
+/// Completes a ticket inconclusive without racing.
+fn abandon(core: &ServeCore, admitted: Instant, slot: &CompletionSlot) {
+    core.stats.inconclusive.fetch_add(1, Ordering::Relaxed);
+    let response = inconclusive_response(admitted);
+    core.stats.record_latency(response.elapsed);
+    slot.fulfill(response);
+}
+
+/// Completes the ticket inconclusive without racing, releasing the
+/// admission slot first.
+fn complete_inconclusive(pending: PendingRace) {
+    let PendingRace { core, admitted, slot, permit, .. } = pending;
+    drop(permit);
+    abandon(&core, admitted, &slot);
+}
+
+/// If the fast-path or setup body unwinds (a panicking matcher or
+/// preparation step), the ticket still completes and the admission slot
+/// still frees — the worker pool contains the panic, this guard
+/// contains its consequences.
+struct FastPathGuard(Option<PendingRace>);
+
+impl Drop for FastPathGuard {
+    fn drop(&mut self) {
+        if let Some(pending) = self.0.take() {
+            complete_inconclusive(pending);
+        }
+    }
+}
+
+/// Everything an admitted query carries from the submission thread onto
+/// the pool: the raw query plus the ticket plumbing. Preparation
+/// (entrant packaging, feature extraction, the predictor consult) runs
+/// in [`prepare_and_launch`] on a pooled worker, so ticket creation
+/// costs the caller only a cache probe and the admission gate — the
+/// submission path stays cheap no matter how few client threads feed it.
+pub(crate) struct AdmittedQuery {
+    pub core: Arc<ServeCore>,
+    pub query: psi_graph::Graph,
+    pub budget: RaceBudget,
+    pub admitted: Instant,
+    pub keyed: Option<(QueryKey, Vec<u32>)>,
+    pub token: CancelToken,
+    pub slot: Arc<CompletionSlot>,
+    pub permit: OwnedPermit,
+}
+
+/// Like the setup guard above but for the pre-preparation window.
+struct SetupGuard(Option<AdmittedQuery>);
+
+impl Drop for SetupGuard {
+    fn drop(&mut self) {
+        if let Some(setup) = self.0.take() {
+            let AdmittedQuery { core, admitted, slot, permit, .. } = setup;
+            drop(permit);
+            abandon(&core, admitted, &slot);
+        }
+    }
+}
+
+/// The pooled setup task: prepares the entrant field, consults the
+/// predictor once, then either runs the confident fast path inline (we
+/// are already on a worker) or launches the race.
+pub(crate) fn prepare_and_launch(
+    setup: AdmittedQuery,
+    pool: Weak<WorkerPool>,
+    timer: Weak<StageTimer>,
+) {
+    let mut guard = SetupGuard(Some(setup));
+    let (entrants, features, ranking) = {
+        let s = guard.0.as_ref().expect("guard armed");
+        if s.token.is_cancelled() {
+            // The ticket was dropped before setup even ran.
+            drop(guard);
+            return;
+        }
+        let entrants = s.core.runner.prepare_entrants(&s.query);
+        let features = QueryFeatures::extract(&s.query, s.core.runner.label_stats());
+        let ranking = s.core.consult_predictor(&features, entrants.len());
+        (entrants, features, ranking)
+    };
+    let AdmittedQuery { core, budget, admitted, keyed, token, slot, permit, .. } =
+        guard.0.take().expect("guard armed");
+    let confident = ranking.as_ref().is_some_and(|(_, share)| {
+        core.config.predictor_confidence <= 1.0 && *share >= core.config.predictor_confidence
+    });
+    let fast = confident.then(|| {
+        let (order, _) = ranking.as_ref().expect("confident implies ranked");
+        entrants[order[0]].clone()
+    });
+    let pending = PendingRace {
+        core,
+        entrants,
+        features,
+        ranking,
+        budget,
+        admitted,
+        keyed,
+        token,
+        slot,
+        permit,
+    };
+    match fast {
+        Some(entrant) => run_fast_path(entrant, pending, pool, timer),
+        None => match pool.upgrade() {
+            Some(pool_strong) => pending.launch(&pool_strong, timer.upgrade().as_ref()),
+            None => complete_inconclusive(pending),
+        },
+    }
+}
+
+/// Runs the predictor's single confident variant as the current pool
+/// task; on an inconclusive result, falls back to launching the full
+/// race (the race's insurance is never lost). Runs *on* a pooled worker.
+pub(crate) fn run_fast_path(
+    entrant: PreparedEntrant,
+    pending: PendingRace,
+    pool: Weak<WorkerPool>,
+    timer: Weak<StageTimer>,
+) {
+    let mut guard = FastPathGuard(Some(pending));
+    let result = {
+        let p = guard.0.as_ref().expect("guard armed");
+        let search_budget = p.budget.entrant_budget(p.token.clone(), p.admitted);
+        entrant.execute(&search_budget)
+    };
+    let pending = guard.0.take().expect("guard armed");
+    if result.stop.is_conclusive() {
+        let core = Arc::clone(&pending.core);
+        core.stats.fast_paths.fetch_add(1, Ordering::Relaxed);
+        let elapsed = pending.admitted.elapsed();
+        let answer = Arc::new(CachedAnswer {
+            found: result.found(),
+            num_matches: result.num_matches,
+            embeddings: result.embeddings,
+            winner: Some(entrant.variant),
+            cold_elapsed: elapsed,
+        });
+        core.cache_store(pending.keyed.as_ref(), &answer);
+        core.stats.record_latency(elapsed);
+        let PendingRace { slot, permit, .. } = pending;
+        drop(permit);
+        slot.fulfill(EngineResponse {
+            answer,
+            path: ServePath::FastPath,
+            elapsed,
+            conclusive: true,
+        });
+        return;
+    }
+    pending.core.stats.fast_path_fallbacks.fetch_add(1, Ordering::Relaxed);
+    if pending.token.is_cancelled() {
+        // The ticket was dropped mid-fast-path: nobody wants the race.
+        complete_inconclusive(pending);
+    } else if let Some(pool) = pool.upgrade() {
+        pending.launch(&pool, timer.upgrade().as_ref());
+    } else {
+        // The engine shut down under the flight.
+        complete_inconclusive(pending);
+    }
+}
+
+impl PendingRace {
+    /// Launches the race: the whole entrant field at once
+    /// ([`RaceStrategy::Full`]), or a predictor-ranked top-K first heat
+    /// with the rest held back as an escalation reserve
+    /// ([`RaceStrategy::TopK`]). Returns immediately — completion is
+    /// driven by the entrant tasks and, for staged races, `timer`.
+    pub(crate) fn launch(self, pool: &Arc<WorkerPool>, timer: Option<&Arc<StageTimer>>) {
+        let PendingRace {
+            core,
+            entrants,
+            features,
+            ranking,
+            budget,
+            admitted,
+            keyed,
+            token,
+            slot,
+            permit,
+        } = self;
+        let n = entrants.len();
+        if n == 0 {
+            // Degenerate configuration: nothing can race.
+            complete_inconclusive(PendingRace {
+                core,
+                entrants,
+                features,
+                ranking,
+                budget,
+                admitted,
+                keyed,
+                token,
+                slot,
+                permit,
+            });
+            return;
+        }
+        let variants: Vec<Variant> = entrants.iter().map(|e| e.variant).collect();
+
+        // Stage only when the strategy says so AND the predictor was
+        // consultable (trained past its observation floor): a `ranking`
+        // may also be present purely for the fast path under Full. Every
+        // EXPLORATION_PERIODth would-be staged race runs the full field
+        // instead, so contested evidence keeps flowing and a drifted
+        // ranking cannot entrench itself behind uncontested heat wins.
+        let heat = match core.config.race_strategy {
+            RaceStrategy::TopK { k, .. } if k > 0 && k < n => ranking
+                .filter(|_| {
+                    !(core.staged_seq.fetch_add(1, Ordering::Relaxed) + 1)
+                        .is_multiple_of(EXPLORATION_PERIOD)
+                })
+                .map(|(order, _)| (order, k)),
+            _ => None,
+        };
+        let (order, k) = heat.unwrap_or_else(|| ((0..n).collect(), n));
+        let staged = k < n;
+        if staged {
+            core.stats.topk_races.fetch_add(1, Ordering::Relaxed);
+        }
+        let escalate_after = match core.config.race_strategy {
+            RaceStrategy::TopK { escalate_after, .. } => escalate_after,
+            RaceStrategy::Full => 0.0,
+        };
+
+        let mut entrant_slots: Vec<Option<PreparedEntrant>> =
+            entrants.into_iter().map(Some).collect();
+        // The reserve is held back un-launched; pruning it is free
+        // (entrants never occupy workers), escalating it is one submit
+        // per entrant.
+        let reserve: Vec<(usize, PreparedEntrant)> = order[k..]
+            .iter()
+            .map(|&idx| (idx, entrant_slots[idx].take().expect("each entrant launches once")))
+            .collect();
+        let flight = Arc::new(RaceFlight {
+            core,
+            pool: Arc::downgrade(pool),
+            state: RaceState::with_token(admitted, token),
+            budget,
+            admitted,
+            keyed,
+            features,
+            variants,
+            escalate_after,
+            slot,
+            inner: Mutex::new(FlightInner {
+                results: (0..n).map(|_| None).collect(),
+                pruned: vec![false; n],
+                reported: 0,
+                launched: k,
+                reserve,
+                finished: false,
+                permit: Some(permit),
+            }),
+        });
+        // The first heat launches immediately, best-ranked first.
+        for &idx in &order[..k] {
+            let entrant = entrant_slots[idx].take().expect("each entrant launches once");
+            pool.submit(entrant_task(Arc::clone(&flight), idx, entrant));
+        }
+        if staged {
+            if let Some(timer) = timer {
+                // Timed budgets anchor the stage deadline at admission —
+                // entrant deadlines are admission-anchored, so escalating
+                // any later than the race deadline would be useless.
+                // Untimed budgets anchor at the instant the heat actually
+                // begins executing (see `RaceFlight::stage_check`); the
+                // first check fires one window out and re-arms as needed.
+                let first = match flight.budget.timeout {
+                    Some(_) => {
+                        flight.budget.stage_deadline(admitted, escalate_after, UNTIMED_STAGE_WINDOW)
+                    }
+                    None => Instant::now() + UNTIMED_STAGE_WINDOW,
+                };
+                timer.register(first, Arc::downgrade(&flight));
+            }
+        }
+    }
+}
+
+/// One in-flight race: shared by its entrant tasks (strongly) and the
+/// stage timer (weakly). The last entrant to report finalizes.
+pub(crate) struct RaceFlight {
+    core: Arc<ServeCore>,
+    pool: Weak<WorkerPool>,
+    state: RaceState,
+    budget: RaceBudget,
+    admitted: Instant,
+    keyed: Option<(QueryKey, Vec<u32>)>,
+    features: QueryFeatures,
+    variants: Vec<Variant>,
+    escalate_after: f64,
+    slot: Arc<CompletionSlot>,
+    inner: Mutex<FlightInner>,
+}
+
+struct FlightInner {
+    results: Vec<Option<VariantResult<Variant>>>,
+    pruned: Vec<bool>,
+    reported: usize,
+    launched: usize,
+    reserve: Vec<(usize, PreparedEntrant)>,
+    finished: bool,
+    permit: Option<OwnedPermit>,
+}
+
+/// What a report (or timer check) decided to do, computed under the
+/// flight lock and executed after releasing it.
+enum FlightAction {
+    Nothing,
+    Escalate(Vec<(usize, PreparedEntrant)>),
+    Finalize,
+}
+
+/// Packages one entrant as a pool task that always reports back into the
+/// flight — on normal completion with its real result, on a panic (the
+/// pool contains it) with a cancelled placeholder via the drop guard, so
+/// the flight always finalizes and the ticket is always fulfilled.
+fn entrant_task(
+    flight: Arc<RaceFlight>,
+    idx: usize,
+    entrant: PreparedEntrant,
+) -> impl FnOnce() + Send + 'static {
+    move || {
+        let variant = entrant.variant;
+        let mut guard = ReportGuard(Some((Arc::clone(&flight), idx, variant)));
+        let (result, wall) = flight.state.run_entrant(idx, &flight.budget, |b| entrant.execute(b));
+        if let Some((flight, idx, variant)) = guard.0.take() {
+            flight.on_report(idx, VariantResult { label: variant, result, wall });
+        }
+    }
+}
+
+struct ReportGuard(Option<(Arc<RaceFlight>, usize, Variant)>);
+
+impl Drop for ReportGuard {
+    fn drop(&mut self) {
+        if let Some((flight, idx, variant)) = self.0.take() {
+            let wall = flight.admitted.elapsed();
+            flight.on_report(
+                idx,
+                VariantResult {
+                    label: variant,
+                    result: MatchResult::empty(StopReason::Cancelled),
+                    wall,
+                },
+            );
+        }
+    }
+}
+
+impl RaceFlight {
+    /// The stage deadline as of now: admission-anchored for timed
+    /// budgets; anchored at the heat's first actual execution for
+    /// untimed ones (`None` while the heat is still queued), so pool
+    /// queueing delay on a saturated pool cannot trigger spurious
+    /// escalations before the heat has even run.
+    fn current_stage_deadline(&self) -> Option<Instant> {
+        match self.budget.timeout {
+            Some(_) => Some(self.budget.stage_deadline(
+                self.admitted,
+                self.escalate_after,
+                UNTIMED_STAGE_WINDOW,
+            )),
+            None => self.state.first_entrant_started().map(|begun| {
+                self.budget.stage_deadline(begun, self.escalate_after, UNTIMED_STAGE_WINDOW)
+            }),
+        }
+    }
+
+    /// One entrant's result arrives. Prunes or escalates the reserve as
+    /// the race's state dictates, and finalizes once the whole launched
+    /// field has reported.
+    fn on_report(self: &Arc<Self>, idx: usize, vr: VariantResult<Variant>) {
+        let action = {
+            let mut inner = self.inner.lock().expect("race flight lock");
+            if inner.results[idx].is_none() {
+                inner.results[idx] = Some(vr);
+                inner.reported += 1;
+            }
+            let mut action = FlightAction::Nothing;
+            if !inner.reserve.is_empty() {
+                if self.state.is_decided() {
+                    // The pruned heat decided the race: the reserve never
+                    // occupies a worker.
+                    let drained: Vec<_> = inner.reserve.drain(..).collect();
+                    for (i, _) in drained {
+                        inner.pruned[i] = true;
+                    }
+                } else if inner.reported >= inner.launched {
+                    // The heat drained inconclusive: escalate now rather
+                    // than waiting out the stage deadline.
+                    action = FlightAction::Escalate(self.take_reserve(&mut inner));
+                }
+            }
+            if matches!(action, FlightAction::Nothing) && Self::ready_to_finalize(&mut inner) {
+                action = FlightAction::Finalize;
+            }
+            action
+        };
+        self.perform(action);
+    }
+
+    /// Moves the reserve out for launching; the caller escalates outside
+    /// the lock.
+    fn take_reserve(&self, inner: &mut FlightInner) -> Vec<(usize, PreparedEntrant)> {
+        let reserve = std::mem::take(&mut inner.reserve);
+        inner.launched += reserve.len();
+        reserve
+    }
+
+    /// Whether every launched entrant has reported with nothing left to
+    /// launch; flips `finished` so finalization runs exactly once.
+    fn ready_to_finalize(inner: &mut FlightInner) -> bool {
+        if inner.reserve.is_empty() && inner.reported >= inner.launched && !inner.finished {
+            inner.finished = true;
+            return true;
+        }
+        false
+    }
+
+    fn perform(self: &Arc<Self>, action: FlightAction) {
+        match action {
+            FlightAction::Nothing => {}
+            FlightAction::Escalate(entries) => self.submit_escalation(entries),
+            FlightAction::Finalize => self.finalize(),
+        }
+    }
+
+    /// Launches the escalation reserve under the same race state — a
+    /// late full-field winner still cancels everyone, and every deadline
+    /// stays anchored at admission.
+    fn submit_escalation(self: &Arc<Self>, entries: Vec<(usize, PreparedEntrant)>) {
+        match self.pool.upgrade() {
+            Some(pool) => {
+                self.core.stats.escalations.fetch_add(1, Ordering::Relaxed);
+                for (idx, entrant) in entries {
+                    pool.submit(entrant_task(Arc::clone(self), idx, entrant));
+                }
+            }
+            None => {
+                // Engine shut down: the reserve can never launch. Treat
+                // it as pruned so the flight still finalizes.
+                let finalize = {
+                    let mut inner = self.inner.lock().expect("race flight lock");
+                    inner.launched -= entries.len();
+                    for (idx, _) in entries {
+                        inner.pruned[idx] = true;
+                    }
+                    Self::ready_to_finalize(&mut inner)
+                };
+                if finalize {
+                    self.finalize();
+                }
+            }
+        }
+    }
+
+    /// Timer callback: escalate an undecided heat whose stage deadline
+    /// has passed. Returns `Some(at)` to be re-checked at `at`, `None`
+    /// when the flight needs no further timing.
+    pub(crate) fn stage_check(self: &Arc<Self>, now: Instant) -> Option<Instant> {
+        let (action, rearm) = {
+            let mut inner = self.inner.lock().expect("race flight lock");
+            if inner.finished || inner.reserve.is_empty() {
+                (FlightAction::Nothing, None)
+            } else if self.state.is_decided() {
+                let drained: Vec<_> = inner.reserve.drain(..).collect();
+                for (i, _) in drained {
+                    inner.pruned[i] = true;
+                }
+                let action = if Self::ready_to_finalize(&mut inner) {
+                    FlightAction::Finalize
+                } else {
+                    FlightAction::Nothing
+                };
+                (action, None)
+            } else {
+                match self.current_stage_deadline() {
+                    // Heat still queued: check again once it could have
+                    // started; no escalation can fire before then.
+                    None => (FlightAction::Nothing, Some(now + UNTIMED_STAGE_WINDOW)),
+                    Some(deadline) if now < deadline => (FlightAction::Nothing, Some(deadline)),
+                    Some(_) => (FlightAction::Escalate(self.take_reserve(&mut inner)), None),
+                }
+            }
+        };
+        self.perform(action);
+        rearm
+    }
+
+    /// Assembles the outcome, feeds the predictor, stores a conclusive
+    /// answer in the cache, updates stats, releases the admission slot
+    /// and fulfills the ticket. Runs exactly once, on whichever pooled
+    /// worker (or timer tick) completed the field.
+    fn finalize(self: &Arc<Self>) {
+        let (results, pruned, permit) = {
+            let mut inner = self.inner.lock().expect("race flight lock");
+            (
+                std::mem::take(&mut inner.results),
+                std::mem::take(&mut inner.pruned),
+                inner.permit.take(),
+            )
+        };
+        let n = self.variants.len();
+        // A slot can only stay empty if its task panicked (reported as a
+        // cancelled placeholder by the guard — defensive here) or never
+        // launched (pruned); neither poisons the whole race.
+        let per_variant: Vec<VariantResult<Variant>> = results
+            .into_iter()
+            .enumerate()
+            .map(|(idx, slot)| {
+                slot.unwrap_or_else(|| VariantResult {
+                    label: self.variants[idx],
+                    result: MatchResult::empty(StopReason::Cancelled),
+                    wall: self.admitted.elapsed(),
+                })
+            })
+            .collect();
+        let pruned_count = pruned.iter().filter(|&&p| p).count();
+        // Pruned entrants carry the Cancelled placeholder but never ran —
+        // count them separately from the Ψ "kill" count.
+        let cancelled = per_variant
+            .iter()
+            .enumerate()
+            .filter(|&(idx, vr)| !pruned[idx] && vr.result.stop == StopReason::Cancelled)
+            .count();
+        let outcome = self.state.finish(per_variant);
+        let stats = &self.core.stats;
+        stats.races.fetch_add(1, Ordering::Relaxed);
+        stats.cancelled_variants.fetch_add(cancelled as u64, Ordering::Relaxed);
+        stats.pruned_entrants.fetch_add(pruned_count as u64, Ordering::Relaxed);
+
+        let elapsed = self.admitted.elapsed();
+        let conclusive = outcome.is_conclusive();
+        // An uncontested win (no other entrant launched) proves nothing
+        // about the rest of the field — feeding it back would make the
+        // ranking self-fulfilling. Only contested races train the
+        // predictor; the exploration probes guarantee a steady supply.
+        let contested = n - pruned_count > 1;
+        if contested {
+            let mut predictor = self.core.predictor.lock().expect("predictor lock");
+            if let Some(winner_idx) = outcome.winner_index {
+                predictor.observe(self.features, winner_idx);
+            }
+            for (idx, vr) in outcome.per_variant.iter().enumerate() {
+                if pruned[idx] || outcome.winner_index == Some(idx) {
+                    continue;
+                }
+                match vr.result.stop {
+                    StopReason::TimedOut => predictor.record_timeout(idx),
+                    _ if outcome.winner_index.is_some() => predictor.record_loss(idx),
+                    _ => {}
+                }
+            }
+        }
+        if outcome.winner_index.is_none() {
+            stats.inconclusive.fetch_add(1, Ordering::Relaxed);
+        }
+        let answer = Arc::new(match outcome.winner() {
+            Some(w) => CachedAnswer {
+                found: w.result.found(),
+                num_matches: w.result.num_matches,
+                embeddings: w.result.embeddings.clone(),
+                winner: Some(w.label),
+                cold_elapsed: elapsed,
+            },
+            None => CachedAnswer {
+                found: false,
+                num_matches: 0,
+                embeddings: Vec::new(),
+                winner: None,
+                cold_elapsed: elapsed,
+            },
+        });
+        // Only definitive answers are cacheable: a timed-out race might
+        // succeed on retry with a fresh budget.
+        if conclusive {
+            self.core.cache_store(self.keyed.as_ref(), &answer);
+        }
+        stats.record_latency(elapsed);
+        // Free the admission slot before the answer lands, so a caller
+        // observing completion can immediately re-submit.
+        drop(permit);
+        self.slot.fulfill(EngineResponse { answer, path: ServePath::Race, elapsed, conclusive });
+    }
+}
+
+// ---- The stage-deadline timer ----
+
+struct TimerEntry {
+    at: Instant,
+    flight: Weak<RaceFlight>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // deadline on top.
+        other.at.cmp(&self.at)
+    }
+}
+
+#[derive(Default)]
+struct TimerInner {
+    queue: BinaryHeap<TimerEntry>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct TimerShared {
+    inner: Mutex<TimerInner>,
+    tick: Condvar,
+}
+
+/// One timer thread per engine (shared across all graphs of a
+/// [`crate::MultiEngine`]) that fires stage-deadline checks for every
+/// staged race in flight. Entries hold the flight weakly: a race that
+/// finalized (or whose ticket was dropped and finalized early) simply
+/// never fires.
+pub(crate) struct StageTimer {
+    shared: Arc<TimerShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StageTimer {
+    pub(crate) fn new() -> Self {
+        let shared = Arc::new(TimerShared::default());
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("psi-stage-timer".to_string())
+            .spawn(move || timer_loop(&thread_shared))
+            .expect("spawning the stage timer must succeed");
+        Self { shared, handle: Some(handle) }
+    }
+
+    /// Schedules a stage check for `flight` at `at`.
+    pub(crate) fn register(&self, at: Instant, flight: Weak<RaceFlight>) {
+        let mut inner = self.shared.inner.lock().expect("stage timer lock");
+        // Only wake the timer thread when this deadline moves the wakeup
+        // earlier: it already sleeps until the current front of the
+        // heap, and a per-registration wake would cost a context switch
+        // per staged race.
+        let wake = inner.queue.peek().is_none_or(|front| at < front.at);
+        inner.queue.push(TimerEntry { at, flight });
+        drop(inner);
+        if wake {
+            self.shared.tick.notify_one();
+        }
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        self.shared.inner.lock().expect("stage timer lock").shutdown = true;
+        self.shared.tick.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn timer_loop(shared: &TimerShared) {
+    let mut due: Vec<Weak<RaceFlight>> = Vec::new();
+    loop {
+        {
+            let mut inner = shared.inner.lock().expect("stage timer lock");
+            loop {
+                if inner.shutdown {
+                    return;
+                }
+                let now = Instant::now();
+                match inner.queue.peek() {
+                    Some(entry) if entry.at <= now => break,
+                    Some(entry) => {
+                        let wait = entry.at - now;
+                        inner = shared.tick.wait_timeout(inner, wait).expect("stage timer lock").0;
+                    }
+                    None => inner = shared.tick.wait(inner).expect("stage timer lock"),
+                }
+            }
+            let now = Instant::now();
+            while inner.queue.peek().is_some_and(|e| e.at <= now) {
+                due.push(inner.queue.pop().expect("peeked entry").flight);
+            }
+        }
+        for weak in due.drain(..) {
+            if let Some(flight) = weak.upgrade() {
+                if let Some(rearm) = flight.stage_check(Instant::now()) {
+                    shared
+                        .inner
+                        .lock()
+                        .expect("stage timer lock")
+                        .queue
+                        .push(TimerEntry { at: rearm, flight: Arc::downgrade(&flight) });
+                }
+            }
+        }
+    }
+}

@@ -13,7 +13,16 @@
 //!   race; variants are tasks, loser cancellation still flows through the
 //!   shared `CancelToken`, and total thread count is fixed at
 //!   construction.
-//! * [`engine`] — admission control (block or [`EngineError::Busy`])
+//! * [`submit`] — the unified submission API: one [`QueryRequest`]
+//!   builder instead of a blocking-call matrix, both engines behind the
+//!   [`Submit`] trait, and a non-blocking frontend —
+//!   `submit_nonblocking` returns a [`QueryTicket`] completion handle
+//!   right after admission (poll / wait / [`CompletionQueue`] draining;
+//!   dropping the ticket cancels the race). Races complete reactively on
+//!   pooled workers, so thousands of queries can be in flight from a few
+//!   client threads.
+//! * [`engine`] — admission control ([`EngineError::Busy`] surfaced at
+//!   ticket creation; blocking submissions queue by [`Priority`])
 //!   keeping in-flight work ≤ `max_concurrent_races × variants`; the
 //!   predictor fast path (single confident variant instead of a race,
 //!   with race fallback); deadlines anchored at admission so queueing
@@ -32,7 +41,7 @@
 //!
 //! ```
 //! use psi_core::{PsiRunner, RaceBudget};
-//! use psi_engine::{Engine, EngineConfig};
+//! use psi_engine::{Engine, EngineConfig, QueryRequest, Submit};
 //! use psi_graph::graph::graph_from_parts;
 //!
 //! let stored = graph_from_parts(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
@@ -41,9 +50,12 @@
 //!     EngineConfig { workers: 2, default_budget: RaceBudget::decision(), ..EngineConfig::default() },
 //! );
 //! let query = graph_from_parts(&[0, 1], &[(0, 1)]);
-//! let first = engine.submit(&query);
+//! // Non-blocking submission: the ticket returns at admission, the race
+//! // runs on pooled workers, and `wait` collects the answer.
+//! let ticket = engine.submit_nonblocking(QueryRequest::new(query.clone())).unwrap();
+//! let first = ticket.wait();
 //! assert!(first.found());
-//! let again = engine.submit(&query); // identical query: served from cache
+//! let again = engine.submit_request(QueryRequest::new(query)).unwrap(); // identical query: cache
 //! assert_eq!(again.path, psi_engine::ServePath::CacheHit);
 //! assert_eq!(again.num_matches(), first.num_matches());
 //! ```
@@ -77,9 +89,11 @@
 
 pub mod cache;
 pub mod engine;
+mod flight;
 pub mod pool;
 pub mod registry;
 pub mod stats;
+pub mod submit;
 
 pub use cache::{
     embedding_from_canonical, embedding_to_canonical, CachedAnswer, QueryKey, ShardedCache,
@@ -88,3 +102,4 @@ pub use engine::{Engine, EngineConfig, EngineError, EngineResponse, RaceStrategy
 pub use pool::WorkerPool;
 pub use registry::{GraphId, GraphRegistry, MultiEngine, MultiEngineConfig, RegistryError};
 pub use stats::EngineStats;
+pub use submit::{CompletionQueue, Priority, QueryRequest, QueryTicket, Submit};

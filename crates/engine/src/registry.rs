@@ -24,11 +24,13 @@
 //! uncontended engine behaves exactly like per-graph FIFO.
 
 use crate::engine::{AdmissionGate, Engine, EngineConfig, EngineError, EngineResponse};
+use crate::flight::StageTimer;
 use crate::pool::WorkerPool;
 use crate::stats::{EngineStats, StatsCollector};
+use crate::submit::{Priority, QueryRequest, QueryTicket, Submit};
 use psi_core::{PsiRunner, RaceBudget};
 use psi_graph::Graph;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -102,8 +104,11 @@ struct FairCore {
     in_flight_total: usize,
     /// Races in flight per graph slot.
     in_flight: Vec<usize>,
-    /// FIFO of waiting tickets per graph slot.
-    waiters: Vec<VecDeque<u64>>,
+    /// Waiting tickets per graph slot as `(priority rank, ticket)`,
+    /// sorted — the front entry is the graph's next candidate. Priority
+    /// reorders waiters *within* a graph; across graphs, max–min
+    /// fairness stays primary.
+    waiters: Vec<Vec<(u8, u64)>>,
     next_ticket: u64,
     /// The one ticket currently cleared to take a slot. Grants chain:
     /// the grantee accepts, then scheduling runs again.
@@ -123,7 +128,7 @@ impl FairCore {
 
     fn add_graph(&mut self) -> usize {
         self.in_flight.push(0);
-        self.waiters.push(VecDeque::new());
+        self.waiters.push(Vec::new());
         self.in_flight.len() - 1
     }
 
@@ -132,10 +137,12 @@ impl FairCore {
         self.in_flight[graph] += 1;
     }
 
-    fn enqueue(&mut self, graph: usize) -> u64 {
+    fn enqueue(&mut self, graph: usize, rank: u8) -> u64 {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
-        self.waiters[graph].push_back(ticket);
+        let queue = &mut self.waiters[graph];
+        let at = queue.partition_point(|&entry| entry <= (rank, ticket));
+        queue.insert(at, (rank, ticket));
         ticket
     }
 
@@ -148,7 +155,8 @@ impl FairCore {
     }
 
     /// Grants a freed slot: among graphs with waiters, the one with the
-    /// fewest races in flight wins; ties go to the oldest ticket.
+    /// fewest races in flight wins (max–min fairness); within the chosen
+    /// load level, higher priority wins; ties go to the oldest ticket.
     fn schedule(&mut self, max: usize) {
         if self.granted.is_some() || self.in_flight_total >= max {
             return;
@@ -157,17 +165,23 @@ impl FairCore {
             .waiters
             .iter()
             .enumerate()
-            .filter_map(|(g, q)| q.front().map(|&t| (self.in_flight[g], t)))
+            .filter_map(|(g, q)| q.first().map(|&(rank, t)| (self.in_flight[g], rank, t)))
             .min()
-            .map(|(_, ticket)| ticket);
+            .map(|(_, _, ticket)| ticket);
     }
 
-    /// The grantee accepts its slot.
+    /// The grantee accepts its slot. The granted ticket is removed *by
+    /// value*, not by position: a higher-priority waiter may have
+    /// enqueued ahead of it between the grant and this accept, and a
+    /// grant, once issued, is honoured (never revoked or re-routed).
     fn accept(&mut self, graph: usize, ticket: u64, max: usize) {
         debug_assert_eq!(self.granted, Some(ticket));
         self.granted = None;
-        let front = self.waiters[graph].pop_front();
-        debug_assert_eq!(front, Some(ticket), "granted ticket must head its graph's queue");
+        let at = self.waiters[graph]
+            .iter()
+            .position(|&(_, t)| t == ticket)
+            .expect("granted ticket must still be queued");
+        self.waiters[graph].remove(at);
         self.take(graph);
         self.schedule(max);
     }
@@ -195,13 +209,13 @@ impl FairAdmission {
         self.core.lock().expect("fair admission lock").add_graph()
     }
 
-    fn acquire(&self, graph: usize) {
+    fn acquire(&self, graph: usize, priority: Priority) {
         let mut core = self.core.lock().expect("fair admission lock");
         if core.can_fast_path(self.max) {
             core.take(graph);
             return;
         }
-        let ticket = core.enqueue(graph);
+        let ticket = core.enqueue(graph, priority.rank());
         core.schedule(self.max);
         loop {
             if core.granted == Some(ticket) {
@@ -241,8 +255,8 @@ struct TenantGate {
 }
 
 impl AdmissionGate for TenantGate {
-    fn acquire(&self) {
-        self.shared.acquire(self.graph);
+    fn acquire(&self, priority: Priority) {
+        self.shared.acquire(self.graph, priority);
     }
 
     fn try_acquire(&self) -> bool {
@@ -252,6 +266,16 @@ impl AdmissionGate for TenantGate {
     fn release(&self) {
         self.shared.release(self.graph);
     }
+}
+
+/// A standalone [`Engine`]'s admission gate: the fair gate with exactly
+/// one registered slot. Max–min fairness over one graph degenerates to
+/// priority-then-FIFO, so the one grant-chaining state machine serves
+/// both engines (and is fixed and tested in one place).
+pub(crate) fn standalone_gate(max_concurrent: usize) -> Arc<dyn AdmissionGate> {
+    let shared = Arc::new(FairAdmission::new(max_concurrent));
+    let graph = shared.add_graph();
+    Arc::new(TenantGate { shared, graph })
 }
 
 /// One registered graph: its name and its serving engine (runner,
@@ -343,6 +367,8 @@ impl GraphRegistry {
 pub struct MultiEngine {
     pool: Arc<WorkerPool>,
     admission: Arc<FairAdmission>,
+    /// One stage-deadline timer shared by every tenant's staged races.
+    timer: Arc<StageTimer>,
     registry: GraphRegistry,
     config: MultiEngineConfig,
     started: Instant,
@@ -355,6 +381,7 @@ impl MultiEngine {
         Self {
             pool: Arc::new(WorkerPool::new(config.workers)),
             admission: Arc::new(FairAdmission::new(config.max_concurrent_races)),
+            timer: Arc::new(StageTimer::new()),
             registry: GraphRegistry::new(),
             config,
             started: Instant::now(),
@@ -404,7 +431,13 @@ impl MultiEngine {
         let slot = self.admission.add_graph();
         debug_assert_eq!(slot, inner.tenants.len(), "gate slots track registration order");
         let gate = Arc::new(TenantGate { shared: Arc::clone(&self.admission), graph: slot });
-        let engine = Engine::with_shared(runner, tenant_config, Arc::clone(&self.pool), gate);
+        let engine = Engine::with_shared(
+            runner,
+            tenant_config,
+            Arc::clone(&self.pool),
+            gate,
+            Some(Arc::clone(&self.timer)),
+        );
         let id = GraphId(slot);
         inner.tenants.push(Arc::new(Tenant { name: name.clone(), engine }));
         inner.by_name.insert(name, id);
@@ -438,41 +471,51 @@ impl MultiEngine {
         self.registry.tenant(graph).map(|t| Arc::clone(t.engine.runner()))
     }
 
+    /// Resolves a request's target tenant. This is the *only* routing
+    /// site: every submission — blocking wrapper or ticket — goes
+    /// through it, and budget defaulting then happens in the tenant
+    /// engine's single admission path.
+    fn route(&self, request: &QueryRequest) -> Result<Arc<Tenant>, EngineError> {
+        let graph = request.graph.ok_or(EngineError::NoGraph)?;
+        self.registry.tenant(graph).ok_or(EngineError::UnknownGraph)
+    }
+
     /// Serves `query` against `graph` under the tenant's default budget,
-    /// blocking while the shared gate is at capacity.
+    /// blocking while the shared gate is at capacity. Thin wrapper:
+    /// `submit_queued(request)?.wait()`.
     pub fn submit(&self, graph: GraphId, query: &Graph) -> Result<EngineResponse, EngineError> {
-        let tenant = self.registry.tenant(graph).ok_or(EngineError::UnknownGraph)?;
-        Ok(tenant.engine.submit(query))
+        self.submit_request(QueryRequest::new(query.clone()).graph(graph))
     }
 
     /// Serves `query` against `graph` under an explicit budget, blocking
-    /// for admission.
+    /// for admission. Thin wrapper over the ticket path.
     pub fn submit_with_budget(
         &self,
         graph: GraphId,
         query: &Graph,
         budget: RaceBudget,
     ) -> Result<EngineResponse, EngineError> {
-        let tenant = self.registry.tenant(graph).ok_or(EngineError::UnknownGraph)?;
-        Ok(tenant.engine.submit_with_budget(query, budget))
+        self.submit_request(QueryRequest::new(query.clone()).graph(graph).budget(budget))
     }
 
     /// Non-blocking submit: [`EngineError::Busy`] when the shared gate is
-    /// at capacity (cache hits are always served).
+    /// at capacity (cache hits are always served). Thin wrapper:
+    /// `submit_nonblocking(request)?.wait()`.
     pub fn try_submit(&self, graph: GraphId, query: &Graph) -> Result<EngineResponse, EngineError> {
-        let tenant = self.registry.tenant(graph).ok_or(EngineError::UnknownGraph)?;
-        tenant.engine.try_submit(query)
+        Ok(self.submit_nonblocking(QueryRequest::new(query.clone()).graph(graph))?.wait())
     }
 
-    /// Non-blocking submit with an explicit budget.
+    /// Non-blocking submit with an explicit budget. Thin wrapper over
+    /// the ticket path.
     pub fn try_submit_with_budget(
         &self,
         graph: GraphId,
         query: &Graph,
         budget: RaceBudget,
     ) -> Result<EngineResponse, EngineError> {
-        let tenant = self.registry.tenant(graph).ok_or(EngineError::UnknownGraph)?;
-        tenant.engine.try_submit_with_budget(query, budget)
+        Ok(self
+            .submit_nonblocking(QueryRequest::new(query.clone()).graph(graph).budget(budget))?
+            .wait())
     }
 
     /// Serving statistics of one registered graph.
@@ -549,6 +592,16 @@ impl MultiEngine {
     }
 }
 
+impl Submit for MultiEngine {
+    fn submit_nonblocking(&self, request: QueryRequest) -> Result<QueryTicket, EngineError> {
+        self.route(&request)?.engine.submit_ticket(request, false)
+    }
+
+    fn submit_queued(&self, request: QueryRequest) -> Result<QueryTicket, EngineError> {
+        self.route(&request)?.engine.submit_ticket(request, true)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,8 +619,8 @@ mod tests {
         core.take(g0);
         core.take(g0);
         // g0 queues another race *before* g1's first ever arrives.
-        let t_heavy = core.enqueue(g0);
-        let t_light = core.enqueue(g1);
+        let t_heavy = core.enqueue(g0, Priority::Normal.rank());
+        let t_light = core.enqueue(g1, Priority::Normal.rank());
         core.schedule(max);
         assert_eq!(core.granted, None, "no capacity, no grant");
         // A slot frees: the light graph (0 in flight) beats the older
@@ -588,8 +641,8 @@ mod tests {
         let (g0, g1) = (core.add_graph(), core.add_graph());
         let max = 1;
         core.take(g0);
-        let first = core.enqueue(g1);
-        let second = core.enqueue(g0);
+        let first = core.enqueue(g1, Priority::Normal.rank());
+        let second = core.enqueue(g0, Priority::Normal.rank());
         // Slot frees; both graphs are at 0 in flight — FIFO decides.
         core.release(g0, max);
         assert_eq!(core.granted, Some(first));
@@ -605,8 +658,8 @@ mod tests {
         let max = 2;
         core.take(g0);
         core.take(g0);
-        let t1 = core.enqueue(g0);
-        let t2 = core.enqueue(g0);
+        let t1 = core.enqueue(g0, Priority::Normal.rank());
+        let t2 = core.enqueue(g0, Priority::Normal.rank());
         core.release(g0, max);
         assert_eq!(core.granted, Some(t1));
         // Accepting t1 re-schedules, but capacity is full again.
@@ -624,9 +677,60 @@ mod tests {
         assert!(core.can_fast_path(1));
         core.take(g0);
         assert!(!core.can_fast_path(1), "no capacity");
-        core.enqueue(g0);
+        core.enqueue(g0, Priority::Normal.rank());
         core.release(g0, 1);
         assert!(!core.can_fast_path(1), "grant pending for the waiter");
+    }
+
+    #[test]
+    fn late_high_priority_arrival_cannot_displace_a_pending_grant() {
+        // Regression: a High waiter that enqueues *between* a grant and
+        // its accept sorts ahead of the granted ticket in the queue.
+        // Accept must remove the granted ticket by value — removing the
+        // queue head would evict the High waiter, re-grant a departed
+        // ticket forever, and wedge the gate.
+        let mut core = FairCore::new();
+        let g0 = core.add_graph();
+        let max = 1;
+        core.take(g0);
+        let normal = core.enqueue(g0, Priority::Normal.rank());
+        core.release(g0, max);
+        assert_eq!(core.granted, Some(normal));
+        // The grantee has not accepted yet; a High submission arrives
+        // and jumps to the front of g0's queue.
+        let high = core.enqueue(g0, Priority::High.rank());
+        core.accept(g0, normal, max);
+        assert_eq!(core.in_flight, vec![1], "the granted Normal waiter got the slot");
+        // The High waiter is intact and next in line.
+        core.release(g0, max);
+        assert_eq!(core.granted, Some(high));
+        core.accept(g0, high, max);
+    }
+
+    #[test]
+    fn priority_reorders_within_a_graph_but_fairness_stays_primary() {
+        let mut core = FairCore::new();
+        let (g0, g1) = (core.add_graph(), core.add_graph());
+        let max = 2;
+        core.take(g0);
+        core.take(g0);
+        // Within g0: a later High waiter beats an earlier Low one.
+        let g0_low = core.enqueue(g0, Priority::Low.rank());
+        let g0_high = core.enqueue(g0, Priority::High.rank());
+        // Across graphs: g1 (0 in flight vs g0's 1 after the release
+        // below) beats g0's High waiter even at Low priority — max–min
+        // fairness is primary.
+        let g1_low = core.enqueue(g1, Priority::Low.rank());
+        core.release(g0, max);
+        assert_eq!(core.granted, Some(g1_low), "fairness before priority");
+        core.accept(g1, g1_low, max);
+        // Both graphs now hold 1 slot; the next freed slot goes to g0's
+        // queue, reordered by priority.
+        core.release(g1, max);
+        assert_eq!(core.granted, Some(g0_high), "priority reorders g0's own queue");
+        core.accept(g0, g0_high, max);
+        core.release(g0, max);
+        assert_eq!(core.granted, Some(g0_low));
     }
 
     // ---- FairAdmission under real threads ----
@@ -643,7 +747,7 @@ mod tests {
                 let admitted = Arc::clone(&admitted);
                 let graph = if i % 2 == 0 { g0 } else { g1 };
                 scope.spawn(move || {
-                    fair.acquire(graph);
+                    fair.acquire(graph, Priority::Normal);
                     admitted.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(Duration::from_micros(200));
                     fair.release(graph);

@@ -1,0 +1,509 @@
+//! The unified submission API: one request builder, one trait, one
+//! completion handle.
+//!
+//! The engine used to expose a 4-way matrix of blocking calls (`submit`,
+//! `submit_with_budget`, `try_submit`, `try_submit_with_budget`),
+//! duplicated again per-graph on [`crate::MultiEngine`] — eight entry
+//! points, each an OS-thread-per-query contract. This module replaces
+//! that matrix with three pieces:
+//!
+//! * [`QueryRequest`] — a builder carrying the query plus its optional
+//!   budget, target graph and [`Priority`]; the *only* way options reach
+//!   the admission path, so budget defaulting happens in exactly one
+//!   place.
+//! * [`Submit`] — the trait both [`crate::Engine`] and
+//!   [`crate::MultiEngine`] implement, so workload drivers, benches and
+//!   examples are generic over which engine serves them.
+//! * [`QueryTicket`] — a completion handle returned *immediately* after
+//!   admission. The race runs entirely on pooled workers; the ticket
+//!   polls, waits (with or without a timeout), or registers with a
+//!   [`CompletionQueue`] for epoll-style draining of many tickets from
+//!   one thread. Dropping a ticket cancels its race through the shared
+//!   `CancelToken`, freeing the pool slots the race occupied.
+//!
+//! Backpressure is surfaced at *ticket creation*:
+//! [`Submit::submit_nonblocking`] returns [`crate::EngineError::Busy`]
+//! instead of queueing when the engine is at its concurrent-race limit,
+//! so a network layer multiplexing thousands of clients can shed load
+//! before any per-query state exists.
+
+use crate::engine::{EngineError, EngineResponse};
+use crate::registry::GraphId;
+use psi_core::RaceBudget;
+use psi_graph::Graph;
+use psi_matchers::CancelToken;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Relative urgency of a query in the admission queue. Priorities order
+/// *waiting* submissions only — they never preempt a race already on the
+/// pool, and the fair cross-graph gate applies them after its max–min
+/// fairness rule (so a flood of high-priority traffic from one graph
+/// still cannot starve another graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Jump ahead of normal traffic when a slot frees.
+    High,
+    /// The default.
+    #[default]
+    Normal,
+    /// Yield freed slots to everyone else (batch / backfill traffic).
+    Low,
+}
+
+impl Priority {
+    /// Admission rank: lower is served first.
+    pub(crate) fn rank(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// One query submission, built fluently:
+///
+/// ```
+/// use psi_core::RaceBudget;
+/// use psi_engine::{Priority, QueryRequest};
+/// use psi_graph::graph::graph_from_parts;
+///
+/// let query = graph_from_parts(&[0, 1], &[(0, 1)]);
+/// let request = QueryRequest::new(query)
+///     .budget(RaceBudget::decision())
+///     .priority(Priority::High);
+/// assert_eq!(request.priority_value(), Priority::High);
+/// ```
+///
+/// A request without a budget races under the serving engine's
+/// configured default. The target graph matters only to a
+/// [`crate::MultiEngine`] (a standalone [`crate::Engine`] stores exactly
+/// one graph and ignores it).
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    pub(crate) query: Graph,
+    pub(crate) budget: Option<RaceBudget>,
+    pub(crate) graph: Option<GraphId>,
+    pub(crate) priority: Priority,
+}
+
+impl QueryRequest {
+    /// A request for `query` with default budget, no target graph and
+    /// [`Priority::Normal`].
+    pub fn new(query: Graph) -> Self {
+        Self { query, budget: None, graph: None, priority: Priority::Normal }
+    }
+
+    /// Races under an explicit budget instead of the engine default.
+    pub fn budget(mut self, budget: RaceBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Targets a registered graph of a [`crate::MultiEngine`].
+    pub fn graph(mut self, graph: GraphId) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Sets the admission priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The query this request asks about.
+    pub fn query(&self) -> &Graph {
+        &self.query
+    }
+
+    /// The explicit budget, if one was set.
+    pub fn budget_value(&self) -> Option<&RaceBudget> {
+        self.budget.as_ref()
+    }
+
+    /// The target graph, if one was set.
+    pub fn graph_value(&self) -> Option<GraphId> {
+        self.graph
+    }
+
+    /// The admission priority.
+    pub fn priority_value(&self) -> Priority {
+        self.priority
+    }
+}
+
+/// The unified submission interface over [`crate::Engine`] and
+/// [`crate::MultiEngine`]. All submissions — blocking or not — flow
+/// through the same internal admission path; the blocking methods are
+/// `ticket + wait` by construction, so the two surfaces cannot drift.
+pub trait Submit {
+    /// Admits `request` without blocking and returns a completion
+    /// handle: [`crate::EngineError::Busy`] when the engine is at its
+    /// concurrent-race limit (cache hits are always served, even at
+    /// capacity). The returned ticket completes when the pooled race
+    /// (or fast path) finishes; dropping it cancels the race.
+    fn submit_nonblocking(&self, request: QueryRequest) -> Result<QueryTicket, EngineError>;
+
+    /// Like [`Submit::submit_nonblocking`], but blocks for an admission
+    /// slot instead of bouncing — the ticket it returns is already
+    /// admitted. Errors only on routing problems
+    /// ([`crate::EngineError::UnknownGraph`] / [`crate::EngineError::NoGraph`]).
+    fn submit_queued(&self, request: QueryRequest) -> Result<QueryTicket, EngineError>;
+
+    /// Blocking convenience: `submit_queued` + [`QueryTicket::wait`].
+    fn submit_request(&self, request: QueryRequest) -> Result<EngineResponse, EngineError> {
+        Ok(self.submit_queued(request)?.wait())
+    }
+}
+
+/// Where a completed response lands and where a waiting ticket blocks.
+/// Shared between the ticket (reader) and the in-flight race or fast
+/// path (writer); fulfilled exactly once.
+pub(crate) struct CompletionSlot {
+    inner: Mutex<SlotInner>,
+    ready: Condvar,
+}
+
+struct SlotInner {
+    response: Option<EngineResponse>,
+    /// Completion-queue registration: `(queue, tag)` to notify on
+    /// fulfillment. Registered after fulfillment, the notification fires
+    /// immediately instead.
+    waiter: Option<(Arc<QueueInner>, u64)>,
+}
+
+impl CompletionSlot {
+    pub(crate) fn new() -> Self {
+        Self {
+            inner: Mutex::new(SlotInner { response: None, waiter: None }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// A slot that is already complete (cache hits never race).
+    pub(crate) fn completed(response: EngineResponse) -> Self {
+        Self {
+            inner: Mutex::new(SlotInner { response: Some(response), waiter: None }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Delivers the response; wakes waiters and notifies an attached
+    /// completion queue. Must be called at most once.
+    pub(crate) fn fulfill(&self, response: EngineResponse) {
+        let waiter = {
+            let mut inner = self.inner.lock().expect("completion slot lock");
+            debug_assert!(inner.response.is_none(), "a completion slot is fulfilled once");
+            inner.response = Some(response);
+            inner.waiter.take()
+        };
+        self.ready.notify_all();
+        if let Some((queue, tag)) = waiter {
+            queue.push(tag);
+        }
+    }
+}
+
+/// A completion handle for one submitted query.
+///
+/// Returned by [`Submit::submit_nonblocking`] / [`Submit::submit_queued`]
+/// immediately after admission; the race itself runs on the engine's
+/// pooled workers. Consume the result with [`QueryTicket::poll`] (never
+/// blocks), [`QueryTicket::wait`] / [`QueryTicket::wait_timeout`], or
+/// attach the ticket to a [`CompletionQueue`] and drain many tickets
+/// from one thread.
+///
+/// **Dropping a ticket cancels its query**: the shared `CancelToken`
+/// unwinds every entrant of the race at its next budget check, the race
+/// finalizes as inconclusive, and its admission slot and pool workers
+/// free promptly. A timed-out [`QueryTicket::wait_timeout`] does *not*
+/// cancel — the ticket stays live and a later wait still gets the
+/// answer.
+#[must_use = "dropping a QueryTicket cancels its query"]
+pub struct QueryTicket {
+    slot: Arc<CompletionSlot>,
+    cancel: CancelToken,
+}
+
+impl QueryTicket {
+    pub(crate) fn pending(slot: Arc<CompletionSlot>, cancel: CancelToken) -> Self {
+        Self { slot, cancel }
+    }
+
+    /// A ticket that is already complete (cache hit).
+    pub(crate) fn completed(response: EngineResponse) -> Self {
+        Self { slot: Arc::new(CompletionSlot::completed(response)), cancel: CancelToken::new() }
+    }
+
+    /// The response, if the query has completed. Never blocks; may be
+    /// called repeatedly (before *and* after completion).
+    pub fn poll(&self) -> Option<EngineResponse> {
+        self.slot.inner.lock().expect("completion slot lock").response.clone()
+    }
+
+    /// Whether the query has completed.
+    pub fn is_complete(&self) -> bool {
+        self.slot.inner.lock().expect("completion slot lock").response.is_some()
+    }
+
+    /// Blocks until the query completes and returns its response.
+    pub fn wait(self) -> EngineResponse {
+        let mut inner = self.slot.inner.lock().expect("completion slot lock");
+        loop {
+            if let Some(response) = inner.response.clone() {
+                return response;
+            }
+            inner = self.slot.ready.wait(inner).expect("completion slot lock");
+        }
+    }
+
+    /// Blocks up to `timeout` for the response. `None` means the query
+    /// is still running — the ticket is untouched (not cancelled, not
+    /// poisoned) and any later `wait`/`poll` still completes normally.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<EngineResponse> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.slot.inner.lock().expect("completion slot lock");
+        loop {
+            if let Some(response) = inner.response.clone() {
+                return Some(response);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, result) =
+                self.slot.ready.wait_timeout(inner, left).expect("completion slot lock");
+            inner = guard;
+            if result.timed_out() && inner.response.is_none() {
+                return None;
+            }
+        }
+    }
+
+    /// Cancels the query now (identical to dropping the ticket, but the
+    /// handle stays usable — the race finalizes inconclusive and the
+    /// ticket completes with that verdict).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Registers this ticket with `queue`: when the query completes,
+    /// `tag` is pushed onto the queue (immediately, if it already has).
+    /// Re-attaching replaces any earlier registration.
+    pub fn attach(&self, queue: &CompletionQueue, tag: u64) {
+        let completed = {
+            let mut inner = self.slot.inner.lock().expect("completion slot lock");
+            if inner.response.is_some() {
+                true
+            } else {
+                inner.waiter = Some((Arc::clone(&queue.inner), tag));
+                false
+            }
+        };
+        if completed {
+            queue.inner.push(tag);
+        }
+    }
+}
+
+impl fmt::Debug for QueryTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryTicket").field("complete", &self.is_complete()).finish()
+    }
+}
+
+impl Drop for QueryTicket {
+    fn drop(&mut self) {
+        // Cancelling a finished (or cache-served) query is a no-op; an
+        // in-flight one unwinds its entrants at their next budget check.
+        self.cancel.cancel();
+    }
+}
+
+struct QueueInner {
+    ready: Mutex<VecDeque<u64>>,
+    arrived: Condvar,
+}
+
+impl QueueInner {
+    fn push(&self, tag: u64) {
+        self.ready.lock().expect("completion queue lock").push_back(tag);
+        self.arrived.notify_one();
+    }
+}
+
+/// An epoll-style completion queue: attach any number of
+/// [`QueryTicket`]s (each with a caller-chosen `u64` tag), then drain
+/// completions from one thread as they arrive — the pattern a network
+/// frontend uses to multiplex thousands of in-flight queries over a few
+/// event-loop threads.
+///
+/// Clones share the same queue. Tags are opaque to the engine; callers
+/// typically use them to index a table of pending tickets.
+#[derive(Clone, Default)]
+pub struct CompletionQueue {
+    inner: Arc<QueueInner>,
+}
+
+impl Default for QueueInner {
+    fn default() -> Self {
+        Self { ready: Mutex::new(VecDeque::new()), arrived: Condvar::new() }
+    }
+}
+
+impl CompletionQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The tag of a completed ticket, if any completion is pending.
+    pub fn try_next(&self) -> Option<u64> {
+        self.inner.ready.lock().expect("completion queue lock").pop_front()
+    }
+
+    /// Blocks until some attached ticket completes; returns its tag.
+    pub fn wait(&self) -> u64 {
+        let mut ready = self.inner.ready.lock().expect("completion queue lock");
+        loop {
+            if let Some(tag) = ready.pop_front() {
+                return tag;
+            }
+            ready = self.inner.arrived.wait(ready).expect("completion queue lock");
+        }
+    }
+
+    /// Blocks up to `timeout` for a completion; `None` if none arrived.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<u64> {
+        let deadline = Instant::now() + timeout;
+        let mut ready = self.inner.ready.lock().expect("completion queue lock");
+        loop {
+            if let Some(tag) = ready.pop_front() {
+                return Some(tag);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, result) =
+                self.inner.arrived.wait_timeout(ready, left).expect("completion queue lock");
+            ready = guard;
+            if result.timed_out() && ready.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Completions delivered but not yet drained.
+    pub fn ready_len(&self) -> usize {
+        self.inner.ready.lock().expect("completion queue lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachedAnswer;
+    use crate::engine::ServePath;
+    use std::time::Duration;
+
+    fn response() -> EngineResponse {
+        EngineResponse {
+            answer: Arc::new(CachedAnswer {
+                found: true,
+                num_matches: 1,
+                embeddings: vec![vec![0]],
+                winner: None,
+                cold_elapsed: Duration::ZERO,
+            }),
+            path: ServePath::CacheHit,
+            elapsed: Duration::ZERO,
+            conclusive: true,
+        }
+    }
+
+    #[test]
+    fn request_builder_carries_every_option() {
+        let query = psi_graph::graph::graph_from_parts(&[0, 1], &[(0, 1)]);
+        let request =
+            QueryRequest::new(query.clone()).budget(RaceBudget::decision()).priority(Priority::Low);
+        assert_eq!(request.query().node_count(), query.node_count());
+        assert_eq!(request.budget_value().map(|b| b.max_matches), Some(1));
+        assert_eq!(request.graph_value(), None);
+        assert_eq!(request.priority_value(), Priority::Low);
+        assert_eq!(QueryRequest::new(query).priority_value(), Priority::Normal);
+    }
+
+    #[test]
+    fn priority_ranks_order_high_first() {
+        assert!(Priority::High.rank() < Priority::Normal.rank());
+        assert!(Priority::Normal.rank() < Priority::Low.rank());
+    }
+
+    #[test]
+    fn ticket_poll_wait_and_fulfill() {
+        let slot = Arc::new(CompletionSlot::new());
+        let ticket = QueryTicket::pending(Arc::clone(&slot), CancelToken::new());
+        assert!(!ticket.is_complete());
+        assert!(ticket.poll().is_none());
+        assert!(ticket.wait_timeout(Duration::from_millis(5)).is_none());
+        slot.fulfill(response());
+        assert!(ticket.is_complete());
+        assert!(ticket.poll().is_some_and(|r| r.found()));
+        assert!(ticket.wait().found());
+    }
+
+    #[test]
+    fn wait_blocks_until_fulfilled_from_another_thread() {
+        let slot = Arc::new(CompletionSlot::new());
+        let ticket = QueryTicket::pending(Arc::clone(&slot), CancelToken::new());
+        let filler = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            slot.fulfill(response());
+        });
+        assert!(ticket.wait().found());
+        filler.join().expect("filler thread");
+    }
+
+    #[test]
+    fn dropping_a_pending_ticket_cancels_its_token() {
+        let token = CancelToken::new();
+        let ticket = QueryTicket::pending(Arc::new(CompletionSlot::new()), token.clone());
+        assert!(!token.is_cancelled());
+        drop(ticket);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn completion_queue_delivers_tags_in_completion_order() {
+        let queue = CompletionQueue::new();
+        let slots: Vec<Arc<CompletionSlot>> =
+            (0..3).map(|_| Arc::new(CompletionSlot::new())).collect();
+        let tickets: Vec<QueryTicket> =
+            slots.iter().map(|s| QueryTicket::pending(Arc::clone(s), CancelToken::new())).collect();
+        for (tag, ticket) in tickets.iter().enumerate() {
+            ticket.attach(&queue, tag as u64);
+        }
+        assert_eq!(queue.try_next(), None);
+        slots[2].fulfill(response());
+        slots[0].fulfill(response());
+        assert_eq!(queue.wait(), 2);
+        assert_eq!(queue.wait(), 0);
+        assert_eq!(queue.wait_timeout(Duration::from_millis(5)), None);
+        slots[1].fulfill(response());
+        assert_eq!(queue.wait_timeout(Duration::from_secs(1)), Some(1));
+        assert_eq!(queue.ready_len(), 0);
+    }
+
+    #[test]
+    fn attaching_an_already_completed_ticket_fires_immediately() {
+        let queue = CompletionQueue::new();
+        let ticket = QueryTicket::completed(response());
+        ticket.attach(&queue, 42);
+        assert_eq!(queue.try_next(), Some(42));
+    }
+}

@@ -19,6 +19,11 @@
 //! * [`batch`] — batch submission of a whole workload through a
 //!   [`psi_engine::Engine`] from concurrent client threads, with
 //!   aggregate serving metrics.
+//! * [`async_batch`] — ticket-driven batch submission through either
+//!   engine's [`psi_engine::Submit`] frontend: a few event-loop client
+//!   threads keep windows of in-flight [`psi_engine::QueryTicket`]s
+//!   open and drain a [`psi_engine::CompletionQueue`], reporting the
+//!   in-flight high-water mark.
 //! * [`multi`] — multi-graph workloads (mixed graph sizes and label
 //!   alphabets, Zipf-skewed per-graph traffic with repeats) and batch
 //!   routing through a [`psi_engine::MultiEngine`] with per-graph
@@ -27,6 +32,7 @@
 //!   (full-field vs adaptive top-K with staged escalation), feeding the
 //!   CI bench artifact's `topk_qps` trail.
 
+pub mod async_batch;
 pub mod batch;
 pub mod classify;
 pub mod metrics;
@@ -35,6 +41,7 @@ pub mod query_gen;
 pub mod runner;
 pub mod strategy;
 
+pub use async_batch::{submit_batch_async, AsyncBatchReport};
 pub use batch::{submit_batch, BatchReport};
 pub use classify::{CapConfig, Class, ClassBreakdown};
 pub use metrics::{qla, speedup_star, wla, SummaryStats};

@@ -94,9 +94,15 @@ fn main() {
         stats.fast_paths, stats.fast_path_fallbacks
     );
 
-    // Show the cache effect directly: the hottest query, cold vs. hot.
+    // Show the cache effect directly: the hottest query, cold vs. hot —
+    // submitted through the unified request builder this time (cache
+    // hits complete the ticket at submission; no race, no waiting).
     let hot = &queries[0];
-    let hot_response = engine.submit(hot);
+    let ticket = engine
+        .submit_nonblocking(QueryRequest::new(hot.clone()))
+        .expect("cache hits are served even at capacity");
+    assert!(ticket.is_complete(), "a cache hit completes its ticket immediately");
+    let hot_response = ticket.wait();
     assert_eq!(hot_response.path, ServePath::CacheHit);
     println!(
         "\nhottest query: cold race took {:?}, cached answer now returns in {:?} ({}x faster)",

@@ -117,8 +117,11 @@ fn main() {
     // graph answers from its own partition.
     let probe = &traffic.iter().find(|(g, _)| *g == ids[0]).expect("hot graph traffic").1;
     print!("\none probe query, every graph's own answer: ");
+    // Routing goes through the unified builder: the same `QueryRequest`
+    // shape serves single- and multi-graph engines alike.
     for &id in &ids {
-        let r = multi.submit(id, probe).expect("registered");
+        let r =
+            multi.submit_request(QueryRequest::new(probe.clone()).graph(id)).expect("registered");
         print!("{}={} ", multi.registry().name(id).expect("registered"), r.found());
     }
     println!();

@@ -17,7 +17,10 @@
 //! * [`engine`] — the concurrent query-serving subsystem: a bounded
 //!   worker pool shared by all in-flight races, admission control with
 //!   backpressure, a sharded result cache over canonicalized queries,
-//!   a predictor fast path — with serving statistics — and the
+//!   a predictor fast path — with serving statistics — the unified
+//!   [`engine::Submit`] frontend (one `QueryRequest` builder; tickets
+//!   from `submit_nonblocking` complete reactively, so thousands of
+//!   queries can be in flight from a few client threads) and the
 //!   multi-graph registry (`MultiEngine`) multiplexing many stored
 //!   graphs over one shared pool with fair cross-graph admission;
 //! * [`workload`] — query-workload generation and the paper's metric
@@ -44,7 +47,9 @@
 //!
 //! One-shot races spawn threads per query — fine for experiments, wrong
 //! for a server. The engine owns a fixed worker pool, admission queue
-//! and result cache, and serves any number of concurrent callers:
+//! and result cache; submissions go through the [`engine::Submit`]
+//! frontend as [`engine::QueryRequest`]s, and the non-blocking path
+//! hands back a ticket at admission (no thread parks per query):
 //!
 //! ```
 //! use psi::prelude::*;
@@ -59,8 +64,11 @@
 //!     },
 //! );
 //! let query = Workloads::single_query(&stored, 8, 7).expect("query");
-//! let cold = engine.submit(&query); // full race on the pool
-//! let warm = engine.submit(&query); // identical query: cache hit
+//! // Non-blocking: a ticket at admission, the race on the pool.
+//! let ticket = engine.submit_nonblocking(QueryRequest::new(query.clone())).unwrap();
+//! let cold = ticket.wait();
+//! // Blocking convenience (= submit_queued + wait); identical query: cache hit.
+//! let warm = engine.submit_request(QueryRequest::new(query)).unwrap();
 //! assert_eq!(cold.found(), warm.found());
 //! assert!(engine.stats().cache_hits >= 1);
 //! ```
@@ -108,15 +116,17 @@ pub use psi_workload as workload;
 pub mod prelude {
     pub use psi_core::{PsiConfig, PsiOutcome, PsiRunner, RaceBudget, Variant};
     pub use psi_engine::{
-        Engine, EngineConfig, EngineResponse, EngineStats, GraphId, MultiEngine, MultiEngineConfig,
-        RaceStrategy, ServePath,
+        CompletionQueue, Engine, EngineConfig, EngineError, EngineResponse, EngineStats, GraphId,
+        MultiEngine, MultiEngineConfig, Priority, QueryRequest, QueryTicket, RaceStrategy,
+        ServePath, Submit,
     };
     pub use psi_ftv::{GgsxIndex, GrapesIndex, GraphDb};
     pub use psi_graph::{Graph, GraphBuilder, LabelStats, Permutation};
     pub use psi_matchers::{MatchResult, Matcher, SearchBudget, StopReason};
     pub use psi_rewrite::{rewrite_query, Rewriting};
     pub use psi_workload::{
-        compare_race_strategies, submit_batch, submit_batch_multi, BatchReport, MultiBatchReport,
-        MultiWorkload, MultiWorkloadSpec, QueryGen, StrategyComparison, StrategySpec, Workloads,
+        compare_race_strategies, submit_batch, submit_batch_async, submit_batch_multi,
+        AsyncBatchReport, BatchReport, MultiBatchReport, MultiWorkload, MultiWorkloadSpec,
+        QueryGen, StrategyComparison, StrategySpec, Workloads,
     };
 }
