@@ -34,7 +34,9 @@ use std::time::Instant;
 /// Artifact schema version (bump when fields change meaning).
 /// v2: added `topk_qps` and `escalation_rate` (adaptive top-K racing).
 /// v3: added `async_qps` (ticket frontend, clients ≪ in-flight).
-pub const SCHEMA_VERSION: f64 = 3.0;
+/// v4: added `indexed_speedup` (shared per-graph `TargetIndex` vs the
+///     legacy scan paths, matching-race multi-graph workload).
+pub const SCHEMA_VERSION: f64 = 4.0;
 
 /// The headline serving metrics CI tracks over time.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +81,15 @@ pub struct EngineBenchMetrics {
     /// contend for cores; on a 1-core CI runner the two sit at parity).
     /// Higher is better.
     pub async_qps: f64,
+    /// Shared per-graph `TargetIndex` vs the legacy scan paths (v4):
+    /// the standard 4-graph skewed workload raced as *matching* queries
+    /// (the paper's 1000-embedding budget, so entrants live in their
+    /// enumeration loops where candidate lists, the adjacency bitset
+    /// and scratch reuse pay), identical registries except matcher
+    /// preparation mode, caches and fast path off. Reported as
+    /// `indexed_qps / legacy_qps`; ≥ 1 means building the index once
+    /// at registration beats rescanning per query. Higher is better.
+    pub indexed_speedup: f64,
 }
 
 /// One metric's comparison direction in the regression gate.
@@ -102,6 +113,7 @@ impl EngineBenchMetrics {
             ("topk_qps", self.topk_qps, Direction::HigherIsBetter),
             ("escalation_rate", self.escalation_rate, Direction::LowerIsBetter),
             ("async_qps", self.async_qps, Direction::HigherIsBetter),
+            ("indexed_speedup", self.indexed_speedup, Direction::HigherIsBetter),
         ]
     }
 
@@ -149,6 +161,7 @@ impl EngineBenchMetrics {
             topk_qps: get("topk_qps")?,
             escalation_rate: get("escalation_rate")?,
             async_qps: get("async_qps")?,
+            indexed_speedup: get("indexed_speedup")?,
         })
     }
 }
@@ -369,6 +382,35 @@ pub fn measure() -> EngineBenchMetrics {
     run_topk();
     run_async();
 
+    // --- Shared TargetIndex vs legacy scan paths: the standard 4-graph
+    // skewed workload shape raced as matching queries (the paper's
+    // 1000-embedding budget) against two identical registries differing
+    // only in matcher preparation mode. Matching races keep entrants in
+    // their enumeration loops, which is where the index's candidate
+    // lists, adjacency bitset and scratch reuse pay; a 2-label alphabet
+    // keeps those loops deep, and 100–250-node stored graphs give the
+    // legacy scans something real to rescan. compare_index_modes
+    // interleaves its passes palindromically itself. ---
+    let index_cmp = psi_workload::compare_index_modes(
+        &psi_workload::IndexCmpSpec {
+            workload: MultiWorkloadSpec {
+                base_nodes: 100,
+                node_step: 50,
+                base_labels: 2,
+                query_edges: 10,
+                total_queries: 280,
+                ..MultiWorkloadSpec::default()
+            },
+            budget: RaceBudget::matching(),
+            // Best-of-3 per mode: the ratio of two threaded measurements
+            // is the noisiest metric in the artifact, and an extra pass
+            // costs well under a second.
+            passes: 3,
+            ..psi_workload::IndexCmpSpec::default()
+        },
+        2024,
+    );
+
     EngineBenchMetrics {
         qps,
         p50_us,
@@ -378,6 +420,7 @@ pub fn measure() -> EngineBenchMetrics {
         topk_qps,
         escalation_rate: topk_multi.stats().escalation_rate,
         async_qps,
+        indexed_speedup: index_cmp.speedup,
     }
 }
 
@@ -395,6 +438,7 @@ mod tests {
             topk_qps: 900.0,
             escalation_rate: 0.125,
             async_qps: 850.0,
+            indexed_speedup: 1.2,
         }
     }
 
@@ -446,8 +490,19 @@ mod tests {
             topk_qps: 9_500.0,
             escalation_rate: 0.01,
             async_qps: 9_800.0,
+            indexed_speedup: 3.0,
         };
         assert!(check_regressions(&better, &base, 0.30).is_empty());
+    }
+
+    #[test]
+    fn indexed_speedup_regressions_are_gated() {
+        let base = sample();
+        // A lost index (speedup collapsing to parity) trips the gate.
+        let worse = EngineBenchMetrics { indexed_speedup: 0.8, ..base.clone() };
+        let names: Vec<_> =
+            check_regressions(&worse, &base, 0.30).iter().map(|r| r.metric).collect();
+        assert_eq!(names, vec!["indexed_speedup"]);
     }
 
     #[test]

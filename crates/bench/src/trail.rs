@@ -21,10 +21,12 @@
 
 use crate::artifact::parse_flat_json;
 
-/// The throughput metrics a trail table tracks, in column order.
-/// Artifacts predating a metric (older schema versions) show `—` in its
-/// column instead of failing the whole trail.
-pub const TRAIL_METRICS: [&str; 4] = ["qps", "multi_qps", "topk_qps", "async_qps"];
+/// The throughput metrics a trail table tracks, in column order
+/// (`indexed_speedup` is a ratio, but it trends exactly like the qps
+/// columns: up is good). Artifacts predating a metric (older schema
+/// versions) show `—` in its column instead of failing the whole trail.
+pub const TRAIL_METRICS: [&str; 5] =
+    ["qps", "multi_qps", "topk_qps", "async_qps", "indexed_speedup"];
 
 /// One parsed artifact in the trail.
 #[derive(Debug, Clone)]
@@ -140,6 +142,7 @@ mod tests {
             topk_qps: qps * 0.9,
             escalation_rate: 0.1,
             async_qps: qps * 0.85,
+            indexed_speedup: qps / 1000.0 * 1.2,
         };
         metrics.to_json_stamped(&[
             ("commit".to_string(), commit.to_string()),

@@ -7,7 +7,7 @@
 
 use crate::config::{PsiConfig, Variant};
 use crate::race::{race, PsiOutcome, RaceBudget};
-use psi_graph::{Graph, LabelStats};
+use psi_graph::{Graph, LabelStats, TargetIndex};
 use psi_matchers::{Algorithm, MatchResult, Matcher, SearchBudget};
 use psi_rewrite::{embedding_for_original, Rewriting};
 use std::collections::HashMap;
@@ -17,20 +17,47 @@ use std::sync::Arc;
 pub struct PsiRunner {
     stored: Arc<Graph>,
     stats: LabelStats,
+    /// The shared per-graph [`TargetIndex`]: built exactly once here and
+    /// handed (as an `Arc`) to every prepared matcher, so every entrant
+    /// of every race probes the same label/degree/signature/adjacency
+    /// structures. `None` for legacy scan-mode runners (the seed
+    /// behavior kept for the `indexed_speedup` comparison).
+    index: Option<Arc<TargetIndex>>,
     matchers: HashMap<Algorithm, Arc<dyn Matcher>>,
     config: PsiConfig,
 }
 
 impl PsiRunner {
-    /// Prepares all algorithms used by `config` over `stored`.
+    /// Prepares all algorithms used by `config` over `stored`, sharing
+    /// one [`TargetIndex`] across every matcher.
     pub fn new(stored: Arc<Graph>, config: PsiConfig) -> Self {
         let stats = LabelStats::from_graph(&stored);
+        let index = Arc::new(TargetIndex::build(Arc::clone(&stored)));
         let matchers = config
             .algorithms_used()
             .into_iter()
-            .map(|a| (a, a.prepare(Arc::clone(&stored))))
+            .map(|a| (a, a.prepare_indexed(Arc::clone(&index))))
             .collect();
-        Self { stored, stats, matchers, config }
+        Self { stored, stats, index: Some(index), matchers, config }
+    }
+
+    /// Prepares all algorithms in **legacy scan mode** — the seed,
+    /// pre-index behavior (per-query candidate rescans, binary-search
+    /// adjacency probes, per-query allocations). This is the reference
+    /// configuration the `indexed_speedup` bench metric and the matcher
+    /// equivalence property tests race against.
+    pub fn new_legacy_scan(stored: Arc<Graph>, config: PsiConfig) -> Self {
+        let stats = LabelStats::from_graph(&stored);
+        // One bitset-free index shared across the scan-mode matchers:
+        // they ignore its derived structures wherever the seed rescanned,
+        // but there is no reason to build the shared state per algorithm.
+        let index = Arc::new(TargetIndex::build_without_bitset(Arc::clone(&stored)));
+        let matchers = config
+            .algorithms_used()
+            .into_iter()
+            .map(|a| (a, a.prepare_legacy_shared(Arc::clone(&index))))
+            .collect();
+        Self { stored, stats, index: None, matchers, config }
     }
 
     /// The paper's §8 NFV default: GraphQL ∥ sPath on the original query.
@@ -47,18 +74,36 @@ impl PsiRunner {
     }
 
     /// Returns a runner with a different variant set, re-using already
-    /// prepared matchers (new algorithms are prepared on demand).
+    /// prepared matchers *and* the shared target index (new algorithms
+    /// are prepared on demand against the same index — or in scan mode
+    /// for a legacy runner).
     pub fn with_config(&self, config: PsiConfig) -> Self {
         let mut matchers = self.matchers.clone();
         for a in config.algorithms_used() {
-            matchers.entry(a).or_insert_with(|| a.prepare(Arc::clone(&self.stored)));
+            matchers.entry(a).or_insert_with(|| match &self.index {
+                Some(index) => a.prepare_indexed(Arc::clone(index)),
+                None => a.prepare_legacy(Arc::clone(&self.stored)),
+            });
         }
-        Self { stored: Arc::clone(&self.stored), stats: self.stats.clone(), matchers, config }
+        Self {
+            stored: Arc::clone(&self.stored),
+            stats: self.stats.clone(),
+            index: self.index.clone(),
+            matchers,
+            config,
+        }
     }
 
     /// The stored graph.
     pub fn stored(&self) -> &Arc<Graph> {
         &self.stored
+    }
+
+    /// The shared per-graph [`TargetIndex`], built once at construction
+    /// and probed by every entrant of every race. `None` only for
+    /// legacy scan-mode runners.
+    pub fn target_index(&self) -> Option<&Arc<TargetIndex>> {
+        self.index.as_ref()
     }
 
     /// Label statistics of the stored graph (drives the ILF rewritings).

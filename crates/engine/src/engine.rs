@@ -377,7 +377,12 @@ impl Engine {
 
     /// Current serving statistics.
     pub fn stats(&self) -> EngineStats {
-        self.core.stats.snapshot()
+        let mut stats = self.core.stats.snapshot();
+        // The index is built once at runner construction; its cost is a
+        // property of the registration, reported alongside the serving
+        // counters (0 for legacy scan-mode runners, which have none).
+        stats.index_build_us = self.core.runner.target_index().map_or(0, |ix| ix.build_micros());
+        stats
     }
 
     /// The live collector behind [`Engine::stats`] — lets the registry

@@ -217,6 +217,7 @@ pub(crate) fn run_fast_path(
         entrant.execute(&search_budget)
     };
     let pending = guard.0.take().expect("guard armed");
+    pending.core.stats.record_probes(&result.stats);
     if result.stop.is_conclusive() {
         let core = Arc::clone(&pending.core);
         core.stats.fast_paths.fetch_add(1, Ordering::Relaxed);
@@ -610,6 +611,12 @@ impl RaceFlight {
             })
             .collect();
         let pruned_count = pruned.iter().filter(|&&p| p).count();
+        // Edge-probe accounting: every launched entrant counted its
+        // index probes locally; fold them into the engine totals here,
+        // two atomic adds per entrant instead of one per probe.
+        for vr in &per_variant {
+            self.core.stats.record_probes(&vr.result.stats);
+        }
         // Pruned entrants carry the Cancelled placeholder but never ran —
         // count them separately from the Ψ "kill" count.
         let cancelled = per_variant

@@ -63,7 +63,11 @@
 //! ## Multi-graph quickstart
 //!
 //! One process serving several stored graphs over one shared pool —
-//! register each graph, route by [`GraphId`]:
+//! register each graph, route by [`GraphId`]. Building a `PsiRunner`
+//! (and therefore registering a graph) also builds its shared
+//! `psi_graph::TargetIndex` once — label candidate lists, neighborhood
+//! signatures and the dense adjacency bitset every racing entrant then
+//! probes; the one-time cost is reported as `EngineStats::index_build_us`:
 //!
 //! ```
 //! use psi_core::{PsiRunner, RaceBudget};

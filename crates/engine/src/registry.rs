@@ -556,6 +556,9 @@ impl MultiEngine {
             pruned_entrants: 0,
             escalations: 0,
             escalation_rate: 0.0,
+            index_build_us: 0,
+            edge_probes_bitset: 0,
+            edge_probes_binary: 0,
             throughput_qps: 0.0,
             latency_p50: std::time::Duration::ZERO,
             latency_p99: std::time::Duration::ZERO,
@@ -578,6 +581,10 @@ impl MultiEngine {
             agg.topk_races += c.topk_races.load(Ordering::Relaxed);
             agg.pruned_entrants += c.pruned_entrants.load(Ordering::Relaxed);
             agg.escalations += c.escalations.load(Ordering::Relaxed);
+            agg.edge_probes_bitset += c.edge_probes_bitset.load(Ordering::Relaxed);
+            agg.edge_probes_binary += c.edge_probes_binary.load(Ordering::Relaxed);
+            agg.index_build_us +=
+                tenant.engine.runner().target_index().map_or(0, |ix| ix.build_micros());
             samples.extend(c.latency_samples());
         }
         agg.hit_rate = EngineStats::rate(agg.cache_hits, agg.cache_hits + agg.cache_misses);

@@ -24,6 +24,8 @@ pub(crate) struct StatsCollector {
     pub topk_races: AtomicU64,
     pub pruned_entrants: AtomicU64,
     pub escalations: AtomicU64,
+    pub edge_probes_bitset: AtomicU64,
+    pub edge_probes_binary: AtomicU64,
     latencies_us: Mutex<Ring>,
 }
 
@@ -49,7 +51,21 @@ impl StatsCollector {
             topk_races: AtomicU64::new(0),
             pruned_entrants: AtomicU64::new(0),
             escalations: AtomicU64::new(0),
+            edge_probes_bitset: AtomicU64::new(0),
+            edge_probes_binary: AtomicU64::new(0),
             latencies_us: Mutex::new(Ring { buf: vec![0; LATENCY_RING], next: 0, filled: 0 }),
+        }
+    }
+
+    /// Folds one search's edge-probe counters into the engine totals.
+    /// Matchers count probes in plain `u64`s per search; the two atomic
+    /// adds here run once per entrant result, not once per probe.
+    pub fn record_probes(&self, stats: &psi_matchers::SearchStats) {
+        if stats.edge_probes_bitset > 0 {
+            self.edge_probes_bitset.fetch_add(stats.edge_probes_bitset, Ordering::Relaxed);
+        }
+        if stats.edge_probes_binary > 0 {
+            self.edge_probes_binary.fetch_add(stats.edge_probes_binary, Ordering::Relaxed);
         }
     }
 
@@ -109,6 +125,9 @@ impl StatsCollector {
             pruned_entrants: self.pruned_entrants.load(Ordering::Relaxed),
             escalations,
             escalation_rate: EngineStats::rate(escalations, topk_races),
+            index_build_us: 0,
+            edge_probes_bitset: self.edge_probes_bitset.load(Ordering::Relaxed),
+            edge_probes_binary: self.edge_probes_binary.load(Ordering::Relaxed),
             throughput_qps: if uptime.as_secs_f64() > 0.0 {
                 queries as f64 / uptime.as_secs_f64()
             } else {
@@ -162,6 +181,15 @@ pub struct EngineStats {
     /// `escalations / topk_races`, 0 when no race was staged. Low is the
     /// predictor earning its keep; 1.0 means pruning never helps.
     pub escalation_rate: f64,
+    /// Wall-clock cost of building this graph's shared `TargetIndex` at
+    /// registration, microseconds (summed across graphs in the registry
+    /// aggregate; 0 for legacy scan-mode runners).
+    pub index_build_us: u64,
+    /// Adjacency probes answered by the index's dense bitset fast path.
+    pub edge_probes_bitset: u64,
+    /// Adjacency probes answered by CSR binary search (bitset not built
+    /// for the graph, or scan-mode matchers).
+    pub edge_probes_binary: u64,
     /// Queries per second since engine start.
     pub throughput_qps: f64,
     /// Median end-to-end latency over the recent-latency window.

@@ -1,0 +1,383 @@
+//! The shared per-graph [`TargetIndex`]: label, degree, signature and
+//! adjacency structures computed **once** per stored graph.
+//!
+//! Stored graphs are immutable and registered exactly once, but every
+//! matcher historically paid its own per-preparation (or worse,
+//! per-query) cost against the same graph: label → vertex lists were
+//! rebuilt by three matchers independently, GraphQL's neighborhood
+//! signatures were duplicated per matcher, Ullmann seeded its candidate
+//! matrix from raw label scans, and every adjacency probe was a binary
+//! search. The `TargetIndex` hoists all of that derived state into one
+//! structure built at registration time and shared (via `Arc`) by every
+//! entrant of every race over the graph:
+//!
+//! * **`candidates(label)`** — sorted vertex list per label (the seed of
+//!   every matcher's candidate sets);
+//! * **`degree(v)`** / **`degree_descending()`** — a dense degree array
+//!   and the hub-first vertex order (the hub degree also drives the
+//!   bitset heuristic below);
+//! * **`signature(v)`** / **`label_mask(v)`** — the sorted
+//!   neighbor-label multiset GraphQL indexes, promoted and shared, plus
+//!   a 64-bit label-presence mask for an O(1) containment pre-filter;
+//! * **`has_edge(u, v)`** — a dense adjacency **bitset** fast path for
+//!   small or hub-heavy graphs (`O(1)` per probe), falling back to the
+//!   CSR binary search when the bitset would be too large.
+//!
+//! The index is pure derived state: it holds an `Arc<Graph>` and can be
+//! rebuilt from it at any time, which is exactly what makes it the
+//! natural unit to persist alongside learned predictor state.
+
+use crate::graph::{Graph, Label, NodeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Memory cap for the dense adjacency bitset: `n² / 8` bytes must fit
+/// under this for the bitset to be built (4 MiB ⇒ n ≤ 5792).
+pub const DENSE_BITSET_MAX_BYTES: usize = 4 << 20;
+
+/// Hub-heavy override: graphs whose maximum degree reaches this many
+/// vertices get a bitset up to twice the byte cap — binary searches over
+/// hub adjacency lists are exactly the probes the bitset eliminates.
+pub const HUB_DEGREE_THRESHOLD: usize = 64;
+
+/// Dense row-major adjacency bits: bit `u * n + v` is set iff `(u, v)`
+/// is an edge. Symmetric (undirected graphs), so either orientation of a
+/// probe reads the same answer.
+#[derive(Debug, Clone)]
+struct DenseBits {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl DenseBits {
+    fn build(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut words = vec![0u64; (n * n).div_ceil(64)];
+        for u in g.nodes() {
+            let row = u as usize * n;
+            for &v in g.neighbors(u) {
+                let bit = row + v as usize;
+                words[bit / 64] |= 1 << (bit % 64);
+            }
+        }
+        Self { n, words }
+    }
+
+    #[inline]
+    fn get(&self, u: NodeId, v: NodeId) -> bool {
+        let bit = u as usize * self.n + v as usize;
+        self.words[bit / 64] & (1 << (bit % 64)) != 0
+    }
+}
+
+/// Shared, immutable derived state of one stored graph. Build once at
+/// registration ([`TargetIndex::build`]), share via `Arc` across every
+/// matcher, race and query.
+#[derive(Debug)]
+pub struct TargetIndex {
+    graph: Arc<Graph>,
+    /// label → vertex list, sorted ascending by node ID (the order the
+    /// matchers' seed implementations enumerated candidates in, so
+    /// indexed searches visit candidates identically).
+    by_label: HashMap<Label, Vec<NodeId>>,
+    /// Degree per node, dense.
+    degrees: Vec<u32>,
+    /// Node IDs sorted by degree descending (ties by ID ascending).
+    degree_desc: Vec<NodeId>,
+    /// Sorted neighbor-label multiset per node (GraphQL's signature).
+    signatures: Vec<Vec<Label>>,
+    /// 64-bit label-presence mask per node: bit `l % 64` is set iff some
+    /// neighbor carries label `l`. A query signature can only be
+    /// contained if its mask is a subset of the target's.
+    label_masks: Vec<u64>,
+    /// Dense adjacency bits for small/hub-heavy graphs.
+    bits: Option<DenseBits>,
+    /// Wall-clock cost of building this index, microseconds.
+    build_micros: u64,
+}
+
+impl TargetIndex {
+    /// Builds the full index over `graph`, including the dense adjacency
+    /// bitset when the graph qualifies (see [`TargetIndex::has_bitset`]).
+    pub fn build(graph: Arc<Graph>) -> Self {
+        Self::build_inner(graph, true)
+    }
+
+    /// Builds the index **without** the dense bitset: every `has_edge`
+    /// probe falls back to the CSR binary search. This is the
+    /// legacy-probe configuration used by scan-mode matchers and the
+    /// `indexed_speedup` bench comparison.
+    pub fn build_without_bitset(graph: Arc<Graph>) -> Self {
+        Self::build_inner(graph, false)
+    }
+
+    fn build_inner(graph: Arc<Graph>, want_bitset: bool) -> Self {
+        let t0 = Instant::now();
+        let n = graph.node_count();
+        let mut by_label: HashMap<Label, Vec<NodeId>> = HashMap::new();
+        let mut degrees = Vec::with_capacity(n);
+        let mut signatures = Vec::with_capacity(n);
+        let mut label_masks = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            by_label.entry(graph.label(v)).or_default().push(v);
+            degrees.push(graph.degree(v) as u32);
+            let mut sig: Vec<Label> = graph.neighbors(v).iter().map(|&u| graph.label(u)).collect();
+            sig.sort_unstable();
+            let mut mask = 0u64;
+            for &l in &sig {
+                mask |= 1 << (l % 64);
+            }
+            signatures.push(sig);
+            label_masks.push(mask);
+        }
+        let mut degree_desc: Vec<NodeId> = (0..n as NodeId).collect();
+        degree_desc.sort_unstable_by_key(|&v| (u32::MAX - degrees[v as usize], v));
+        let max_degree = degree_desc.first().map_or(0, |&v| degrees[v as usize] as usize);
+        let cap = if max_degree >= HUB_DEGREE_THRESHOLD {
+            2 * DENSE_BITSET_MAX_BYTES
+        } else {
+            DENSE_BITSET_MAX_BYTES
+        };
+        let bits = (want_bitset && n > 0 && n.saturating_mul(n).div_ceil(8) <= cap)
+            .then(|| DenseBits::build(&graph));
+        Self {
+            graph,
+            by_label,
+            degrees,
+            degree_desc,
+            signatures,
+            label_masks,
+            bits,
+            build_micros: t0.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        }
+    }
+
+    /// The indexed stored graph.
+    #[inline]
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Number of nodes in the stored graph.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// All vertices carrying `label`, sorted ascending by node ID.
+    /// Returns an empty slice for labels absent from the graph.
+    #[inline]
+    pub fn candidates(&self, label: Label) -> &[NodeId] {
+        self.by_label.get(&label).map_or(&[], Vec::as_slice)
+    }
+
+    /// Degree of `v` (array read; no CSR offset arithmetic).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.degrees[v as usize] as usize
+    }
+
+    /// Node IDs sorted by degree descending, ties by ID — hubs first.
+    #[inline]
+    pub fn degree_descending(&self) -> &[NodeId] {
+        &self.degree_desc
+    }
+
+    /// Maximum degree in the graph (0 for the empty graph).
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.degree_desc.first().map_or(0, |&v| self.degree(v))
+    }
+
+    /// Sorted neighbor-label multiset of `v` (GraphQL's signature).
+    #[inline]
+    pub fn signature(&self, v: NodeId) -> &[Label] {
+        &self.signatures[v as usize]
+    }
+
+    /// 64-bit label-presence mask over `v`'s neighbor labels. A sorted
+    /// multiset `q` can only be contained in `signature(v)` if
+    /// `mask(q) & !label_mask(v) == 0`.
+    #[inline]
+    pub fn label_mask(&self, v: NodeId) -> u64 {
+        self.label_masks[v as usize]
+    }
+
+    /// The mask a query-side signature needs for the
+    /// [`TargetIndex::label_mask`] pre-filter.
+    #[inline]
+    pub fn mask_of(signature: &[Label]) -> u64 {
+        signature.iter().fold(0u64, |m, &l| m | 1 << (l % 64))
+    }
+
+    /// Whether the dense adjacency bitset was built for this graph.
+    #[inline]
+    pub fn has_bitset(&self) -> bool {
+        self.bits.is_some()
+    }
+
+    /// Whether the undirected edge `(u, v)` exists: `O(1)` through the
+    /// dense bitset when present, `O(log deg)` binary search otherwise.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        match &self.bits {
+            Some(bits) => bits.get(u, v),
+            None => self.graph.has_edge(u, v),
+        }
+    }
+
+    /// [`TargetIndex::has_edge`] with probe accounting: `*bitset` or
+    /// `*binary` is incremented according to which path answered. The
+    /// counters are plain `u64`s (matchers keep them in their
+    /// `SearchStats`), so the hot path pays no atomic traffic.
+    #[inline]
+    pub fn has_edge_counted(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        bitset: &mut u64,
+        binary: &mut u64,
+    ) -> bool {
+        match &self.bits {
+            Some(bits) => {
+                *bitset += 1;
+                bits.get(u, v)
+            }
+            None => {
+                *binary += 1;
+                self.graph.has_edge(u, v)
+            }
+        }
+    }
+
+    /// Wall-clock cost of building this index, in microseconds.
+    #[inline]
+    pub fn build_micros(&self) -> u64 {
+        self.build_micros
+    }
+
+    /// Approximate resident size of the index in bytes (excluding the
+    /// graph itself): degrees + orders + signatures + masks + label
+    /// lists + bitset words. Documented in `docs/architecture.md` as the
+    /// per-graph memory cost of registration.
+    pub fn memory_bytes(&self) -> usize {
+        let sigs: usize = self.signatures.iter().map(|s| s.len() * size_of::<Label>()).sum();
+        let labels: usize =
+            self.by_label.values().map(|v| v.len() * size_of::<NodeId>()).sum::<usize>();
+        self.degrees.len() * size_of::<u32>()
+            + self.degree_desc.len() * size_of::<NodeId>()
+            + self.label_masks.len() * size_of::<u64>()
+            + sigs
+            + labels
+            + self.bits.as_ref().map_or(0, |b| b.words.len() * size_of::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_connected_graph, LabelDist};
+    use crate::graph::graph_from_parts;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn index(g: Graph) -> TargetIndex {
+        TargetIndex::build(Arc::new(g))
+    }
+
+    #[test]
+    fn candidates_are_sorted_per_label() {
+        let g = graph_from_parts(&[1, 0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let ix = index(g);
+        assert_eq!(ix.candidates(1), &[0, 2, 4]);
+        assert_eq!(ix.candidates(0), &[1, 3]);
+        assert!(ix.candidates(9).is_empty());
+    }
+
+    #[test]
+    fn degrees_and_hub_order() {
+        let g = graph_from_parts(&[0; 5], &[(0, 1), (0, 2), (0, 3), (3, 4)]);
+        let ix = index(g);
+        assert_eq!(ix.degree(0), 3);
+        assert_eq!(ix.degree(4), 1);
+        assert_eq!(ix.max_degree(), 3);
+        assert_eq!(ix.degree_descending()[0], 0, "hub first");
+        assert_eq!(ix.degree_descending()[1], 3, "ties by id after degree");
+        assert_eq!(ix.degree_descending().len(), 5);
+    }
+
+    #[test]
+    fn signatures_match_neighbor_labels() {
+        let g = graph_from_parts(&[1, 2, 3, 2], &[(0, 1), (0, 2), (0, 3)]);
+        let ix = index(g);
+        assert_eq!(ix.signature(0), &[2, 2, 3]);
+        assert_eq!(ix.signature(1), &[1]);
+        assert_eq!(ix.label_mask(0), (1 << 2) | (1 << 3));
+        assert_eq!(TargetIndex::mask_of(&[2, 3]), ix.label_mask(0));
+        // The mask pre-filter is sound: containment implies mask subset.
+        assert_eq!(TargetIndex::mask_of(&[2]) & !ix.label_mask(0), 0);
+        assert_ne!(TargetIndex::mask_of(&[7]) & !ix.label_mask(0), 0);
+    }
+
+    #[test]
+    fn bitset_agrees_with_binary_search() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let labels = LabelDist::Uniform { num_labels: 4 }.sampler();
+        let g = random_connected_graph(60, 140, &labels, &mut rng);
+        let ix = index(g.clone());
+        assert!(ix.has_bitset(), "60 nodes is far under the byte cap");
+        let no_bits = TargetIndex::build_without_bitset(Arc::new(g.clone()));
+        assert!(!no_bits.has_bitset());
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(ix.has_edge(u, v), g.has_edge(u, v), "({u},{v})");
+                assert_eq!(no_bits.has_edge(u, v), g.has_edge(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_counters_track_the_answering_path() {
+        let g = graph_from_parts(&[0, 0], &[(0, 1)]);
+        let ix = index(g.clone());
+        let (mut bs, mut bin) = (0u64, 0u64);
+        assert!(ix.has_edge_counted(0, 1, &mut bs, &mut bin));
+        assert_eq!((bs, bin), (1, 0));
+        let no_bits = TargetIndex::build_without_bitset(Arc::new(g));
+        assert!(no_bits.has_edge_counted(1, 0, &mut bs, &mut bin));
+        assert_eq!((bs, bin), (1, 1));
+    }
+
+    #[test]
+    fn oversized_graphs_skip_the_bitset() {
+        // 8000 nodes ⇒ 8 MB of bits: over the 4 MiB cap, and the path
+        // graph has no hub to trigger the override.
+        let labels: Vec<u32> = vec![0; 8000];
+        let edges: Vec<(NodeId, NodeId)> = (0..7999).map(|i| (i, i + 1)).collect();
+        let g = graph_from_parts(&labels, &edges);
+        let ix = index(g);
+        assert!(!ix.has_bitset());
+        assert!(ix.has_edge(0, 1), "binary-search fallback still answers");
+        assert!(!ix.has_edge(0, 2));
+    }
+
+    #[test]
+    fn empty_graph_index() {
+        let ix = index(graph_from_parts(&[], &[]));
+        assert_eq!(ix.node_count(), 0);
+        assert_eq!(ix.max_degree(), 0);
+        assert!(ix.candidates(0).is_empty());
+        assert!(!ix.has_bitset());
+    }
+
+    #[test]
+    fn build_time_and_memory_are_reported() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+        let ix = index(random_connected_graph(50, 100, &labels, &mut rng));
+        assert!(ix.memory_bytes() > 0);
+        // build_micros is best-effort wall clock; it must at least exist.
+        let _ = ix.build_micros();
+    }
+}

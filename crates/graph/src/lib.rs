@@ -10,6 +10,9 @@
 //!   representation consumed by all matchers and indexes.
 //! * [`GraphBuilder`] — the only way to construct a [`Graph`]; validates and
 //!   normalizes input (deduplicates edges, sorts adjacency lists).
+//! * [`TargetIndex`] — the shared per-graph index (label → vertex lists,
+//!   degrees, neighbor-label signatures, dense adjacency bitset), built once
+//!   per stored graph and shared by every matcher racing over it.
 //! * [`Permutation`] — node-ID permutations, the mechanism behind the paper's
 //!   isomorphic query rewritings (Def. 2: permuting node IDs yields an
 //!   isomorphic graph).
@@ -45,10 +48,12 @@ pub mod components;
 pub mod datasets;
 pub mod generate;
 pub mod graph;
+pub mod index;
 pub mod io;
 pub mod permute;
 pub mod stats;
 
 pub use graph::{Graph, GraphBuilder, GraphError, Label, NodeId};
+pub use index::TargetIndex;
 pub use permute::Permutation;
 pub use stats::{DbStats, GraphStats, LabelStats};

@@ -21,8 +21,8 @@
 
 use crate::budget::{BudgetClock, SearchBudget, StopReason};
 use crate::matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
-use psi_graph::{Graph, Label, NodeId};
-use std::collections::HashMap;
+use crate::scratch;
+use psi_graph::{Graph, Label, NodeId, TargetIndex};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -37,35 +37,51 @@ pub const DEFAULT_REFINE_LEVEL: usize = 4;
 /// fraction of candidate combinations.
 const JOIN_SELECTIVITY: f64 = 0.5;
 
-/// GraphQL prepared over a stored graph: per-node neighborhood signatures
-/// (sorted neighbor-label multisets) and a label index.
+/// GraphQL prepared over a stored graph. The neighborhood signatures and
+/// label lists GraphQL indexes are exactly the shared [`TargetIndex`]'s
+/// structures — computed once per stored graph at matcher construction
+/// (never inside `search`), and shared with every other matcher when the
+/// index is. `search` only ever computes the *query's* signatures, which
+/// necessarily vary per call.
 #[derive(Debug)]
 pub struct GraphQl {
-    target: Arc<Graph>,
-    /// Sorted neighbor-label multiset per target node.
-    signatures: Vec<Vec<Label>>,
-    /// label → sorted vertex list.
-    by_label: HashMap<Label, Vec<NodeId>>,
+    index: Arc<TargetIndex>,
     /// Number of pseudo-iso refinement iterations.
     refine_level: usize,
+    scan: bool,
 }
 
 impl GraphQl {
     /// Runs GraphQL's indexing phase with the paper-default refinement
-    /// level (4).
+    /// level (4), building a private [`TargetIndex`]. Prefer
+    /// [`GraphQl::with_index`] when matchers share one stored graph.
     pub fn prepare(target: Arc<Graph>) -> Self {
         Self::with_refine_level(target, DEFAULT_REFINE_LEVEL)
     }
 
     /// Indexing phase with an explicit pseudo-iso refinement level.
     pub fn with_refine_level(target: Arc<Graph>, refine_level: usize) -> Self {
-        let signatures =
-            (0..target.node_count() as NodeId).map(|v| signature(&target, v)).collect();
-        let mut by_label: HashMap<Label, Vec<NodeId>> = HashMap::new();
-        for v in target.nodes() {
-            by_label.entry(target.label(v)).or_default().push(v);
-        }
-        Self { target, signatures, by_label, refine_level }
+        Self { index: Arc::new(TargetIndex::build(target)), refine_level, scan: false }
+    }
+
+    /// Indexed constructor path: the signatures/label lists are the
+    /// shared index; nothing further to precompute.
+    pub fn with_index(index: Arc<TargetIndex>) -> Self {
+        Self { index, refine_level: DEFAULT_REFINE_LEVEL, scan: false }
+    }
+
+    /// Legacy scan mode — the seed behavior: no bit-mask pre-filter, no
+    /// dense-bitset adjacency, per-query buffer allocation. (Target
+    /// signatures were already built at construction in the seed, and
+    /// still are.)
+    pub fn prepare_legacy(target: Arc<Graph>) -> Self {
+        Self::legacy_with_index(Arc::new(TargetIndex::build_without_bitset(target)))
+    }
+
+    /// Legacy scan mode over an already-built (bitset-free) index —
+    /// shared by a runner's scan-mode matchers.
+    pub fn legacy_with_index(index: Arc<TargetIndex>) -> Self {
+        Self { index, refine_level: DEFAULT_REFINE_LEVEL, scan: true }
     }
 
     /// The configured pseudo-iso refinement level.
@@ -74,26 +90,39 @@ impl GraphQl {
     }
 
     /// Rule 1: initial candidate lists by label + signature containment.
-    /// Ticks the budget clock so racing cancellation reaches even the
-    /// pre-search phase promptly.
+    /// Target signatures are index lookups (built once at construction);
+    /// only the query's signatures are computed here. Indexed matchers
+    /// reject most infeasible candidates with the 64-bit label-mask
+    /// pre-filter before touching the multiset. Ticks the budget clock
+    /// so racing cancellation reaches even the pre-search phase promptly.
     fn initial_candidates(
         &self,
         query: &Graph,
         clock: &mut BudgetClock<'_>,
     ) -> Result<Vec<Vec<NodeId>>, StopReason> {
+        let ix = &*self.index;
         let qsigs: Vec<Vec<Label>> =
             (0..query.node_count() as NodeId).map(|u| signature(query, u)).collect();
         let mut out = Vec::with_capacity(query.node_count());
-        let empty = Vec::new();
         for u in 0..query.node_count() as NodeId {
+            let qsig = &qsigs[u as usize];
+            let qmask = TargetIndex::mask_of(qsig);
+            let qdeg = query.degree(u);
             let mut cands = Vec::new();
-            for &v in self.by_label.get(&query.label(u)).unwrap_or(&empty) {
+            for &v in ix.candidates(query.label(u)) {
                 if let Some(r) = clock.tick() {
                     return Err(r);
                 }
-                if query.degree(u) <= self.target.degree(v)
-                    && multiset_contains(&self.signatures[v as usize], &qsigs[u as usize])
-                {
+                if qdeg > ix.degree(v) {
+                    continue;
+                }
+                // Mask subset is necessary for multiset containment, so
+                // the pre-filter never changes the candidate set — it
+                // only skips doomed multiset walks.
+                if !self.scan && qmask & !ix.label_mask(v) != 0 {
+                    continue;
+                }
+                if multiset_contains(ix.signature(v), qsig) {
                     cands.push(v);
                 }
             }
@@ -112,10 +141,11 @@ impl GraphQl {
         clock: &mut BudgetClock<'_>,
         stats: &mut SearchStats,
     ) -> Result<(), StopReason> {
+        let target = self.index.graph();
         let nq = query.node_count();
-        let nt = self.target.node_count();
+        let nt = target.node_count();
         // Membership matrix for O(1) "is v a candidate of u" checks.
-        let mut member = vec![false; nq * nt];
+        let mut member = scratch::bool_buf(nq * nt, !self.scan);
         for (u, c) in cands.iter().enumerate() {
             for &v in c {
                 member[u * nt + v as usize] = true;
@@ -133,7 +163,7 @@ impl GraphQl {
                     if let Some(r) = clock.tick() {
                         return Err(r);
                     }
-                    if bipartite_match_exists(qn, self.target.neighbors(v), |q2, t2| {
+                    if bipartite_match_exists(qn, target.neighbors(v), |q2, t2| {
                         member[q2 as usize * nt + t2 as usize]
                     }) {
                         survivors.push(v);
@@ -265,10 +295,15 @@ impl Matcher for GraphQl {
     }
 
     fn target(&self) -> &Graph {
-        &self.target
+        self.index.graph()
+    }
+
+    fn index(&self) -> &Arc<TargetIndex> {
+        &self.index
     }
 
     fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult {
+        let target = self.index.graph();
         let start = Instant::now();
         let mut out = MatchResult::empty(StopReason::Complete);
         let mut clock = budget.start();
@@ -283,9 +318,7 @@ impl Matcher for GraphQl {
             out.elapsed = start.elapsed();
             return out;
         }
-        if query.node_count() > self.target.node_count()
-            || query.edge_count() > self.target.edge_count()
-        {
+        if query.node_count() > target.node_count() || query.edge_count() > target.edge_count() {
             out.elapsed = start.elapsed();
             return out;
         }
@@ -319,8 +352,8 @@ impl Matcher for GraphQl {
         }
         // Rule 3 + backtracking join.
         let order = self.plan_order(query, &cands);
-        let mut assignment = vec![UNMAPPED; query.node_count()];
-        let mut used = vec![false; self.target.node_count()];
+        let mut assignment = scratch::u32_buf(query.node_count(), UNMAPPED, !self.scan);
+        let mut used = scratch::bool_buf(target.node_count(), !self.scan);
         let stop = self.join(
             query,
             &order,
@@ -367,6 +400,8 @@ impl GraphQl {
             return None;
         }
         let qv = order[depth];
+        let target = self.index.graph();
+        let ix = (!self.scan).then_some(&*self.index);
         for &tv in &cands[qv as usize] {
             if let Some(r) = clock.tick() {
                 return Some(r);
@@ -380,9 +415,9 @@ impl GraphQl {
                 if tn == UNMAPPED {
                     return true;
                 }
-                self.target.has_edge(tn, tv)
+                crate::matcher::probe_edge(ix, target, tn, tv, stats)
                     && (!query.has_edge_labels()
-                        || query.edge_label(qv, qn) == self.target.edge_label(tv, tn))
+                        || query.edge_label(qv, qn) == target.edge_label(tv, tn))
             });
             if !ok {
                 stats.candidates_pruned += 1;

@@ -53,6 +53,7 @@ pub mod budget;
 pub mod graphql;
 pub mod matcher;
 pub mod quicksi;
+pub mod scratch;
 pub mod spath;
 pub mod ullmann;
 pub mod vf2;

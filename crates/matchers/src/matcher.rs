@@ -6,7 +6,7 @@
 //! (matchers are `Send + Sync` and `search` takes `&self`).
 
 use crate::budget::{SearchBudget, StopReason};
-use psi_graph::{Graph, NodeId};
+use psi_graph::{Graph, NodeId, TargetIndex};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -25,6 +25,12 @@ pub struct SearchStats {
     pub candidates_pruned: u64,
     /// Number of backtracks.
     pub backtracks: u64,
+    /// Adjacency probes answered by the shared [`TargetIndex`]'s dense
+    /// bitset (`O(1)` fast path).
+    pub edge_probes_bitset: u64,
+    /// Adjacency probes answered by CSR binary search (no bitset built,
+    /// or a scan-mode matcher).
+    pub edge_probes_binary: u64,
 }
 
 /// Outcome of one search.
@@ -102,14 +108,56 @@ impl Algorithm {
 
     /// Prepares this algorithm over a stored graph. This runs the
     /// algorithm's indexing phase (label statistics, signatures, ...), so it
-    /// can be expensive — do it once per stored graph.
+    /// can be expensive — do it once per stored graph. Builds a private
+    /// [`TargetIndex`]; callers preparing several algorithms over the
+    /// *same* graph should build the index once and use
+    /// [`Algorithm::prepare_indexed`] instead.
     pub fn prepare(self, target: Arc<Graph>) -> Arc<dyn Matcher> {
+        self.prepare_indexed(Arc::new(TargetIndex::build(target)))
+    }
+
+    /// Prepares this algorithm over an already-built shared
+    /// [`TargetIndex`] — the indexed constructor path. All algorithm
+    /// preparation beyond the shared index (e.g. QuickSI's edge
+    /// frequencies, sPath's distance signatures) still runs here, but
+    /// the label/degree/signature/adjacency structures are the shared
+    /// `Arc`, built once per stored graph no matter how many matchers
+    /// race over it.
+    pub fn prepare_indexed(self, index: Arc<TargetIndex>) -> Arc<dyn Matcher> {
         match self {
-            Algorithm::Vf2 => Arc::new(crate::vf2::Vf2::prepare(target)),
-            Algorithm::Ullmann => Arc::new(crate::ullmann::Ullmann::prepare(target)),
-            Algorithm::QuickSi => Arc::new(crate::quicksi::QuickSi::prepare(target)),
-            Algorithm::GraphQl => Arc::new(crate::graphql::GraphQl::prepare(target)),
-            Algorithm::SPath => Arc::new(crate::spath::SPath::prepare(target)),
+            Algorithm::Vf2 => Arc::new(crate::vf2::Vf2::with_index(index)),
+            Algorithm::Ullmann => Arc::new(crate::ullmann::Ullmann::with_index(index)),
+            Algorithm::QuickSi => Arc::new(crate::quicksi::QuickSi::with_index(index)),
+            Algorithm::GraphQl => Arc::new(crate::graphql::GraphQl::with_index(index)),
+            Algorithm::SPath => Arc::new(crate::spath::SPath::with_index(index)),
+        }
+    }
+
+    /// Prepares this algorithm in **legacy scan mode**: the seed,
+    /// pre-`TargetIndex` behavior — candidate seeding rescans target
+    /// nodes, every adjacency probe is a CSR binary search, and search
+    /// buffers are freshly allocated per query. Kept as the reference
+    /// implementation for the equivalence property tests and as the
+    /// baseline the `indexed_speedup` bench metric races against.
+    /// Builds a private bitset-free index; callers preparing several
+    /// scan-mode algorithms over the same graph should build that index
+    /// once and use [`Algorithm::prepare_legacy_shared`].
+    pub fn prepare_legacy(self, target: Arc<Graph>) -> Arc<dyn Matcher> {
+        self.prepare_legacy_shared(Arc::new(TargetIndex::build_without_bitset(target)))
+    }
+
+    /// Legacy scan mode over an already-built bitset-free index. The
+    /// scan-mode matchers ignore the index's derived structures wherever
+    /// the seed rescanned (so per-query behavior is unchanged); sharing
+    /// only avoids rebuilding the graph-derived state per algorithm at
+    /// preparation time.
+    pub fn prepare_legacy_shared(self, index: Arc<TargetIndex>) -> Arc<dyn Matcher> {
+        match self {
+            Algorithm::Vf2 => Arc::new(crate::vf2::Vf2::legacy_with_index(index)),
+            Algorithm::Ullmann => Arc::new(crate::ullmann::Ullmann::legacy_with_index(index)),
+            Algorithm::QuickSi => Arc::new(crate::quicksi::QuickSi::legacy_with_index(index)),
+            Algorithm::GraphQl => Arc::new(crate::graphql::GraphQl::legacy_with_index(index)),
+            Algorithm::SPath => Arc::new(crate::spath::SPath::legacy_with_index(index)),
         }
     }
 }
@@ -128,6 +176,11 @@ pub trait Matcher: Send + Sync {
     /// The stored graph this matcher was prepared over.
     fn target(&self) -> &Graph;
 
+    /// The target index this matcher probes. Matchers prepared through
+    /// [`Algorithm::prepare_indexed`] share one `Arc` per stored graph;
+    /// legacy scan-mode matchers hold a private bitset-free index.
+    fn index(&self) -> &Arc<TargetIndex>;
+
     /// Finds embeddings of `query` in the stored graph, subject to `budget`.
     ///
     /// Returns all found embeddings (each a query-node → target-node map).
@@ -138,6 +191,29 @@ pub trait Matcher: Send + Sync {
     /// Decision-problem convenience: does `query` embed at all?
     fn contains(&self, query: &Graph) -> bool {
         self.search(query, &SearchBudget::first_match()).found()
+    }
+}
+
+/// One adjacency probe, routed through the shared index (bitset fast
+/// path) when present, or the CSR binary search in scan mode — with the
+/// answering path counted into `stats`. Shared by every matcher's inner
+/// search loop.
+#[inline]
+pub(crate) fn probe_edge(
+    ix: Option<&TargetIndex>,
+    target: &Graph,
+    u: NodeId,
+    v: NodeId,
+    stats: &mut SearchStats,
+) -> bool {
+    match ix {
+        Some(ix) => {
+            ix.has_edge_counted(u, v, &mut stats.edge_probes_bitset, &mut stats.edge_probes_binary)
+        }
+        None => {
+            stats.edge_probes_binary += 1;
+            target.has_edge(u, v)
+        }
     }
 }
 

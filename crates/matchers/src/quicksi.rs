@@ -17,45 +17,67 @@
 
 use crate::budget::{BudgetClock, SearchBudget, StopReason};
 use crate::matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
-use psi_graph::{Graph, Label, NodeId};
+use crate::scratch;
+use psi_graph::{Graph, Label, NodeId, TargetIndex};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 const UNMAPPED: NodeId = NodeId::MAX;
 
-/// QuickSI prepared over a stored graph: label/edge frequency tables (the
-/// "inner support" statistics) plus an inverted label → vertices list.
+/// QuickSI prepared over a stored graph: the edge "inner support"
+/// frequency table (algorithm-specific), with label frequencies and the
+/// inverted label → vertices list read from the shared [`TargetIndex`].
 #[derive(Debug)]
 pub struct QuickSi {
-    target: Arc<Graph>,
-    /// Frequency of each node label in the target.
-    label_freq: HashMap<Label, u32>,
+    index: Arc<TargetIndex>,
     /// Frequency of each unordered label pair over target edges.
     edge_freq: HashMap<(Label, Label), u32>,
-    /// label → sorted vertex list.
-    by_label: HashMap<Label, Vec<NodeId>>,
+    scan: bool,
 }
 
 impl QuickSi {
-    /// Runs QuickSI's indexing phase over the stored graph.
+    /// Runs QuickSI's indexing phase over the stored graph, building a
+    /// private [`TargetIndex`]. Prefer [`QuickSi::with_index`] when
+    /// matchers share one stored graph.
     pub fn prepare(target: Arc<Graph>) -> Self {
-        let mut label_freq: HashMap<Label, u32> = HashMap::new();
-        let mut by_label: HashMap<Label, Vec<NodeId>> = HashMap::new();
-        for v in target.nodes() {
-            *label_freq.entry(target.label(v)).or_insert(0) += 1;
-            by_label.entry(target.label(v)).or_default().push(v);
-        }
+        Self::with_index(Arc::new(TargetIndex::build(target)))
+    }
+
+    /// Indexed constructor path: only the edge-frequency table (QuickSI's
+    /// own inner-support statistic) is computed here; label lists and
+    /// frequencies come from the shared index.
+    pub fn with_index(index: Arc<TargetIndex>) -> Self {
+        let edge_freq = Self::edge_frequencies(index.graph());
+        Self { index, edge_freq, scan: false }
+    }
+
+    /// Legacy scan mode — the seed behavior: binary-search adjacency
+    /// probes and per-query buffer allocation (candidate lists were
+    /// already prepared per matcher in the seed).
+    pub fn prepare_legacy(target: Arc<Graph>) -> Self {
+        Self::legacy_with_index(Arc::new(TargetIndex::build_without_bitset(target)))
+    }
+
+    /// Legacy scan mode over an already-built (bitset-free) index —
+    /// shared by a runner's scan-mode matchers; only the edge-frequency
+    /// table (QuickSI's own statistic) is computed here.
+    pub fn legacy_with_index(index: Arc<TargetIndex>) -> Self {
+        let edge_freq = Self::edge_frequencies(index.graph());
+        Self { index, edge_freq, scan: true }
+    }
+
+    fn edge_frequencies(target: &Graph) -> HashMap<(Label, Label), u32> {
         let mut edge_freq: HashMap<(Label, Label), u32> = HashMap::new();
         for (u, v) in target.edges() {
             let (a, b) = ordered_pair(target.label(u), target.label(v));
             *edge_freq.entry((a, b)).or_insert(0) += 1;
         }
-        Self { target, label_freq, edge_freq, by_label }
+        edge_freq
     }
 
     fn vertex_support(&self, l: Label) -> u32 {
-        self.label_freq.get(&l).copied().unwrap_or(0)
+        self.index.candidates(l).len() as u32
     }
 
     fn edge_support(&self, l1: Label, l2: Label) -> u32 {
@@ -144,10 +166,15 @@ impl Matcher for QuickSi {
     }
 
     fn target(&self) -> &Graph {
-        &self.target
+        self.index.graph()
+    }
+
+    fn index(&self) -> &Arc<TargetIndex> {
+        &self.index
     }
 
     fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult {
+        let target = self.index.graph();
         let start = Instant::now();
         let mut out = MatchResult::empty(StopReason::Complete);
         let mut clock = budget.start();
@@ -162,16 +189,14 @@ impl Matcher for QuickSi {
             out.elapsed = start.elapsed();
             return out;
         }
-        if query.node_count() > self.target.node_count()
-            || query.edge_count() > self.target.edge_count()
-        {
+        if query.node_count() > target.node_count() || query.edge_count() > target.edge_count() {
             out.elapsed = start.elapsed();
             return out;
         }
         let seq = self.build_sequence(query);
         let mut stats = SearchStats::default();
-        let mut assignment = vec![UNMAPPED; query.node_count()];
-        let mut used = vec![false; self.target.node_count()];
+        let mut assignment = scratch::u32_buf(query.node_count(), UNMAPPED, !self.scan);
+        let mut used = scratch::bool_buf(target.node_count(), !self.scan);
         let stop = self.match_step(
             query,
             &seq,
@@ -215,28 +240,28 @@ impl QuickSi {
             found.push(assignment.to_vec());
             return None;
         }
+        let target = self.index.graph();
+        let ix = (!self.scan).then_some(&*self.index);
         let (qv, parent) = seq[depth];
         let qlabel = query.label(qv);
         let qdeg = query.degree(qv);
 
-        // Candidate source: parent image's neighborhood, or label list for
-        // component roots.
-        let empty: Vec<NodeId> = Vec::new();
+        // Candidate source: parent image's neighborhood, or the shared
+        // index's label list for component roots.
         let candidates: &[NodeId] = match parent {
             Some(pp) => {
                 let pimg = assignment[seq[pp].0 as usize];
                 debug_assert_ne!(pimg, UNMAPPED);
-                self.target.neighbors(pimg)
+                target.neighbors(pimg)
             }
-            None => self.by_label.get(&qlabel).map_or(&empty[..], |v| &v[..]),
+            None => self.index.candidates(qlabel),
         };
 
         for &tv in candidates {
             if let Some(r) = clock.tick() {
                 return Some(r);
             }
-            if used[tv as usize] || self.target.label(tv) != qlabel || self.target.degree(tv) < qdeg
-            {
+            if used[tv as usize] || target.label(tv) != qlabel || self.index.degree(tv) < qdeg {
                 continue;
             }
             stats.nodes_expanded += 1;
@@ -247,9 +272,9 @@ impl QuickSi {
                 if tn == UNMAPPED {
                     return true;
                 }
-                self.target.has_edge(tn, tv)
+                crate::matcher::probe_edge(ix, target, tn, tv, stats)
                     && (!query.has_edge_labels()
-                        || query.edge_label(qv, qn) == self.target.edge_label(tv, tn))
+                        || query.edge_label(qv, qn) == target.edge_label(tv, tn))
             });
             if !ok {
                 stats.candidates_pruned += 1;

@@ -28,7 +28,8 @@
 
 use crate::budget::{BudgetClock, SearchBudget, StopReason};
 use crate::matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
-use psi_graph::{Graph, Label, NodeId};
+use crate::scratch;
+use psi_graph::{Graph, Label, NodeId, TargetIndex};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,20 +46,23 @@ pub const DEFAULT_MAX_PATH_LEN: usize = 4;
 /// `(label, count-of-nodes-within-distance-d)` pairs.
 type DistanceSignature = Vec<Vec<(Label, u32)>>;
 
-/// sPath prepared over a stored graph.
+/// sPath prepared over a stored graph: the distance-wise signatures are
+/// sPath's own (radius-parameterized) index; label lists, degrees and
+/// adjacency probes come from the shared [`TargetIndex`].
 #[derive(Debug)]
 pub struct SPath {
-    target: Arc<Graph>,
+    index: Arc<TargetIndex>,
     /// Per-node cumulative distance-wise signatures.
     signatures: Vec<DistanceSignature>,
-    /// label → sorted vertex list.
-    by_label: HashMap<Label, Vec<NodeId>>,
     radius: usize,
     max_path_len: usize,
+    scan: bool,
 }
 
 impl SPath {
-    /// Indexing phase with paper-default radius (4) and path length (4).
+    /// Indexing phase with paper-default radius (4) and path length (4),
+    /// building a private [`TargetIndex`]. Prefer [`SPath::with_index`]
+    /// when matchers share one stored graph.
     pub fn prepare(target: Arc<Graph>) -> Self {
         Self::with_params(target, DEFAULT_RADIUS, DEFAULT_MAX_PATH_LEN)
     }
@@ -66,16 +70,37 @@ impl SPath {
     /// Indexing phase with explicit neighborhood radius and maximum
     /// decomposition path length.
     pub fn with_params(target: Arc<Graph>, radius: usize, max_path_len: usize) -> Self {
+        Self::build(Arc::new(TargetIndex::build(target)), radius, max_path_len, false)
+    }
+
+    /// Indexed constructor path with paper-default parameters: only the
+    /// distance-wise signatures (sPath's own structure) are computed
+    /// here; label lists and adjacency come from the shared index.
+    pub fn with_index(index: Arc<TargetIndex>) -> Self {
+        Self::build(index, DEFAULT_RADIUS, DEFAULT_MAX_PATH_LEN, false)
+    }
+
+    /// Legacy scan mode — the seed behavior: binary-search adjacency
+    /// probes and per-query buffer allocation.
+    pub fn prepare_legacy(target: Arc<Graph>) -> Self {
+        Self::legacy_with_index(Arc::new(TargetIndex::build_without_bitset(target)))
+    }
+
+    /// Legacy scan mode over an already-built (bitset-free) index —
+    /// shared by a runner's scan-mode matchers; only the distance-wise
+    /// signatures (sPath's own structure) are computed here.
+    pub fn legacy_with_index(index: Arc<TargetIndex>) -> Self {
+        Self::build(index, DEFAULT_RADIUS, DEFAULT_MAX_PATH_LEN, true)
+    }
+
+    fn build(index: Arc<TargetIndex>, radius: usize, max_path_len: usize, scan: bool) -> Self {
         assert!(radius >= 1, "radius must be at least 1");
         assert!(max_path_len >= 1, "path length must be at least 1");
+        let target = index.graph();
         let signatures = (0..target.node_count() as NodeId)
-            .map(|v| distance_signature(&target, v, radius))
+            .map(|v| distance_signature(target, v, radius))
             .collect();
-        let mut by_label: HashMap<Label, Vec<NodeId>> = HashMap::new();
-        for v in target.nodes() {
-            by_label.entry(target.label(v)).or_default().push(v);
-        }
-        Self { target, signatures, by_label, radius, max_path_len }
+        Self { index, signatures, radius, max_path_len, scan }
     }
 
     /// The configured neighborhood radius.
@@ -91,18 +116,18 @@ impl SPath {
         query: &Graph,
         clock: &mut BudgetClock<'_>,
     ) -> Result<Vec<Vec<NodeId>>, StopReason> {
+        let ix = &*self.index;
         let qsigs: Vec<DistanceSignature> = (0..query.node_count() as NodeId)
             .map(|u| distance_signature(query, u, self.radius))
             .collect();
-        let empty = Vec::new();
         let mut out = Vec::with_capacity(query.node_count());
         for u in 0..query.node_count() as NodeId {
             let mut cands = Vec::new();
-            for &v in self.by_label.get(&query.label(u)).unwrap_or(&empty) {
+            for &v in ix.candidates(query.label(u)) {
                 if let Some(r) = clock.tick() {
                     return Err(r);
                 }
-                if query.degree(u) <= self.target.degree(v)
+                if query.degree(u) <= ix.degree(v)
                     && signature_fits(&qsigs[u as usize], &self.signatures[v as usize])
                 {
                     cands.push(v);
@@ -247,10 +272,15 @@ impl Matcher for SPath {
     }
 
     fn target(&self) -> &Graph {
-        &self.target
+        self.index.graph()
+    }
+
+    fn index(&self) -> &Arc<TargetIndex> {
+        &self.index
     }
 
     fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult {
+        let target = self.index.graph();
         let start = Instant::now();
         let mut out = MatchResult::empty(StopReason::Complete);
         let mut clock = budget.start();
@@ -265,9 +295,7 @@ impl Matcher for SPath {
             out.elapsed = start.elapsed();
             return out;
         }
-        if query.node_count() > self.target.node_count()
-            || query.edge_count() > self.target.edge_count()
-        {
+        if query.node_count() > target.node_count() || query.edge_count() > target.edge_count() {
             out.elapsed = start.elapsed();
             return out;
         }
@@ -288,8 +316,8 @@ impl Matcher for SPath {
         }
         let order = self.path_order(query, &cands);
         debug_assert_eq!(order.len(), query.node_count());
-        let mut assignment = vec![UNMAPPED; query.node_count()];
-        let mut used = vec![false; self.target.node_count()];
+        let mut assignment = scratch::u32_buf(query.node_count(), UNMAPPED, !self.scan);
+        let mut used = scratch::bool_buf(target.node_count(), !self.scan);
         let stop = self.verify(
             query,
             &order,
@@ -337,6 +365,8 @@ impl SPath {
             return None;
         }
         let qv = order[depth];
+        let target = self.index.graph();
+        let ix = (!self.scan).then_some(&*self.index);
         // Prefer extending through a bound neighbor's adjacency when
         // available (path traversal); otherwise use the candidate list.
         let bound_neighbor =
@@ -345,7 +375,7 @@ impl SPath {
         let from_cands: &[NodeId];
         match bound_neighbor {
             Some(qn) => {
-                from_neighbors = self.target.neighbors(assignment[qn as usize]);
+                from_neighbors = target.neighbors(assignment[qn as usize]);
                 from_cands = &[];
             }
             None => {
@@ -370,9 +400,9 @@ impl SPath {
                 if tn == UNMAPPED {
                     return true;
                 }
-                self.target.has_edge(tn, tv)
+                crate::matcher::probe_edge(ix, target, tn, tv, stats)
                     && (!query.has_edge_labels()
-                        || query.edge_label(qv, qn) == self.target.edge_label(tv, tn))
+                        || query.edge_label(qv, qn) == target.edge_label(tv, tn))
             });
             if !ok {
                 stats.candidates_pruned += 1;

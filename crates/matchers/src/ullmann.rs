@@ -11,20 +11,44 @@
 
 use crate::budget::{BudgetClock, SearchBudget, StopReason};
 use crate::matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
-use psi_graph::{Graph, NodeId};
+use crate::scratch;
+use psi_graph::{Graph, NodeId, TargetIndex};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Ullmann prepared over a stored graph (no preprocessing needed).
+/// Ullmann prepared over a stored graph. An indexed instance seeds its
+/// candidate matrix from the shared [`TargetIndex`]'s label lists
+/// instead of scanning the full `nq × nt` label matrix per query.
 #[derive(Debug, Clone)]
 pub struct Ullmann {
-    target: Arc<Graph>,
+    index: Arc<TargetIndex>,
+    scan: bool,
 }
 
 impl Ullmann {
-    /// Wraps a stored graph.
+    /// Wraps a stored graph, building a private [`TargetIndex`]. Prefer
+    /// [`Ullmann::with_index`] when matchers share one stored graph.
     pub fn prepare(target: Arc<Graph>) -> Self {
-        Self { target }
+        Self::with_index(Arc::new(TargetIndex::build(target)))
+    }
+
+    /// Indexed constructor path: shares an already-built [`TargetIndex`].
+    pub fn with_index(index: Arc<TargetIndex>) -> Self {
+        Self { index, scan: false }
+    }
+
+    /// Legacy scan mode — the seed behavior: the candidate matrix is
+    /// seeded by a full `nq × nt` label/degree scan and adjacency probes
+    /// binary-search the CSR.
+    pub fn prepare_legacy(target: Arc<Graph>) -> Self {
+        Self::legacy_with_index(Arc::new(TargetIndex::build_without_bitset(target)))
+    }
+
+    /// Legacy scan mode over an already-built (bitset-free) index —
+    /// shared by a runner's scan-mode matchers; Ullmann ignores the
+    /// derived structures and only reads the graph handle.
+    pub fn legacy_with_index(index: Arc<TargetIndex>) -> Self {
+        Self { index, scan: true }
     }
 }
 
@@ -34,26 +58,31 @@ impl Matcher for Ullmann {
     }
 
     fn target(&self) -> &Graph {
-        &self.target
+        self.index.graph()
+    }
+
+    fn index(&self) -> &Arc<TargetIndex> {
+        &self.index
     }
 
     fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult {
-        ullmann_search(query, &self.target, budget)
+        let ix = (!self.scan).then_some(&*self.index);
+        search_inner(query, self.index.graph(), ix, !self.scan, budget)
     }
 }
 
 /// Candidate matrix: row per query node, dense bit-less boolean per target
 /// node. Query/target sizes in this workload are small enough that a
 /// `Vec<bool>` row beats bit-twiddling in clarity at negligible cost.
-#[derive(Clone)]
+/// Indexed searches draw the storage from the per-worker scratch pool.
 struct Matrix {
     cols: usize,
-    data: Vec<bool>,
+    data: scratch::BoolBuf,
 }
 
 impl Matrix {
-    fn new(rows: usize, cols: usize) -> Self {
-        Self { cols, data: vec![false; rows * cols] }
+    fn new(rows: usize, cols: usize, pooled: bool) -> Self {
+        Self { cols, data: scratch::bool_buf(rows * cols, pooled) }
     }
 
     #[inline]
@@ -71,8 +100,19 @@ impl Matrix {
     }
 }
 
-/// Runs Ullmann on a (query, target) pair.
+/// Runs Ullmann on a (query, target) pair — the index-free scan
+/// implementation (the seed behavior).
 pub fn ullmann_search(query: &Graph, target: &Graph, budget: &SearchBudget) -> MatchResult {
+    search_inner(query, target, None, false, budget)
+}
+
+fn search_inner(
+    query: &Graph,
+    target: &Graph,
+    ix: Option<&TargetIndex>,
+    pooled: bool,
+    budget: &SearchBudget,
+) -> MatchResult {
     let start = Instant::now();
     let mut out = MatchResult::empty(StopReason::Complete);
     let mut clock = budget.start();
@@ -96,15 +136,32 @@ pub fn ullmann_search(query: &Graph, target: &Graph, budget: &SearchBudget) -> M
 
     // Seed matrix: label equality + degree feasibility (non-induced, so
     // deg(q) <= deg(t)).
-    let mut m = Matrix::new(nq, nt);
-    for q in 0..nq {
-        for t in 0..nt {
-            m.set(
-                q,
-                t,
-                query.label(q as NodeId) == target.label(t as NodeId)
-                    && query.degree(q as NodeId) <= target.degree(t as NodeId),
-            );
+    let mut m = Matrix::new(nq, nt, pooled);
+    match ix {
+        // Indexed: only the label's candidate list is visited — the
+        // seeded membership is identical to the scan, without the
+        // `nq × nt` label scan per query.
+        Some(ix) => {
+            for q in 0..nq {
+                let qdeg = query.degree(q as NodeId);
+                for &t in ix.candidates(query.label(q as NodeId)) {
+                    if qdeg <= ix.degree(t) {
+                        m.set(q, t as usize, true);
+                    }
+                }
+            }
+        }
+        None => {
+            for q in 0..nq {
+                for t in 0..nt {
+                    m.set(
+                        q,
+                        t,
+                        query.label(q as NodeId) == target.label(t as NodeId)
+                            && query.degree(q as NodeId) <= target.degree(t as NodeId),
+                    );
+                }
+            }
         }
     }
 
@@ -115,11 +172,12 @@ pub fn ullmann_search(query: &Graph, target: &Graph, budget: &SearchBudget) -> M
         return out;
     }
 
-    let mut assignment: Vec<NodeId> = vec![0; nq];
-    let mut used = vec![false; nt];
+    let mut assignment = scratch::u32_buf(nq, 0, pooled);
+    let mut used = scratch::bool_buf(nt, pooled);
     let stop = backtrack(
         query,
         target,
+        ix,
         0,
         &m,
         &mut assignment,
@@ -177,6 +235,7 @@ fn refine(query: &Graph, target: &Graph, m: &mut Matrix, stats: &mut SearchStats
 fn backtrack(
     query: &Graph,
     target: &Graph,
+    ix: Option<&TargetIndex>,
     depth: usize,
     m: &Matrix,
     assignment: &mut [NodeId],
@@ -204,7 +263,7 @@ fn backtrack(
         let ok = query.neighbors(qv).iter().all(|&qn| {
             if qn < qv {
                 let tn = assignment[qn as usize];
-                target.has_edge(tn, tv)
+                crate::matcher::probe_edge(ix, target, tn, tv, stats)
                     && (!query.has_edge_labels()
                         || query.edge_label(qv, qn) == target.edge_label(tv, tn))
             } else {
@@ -220,6 +279,7 @@ fn backtrack(
         let r = backtrack(
             query,
             target,
+            ix,
             depth + 1,
             m,
             assignment,

@@ -23,23 +23,47 @@
 
 use crate::budget::{BudgetClock, SearchBudget, StopReason};
 use crate::matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
-use psi_graph::{Graph, NodeId};
+use crate::scratch;
+use psi_graph::{Graph, NodeId, TargetIndex};
 use std::sync::Arc;
 use std::time::Instant;
 
 const UNMAPPED: NodeId = NodeId::MAX;
 
-/// VF2 prepared over a stored graph. VF2 needs no index, so preparation is
-/// free; the struct simply pins the target.
+/// VF2 prepared over a stored graph. VF2 itself needs no algorithm-
+/// specific preprocessing; an indexed instance probes the shared
+/// [`TargetIndex`] for root candidates and adjacency.
 #[derive(Debug, Clone)]
 pub struct Vf2 {
-    target: Arc<Graph>,
+    index: Arc<TargetIndex>,
+    scan: bool,
 }
 
 impl Vf2 {
-    /// Wraps a stored graph. No preprocessing (VF2 is index-free).
+    /// Wraps a stored graph, building a private [`TargetIndex`]. Prefer
+    /// [`Vf2::with_index`] when several matchers share one stored graph.
     pub fn prepare(target: Arc<Graph>) -> Self {
-        Self { target }
+        Self::with_index(Arc::new(TargetIndex::build(target)))
+    }
+
+    /// Indexed constructor path: shares an already-built [`TargetIndex`].
+    pub fn with_index(index: Arc<TargetIndex>) -> Self {
+        Self { index, scan: false }
+    }
+
+    /// Legacy scan mode — the seed behavior: root candidates scan every
+    /// target node, adjacency probes binary-search the CSR, buffers are
+    /// freshly allocated per search.
+    pub fn prepare_legacy(target: Arc<Graph>) -> Self {
+        Self::legacy_with_index(Arc::new(TargetIndex::build_without_bitset(target)))
+    }
+
+    /// Legacy scan mode over an already-built (bitset-free) index —
+    /// lets a runner share one index across all its scan-mode matchers
+    /// instead of building one per algorithm. VF2 ignores the derived
+    /// structures either way; only the graph handle is read.
+    pub fn legacy_with_index(index: Arc<TargetIndex>) -> Self {
+        Self { index, scan: true }
     }
 }
 
@@ -49,18 +73,33 @@ impl Matcher for Vf2 {
     }
 
     fn target(&self) -> &Graph {
-        &self.target
+        self.index.graph()
+    }
+
+    fn index(&self) -> &Arc<TargetIndex> {
+        &self.index
     }
 
     fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult {
-        vf2_search(query, &self.target, budget)
+        let ix = (!self.scan).then_some(&*self.index);
+        search_inner(query, self.index.graph(), ix, !self.scan, budget)
     }
 }
 
 /// Runs VF2 directly on a (query, target) pair without constructing a
 /// [`Vf2`] value. The FTV systems call this per candidate graph / extracted
-/// component.
+/// component; it is the index-free scan implementation.
 pub fn vf2_search(query: &Graph, target: &Graph, budget: &SearchBudget) -> MatchResult {
+    search_inner(query, target, None, false, budget)
+}
+
+fn search_inner(
+    query: &Graph,
+    target: &Graph,
+    ix: Option<&TargetIndex>,
+    pooled: bool,
+    budget: &SearchBudget,
+) -> MatchResult {
     let start = Instant::now();
     let mut out = MatchResult::empty(StopReason::Complete);
     let mut clock = budget.start();
@@ -80,7 +119,7 @@ pub fn vf2_search(query: &Graph, target: &Graph, budget: &SearchBudget) -> Match
         return out;
     }
 
-    let mut st = State::new(query, target);
+    let mut st = State::new(query, target, ix, pooled);
     let stop = st.grow(0, &mut clock, &mut out.embeddings, budget.max_matches);
     out.num_matches = out.embeddings.len();
     out.stop = match stop {
@@ -98,29 +137,39 @@ pub fn vf2_search(query: &Graph, target: &Graph, budget: &SearchBudget) -> Match
 struct State<'a> {
     q: &'a Graph,
     t: &'a Graph,
+    /// The shared target index; `None` runs the scan-mode seed paths.
+    ix: Option<&'a TargetIndex>,
     /// query → target mapping (UNMAPPED if free).
-    core_q: Vec<NodeId>,
+    core_q: scratch::U32Buf,
     /// target → query mapping (UNMAPPED if free).
-    core_t: Vec<NodeId>,
+    core_t: scratch::U32Buf,
     /// Depth (1-based) at which a query node entered the terminal region;
     /// 0 = not in it. Matched nodes also carry their entry depth.
-    tin_q: Vec<u32>,
+    tin_q: scratch::U32Buf,
     /// Ditto for target nodes.
-    tin_t: Vec<u32>,
+    tin_t: scratch::U32Buf,
     stats: SearchStats,
 }
 
 impl<'a> State<'a> {
-    fn new(q: &'a Graph, t: &'a Graph) -> Self {
+    fn new(q: &'a Graph, t: &'a Graph, ix: Option<&'a TargetIndex>, pooled: bool) -> Self {
         Self {
             q,
             t,
-            core_q: vec![UNMAPPED; q.node_count()],
-            core_t: vec![UNMAPPED; t.node_count()],
-            tin_q: vec![0; q.node_count()],
-            tin_t: vec![0; t.node_count()],
+            ix,
+            core_q: scratch::u32_buf(q.node_count(), UNMAPPED, pooled),
+            core_t: scratch::u32_buf(t.node_count(), UNMAPPED, pooled),
+            tin_q: scratch::u32_buf(q.node_count(), 0, pooled),
+            tin_t: scratch::u32_buf(t.node_count(), 0, pooled),
             stats: SearchStats::default(),
         }
+    }
+
+    /// Adjacency probe through the index (bitset fast path + counting)
+    /// or the CSR binary search in scan mode.
+    #[inline]
+    fn probe_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        crate::matcher::probe_edge(self.ix, self.t, u, v, &mut self.stats)
     }
 
     /// Picks the next query vertex: the lowest-ID unmatched vertex in the
@@ -146,10 +195,11 @@ impl<'a> State<'a> {
     fn feasible(&mut self, qv: NodeId, tv: NodeId) -> bool {
         // Rule 1: every matched query-neighbor's image must be adjacent,
         // with a matching edge label.
-        for &qn in self.q.neighbors(qv) {
+        for i in 0..self.q.neighbors(qv).len() {
+            let qn = self.q.neighbors(qv)[i];
             let img = self.core_q[qn as usize];
             if img != UNMAPPED {
-                if !self.t.has_edge(img, tv) {
+                if !self.probe_edge(img, tv) {
                     return false;
                 }
                 if self.q.has_edge_labels()
@@ -230,7 +280,7 @@ impl<'a> State<'a> {
         max_matches: usize,
     ) -> Option<StopReason> {
         if matched == self.q.node_count() {
-            found.push(self.core_q.clone());
+            found.push(self.core_q.to_vec());
             return None;
         }
         let depth = matched as u32 + 1;
@@ -287,11 +337,23 @@ impl<'a> State<'a> {
                     try_candidate!(tv);
                 }
             }
-            None => {
-                for tv in 0..self.t.node_count() as NodeId {
-                    try_candidate!(tv);
+            None => match self.ix {
+                // Indexed: only vertices carrying the query label can
+                // match — same visit order (IDs ascending), no full scan.
+                Some(ix) => {
+                    // `cands` borrows the index (lifetime 'a), not
+                    // `self`, so the macro's `&mut self` calls are fine.
+                    for &tv in ix.candidates(qlabel) {
+                        try_candidate!(tv);
+                    }
                 }
-            }
+                // Scan mode (seed behavior): every target vertex.
+                None => {
+                    for tv in 0..self.t.node_count() as NodeId {
+                        try_candidate!(tv);
+                    }
+                }
+            },
         }
         None
     }

@@ -1,0 +1,131 @@
+//! Indexed-vs-legacy matcher equivalence: for random graph/query pairs,
+//! every matcher prepared over the shared [`TargetIndex`] must return
+//! the same verdict (and the same embeddings, all valid) as the seed
+//! scan-based implementation — including under budgets that cap the
+//! match count or time out mid-search. The index is an *acceleration*
+//! structure; any observable divergence is a bug.
+//!
+//! The indexed paths deliberately enumerate candidates in the same
+//! order as the seed scans (label lists sorted by node ID = the ID scan
+//! filtered by label), so even budget-truncated searches must produce
+//! identical embedding sequences; only wall-clock timeouts, which cut
+//! the two searches at machine-dependent points, are compared verdict-
+//! only.
+
+use proptest::prelude::*;
+use psi_graph::generate::{random_connected_graph, LabelDist};
+use psi_graph::{Graph, TargetIndex};
+use psi_matchers::matcher::is_valid_embedding;
+use psi_matchers::{bruteforce, Algorithm, SearchBudget, StopReason};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ALGORITHMS: [Algorithm; 5] =
+    [Algorithm::Vf2, Algorithm::Ullmann, Algorithm::QuickSi, Algorithm::GraphQl, Algorithm::SPath];
+
+fn pair(seed: u64) -> (Graph, Graph) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+    let target = random_connected_graph(18, 34, &labels, &mut rng);
+    let query = random_connected_graph(5, 6, &labels, &mut rng);
+    (query, target)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Unlimited budget: identical embedding sequences, matching the
+    /// brute-force ground truth verdict, all embeddings valid. One
+    /// shared index serves all five matchers.
+    #[test]
+    fn prop_indexed_matchers_equal_legacy_scan(seed in 0u64..100_000) {
+        let (query, target) = pair(seed);
+        let stored = Arc::new(target.clone());
+        let index = Arc::new(TargetIndex::build(Arc::clone(&stored)));
+        let truth = bruteforce::contains(&query, &target);
+        for alg in ALGORITHMS {
+            let indexed = alg.prepare_indexed(Arc::clone(&index));
+            let legacy = alg.prepare_legacy(Arc::clone(&stored));
+            let budget = SearchBudget::unlimited();
+            let got = indexed.search(&query, &budget);
+            let want = legacy.search(&query, &budget);
+            prop_assert_eq!(got.stop, want.stop, "{} stop reason", alg);
+            prop_assert_eq!(&got.embeddings, &want.embeddings, "{} embeddings", alg);
+            prop_assert_eq!(got.found(), truth, "{} vs brute force", alg);
+            for e in &got.embeddings {
+                prop_assert!(is_valid_embedding(&query, &target, e), "{} embedding", alg);
+            }
+        }
+    }
+
+    /// Match-limit budgets truncate both searches at the same point:
+    /// the embedding sequences stay identical, not just the verdicts.
+    #[test]
+    fn prop_equivalence_under_match_caps(seed in 0u64..100_000, cap in 1usize..6) {
+        let (query, target) = pair(seed);
+        let stored = Arc::new(target.clone());
+        let index = Arc::new(TargetIndex::build(Arc::clone(&stored)));
+        for alg in ALGORITHMS {
+            let indexed = alg.prepare_indexed(Arc::clone(&index));
+            let legacy = alg.prepare_legacy(Arc::clone(&stored));
+            let budget = SearchBudget::with_max_matches(cap);
+            let got = indexed.search(&query, &budget);
+            let want = legacy.search(&query, &budget);
+            prop_assert_eq!(got.stop, want.stop, "{} stop under cap {}", alg, cap);
+            prop_assert_eq!(&got.embeddings, &want.embeddings, "{} embeddings cap {}", alg, cap);
+            for e in &got.embeddings {
+                prop_assert!(is_valid_embedding(&query, &target, e), "{} embedding", alg);
+            }
+        }
+    }
+
+    /// Budgets that time out mid-search: the cut points are machine-
+    /// dependent, so only *conclusive* results are comparable — and when
+    /// both sides conclude, the verdicts must agree. Every embedding
+    /// either side reports must still be valid.
+    #[test]
+    fn prop_equivalence_under_timeouts(seed in 0u64..100_000, micros in 0u64..300) {
+        let (query, target) = pair(seed);
+        let stored = Arc::new(target.clone());
+        let index = Arc::new(TargetIndex::build(Arc::clone(&stored)));
+        for alg in ALGORITHMS {
+            let indexed = alg.prepare_indexed(Arc::clone(&index));
+            let legacy = alg.prepare_legacy(Arc::clone(&stored));
+            let budget = SearchBudget::unlimited().timeout(Duration::from_micros(micros));
+            let got = indexed.search(&query, &budget);
+            let want = legacy.search(&query, &budget);
+            for (label, r) in [("indexed", &got), ("legacy", &want)] {
+                prop_assert!(
+                    r.stop == StopReason::TimedOut || r.stop == StopReason::Complete,
+                    "{} {} unexpected stop {:?}", alg, label, r.stop
+                );
+                for e in &r.embeddings {
+                    prop_assert!(is_valid_embedding(&query, &target, e), "{} {}", alg, label);
+                }
+            }
+            if got.is_conclusive() && want.is_conclusive() {
+                prop_assert_eq!(got.found(), want.found(), "{} conclusive verdicts", alg);
+            }
+        }
+    }
+}
+
+/// An already-expired deadline stops both modes before any search work.
+#[test]
+fn expired_deadline_is_equivalent() {
+    let (query, target) = pair(7);
+    let stored = Arc::new(target);
+    let index = Arc::new(TargetIndex::build(Arc::clone(&stored)));
+    let budget =
+        SearchBudget::unlimited().deadline_at(std::time::Instant::now() - Duration::from_millis(1));
+    for alg in ALGORITHMS {
+        let got = alg.prepare_indexed(Arc::clone(&index)).search(&query, &budget);
+        let want = alg.prepare_legacy(Arc::clone(&stored)).search(&query, &budget);
+        assert_eq!(got.stop, StopReason::TimedOut, "{alg}");
+        assert_eq!(want.stop, StopReason::TimedOut, "{alg}");
+        assert_eq!(got.num_matches, 0);
+        assert_eq!(want.num_matches, 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Saturated-pool comparison of the shared [`psi_graph::TargetIndex`]
+//! against the legacy per-query scan paths: the same multi-graph
+//! workload, replayed as concurrent traffic against two registries that
+//! differ only in how their matchers were prepared.
+//!
+//! The indexed registry's runners share one `TargetIndex` per stored
+//! graph (label candidate lists, degree array, neighborhood signatures
+//! with bit-masks, dense adjacency bitset, pooled scratch buffers); the
+//! legacy registry's runners use the seed scan behavior (per-query
+//! candidate rescans, binary-search adjacency probes, per-query
+//! allocations). Both serve identical traffic with caches and the fast
+//! path off, so every request really races — the qps ratio is the CI
+//! bench artifact's `indexed_speedup` metric.
+
+use crate::multi::{submit_batch_multi, MultiWorkload, MultiWorkloadSpec};
+use psi_core::{PsiConfig, PsiRunner, RaceBudget};
+use psi_engine::{EngineConfig, GraphId, MultiEngine, MultiEngineConfig};
+use psi_graph::Graph;
+use std::sync::Arc;
+
+/// Outcome of one indexed-vs-legacy saturated-pool measurement.
+#[derive(Debug, Clone)]
+pub struct IndexComparison {
+    /// Throughput with shared-[`psi_graph::TargetIndex`] matchers,
+    /// queries/second.
+    pub indexed_qps: f64,
+    /// Throughput with the legacy scan-mode matchers, queries/second.
+    pub legacy_qps: f64,
+    /// `indexed_qps / legacy_qps` (0 when the legacy run measured 0).
+    pub speedup: f64,
+    /// Total index build cost across the indexed registry's graphs,
+    /// microseconds — the one-time price of registration.
+    pub index_build_us: u64,
+    /// Adjacency probes the indexed registry answered from the dense
+    /// bitset during the measured pass.
+    pub edge_probes_bitset: u64,
+    /// Adjacency probes the indexed registry fell back to binary search
+    /// for (graphs too large for a bitset).
+    pub edge_probes_binary: u64,
+}
+
+/// Shape of a [`compare_index_modes`] measurement.
+#[derive(Debug, Clone)]
+pub struct IndexCmpSpec {
+    /// The multi-graph workload both registries serve.
+    pub workload: MultiWorkloadSpec,
+    /// The variant field every race runs.
+    pub config: PsiConfig,
+    /// Pool workers per registry.
+    pub workers: usize,
+    /// Concurrent client threads replaying the traffic; should exceed
+    /// `workers` so the pool saturates.
+    pub clients: usize,
+    /// Race budget applied to every query (matching-style budgets keep
+    /// entrants in their inner search loops, where the index pays).
+    pub budget: RaceBudget,
+    /// Measurement passes per registry; each keeps its best pass.
+    pub passes: usize,
+}
+
+impl Default for IndexCmpSpec {
+    fn default() -> Self {
+        Self {
+            workload: MultiWorkloadSpec::default(),
+            config: PsiConfig::gql_spa_orig_dnd(),
+            workers: 4,
+            clients: 8,
+            budget: RaceBudget::with_max_matches(64),
+            passes: 2,
+        }
+    }
+}
+
+fn race_only_registry(
+    graphs: &[Arc<Graph>],
+    spec: &IndexCmpSpec,
+    indexed: bool,
+) -> (MultiEngine, Vec<GraphId>) {
+    let multi = MultiEngine::new(MultiEngineConfig {
+        workers: spec.workers,
+        max_concurrent_races: spec.workers.max(spec.clients),
+        tenant: EngineConfig {
+            // Isolate the racing path: no result cache, no fast path —
+            // every submission really races in the configured mode.
+            cache_capacity: 0,
+            predictor_confidence: 2.0,
+            default_budget: spec.budget.clone(),
+            ..EngineConfig::default()
+        },
+    });
+    let ids = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let runner = if indexed {
+                PsiRunner::new(Arc::clone(g), spec.config.clone())
+            } else {
+                PsiRunner::new_legacy_scan(Arc::clone(g), spec.config.clone())
+            };
+            multi.register(format!("idxcmp-{i}"), runner).expect("unique name")
+        })
+        .collect();
+    (multi, ids)
+}
+
+/// Measures saturated-pool throughput of the same multi-graph traffic
+/// against an indexed and a legacy scan-mode registry, returning both
+/// qps numbers plus the indexed registry's index-build cost and probe
+/// breakdown. Passes alternate in palindromic order (i l | l i) so a
+/// throttling host cannot hand either mode a systematic edge.
+pub fn compare_index_modes(spec: &IndexCmpSpec, seed: u64) -> IndexComparison {
+    let workload = MultiWorkload::generate(&spec.workload, seed);
+    let (indexed, indexed_ids) = race_only_registry(&workload.graphs, spec, true);
+    let (legacy, legacy_ids) = race_only_registry(&workload.graphs, spec, false);
+    let route = |ids: &[GraphId]| -> Vec<(GraphId, Graph)> {
+        workload.traffic.iter().map(|(g, q)| (ids[*g], q.clone())).collect()
+    };
+    let indexed_traffic = route(&indexed_ids);
+    let legacy_traffic = route(&legacy_ids);
+
+    let mut indexed_qps = 0.0f64;
+    let mut legacy_qps = 0.0f64;
+    for pass in 0..spec.passes.max(1) {
+        let (first, second) = if pass % 2 == 0 { (true, false) } else { (false, true) };
+        for indexed_turn in [first, second] {
+            if indexed_turn {
+                indexed_qps = indexed_qps
+                    .max(submit_batch_multi(&indexed, &indexed_traffic, spec.clients).qps);
+            } else {
+                legacy_qps =
+                    legacy_qps.max(submit_batch_multi(&legacy, &legacy_traffic, spec.clients).qps);
+            }
+        }
+    }
+
+    let stats = indexed.stats();
+    IndexComparison {
+        indexed_qps,
+        legacy_qps,
+        speedup: if legacy_qps > 0.0 { indexed_qps / legacy_qps } else { 0.0 },
+        index_build_us: stats.index_build_us,
+        edge_probes_bitset: stats.edge_probes_bitset,
+        edge_probes_binary: stats.edge_probes_binary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_measures_both_modes() {
+        let spec = IndexCmpSpec {
+            workload: MultiWorkloadSpec {
+                graphs: 2,
+                total_queries: 40,
+                distinct_per_graph: 8,
+                ..MultiWorkloadSpec::default()
+            },
+            workers: 2,
+            clients: 4,
+            passes: 1,
+            ..IndexCmpSpec::default()
+        };
+        let cmp = compare_index_modes(&spec, 99);
+        assert!(cmp.indexed_qps > 0.0);
+        assert!(cmp.legacy_qps > 0.0);
+        assert!(cmp.speedup > 0.0);
+        assert!(cmp.index_build_us > 0, "registration built real indexes");
+        assert!(
+            cmp.edge_probes_bitset > 0,
+            "small stored graphs must be served through the bitset: {cmp:?}"
+        );
+    }
+}

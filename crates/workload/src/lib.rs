@@ -31,10 +31,14 @@
 //! * [`strategy`] — saturated-pool comparison of race strategies
 //!   (full-field vs adaptive top-K with staged escalation), feeding the
 //!   CI bench artifact's `topk_qps` trail.
+//! * [`index_cmp`] — saturated-pool comparison of the shared per-graph
+//!   `TargetIndex` against the legacy scan paths, feeding the CI bench
+//!   artifact's `indexed_speedup` trail.
 
 pub mod async_batch;
 pub mod batch;
 pub mod classify;
+pub mod index_cmp;
 pub mod metrics;
 pub mod multi;
 pub mod query_gen;
@@ -44,6 +48,7 @@ pub mod strategy;
 pub use async_batch::{submit_batch_async, AsyncBatchReport};
 pub use batch::{submit_batch, BatchReport};
 pub use classify::{CapConfig, Class, ClassBreakdown};
+pub use index_cmp::{compare_index_modes, IndexCmpSpec, IndexComparison};
 pub use metrics::{qla, speedup_star, wla, SummaryStats};
 pub use multi::{
     submit_batch_multi, GraphBatchStats, MultiBatchReport, MultiWorkload, MultiWorkloadSpec,

@@ -92,13 +92,23 @@ fn main() {
     assert_eq!(warm.cache_hits, traffic.len(), "warm replay must be all partition hits");
 
     println!("\nper-graph serving stats (skewed traffic, one shared pool):");
-    println!("  {:<10} {:>8} {:>8} {:>8} {:>12}", "graph", "queries", "races", "hits", "p50");
+    println!(
+        "  {:<10} {:>8} {:>8} {:>8} {:>12} {:>9} {:>10} {:>10}",
+        "graph", "queries", "races", "hits", "p50", "index µs", "bitset", "binary"
+    );
     for &id in &ids {
         let s = multi.graph_stats(id).expect("registered");
         let name = multi.registry().name(id).expect("registered");
         println!(
-            "  {:<10} {:>8} {:>8} {:>8} {:>12?}",
-            name, s.queries, s.races, s.cache_hits, s.latency_p50
+            "  {:<10} {:>8} {:>8} {:>8} {:>12?} {:>9} {:>10} {:>10}",
+            name,
+            s.queries,
+            s.races,
+            s.cache_hits,
+            s.latency_p50,
+            s.index_build_us,
+            s.edge_probes_bitset,
+            s.edge_probes_binary
         );
     }
     let agg = multi.stats();
@@ -110,6 +120,18 @@ fn main() {
         agg.latency_p99,
         agg.cancelled_variants
     );
+    // The shared per-graph TargetIndex: built once at registration
+    // (index µs above), then probed by every entrant of every race —
+    // these small stored graphs all qualify for the dense adjacency
+    // bitset, so edge probes are O(1) bit tests, not binary searches.
+    println!(
+        "target index: {} µs total build across {} graphs; edge probes {} bitset / {} binary",
+        agg.index_build_us,
+        ids.len(),
+        agg.edge_probes_bitset,
+        agg.edge_probes_binary
+    );
+    assert!(agg.edge_probes_bitset > 0, "races over small graphs must probe through the bitset");
 
     // Isolation demo: the same query pattern gets *per-graph* answers.
     // A query grown from the smallest graph embeds there by
