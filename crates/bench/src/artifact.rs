@@ -36,7 +36,10 @@ use std::time::Instant;
 /// v3: added `async_qps` (ticket frontend, clients ≪ in-flight).
 /// v4: added `indexed_speedup` (shared per-graph `TargetIndex` vs the
 ///     legacy scan paths, matching-race multi-graph workload).
-pub const SCHEMA_VERSION: f64 = 4.0;
+/// v5: added `telemetry_overhead` (tracing-on vs tracing-off saturated
+///     qps ratio, gated) plus the informational trail columns
+///     `index_build_us`, `edge_probes_bitset`, `edge_probes_binary`.
+pub const SCHEMA_VERSION: f64 = 5.0;
 
 /// The headline serving metrics CI tracks over time.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +93,23 @@ pub struct EngineBenchMetrics {
     /// `indexed_qps / legacy_qps`; ≥ 1 means building the index once
     /// at registration beats rescanning per query. Higher is better.
     pub indexed_speedup: f64,
+    /// Ψ-trace cost (v5): tracing-on vs tracing-off saturated qps on
+    /// otherwise-identical registries (caches and fast path off, a
+    /// consumer draining the rings between passes). 1.0 means free; the
+    /// gate holds the ratio up, so a tracing hot-path regression fails
+    /// CI. Higher is better.
+    pub telemetry_overhead: f64,
+    /// One-time `TargetIndex` build cost summed over the indexed
+    /// registry's graphs, microseconds (v5). Informational: trended in
+    /// the trail table, never gated — it measures dataset size as much
+    /// as code.
+    pub index_build_us: f64,
+    /// Adjacency probes the indexed-registry pass answered from the
+    /// dense bitset (v5, informational).
+    pub edge_probes_bitset: f64,
+    /// Adjacency probes that fell back to binary search (v5,
+    /// informational).
+    pub edge_probes_binary: f64,
 }
 
 /// One metric's comparison direction in the regression gate.
@@ -99,6 +119,9 @@ pub enum Direction {
     HigherIsBetter,
     /// Regression = current rises above baseline (latency).
     LowerIsBetter,
+    /// Tracked in the artifact and trail but never gated (workload-
+    /// shape-dependent counters like probe totals and index build cost).
+    Informational,
 }
 
 impl EngineBenchMetrics {
@@ -114,6 +137,10 @@ impl EngineBenchMetrics {
             ("escalation_rate", self.escalation_rate, Direction::LowerIsBetter),
             ("async_qps", self.async_qps, Direction::HigherIsBetter),
             ("indexed_speedup", self.indexed_speedup, Direction::HigherIsBetter),
+            ("telemetry_overhead", self.telemetry_overhead, Direction::HigherIsBetter),
+            ("index_build_us", self.index_build_us, Direction::Informational),
+            ("edge_probes_bitset", self.edge_probes_bitset, Direction::Informational),
+            ("edge_probes_binary", self.edge_probes_binary, Direction::Informational),
         ]
     }
 
@@ -162,6 +189,10 @@ impl EngineBenchMetrics {
             escalation_rate: get("escalation_rate")?,
             async_qps: get("async_qps")?,
             indexed_speedup: get("indexed_speedup")?,
+            telemetry_overhead: get("telemetry_overhead")?,
+            index_build_us: get("index_build_us")?,
+            edge_probes_bitset: get("edge_probes_bitset")?,
+            edge_probes_binary: get("edge_probes_binary")?,
         })
     }
 }
@@ -231,12 +262,29 @@ pub fn check_regressions(
         let ratio = match direction {
             Direction::HigherIsBetter => (base - cur) / base,
             Direction::LowerIsBetter => (cur - base) / base,
+            Direction::Informational => continue,
         };
         if ratio > max_regression {
             regressions.push(Regression { metric, baseline: base, current: cur, ratio });
         }
     }
     regressions
+}
+
+/// Runs a small standard serving workload and renders the engine's
+/// metrics exporter as Prometheus text — the snapshot the CI bench-smoke
+/// job puts in its job summary, and the golden-format fixture the
+/// exporter tests parse. Deterministic workload, nondeterministic
+/// timings (it is a real measurement).
+pub fn sample_metrics_snapshot() -> String {
+    let stored = datasets::yeast_like(0.2, 42);
+    let queries: Vec<Graph> = Workloads::nfv_workload(&stored, 8, 16, 7);
+    let engine = serving_engine(&stored, 4096);
+    // Cold pass then warm pass: the snapshot shows races, cache hits
+    // and stage latencies all nonzero.
+    submit_batch(&engine, &queries, 4);
+    submit_batch(&engine, &queries, 4);
+    engine.exporter().render_prometheus()
 }
 
 fn serving_engine(stored: &Graph, cache_capacity: usize) -> Engine {
@@ -411,6 +459,27 @@ pub fn measure() -> EngineBenchMetrics {
         2024,
     );
 
+    // --- Ψ-trace overhead: the standard skewed workload raced against
+    // two registries identical except TelemetryConfig (tracing on with a
+    // draining consumer vs off). Decision races keep the per-query
+    // serving overhead — the thing tracing adds to — prominent; the
+    // gate holds the qps ratio near 1. compare_telemetry_overhead
+    // interleaves its passes palindromically itself. ---
+    let overhead = psi_workload::compare_telemetry_overhead(
+        &psi_workload::OverheadSpec {
+            workload: MultiWorkloadSpec {
+                query_edges: 10,
+                total_queries: 280,
+                ..MultiWorkloadSpec::default()
+            },
+            // Best-of-3 per mode: a qps ratio of two threaded
+            // measurements is noisy, and the passes are cheap.
+            passes: 3,
+            ..psi_workload::OverheadSpec::default()
+        },
+        2024,
+    );
+
     EngineBenchMetrics {
         qps,
         p50_us,
@@ -421,6 +490,10 @@ pub fn measure() -> EngineBenchMetrics {
         escalation_rate: topk_multi.stats().escalation_rate,
         async_qps,
         indexed_speedup: index_cmp.speedup,
+        telemetry_overhead: overhead.overhead_ratio,
+        index_build_us: index_cmp.index_build_us as f64,
+        edge_probes_bitset: index_cmp.edge_probes_bitset as f64,
+        edge_probes_binary: index_cmp.edge_probes_binary as f64,
     }
 }
 
@@ -439,6 +512,10 @@ mod tests {
             escalation_rate: 0.125,
             async_qps: 850.0,
             indexed_speedup: 1.2,
+            telemetry_overhead: 0.97,
+            index_build_us: 1500.0,
+            edge_probes_bitset: 2_000_000.0,
+            edge_probes_binary: 0.0,
         }
     }
 
@@ -491,8 +568,36 @@ mod tests {
             escalation_rate: 0.01,
             async_qps: 9_800.0,
             indexed_speedup: 3.0,
+            telemetry_overhead: 1.02,
+            index_build_us: 1500.0,
+            edge_probes_bitset: 2_000_000.0,
+            edge_probes_binary: 0.0,
         };
         assert!(check_regressions(&better, &base, 0.30).is_empty());
+    }
+
+    #[test]
+    fn telemetry_overhead_regressions_are_gated() {
+        let base = sample();
+        // Tracing suddenly costing 40% of throughput trips the gate.
+        let worse = EngineBenchMetrics { telemetry_overhead: 0.58, ..base.clone() };
+        let names: Vec<_> =
+            check_regressions(&worse, &base, 0.30).iter().map(|r| r.metric).collect();
+        assert_eq!(names, vec!["telemetry_overhead"]);
+    }
+
+    #[test]
+    fn informational_metrics_are_never_gated() {
+        let base = sample();
+        // Probe counts and build cost can swing wildly with workload
+        // shape; the gate must ignore them in both directions.
+        let wild = EngineBenchMetrics {
+            index_build_us: 90_000.0,
+            edge_probes_bitset: 10.0,
+            edge_probes_binary: 5_000_000.0,
+            ..base.clone()
+        };
+        assert!(check_regressions(&wild, &base, 0.30).is_empty());
     }
 
     #[test]

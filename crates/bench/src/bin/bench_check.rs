@@ -21,7 +21,9 @@
 //!
 //! Exit codes: 0 ok, 1 regression detected, 2 usage/IO error.
 
-use psi_bench::artifact::{check_regressions, measure, EngineBenchMetrics};
+use psi_bench::artifact::{
+    check_regressions, measure, sample_metrics_snapshot, EngineBenchMetrics,
+};
 use psi_bench::trail::{trail_table, TrailPoint};
 use std::process::ExitCode;
 
@@ -31,6 +33,7 @@ struct Args {
     max_regression: f64,
     update_baseline: bool,
     trail: Option<String>,
+    metrics: Option<String>,
     stamps: Vec<(String, String)>,
 }
 
@@ -41,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         max_regression: 0.30,
         update_baseline: false,
         trail: None,
+        metrics: None,
         stamps: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -56,12 +60,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--update-baseline" => args.update_baseline = true,
             "--trail" => args.trail = Some(value("--trail")?),
+            "--metrics" => args.metrics = Some(value("--metrics")?),
             "--commit" => args.stamps.push(("commit".to_string(), value("--commit")?)),
             "--date" => args.stamps.push(("date".to_string(), value("--date")?)),
             "--help" | "-h" => {
                 return Err("usage: bench_check [--out PATH] [--baseline PATH] \
                             [--max-regression FRACTION] [--update-baseline] \
-                            [--trail DIR] [--commit SHA] [--date DATE]"
+                            [--trail DIR] [--metrics PATH] [--commit SHA] [--date DATE]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -133,6 +138,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     println!("wrote {}", args.out);
+
+    if let Some(metrics_path) = &args.metrics {
+        // A Prometheus snapshot of a small standard serving workload,
+        // for the CI job summary.
+        if let Err(err) = std::fs::write(metrics_path, sample_metrics_snapshot()) {
+            eprintln!("cannot write metrics snapshot {metrics_path}: {err}");
+            return ExitCode::from(2);
+        }
+        println!("wrote metrics snapshot {metrics_path}");
+    }
 
     if args.update_baseline {
         // The documented release step: rewrite the committed baseline in

@@ -21,12 +21,23 @@
 
 use crate::artifact::parse_flat_json;
 
-/// The throughput metrics a trail table tracks, in column order
-/// (`indexed_speedup` is a ratio, but it trends exactly like the qps
-/// columns: up is good). Artifacts predating a metric (older schema
+/// The metrics a trail table tracks, in column order: the qps columns
+/// and the `indexed_speedup` / `telemetry_overhead` ratios (up is good
+/// for all of them), plus the informational v5 columns — index build
+/// cost and the adjacency-probe split — which trend with workload shape
+/// rather than gate. Artifacts predating a metric (older schema
 /// versions) show `—` in its column instead of failing the whole trail.
-pub const TRAIL_METRICS: [&str; 5] =
-    ["qps", "multi_qps", "topk_qps", "async_qps", "indexed_speedup"];
+pub const TRAIL_METRICS: [&str; 9] = [
+    "qps",
+    "multi_qps",
+    "topk_qps",
+    "async_qps",
+    "indexed_speedup",
+    "telemetry_overhead",
+    "index_build_us",
+    "edge_probes_bitset",
+    "edge_probes_binary",
+];
 
 /// One parsed artifact in the trail.
 #[derive(Debug, Clone)]
@@ -73,36 +84,63 @@ fn delta(prev: Option<f64>, cur: Option<f64>) -> String {
     }
 }
 
+/// Formats one metric value for the table: ratios keep two decimals,
+/// everything from qps up prints as a whole number (probe counters run
+/// into the millions — decimals are noise at that magnitude).
+fn format_value(v: f64) -> String {
+    if v.abs() < 100.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.0}")
+    }
+}
+
 /// Renders the qps-over-time table: one row per artifact in date order,
 /// one `value Δ` column pair per [`TRAIL_METRICS`] entry, deltas
-/// relative to the previous row.
+/// relative to the previous row. Column widths adapt to the widest
+/// value in each column (probe counters are 7+ digits, ratios are 4),
+/// so the table stays aligned without padding every column to the worst
+/// case.
 pub fn trail_table(points: &mut [TrailPoint]) -> String {
     points.sort_by(|a, b| a.sort_key().cmp(b.sort_key()));
-    let mut out = String::new();
-    out.push_str(&format!("{:<22} {:<10}", "date", "commit"));
-    for metric in TRAIL_METRICS {
-        out.push_str(&format!(" {metric:>10} {:>8}", "Δ"));
-    }
-    out.push('\n');
+    // First pass: render every cell, tracking per-column width.
+    let mut widths: Vec<usize> = TRAIL_METRICS.iter().map(|m| m.chars().count()).collect();
+    // (date, commit, [(value, delta)] per metric column).
+    type Row = (String, String, Vec<(String, String)>);
+    let mut rows: Vec<Row> = Vec::new();
     let mut prev: Option<&TrailPoint> = None;
     for point in points.iter() {
-        let date = point.date.as_deref().unwrap_or(&point.label);
-        let commit = point.commit.as_deref().unwrap_or("—");
+        let date = point.date.as_deref().unwrap_or(&point.label).to_string();
         // Truncate on a char boundary: stamps are normally ASCII SHAs,
         // but one hand-edited artifact must not panic the whole trail.
-        let commit_short: String = commit.chars().take(9).collect();
-        out.push_str(&format!("{date:<22} {commit_short:<10}"));
-        for metric in TRAIL_METRICS {
+        let commit: String = point.commit.as_deref().unwrap_or("—").chars().take(9).collect();
+        let mut cells = Vec::with_capacity(TRAIL_METRICS.len());
+        for (col, metric) in TRAIL_METRICS.iter().enumerate() {
             let cur = point.metric(metric);
             let value = match cur {
-                Some(v) => format!("{v:.1}"),
+                Some(v) => format_value(v),
                 None => "—".to_string(),
             };
             let change = delta(prev.and_then(|p| p.metric(metric)), cur);
-            out.push_str(&format!(" {value:>10} {change:>8}"));
+            widths[col] = widths[col].max(value.chars().count());
+            cells.push((value, change));
+        }
+        rows.push((date, commit, cells));
+        prev = Some(point);
+    }
+    // Second pass: emit with the settled widths.
+    let mut out = String::new();
+    out.push_str(&format!("{:<22} {:<10}", "date", "commit"));
+    for (col, metric) in TRAIL_METRICS.iter().enumerate() {
+        out.push_str(&format!(" {metric:>width$} {:>8}", "Δ", width = widths[col]));
+    }
+    out.push('\n');
+    for (date, commit, cells) in rows {
+        out.push_str(&format!("{date:<22} {commit:<10}"));
+        for (col, (value, change)) in cells.into_iter().enumerate() {
+            out.push_str(&format!(" {value:>width$} {change:>8}", width = widths[col]));
         }
         out.push('\n');
-        prev = Some(point);
     }
     out
 }
@@ -143,6 +181,10 @@ mod tests {
             escalation_rate: 0.1,
             async_qps: qps * 0.85,
             indexed_speedup: qps / 1000.0 * 1.2,
+            telemetry_overhead: qps / 1000.0 * 0.95,
+            index_build_us: 1500.0,
+            edge_probes_bitset: qps * 1000.0,
+            edge_probes_binary: 0.0,
         };
         metrics.to_json_stamped(&[
             ("commit".to_string(), commit.to_string()),

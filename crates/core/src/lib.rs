@@ -42,4 +42,4 @@ pub mod race;
 pub use config::{PsiConfig, Variant};
 pub use ftv::PsiFtvRunner;
 pub use nfv::{PreparedEntrant, PsiRunner};
-pub use race::{race, PsiOutcome, RaceBudget, RaceState, VariantResult};
+pub use race::{race, PsiOutcome, RaceBudget, RaceObserver, RaceState, VariantResult};

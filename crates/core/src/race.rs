@@ -14,7 +14,31 @@
 
 use psi_matchers::{CancelToken, MatchResult, SearchBudget};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Stage hooks on a [`RaceState`]: an observer hears about entrant
+/// execution milestones *as they happen*, on the entrant's own thread —
+/// before the race outcome is assembled. `psi-engine` attaches one to
+/// feed its trace-event layer; the default no-op methods keep plain
+/// library races zero-cost.
+///
+/// All callbacks may run concurrently from multiple entrant threads and
+/// must not block.
+pub trait RaceObserver: Send + Sync {
+    /// An entrant body began executing. `since_start` measures from the
+    /// race anchor, so in a pooled engine it includes queue wait.
+    fn entrant_started(&self, idx: usize, since_start: Duration) {
+        let _ = (idx, since_start);
+    }
+
+    /// Entrant `idx` produced the first conclusive result and claimed the
+    /// race (cancelling the shared token). Fires exactly once per race,
+    /// at claim time — not at finish-assembly time.
+    fn race_claimed(&self, idx: usize, wall: Duration) {
+        let _ = (idx, wall);
+    }
+}
 
 /// Budget for a whole race (shared deadline; per-entrant embedding cap).
 #[derive(Debug, Clone)]
@@ -141,13 +165,24 @@ impl<L> PsiOutcome<L> {
 /// reported wall times are measured from that anchor. An engine passes its
 /// *admission* time so queueing delay inside a worker pool counts against
 /// the race budget's timeout (the paper's 10-minute cap convention).
-#[derive(Debug)]
 pub struct RaceState {
     token: CancelToken,
     claimed: AtomicUsize,
     claim_nanos: std::sync::atomic::AtomicU64,
     first_start_nanos: std::sync::atomic::AtomicU64,
     start: Instant,
+    observer: Option<Arc<dyn RaceObserver>>,
+}
+
+impl std::fmt::Debug for RaceState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaceState")
+            .field("start", &self.start)
+            .field("winner_index", &self.winner_index())
+            .field("cancelled", &self.token.is_cancelled())
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl RaceState {
@@ -169,7 +204,15 @@ impl RaceState {
             claim_nanos: std::sync::atomic::AtomicU64::new(0),
             first_start_nanos: std::sync::atomic::AtomicU64::new(u64::MAX),
             start,
+            observer: None,
         }
+    }
+
+    /// Attaches a [`RaceObserver`] hearing this race's execution
+    /// milestones. Builder-style; at most one observer per race.
+    pub fn observe(mut self, observer: Arc<dyn RaceObserver>) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// Race state anchored at the current instant.
@@ -200,7 +243,11 @@ impl RaceState {
         // reach a thread/worker): staged schedulers anchor the stage
         // window here for budgets without a wall-clock timeout, so pool
         // queueing delay cannot trigger spurious escalations.
-        self.first_start_nanos.fetch_min(self.start.elapsed().as_nanos() as u64, Ordering::AcqRel);
+        let since_start = self.start.elapsed();
+        self.first_start_nanos.fetch_min(since_start.as_nanos() as u64, Ordering::AcqRel);
+        if let Some(obs) = &self.observer {
+            obs.entrant_started(idx, since_start);
+        }
         let result = f(&entrant_budget);
         let wall = self.start.elapsed();
         if result.stop.is_conclusive()
@@ -212,6 +259,9 @@ impl RaceState {
             // First conclusive finisher claims the win and "kills" the rest.
             self.claim_nanos.store(wall.as_nanos() as u64, Ordering::Release);
             self.token.cancel();
+            if let Some(obs) = &self.observer {
+                obs.race_claimed(idx, wall);
+            }
         }
         (result, wall)
     }
@@ -479,6 +529,37 @@ mod tests {
         });
         assert_eq!(result.stop, StopReason::Cancelled);
         assert!(!state.is_decided(), "external cancellation must not claim a winner");
+    }
+
+    #[test]
+    fn observer_hears_starts_and_exactly_one_claim() {
+        struct Spy {
+            starts: AtomicUsize,
+            claims: AtomicUsize,
+            claimed_idx: AtomicUsize,
+        }
+        impl RaceObserver for Spy {
+            fn entrant_started(&self, _idx: usize, _since_start: Duration) {
+                self.starts.fetch_add(1, Ordering::Relaxed);
+            }
+            fn race_claimed(&self, idx: usize, _wall: Duration) {
+                self.claims.fetch_add(1, Ordering::Relaxed);
+                self.claimed_idx.store(idx, Ordering::Relaxed);
+            }
+        }
+        let spy = Arc::new(Spy {
+            starts: AtomicUsize::new(0),
+            claims: AtomicUsize::new(0),
+            claimed_idx: AtomicUsize::new(usize::MAX),
+        });
+        let state = RaceState::begin().observe(Arc::clone(&spy) as Arc<dyn RaceObserver>);
+        let budget = RaceBudget::decision();
+        state.run_entrant(0, &budget, |_b| quick_result(1));
+        state.run_entrant(1, &budget, |_b| quick_result(1));
+        assert_eq!(spy.starts.load(Ordering::Relaxed), 2, "every entrant start observed");
+        assert_eq!(spy.claims.load(Ordering::Relaxed), 1, "claim fires exactly once");
+        assert_eq!(spy.claimed_idx.load(Ordering::Relaxed), 0);
+        assert_eq!(state.winner_index(), Some(0));
     }
 
     #[test]

@@ -39,6 +39,9 @@ use crate::flight::{prepare_and_launch, AdmittedQuery, StageTimer};
 use crate::pool::WorkerPool;
 use crate::stats::{EngineStats, StatsCollector};
 use crate::submit::{CompletionSlot, Priority, QueryRequest, QueryTicket, Submit};
+use crate::telemetry::{
+    SlowQuery, Telemetry, TelemetryConfig, TraceEvent, TraceRecord, TraceSubscriber,
+};
 use psi_core::predictor::{EntrantTally, QueryFeatures, VariantPredictor};
 use psi_core::{PsiRunner, RaceBudget};
 use psi_graph::Graph;
@@ -110,6 +113,9 @@ pub struct EngineConfig {
     /// Budget applied to requests that set none
     /// ([`crate::QueryRequest::budget`] overrides per query).
     pub default_budget: RaceBudget,
+    /// Ψ-trace knobs: lifecycle event tracing, ring capacity, slow-query
+    /// log size (see [`TelemetryConfig`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -126,6 +132,7 @@ impl Default for EngineConfig {
             predictor_confidence: 0.8,
             race_strategy: RaceStrategy::Full,
             default_budget: RaceBudget::matching(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -243,6 +250,8 @@ pub(crate) struct ServeCore {
     /// Staged races scheduled so far; every exploration-period-th one
     /// becomes a full-field exploration probe.
     pub(crate) staged_seq: AtomicU64,
+    /// Ψ-trace: query-id allocator, trace-event rings, slow-query log.
+    pub(crate) telemetry: Telemetry,
     pub(crate) config: EngineConfig,
 }
 
@@ -331,20 +340,24 @@ impl Engine {
         // engines skip the timer thread entirely.
         let timer = matches!(config.race_strategy, RaceStrategy::TopK { .. })
             .then(|| Arc::new(StageTimer::new()));
-        Self::with_shared(Arc::new(runner), config, pool, admission, timer)
+        Self::with_shared(Arc::new(runner), config, pool, admission, timer, Instant::now())
     }
 
     /// Builds an engine on *shared* infrastructure: the worker pool,
     /// admission gate and stage timer are owned elsewhere (by a
     /// [`crate::MultiEngine`] whose registered graphs all drain into one
     /// pool). `config.workers` and `config.max_concurrent_races` are
-    /// ignored — capacity lives in the shared pool and gate.
+    /// ignored — capacity lives in the shared pool and gate. `epoch`
+    /// anchors trace-event timestamps; a registry passes its own start so
+    /// all tenants stamp against one clock and cross-graph drains
+    /// interleave correctly.
     pub(crate) fn with_shared(
         runner: Arc<PsiRunner>,
         config: EngineConfig,
         pool: Arc<WorkerPool>,
         admission: Arc<dyn AdmissionGate>,
         timer: Option<Arc<StageTimer>>,
+        epoch: Instant,
     ) -> Self {
         let core = Arc::new(ServeCore {
             runner,
@@ -355,6 +368,7 @@ impl Engine {
             )),
             stats: StatsCollector::new(),
             staged_seq: AtomicU64::new(0),
+            telemetry: Telemetry::new(&config.telemetry, epoch),
             config,
         });
         Self { core, pool, admission, timer }
@@ -386,9 +400,37 @@ impl Engine {
     }
 
     /// The live collector behind [`Engine::stats`] — lets the registry
-    /// merge raw latency samples across graphs for aggregate percentiles.
+    /// merge latency histograms across graphs for aggregate percentiles.
     pub(crate) fn stats_collector(&self) -> &StatsCollector {
         &self.core.stats
+    }
+
+    /// Drains and returns the buffered lifecycle trace events, merged
+    /// across ring shards into global sequence order. Empty when tracing
+    /// is disabled ([`TelemetryConfig::trace_events`]).
+    pub fn drain_trace(&self) -> Vec<TraceRecord> {
+        self.core.telemetry.trace.as_ref().map_or_else(Vec::new, |t| t.drain())
+    }
+
+    /// Drains the trace into `subscriber` (one batch; may be empty).
+    /// Returns the number of records delivered.
+    pub fn drain_trace_into(&self, subscriber: &mut dyn TraceSubscriber) -> usize {
+        let batch = self.drain_trace();
+        subscriber.on_events(&batch);
+        batch.len()
+    }
+
+    /// Trace events dropped because a ring shard was full — nonzero means
+    /// the consumer drains too slowly for the configured
+    /// [`TelemetryConfig::trace_capacity`].
+    pub fn trace_dropped(&self) -> u64 {
+        self.core.telemetry.trace.as_ref().map_or(0, |t| t.dropped())
+    }
+
+    /// The worst-offender served queries with per-entrant timing, worst
+    /// first (bounded by [`TelemetryConfig::slow_query_capacity`]).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.core.telemetry.slow.worst()
     }
 
     /// Lifetime win/loss/timeout tallies of each racing entrant, indexed
@@ -449,6 +491,7 @@ impl Engine {
         // sorts/allocations) entirely when caching is disabled.
         let keyed = (core.config.cache_capacity > 0)
             .then(|| QueryKey::canonical_with_map(&query, budget.max_matches));
+        let query_id = core.telemetry.next_query_id();
 
         if let Some((key, canon)) = &keyed {
             if let Some(cached) = core.cache.get(key) {
@@ -467,12 +510,14 @@ impl Engine {
                 });
                 let elapsed = admitted.elapsed();
                 core.stats.record_latency(elapsed);
-                return Ok(QueryTicket::completed(EngineResponse {
-                    answer,
-                    path: ServePath::CacheHit,
-                    elapsed,
-                    conclusive: true,
-                }));
+                core.telemetry.emit(TraceEvent::CacheHit {
+                    query: query_id,
+                    elapsed_us: elapsed.as_micros().min(u64::MAX as u128) as u64,
+                });
+                return Ok(QueryTicket::completed(
+                    EngineResponse { answer, path: ServePath::CacheHit, elapsed, conclusive: true },
+                    query_id,
+                ));
             }
         }
 
@@ -485,10 +530,11 @@ impl Engine {
         let permit = OwnedPermit::new(Arc::clone(&self.admission));
         core.stats.queries.fetch_add(1, Ordering::Relaxed);
         core.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        core.telemetry.emit(TraceEvent::Admitted { query: query_id });
 
         let token = CancelToken::new();
         let slot = Arc::new(CompletionSlot::new());
-        let ticket = QueryTicket::pending(Arc::clone(&slot), token.clone());
+        let ticket = QueryTicket::pending(Arc::clone(&slot), token.clone(), query_id);
 
         // Everything else — entrant preparation, the one predictor
         // consultation per miss, the fast-path-or-race decision, the
@@ -499,6 +545,7 @@ impl Engine {
         let setup = AdmittedQuery {
             core: Arc::clone(core),
             query,
+            query_id,
             budget,
             admitted,
             keyed,

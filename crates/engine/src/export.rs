@@ -1,0 +1,406 @@
+//! Metrics export: point-in-time snapshots of engine observability
+//! state, renderable as Prometheus text or JSON.
+//!
+//! A [`MetricsExporter`] is a *snapshot*, not a live view: construct one
+//! with [`crate::Engine::exporter`] / [`crate::MultiEngine::exporter`]
+//! at scrape time, render it, drop it. Snapshotting decouples rendering
+//! from the hot path — the only cost on the serving side is the atomic
+//! loads taken while the snapshot is built.
+//!
+//! The Prometheus rendering follows the text exposition format: one
+//! `# TYPE` line per metric family, `psi_`-prefixed names, a `graph`
+//! label distinguishing tenants of a [`crate::MultiEngine`], and native
+//! histogram families (`_bucket{le=...}` / `_sum` / `_count`) for the
+//! log-bucketed latency histograms. Only buckets that hold samples are
+//! emitted (plus `+Inf`), so the series count tracks the observed
+//! latency spread, not the 1920-bucket histogram resolution.
+
+use crate::engine::Engine;
+use crate::stats::{EngineStats, HistogramSnapshot};
+use crate::telemetry::SlowQuery;
+use std::fmt::Write as _;
+
+/// Which latency histogram of a graph to address in
+/// [`MetricsExporter::histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramKind {
+    /// End-to-end query latency (all served queries).
+    Latency,
+    /// Admission → race setup (queue wait).
+    QueueWait,
+    /// Race setup → finalize start.
+    RaceStage,
+    /// The finalize body itself.
+    FinalizeStage,
+}
+
+/// Point-in-time observability snapshot of one graph's engine.
+#[derive(Debug, Clone)]
+pub struct GraphMetricsSnapshot {
+    /// Registered graph name; `None` for a standalone [`Engine`].
+    pub name: Option<String>,
+    /// Counter / rate snapshot.
+    pub stats: EngineStats,
+    /// End-to-end latency histogram over every served query.
+    pub latency: HistogramSnapshot,
+    /// Queue-wait stage histogram (admission → setup).
+    pub queue_wait: HistogramSnapshot,
+    /// Race stage histogram (setup → finalize start).
+    pub race_stage: HistogramSnapshot,
+    /// Finalize stage histogram.
+    pub finalize_stage: HistogramSnapshot,
+    /// Trace events dropped because rings were full.
+    pub trace_dropped: u64,
+    /// The worst-latency queries, slowest first, with per-entrant timing.
+    pub slow: Vec<SlowQuery>,
+}
+
+impl GraphMetricsSnapshot {
+    fn capture(name: Option<String>, engine: &Engine) -> Self {
+        let c = engine.stats_collector();
+        Self {
+            name,
+            stats: engine.stats(),
+            latency: c.latency.snapshot(),
+            queue_wait: c.queue_wait.snapshot(),
+            race_stage: c.race_stage.snapshot(),
+            finalize_stage: c.finalize_stage.snapshot(),
+            trace_dropped: engine.trace_dropped(),
+            slow: engine.slow_queries(),
+        }
+    }
+
+    fn histogram(&self, kind: HistogramKind) -> &HistogramSnapshot {
+        match kind {
+            HistogramKind::Latency => &self.latency,
+            HistogramKind::QueueWait => &self.queue_wait,
+            HistogramKind::RaceStage => &self.race_stage,
+            HistogramKind::FinalizeStage => &self.finalize_stage,
+        }
+    }
+}
+
+/// A renderable snapshot of every graph's metrics. See the module docs.
+#[derive(Debug, Clone)]
+pub struct MetricsExporter {
+    graphs: Vec<GraphMetricsSnapshot>,
+}
+
+impl MetricsExporter {
+    pub(crate) fn from_graphs(graphs: Vec<(Option<String>, &Engine)>) -> Self {
+        Self {
+            graphs: graphs
+                .into_iter()
+                .map(|(name, engine)| GraphMetricsSnapshot::capture(name, engine))
+                .collect(),
+        }
+    }
+
+    /// The per-graph snapshots, in registration order.
+    pub fn graphs(&self) -> &[GraphMetricsSnapshot] {
+        &self.graphs
+    }
+
+    /// One graph's histogram snapshot by graph index, for programmatic
+    /// inspection (tests, dashboards). `graph` indexes [`Self::graphs`].
+    pub fn histogram(&self, graph: usize, kind: HistogramKind) -> Option<&HistogramSnapshot> {
+        self.graphs.get(graph).map(|g| g.histogram(kind))
+    }
+
+    /// The pooled histogram across every graph: bucket-wise merge of the
+    /// per-graph snapshots.
+    pub fn merged_histogram(&self, kind: HistogramKind) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for g in &self.graphs {
+            merged.merge(g.histogram(kind));
+        }
+        merged
+    }
+
+    fn labels(&self, graph: &GraphMetricsSnapshot, extra: &[(&str, &str)]) -> String {
+        let mut pairs: Vec<String> = Vec::new();
+        if let Some(name) = &graph.name {
+            pairs.push(format!("graph=\"{}\"", escape_label(name)));
+        }
+        for (k, v) in extra {
+            pairs.push(format!("{k}=\"{v}\""));
+        }
+        if pairs.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", pairs.join(","))
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        type CounterFamily = (&'static str, &'static str, fn(&EngineStats) -> u64);
+        let counters: [CounterFamily; 12] = [
+            ("psi_queries_total", "Queries accepted", |s| s.queries),
+            ("psi_cache_hits_total", "Result-cache hits", |s| s.cache_hits),
+            ("psi_cache_misses_total", "Result-cache misses", |s| s.cache_misses),
+            ("psi_races_total", "Full races run", |s| s.races),
+            ("psi_fast_paths_total", "Predictor fast-path serves", |s| s.fast_paths),
+            ("psi_fast_path_fallbacks_total", "Fast paths that fell back to a race", |s| {
+                s.fast_path_fallbacks
+            }),
+            ("psi_cancelled_variants_total", "Losing entrants cancelled", |s| s.cancelled_variants),
+            ("psi_busy_rejections_total", "Submissions bounced at admission", |s| {
+                s.busy_rejections
+            }),
+            ("psi_inconclusive_total", "Races with no conclusive winner", |s| s.inconclusive),
+            ("psi_topk_races_total", "Races launched as a pruned top-K heat", |s| s.topk_races),
+            ("psi_pruned_entrants_total", "Entrants never launched (pruned)", |s| {
+                s.pruned_entrants
+            }),
+            ("psi_escalations_total", "Pruned heats escalated to the full field", |s| {
+                s.escalations
+            }),
+        ];
+        for (name, help, get) in counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for g in &self.graphs {
+                let _ = writeln!(out, "{name}{} {}", self.labels(g, &[]), get(&g.stats));
+            }
+        }
+        let _ = writeln!(out, "# HELP psi_edge_probes_total Adjacency probes by index kind");
+        let _ = writeln!(out, "# TYPE psi_edge_probes_total counter");
+        for g in &self.graphs {
+            let _ = writeln!(
+                out,
+                "psi_edge_probes_total{} {}",
+                self.labels(g, &[("kind", "bitset")]),
+                g.stats.edge_probes_bitset
+            );
+            let _ = writeln!(
+                out,
+                "psi_edge_probes_total{} {}",
+                self.labels(g, &[("kind", "binary")]),
+                g.stats.edge_probes_binary
+            );
+        }
+        let _ = writeln!(out, "# HELP psi_trace_dropped_total Trace events dropped (rings full)");
+        let _ = writeln!(out, "# TYPE psi_trace_dropped_total counter");
+        for g in &self.graphs {
+            let _ =
+                writeln!(out, "psi_trace_dropped_total{} {}", self.labels(g, &[]), g.trace_dropped);
+        }
+        type GaugeFamily = (&'static str, &'static str, fn(&GraphMetricsSnapshot) -> f64);
+        let gauges: [GaugeFamily; 4] = [
+            ("psi_uptime_seconds", "Engine uptime", |g| g.stats.uptime.as_secs_f64()),
+            ("psi_cache_hit_rate", "Cache hit rate (hits / lookups)", |g| g.stats.hit_rate),
+            ("psi_escalation_rate", "Escalations per top-K race", |g| g.stats.escalation_rate),
+            ("psi_index_build_us", "One-time target-index build cost", |g| {
+                g.stats.index_build_us as f64
+            }),
+        ];
+        for (name, help, get) in gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for g in &self.graphs {
+                let _ = writeln!(out, "{name}{} {}", self.labels(g, &[]), get(g));
+            }
+        }
+        // End-to-end latency: its own family.
+        let _ = writeln!(out, "# HELP psi_query_latency_us End-to-end query latency");
+        let _ = writeln!(out, "# TYPE psi_query_latency_us histogram");
+        for g in &self.graphs {
+            self.render_histogram(&mut out, "psi_query_latency_us", g, &[], &g.latency);
+        }
+        // Stage breakdowns share one family, distinguished by a label.
+        let _ = writeln!(out, "# HELP psi_stage_latency_us Per-stage query latency");
+        let _ = writeln!(out, "# TYPE psi_stage_latency_us histogram");
+        for g in &self.graphs {
+            for (stage, hist) in [
+                ("queue_wait", &g.queue_wait),
+                ("race", &g.race_stage),
+                ("finalize", &g.finalize_stage),
+            ] {
+                self.render_histogram(
+                    &mut out,
+                    "psi_stage_latency_us",
+                    g,
+                    &[("stage", stage)],
+                    hist,
+                );
+            }
+        }
+        out
+    }
+
+    fn render_histogram(
+        &self,
+        out: &mut String,
+        name: &str,
+        graph: &GraphMetricsSnapshot,
+        extra: &[(&str, &str)],
+        hist: &HistogramSnapshot,
+    ) {
+        let mut cumulative = 0u64;
+        for &(upper, count) in &hist.buckets {
+            cumulative += count;
+            let upper = upper.to_string();
+            let mut labels: Vec<(&str, &str)> = extra.to_vec();
+            labels.push(("le", upper.as_str()));
+            let _ = writeln!(out, "{name}_bucket{} {cumulative}", self.labels(graph, &labels));
+        }
+        let mut labels: Vec<(&str, &str)> = extra.to_vec();
+        labels.push(("le", "+Inf"));
+        let _ = writeln!(out, "{name}_bucket{} {}", self.labels(graph, &labels), hist.count);
+        let _ = writeln!(out, "{name}_sum{} {}", self.labels(graph, extra), hist.sum_us);
+        let _ = writeln!(out, "{name}_count{} {}", self.labels(graph, extra), hist.count);
+    }
+
+    /// Renders the snapshot as a self-contained JSON document: per-graph
+    /// counters, latency percentiles, stage breakdowns and the
+    /// slow-query log with per-entrant timing.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"graphs\":[");
+        for (i, g) in self.graphs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            match &g.name {
+                Some(name) => {
+                    let _ = write!(out, "\"name\":\"{}\",", escape_json(name));
+                }
+                None => out.push_str("\"name\":null,"),
+            }
+            let s = &g.stats;
+            let _ = write!(
+                out,
+                "\"queries\":{},\"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{:.6},\
+                 \"races\":{},\"fast_paths\":{},\"fast_path_fallbacks\":{},\
+                 \"cancelled_variants\":{},\"busy_rejections\":{},\"inconclusive\":{},\
+                 \"topk_races\":{},\"pruned_entrants\":{},\"escalations\":{},\
+                 \"escalation_rate\":{:.6},\"index_build_us\":{},\
+                 \"edge_probes_bitset\":{},\"edge_probes_binary\":{},\
+                 \"throughput_qps\":{:.3},\"uptime_us\":{},\"trace_dropped\":{}",
+                s.queries,
+                s.cache_hits,
+                s.cache_misses,
+                s.hit_rate,
+                s.races,
+                s.fast_paths,
+                s.fast_path_fallbacks,
+                s.cancelled_variants,
+                s.busy_rejections,
+                s.inconclusive,
+                s.topk_races,
+                s.pruned_entrants,
+                s.escalations,
+                s.escalation_rate,
+                s.index_build_us,
+                s.edge_probes_bitset,
+                s.edge_probes_binary,
+                s.throughput_qps,
+                s.uptime.as_micros(),
+                g.trace_dropped,
+            );
+            let _ = write!(
+                out,
+                ",\"latency_us\":{{\"p50\":{},\"p99\":{},\"mean\":{:.1},\"count\":{}}}",
+                g.latency.percentile(0.50),
+                g.latency.percentile(0.99),
+                g.latency.mean_us(),
+                g.latency.count,
+            );
+            out.push_str(",\"stages\":{");
+            for (j, (stage, hist)) in [
+                ("queue_wait", &g.queue_wait),
+                ("race", &g.race_stage),
+                ("finalize", &g.finalize_stage),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\"{stage}\":{{\"p50\":{},\"p99\":{},\"count\":{}}}",
+                    hist.percentile(0.50),
+                    hist.percentile(0.99),
+                    hist.count,
+                );
+            }
+            out.push('}');
+            out.push_str(",\"slow_queries\":[");
+            for (j, q) in g.slow.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"query\":{},\"elapsed_us\":{},\"path\":\"{:?}\",\"conclusive\":{},",
+                    q.query, q.elapsed_us, q.path, q.conclusive
+                );
+                match q.winner {
+                    Some(w) => {
+                        let _ = write!(out, "\"winner\":\"{w}\",");
+                    }
+                    None => out.push_str("\"winner\":null,"),
+                }
+                out.push_str("\"entrants\":[");
+                for (k, e) in q.entrants.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"variant\":\"{}\",\"stop\":\"{:?}\",\"wall_us\":{},\"pruned\":{}}}",
+                        e.variant, e.stop, e.wall_us, e.pruned
+                    );
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Engine {
+    /// A point-in-time [`MetricsExporter`] over this engine's metrics.
+    pub fn exporter(&self) -> MetricsExporter {
+        MetricsExporter::from_graphs(vec![(None, self)])
+    }
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_escaping_handles_quotes_and_backslashes() {
+        assert_eq!(escape_label("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("tab\there\n"), "tab\\there\\n");
+    }
+}

@@ -33,8 +33,9 @@ use crate::cache::{CachedAnswer, QueryKey};
 use crate::engine::{EngineResponse, OwnedPermit, RaceStrategy, ServeCore, ServePath};
 use crate::pool::WorkerPool;
 use crate::submit::CompletionSlot;
+use crate::telemetry::{EntrantTiming, SlowQuery, TraceEvent, TraceSink};
 use psi_core::predictor::QueryFeatures;
-use psi_core::{PreparedEntrant, RaceBudget, RaceState, Variant, VariantResult};
+use psi_core::{PreparedEntrant, RaceBudget, RaceObserver, RaceState, Variant, VariantResult};
 use psi_matchers::{CancelToken, MatchResult, StopReason};
 use std::collections::BinaryHeap;
 use std::sync::atomic::Ordering;
@@ -66,6 +67,10 @@ pub(crate) struct PendingRace {
     pub ranking: Option<(Vec<usize>, f64)>,
     pub budget: RaceBudget,
     pub admitted: Instant,
+    pub query_id: u64,
+    /// When race setup began executing on a worker — the boundary
+    /// between the queue-wait and race stage histograms.
+    pub setup_started: Instant,
     pub keyed: Option<(QueryKey, Vec<u32>)>,
     pub token: CancelToken,
     pub slot: Arc<CompletionSlot>,
@@ -90,20 +95,35 @@ fn inconclusive_response(admitted: Instant) -> EngineResponse {
     }
 }
 
-/// Completes a ticket inconclusive without racing.
-fn abandon(core: &ServeCore, admitted: Instant, slot: &CompletionSlot) {
+/// Completes a ticket inconclusive without racing. `cancelled` records
+/// whether the flight died to its token (ticket drop) rather than an
+/// engine shutdown or a degenerate configuration.
+fn abandon(
+    core: &ServeCore,
+    admitted: Instant,
+    slot: &CompletionSlot,
+    query_id: u64,
+    cancelled: bool,
+) {
     core.stats.inconclusive.fetch_add(1, Ordering::Relaxed);
     let response = inconclusive_response(admitted);
     core.stats.record_latency(response.elapsed);
+    core.telemetry.emit(TraceEvent::Finalized {
+        query: query_id,
+        conclusive: false,
+        cancelled,
+        winner: None,
+        elapsed_us: response.elapsed.as_micros().min(u64::MAX as u128) as u64,
+    });
     slot.fulfill(response);
 }
 
 /// Completes the ticket inconclusive without racing, releasing the
 /// admission slot first.
 fn complete_inconclusive(pending: PendingRace) {
-    let PendingRace { core, admitted, slot, permit, .. } = pending;
+    let PendingRace { core, admitted, query_id, token, slot, permit, .. } = pending;
     drop(permit);
-    abandon(&core, admitted, &slot);
+    abandon(&core, admitted, &slot, query_id, token.is_cancelled());
 }
 
 /// If the fast-path or setup body unwinds (a panicking matcher or
@@ -129,6 +149,7 @@ impl Drop for FastPathGuard {
 pub(crate) struct AdmittedQuery {
     pub core: Arc<ServeCore>,
     pub query: psi_graph::Graph,
+    pub query_id: u64,
     pub budget: RaceBudget,
     pub admitted: Instant,
     pub keyed: Option<(QueryKey, Vec<u32>)>,
@@ -143,9 +164,9 @@ struct SetupGuard(Option<AdmittedQuery>);
 impl Drop for SetupGuard {
     fn drop(&mut self) {
         if let Some(setup) = self.0.take() {
-            let AdmittedQuery { core, admitted, slot, permit, .. } = setup;
+            let AdmittedQuery { core, query_id, admitted, token, slot, permit, .. } = setup;
             drop(permit);
-            abandon(&core, admitted, &slot);
+            abandon(&core, admitted, &slot, query_id, token.is_cancelled());
         }
     }
 }
@@ -159,6 +180,7 @@ pub(crate) fn prepare_and_launch(
     timer: Weak<StageTimer>,
 ) {
     let mut guard = SetupGuard(Some(setup));
+    let setup_started = Instant::now();
     let (entrants, features, ranking) = {
         let s = guard.0.as_ref().expect("guard armed");
         if s.token.is_cancelled() {
@@ -166,12 +188,18 @@ pub(crate) fn prepare_and_launch(
             drop(guard);
             return;
         }
+        let queue_wait = setup_started.duration_since(s.admitted);
+        s.core.stats.queue_wait.record_duration(queue_wait);
+        s.core.telemetry.emit(TraceEvent::SetupStarted {
+            query: s.query_id,
+            queue_us: queue_wait.as_micros().min(u64::MAX as u128) as u64,
+        });
         let entrants = s.core.runner.prepare_entrants(&s.query);
         let features = QueryFeatures::extract(&s.query, s.core.runner.label_stats());
         let ranking = s.core.consult_predictor(&features, entrants.len());
         (entrants, features, ranking)
     };
-    let AdmittedQuery { core, budget, admitted, keyed, token, slot, permit, .. } =
+    let AdmittedQuery { core, query_id, budget, admitted, keyed, token, slot, permit, .. } =
         guard.0.take().expect("guard armed");
     let confident = ranking.as_ref().is_some_and(|(_, share)| {
         core.config.predictor_confidence <= 1.0 && *share >= core.config.predictor_confidence
@@ -187,6 +215,8 @@ pub(crate) fn prepare_and_launch(
         ranking,
         budget,
         admitted,
+        query_id,
+        setup_started,
         keyed,
         token,
         slot,
@@ -218,10 +248,18 @@ pub(crate) fn run_fast_path(
     };
     let pending = guard.0.take().expect("guard armed");
     pending.core.stats.record_probes(&result.stats);
-    if result.stop.is_conclusive() {
+    let conclusive = result.stop.is_conclusive();
+    let elapsed = pending.admitted.elapsed();
+    pending.core.telemetry.emit(TraceEvent::FastPath {
+        query: pending.query_id,
+        variant: entrant.variant,
+        conclusive,
+        elapsed_us: elapsed.as_micros().min(u64::MAX as u128) as u64,
+    });
+    if conclusive {
         let core = Arc::clone(&pending.core);
         core.stats.fast_paths.fetch_add(1, Ordering::Relaxed);
-        let elapsed = pending.admitted.elapsed();
+        core.stats.race_stage.record_duration(pending.setup_started.elapsed());
         let answer = Arc::new(CachedAnswer {
             found: result.found(),
             num_matches: result.num_matches,
@@ -231,6 +269,27 @@ pub(crate) fn run_fast_path(
         });
         core.cache_store(pending.keyed.as_ref(), &answer);
         core.stats.record_latency(elapsed);
+        let elapsed_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        core.telemetry.slow.record(SlowQuery {
+            query: pending.query_id,
+            elapsed_us,
+            path: ServePath::FastPath,
+            conclusive: true,
+            winner: Some(entrant.variant),
+            entrants: vec![EntrantTiming {
+                variant: entrant.variant,
+                stop: result.stop,
+                wall_us: elapsed_us,
+                pruned: false,
+            }],
+        });
+        core.telemetry.emit(TraceEvent::Finalized {
+            query: pending.query_id,
+            conclusive: true,
+            cancelled: false,
+            winner: Some(entrant.variant),
+            elapsed_us,
+        });
         let PendingRace { slot, permit, .. } = pending;
         drop(permit);
         slot.fulfill(EngineResponse {
@@ -267,6 +326,8 @@ impl PendingRace {
             ranking,
             budget,
             admitted,
+            query_id,
+            setup_started,
             keyed,
             token,
             slot,
@@ -282,6 +343,8 @@ impl PendingRace {
                 ranking,
                 budget,
                 admitted,
+                query_id,
+                setup_started,
                 keyed,
                 token,
                 slot,
@@ -325,12 +388,26 @@ impl PendingRace {
             .iter()
             .map(|&idx| (idx, entrant_slots[idx].take().expect("each entrant launches once")))
             .collect();
+        core.telemetry.emit(TraceEvent::HeatLaunched {
+            query: query_id,
+            launched: k as u32,
+            reserved: (n - k) as u32,
+        });
+        // Per-entrant start/claim events flow through the race layer's
+        // stage hook; skipped entirely when tracing is off.
+        let mut state = RaceState::with_token(admitted, token);
+        if let Some(trace) = &core.telemetry.trace {
+            state = state
+                .observe(Arc::new(FlightObserver { trace: Arc::clone(trace), query: query_id }));
+        }
         let flight = Arc::new(RaceFlight {
             core,
             pool: Arc::downgrade(pool),
-            state: RaceState::with_token(admitted, token),
+            state,
             budget,
             admitted,
+            query_id,
+            setup_started,
             keyed,
             features,
             variants,
@@ -371,6 +448,28 @@ impl PendingRace {
     }
 }
 
+/// The [`RaceObserver`] a traced flight attaches to its race state:
+/// forwards entrant-start and win-claim milestones into the trace ring
+/// from the entrant's own worker thread.
+struct FlightObserver {
+    trace: Arc<TraceSink>,
+    query: u64,
+}
+
+impl RaceObserver for FlightObserver {
+    fn entrant_started(&self, idx: usize, _since_start: Duration) {
+        self.trace.emit(TraceEvent::EntrantStarted { query: self.query, entrant: idx as u32 });
+    }
+
+    fn race_claimed(&self, idx: usize, wall: Duration) {
+        self.trace.emit(TraceEvent::WinClaimed {
+            query: self.query,
+            entrant: idx as u32,
+            wall_us: wall.as_micros().min(u64::MAX as u128) as u64,
+        });
+    }
+}
+
 /// One in-flight race: shared by its entrant tasks (strongly) and the
 /// stage timer (weakly). The last entrant to report finalizes.
 pub(crate) struct RaceFlight {
@@ -379,6 +478,8 @@ pub(crate) struct RaceFlight {
     state: RaceState,
     budget: RaceBudget,
     admitted: Instant,
+    query_id: u64,
+    setup_started: Instant,
     keyed: Option<(QueryKey, Vec<u32>)>,
     features: QueryFeatures,
     variants: Vec<Variant>,
@@ -465,6 +566,12 @@ impl RaceFlight {
     /// the race's state dictates, and finalizes once the whole launched
     /// field has reported.
     fn on_report(self: &Arc<Self>, idx: usize, vr: VariantResult<Variant>) {
+        self.core.telemetry.emit(TraceEvent::EntrantFinished {
+            query: self.query_id,
+            entrant: idx as u32,
+            stop: vr.result.stop,
+            wall_us: vr.wall.as_micros().min(u64::MAX as u128) as u64,
+        });
         let action = {
             let mut inner = self.inner.lock().expect("race flight lock");
             if inner.results[idx].is_none() {
@@ -477,6 +584,10 @@ impl RaceFlight {
                     // The pruned heat decided the race: the reserve never
                     // occupies a worker.
                     let drained: Vec<_> = inner.reserve.drain(..).collect();
+                    self.core.telemetry.emit(TraceEvent::ReservePruned {
+                        query: self.query_id,
+                        count: drained.len() as u32,
+                    });
                     for (i, _) in drained {
                         inner.pruned[i] = true;
                     }
@@ -527,6 +638,10 @@ impl RaceFlight {
         match self.pool.upgrade() {
             Some(pool) => {
                 self.core.stats.escalations.fetch_add(1, Ordering::Relaxed);
+                self.core.telemetry.emit(TraceEvent::Escalated {
+                    query: self.query_id,
+                    launched: entries.len() as u32,
+                });
                 for (idx, entrant) in entries {
                     pool.submit(entrant_task(Arc::clone(self), idx, entrant));
                 }
@@ -534,6 +649,10 @@ impl RaceFlight {
             None => {
                 // Engine shut down: the reserve can never launch. Treat
                 // it as pruned so the flight still finalizes.
+                self.core.telemetry.emit(TraceEvent::ReservePruned {
+                    query: self.query_id,
+                    count: entries.len() as u32,
+                });
                 let finalize = {
                     let mut inner = self.inner.lock().expect("race flight lock");
                     inner.launched -= entries.len();
@@ -559,6 +678,10 @@ impl RaceFlight {
                 (FlightAction::Nothing, None)
             } else if self.state.is_decided() {
                 let drained: Vec<_> = inner.reserve.drain(..).collect();
+                self.core.telemetry.emit(TraceEvent::ReservePruned {
+                    query: self.query_id,
+                    count: drained.len() as u32,
+                });
                 for (i, _) in drained {
                     inner.pruned[i] = true;
                 }
@@ -587,6 +710,11 @@ impl RaceFlight {
     /// and fulfills the ticket. Runs exactly once, on whichever pooled
     /// worker (or timer tick) completed the field.
     fn finalize(self: &Arc<Self>) {
+        let finalize_started = Instant::now();
+        self.core
+            .stats
+            .race_stage
+            .record_duration(finalize_started.duration_since(self.setup_started));
         let (results, pruned, permit) = {
             let mut inner = self.inner.lock().expect("race flight lock");
             (
@@ -678,6 +806,35 @@ impl RaceFlight {
             self.core.cache_store(self.keyed.as_ref(), &answer);
         }
         stats.record_latency(elapsed);
+        let elapsed_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let winner = outcome.winner().map(|w| w.label);
+        let entrants: Vec<EntrantTiming> = outcome
+            .per_variant
+            .iter()
+            .enumerate()
+            .map(|(idx, vr)| EntrantTiming {
+                variant: vr.label,
+                stop: vr.result.stop,
+                wall_us: vr.wall.as_micros().min(u64::MAX as u128) as u64,
+                pruned: pruned[idx],
+            })
+            .collect();
+        self.core.telemetry.slow.record(SlowQuery {
+            query: self.query_id,
+            elapsed_us,
+            path: ServePath::Race,
+            conclusive,
+            winner,
+            entrants,
+        });
+        self.core.stats.finalize_stage.record_duration(finalize_started.elapsed());
+        self.core.telemetry.emit(TraceEvent::Finalized {
+            query: self.query_id,
+            conclusive,
+            cancelled: !conclusive && self.state.token().is_cancelled(),
+            winner,
+            elapsed_us,
+        });
         // Free the admission slot before the answer lands, so a caller
         // observing completion can immediately re-submit.
         drop(permit);

@@ -32,12 +32,22 @@
 //!   pruned heat is inconclusive by a fraction of the race budget.
 //! * [`cache`] — query canonicalization ([`cache::QueryKey`]) feeding a
 //!   sharded LRU result cache; repeated queries skip the race entirely.
-//! * [`stats`] — an [`EngineStats`] snapshot: throughput, p50/p99
-//!   latency, cache hit rate, races vs. fast paths, cancelled variants.
+//! * [`stats`] — an [`EngineStats`] snapshot: throughput, cache hit
+//!   rate, races vs. fast paths, cancelled variants, and p50/p99
+//!   latency from log-bucketed [`LatencyHistogram`]s covering **every**
+//!   query (≤ 1/32 relative bucket error), with per-stage breakdowns
+//!   (queue wait / race / finalize).
 //! * [`registry`] — multi-graph serving: a [`MultiEngine`] registers
 //!   named stored graphs (each with its own runner, predictor state and
 //!   cache partition) and routes all of their races through **one**
 //!   shared pool with fair cross-graph admission.
+//! * [`telemetry`] — Ψ-trace: per-query lifecycle events (admitted →
+//!   setup → heat launch → per-entrant finish → escalation → finalize)
+//!   buffered in lock-free per-shard rings, drained via
+//!   [`Engine::drain_trace`] or a [`TraceSubscriber`]; plus a
+//!   ring-buffer slow-query log with per-entrant timing.
+//! * [`export`] — a [`MetricsExporter`] rendering counters, histograms
+//!   and the slow-query log as Prometheus text or a JSON snapshot.
 //!
 //! ```
 //! use psi_core::{PsiRunner, RaceBudget};
@@ -93,17 +103,23 @@
 
 pub mod cache;
 pub mod engine;
+pub mod export;
 mod flight;
 pub mod pool;
 pub mod registry;
 pub mod stats;
 pub mod submit;
+pub mod telemetry;
 
 pub use cache::{
     embedding_from_canonical, embedding_to_canonical, CachedAnswer, QueryKey, ShardedCache,
 };
 pub use engine::{Engine, EngineConfig, EngineError, EngineResponse, RaceStrategy, ServePath};
+pub use export::{GraphMetricsSnapshot, HistogramKind, MetricsExporter};
 pub use pool::WorkerPool;
 pub use registry::{GraphId, GraphRegistry, MultiEngine, MultiEngineConfig, RegistryError};
-pub use stats::EngineStats;
+pub use stats::{EngineStats, HistogramSnapshot, LatencyHistogram, StageLatencies};
 pub use submit::{CompletionQueue, Priority, QueryRequest, QueryTicket, Submit};
+pub use telemetry::{
+    EntrantTiming, SlowQuery, TelemetryConfig, TraceEvent, TraceRecord, TraceSubscriber,
+};

@@ -26,8 +26,9 @@
 use crate::engine::{AdmissionGate, Engine, EngineConfig, EngineError, EngineResponse};
 use crate::flight::StageTimer;
 use crate::pool::WorkerPool;
-use crate::stats::{EngineStats, StatsCollector};
+use crate::stats::{EngineStats, LatencyHistogram, StageLatencies};
 use crate::submit::{Priority, QueryRequest, QueryTicket, Submit};
+use crate::telemetry::{SlowQuery, TraceRecord};
 use psi_core::{PsiRunner, RaceBudget};
 use psi_graph::Graph;
 use std::collections::HashMap;
@@ -437,6 +438,9 @@ impl MultiEngine {
             Arc::clone(&self.pool),
             gate,
             Some(Arc::clone(&self.timer)),
+            // All tenants stamp trace timestamps against the registry's
+            // clock, so a merged drain is ordered across graphs.
+            self.started,
         );
         let id = GraphId(slot);
         inner.tenants.push(Arc::new(Tenant { name: name.clone(), engine }));
@@ -534,9 +538,10 @@ impl MultiEngine {
     }
 
     /// Aggregate serving statistics across every registered graph.
-    /// Counters are summed; percentiles are computed over the merged
-    /// recent-latency samples (not averaged per-graph percentiles);
-    /// throughput is measured against this engine's uptime.
+    /// Counters are summed; percentiles are computed over the *merged*
+    /// latency histograms (bucket-wise addition — exactly the pooled
+    /// distribution, not averaged per-graph percentiles); throughput is
+    /// measured against this engine's uptime.
     pub fn stats(&self) -> EngineStats {
         let tenants = self.registry.snapshot();
         let uptime = self.started.elapsed();
@@ -562,12 +567,16 @@ impl MultiEngine {
             throughput_qps: 0.0,
             latency_p50: std::time::Duration::ZERO,
             latency_p99: std::time::Duration::ZERO,
+            stages: StageLatencies::default(),
         };
-        let mut samples: Vec<u64> = Vec::new();
+        let latency = LatencyHistogram::new();
+        let queue_wait = LatencyHistogram::new();
+        let race_stage = LatencyHistogram::new();
+        let finalize_stage = LatencyHistogram::new();
         for tenant in &tenants {
             // Read the raw counters, not EngineStats snapshots: a
-            // snapshot would sort the tenant's whole latency ring to
-            // produce percentiles this aggregate immediately discards.
+            // snapshot would compute per-tenant percentiles this
+            // aggregate immediately discards.
             let c = tenant.engine.stats_collector();
             agg.queries += c.queries.load(Ordering::Relaxed);
             agg.cache_hits += c.cache_hits.load(Ordering::Relaxed);
@@ -585,7 +594,10 @@ impl MultiEngine {
             agg.edge_probes_binary += c.edge_probes_binary.load(Ordering::Relaxed);
             agg.index_build_us +=
                 tenant.engine.runner().target_index().map_or(0, |ix| ix.build_micros());
-            samples.extend(c.latency_samples());
+            latency.merge_from(&c.latency);
+            queue_wait.merge_from(&c.queue_wait);
+            race_stage.merge_from(&c.race_stage);
+            finalize_stage.merge_from(&c.finalize_stage);
         }
         agg.hit_rate = EngineStats::rate(agg.cache_hits, agg.cache_hits + agg.cache_misses);
         agg.escalation_rate = EngineStats::rate(agg.escalations, agg.topk_races);
@@ -594,8 +606,55 @@ impl MultiEngine {
         } else {
             0.0
         };
-        (agg.latency_p50, agg.latency_p99) = StatsCollector::percentiles_of(&mut samples);
+        agg.latency_p50 = latency.percentile_duration(0.50);
+        agg.latency_p99 = latency.percentile_duration(0.99);
+        agg.stages = StageLatencies {
+            queue_p50: queue_wait.percentile_duration(0.50),
+            queue_p99: queue_wait.percentile_duration(0.99),
+            race_p50: race_stage.percentile_duration(0.50),
+            race_p99: race_stage.percentile_duration(0.99),
+            finalize_p50: finalize_stage.percentile_duration(0.50),
+            finalize_p99: finalize_stage.percentile_duration(0.99),
+        };
         agg
+    }
+
+    /// Drains buffered trace events from every registered graph, tagged
+    /// with the emitting graph's id and merged into one timeline (ordered
+    /// by timestamp — all tenants share this registry's epoch clock).
+    /// Events read are consumed; call periodically to avoid ring drops.
+    pub fn drain_trace(&self) -> Vec<(GraphId, TraceRecord)> {
+        let tenants = self.registry.snapshot();
+        let mut merged: Vec<(GraphId, TraceRecord)> = Vec::new();
+        for (idx, tenant) in tenants.iter().enumerate() {
+            let id = GraphId(idx);
+            merged.extend(tenant.engine.drain_trace().into_iter().map(|r| (id, r)));
+        }
+        merged.sort_by_key(|(_, r)| (r.at_us, r.seq));
+        merged
+    }
+
+    /// The worst-latency queries across every registered graph, tagged
+    /// with their graph id, slowest first.
+    pub fn slow_queries(&self) -> Vec<(GraphId, SlowQuery)> {
+        let tenants = self.registry.snapshot();
+        let mut all: Vec<(GraphId, SlowQuery)> = Vec::new();
+        for (idx, tenant) in tenants.iter().enumerate() {
+            let id = GraphId(idx);
+            all.extend(tenant.engine.slow_queries().into_iter().map(|q| (id, q)));
+        }
+        all.sort_by_key(|(_, q)| std::cmp::Reverse(q.elapsed_us));
+        all
+    }
+
+    /// A metrics exporter over every registered graph: per-graph and
+    /// aggregate counters, histograms and slow-query logs, renderable as
+    /// Prometheus text or JSON.
+    pub fn exporter(&self) -> crate::export::MetricsExporter {
+        let tenants = self.registry.snapshot();
+        crate::export::MetricsExporter::from_graphs(
+            tenants.iter().map(|t| (Some(t.name.clone()), &t.engine)).collect(),
+        )
     }
 }
 

@@ -1,13 +1,263 @@
-//! Engine observability: lock-cheap counters plus a latency ring, with a
-//! point-in-time [`EngineStats`] snapshot for dashboards and benches.
+//! Engine observability: lock-cheap counters plus log-bucketed latency
+//! histograms, with a point-in-time [`EngineStats`] snapshot for
+//! dashboards and benches.
+//!
+//! The histograms are HDR-style: a linear region below 32 µs, then 32
+//! sub-buckets per power-of-two octave, which bounds the relative bucket
+//! width at 1/32 (~3.1%). Every recorded value lands in a bucket with a
+//! single relaxed atomic add, so percentiles are exact-to-bucket over
+//! *all* observations — no sampling, no reservoir drift — and two
+//! histograms merge by adding bucket counts, which is how the registry
+//! builds `MultiEngine` aggregate percentiles.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// How many of the most recent per-query latencies the ring retains for
-/// percentile estimation.
-const LATENCY_RING: usize = 8192;
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `1 << SUB_BITS` linear buckets.
+const SUB_BITS: usize = 5;
+/// Buckets per octave (and the size of the initial linear region).
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total bucket count: the linear region `[0, 32)` plus 59 octaves
+/// (floor(log2) in `5..=63`) of 32 sub-buckets each, covering the rest of
+/// the `u64` range.
+const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS) * SUB_BUCKETS;
+
+/// Bucket index for a microsecond value. Total order is preserved:
+/// `a <= b` implies `bucket_index(a) <= bucket_index(b)`.
+fn bucket_index(us: u64) -> usize {
+    if us < SUB_BUCKETS as u64 {
+        us as usize
+    } else {
+        let top = 63 - us.leading_zeros() as usize; // floor(log2), >= SUB_BITS
+        ((top - SUB_BITS) << SUB_BITS) + (us >> (top - SUB_BITS)) as usize
+    }
+}
+
+/// Largest microsecond value that lands in bucket `index` (the bound the
+/// percentile estimator reports, so estimates never undershoot).
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        index as u64
+    } else {
+        let octave = (index >> SUB_BITS) - 1;
+        let sub = (index - (octave << SUB_BITS)) as u128;
+        // 128-bit shift: the very last bucket's bound is 2^64 - 1.
+        (((sub + 1) << octave) - 1).min(u64::MAX as u128) as u64
+    }
+}
+
+/// A mergeable log-bucketed latency histogram over microsecond values.
+///
+/// Recording is wait-free (one relaxed `fetch_add`); reading is a scan of
+/// ~1.9k buckets. Memory: 15 KiB of `AtomicU64` per histogram.
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self { buckets, count: AtomicU64::new(0), sum_us: AtomicU64::new(0) }
+    }
+
+    /// Records one microsecond observation.
+    pub fn record(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Records one duration, saturating to whole microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded microsecond values.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Adds every bucket of `other` into `self`. This is the
+    /// `MultiEngine` aggregation primitive: merged percentiles equal
+    /// percentiles of the pooled observations, to within bucket error.
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum_us.fetch_add(other.sum_us(), Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile in microseconds (upper bound of the bucket holding
+    /// the rank-`ceil(q * (n - 1))` observation, 0-based — so p99 of 100
+    /// samples reads rank 99, never rank 98). Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (n - 1) as f64).ceil() as u64;
+        let mut seen = 0u64;
+        let mut last_nonzero = 0usize;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            last_nonzero = i;
+            seen += c;
+            if seen > rank {
+                return bucket_upper(i);
+            }
+        }
+        // `count` can momentarily lead the bucket sums under concurrent
+        // recording; fall back to the largest populated bucket.
+        bucket_upper(last_nonzero)
+    }
+
+    /// [`Self::percentile`] as a `Duration`.
+    pub fn percentile_duration(&self, q: f64) -> Duration {
+        Duration::from_micros(self.percentile(q))
+    }
+
+    /// A point-in-time copy of the populated buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_upper(i), c))
+            })
+            .collect();
+        HistogramSnapshot { buckets, count: self.count(), sum_us: self.sum_us() }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .field("sum_us", &self.sum_us())
+            .field("p50_us", &self.percentile(0.50))
+            .field("p99_us", &self.percentile(0.99))
+            .finish()
+    }
+}
+
+/// A frozen copy of a [`LatencyHistogram`]: the populated buckets as
+/// `(inclusive upper bound in µs, count)` pairs in ascending order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Populated buckets, ascending by bound.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed microsecond values.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile in microseconds under the same rank convention as
+    /// [`LatencyHistogram::percentile`]. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for &(bound, c) in &self.buckets {
+            seen += c;
+            if seen > rank {
+                return bound;
+            }
+        }
+        self.buckets.last().map_or(0, |&(bound, _)| bound)
+    }
+
+    /// Pools another snapshot into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged: Vec<(u64, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ba, ca)), Some(&&(bb, cb))) => {
+                    if ba == bb {
+                        merged.push((ba, ca + cb));
+                        a.next();
+                        b.next();
+                    } else if ba < bb {
+                        merged.push((ba, ca));
+                        a.next();
+                    } else {
+                        merged.push((bb, cb));
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+    }
+
+    /// Mean observed value in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-stage latency percentiles carried in [`EngineStats`]: where a
+/// query's wall-clock went, split at the stage boundaries the trace
+/// events mark (admission → setup start → finalize start → fulfilled).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageLatencies {
+    /// Median admission-to-setup queue wait.
+    pub queue_p50: Duration,
+    /// p99 admission-to-setup queue wait.
+    pub queue_p99: Duration,
+    /// Median setup-to-finalize race time (includes fast-path execution).
+    pub race_p50: Duration,
+    /// p99 setup-to-finalize race time.
+    pub race_p99: Duration,
+    /// Median finalize cost (result assembly, cache store, fulfillment).
+    pub finalize_p50: Duration,
+    /// p99 finalize cost.
+    pub finalize_p99: Duration,
+}
 
 /// Live counters updated by the serving path.
 pub(crate) struct StatsCollector {
@@ -26,13 +276,14 @@ pub(crate) struct StatsCollector {
     pub escalations: AtomicU64,
     pub edge_probes_bitset: AtomicU64,
     pub edge_probes_binary: AtomicU64,
-    latencies_us: Mutex<Ring>,
-}
-
-struct Ring {
-    buf: Vec<u64>,
-    next: usize,
-    filled: usize,
+    /// End-to-end served latency (admission or cache probe → fulfilled).
+    pub latency: LatencyHistogram,
+    /// Admission → setup-start queue wait.
+    pub queue_wait: LatencyHistogram,
+    /// Setup-start → finalize-start race stage.
+    pub race_stage: LatencyHistogram,
+    /// Finalize body (result assembly through fulfillment).
+    pub finalize_stage: LatencyHistogram,
 }
 
 impl StatsCollector {
@@ -53,7 +304,10 @@ impl StatsCollector {
             escalations: AtomicU64::new(0),
             edge_probes_bitset: AtomicU64::new(0),
             edge_probes_binary: AtomicU64::new(0),
-            latencies_us: Mutex::new(Ring { buf: vec![0; LATENCY_RING], next: 0, filled: 0 }),
+            latency: LatencyHistogram::new(),
+            queue_wait: LatencyHistogram::new(),
+            race_stage: LatencyHistogram::new(),
+            finalize_stage: LatencyHistogram::new(),
         }
     }
 
@@ -71,33 +325,19 @@ impl StatsCollector {
 
     /// Records one served query's end-to-end latency.
     pub fn record_latency(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let mut ring = self.latencies_us.lock().expect("latency ring lock");
-        let at = ring.next;
-        ring.buf[at] = us;
-        ring.next = (at + 1) % LATENCY_RING;
-        ring.filled = (ring.filled + 1).min(LATENCY_RING);
+        self.latency.record_duration(latency);
     }
 
-    /// The retained recent-latency samples (microseconds, unordered) —
-    /// merged across graphs by the registry so aggregate percentiles are
-    /// computed over *samples*, not averaged per-graph percentiles.
-    pub(crate) fn latency_samples(&self) -> Vec<u64> {
-        let ring = self.latencies_us.lock().expect("latency ring lock");
-        ring.buf[..ring.filled].to_vec()
-    }
-
-    /// p50/p99 over a set of latency samples in microseconds.
-    pub(crate) fn percentiles_of(samples: &mut [u64]) -> (Duration, Duration) {
-        samples.sort_unstable();
-        if samples.is_empty() {
-            return (Duration::ZERO, Duration::ZERO);
+    /// Per-stage percentile snapshot.
+    pub(crate) fn stage_latencies(&self) -> StageLatencies {
+        StageLatencies {
+            queue_p50: self.queue_wait.percentile_duration(0.50),
+            queue_p99: self.queue_wait.percentile_duration(0.99),
+            race_p50: self.race_stage.percentile_duration(0.50),
+            race_p99: self.race_stage.percentile_duration(0.99),
+            finalize_p50: self.finalize_stage.percentile_duration(0.50),
+            finalize_p99: self.finalize_stage.percentile_duration(0.99),
         }
-        let at = |q: f64| {
-            let idx = ((samples.len() - 1) as f64 * q).round() as usize;
-            Duration::from_micros(samples[idx])
-        };
-        (at(0.50), at(0.99))
     }
 
     /// Takes a consistent-enough snapshot of all counters.
@@ -106,7 +346,6 @@ impl StatsCollector {
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
-        let (p50, p99) = Self::percentiles_of(&mut self.latency_samples());
         let topk_races = self.topk_races.load(Ordering::Relaxed);
         let escalations = self.escalations.load(Ordering::Relaxed);
         EngineStats {
@@ -133,8 +372,9 @@ impl StatsCollector {
             } else {
                 0.0
             },
-            latency_p50: p50,
-            latency_p99: p99,
+            latency_p50: self.latency.percentile_duration(0.50),
+            latency_p99: self.latency.percentile_duration(0.99),
+            stages: self.stage_latencies(),
         }
     }
 }
@@ -192,10 +432,13 @@ pub struct EngineStats {
     pub edge_probes_binary: u64,
     /// Queries per second since engine start.
     pub throughput_qps: f64,
-    /// Median end-to-end latency over the recent-latency window.
+    /// Median end-to-end latency over *all* served queries (bucketed).
     pub latency_p50: Duration,
-    /// 99th-percentile end-to-end latency over the recent-latency window.
+    /// 99th-percentile end-to-end latency over *all* served queries
+    /// (bucketed).
     pub latency_p99: Duration,
+    /// Per-stage latency breakdown (queue wait vs race vs finalize).
+    pub stages: StageLatencies,
 }
 
 impl EngineStats {
@@ -213,24 +456,125 @@ impl EngineStats {
 mod tests {
     use super::*;
 
+    /// Exact percentile under the histogram's rank convention:
+    /// rank `ceil(q * (n - 1))`, 0-based, over the sorted samples.
+    fn exact_percentile(samples: &mut [u64], q: f64) -> u64 {
+        samples.sort_unstable();
+        let rank = (q * (samples.len() - 1) as f64).ceil() as usize;
+        samples[rank]
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut prev = 0usize;
+        for shift in 0..64u32 {
+            for near in [-1i64, 0, 1, 17] {
+                let v = (1u128 << shift) as i128 + near as i128;
+                if v < 0 || v > u64::MAX as i128 {
+                    continue;
+                }
+                let idx = bucket_index(v as u64);
+                assert!(idx < NUM_BUCKETS, "index {idx} out of range for {v}");
+                assert!(idx >= prev || (v as u64) < bucket_upper(prev), "monotone");
+                prev = prev.max(idx);
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_round_trip() {
+        // Every value maps into a bucket whose upper bound is >= the value
+        // and within 1/32 relative error.
+        for v in (0..4096u64).chain([1 << 20, (1 << 20) + 12345, u64::MAX / 3]) {
+            let ub = bucket_upper(bucket_index(v));
+            assert!(ub >= v, "upper bound {ub} below value {v}");
+            assert!(ub - v <= v / 32 + 1, "bucket too wide at {v}: upper {ub}");
+        }
+    }
+
     #[test]
     fn empty_snapshot_is_zeroed() {
         let s = StatsCollector::new().snapshot();
         assert_eq!(s.queries, 0);
         assert_eq!(s.hit_rate, 0.0);
         assert_eq!(s.latency_p50, Duration::ZERO);
+        assert_eq!(s.stages, StageLatencies::default());
     }
 
     #[test]
-    fn percentiles_order() {
-        let c = StatsCollector::new();
-        for i in 1..=100u64 {
-            c.record_latency(Duration::from_micros(i * 10));
+    fn percentiles_match_exact_sort_within_one_bucket() {
+        // The regression the reservoir-based estimator failed: p99 of 100
+        // samples must read the rank-99 sample (not rank 98), and the
+        // histogram's answer must sit within one bucket width of the
+        // exactly sorted value.
+        let mut samples: Vec<u64> = (1..=100u64).map(|i| i * 97 + (i * i) % 31).collect();
+        let h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
         }
-        let s = c.snapshot();
-        assert!(s.latency_p50 <= s.latency_p99);
-        assert!(s.latency_p50 >= Duration::from_micros(400));
-        assert!(s.latency_p99 >= Duration::from_micros(900));
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let exact = exact_percentile(&mut samples, q);
+            let est = h.percentile(q);
+            assert!(est >= exact, "q={q}: estimate {est} under exact {exact}");
+            assert!(est - exact <= exact / 32 + 1, "q={q}: estimate {est} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn p99_of_100_reads_the_tail_sample() {
+        // 99 fast samples and one 10× straggler: the old `round()` rank
+        // selection returned index 98 (a fast sample); the histogram must
+        // report the straggler's bucket.
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1000);
+        assert!(h.percentile(0.99) >= 1000);
+        assert!(h.percentile(0.50) < 200);
+    }
+
+    #[test]
+    fn merge_equals_pooled_recording() {
+        let (a, b, pooled) =
+            (LatencyHistogram::new(), LatencyHistogram::new(), LatencyHistogram::new());
+        for i in 0..500u64 {
+            let v = i * 13 % 7919;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            pooled.record(v);
+        }
+        let merged = LatencyHistogram::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.count(), pooled.count());
+        assert_eq!(merged.sum_us(), pooled.sum_us());
+        assert_eq!(merged.snapshot(), pooled.snapshot());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(merged.percentile(q), pooled.percentile(q));
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_matches_live_merge() {
+        let (a, b) = (LatencyHistogram::new(), LatencyHistogram::new());
+        for i in 0..200u64 {
+            a.record(i * 3);
+            b.record(i * 11 + 5);
+        }
+        let live = LatencyHistogram::new();
+        live.merge_from(&a);
+        live.merge_from(&b);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap, live.snapshot());
+        for q in [0.25, 0.5, 0.75, 0.99] {
+            assert_eq!(snap.percentile(q), live.percentile(q));
+        }
     }
 
     #[test]
@@ -254,11 +598,14 @@ mod tests {
     }
 
     #[test]
-    fn ring_wraps_without_panicking() {
+    fn histogram_absorbs_sustained_load_without_drift() {
+        // The reservoir this replaces forgot old samples after 8192
+        // recordings; the histogram keeps exact counts forever.
         let c = StatsCollector::new();
-        for _ in 0..(LATENCY_RING + 100) {
+        for _ in 0..10_000 {
             c.record_latency(Duration::from_micros(5));
         }
+        assert_eq!(c.latency.count(), 10_000);
         assert_eq!(c.snapshot().latency_p50, Duration::from_micros(5));
     }
 }

@@ -227,16 +227,28 @@ impl CompletionSlot {
 pub struct QueryTicket {
     slot: Arc<CompletionSlot>,
     cancel: CancelToken,
+    query_id: u64,
 }
 
 impl QueryTicket {
-    pub(crate) fn pending(slot: Arc<CompletionSlot>, cancel: CancelToken) -> Self {
-        Self { slot, cancel }
+    pub(crate) fn pending(slot: Arc<CompletionSlot>, cancel: CancelToken, query_id: u64) -> Self {
+        Self { slot, cancel, query_id }
     }
 
     /// A ticket that is already complete (cache hit).
-    pub(crate) fn completed(response: EngineResponse) -> Self {
-        Self { slot: Arc::new(CompletionSlot::completed(response)), cancel: CancelToken::new() }
+    pub(crate) fn completed(response: EngineResponse, query_id: u64) -> Self {
+        Self {
+            slot: Arc::new(CompletionSlot::completed(response)),
+            cancel: CancelToken::new(),
+            query_id,
+        }
+    }
+
+    /// The engine-assigned query id, matching the `query` field of this
+    /// submission's [`crate::TraceEvent`]s — the join key between tickets
+    /// and the trace stream.
+    pub fn query_id(&self) -> u64 {
+        self.query_id
     }
 
     /// The response, if the query has completed. Never blocks; may be
@@ -312,7 +324,10 @@ impl QueryTicket {
 
 impl fmt::Debug for QueryTicket {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("QueryTicket").field("complete", &self.is_complete()).finish()
+        f.debug_struct("QueryTicket")
+            .field("query_id", &self.query_id)
+            .field("complete", &self.is_complete())
+            .finish()
     }
 }
 
@@ -447,7 +462,7 @@ mod tests {
     #[test]
     fn ticket_poll_wait_and_fulfill() {
         let slot = Arc::new(CompletionSlot::new());
-        let ticket = QueryTicket::pending(Arc::clone(&slot), CancelToken::new());
+        let ticket = QueryTicket::pending(Arc::clone(&slot), CancelToken::new(), 0);
         assert!(!ticket.is_complete());
         assert!(ticket.poll().is_none());
         assert!(ticket.wait_timeout(Duration::from_millis(5)).is_none());
@@ -460,7 +475,7 @@ mod tests {
     #[test]
     fn wait_blocks_until_fulfilled_from_another_thread() {
         let slot = Arc::new(CompletionSlot::new());
-        let ticket = QueryTicket::pending(Arc::clone(&slot), CancelToken::new());
+        let ticket = QueryTicket::pending(Arc::clone(&slot), CancelToken::new(), 0);
         let filler = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
             slot.fulfill(response());
@@ -472,7 +487,7 @@ mod tests {
     #[test]
     fn dropping_a_pending_ticket_cancels_its_token() {
         let token = CancelToken::new();
-        let ticket = QueryTicket::pending(Arc::new(CompletionSlot::new()), token.clone());
+        let ticket = QueryTicket::pending(Arc::new(CompletionSlot::new()), token.clone(), 0);
         assert!(!token.is_cancelled());
         drop(ticket);
         assert!(token.is_cancelled());
@@ -483,8 +498,11 @@ mod tests {
         let queue = CompletionQueue::new();
         let slots: Vec<Arc<CompletionSlot>> =
             (0..3).map(|_| Arc::new(CompletionSlot::new())).collect();
-        let tickets: Vec<QueryTicket> =
-            slots.iter().map(|s| QueryTicket::pending(Arc::clone(s), CancelToken::new())).collect();
+        let tickets: Vec<QueryTicket> = slots
+            .iter()
+            .enumerate()
+            .map(|(tag, s)| QueryTicket::pending(Arc::clone(s), CancelToken::new(), tag as u64))
+            .collect();
         for (tag, ticket) in tickets.iter().enumerate() {
             ticket.attach(&queue, tag as u64);
         }
@@ -502,7 +520,7 @@ mod tests {
     #[test]
     fn attaching_an_already_completed_ticket_fires_immediately() {
         let queue = CompletionQueue::new();
-        let ticket = QueryTicket::completed(response());
+        let ticket = QueryTicket::completed(response(), 7);
         ticket.attach(&queue, 42);
         assert_eq!(queue.try_next(), Some(42));
     }

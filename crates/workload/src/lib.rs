@@ -34,6 +34,9 @@
 //! * [`index_cmp`] — saturated-pool comparison of the shared per-graph
 //!   `TargetIndex` against the legacy scan paths, feeding the CI bench
 //!   artifact's `indexed_speedup` trail.
+//! * [`overhead`] — saturated-pool comparison of tracing-on vs
+//!   tracing-off registries (identical otherwise), feeding the CI bench
+//!   artifact's `telemetry_overhead` trail.
 
 pub mod async_batch;
 pub mod batch;
@@ -41,6 +44,7 @@ pub mod classify;
 pub mod index_cmp;
 pub mod metrics;
 pub mod multi;
+pub mod overhead;
 pub mod query_gen;
 pub mod runner;
 pub mod strategy;
@@ -53,6 +57,7 @@ pub use metrics::{qla, speedup_star, wla, SummaryStats};
 pub use multi::{
     submit_batch_multi, GraphBatchStats, MultiBatchReport, MultiWorkload, MultiWorkloadSpec,
 };
+pub use overhead::{compare_telemetry_overhead, OverheadSpec, TelemetryOverhead};
 pub use query_gen::{QueryGen, Workloads};
 pub use runner::{run_with_cap, RunRecord};
 pub use strategy::{compare_race_strategies, StrategyComparison, StrategySpec};

@@ -1,0 +1,181 @@
+//! Saturated-pool measurement of the Ψ-trace overhead: the same
+//! multi-graph workload replayed against two registries that differ
+//! *only* in [`psi_engine::TelemetryConfig`] — one with lifecycle
+//! tracing on (and a consumer draining the rings, as a live deployment
+//! would), one with tracing off entirely.
+//!
+//! Caches and the fast path are disabled so every request really races
+//! and every race emits its full event sequence — the worst case for
+//! tracing cost. The qps ratio (traced / untraced) is the CI bench
+//! artifact's `telemetry_overhead` metric: 1.0 means free, and the gate
+//! holds it above ~0.9.
+
+use crate::multi::{submit_batch_multi, MultiWorkload, MultiWorkloadSpec};
+use psi_core::{PsiConfig, PsiRunner, RaceBudget};
+use psi_engine::{EngineConfig, GraphId, MultiEngine, MultiEngineConfig, TelemetryConfig};
+use psi_graph::Graph;
+use std::sync::Arc;
+
+/// Outcome of one tracing-on vs tracing-off measurement.
+#[derive(Debug, Clone)]
+pub struct TelemetryOverhead {
+    /// Best-pass throughput with tracing on and a draining consumer,
+    /// queries/second.
+    pub traced_qps: f64,
+    /// Best-pass throughput with tracing off, queries/second.
+    pub untraced_qps: f64,
+    /// `traced_qps / untraced_qps` (0 when the untraced run measured 0).
+    /// Close to 1.0 when tracing is cheap.
+    pub overhead_ratio: f64,
+    /// Trace events drained from the traced registry across all passes.
+    pub trace_events: u64,
+    /// Events the traced registry dropped because rings filled between
+    /// drains — nonzero means the capacity below was undersized for the
+    /// measured qps.
+    pub trace_dropped: u64,
+}
+
+/// Shape of a [`compare_telemetry_overhead`] measurement.
+#[derive(Debug, Clone)]
+pub struct OverheadSpec {
+    /// The multi-graph workload both registries serve.
+    pub workload: MultiWorkloadSpec,
+    /// The variant field every race runs.
+    pub config: PsiConfig,
+    /// Pool workers per registry.
+    pub workers: usize,
+    /// Concurrent client threads replaying the traffic; should exceed
+    /// `workers` so the pool saturates.
+    pub clients: usize,
+    /// Race budget applied to every query.
+    pub budget: RaceBudget,
+    /// Measurement passes per registry; each keeps its best pass.
+    pub passes: usize,
+    /// Ring capacity for the traced registry (per tenant).
+    pub trace_capacity: usize,
+}
+
+impl Default for OverheadSpec {
+    fn default() -> Self {
+        Self {
+            workload: MultiWorkloadSpec::default(),
+            config: PsiConfig::gql_spa_orig_dnd(),
+            workers: 4,
+            clients: 8,
+            budget: RaceBudget::with_max_matches(64),
+            passes: 2,
+            trace_capacity: 1 << 16,
+        }
+    }
+}
+
+fn race_only_registry(
+    graphs: &[Arc<Graph>],
+    spec: &OverheadSpec,
+    traced: bool,
+) -> (MultiEngine, Vec<GraphId>) {
+    let telemetry = if traced {
+        TelemetryConfig {
+            trace_events: true,
+            trace_capacity: spec.trace_capacity,
+            ..TelemetryConfig::default()
+        }
+    } else {
+        TelemetryConfig {
+            trace_events: false,
+            slow_query_capacity: 0,
+            ..TelemetryConfig::default()
+        }
+    };
+    let multi = MultiEngine::new(MultiEngineConfig {
+        workers: spec.workers,
+        max_concurrent_races: spec.workers.max(spec.clients),
+        tenant: EngineConfig {
+            // Isolate the racing path: no result cache, no fast path —
+            // every submission races and emits its full trace sequence.
+            cache_capacity: 0,
+            predictor_confidence: 2.0,
+            default_budget: spec.budget.clone(),
+            telemetry,
+            ..EngineConfig::default()
+        },
+    });
+    let ids = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let runner = PsiRunner::new(Arc::clone(g), spec.config.clone());
+            multi.register(format!("ovh-{i}"), runner).expect("unique name")
+        })
+        .collect();
+    (multi, ids)
+}
+
+/// Measures saturated-pool throughput of the same multi-graph traffic
+/// with tracing on (drained after every pass, as a scraper would) and
+/// off. Passes alternate in palindromic order (t u | u t) so a
+/// throttling host cannot hand either mode a systematic edge.
+pub fn compare_telemetry_overhead(spec: &OverheadSpec, seed: u64) -> TelemetryOverhead {
+    let workload = MultiWorkload::generate(&spec.workload, seed);
+    let (traced, traced_ids) = race_only_registry(&workload.graphs, spec, true);
+    let (untraced, untraced_ids) = race_only_registry(&workload.graphs, spec, false);
+    let route = |ids: &[GraphId]| -> Vec<(GraphId, Graph)> {
+        workload.traffic.iter().map(|(g, q)| (ids[*g], q.clone())).collect()
+    };
+    let traced_traffic = route(&traced_ids);
+    let untraced_traffic = route(&untraced_ids);
+
+    let mut traced_qps = 0.0f64;
+    let mut untraced_qps = 0.0f64;
+    let mut trace_events = 0u64;
+    for pass in 0..spec.passes.max(1) {
+        let (first, second) = if pass % 2 == 0 { (true, false) } else { (false, true) };
+        for traced_turn in [first, second] {
+            if traced_turn {
+                traced_qps =
+                    traced_qps.max(submit_batch_multi(&traced, &traced_traffic, spec.clients).qps);
+                // Drain between passes like a live scraper, so ring
+                // capacity bounds memory rather than event count.
+                trace_events += traced.drain_trace().len() as u64;
+            } else {
+                untraced_qps = untraced_qps
+                    .max(submit_batch_multi(&untraced, &untraced_traffic, spec.clients).qps);
+            }
+        }
+    }
+
+    let trace_dropped: u64 = traced.exporter().graphs().iter().map(|g| g.trace_dropped).sum();
+    TelemetryOverhead {
+        traced_qps,
+        untraced_qps,
+        overhead_ratio: if untraced_qps > 0.0 { traced_qps / untraced_qps } else { 0.0 },
+        trace_events,
+        trace_dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_measures_both_modes_and_sees_events() {
+        let spec = OverheadSpec {
+            workload: MultiWorkloadSpec {
+                graphs: 2,
+                total_queries: 40,
+                distinct_per_graph: 8,
+                ..MultiWorkloadSpec::default()
+            },
+            workers: 2,
+            clients: 4,
+            passes: 1,
+            ..OverheadSpec::default()
+        };
+        let ovh = compare_telemetry_overhead(&spec, 7);
+        assert!(ovh.traced_qps > 0.0);
+        assert!(ovh.untraced_qps > 0.0);
+        assert!(ovh.overhead_ratio > 0.0);
+        assert!(ovh.trace_events > 0, "traced registry must emit lifecycle events: {ovh:?}");
+    }
+}

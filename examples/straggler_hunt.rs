@@ -1,17 +1,32 @@
-//! Reproduce the paper's core observations on a live workload:
+//! Reproduce the paper's core observations from the Ψ-trace layer alone:
 //!
-//! 1. stragglers exist (Observation 1),
-//! 2. isomorphic instances of the same query vary wildly (Observation 2),
-//! 3. stragglers are rewriting- and algorithm-specific (Observations 4–5).
+//! 1. stragglers exist (Observation 1) — the whole-population latency
+//!    histogram has a tail far above its median, and the slow-query log
+//!    names the offenders,
+//! 2. isomorphic instances of the same query behave differently
+//!    (Observation 2) — each race fields Orig and DND instances of one
+//!    query, and their fates within a race diverge (one concludes, the
+//!    others are cancelled mid-flight),
+//! 3. stragglers are rewriting- and algorithm-specific (Observations
+//!    4–5) — the winning variant is not constant across queries, and in
+//!    each slow race the per-entrant timing shows which variant would
+//!    have been the straggler had it run alone.
+//!
+//! Instead of hand-timing matcher calls, everything below is read back
+//! from a serving engine's telemetry: the trace stream's `Finalized`
+//! events, the stage histograms, the slow-query log with per-entrant
+//! timing, and the Prometheus exporter. One caveat the trace makes
+//! explicit: losing entrants are cooperatively *cancelled* when the
+//! winner claims, so their recorded wall times are truncated — a loser's
+//! wall is a lower bound on what it would have cost alone. That
+//! truncation is exactly the paper's argument for racing.
 //!
 //! ```text
 //! cargo run --release --example straggler_hunt
 //! ```
 
 use psi::prelude::*;
-use psi_matchers::Algorithm;
 use psi_workload::metrics::max_min_ratio;
-use psi_workload::CapConfig;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -22,44 +37,130 @@ fn main() {
         stored.node_count(),
         stored.edge_count()
     );
-    let shared = Arc::new(stored.clone());
-    let stats = LabelStats::from_graph(&stored);
-    let cap = CapConfig::scaled(Duration::from_millis(200));
 
-    let gql = Algorithm::GraphQl.prepare(Arc::clone(&shared));
-    let spa = Algorithm::SPath.prepare(Arc::clone(&shared));
+    // The paper's 4-thread Fig 14/15 field — GQL/SPA × Orig/DND — on a
+    // traced engine with the shortcuts off: no cache and no predictor
+    // fast path, so every query runs the full entrant field and the
+    // trace shows complete races.
+    let runner = PsiRunner::new(Arc::new(stored.clone()), PsiConfig::gql_spa_orig_dnd());
+    let engine = Engine::new(
+        runner,
+        EngineConfig {
+            workers: 4,
+            cache_capacity: 0,
+            predictor_confidence: 2.0,
+            default_budget: RaceBudget::matching().timeout(Duration::from_millis(200)),
+            telemetry: TelemetryConfig {
+                trace_capacity: 1 << 16,
+                slow_query_capacity: 5,
+                ..TelemetryConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
 
     let queries = Workloads::nfv_workload(&stored, 20, 20, 5);
-    println!("workload: {} queries of 20 edges; cap {:?}\n", queries.len(), cap.cap);
+    println!("workload: {} queries of 20 edges, 200ms race timeout\n", queries.len());
+    for q in &queries {
+        engine.submit(q);
+    }
 
-    let mut spreads: Vec<(usize, f64)> = Vec::new();
-    let mut alg_specific = 0usize;
-    for (qi, q) in queries.iter().enumerate() {
-        // Six random isomorphic instances per query (§5).
-        let mut times = Vec::new();
-        for k in 0..6u64 {
-            let (rq, _) = rewrite_query(q, &stats, Rewriting::Random(1000 + k));
-            let (rec, _) = psi_workload::run_with_cap(|b| gql.search(&rq, b), &cap, 1000);
-            times.push(rec.charged_secs);
+    // The trace stream: one Admitted and one terminal event per query,
+    // with every entrant report in between.
+    let events = engine.drain_trace();
+    let entrant_reports =
+        events.iter().filter(|r| matches!(r.event, TraceEvent::EntrantFinished { .. })).count();
+    println!(
+        "trace: {} events ({} entrant reports, {} terminals, {} dropped)",
+        events.len(),
+        entrant_reports,
+        events.iter().filter(|r| r.event.is_terminal()).count(),
+        engine.trace_dropped()
+    );
+
+    // Observation 1: the tail dwarfs the median. Histogram percentiles
+    // cover the whole population (exact to one 1/32 bucket), and the
+    // Finalized events carry per-query wall times.
+    let stats = engine.stats();
+    println!(
+        "latency: p50 {:?}  p99 {:?}   stages p99: queue {:?} / race {:?} / finalize {:?}",
+        stats.latency_p50,
+        stats.latency_p99,
+        stats.stages.queue_p99,
+        stats.stages.race_p99,
+        stats.stages.finalize_p99
+    );
+    let finals: Vec<(u64, u64, Option<Variant>)> = events
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::Finalized { query, elapsed_us, winner, .. } => {
+                Some((query, elapsed_us, winner))
+            }
+            _ => None,
+        })
+        .collect();
+    let walls: Vec<f64> = finals.iter().map(|&(_, us, _)| us as f64).collect();
+    if let Some(spread) = max_min_ratio(&walls) {
+        println!("query-time (max/min) across the workload: {spread:.1}×  (stragglers exist)\n");
+    }
+
+    // Observations 4, 5: which variant won each race? A straggler under
+    // one (algorithm, rewriting) pair is fast under another, which is
+    // why racing the field wins.
+    let mut by_variant: Vec<(String, usize)> = Vec::new();
+    for &(_, _, winner) in &finals {
+        if let Some(v) = winner {
+            let name = v.to_string();
+            match by_variant.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, n)) => *n += 1,
+                None => by_variant.push((name, 1)),
+            }
         }
-        if let Some(ratio) = max_min_ratio(&times) {
-            spreads.push((qi, ratio));
-        }
-        // Algorithm-specificity: is the hard side different per algorithm?
-        let (g, _) = psi_workload::run_with_cap(|b| gql.search(q, b), &cap, 1000);
-        let (s, _) = psi_workload::run_with_cap(|b| spa.search(q, b), &cap, 1000);
-        if (g.killed() && !s.killed()) || (s.killed() && !g.killed()) {
-            alg_specific += 1;
+    }
+    by_variant.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    print!("winning variant: ");
+    for (name, n) in &by_variant {
+        print!("{name} ×{n}  ");
+    }
+    println!(
+        "\n{} distinct winning variants across {} queries: the fastest instance is \
+         (algorithm, rewriting)-specific.\n",
+        by_variant.len(),
+        finals.len()
+    );
+
+    // The slow-query log keeps per-entrant timing for the worst races:
+    // the fastest entrant is the winner, the slowest is the straggler
+    // racing rescued the query from (its wall truncated at cancellation).
+    println!("slow-query log, worst first (per-entrant timing):");
+    for sq in engine.slow_queries() {
+        let ran: Vec<&EntrantTiming> =
+            sq.entrants.iter().filter(|e| !e.pruned && e.wall_us > 0).collect();
+        let winner = sq.winner.map_or("none".to_string(), |w| w.to_string());
+        println!("  query {:>3}: {:>8} µs  winner {winner}", sq.query, sq.elapsed_us);
+        if let (Some(fast), Some(slow)) =
+            (ran.iter().min_by_key(|e| e.wall_us), ran.iter().max_by_key(|e| e.wall_us))
+        {
+            println!(
+                "             fastest {:<10} {:>8} µs ({:?})   slowest {:<10} {:>8} µs ({:?})",
+                fast.variant.to_string(),
+                fast.wall_us,
+                fast.stop,
+                slow.variant.to_string(),
+                slow.wall_us,
+                slow.stop
+            );
         }
     }
 
-    spreads.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite ratios"));
-    println!("top isomorphic-instance (max/min) spreads under GraphQL:");
-    for (qi, ratio) in spreads.iter().take(5) {
-        println!("  query {qi}: max/min = {ratio:.1}×");
+    // And the same numbers, scrape-ready.
+    let scrape = engine.exporter().render_prometheus();
+    println!("\nexporter excerpt ({} lines total):", scrape.lines().count());
+    for line in scrape.lines().filter(|l| {
+        l.starts_with("psi_queries_total")
+            || l.starts_with("psi_races_total")
+            || l.starts_with("psi_query_latency_us_count")
+    }) {
+        println!("  {line}");
     }
-    let median = spreads[spreads.len() / 2].1;
-    println!("\nmedian spread {median:.2}×, worst {:.1}×", spreads[0].1);
-    println!("queries killed by exactly one of GQL/SPA: {alg_specific}");
-    println!("\nObservation 2 reproduced: identical queries, permuted IDs, very different cost.");
 }

@@ -107,6 +107,38 @@
 //! assert!(on_yeast.conclusive && on_human.conclusive);
 //! assert_eq!(multi.stats().queries, 2);
 //! ```
+//!
+//! ## Quickstart: observability (Ψ-trace)
+//!
+//! Every engine buffers per-query lifecycle events (admitted → setup →
+//! heat launch → per-entrant finish → finalize) in lock-free rings,
+//! keeps log-bucketed latency histograms over **all** queries (with
+//! queue/race/finalize stage breakdowns), and remembers its worst
+//! queries with per-entrant timing. Drain the trace, read the stage
+//! percentiles, or render everything for a scraper:
+//!
+//! ```
+//! use psi::prelude::*;
+//!
+//! let stored = psi::graph::datasets::yeast_like(0.05, 42);
+//! let engine = Engine::new(
+//!     PsiRunner::nfv_default(&stored),
+//!     EngineConfig { workers: 2, default_budget: RaceBudget::decision(),
+//!                    ..EngineConfig::default() },
+//! );
+//! let query = Workloads::single_query(&stored, 8, 7).expect("query");
+//! engine.submit(&query);
+//!
+//! // The trace: one Admitted and one terminal event per accepted query.
+//! let events = engine.drain_trace();
+//! assert!(events.iter().any(|r| r.event.is_terminal()));
+//! // Stage percentiles from histograms covering every query.
+//! assert!(engine.stats().stages.race_p99 >= engine.stats().stages.race_p50);
+//! // Slow-query log and exporter (Prometheus text / JSON snapshot).
+//! assert!(!engine.slow_queries().is_empty());
+//! let scrape = engine.exporter().render_prometheus();
+//! assert!(scrape.contains("psi_queries_total 1"));
+//! ```
 
 pub use psi_core as core;
 pub use psi_engine as engine;
@@ -120,17 +152,19 @@ pub use psi_workload as workload;
 pub mod prelude {
     pub use psi_core::{PsiConfig, PsiOutcome, PsiRunner, RaceBudget, Variant};
     pub use psi_engine::{
-        CompletionQueue, Engine, EngineConfig, EngineError, EngineResponse, EngineStats, GraphId,
-        MultiEngine, MultiEngineConfig, Priority, QueryRequest, QueryTicket, RaceStrategy,
-        ServePath, Submit,
+        CompletionQueue, Engine, EngineConfig, EngineError, EngineResponse, EngineStats,
+        EntrantTiming, GraphId, MetricsExporter, MultiEngine, MultiEngineConfig, Priority,
+        QueryRequest, QueryTicket, RaceStrategy, ServePath, SlowQuery, Submit, TelemetryConfig,
+        TraceEvent, TraceRecord,
     };
     pub use psi_ftv::{GgsxIndex, GrapesIndex, GraphDb};
     pub use psi_graph::{Graph, GraphBuilder, LabelStats, Permutation};
     pub use psi_matchers::{MatchResult, Matcher, SearchBudget, StopReason};
     pub use psi_rewrite::{rewrite_query, Rewriting};
     pub use psi_workload::{
-        compare_race_strategies, submit_batch, submit_batch_async, submit_batch_multi,
-        AsyncBatchReport, BatchReport, MultiBatchReport, MultiWorkload, MultiWorkloadSpec,
-        QueryGen, StrategyComparison, StrategySpec, Workloads,
+        compare_race_strategies, compare_telemetry_overhead, submit_batch, submit_batch_async,
+        submit_batch_multi, AsyncBatchReport, BatchReport, MultiBatchReport, MultiWorkload,
+        MultiWorkloadSpec, OverheadSpec, QueryGen, StrategyComparison, StrategySpec,
+        TelemetryOverhead, Workloads,
     };
 }
