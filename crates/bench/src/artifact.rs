@@ -39,7 +39,10 @@ use std::time::Instant;
 /// v5: added `telemetry_overhead` (tracing-on vs tracing-off saturated
 ///     qps ratio, gated) plus the informational trail columns
 ///     `index_build_us`, `edge_probes_bitset`, `edge_probes_binary`.
-pub const SCHEMA_VERSION: f64 = 5.0;
+/// v6: added `net_qps` (the same race-only workload served over real
+///     loopback TCP by `psi_net::PsiServer` — 256 pipelined
+///     connections, one event-loop thread).
+pub const SCHEMA_VERSION: f64 = 6.0;
 
 /// The headline serving metrics CI tracks over time.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +87,14 @@ pub struct EngineBenchMetrics {
     /// contend for cores; on a 1-core CI runner the two sit at parity).
     /// Higher is better.
     pub async_qps: f64,
+    /// The same race-only workload served over the wire (v6): a
+    /// loopback `psi_net::PsiServer` (one event-loop thread) under a
+    /// 256-connection pipelined client fleet, queries/second. The
+    /// headline comparison is `net_qps` vs `async_qps`: the wire adds
+    /// framing, syscalls and the waiting room to the same ticket
+    /// frontend, and should retain the large majority of in-process
+    /// throughput. Higher is better.
+    pub net_qps: f64,
     /// Shared per-graph `TargetIndex` vs the legacy scan paths (v4):
     /// the standard 4-graph skewed workload raced as *matching* queries
     /// (the paper's 1000-embedding budget, so entrants live in their
@@ -136,6 +147,7 @@ impl EngineBenchMetrics {
             ("topk_qps", self.topk_qps, Direction::HigherIsBetter),
             ("escalation_rate", self.escalation_rate, Direction::LowerIsBetter),
             ("async_qps", self.async_qps, Direction::HigherIsBetter),
+            ("net_qps", self.net_qps, Direction::HigherIsBetter),
             ("indexed_speedup", self.indexed_speedup, Direction::HigherIsBetter),
             ("telemetry_overhead", self.telemetry_overhead, Direction::HigherIsBetter),
             ("index_build_us", self.index_build_us, Direction::Informational),
@@ -188,6 +200,7 @@ impl EngineBenchMetrics {
             topk_qps: get("topk_qps")?,
             escalation_rate: get("escalation_rate")?,
             async_qps: get("async_qps")?,
+            net_qps: get("net_qps")?,
             indexed_speedup: get("indexed_speedup")?,
             telemetry_overhead: get("telemetry_overhead")?,
             index_build_us: get("index_build_us")?,
@@ -430,6 +443,42 @@ pub fn measure() -> EngineBenchMetrics {
     run_topk();
     run_async();
 
+    // --- Wire frontend: the same race-only workload through a real
+    // loopback TCP server — 256 pipelined connections over one
+    // event-loop thread, driven by an 8-thread client fleet. Frames
+    // keep the
+    // tenant's default budget (max_matches = 0 on the wire) so the
+    // engine races exactly the work the in-process passes race; the
+    // over-admission overflow parks in the waiting room rather than
+    // bouncing. Best of two passes against one warm server. ---
+    let (net_multi, net_traffic) = race_only_registry(RaceStrategy::Full, 16);
+    let net_frames: Vec<psi_net::QueryFrame> = net_traffic
+        .iter()
+        .map(|(id, q)| {
+            let mut frame = psi_net::QueryFrame::new(id.index() as u64, q);
+            frame.max_matches = 0;
+            frame
+        })
+        .collect();
+    let net_server = psi_net::loopback(Arc::new(net_multi), 1).expect("loopback bench server");
+    let net_spec = psi_workload::NetFleetSpec {
+        connections: 256,
+        queries_per_conn: 8,
+        client_threads: 4,
+        // Two frames in flight per connection (512 total): enough
+        // over-admission to keep the waiting room busy without turning
+        // the 1-core event loop into the bottleneck.
+        pipeline: 2,
+    };
+    let mut net_qps = 0.0f64;
+    for _ in 0..2 {
+        let report = psi_workload::run_net_fleet(net_server.addr(), &net_frames, &net_spec);
+        assert_eq!(report.admission_errors, 0, "the waiting room must absorb the bench fleet");
+        assert_eq!(report.other_errors, 0, "bench fleet frames are well-formed");
+        net_qps = net_qps.max(report.qps);
+    }
+    drop(net_server);
+
     // --- Shared TargetIndex vs legacy scan paths: the standard 4-graph
     // skewed workload shape raced as matching queries (the paper's
     // 1000-embedding budget) against two identical registries differing
@@ -489,6 +538,7 @@ pub fn measure() -> EngineBenchMetrics {
         topk_qps,
         escalation_rate: topk_multi.stats().escalation_rate,
         async_qps,
+        net_qps,
         indexed_speedup: index_cmp.speedup,
         telemetry_overhead: overhead.overhead_ratio,
         index_build_us: index_cmp.index_build_us as f64,
@@ -511,6 +561,7 @@ mod tests {
             topk_qps: 900.0,
             escalation_rate: 0.125,
             async_qps: 850.0,
+            net_qps: 700.0,
             indexed_speedup: 1.2,
             telemetry_overhead: 0.97,
             index_build_us: 1500.0,
@@ -567,6 +618,7 @@ mod tests {
             topk_qps: 9_500.0,
             escalation_rate: 0.01,
             async_qps: 9_800.0,
+            net_qps: 9_700.0,
             indexed_speedup: 3.0,
             telemetry_overhead: 1.02,
             index_build_us: 1500.0,
@@ -617,6 +669,17 @@ mod tests {
         let names: Vec<_> =
             check_regressions(&worse, &base, 0.30).iter().map(|r| r.metric).collect();
         assert_eq!(names, vec!["async_qps"]);
+    }
+
+    #[test]
+    fn net_qps_regressions_are_gated() {
+        let base = sample();
+        // Wire throughput collapsing (a serialized event loop, a lost
+        // pipeline) trips the gate like any other qps column.
+        let worse = EngineBenchMetrics { net_qps: 300.0, ..base.clone() };
+        let names: Vec<_> =
+            check_regressions(&worse, &base, 0.30).iter().map(|r| r.metric).collect();
+        assert_eq!(names, vec!["net_qps"]);
     }
 
     #[test]

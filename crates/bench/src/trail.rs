@@ -27,11 +27,12 @@ use crate::artifact::parse_flat_json;
 /// cost and the adjacency-probe split — which trend with workload shape
 /// rather than gate. Artifacts predating a metric (older schema
 /// versions) show `—` in its column instead of failing the whole trail.
-pub const TRAIL_METRICS: [&str; 9] = [
+pub const TRAIL_METRICS: [&str; 10] = [
     "qps",
     "multi_qps",
     "topk_qps",
     "async_qps",
+    "net_qps",
     "indexed_speedup",
     "telemetry_overhead",
     "index_build_us",
@@ -180,6 +181,7 @@ mod tests {
             topk_qps: qps * 0.9,
             escalation_rate: 0.1,
             async_qps: qps * 0.85,
+            net_qps: qps * 0.7,
             indexed_speedup: qps / 1000.0 * 1.2,
             telemetry_overhead: qps / 1000.0 * 0.95,
             index_build_us: 1500.0,

@@ -9,12 +9,17 @@
 //!    definitive answer without touching the pool (an already-completed
 //!    ticket).
 //! 2. **Admission** — at most `max_concurrent_races` queries may occupy
-//!    the pool at once. [`crate::Submit::submit_nonblocking`] surfaces
-//!    [`EngineError::Busy`] at *ticket creation*;
-//!    [`crate::Submit::submit_queued`] blocks for a slot, ordered by
-//!    [`crate::Priority`] and then arrival. This bounds in-flight work to
-//!    `max_concurrent_races × variants` tasks no matter how many callers
-//!    pile on.
+//!    the pool at once. Over-limit non-blocking submissions *park* in a
+//!    bounded waiting room ([`EngineConfig::waiting_room`]): the ticket
+//!    returns immediately and the query launches when the fair gate
+//!    grants it a slot (FIFO per priority, fed through the same grant
+//!    chain as blocking waiters; dropping the ticket frees the parked
+//!    slot). Only when the room is full does admission refuse, with
+//!    [`AdmissionError::QueueFull`] — or [`AdmissionError::Busy`] when
+//!    the room is disabled. [`crate::Submit::submit_queued`] blocks for
+//!    a slot instead, ordered by [`crate::Priority`] and then arrival.
+//!    This bounds in-flight work to `max_concurrent_races × variants`
+//!    tasks no matter how many callers pile on.
 //! 3. **Predictor fast path** — once the k-NN predictor has seen enough
 //!    races and votes confidently, the single predicted variant runs on
 //!    the pool instead of a full race; an inconclusive result falls back
@@ -86,9 +91,16 @@ pub struct EngineConfig {
     /// parallelism).
     pub workers: usize,
     /// Maximum races occupying the pool concurrently; further submissions
-    /// block (or bounce with [`EngineError::Busy`]). Default: `workers`,
-    /// so the pool always has at least one task slot per admitted race.
+    /// block, park in the waiting room, or bounce with
+    /// [`AdmissionError::Busy`]. Default: `workers`, so the pool always
+    /// has at least one task slot per admitted race.
     pub max_concurrent_races: usize,
+    /// Bounded waiting room for over-limit **non-blocking** submissions:
+    /// up to this many parked requests queue per graph for a slot grant
+    /// instead of bouncing, so short bursts absorb rather than error.
+    /// `0` restores hard rejection ([`AdmissionError::Busy`]); a full
+    /// room refuses with [`AdmissionError::QueueFull`]. Default 1024.
+    pub waiting_room: usize,
     /// Independently-locked cache shards (default 8).
     pub cache_shards: usize,
     /// Total cached answers across shards (default 4096); 0 disables the
@@ -124,6 +136,7 @@ impl Default for EngineConfig {
         Self {
             workers,
             max_concurrent_races: workers,
+            waiting_room: 1024,
             cache_shards: 8,
             cache_capacity: 4096,
             predictor_k: 3,
@@ -137,12 +150,47 @@ impl Default for EngineConfig {
     }
 }
 
-/// Why the engine refused a query.
+/// Why admission refused a query — backpressure, not a caller mistake.
+/// Only the non-blocking submission path refuses; blocking submissions
+/// queue instead. `#[non_exhaustive]`: future admission policies may add
+/// refusal reasons, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EngineError {
-    /// The concurrent-race limit is reached (only from the non-blocking
-    /// submission path; blocking submissions queue instead).
-    Busy,
+#[non_exhaustive]
+pub enum AdmissionError {
+    /// The concurrent-race limit is reached and the waiting room is
+    /// disabled ([`EngineConfig::waiting_room`] is 0).
+    Busy {
+        /// Suggested client backoff before resubmitting: the engine's
+        /// current median end-to-end latency, clamped to a sane range —
+        /// roughly when the next slot is expected to free.
+        retry_hint: Duration,
+    },
+    /// The waiting room is at capacity: the engine is over its
+    /// concurrent-race limit *and* [`EngineConfig::waiting_room`]
+    /// requests are already parked for this graph. The burst is no
+    /// longer short; shed load.
+    QueueFull,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Busy { retry_hint } => {
+                write!(f, "engine at concurrent-race capacity (retry in ~{retry_hint:?})")
+            }
+            AdmissionError::QueueFull => f.write_str("waiting room full"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Why a request could not be routed to a serving engine — a caller
+/// mistake (bad target), never backpressure. `#[non_exhaustive]` for the
+/// same forward-compatibility reason as [`AdmissionError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
     /// The targeted graph is not registered (multi-graph serving only;
     /// see [`crate::MultiEngine`]).
     UnknownGraph,
@@ -152,19 +200,68 @@ pub enum EngineError {
     NoGraph,
 }
 
-impl fmt::Display for EngineError {
+impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::Busy => f.write_str("engine at concurrent-race capacity"),
-            EngineError::UnknownGraph => f.write_str("graph not registered with this engine"),
-            EngineError::NoGraph => {
+            RouteError::UnknownGraph => f.write_str("graph not registered with this engine"),
+            RouteError::NoGraph => {
                 f.write_str("request targets no graph (set QueryRequest::graph)")
             }
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for RouteError {}
+
+/// Any submission failure: backpressure ([`AdmissionError`]) or a bad
+/// target ([`RouteError`]). The split matters to clients — admission
+/// errors are retryable, routing errors are not — and to the wire
+/// protocol, which maps each variant to a stable status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// Refused at admission; retry after backoff.
+    Admission(AdmissionError),
+    /// Unroutable; retrying cannot help.
+    Route(RouteError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Admission(e) => e.fmt(f),
+            SubmitError::Route(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubmitError::Admission(e) => Some(e),
+            SubmitError::Route(e) => Some(e),
+        }
+    }
+}
+
+impl From<AdmissionError> for SubmitError {
+    fn from(e: AdmissionError) -> Self {
+        SubmitError::Admission(e)
+    }
+}
+
+impl From<RouteError> for SubmitError {
+    fn from(e: RouteError) -> Self {
+        SubmitError::Route(e)
+    }
+}
+
+/// The flat error enum this split replaces. Kept one release for
+/// migration: `EngineError::Busy` became
+/// `SubmitError::Admission(AdmissionError::Busy { .. })`,
+/// `UnknownGraph`/`NoGraph` became `SubmitError::Route(..)`.
+#[deprecated(since = "0.7.0", note = "use SubmitError and match on AdmissionError / RouteError")]
+pub type EngineError = SubmitError;
 
 /// How a query was served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,10 +310,150 @@ pub(crate) trait AdmissionGate: Send + Sync {
     /// [`Priority`] is served first, FIFO within a priority.
     fn acquire(&self, priority: Priority);
     /// Takes a slot if one is immediately available (and nobody with a
-    /// pending grant is queued ahead).
+    /// pending grant is queued ahead). Production code uses [`Self::admit`]
+    /// (which adds the waiting room); this probe remains for capacity
+    /// tests.
+    #[cfg(test)]
     fn try_acquire(&self) -> bool;
     /// Returns a previously acquired slot.
     fn release(&self);
+    /// Non-blocking admission with parking: takes a slot immediately
+    /// ([`Admit::Ready`]), parks the launch in the bounded waiting room
+    /// ([`Admit::Parked`]), or hands the launch back when the room (of
+    /// capacity `room`) is full ([`Admit::Full`]). A parked launch fires
+    /// from whichever thread frees the slot that grants it.
+    fn admit(&self, priority: Priority, launch: DeferredLaunch, room: usize) -> Admit;
+    /// Removes a parked launch by its park ticket, abandoning its query
+    /// (the ticket completes inconclusive/cancelled). `false` when the
+    /// launch already left the room — launched or gone.
+    fn cancel_parked(&self, ticket: u64) -> bool;
+    /// Requests currently parked in this gate's waiting room (all graphs
+    /// for the shared gate — the gauge the exporter reports).
+    fn waiting(&self) -> usize;
+}
+
+/// Outcome of [`AdmissionGate::admit`].
+pub(crate) enum Admit {
+    /// A slot was taken; launch now.
+    Ready(DeferredLaunch),
+    /// Parked in the waiting room; the gate owns the launch and will fire
+    /// it on grant. `ticket` cancels the parking; `depth` is the queue
+    /// position observed at park time (for the `Parked` trace event).
+    Parked { ticket: u64, depth: usize },
+    /// Waiting room full (or disabled); the launch comes back untouched
+    /// so the caller can discard it without side effects.
+    Full(DeferredLaunch),
+}
+
+/// Everything a not-yet-admitted query needs to launch later: the
+/// serving core, the raw query, the ticket plumbing, and weak handles to
+/// the pool/timer/gate (weak so a parked entry can never keep a
+/// shut-down engine alive — if the upgrade fails at launch time the
+/// query is abandoned instead).
+pub(crate) struct DeferredInner {
+    pub(crate) core: Arc<ServeCore>,
+    pub(crate) query: Graph,
+    pub(crate) query_id: u64,
+    pub(crate) budget: RaceBudget,
+    pub(crate) admitted: Instant,
+    pub(crate) keyed: Option<(QueryKey, Vec<u32>)>,
+    pub(crate) token: CancelToken,
+    pub(crate) slot: Arc<CompletionSlot>,
+    pub(crate) pool: Weak<WorkerPool>,
+    pub(crate) timer: Weak<StageTimer>,
+    pub(crate) gate: Weak<dyn AdmissionGate>,
+}
+
+/// A query's launch, deferred until admission grants a slot. Created at
+/// submission, then either launched immediately (capacity free), parked
+/// in the waiting room, or discarded (room full → typed error).
+///
+/// **Drop = abandon**: a `DeferredLaunch` dropped while still armed —
+/// parked entry cancelled, gate torn down with queries still parked,
+/// engine shut down under it — fulfills its ticket inconclusive so no
+/// waiter hangs. Only [`DeferredLaunch::discard`] suppresses that (used
+/// on the rejection path, where no ticket was ever handed out).
+pub(crate) struct DeferredLaunch {
+    inner: Option<DeferredInner>,
+}
+
+impl DeferredLaunch {
+    pub(crate) fn new(inner: DeferredInner) -> Self {
+        Self { inner: Some(inner) }
+    }
+
+    /// Takes the slot this launch was granted: counts the admission,
+    /// emits `Unparked` (when it waited) + `Admitted`, and hands the
+    /// query to the pool. Safe from any thread — including a pooled
+    /// worker releasing its own permit.
+    pub(crate) fn launch(mut self, waited: Option<Duration>) {
+        let Some(d) = self.inner.take() else { return };
+        let (Some(pool), Some(gate)) = (d.pool.upgrade(), d.gate.upgrade()) else {
+            // Engine shut down while this query was parked: re-arm so
+            // Drop abandons (fulfills the ticket inconclusive).
+            self.inner = Some(d);
+            return;
+        };
+        if let Some(waited) = waited {
+            d.core.stats.park_wait.record_duration(waited);
+            d.core.telemetry.emit(TraceEvent::Unparked {
+                query: d.query_id,
+                waited_us: waited.as_micros().min(u64::MAX as u128) as u64,
+            });
+        }
+        // The slot was taken by the gate on this launch's behalf; the
+        // permit releases it when the flight finalizes.
+        let permit = OwnedPermit::new(gate);
+        d.core.stats.queries.fetch_add(1, Ordering::Relaxed);
+        d.core.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        d.core.telemetry.emit(TraceEvent::Admitted { query: d.query_id });
+        let DeferredInner {
+            core,
+            query,
+            query_id,
+            budget,
+            admitted,
+            keyed,
+            token,
+            slot,
+            pool: pool_weak,
+            timer,
+            ..
+        } = d;
+        let setup =
+            AdmittedQuery { core, query, query_id, budget, admitted, keyed, token, slot, permit };
+        pool.submit(move || prepare_and_launch(setup, pool_weak, timer));
+    }
+
+    /// Disarms without fulfilling anything: the rejection path, where the
+    /// caller returns a typed error and no ticket exists. Must **not**
+    /// route through the Drop-abandon path — that would count an
+    /// inconclusive query that was never admitted.
+    pub(crate) fn discard(mut self) {
+        self.inner = None;
+    }
+
+    /// A launch with no payload, for exercising gate scheduling policy
+    /// in unit tests without standing up an engine. Launching or
+    /// dropping it is a no-op.
+    #[cfg(test)]
+    pub(crate) fn disarmed() -> Self {
+        Self { inner: None }
+    }
+}
+
+impl Drop for DeferredLaunch {
+    fn drop(&mut self) {
+        if let Some(d) = self.inner.take() {
+            crate::flight::abandon(
+                &d.core,
+                d.admitted,
+                &d.slot,
+                d.query_id,
+                d.token.is_cancelled(),
+            );
+        }
+    }
 }
 
 /// An owned admission slot, released on drop. Travels with the in-flight
@@ -396,6 +633,9 @@ impl Engine {
         // property of the registration, reported alongside the serving
         // counters (0 for legacy scan-mode runners, which have none).
         stats.index_build_us = self.core.runner.target_index().map_or(0, |ix| ix.build_micros());
+        // Waiting-room depth is gate state, not collector state: read it
+        // live at snapshot time, like the index cost above.
+        stats.waiting_room_depth = self.admission.waiting() as u64;
         stats
     }
 
@@ -455,11 +695,12 @@ impl Engine {
             .expect("blocking single-graph submit cannot fail")
     }
 
-    /// Non-blocking variant of [`Engine::submit`]: returns
-    /// [`EngineError::Busy`] instead of waiting when the engine is at its
-    /// concurrent-race limit. (Cache hits are always served, even at
-    /// capacity.) Thin wrapper: `submit_nonblocking(request)?.wait()`.
-    pub fn try_submit(&self, query: &Graph) -> Result<EngineResponse, EngineError> {
+    /// Non-blocking variant of [`Engine::submit`]: parks in the waiting
+    /// room (or refuses with an [`AdmissionError`]) instead of blocking
+    /// when the engine is at its concurrent-race limit. (Cache hits are
+    /// always served, even at capacity.) Thin wrapper:
+    /// `submit_nonblocking(request)?.wait()`.
+    pub fn try_submit(&self, query: &Graph) -> Result<EngineResponse, SubmitError> {
         Ok(self.submit_nonblocking(QueryRequest::new(query.clone()))?.wait())
     }
 
@@ -469,8 +710,19 @@ impl Engine {
         &self,
         query: &Graph,
         budget: RaceBudget,
-    ) -> Result<EngineResponse, EngineError> {
+    ) -> Result<EngineResponse, SubmitError> {
         Ok(self.submit_nonblocking(QueryRequest::new(query.clone()).budget(budget))?.wait())
+    }
+
+    /// The backoff reported with [`AdmissionError::Busy`]: the median
+    /// end-to-end latency — roughly when the next slot frees — clamped
+    /// so a cold engine still hints something useful.
+    fn retry_hint(&self) -> Duration {
+        self.core
+            .stats
+            .latency
+            .percentile_duration(0.50)
+            .clamp(Duration::from_micros(200), Duration::from_millis(100))
     }
 
     /// The one admission path: every submission — blocking wrapper,
@@ -479,13 +731,19 @@ impl Engine {
         &self,
         request: QueryRequest,
         block: bool,
-    ) -> Result<QueryTicket, EngineError> {
+    ) -> Result<QueryTicket, SubmitError> {
         // Admission time anchors every deadline downstream: a query that
         // waits in line burns its own budget, not the server's.
         let admitted = Instant::now();
-        let QueryRequest { query, budget, priority, graph: _ } = request;
+        let QueryRequest { query, budget, priority, deadline, graph: _, tag: _ } = request;
         // The one budget-defaulting site for both engines.
-        let budget = budget.unwrap_or_else(|| self.core.config.default_budget.clone());
+        let mut budget = budget.unwrap_or_else(|| self.core.config.default_budget.clone());
+        // A request deadline folds into the race budget's wall-clock cap:
+        // both are anchored at admission, so the effective timeout is
+        // simply the tighter of the two.
+        if let Some(deadline) = deadline {
+            budget.timeout = Some(budget.timeout.map_or(deadline, |t| t.min(deadline)));
+        }
         let core = &self.core;
         // Canonicalization is only needed for the cache; skip it (and its
         // sorts/allocations) entirely when caching is disabled.
@@ -521,51 +779,68 @@ impl Engine {
             }
         }
 
-        if block {
-            self.admission.acquire(priority);
-        } else if !self.admission.try_acquire() {
-            core.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
-            return Err(EngineError::Busy);
-        }
-        let permit = OwnedPermit::new(Arc::clone(&self.admission));
-        core.stats.queries.fetch_add(1, Ordering::Relaxed);
-        core.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-        core.telemetry.emit(TraceEvent::Admitted { query: query_id });
-
         let token = CancelToken::new();
         let slot = Arc::new(CompletionSlot::new());
-        let ticket = QueryTicket::pending(Arc::clone(&slot), token.clone(), query_id);
-
-        // Everything else — entrant preparation, the one predictor
-        // consultation per miss, the fast-path-or-race decision, the
-        // race itself — happens on pooled workers (see
+        // Everything past admission — entrant preparation, the one
+        // predictor consultation per miss, the fast-path-or-race
+        // decision, the race itself — happens on pooled workers (see
         // [`crate::flight`]). Ticket creation stays cheap so a few
         // event-loop client threads can keep hundreds of queries in
         // flight.
-        let setup = AdmittedQuery {
+        let launch = DeferredLaunch::new(DeferredInner {
             core: Arc::clone(core),
             query,
             query_id,
             budget,
             admitted,
             keyed,
-            token,
-            slot,
-            permit,
-        };
-        let pool = Arc::downgrade(&self.pool);
-        let timer = self.timer.as_ref().map_or_else(Weak::new, Arc::downgrade);
-        self.pool.submit(move || prepare_and_launch(setup, pool, timer));
-        Ok(ticket)
+            token: token.clone(),
+            slot: Arc::clone(&slot),
+            pool: Arc::downgrade(&self.pool),
+            timer: self.timer.as_ref().map_or_else(Weak::new, Arc::downgrade),
+            gate: Arc::downgrade(&self.admission),
+        });
+
+        if block {
+            self.admission.acquire(priority);
+            launch.launch(None);
+            return Ok(QueryTicket::pending(slot, token, query_id));
+        }
+        match self.admission.admit(priority, launch, core.config.waiting_room) {
+            Admit::Ready(launch) => {
+                launch.launch(None);
+                Ok(QueryTicket::pending(slot, token, query_id))
+            }
+            Admit::Parked { ticket, depth } => {
+                core.stats.parked.fetch_add(1, Ordering::Relaxed);
+                core.telemetry.emit(TraceEvent::Parked {
+                    query: query_id,
+                    depth: depth.min(u32::MAX as usize) as u32,
+                });
+                Ok(QueryTicket::parked(slot, token, query_id, Arc::clone(&self.admission), ticket))
+            }
+            Admit::Full(launch) => {
+                // No ticket was handed out; tear the launch down without
+                // the Drop-abandon side effects (stats, trace, fulfill).
+                launch.discard();
+                if core.config.waiting_room == 0 {
+                    core.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    Err(AdmissionError::Busy { retry_hint: self.retry_hint() }.into())
+                } else {
+                    core.stats.queue_full_rejections.fetch_add(1, Ordering::Relaxed);
+                    Err(AdmissionError::QueueFull.into())
+                }
+            }
+        }
     }
 }
 
 impl Submit for Engine {
-    fn submit_nonblocking(&self, request: QueryRequest) -> Result<QueryTicket, EngineError> {
+    fn submit_nonblocking(&self, request: QueryRequest) -> Result<QueryTicket, SubmitError> {
         self.submit_ticket(request, false)
     }
 
-    fn submit_queued(&self, request: QueryRequest) -> Result<QueryTicket, EngineError> {
+    fn submit_queued(&self, request: QueryRequest) -> Result<QueryTicket, SubmitError> {
         self.submit_ticket(request, true)
     }
 }

@@ -28,6 +28,8 @@ pub enum HistogramKind {
     Latency,
     /// Admission → race setup (queue wait).
     QueueWait,
+    /// Time spent parked in the waiting room (submission → slot grant).
+    ParkWait,
     /// Race setup → finalize start.
     RaceStage,
     /// The finalize body itself.
@@ -45,6 +47,8 @@ pub struct GraphMetricsSnapshot {
     pub latency: HistogramSnapshot,
     /// Queue-wait stage histogram (admission → setup).
     pub queue_wait: HistogramSnapshot,
+    /// Waiting-room park time histogram (submission → slot grant).
+    pub park_wait: HistogramSnapshot,
     /// Race stage histogram (setup → finalize start).
     pub race_stage: HistogramSnapshot,
     /// Finalize stage histogram.
@@ -63,6 +67,7 @@ impl GraphMetricsSnapshot {
             stats: engine.stats(),
             latency: c.latency.snapshot(),
             queue_wait: c.queue_wait.snapshot(),
+            park_wait: c.park_wait.snapshot(),
             race_stage: c.race_stage.snapshot(),
             finalize_stage: c.finalize_stage.snapshot(),
             trace_dropped: engine.trace_dropped(),
@@ -74,6 +79,7 @@ impl GraphMetricsSnapshot {
         match kind {
             HistogramKind::Latency => &self.latency,
             HistogramKind::QueueWait => &self.queue_wait,
+            HistogramKind::ParkWait => &self.park_wait,
             HistogramKind::RaceStage => &self.race_stage,
             HistogramKind::FinalizeStage => &self.finalize_stage,
         }
@@ -136,7 +142,7 @@ impl MetricsExporter {
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         type CounterFamily = (&'static str, &'static str, fn(&EngineStats) -> u64);
-        let counters: [CounterFamily; 12] = [
+        let counters: [CounterFamily; 14] = [
             ("psi_queries_total", "Queries accepted", |s| s.queries),
             ("psi_cache_hits_total", "Result-cache hits", |s| s.cache_hits),
             ("psi_cache_misses_total", "Result-cache misses", |s| s.cache_misses),
@@ -146,9 +152,17 @@ impl MetricsExporter {
                 s.fast_path_fallbacks
             }),
             ("psi_cancelled_variants_total", "Losing entrants cancelled", |s| s.cancelled_variants),
-            ("psi_busy_rejections_total", "Submissions bounced at admission", |s| {
-                s.busy_rejections
-            }),
+            (
+                "psi_busy_rejections_total",
+                "Submissions bounced at admission (no waiting room)",
+                |s| s.busy_rejections,
+            ),
+            (
+                "psi_queue_full_total",
+                "Submissions refused because the waiting room overflowed",
+                |s| s.queue_full_rejections,
+            ),
+            ("psi_parked_total", "Submissions parked in the waiting room", |s| s.parked),
             ("psi_inconclusive_total", "Races with no conclusive winner", |s| s.inconclusive),
             ("psi_topk_races_total", "Races launched as a pruned top-K heat", |s| s.topk_races),
             ("psi_pruned_entrants_total", "Entrants never launched (pruned)", |s| {
@@ -188,12 +202,15 @@ impl MetricsExporter {
                 writeln!(out, "psi_trace_dropped_total{} {}", self.labels(g, &[]), g.trace_dropped);
         }
         type GaugeFamily = (&'static str, &'static str, fn(&GraphMetricsSnapshot) -> f64);
-        let gauges: [GaugeFamily; 4] = [
+        let gauges: [GaugeFamily; 5] = [
             ("psi_uptime_seconds", "Engine uptime", |g| g.stats.uptime.as_secs_f64()),
             ("psi_cache_hit_rate", "Cache hit rate (hits / lookups)", |g| g.stats.hit_rate),
             ("psi_escalation_rate", "Escalations per top-K race", |g| g.stats.escalation_rate),
             ("psi_index_build_us", "One-time target-index build cost", |g| {
                 g.stats.index_build_us as f64
+            }),
+            ("psi_waiting_room_depth", "Requests currently parked in the waiting room", |g| {
+                g.stats.waiting_room_depth as f64
             }),
         ];
         for (name, help, get) in gauges {
@@ -226,6 +243,13 @@ impl MetricsExporter {
                     hist,
                 );
             }
+        }
+        // Park wait: its own family — it measures time *outside* the
+        // query pipeline (before admission), not a pipeline stage.
+        let _ = writeln!(out, "# HELP psi_park_wait_us Waiting-room park time");
+        let _ = writeln!(out, "# TYPE psi_park_wait_us histogram");
+        for g in &self.graphs {
+            self.render_histogram(&mut out, "psi_park_wait_us", g, &[], &g.park_wait);
         }
         out
     }
@@ -274,7 +298,9 @@ impl MetricsExporter {
                 out,
                 "\"queries\":{},\"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{:.6},\
                  \"races\":{},\"fast_paths\":{},\"fast_path_fallbacks\":{},\
-                 \"cancelled_variants\":{},\"busy_rejections\":{},\"inconclusive\":{},\
+                 \"cancelled_variants\":{},\"busy_rejections\":{},\
+                 \"queue_full_rejections\":{},\"parked\":{},\"waiting_room_depth\":{},\
+                 \"inconclusive\":{},\
                  \"topk_races\":{},\"pruned_entrants\":{},\"escalations\":{},\
                  \"escalation_rate\":{:.6},\"index_build_us\":{},\
                  \"edge_probes_bitset\":{},\"edge_probes_binary\":{},\
@@ -288,6 +314,9 @@ impl MetricsExporter {
                 s.fast_path_fallbacks,
                 s.cancelled_variants,
                 s.busy_rejections,
+                s.queue_full_rejections,
+                s.parked,
+                s.waiting_room_depth,
                 s.inconclusive,
                 s.topk_races,
                 s.pruned_entrants,
@@ -311,6 +340,7 @@ impl MetricsExporter {
             out.push_str(",\"stages\":{");
             for (j, (stage, hist)) in [
                 ("queue_wait", &g.queue_wait),
+                ("park_wait", &g.park_wait),
                 ("race", &g.race_stage),
                 ("finalize", &g.finalize_stage),
             ]

@@ -97,8 +97,11 @@ fn inconclusive_response(admitted: Instant) -> EngineResponse {
 
 /// Completes a ticket inconclusive without racing. `cancelled` records
 /// whether the flight died to its token (ticket drop) rather than an
-/// engine shutdown or a degenerate configuration.
-fn abandon(
+/// engine shutdown or a degenerate configuration. Crate-visible: a
+/// parked [`crate::engine::DeferredLaunch`] that dies before launching
+/// (cancelled in the waiting room, or the engine shut down under it)
+/// abandons through the same path.
+pub(crate) fn abandon(
     core: &ServeCore,
     admitted: Instant,
     slot: &CompletionSlot,

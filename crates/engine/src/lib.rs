@@ -21,9 +21,12 @@
 //!   dropping the ticket cancels the race). Races complete reactively on
 //!   pooled workers, so thousands of queries can be in flight from a few
 //!   client threads.
-//! * [`engine`] — admission control ([`EngineError::Busy`] surfaced at
-//!   ticket creation; blocking submissions queue by [`Priority`])
-//!   keeping in-flight work ≤ `max_concurrent_races × variants`; the
+//! * [`engine`] — admission control keeping in-flight work ≤
+//!   `max_concurrent_races × variants`: blocking submissions queue by
+//!   [`Priority`]; non-blocking submissions over the limit park in a
+//!   bounded per-graph **waiting room** (FIFO within priority, fed by
+//!   the same fair grant chain) and only bounce — with a typed
+//!   [`AdmissionError`] — once the room overflows; the
 //!   predictor fast path (single confident variant instead of a race,
 //!   with race fallback); deadlines anchored at admission so queueing
 //!   delay counts against the race budget; and adaptive top-K racing
@@ -114,7 +117,12 @@ pub mod telemetry;
 pub use cache::{
     embedding_from_canonical, embedding_to_canonical, CachedAnswer, QueryKey, ShardedCache,
 };
-pub use engine::{Engine, EngineConfig, EngineError, EngineResponse, RaceStrategy, ServePath};
+#[allow(deprecated)]
+pub use engine::EngineError;
+pub use engine::{
+    AdmissionError, Engine, EngineConfig, EngineResponse, RaceStrategy, RouteError, ServePath,
+    SubmitError,
+};
 pub use export::{GraphMetricsSnapshot, HistogramKind, MetricsExporter};
 pub use pool::WorkerPool;
 pub use registry::{GraphId, GraphRegistry, MultiEngine, MultiEngineConfig, RegistryError};

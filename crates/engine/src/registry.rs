@@ -22,8 +22,21 @@
 //! flight (max–min fairness), tie-broken by arrival order — so a tenant
 //! flooding the engine with traffic cannot starve a light tenant, yet an
 //! uncontended engine behaves exactly like per-graph FIFO.
+//!
+//! **The waiting room.** Waiters come in two kinds, sharing one queue
+//! and one fairness policy: *thread* waiters (blocking submissions,
+//! parked on a condvar until granted) and *parked* waiters (non-blocking
+//! submissions over the limit, carrying a deferred launch instead of a
+//! thread). When scheduling picks a parked waiter it takes the slot and
+//! fires the launch right there — no wakeup round-trip — while a thread
+//! waiter gets the classic grant-then-accept handshake. Only thread
+//! waiters ever hold the pending grant, so cancelling a parked entry
+//! (its ticket was dropped) can never orphan the grant chain.
 
-use crate::engine::{AdmissionGate, Engine, EngineConfig, EngineError, EngineResponse};
+use crate::engine::{
+    AdmissionGate, Admit, DeferredLaunch, Engine, EngineConfig, EngineResponse, RouteError,
+    SubmitError,
+};
 use crate::flight::StageTimer;
 use crate::pool::WorkerPool;
 use crate::stats::{EngineStats, LatencyHistogram, StageLatencies};
@@ -35,7 +48,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Identity of a registered graph, returned by [`MultiEngine::register`].
 /// Cheap to copy; valid only for the registry that issued it.
@@ -81,8 +94,8 @@ pub struct MultiEngineConfig {
     /// (default: available parallelism).
     pub workers: usize,
     /// Races in flight across **all** graphs; further submissions block
-    /// in the fair gate (or bounce with [`EngineError::Busy`]).
-    /// Default: `workers`.
+    /// in the fair gate (or, on the non-blocking path, park in the
+    /// waiting room). Default: `workers`.
     pub max_concurrent_races: usize,
     /// Per-tenant template: cache shards/capacity, predictor knobs and
     /// default budget for each registered graph. `tenant.workers` and
@@ -99,20 +112,51 @@ impl Default for MultiEngineConfig {
     }
 }
 
+/// What a queued admission is waiting *as*: a blocked thread (condvar
+/// handshake) or a parked non-blocking submission (deferred launch fired
+/// by the scheduler itself).
+enum Waiter {
+    /// A blocking submission: a thread sleeps on the gate's condvar and
+    /// must wake to `accept` its grant.
+    Thread,
+    /// A non-blocking submission over the limit: nobody is blocked; the
+    /// scheduler launches the race directly when the slot frees. Boxed:
+    /// a prepared launch is ~300 bytes and the common `Thread` variant
+    /// carries nothing.
+    Parked { since: Instant, launch: Box<DeferredLaunch> },
+}
+
+impl Waiter {
+    fn is_parked(&self) -> bool {
+        matches!(self, Waiter::Parked { .. })
+    }
+}
+
+/// One queued admission: sort key `(rank, ticket)` plus its waiter kind.
+struct WaitEntry {
+    rank: u8,
+    ticket: u64,
+    waiter: Waiter,
+}
+
 /// The scheduling core of the fair gate. Pure state machine (no blocking)
 /// so the fairness policy is unit-testable without threads.
 struct FairCore {
     in_flight_total: usize,
     /// Races in flight per graph slot.
     in_flight: Vec<usize>,
-    /// Waiting tickets per graph slot as `(priority rank, ticket)`,
-    /// sorted — the front entry is the graph's next candidate. Priority
-    /// reorders waiters *within* a graph; across graphs, max–min
-    /// fairness stays primary.
-    waiters: Vec<Vec<(u8, u64)>>,
+    /// Waiting entries per graph slot, sorted by `(priority rank,
+    /// ticket)` — the front entry is the graph's next candidate.
+    /// Priority reorders waiters *within* a graph; across graphs,
+    /// max–min fairness stays primary. Thread and parked waiters share
+    /// one queue so neither kind can starve the other.
+    waiters: Vec<Vec<WaitEntry>>,
     next_ticket: u64,
     /// The one ticket currently cleared to take a slot. Grants chain:
-    /// the grantee accepts, then scheduling runs again.
+    /// the grantee accepts, then scheduling runs again. **Invariant:**
+    /// only `Waiter::Thread` entries are ever granted — parked entries
+    /// are launched by `schedule` directly, so cancelling one can never
+    /// leave a dangling grant.
     granted: Option<u64>,
 }
 
@@ -138,13 +182,53 @@ impl FairCore {
         self.in_flight[graph] += 1;
     }
 
-    fn enqueue(&mut self, graph: usize, rank: u8) -> u64 {
+    fn insert_entry(&mut self, graph: usize, rank: u8, waiter: Waiter) -> u64 {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         let queue = &mut self.waiters[graph];
-        let at = queue.partition_point(|&entry| entry <= (rank, ticket));
-        queue.insert(at, (rank, ticket));
+        let at = queue.partition_point(|e| (e.rank, e.ticket) <= (rank, ticket));
+        queue.insert(at, WaitEntry { rank, ticket, waiter });
         ticket
+    }
+
+    /// Queues a blocking (thread) waiter.
+    fn enqueue(&mut self, graph: usize, rank: u8) -> u64 {
+        self.insert_entry(graph, rank, Waiter::Thread)
+    }
+
+    /// Parks a non-blocking submission. Returns its ticket and its
+    /// 1-based position among `graph`'s parked entries (the reported
+    /// waiting-room depth).
+    fn enqueue_parked(&mut self, graph: usize, rank: u8, launch: DeferredLaunch) -> (u64, usize) {
+        let waiter = Waiter::Parked { since: Instant::now(), launch: Box::new(launch) };
+        let ticket = self.insert_entry(graph, rank, waiter);
+        (ticket, self.parked(graph))
+    }
+
+    /// Parked entries queued for `graph` (the waiting-room occupancy the
+    /// per-graph bound is checked against).
+    fn parked(&self, graph: usize) -> usize {
+        self.waiters[graph].iter().filter(|e| e.waiter.is_parked()).count()
+    }
+
+    /// Parked entries across every graph.
+    fn total_parked(&self) -> usize {
+        self.waiters.iter().flatten().filter(|e| e.waiter.is_parked()).count()
+    }
+
+    /// Removes a parked entry by ticket (its [`crate::QueryTicket`] was
+    /// cancelled or dropped). Returns the launch so the caller can drop
+    /// it *outside* the lock — abandoning fulfills the completion slot,
+    /// which may run arbitrary completion-queue callbacks. Removal frees
+    /// no capacity, so no reschedule is needed.
+    fn cancel_parked(&mut self, graph: usize, ticket: u64) -> Option<DeferredLaunch> {
+        debug_assert_ne!(self.granted, Some(ticket), "parked entries are never granted");
+        let at =
+            self.waiters[graph].iter().position(|e| e.ticket == ticket && e.waiter.is_parked())?;
+        match self.waiters[graph].remove(at).waiter {
+            Waiter::Parked { launch, .. } => Some(*launch),
+            Waiter::Thread => unreachable!("position matched a parked entry"),
+        }
     }
 
     /// Whether a submission may bypass the queue entirely: capacity free,
@@ -155,42 +239,63 @@ impl FairCore {
             && self.waiters.iter().all(|q| q.is_empty())
     }
 
-    /// Grants a freed slot: among graphs with waiters, the one with the
-    /// fewest races in flight wins (max–min fairness); within the chosen
-    /// load level, higher priority wins; ties go to the oldest ticket.
-    fn schedule(&mut self, max: usize) {
-        if self.granted.is_some() || self.in_flight_total >= max {
-            return;
+    /// Dispenses freed capacity: among graphs with waiters, the one with
+    /// the fewest races in flight wins (max–min fairness); within the
+    /// chosen load level, higher priority wins; ties go to the oldest
+    /// ticket. A winning *thread* waiter becomes the pending grant (it
+    /// must wake and `accept`); a winning *parked* waiter takes its slot
+    /// right here and its launch is returned, paired with how long it
+    /// waited — the caller fires launches **outside** the lock. The loop
+    /// keeps dispensing until capacity runs out, the queues drain, or a
+    /// thread grant (which must round-trip through its waiter) blocks
+    /// further progress.
+    fn schedule(&mut self, max: usize) -> Vec<(DeferredLaunch, Duration)> {
+        let mut launches = Vec::new();
+        while self.granted.is_none() && self.in_flight_total < max {
+            let Some(graph) = self
+                .waiters
+                .iter()
+                .enumerate()
+                .filter_map(|(g, q)| q.first().map(|e| ((self.in_flight[g], e.rank, e.ticket), g)))
+                .min_by_key(|&(key, _)| key)
+                .map(|(_, g)| g)
+            else {
+                break;
+            };
+            match self.waiters[graph][0].waiter {
+                Waiter::Thread => self.granted = Some(self.waiters[graph][0].ticket),
+                Waiter::Parked { .. } => match self.waiters[graph].remove(0).waiter {
+                    Waiter::Parked { since, launch } => {
+                        self.take(graph);
+                        launches.push((*launch, since.elapsed()));
+                    }
+                    Waiter::Thread => unreachable!("match guarded on Parked"),
+                },
+            }
         }
-        self.granted = self
-            .waiters
-            .iter()
-            .enumerate()
-            .filter_map(|(g, q)| q.first().map(|&(rank, t)| (self.in_flight[g], rank, t)))
-            .min()
-            .map(|(_, _, ticket)| ticket);
+        launches
     }
 
     /// The grantee accepts its slot. The granted ticket is removed *by
     /// value*, not by position: a higher-priority waiter may have
     /// enqueued ahead of it between the grant and this accept, and a
     /// grant, once issued, is honoured (never revoked or re-routed).
-    fn accept(&mut self, graph: usize, ticket: u64, max: usize) {
+    fn accept(&mut self, graph: usize, ticket: u64, max: usize) -> Vec<(DeferredLaunch, Duration)> {
         debug_assert_eq!(self.granted, Some(ticket));
         self.granted = None;
         let at = self.waiters[graph]
             .iter()
-            .position(|&(_, t)| t == ticket)
+            .position(|e| e.ticket == ticket)
             .expect("granted ticket must still be queued");
         self.waiters[graph].remove(at);
         self.take(graph);
-        self.schedule(max);
+        self.schedule(max)
     }
 
-    fn release(&mut self, graph: usize, max: usize) {
+    fn release(&mut self, graph: usize, max: usize) -> Vec<(DeferredLaunch, Duration)> {
         self.in_flight_total -= 1;
         self.in_flight[graph] -= 1;
-        self.schedule(max);
+        self.schedule(max)
     }
 }
 
@@ -210,26 +315,43 @@ impl FairAdmission {
         self.core.lock().expect("fair admission lock").add_graph()
     }
 
-    fn acquire(&self, graph: usize, priority: Priority) {
-        let mut core = self.core.lock().expect("fair admission lock");
-        if core.can_fast_path(self.max) {
-            core.take(graph);
-            return;
-        }
-        let ticket = core.enqueue(graph, priority.rank());
-        core.schedule(self.max);
-        loop {
-            if core.granted == Some(ticket) {
-                core.accept(graph, ticket, self.max);
-                drop(core);
-                // A chained grant (or freed capacity) may concern others.
-                self.changed.notify_all();
-                return;
-            }
-            core = self.changed.wait(core).expect("fair admission lock");
+    /// Fires the launches a scheduling pass dispensed. Must run with the
+    /// core lock **released**: each launch submits to the worker pool,
+    /// and a cache-coalesced or instantly-failing race could re-enter
+    /// this gate (release → schedule) on the same call stack.
+    fn run_launches(launches: Vec<(DeferredLaunch, Duration)>) {
+        for (launch, waited) in launches {
+            launch.launch(Some(waited));
         }
     }
 
+    fn acquire(&self, graph: usize, priority: Priority) {
+        let launches;
+        {
+            let mut core = self.core.lock().expect("fair admission lock");
+            if core.can_fast_path(self.max) {
+                core.take(graph);
+                return;
+            }
+            let ticket = core.enqueue(graph, priority.rank());
+            // Defensive pass; enqueueing frees no capacity, so this
+            // never grants or launches in any reachable state.
+            let pre = core.schedule(self.max);
+            debug_assert!(pre.is_empty(), "enqueue cannot create capacity");
+            loop {
+                if core.granted == Some(ticket) {
+                    launches = core.accept(graph, ticket, self.max);
+                    break;
+                }
+                core = self.changed.wait(core).expect("fair admission lock");
+            }
+        }
+        Self::run_launches(launches);
+        // A chained grant (or freed capacity) may concern others.
+        self.changed.notify_all();
+    }
+
+    #[cfg(test)]
     fn try_acquire(&self, graph: usize) -> bool {
         let mut core = self.core.lock().expect("fair admission lock");
         if core.can_fast_path(self.max) {
@@ -240,10 +362,59 @@ impl FairAdmission {
         }
     }
 
+    /// Non-blocking admission with a waiting room of `room` parked
+    /// entries per graph (see [`AdmissionGate::admit`]).
+    fn admit(
+        &self,
+        graph: usize,
+        priority: Priority,
+        launch: DeferredLaunch,
+        room: usize,
+    ) -> Admit {
+        let verdict;
+        let launches;
+        {
+            let mut core = self.core.lock().expect("fair admission lock");
+            if core.can_fast_path(self.max) {
+                core.take(graph);
+                return Admit::Ready(launch);
+            }
+            if room == 0 || core.parked(graph) >= room {
+                return Admit::Full(launch);
+            }
+            let (ticket, depth) = core.enqueue_parked(graph, priority.rank(), launch);
+            verdict = Admit::Parked { ticket, depth };
+            // Defensive pass, mirroring `acquire` (parking frees no
+            // capacity either).
+            launches = core.schedule(self.max);
+            debug_assert!(launches.is_empty(), "parking cannot create capacity");
+        }
+        Self::run_launches(launches);
+        verdict
+    }
+
+    /// Removes a parked entry (its ticket was cancelled or dropped).
+    fn cancel_parked(&self, graph: usize, ticket: u64) -> bool {
+        let launch = {
+            let mut core = self.core.lock().expect("fair admission lock");
+            core.cancel_parked(graph, ticket)
+        };
+        // Dropping the launch abandons it — the completion slot is
+        // fulfilled inconclusive — and that must happen outside the
+        // lock (completion queues run arbitrary waker callbacks).
+        launch.is_some()
+    }
+
+    fn total_parked(&self) -> usize {
+        self.core.lock().expect("fair admission lock").total_parked()
+    }
+
     fn release(&self, graph: usize) {
-        let mut core = self.core.lock().expect("fair admission lock");
-        core.release(graph, self.max);
-        drop(core);
+        let launches = {
+            let mut core = self.core.lock().expect("fair admission lock");
+            core.release(graph, self.max)
+        };
+        Self::run_launches(launches);
         self.changed.notify_all();
     }
 }
@@ -260,8 +431,21 @@ impl AdmissionGate for TenantGate {
         self.shared.acquire(self.graph, priority);
     }
 
+    #[cfg(test)]
     fn try_acquire(&self) -> bool {
         self.shared.try_acquire(self.graph)
+    }
+
+    fn admit(&self, priority: Priority, launch: DeferredLaunch, room: usize) -> Admit {
+        self.shared.admit(self.graph, priority, launch, room)
+    }
+
+    fn cancel_parked(&self, ticket: u64) -> bool {
+        self.shared.cancel_parked(self.graph, ticket)
+    }
+
+    fn waiting(&self) -> usize {
+        self.shared.total_parked()
     }
 
     fn release(&self) {
@@ -479,15 +663,15 @@ impl MultiEngine {
     /// site: every submission — blocking wrapper or ticket — goes
     /// through it, and budget defaulting then happens in the tenant
     /// engine's single admission path.
-    fn route(&self, request: &QueryRequest) -> Result<Arc<Tenant>, EngineError> {
-        let graph = request.graph.ok_or(EngineError::NoGraph)?;
-        self.registry.tenant(graph).ok_or(EngineError::UnknownGraph)
+    fn route(&self, request: &QueryRequest) -> Result<Arc<Tenant>, RouteError> {
+        let graph = request.graph.ok_or(RouteError::NoGraph)?;
+        self.registry.tenant(graph).ok_or(RouteError::UnknownGraph)
     }
 
     /// Serves `query` against `graph` under the tenant's default budget,
     /// blocking while the shared gate is at capacity. Thin wrapper:
     /// `submit_queued(request)?.wait()`.
-    pub fn submit(&self, graph: GraphId, query: &Graph) -> Result<EngineResponse, EngineError> {
+    pub fn submit(&self, graph: GraphId, query: &Graph) -> Result<EngineResponse, SubmitError> {
         self.submit_request(QueryRequest::new(query.clone()).graph(graph))
     }
 
@@ -498,14 +682,16 @@ impl MultiEngine {
         graph: GraphId,
         query: &Graph,
         budget: RaceBudget,
-    ) -> Result<EngineResponse, EngineError> {
+    ) -> Result<EngineResponse, SubmitError> {
         self.submit_request(QueryRequest::new(query.clone()).graph(graph).budget(budget))
     }
 
-    /// Non-blocking submit: [`EngineError::Busy`] when the shared gate is
-    /// at capacity (cache hits are always served). Thin wrapper:
+    /// Non-blocking submit: parks in the waiting room when the shared
+    /// gate is at capacity, refuses with
+    /// [`crate::AdmissionError::QueueFull`] when the room overflows
+    /// (cache hits are always served). Thin wrapper:
     /// `submit_nonblocking(request)?.wait()`.
-    pub fn try_submit(&self, graph: GraphId, query: &Graph) -> Result<EngineResponse, EngineError> {
+    pub fn try_submit(&self, graph: GraphId, query: &Graph) -> Result<EngineResponse, SubmitError> {
         Ok(self.submit_nonblocking(QueryRequest::new(query.clone()).graph(graph))?.wait())
     }
 
@@ -516,7 +702,7 @@ impl MultiEngine {
         graph: GraphId,
         query: &Graph,
         budget: RaceBudget,
-    ) -> Result<EngineResponse, EngineError> {
+    ) -> Result<EngineResponse, SubmitError> {
         Ok(self
             .submit_nonblocking(QueryRequest::new(query.clone()).graph(graph).budget(budget))?
             .wait())
@@ -556,6 +742,11 @@ impl MultiEngine {
             fast_path_fallbacks: 0,
             cancelled_variants: 0,
             busy_rejections: 0,
+            queue_full_rejections: 0,
+            parked: 0,
+            waiting_room_depth: self.admission.total_parked() as u64,
+            park_wait_p50: std::time::Duration::ZERO,
+            park_wait_p99: std::time::Duration::ZERO,
             inconclusive: 0,
             topk_races: 0,
             pruned_entrants: 0,
@@ -571,6 +762,7 @@ impl MultiEngine {
         };
         let latency = LatencyHistogram::new();
         let queue_wait = LatencyHistogram::new();
+        let park_wait = LatencyHistogram::new();
         let race_stage = LatencyHistogram::new();
         let finalize_stage = LatencyHistogram::new();
         for tenant in &tenants {
@@ -586,6 +778,8 @@ impl MultiEngine {
             agg.fast_path_fallbacks += c.fast_path_fallbacks.load(Ordering::Relaxed);
             agg.cancelled_variants += c.cancelled_variants.load(Ordering::Relaxed);
             agg.busy_rejections += c.busy_rejections.load(Ordering::Relaxed);
+            agg.queue_full_rejections += c.queue_full_rejections.load(Ordering::Relaxed);
+            agg.parked += c.parked.load(Ordering::Relaxed);
             agg.inconclusive += c.inconclusive.load(Ordering::Relaxed);
             agg.topk_races += c.topk_races.load(Ordering::Relaxed);
             agg.pruned_entrants += c.pruned_entrants.load(Ordering::Relaxed);
@@ -596,6 +790,7 @@ impl MultiEngine {
                 tenant.engine.runner().target_index().map_or(0, |ix| ix.build_micros());
             latency.merge_from(&c.latency);
             queue_wait.merge_from(&c.queue_wait);
+            park_wait.merge_from(&c.park_wait);
             race_stage.merge_from(&c.race_stage);
             finalize_stage.merge_from(&c.finalize_stage);
         }
@@ -608,6 +803,8 @@ impl MultiEngine {
         };
         agg.latency_p50 = latency.percentile_duration(0.50);
         agg.latency_p99 = latency.percentile_duration(0.99);
+        agg.park_wait_p50 = park_wait.percentile_duration(0.50);
+        agg.park_wait_p99 = park_wait.percentile_duration(0.99);
         agg.stages = StageLatencies {
             queue_p50: queue_wait.percentile_duration(0.50),
             queue_p99: queue_wait.percentile_duration(0.99),
@@ -659,11 +856,11 @@ impl MultiEngine {
 }
 
 impl Submit for MultiEngine {
-    fn submit_nonblocking(&self, request: QueryRequest) -> Result<QueryTicket, EngineError> {
+    fn submit_nonblocking(&self, request: QueryRequest) -> Result<QueryTicket, SubmitError> {
         self.route(&request)?.engine.submit_ticket(request, false)
     }
 
-    fn submit_queued(&self, request: QueryRequest) -> Result<QueryTicket, EngineError> {
+    fn submit_queued(&self, request: QueryRequest) -> Result<QueryTicket, SubmitError> {
         self.route(&request)?.engine.submit_ticket(request, true)
     }
 }
@@ -799,6 +996,161 @@ mod tests {
         assert_eq!(core.granted, Some(g0_low));
     }
 
+    // ---- Waiting-room policy (deterministic, no threads) ----
+
+    #[test]
+    fn parked_entries_launch_priority_then_fifo_as_slots_free() {
+        let mut core = FairCore::new();
+        let g0 = core.add_graph();
+        let max = 1;
+        core.take(g0);
+        let (low, _) = core.enqueue_parked(g0, Priority::Low.rank(), DeferredLaunch::disarmed());
+        let (normal, _) =
+            core.enqueue_parked(g0, Priority::Normal.rank(), DeferredLaunch::disarmed());
+        let (high, depth) =
+            core.enqueue_parked(g0, Priority::High.rank(), DeferredLaunch::disarmed());
+        assert_eq!(depth, 3, "depth reports occupancy after parking");
+        // Each freed slot launches exactly one parked entry, in
+        // priority-then-FIFO order, without ever touching the grant.
+        for expected in [high, normal, low] {
+            let launched = core.release(g0, max);
+            assert_eq!(launched.len(), 1);
+            assert!(
+                core.waiters[g0].iter().all(|e| e.ticket != expected),
+                "ticket {expected} launches next"
+            );
+            assert_eq!(core.granted, None, "parked launches never hold the grant");
+        }
+        assert!(core.waiters[g0].is_empty());
+        assert_eq!(core.in_flight_total, 1, "the last launch holds its slot");
+    }
+
+    #[test]
+    fn thread_and_parked_waiters_share_one_queue() {
+        let mut core = FairCore::new();
+        let g0 = core.add_graph();
+        let max = 1;
+        core.take(g0);
+        let thread = core.enqueue(g0, Priority::Normal.rank());
+        let (_parked, _) =
+            core.enqueue_parked(g0, Priority::Normal.rank(), DeferredLaunch::disarmed());
+        // The older thread waiter wins the freed slot; the parked entry
+        // stays queued behind the pending grant.
+        assert!(core.release(g0, max).is_empty());
+        assert_eq!(core.granted, Some(thread));
+        // Accepting chains the schedule, but capacity is taken again.
+        assert!(core.accept(g0, thread, max).is_empty());
+        // The next freed slot reaches the parked entry directly.
+        assert_eq!(core.release(g0, max).len(), 1);
+        assert_eq!(core.granted, None);
+        assert_eq!(core.parked(g0), 0);
+    }
+
+    #[test]
+    fn cancelling_a_parked_entry_frees_room_without_touching_the_grant() {
+        let mut core = FairCore::new();
+        let g0 = core.add_graph();
+        let max = 1;
+        core.take(g0);
+        let (first, _) =
+            core.enqueue_parked(g0, Priority::Normal.rank(), DeferredLaunch::disarmed());
+        let (second, _) =
+            core.enqueue_parked(g0, Priority::Normal.rank(), DeferredLaunch::disarmed());
+        assert_eq!(core.parked(g0), 2);
+        assert!(core.cancel_parked(g0, first).is_some());
+        assert!(core.cancel_parked(g0, first).is_none(), "second cancel is a no-op");
+        assert_eq!(core.parked(g0), 1);
+        let launched = core.release(g0, max);
+        assert_eq!(launched.len(), 1);
+        assert!(core.waiters[g0].is_empty(), "the surviving entry ({second}) launched");
+        assert_eq!(core.granted, None);
+    }
+
+    mod waiting_room_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Releasing slots one at a time drains parked entries in
+            /// priority-then-FIFO order, whatever the arrival order.
+            #[test]
+            fn parked_admission_is_priority_then_fifo(
+                ranks in proptest::collection::vec(0u8..3, 1..24),
+            ) {
+                let mut core = FairCore::new();
+                let g0 = core.add_graph();
+                let max = 1;
+                core.take(g0);
+                let mut expected: Vec<(u8, u64)> = Vec::new();
+                for &rank in &ranks {
+                    let (ticket, _) =
+                        core.enqueue_parked(g0, rank, DeferredLaunch::disarmed());
+                    expected.push((rank, ticket));
+                }
+                expected.sort();
+                for &(_, ticket) in &expected {
+                    let launched = core.release(g0, max);
+                    prop_assert_eq!(launched.len(), 1);
+                    prop_assert!(
+                        core.waiters[g0].iter().all(|e| e.ticket != ticket),
+                        "ticket {} launches next", ticket
+                    );
+                    prop_assert_eq!(core.granted, None);
+                }
+                prop_assert!(core.waiters[g0].is_empty());
+            }
+
+            /// Cancelling any subset of parked entries (their tickets
+            /// were dropped) leaves the survivors draining normally and
+            /// never wedges the grant chain: a blocking waiter enqueued
+            /// afterwards is still granted exactly once, and the grant
+            /// never names a parked ticket.
+            #[test]
+            fn cancelled_parked_entries_never_poison_the_grant_chain(
+                ranks in proptest::collection::vec(0u8..3, 2..16),
+                cancel_mask in proptest::collection::vec(any::<bool>(), 16),
+            ) {
+                let mut core = FairCore::new();
+                let g0 = core.add_graph();
+                let max = 1;
+                core.take(g0);
+                let mut entries = Vec::new();
+                for &rank in &ranks {
+                    let (ticket, _) =
+                        core.enqueue_parked(g0, rank, DeferredLaunch::disarmed());
+                    entries.push(ticket);
+                }
+                let mut survivors = entries.len();
+                for (i, &ticket) in entries.iter().enumerate() {
+                    if cancel_mask[i % cancel_mask.len()] {
+                        prop_assert!(core.cancel_parked(g0, ticket).is_some());
+                        survivors -= 1;
+                    }
+                }
+                let thread = core.enqueue(g0, Priority::Normal.rank());
+                let mut launched_total = 0;
+                let mut thread_admitted = false;
+                while !core.waiters[g0].is_empty() {
+                    launched_total += core.release(g0, max).len();
+                    if core.granted == Some(thread) {
+                        prop_assert!(!thread_admitted, "granted at most once");
+                        thread_admitted = true;
+                        launched_total += core.accept(g0, thread, max).len();
+                    }
+                    prop_assert!(
+                        core.granted.is_none() || core.granted == Some(thread),
+                        "the grant may only ever name the thread waiter"
+                    );
+                }
+                prop_assert!(thread_admitted);
+                prop_assert_eq!(launched_total, survivors);
+                prop_assert_eq!(core.granted, None);
+            }
+        }
+    }
+
     // ---- FairAdmission under real threads ----
 
     #[test]
@@ -866,8 +1218,14 @@ mod tests {
         let multi = MultiEngine::with_defaults();
         let q = graph_from_parts(&[0], &[]);
         let bogus = GraphId(7);
-        assert_eq!(multi.submit(bogus, &q).unwrap_err(), EngineError::UnknownGraph);
-        assert_eq!(multi.try_submit(bogus, &q).unwrap_err(), EngineError::UnknownGraph);
+        assert_eq!(
+            multi.submit(bogus, &q).unwrap_err(),
+            SubmitError::Route(RouteError::UnknownGraph)
+        );
+        assert_eq!(
+            multi.try_submit(bogus, &q).unwrap_err(),
+            SubmitError::Route(RouteError::UnknownGraph)
+        );
         assert!(multi.graph_stats(bogus).is_none());
         assert!(multi.runner(bogus).is_none());
     }

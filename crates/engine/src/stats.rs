@@ -270,6 +270,8 @@ pub(crate) struct StatsCollector {
     pub fast_path_fallbacks: AtomicU64,
     pub cancelled_variants: AtomicU64,
     pub busy_rejections: AtomicU64,
+    pub queue_full_rejections: AtomicU64,
+    pub parked: AtomicU64,
     pub inconclusive: AtomicU64,
     pub topk_races: AtomicU64,
     pub pruned_entrants: AtomicU64,
@@ -280,6 +282,9 @@ pub(crate) struct StatsCollector {
     pub latency: LatencyHistogram,
     /// Admission → setup-start queue wait.
     pub queue_wait: LatencyHistogram,
+    /// Waiting-room park time: submission → slot grant, for queries that
+    /// parked (disjoint from `queue_wait`, which starts at admission).
+    pub park_wait: LatencyHistogram,
     /// Setup-start → finalize-start race stage.
     pub race_stage: LatencyHistogram,
     /// Finalize body (result assembly through fulfillment).
@@ -298,6 +303,8 @@ impl StatsCollector {
             fast_path_fallbacks: AtomicU64::new(0),
             cancelled_variants: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
+            queue_full_rejections: AtomicU64::new(0),
+            parked: AtomicU64::new(0),
             inconclusive: AtomicU64::new(0),
             topk_races: AtomicU64::new(0),
             pruned_entrants: AtomicU64::new(0),
@@ -306,6 +313,7 @@ impl StatsCollector {
             edge_probes_binary: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
+            park_wait: LatencyHistogram::new(),
             race_stage: LatencyHistogram::new(),
             finalize_stage: LatencyHistogram::new(),
         }
@@ -359,6 +367,11 @@ impl StatsCollector {
             fast_path_fallbacks: self.fast_path_fallbacks.load(Ordering::Relaxed),
             cancelled_variants: self.cancelled_variants.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            queue_full_rejections: self.queue_full_rejections.load(Ordering::Relaxed),
+            parked: self.parked.load(Ordering::Relaxed),
+            waiting_room_depth: 0,
+            park_wait_p50: self.park_wait.percentile_duration(0.50),
+            park_wait_p99: self.park_wait.percentile_duration(0.99),
             inconclusive: self.inconclusive.load(Ordering::Relaxed),
             topk_races,
             pruned_entrants: self.pruned_entrants.load(Ordering::Relaxed),
@@ -404,9 +417,25 @@ pub struct EngineStats {
     /// Losing race entrants observed as cooperatively cancelled — the Ψ
     /// "kill" count.
     pub cancelled_variants: u64,
-    /// `try_submit` calls rejected because the engine was at its
-    /// concurrent-race limit.
+    /// Non-blocking submissions rejected hard because the engine was at
+    /// its concurrent-race limit with the waiting room disabled
+    /// ([`crate::EngineConfig::waiting_room`] = 0).
     pub busy_rejections: u64,
+    /// Non-blocking submissions rejected because the waiting room itself
+    /// was full — the burst outlived the room.
+    pub queue_full_rejections: u64,
+    /// Non-blocking submissions that parked in the waiting room instead
+    /// of bouncing (each later launches, or is cancelled by its ticket).
+    pub parked: u64,
+    /// Requests parked in the waiting room *right now* (a gauge, read
+    /// from the admission gate at snapshot time; for a registry tenant
+    /// this is the shared gate's total across graphs).
+    pub waiting_room_depth: u64,
+    /// Median waiting-room park time (submission → slot grant) over all
+    /// parked queries.
+    pub park_wait_p50: Duration,
+    /// 99th-percentile waiting-room park time.
+    pub park_wait_p99: Duration,
     /// Served queries whose answer was not definitive (race timed out).
     pub inconclusive: u64,
     /// Races scheduled adaptively: a predictor-ranked top-K first heat

@@ -21,13 +21,15 @@
 //!   one thread. Dropping a ticket cancels its race through the shared
 //!   `CancelToken`, freeing the pool slots the race occupied.
 //!
-//! Backpressure is surfaced at *ticket creation*:
-//! [`Submit::submit_nonblocking`] returns [`crate::EngineError::Busy`]
-//! instead of queueing when the engine is at its concurrent-race limit,
-//! so a network layer multiplexing thousands of clients can shed load
-//! before any per-query state exists.
+//! Backpressure is still surfaced at *ticket creation*, but in two
+//! stages: over-limit [`Submit::submit_nonblocking`] calls park in the
+//! engine's bounded waiting room (the ticket returns immediately and the
+//! query launches when the fair gate grants it a slot), and only a full
+//! room refuses — with a typed [`crate::AdmissionError`] — so a network
+//! layer multiplexing thousands of clients absorbs short bursts and
+//! sheds only sustained overload.
 
-use crate::engine::{EngineError, EngineResponse};
+use crate::engine::{AdmissionGate, EngineResponse, SubmitError};
 use crate::registry::GraphId;
 use psi_core::RaceBudget;
 use psi_graph::Graph;
@@ -88,13 +90,22 @@ pub struct QueryRequest {
     pub(crate) budget: Option<RaceBudget>,
     pub(crate) graph: Option<GraphId>,
     pub(crate) priority: Priority,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) tag: Option<u64>,
 }
 
 impl QueryRequest {
     /// A request for `query` with default budget, no target graph and
     /// [`Priority::Normal`].
     pub fn new(query: Graph) -> Self {
-        Self { query, budget: None, graph: None, priority: Priority::Normal }
+        Self {
+            query,
+            budget: None,
+            graph: None,
+            priority: Priority::Normal,
+            deadline: None,
+            tag: None,
+        }
     }
 
     /// Races under an explicit budget instead of the engine default.
@@ -112,6 +123,24 @@ impl QueryRequest {
     /// Sets the admission priority.
     pub fn priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Caps the query's end-to-end time: the deadline is anchored at
+    /// *admission* (the paper's convention — queue wait burns the
+    /// caller's budget, not the server's) and folds into the race
+    /// budget's wall-clock timeout as the tighter of the two. A query
+    /// past its deadline finalizes inconclusive.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Correlation id for [`Submit::submit_into`]: the tag pushed onto
+    /// the completion queue when this query finishes (defaults to the
+    /// engine-assigned query id). Opaque to the engine.
+    pub fn tag(mut self, tag: u64) -> Self {
+        self.tag = Some(tag);
         self
     }
 
@@ -134,6 +163,16 @@ impl QueryRequest {
     pub fn priority_value(&self) -> Priority {
         self.priority
     }
+
+    /// The admission-anchored deadline, if one was set.
+    pub fn deadline_value(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The completion-queue correlation tag, if one was set.
+    pub fn tag_value(&self) -> Option<u64> {
+        self.tag
+    }
 }
 
 /// The unified submission interface over [`crate::Engine`] and
@@ -142,21 +181,57 @@ impl QueryRequest {
 /// `ticket + wait` by construction, so the two surfaces cannot drift.
 pub trait Submit {
     /// Admits `request` without blocking and returns a completion
-    /// handle: [`crate::EngineError::Busy`] when the engine is at its
-    /// concurrent-race limit (cache hits are always served, even at
-    /// capacity). The returned ticket completes when the pooled race
-    /// (or fast path) finishes; dropping it cancels the race.
-    fn submit_nonblocking(&self, request: QueryRequest) -> Result<QueryTicket, EngineError>;
+    /// handle. At the concurrent-race limit the query *parks* in the
+    /// engine's bounded waiting room (the ticket still returns
+    /// immediately); a full room refuses with
+    /// [`crate::AdmissionError::QueueFull`] — or
+    /// [`crate::AdmissionError::Busy`] when the room is disabled. Cache
+    /// hits are always served, even at capacity. The returned ticket
+    /// completes when the pooled race (or fast path) finishes; dropping
+    /// it cancels the race (or frees the parked slot).
+    fn submit_nonblocking(&self, request: QueryRequest) -> Result<QueryTicket, SubmitError>;
 
     /// Like [`Submit::submit_nonblocking`], but blocks for an admission
-    /// slot instead of bouncing — the ticket it returns is already
+    /// slot instead of parking — the ticket it returns is already
     /// admitted. Errors only on routing problems
-    /// ([`crate::EngineError::UnknownGraph`] / [`crate::EngineError::NoGraph`]).
-    fn submit_queued(&self, request: QueryRequest) -> Result<QueryTicket, EngineError>;
+    /// ([`crate::RouteError::UnknownGraph`] / [`crate::RouteError::NoGraph`]).
+    fn submit_queued(&self, request: QueryRequest) -> Result<QueryTicket, SubmitError>;
 
     /// Blocking convenience: `submit_queued` + [`QueryTicket::wait`].
-    fn submit_request(&self, request: QueryRequest) -> Result<EngineResponse, EngineError> {
+    fn submit_request(&self, request: QueryRequest) -> Result<EngineResponse, SubmitError> {
         Ok(self.submit_queued(request)?.wait())
+    }
+
+    /// Non-blocking submission pre-registered with a [`CompletionQueue`]:
+    /// when the query completes, the request's [`QueryRequest::tag`]
+    /// (defaulting to the engine-assigned query id) is pushed onto
+    /// `queue`. This replaces the racy attach-after-submit dance — the
+    /// registration exists before the race can possibly finish, in one
+    /// call. The returned ticket must be kept (dropping it still cancels
+    /// the query); index it by the tag in the driver's pending table.
+    fn submit_into(
+        &self,
+        request: QueryRequest,
+        queue: &CompletionQueue,
+    ) -> Result<QueryTicket, SubmitError> {
+        let tag = request.tag;
+        let ticket = self.submit_nonblocking(request)?;
+        ticket.register_waiter(queue, tag.unwrap_or_else(|| ticket.query_id()));
+        Ok(ticket)
+    }
+
+    /// [`Submit::submit_into`]'s blocking sibling: waits for an admission
+    /// slot ([`Submit::submit_queued`]) and pre-registers the queue the
+    /// same way.
+    fn submit_queued_into(
+        &self,
+        request: QueryRequest,
+        queue: &CompletionQueue,
+    ) -> Result<QueryTicket, SubmitError> {
+        let tag = request.tag;
+        let ticket = self.submit_queued(request)?;
+        ticket.register_waiter(queue, tag.unwrap_or_else(|| ticket.query_id()));
+        Ok(ticket)
     }
 }
 
@@ -217,22 +292,62 @@ impl CompletionSlot {
 /// attach the ticket to a [`CompletionQueue`] and drain many tickets
 /// from one thread.
 ///
+/// ## Consuming vs. borrowing, cancel vs. detach
+///
+/// The waiting story is deliberately asymmetric:
+///
+/// * [`QueryTicket::wait`]`(self)` **consumes** — waiting forever is the
+///   last thing a caller does with a ticket, and consuming makes
+///   wait-then-cancel unrepresentable.
+/// * [`QueryTicket::wait_timeout`]`(&self)` **borrows** — a timeout is a
+///   polling step, not a verdict; the ticket stays live (not cancelled,
+///   not poisoned) and a later wait still gets the answer.
+/// * [`QueryTicket::into_response`]`(self)` consumes *only on success*:
+///   the completed response, or the ticket handed back untouched.
+///
 /// **Dropping a ticket cancels its query**: the shared `CancelToken`
 /// unwinds every entrant of the race at its next budget check, the race
 /// finalizes as inconclusive, and its admission slot and pool workers
-/// free promptly. A timed-out [`QueryTicket::wait_timeout`] does *not*
-/// cancel — the ticket stays live and a later wait still gets the
-/// answer.
+/// free promptly. A ticket still *parked* in the waiting room leaves the
+/// room instead (its slot frees without ever racing). When
+/// fire-and-forget is intended — submit, warm the cache, never read the
+/// answer — [`QueryTicket::detach`] releases the handle without
+/// cancelling.
 #[must_use = "dropping a QueryTicket cancels its query"]
 pub struct QueryTicket {
     slot: Arc<CompletionSlot>,
     cancel: CancelToken,
     query_id: u64,
+    /// While parked in the waiting room: the gate and park ticket that
+    /// remove the entry on cancel/drop. Taken (at most once) by whoever
+    /// cancels first; a launched query's entry is already gone and the
+    /// gate call is a cheap no-op.
+    park: Mutex<Option<(Arc<dyn AdmissionGate>, u64)>>,
+    /// Set by [`QueryTicket::detach`]: drop without cancelling.
+    detached: bool,
 }
 
 impl QueryTicket {
     pub(crate) fn pending(slot: Arc<CompletionSlot>, cancel: CancelToken, query_id: u64) -> Self {
-        Self { slot, cancel, query_id }
+        Self { slot, cancel, query_id, park: Mutex::new(None), detached: false }
+    }
+
+    /// A ticket whose query is parked in the waiting room: additionally
+    /// carries the handle that unparks it on cancel/drop.
+    pub(crate) fn parked(
+        slot: Arc<CompletionSlot>,
+        cancel: CancelToken,
+        query_id: u64,
+        gate: Arc<dyn AdmissionGate>,
+        park_ticket: u64,
+    ) -> Self {
+        Self {
+            slot,
+            cancel,
+            query_id,
+            park: Mutex::new(Some((gate, park_ticket))),
+            detached: false,
+        }
     }
 
     /// A ticket that is already complete (cache hit).
@@ -241,6 +356,8 @@ impl QueryTicket {
             slot: Arc::new(CompletionSlot::completed(response)),
             cancel: CancelToken::new(),
             query_id,
+            park: Mutex::new(None),
+            detached: false,
         }
     }
 
@@ -262,7 +379,9 @@ impl QueryTicket {
         self.slot.inner.lock().expect("completion slot lock").response.is_some()
     }
 
-    /// Blocks until the query completes and returns its response.
+    /// Blocks until the query completes and returns its response,
+    /// consuming the ticket (see the type docs for why `wait` consumes
+    /// while [`QueryTicket::wait_timeout`] borrows).
     pub fn wait(self) -> EngineResponse {
         let mut inner = self.slot.inner.lock().expect("completion slot lock");
         loop {
@@ -298,15 +417,54 @@ impl QueryTicket {
 
     /// Cancels the query now (identical to dropping the ticket, but the
     /// handle stays usable — the race finalizes inconclusive and the
-    /// ticket completes with that verdict).
+    /// ticket completes with that verdict). A query still parked in the
+    /// waiting room leaves the room immediately and completes
+    /// inconclusive without ever racing.
     pub fn cancel(&self) {
         self.cancel.cancel();
+        self.cancel_parking();
+    }
+
+    /// Consumes the ticket if its query has completed: the response, or
+    /// the ticket handed back untouched so the caller can keep waiting.
+    pub fn into_response(self) -> Result<EngineResponse, QueryTicket> {
+        match self.poll() {
+            Some(response) => Ok(response),
+            None => Err(self),
+        }
+    }
+
+    /// Releases the handle **without** cancelling: the query keeps
+    /// running (or stays parked) to completion, its answer feeding the
+    /// cache and predictor as usual — fire-and-forget. The response is
+    /// unobservable afterwards; use [`Submit::submit_into`] when the
+    /// answer matters but the handle should live in a table.
+    pub fn detach(mut self) {
+        self.detached = true;
+    }
+
+    /// Removes this query from the waiting room, if it is still parked.
+    fn cancel_parking(&self) {
+        let parked = self.park.lock().expect("park handle lock").take();
+        if let Some((gate, ticket)) = parked {
+            gate.cancel_parked(ticket);
+        }
     }
 
     /// Registers this ticket with `queue`: when the query completes,
     /// `tag` is pushed onto the queue (immediately, if it already has).
     /// Re-attaching replaces any earlier registration.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use Submit::submit_into, which registers the queue before the race can finish"
+    )]
     pub fn attach(&self, queue: &CompletionQueue, tag: u64) {
+        self.register_waiter(queue, tag);
+    }
+
+    /// [`QueryTicket::attach`] without the deprecation — the shared body
+    /// behind `attach` and [`Submit::submit_into`].
+    pub(crate) fn register_waiter(&self, queue: &CompletionQueue, tag: u64) {
         let completed = {
             let mut inner = self.slot.inner.lock().expect("completion slot lock");
             if inner.response.is_some() {
@@ -333,9 +491,14 @@ impl fmt::Debug for QueryTicket {
 
 impl Drop for QueryTicket {
     fn drop(&mut self) {
+        if self.detached {
+            return;
+        }
         // Cancelling a finished (or cache-served) query is a no-op; an
-        // in-flight one unwinds its entrants at their next budget check.
+        // in-flight one unwinds its entrants at their next budget check;
+        // a parked one leaves the waiting room.
         self.cancel.cancel();
+        self.cancel_parking();
     }
 }
 
@@ -504,7 +667,7 @@ mod tests {
             .map(|(tag, s)| QueryTicket::pending(Arc::clone(s), CancelToken::new(), tag as u64))
             .collect();
         for (tag, ticket) in tickets.iter().enumerate() {
-            ticket.attach(&queue, tag as u64);
+            ticket.register_waiter(&queue, tag as u64);
         }
         assert_eq!(queue.try_next(), None);
         slots[2].fulfill(response());
@@ -521,7 +684,32 @@ mod tests {
     fn attaching_an_already_completed_ticket_fires_immediately() {
         let queue = CompletionQueue::new();
         let ticket = QueryTicket::completed(response(), 7);
-        ticket.attach(&queue, 42);
+        ticket.register_waiter(&queue, 42);
         assert_eq!(queue.try_next(), Some(42));
+    }
+
+    #[test]
+    fn into_response_consumes_only_on_completion() {
+        let slot = Arc::new(CompletionSlot::new());
+        let ticket = QueryTicket::pending(Arc::clone(&slot), CancelToken::new(), 3);
+        let ticket = ticket.into_response().expect_err("still pending: ticket comes back");
+        slot.fulfill(response());
+        assert!(ticket.into_response().expect("completed now").found());
+    }
+
+    #[test]
+    fn detach_releases_without_cancelling() {
+        let token = CancelToken::new();
+        let ticket = QueryTicket::pending(Arc::new(CompletionSlot::new()), token.clone(), 0);
+        ticket.detach();
+        assert!(!token.is_cancelled(), "detach must not cancel the query");
+    }
+
+    #[test]
+    fn request_deadline_and_tag_ride_the_builder() {
+        let query = psi_graph::graph::graph_from_parts(&[0, 1], &[(0, 1)]);
+        let request = QueryRequest::new(query).deadline(Duration::from_millis(40)).tag(0xBEEF);
+        assert_eq!(request.deadline_value(), Some(Duration::from_millis(40)));
+        assert_eq!(request.tag_value(), Some(0xBEEF));
     }
 }

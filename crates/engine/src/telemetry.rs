@@ -67,6 +67,25 @@ pub enum TraceEvent {
         /// Probe-to-fulfilled wall time, µs.
         elapsed_us: u64,
     },
+    /// The engine was at its concurrent-race limit: the query parked in
+    /// the bounded waiting room instead of bouncing. Followed by
+    /// [`TraceEvent::Unparked`] when a slot grant launches it, or
+    /// directly by a cancelled [`TraceEvent::Finalized`] if its ticket
+    /// is dropped while parked.
+    Parked {
+        /// Engine-assigned query id.
+        query: u64,
+        /// Waiting-room occupancy for this graph observed just after
+        /// parking (counts this entry, so ≥ 1).
+        depth: u32,
+    },
+    /// A parked query received a slot grant and launched.
+    Unparked {
+        /// Engine-assigned query id.
+        query: u64,
+        /// Time spent parked (submission → slot grant), µs.
+        waited_us: u64,
+    },
     /// A worker picked the query up and began race setup; `queue_us` is
     /// the admission→setup queue wait.
     SetupStarted {
@@ -165,6 +184,8 @@ impl TraceEvent {
         match *self {
             TraceEvent::Admitted { query }
             | TraceEvent::CacheHit { query, .. }
+            | TraceEvent::Parked { query, .. }
+            | TraceEvent::Unparked { query, .. }
             | TraceEvent::SetupStarted { query, .. }
             | TraceEvent::FastPath { query, .. }
             | TraceEvent::HeatLaunched { query, .. }
@@ -602,6 +623,9 @@ mod tests {
         }
         .is_terminal());
         assert!(!TraceEvent::Admitted { query: 1 }.is_terminal());
+        assert!(!TraceEvent::Parked { query: 1, depth: 4 }.is_terminal());
+        assert!(!TraceEvent::Unparked { query: 1, waited_us: 250 }.is_terminal());
+        assert_eq!(TraceEvent::Parked { query: 9, depth: 1 }.query(), 9);
         assert!(!TraceEvent::HeatLaunched { query: 1, launched: 2, reserved: 1 }.is_terminal());
         assert_eq!(TraceEvent::Escalated { query: 7, launched: 3 }.query(), 7);
     }

@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 use psi_core::{PsiConfig, PsiRunner, RaceBudget};
 use psi_engine::{
-    CompletionQueue, Engine, EngineConfig, EngineError, MultiEngine, MultiEngineConfig,
-    QueryRequest, RaceStrategy, ServePath, Submit,
+    AdmissionError, CompletionQueue, Engine, EngineConfig, MultiEngine, MultiEngineConfig,
+    QueryRequest, RaceStrategy, RouteError, ServePath, Submit, SubmitError,
 };
 use psi_graph::generate::{random_connected_graph, LabelDist};
 use psi_graph::graph::graph_from_parts;
@@ -65,6 +65,18 @@ fn explosive_setup() -> (Graph, Graph) {
 
 /// An engine whose every miss races (no cache, no fast path).
 fn race_only(stored: &Graph, workers: usize, races: usize, budget: RaceBudget) -> Engine {
+    race_only_with_room(stored, workers, races, budget, EngineConfig::default().waiting_room)
+}
+
+/// Like [`race_only`], with an explicit waiting-room bound (0 restores
+/// hard `Busy` refusals on the non-blocking path).
+fn race_only_with_room(
+    stored: &Graph,
+    workers: usize,
+    races: usize,
+    budget: RaceBudget,
+    waiting_room: usize,
+) -> Engine {
     Engine::new(
         PsiRunner::nfv_default(stored),
         EngineConfig {
@@ -73,6 +85,7 @@ fn race_only(stored: &Graph, workers: usize, races: usize, budget: RaceBudget) -
             cache_capacity: 0,
             predictor_confidence: 2.0,
             default_budget: budget,
+            waiting_room,
             ..EngineConfig::default()
         },
     )
@@ -83,8 +96,9 @@ fn dropping_a_ticket_cancels_the_race_and_frees_the_slot() {
     let (stored, slow_query) = explosive_setup();
     // NO wall-clock timeout: without cancellation this race would occupy
     // the single worker and the single admission slot essentially
-    // forever, and the probe loop below would never admit.
-    let engine = race_only(&stored, 1, 1, RaceBudget::with_max_matches(usize::MAX));
+    // forever, and the probe loop below would never admit. Waiting room
+    // disabled so capacity exhaustion is *observable* as `Busy`.
+    let engine = race_only_with_room(&stored, 1, 1, RaceBudget::with_max_matches(usize::MAX), 0);
     let ticket = engine
         .submit_nonblocking(QueryRequest::new(slow_query))
         .expect("idle engine admits immediately");
@@ -92,9 +106,11 @@ fn dropping_a_ticket_cancels_the_race_and_frees_the_slot() {
     std::thread::sleep(Duration::from_millis(100));
     assert!(!ticket.is_complete(), "explosive search cannot conclude this fast");
     let probe = grown_query(&stored, 3, 99);
-    assert_eq!(
-        engine.submit_nonblocking(QueryRequest::new(probe.clone())).unwrap_err(),
-        EngineError::Busy,
+    assert!(
+        matches!(
+            engine.submit_nonblocking(QueryRequest::new(probe.clone())).unwrap_err(),
+            SubmitError::Admission(AdmissionError::Busy { .. })
+        ),
         "the slow race must hold the only admission slot"
     );
 
@@ -108,7 +124,7 @@ fn dropping_a_ticket_cancels_the_race_and_frees_the_slot() {
             .submit_nonblocking(QueryRequest::new(probe.clone()).budget(RaceBudget::decision()))
         {
             Ok(t) => break t.wait(),
-            Err(EngineError::Busy) => {
+            Err(SubmitError::Admission(AdmissionError::Busy { .. })) => {
                 assert!(
                     Instant::now() < deadline,
                     "dropped ticket must free its admission slot promptly"
@@ -166,11 +182,9 @@ fn completion_queue_drains_many_tickets_from_one_thread() {
     let tickets: Vec<_> = (0..24)
         .map(|i| {
             let query = grown_query(&stored, 4, 500 + i);
-            let ticket = engine
-                .submit_nonblocking(QueryRequest::new(query))
-                .expect("admission above the batch size");
-            ticket.attach(&queue, i);
-            ticket
+            engine
+                .submit_into(QueryRequest::new(query).tag(i), &queue)
+                .expect("admission above the batch size")
         })
         .collect();
     let mut seen = vec![false; tickets.len()];
@@ -199,7 +213,7 @@ fn multi_engine_routes_tickets_and_reports_routing_errors() {
     // A request without a graph cannot be routed...
     assert_eq!(
         multi.submit_nonblocking(QueryRequest::new(query.clone())).unwrap_err(),
-        EngineError::NoGraph
+        SubmitError::Route(RouteError::NoGraph)
     );
     // ...nor can one naming a graph that was never registered.
     let bogus = multi.graph_id("nope");

@@ -4,7 +4,7 @@
 //! against the race budget.
 
 use psi_core::{PsiConfig, PsiRunner, RaceBudget};
-use psi_engine::{Engine, EngineConfig, EngineError, ServePath};
+use psi_engine::{AdmissionError, Engine, EngineConfig, ServePath, SubmitError};
 use psi_graph::generate::{random_connected_graph, LabelDist};
 use psi_graph::graph::graph_from_parts;
 use psi_graph::Graph;
@@ -198,15 +198,20 @@ fn explosive_setup() -> (Graph, Graph) {
 }
 
 #[test]
-fn try_submit_bounces_when_at_capacity() {
+fn try_submit_bounces_when_at_capacity_with_no_waiting_room() {
     let (stored, slow_query) = explosive_setup();
     let engine = Arc::new(Engine::new(
         PsiRunner::nfv_default(&stored),
-        race_only(
-            1,
-            1,
-            RaceBudget::with_max_matches(usize::MAX).timeout(Duration::from_millis(600)),
-        ),
+        EngineConfig {
+            // Restore the pre-waiting-room contract: over-limit
+            // non-blocking submissions bounce instead of parking.
+            waiting_room: 0,
+            ..race_only(
+                1,
+                1,
+                RaceBudget::with_max_matches(usize::MAX).timeout(Duration::from_millis(600)),
+            )
+        },
     ));
     std::thread::scope(|scope| {
         let background = Arc::clone(&engine);
@@ -219,9 +224,18 @@ fn try_submit_bounces_when_at_capacity() {
         // query so the cache cannot answer it.
         std::thread::sleep(Duration::from_millis(150));
         let probe = grown_query(&stored, 3, 99);
-        assert_eq!(engine.try_submit(&probe).unwrap_err(), EngineError::Busy);
+        match engine.try_submit(&probe).unwrap_err() {
+            SubmitError::Admission(AdmissionError::Busy { retry_hint }) => {
+                // The hint is the engine's p50 latency clamped to a sane
+                // band — never zero, never unbounded.
+                assert!(retry_hint >= Duration::from_micros(200));
+                assert!(retry_hint <= Duration::from_millis(100));
+            }
+            other => panic!("expected Busy at capacity, got {other}"),
+        }
     });
     assert!(engine.stats().busy_rejections >= 1);
+    assert_eq!(engine.stats().parked, 0, "waiting_room: 0 never parks");
     // Once drained, the same probe is served.
     let probe = grown_query(&stored, 3, 99);
     assert!(engine.try_submit(&probe).is_ok());

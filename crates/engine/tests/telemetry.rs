@@ -139,13 +139,16 @@ fn trace_terminal_events_agree_with_completion_queue_under_cancel() {
     let mut tickets = Vec::new();
     for i in 0..24u64 {
         let query = grown_query(&stored, 4, 100 + i);
-        let ticket = engine.submit_queued(QueryRequest::new(query)).expect("queued admission");
-        accepted.push(ticket.query_id());
         if i % 3 == 0 {
+            let ticket = engine.submit_queued(QueryRequest::new(query)).expect("queued admission");
+            accepted.push(ticket.query_id());
             // Cancel-on-drop while the race may still be in flight.
             drop(ticket);
         } else {
-            ticket.attach(&queue, ticket.query_id());
+            let ticket = engine
+                .submit_queued_into(QueryRequest::new(query), &queue)
+                .expect("queued admission");
+            accepted.push(ticket.query_id());
             tickets.push(ticket);
             kept += 1;
         }

@@ -1,0 +1,58 @@
+//! A minimal blocking client for the Ψ wire protocol.
+//!
+//! [`PsiClient`] is deliberately simple — one blocking TCP stream, one
+//! frame at a time — because the *server* end is where the multiplexing
+//! lives. Pipelining still works: [`send`] many requests back to back
+//! (distinct tags), then [`recv`] the replies in whatever order the
+//! races finish; the echoed tag correlates them.
+//!
+//! [`send`]: PsiClient::send
+//! [`recv`]: PsiClient::recv
+
+use crate::codec::{read_frame, write_frame, CodecError, QueryFrame, ReplyFrame};
+use crate::server::connect_blocking;
+use std::io::{self, ErrorKind};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One blocking connection to a [`crate::PsiServer`].
+pub struct PsiClient {
+    stream: TcpStream,
+}
+
+impl PsiClient {
+    /// Connects (with `TCP_NODELAY`, so small query frames are not
+    /// Nagle-delayed behind the server's replies).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(Self { stream: connect_blocking(addr)? })
+    }
+
+    /// Bounds how long [`recv`](Self::recv) may block; `None` restores
+    /// blocking forever.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Writes one request frame. Returns as soon as the bytes are
+    /// handed to the kernel — pipeline freely.
+    pub fn send(&mut self, frame: &QueryFrame) -> io::Result<()> {
+        write_frame(&mut self.stream, &frame.encode())
+    }
+
+    /// Blocks for the next reply frame. A server-side disconnect
+    /// surfaces as `UnexpectedEof`; a malformed reply as `InvalidData`.
+    pub fn recv(&mut self) -> io::Result<ReplyFrame> {
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        ReplyFrame::decode(&payload)
+            .map_err(|e: CodecError| io::Error::new(ErrorKind::InvalidData, e))
+    }
+
+    /// [`send`](Self::send) + [`recv`](Self::recv) for the common
+    /// one-at-a-time case.
+    pub fn roundtrip(&mut self, frame: &QueryFrame) -> io::Result<ReplyFrame> {
+        self.send(frame)?;
+        self.recv()
+    }
+}

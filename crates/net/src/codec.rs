@@ -1,0 +1,680 @@
+//! The Ψ wire codec: length-prefixed binary frames, no dependencies.
+//!
+//! Every frame on the wire is `[len: u32 LE][payload: len bytes]`, with
+//! `len` capped by [`MAX_FRAME`] — a frame announcing more is a protocol
+//! violation and the connection is dropped *before* buffering, so a
+//! hostile or corrupt peer cannot balloon server memory. All integers
+//! are little-endian; no padding, no self-description, no allocation
+//! proportional to anything but the declared (bounded) frame length.
+//!
+//! **Request payload** (client → server), see [`QueryFrame`]:
+//!
+//! | field        | type          | notes                                   |
+//! |--------------|---------------|-----------------------------------------|
+//! | version      | `u8`          | must equal [`WIRE_VERSION`]             |
+//! | graph        | `u64`         | registration index of the target graph |
+//! | priority     | `u8`          | 0 = Low, 1 = Normal, 2 = High           |
+//! | tag          | `u64`         | echoed verbatim in the reply            |
+//! | max_matches  | `u64`         | race budget cap; 0 = engine default     |
+//! | timeout_us   | `u64`         | race budget timeout, 0 = engine default |
+//! | deadline_us  | `u64`         | admission-anchored deadline, 0 = none   |
+//! | nodes        | `u32`         | query node count                        |
+//! | labels       | `u32 × nodes` | per-node labels                         |
+//! | edge count   | `u32`         |                                         |
+//! | edges        | `(u32,u32) ×` | endpoint pairs, must be in range        |
+//!
+//! **Reply payload** (server → client), see [`ReplyFrame`]: `tag: u64`,
+//! then `status: u8`, then a status-specific body. Status codes are a
+//! **stable** mapping of the engine's typed errors — additions get new
+//! codes, existing codes never change meaning:
+//!
+//! | code | meaning | body |
+//! |------|---------|------|
+//! | 0 | OK | `found u8, conclusive u8, path u8, elapsed_us u64, num_matches u64, emb_len u32, emb u32×len` |
+//! | 1 | Busy (`AdmissionError::Busy`) | `retry_hint_us u64` |
+//! | 2 | waiting room full (`AdmissionError::QueueFull`) | — |
+//! | 3 | unknown graph (`RouteError::UnknownGraph`) | — |
+//! | 4 | no graph named (`RouteError::NoGraph`) | — |
+//! | 5 | malformed request | — |
+//! | 250 | internal / unmapped engine error | — |
+//!
+//! The engine's error enums are `#[non_exhaustive]`; the status mapping
+//! routes any variant added later to code 250 rather than failing to
+//! compile or, worse, reusing an existing code.
+
+use psi_engine::{AdmissionError, Priority, RouteError, ServePath, SubmitError};
+use psi_graph::graph::graph_from_parts;
+use psi_graph::Graph;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Wire protocol version, first byte of every request payload.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard cap on a frame's declared payload length (16 MiB). Enforced on
+/// both ends before any buffering happens.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The payload ended before a declared field.
+    Truncated,
+    /// A frame header declared more than [`MAX_FRAME`] bytes.
+    Oversized(u64),
+    /// The request's version byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// A field held an impossible value (label count, edge endpoint…).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "payload truncated"),
+            CodecError::Oversized(len) => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            CodecError::BadVersion(v) => {
+                write!(f, "wire version {v} (this codec speaks {WIRE_VERSION})")
+            }
+            CodecError::Malformed(what) => write!(f, "malformed request: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Bounds-checked little-endian reader over one payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.at.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.buf[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// One query request as it travels on the wire. Build with
+/// [`QueryFrame::new`], tweak the public fields, then [`encode`].
+///
+/// [`encode`]: QueryFrame::encode
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryFrame {
+    /// Registration index of the target graph (`GraphId::index`).
+    pub graph: u64,
+    /// 0 = Low, 1 = Normal, 2 = High.
+    pub priority: u8,
+    /// Client-chosen correlation id, echoed in the reply.
+    pub tag: u64,
+    /// Race budget: stop after this many embeddings. 0 keeps the
+    /// engine's default budget (and ignores `timeout_us`);
+    /// `u64::MAX` asks for the complete answer set.
+    pub max_matches: u64,
+    /// Race budget timeout in µs; 0 keeps the engine default.
+    pub timeout_us: u64,
+    /// Admission-anchored deadline in µs; 0 means none.
+    pub deadline_us: u64,
+    /// Query node labels (node `i` has label `labels[i]`).
+    pub labels: Vec<u32>,
+    /// Query edges as endpoint index pairs.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl QueryFrame {
+    /// A Normal-priority decision query (first match, no timeout)
+    /// against graph `graph`.
+    pub fn new(graph: u64, query: &Graph) -> Self {
+        Self {
+            graph,
+            priority: 1,
+            tag: 0,
+            max_matches: 1,
+            timeout_us: 0,
+            deadline_us: 0,
+            labels: query.labels().to_vec(),
+            edges: query.edges().collect(),
+        }
+    }
+
+    /// Serializes the payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 4 * self.labels.len() + 8 * self.edges.len());
+        out.push(WIRE_VERSION);
+        put_u64(&mut out, self.graph);
+        out.push(self.priority);
+        put_u64(&mut out, self.tag);
+        put_u64(&mut out, self.max_matches);
+        put_u64(&mut out, self.timeout_us);
+        put_u64(&mut out, self.deadline_us);
+        put_u32(&mut out, self.labels.len() as u32);
+        for &l in &self.labels {
+            put_u32(&mut out, l);
+        }
+        put_u32(&mut out, self.edges.len() as u32);
+        for &(u, v) in &self.edges {
+            put_u32(&mut out, u);
+            put_u32(&mut out, v);
+        }
+        out
+    }
+
+    /// Parses one payload. Never panics: truncated, oversized or
+    /// internally inconsistent input comes back as a [`CodecError`].
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(payload);
+        let version = r.u8()?;
+        if version != WIRE_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let graph = r.u64()?;
+        let priority = r.u8()?;
+        if priority > 2 {
+            return Err(CodecError::Malformed("priority out of range"));
+        }
+        let tag = r.u64()?;
+        let max_matches = r.u64()?;
+        let timeout_us = r.u64()?;
+        let deadline_us = r.u64()?;
+        let nodes = r.u32()? as usize;
+        // A node costs ≥ 4 payload bytes, so this bound rejects counts
+        // the (already length-capped) frame cannot possibly contain —
+        // without it a tiny frame could claim u32::MAX nodes and force a
+        // giant allocation before the Truncated error surfaced.
+        if nodes > payload.len() / 4 {
+            return Err(CodecError::Truncated);
+        }
+        let mut labels = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            labels.push(r.u32()?);
+        }
+        let edge_count = r.u32()? as usize;
+        if edge_count > payload.len() / 8 {
+            return Err(CodecError::Truncated);
+        }
+        let mut edges = Vec::with_capacity(edge_count);
+        for _ in 0..edge_count {
+            let u = r.u32()?;
+            let v = r.u32()?;
+            if u as usize >= nodes || v as usize >= nodes {
+                return Err(CodecError::Malformed("edge endpoint out of range"));
+            }
+            if u == v {
+                return Err(CodecError::Malformed("self-loop"));
+            }
+            edges.push((u, v));
+        }
+        r.finish()?;
+        Ok(Self { graph, priority, tag, max_matches, timeout_us, deadline_us, labels, edges })
+    }
+
+    /// The engine-side [`Priority`] this frame asked for.
+    pub fn engine_priority(&self) -> Priority {
+        match self.priority {
+            0 => Priority::Low,
+            2 => Priority::High,
+            _ => Priority::Normal,
+        }
+    }
+
+    /// Materializes the query graph.
+    pub fn query_graph(&self) -> Graph {
+        graph_from_parts(&self.labels, &self.edges)
+    }
+}
+
+/// Wire status of a reply. See the module docs for the stable mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireStatus {
+    /// Query served; the reply carries the verdict.
+    Ok,
+    /// Engine at capacity and no waiting room configured.
+    Busy,
+    /// The waiting room overflowed.
+    QueueFull,
+    /// The named graph is not registered.
+    UnknownGraph,
+    /// The request named no graph the server could route to.
+    NoGraph,
+    /// The request failed to decode.
+    BadRequest,
+    /// Any engine error this codec version has no code for.
+    Internal,
+}
+
+impl WireStatus {
+    /// The stable on-wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            WireStatus::Ok => 0,
+            WireStatus::Busy => 1,
+            WireStatus::QueueFull => 2,
+            WireStatus::UnknownGraph => 3,
+            WireStatus::NoGraph => 4,
+            WireStatus::BadRequest => 5,
+            WireStatus::Internal => 250,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, CodecError> {
+        Ok(match code {
+            0 => WireStatus::Ok,
+            1 => WireStatus::Busy,
+            2 => WireStatus::QueueFull,
+            3 => WireStatus::UnknownGraph,
+            4 => WireStatus::NoGraph,
+            5 => WireStatus::BadRequest,
+            250 => WireStatus::Internal,
+            _ => return Err(CodecError::Malformed("unknown status code")),
+        })
+    }
+
+    /// Maps an engine submission error to its wire status. The engine
+    /// enums are `#[non_exhaustive]`: variants added after this codec
+    /// version ships degrade to [`WireStatus::Internal`] instead of
+    /// silently reusing a code.
+    pub fn from_error(err: &SubmitError) -> Self {
+        match err {
+            SubmitError::Admission(AdmissionError::Busy { .. }) => WireStatus::Busy,
+            SubmitError::Admission(AdmissionError::QueueFull) => WireStatus::QueueFull,
+            SubmitError::Route(RouteError::UnknownGraph) => WireStatus::UnknownGraph,
+            SubmitError::Route(RouteError::NoGraph) => WireStatus::NoGraph,
+            _ => WireStatus::Internal,
+        }
+    }
+}
+
+/// A served query's verdict as it travels on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireVerdict {
+    /// Did the query embed?
+    pub found: bool,
+    /// Is the answer definitive?
+    pub conclusive: bool,
+    /// 0 = cache hit, 1 = fast path, 2 = race.
+    pub path: u8,
+    /// End-to-end serving latency, µs.
+    pub elapsed_us: u64,
+    /// Number of embeddings found.
+    pub num_matches: u64,
+    /// The first embedding (query node → stored node), empty if none.
+    pub embedding: Vec<u32>,
+}
+
+impl WireVerdict {
+    /// Wire encoding of a [`ServePath`].
+    pub fn path_code(path: ServePath) -> u8 {
+        match path {
+            ServePath::CacheHit => 0,
+            ServePath::FastPath => 1,
+            ServePath::Race => 2,
+        }
+    }
+}
+
+/// One reply as it travels on the wire: the request's echoed tag plus
+/// either a verdict or a typed error status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyFrame {
+    /// Correlation id echoed from the request.
+    pub tag: u64,
+    /// Outcome (`Ok` carries `verdict`; `Busy` carries `retry_hint_us`).
+    pub status: WireStatus,
+    /// Present iff `status == Ok`.
+    pub verdict: Option<WireVerdict>,
+    /// Present iff `status == Busy`: suggested client backoff, µs.
+    pub retry_hint_us: u64,
+}
+
+impl ReplyFrame {
+    /// A success reply.
+    pub fn ok(tag: u64, verdict: WireVerdict) -> Self {
+        Self { tag, status: WireStatus::Ok, verdict: Some(verdict), retry_hint_us: 0 }
+    }
+
+    /// An error reply.
+    pub fn error(tag: u64, status: WireStatus, retry_hint_us: u64) -> Self {
+        Self { tag, status, verdict: None, retry_hint_us }
+    }
+
+    /// Serializes the payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        put_u64(&mut out, self.tag);
+        out.push(self.status.code());
+        match self.status {
+            WireStatus::Ok => {
+                let v = self.verdict.as_ref().expect("Ok replies carry a verdict");
+                out.push(v.found as u8);
+                out.push(v.conclusive as u8);
+                out.push(v.path);
+                put_u64(&mut out, v.elapsed_us);
+                put_u64(&mut out, v.num_matches);
+                put_u32(&mut out, v.embedding.len() as u32);
+                for &m in &v.embedding {
+                    put_u32(&mut out, m);
+                }
+            }
+            WireStatus::Busy => put_u64(&mut out, self.retry_hint_us),
+            _ => {}
+        }
+        out
+    }
+
+    /// Parses one reply payload. Never panics on malformed input.
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(payload);
+        let tag = r.u64()?;
+        let status = WireStatus::from_code(r.u8()?)?;
+        let mut reply = ReplyFrame { tag, status, verdict: None, retry_hint_us: 0 };
+        match status {
+            WireStatus::Ok => {
+                let found = r.u8()? != 0;
+                let conclusive = r.u8()? != 0;
+                let path = r.u8()?;
+                if path > 2 {
+                    return Err(CodecError::Malformed("serve path out of range"));
+                }
+                let elapsed_us = r.u64()?;
+                let num_matches = r.u64()?;
+                let emb_len = r.u32()? as usize;
+                if emb_len > payload.len() / 4 {
+                    return Err(CodecError::Truncated);
+                }
+                let mut embedding = Vec::with_capacity(emb_len);
+                for _ in 0..emb_len {
+                    embedding.push(r.u32()?);
+                }
+                reply.verdict = Some(WireVerdict {
+                    found,
+                    conclusive,
+                    path,
+                    elapsed_us,
+                    num_matches,
+                    embedding,
+                });
+            }
+            WireStatus::Busy => reply.retry_hint_us = r.u64()?,
+            _ => {}
+        }
+        r.finish()?;
+        Ok(reply)
+    }
+}
+
+/// Incremental frame extraction for non-blocking reads: feed bytes as
+/// they arrive, pull complete payloads out. Rejects oversized headers
+/// before buffering the body.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete payload, `Ok(None)` if more bytes are
+    /// needed, or [`CodecError::Oversized`] if the pending header
+    /// declares more than [`MAX_FRAME`] — the connection should be
+    /// dropped, since the stream cannot be resynchronized.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(CodecError::Oversized(len as u64));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(payload))
+    }
+}
+
+/// Writes `[len][payload]` to a blocking stream.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "encoder produced an oversized frame");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one `[len][payload]` frame from a blocking stream. `Ok(None)`
+/// on clean EOF at a frame boundary; oversized headers surface as
+/// `InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match r.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, CodecError::Oversized(len as u64)));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_query() -> QueryFrame {
+        QueryFrame {
+            graph: 3,
+            priority: 2,
+            tag: 0xdead_beef,
+            max_matches: 64,
+            timeout_us: 1_500_000,
+            deadline_us: 2_000_000,
+            labels: vec![0, 1, 0, 2],
+            edges: vec![(0, 1), (1, 2), (2, 3)],
+        }
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let frame = sample_query();
+        assert_eq!(QueryFrame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn reply_round_trips_every_status() {
+        let ok = ReplyFrame::ok(
+            7,
+            WireVerdict {
+                found: true,
+                conclusive: true,
+                path: 2,
+                elapsed_us: 1234,
+                num_matches: 2,
+                embedding: vec![5, 9, 1],
+            },
+        );
+        assert_eq!(ReplyFrame::decode(&ok.encode()).unwrap(), ok);
+        for status in [
+            WireStatus::Busy,
+            WireStatus::QueueFull,
+            WireStatus::UnknownGraph,
+            WireStatus::NoGraph,
+            WireStatus::BadRequest,
+            WireStatus::Internal,
+        ] {
+            let hint = if status == WireStatus::Busy { 250 } else { 0 };
+            let err = ReplyFrame::error(9, status, hint);
+            assert_eq!(ReplyFrame::decode(&err.encode()).unwrap(), err);
+        }
+    }
+
+    #[test]
+    fn error_mapping_is_stable() {
+        use std::time::Duration;
+        assert_eq!(
+            WireStatus::from_error(&SubmitError::Admission(AdmissionError::Busy {
+                retry_hint: Duration::from_millis(1),
+            }))
+            .code(),
+            1
+        );
+        assert_eq!(
+            WireStatus::from_error(&SubmitError::Admission(AdmissionError::QueueFull)).code(),
+            2
+        );
+        assert_eq!(WireStatus::from_error(&SubmitError::Route(RouteError::UnknownGraph)).code(), 3);
+        assert_eq!(WireStatus::from_error(&SubmitError::Route(RouteError::NoGraph)).code(), 4);
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let payload = sample_query().encode();
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        let mut fb = FrameBuffer::new();
+        // Feed one byte at a time: no frame until the last byte lands.
+        for &b in &wire[..wire.len() - 1] {
+            fb.extend(&[b]);
+            assert_eq!(fb.next_frame().unwrap(), None);
+        }
+        fb.extend(&[wire[wire.len() - 1]]);
+        assert_eq!(fb.next_frame().unwrap(), Some(payload));
+        assert_eq!(fb.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_buffering() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert_eq!(fb.next_frame(), Err(CodecError::Oversized(MAX_FRAME as u64 + 1)));
+    }
+
+    #[test]
+    fn edge_endpoints_are_range_checked() {
+        let mut frame = sample_query();
+        frame.edges.push((0, 40));
+        assert_eq!(
+            QueryFrame::decode(&frame.encode()),
+            Err(CodecError::Malformed("edge endpoint out of range"))
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Decoding arbitrary bytes never panics — it errors or parses.
+        #[test]
+        fn decode_never_panics_on_fuzz(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = QueryFrame::decode(&bytes);
+            let _ = ReplyFrame::decode(&bytes);
+        }
+
+        /// Truncating a valid frame at any point yields an error, never
+        /// a panic and never a silently short parse.
+        #[test]
+        fn truncation_is_always_an_error(cut in 0usize..100) {
+            let payload = QueryFrame {
+                graph: 1,
+                priority: 0,
+                tag: 42,
+                max_matches: u64::MAX,
+                timeout_us: 0,
+                deadline_us: 7,
+                labels: vec![3, 1, 4, 1, 5],
+                edges: vec![(0, 1), (1, 2), (3, 4)],
+            }
+            .encode();
+            let cut = cut % payload.len();
+            prop_assert!(QueryFrame::decode(&payload[..cut]).is_err());
+        }
+
+        /// Round trip over randomly shaped (valid) queries.
+        #[test]
+        fn query_round_trip_fuzz(
+            labels in proptest::collection::vec(0u32..8, 1..12),
+            edge_seed in any::<u64>(),
+            graph in any::<u64>(),
+            tag in any::<u64>(),
+        ) {
+            let n = labels.len() as u32;
+            let mut edges = Vec::new();
+            if n > 1 {
+                let mut x = edge_seed | 1;
+                for _ in 0..(n * 2) {
+                    // Cheap LCG: derive distinct in-range endpoints.
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let u = (x >> 33) as u32 % n;
+                    let v = (x >> 12) as u32 % n;
+                    if u != v && !edges.contains(&(u, v)) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let frame = QueryFrame {
+                graph,
+                priority: (tag % 3) as u8,
+                tag,
+                max_matches: 1,
+                timeout_us: tag % 1_000_000,
+                deadline_us: 0,
+                labels,
+                edges,
+            };
+            prop_assert_eq!(QueryFrame::decode(&frame.encode()).unwrap(), frame);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `psi-net` — the wire frontend for the Ψ-engine.
+//!
+//! Everything the engine crates do happens in-process; this crate puts
+//! the serving system on a socket. It has three pieces, all built on
+//! the standard library alone:
+//!
+//! * [`codec`] — a length-prefixed binary protocol: a request frame
+//!   carries the target graph's id, the serialized query graph and the
+//!   budget/priority/deadline knobs; a reply echoes the request's tag
+//!   with either the verdict (found/conclusive/path/latency/embedding)
+//!   or a typed error status that maps the engine's
+//!   [`AdmissionError`](psi_engine::AdmissionError) /
+//!   [`RouteError`](psi_engine::RouteError) variants to **stable** wire
+//!   codes. Decoding never panics, frames are hard-capped at
+//!   [`MAX_FRAME`], and malformed input is a typed [`CodecError`].
+//! * [`server`] — [`PsiServer`]: one acceptor plus a handful of
+//!   event-loop threads multiplexing thousands of connections over the
+//!   engine's non-blocking ticket frontend
+//!   ([`submit_into`](psi_engine::Submit::submit_into) +
+//!   [`CompletionQueue`](psi_engine::CompletionQueue)). Overload parks
+//!   in the engine's waiting room instead of blocking an event loop;
+//!   a dropped connection cancels its in-flight races.
+//! * [`client`] — [`PsiClient`]: a deliberately boring blocking client
+//!   that still pipelines (send N tagged requests, collect N tagged
+//!   replies), used by the loopback fleets in `psi-workload` and the
+//!   `net_qps` benchmark.
+//!
+//! ```no_run
+//! use psi_net::{loopback, PsiClient, QueryFrame};
+//! # fn demo(engine: std::sync::Arc<psi_engine::MultiEngine>, query: psi_graph::Graph) -> std::io::Result<()> {
+//! let server = loopback(engine, 2)?; // 2 event-loop threads
+//! let mut client = PsiClient::connect(server.addr())?;
+//! let reply = client.roundtrip(&QueryFrame::new(0, &query))?;
+//! println!("status {:?}, tag {}", reply.status, reply.tag);
+//! # Ok(()) }
+//! ```
+
+pub mod client;
+pub mod codec;
+pub mod server;
+
+pub use client::PsiClient;
+pub use codec::{
+    read_frame, write_frame, CodecError, FrameBuffer, QueryFrame, ReplyFrame, WireStatus,
+    WireVerdict, MAX_FRAME, WIRE_VERSION,
+};
+pub use server::{loopback, PsiServer, ServerConfig};

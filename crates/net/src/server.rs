@@ -1,0 +1,489 @@
+//! The event-loop TCP server: thousands of connections, a handful of
+//! threads, zero blocked submissions.
+//!
+//! [`PsiServer`] is the wire face of a [`MultiEngine`]. One acceptor
+//! thread hands fresh connections round-robin to a small fixed set of
+//! **event-loop threads**. Each loop owns its connections outright — no
+//! cross-loop locking — and multiplexes them over the engine's
+//! non-blocking ticket frontend:
+//!
+//! ```text
+//!  accept ──► loop 0:  [conn][conn][conn]…──┐ submit_into(tag=token)
+//!             loop 1:  [conn][conn]…        ├──────────► MultiEngine
+//!             loop N:  [conn]…           ◄──┘ CompletionQueue tokens
+//! ```
+//!
+//! A request frame is decoded, routed and submitted in one
+//! `submit_into` call; the resulting [`QueryTicket`] is parked in the
+//! loop's pending table keyed by a loop-local **token** that doubles as
+//! the completion-queue tag. The loop never waits on any single query:
+//! it drains its [`CompletionQueue`], writes replies back, and uses
+//! `wait_timeout` as its idle sleep so a completion wakes it instantly.
+//! Engine backpressure never reaches the event loop as blocking —
+//! over-limit submissions park in the engine's waiting room and
+//! complete like any other ticket, and typed refusals
+//! ([`SubmitError`]) become error replies on the wire.
+//!
+//! Dropping a connection drops its pending tickets, which cancels the
+//! races mid-flight — a disconnecting client cannot leak engine slots.
+
+use crate::codec::{FrameBuffer, QueryFrame, ReplyFrame, WireStatus, WireVerdict};
+use psi_core::RaceBudget;
+use psi_engine::{
+    AdmissionError, CompletionQueue, GraphId, MultiEngine, QueryRequest, QueryTicket, Submit,
+    SubmitError,
+};
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`PsiServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port (see [`PsiServer::addr`]).
+    pub addr: String,
+    /// Event-loop threads. Each multiplexes its share of connections;
+    /// a handful covers thousands of clients because the loops never
+    /// block on queries.
+    pub event_loops: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:0".to_string(), event_loops: 2 }
+    }
+}
+
+/// One connection owned by an event loop.
+struct Conn {
+    stream: TcpStream,
+    rbuf: FrameBuffer,
+    /// Bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// Tokens of queries submitted on behalf of this connection.
+    in_flight: usize,
+    closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self { stream, rbuf: FrameBuffer::new(), wbuf: Vec::new(), in_flight: 0, closed: false }
+    }
+}
+
+/// A running wire frontend. Dropping it shuts the server down and joins
+/// every thread.
+pub struct PsiServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl PsiServer {
+    /// Binds `config.addr` and spawns the acceptor plus
+    /// `config.event_loops` event-loop threads serving `engine`.
+    pub fn start(engine: Arc<MultiEngine>, config: ServerConfig) -> io::Result<PsiServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let loops = config.event_loops.max(1);
+
+        let mut threads = Vec::with_capacity(loops + 1);
+        let mut senders = Vec::with_capacity(loops);
+        for i in 0..loops {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            senders.push(tx);
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("psi-net-loop-{i}"))
+                    .spawn(move || EventLoop::new(engine, rx, shutdown).run())
+                    .expect("spawn event loop"),
+            );
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name("psi-net-accept".to_string())
+                .spawn(move || {
+                    let mut next = 0usize;
+                    for stream in listener.incoming() {
+                        if accept_shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        // Round-robin: each loop gets every Nth connection.
+                        if senders[next % senders.len()].send(stream).is_err() {
+                            break;
+                        }
+                        next += 1;
+                    }
+                })
+                .expect("spawn acceptor"),
+        );
+
+        Ok(PsiServer { addr, shutdown, threads })
+    }
+
+    /// The bound address — the port to hand to [`crate::PsiClient`].
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, disconnects everyone, joins all threads.
+    /// In-flight races are cancelled by dropping their tickets.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // The acceptor blocks in accept(); a throwaway connection to
+        // ourselves unblocks it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PsiServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Loop-local bookkeeping for one submitted query.
+struct Pending {
+    conn: usize,
+    wire_tag: u64,
+    ticket: QueryTicket,
+}
+
+struct EventLoop {
+    engine: Arc<MultiEngine>,
+    incoming: mpsc::Receiver<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    queue: CompletionQueue,
+    pending: HashMap<u64, Pending>,
+    next_token: u64,
+    /// Wire graph index → routing id, refreshed from the registry on
+    /// miss so graphs registered after the server started still route.
+    graph_ids: Vec<GraphId>,
+}
+
+impl EventLoop {
+    fn new(
+        engine: Arc<MultiEngine>,
+        incoming: mpsc::Receiver<TcpStream>,
+        shutdown: Arc<AtomicBool>,
+    ) -> Self {
+        Self {
+            engine,
+            incoming,
+            shutdown,
+            conns: Vec::new(),
+            free: Vec::new(),
+            queue: CompletionQueue::new(),
+            pending: HashMap::new(),
+            next_token: 0,
+            graph_ids: Vec::new(),
+        }
+    }
+
+    fn run(mut self) {
+        // A full read sweep is one syscall per connection — expensive
+        // with hundreds of conns on the loop. Clients only have new
+        // frames for us after we wrote replies (or right after
+        // connecting), so the sweep is gated on those signals plus the
+        // idle timeout, instead of running every iteration while
+        // completions stream out of the engine.
+        let mut sweep_due = true;
+        while !self.shutdown.load(Ordering::Acquire) {
+            let mut progressed = false;
+
+            // Adopt new connections.
+            while let Ok(stream) = self.incoming.try_recv() {
+                let conn = Conn::new(stream);
+                match self.free.pop() {
+                    Some(slot) => self.conns[slot] = Some(conn),
+                    None => self.conns.push(Some(conn)),
+                }
+                progressed = true;
+                sweep_due = true;
+            }
+
+            // Read, decode, submit. Keep sweeping while data flows.
+            if sweep_due {
+                let mut read_any = false;
+                for idx in 0..self.conns.len() {
+                    read_any |= self.service_reads(idx);
+                }
+                progressed |= read_any;
+                sweep_due = read_any;
+            }
+
+            // Turn finished races into reply frames.
+            while let Some(token) = self.queue.try_next() {
+                self.complete(token);
+                progressed = true;
+            }
+
+            // Push buffered replies out; reap finished connections.
+            for idx in 0..self.conns.len() {
+                if self.service_writes(idx) {
+                    progressed = true;
+                    // Replies left: the pipelining clients behind them
+                    // may answer with new requests.
+                    sweep_due = true;
+                }
+                self.reap(idx);
+            }
+
+            if !progressed {
+                // Idle: sleep on the completion queue, so a finishing
+                // race wakes the loop immediately rather than after a
+                // timer tick. Either way the next iteration sweeps —
+                // frames that arrived during the nap must not wait for
+                // a second timeout.
+                if let Some(token) = self.queue.wait_timeout(Duration::from_micros(500)) {
+                    self.complete(token);
+                }
+                sweep_due = true;
+            }
+        }
+        // Shutdown: dropping `pending` drops the tickets, cancelling
+        // every in-flight race; dropping `conns` closes the sockets.
+    }
+
+    /// Reads until the socket would block, submitting every complete
+    /// frame. Returns whether any bytes or frames were processed.
+    fn service_reads(&mut self, idx: usize) -> bool {
+        let Some(conn) = self.conns[idx].as_mut() else { return false };
+        if conn.closed {
+            return false;
+        }
+        let mut progressed = false;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend(&chunk[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.closed = true;
+                    break;
+                }
+            }
+        }
+        loop {
+            let frame = match self.conns[idx].as_mut().expect("checked above").rbuf.next_frame() {
+                Ok(Some(payload)) => payload,
+                Ok(None) => break,
+                Err(_) => {
+                    // An oversized header cannot be resynchronized;
+                    // cut the connection rather than guess at a
+                    // frame boundary.
+                    self.conns[idx].as_mut().expect("checked above").closed = true;
+                    break;
+                }
+            };
+            progressed = true;
+            self.handle_frame(idx, &frame);
+        }
+        progressed
+    }
+
+    /// Decodes, routes and submits one request frame, or replies with
+    /// the mapped error status immediately.
+    fn handle_frame(&mut self, idx: usize, payload: &[u8]) {
+        let frame = match QueryFrame::decode(payload) {
+            Ok(frame) => frame,
+            Err(_) => {
+                // The tag sits at a fixed offset past the version byte;
+                // salvage it when present so the client can correlate
+                // even a malformed request's rejection.
+                let tag = salvage_tag(payload);
+                self.reply(idx, ReplyFrame::error(tag, WireStatus::BadRequest, 0));
+                return;
+            }
+        };
+        let Some(graph) = self.resolve_graph(frame.graph) else {
+            self.reply(idx, ReplyFrame::error(frame.tag, WireStatus::UnknownGraph, 0));
+            return;
+        };
+
+        let token = self.next_token;
+        self.next_token += 1;
+        let mut request = QueryRequest::new(frame.query_graph())
+            .graph(graph)
+            .priority(frame.engine_priority())
+            .tag(token);
+        if frame.max_matches > 0 {
+            let mut budget = RaceBudget::with_max_matches(frame.max_matches as usize);
+            if frame.timeout_us > 0 {
+                budget = budget.timeout(Duration::from_micros(frame.timeout_us));
+            }
+            request = request.budget(budget);
+        }
+        if frame.deadline_us > 0 {
+            request = request.deadline(Duration::from_micros(frame.deadline_us));
+        }
+
+        // submit_into: over-limit submissions park in the engine's
+        // waiting room and complete through the same queue — the loop
+        // itself never blocks and never sees Busy unless the waiting
+        // room is disabled or full.
+        match self.engine.submit_into(request, &self.queue) {
+            Ok(ticket) => {
+                self.pending.insert(token, Pending { conn: idx, wire_tag: frame.tag, ticket });
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    conn.in_flight += 1;
+                }
+            }
+            Err(err) => {
+                let status = WireStatus::from_error(&err);
+                let hint = match &err {
+                    SubmitError::Admission(AdmissionError::Busy { retry_hint }) => {
+                        retry_hint.as_micros() as u64
+                    }
+                    _ => 0,
+                };
+                self.reply(idx, ReplyFrame::error(frame.tag, status, hint));
+            }
+        }
+    }
+
+    /// Maps a wire graph index to the engine's routing id, consulting
+    /// the registry once per unseen index.
+    fn resolve_graph(&mut self, wire: u64) -> Option<GraphId> {
+        let wire = usize::try_from(wire).ok()?;
+        if wire >= self.graph_ids.len() {
+            self.graph_ids =
+                self.engine.registry().graphs().into_iter().map(|(id, _)| id).collect();
+        }
+        self.graph_ids.get(wire).copied()
+    }
+
+    /// Resolves one completion-queue token into a reply frame.
+    fn complete(&mut self, token: u64) {
+        // The connection may have died while the query raced; the
+        // Pending entry is gone then and the token is stale.
+        let Some(p) = self.pending.remove(&token) else { return };
+        let Some(response) = p.ticket.poll() else {
+            debug_assert!(false, "queued token implies a completed ticket");
+            return;
+        };
+        if let Some(conn) = self.conns[p.conn].as_mut() {
+            conn.in_flight -= 1;
+        }
+        let verdict = WireVerdict {
+            found: response.found(),
+            conclusive: response.conclusive,
+            path: WireVerdict::path_code(response.path),
+            elapsed_us: response.elapsed.as_micros() as u64,
+            num_matches: response.num_matches() as u64,
+            embedding: response.answer.embeddings.first().cloned().unwrap_or_default(),
+        };
+        self.reply(p.conn, ReplyFrame::ok(p.wire_tag, verdict));
+    }
+
+    /// Appends one framed reply to the connection's write buffer. The
+    /// run loop flushes after each batch of completions, so replies
+    /// that finish together leave in one write.
+    fn reply(&mut self, idx: usize, reply: ReplyFrame) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        if conn.closed {
+            return;
+        }
+        let payload = reply.encode();
+        conn.wbuf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        conn.wbuf.extend_from_slice(&payload);
+    }
+
+    /// Writes until the buffer empties or the socket would block.
+    fn service_writes(&mut self, idx: usize) -> bool {
+        let Some(conn) = self.conns[idx].as_mut() else { return false };
+        if conn.closed || conn.wbuf.is_empty() {
+            return false;
+        }
+        let mut written = 0usize;
+        while written < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[written..]) {
+                Ok(0) => {
+                    conn.closed = true;
+                    break;
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.closed = true;
+                    break;
+                }
+            }
+        }
+        conn.wbuf.drain(..written);
+        written > 0
+    }
+
+    /// Frees a closed connection once its replies are flushed (or
+    /// unflushable), dropping any still-pending tickets to cancel the
+    /// races a vanished client no longer wants.
+    fn reap(&mut self, idx: usize) {
+        let done = match self.conns[idx].as_ref() {
+            Some(conn) => conn.closed,
+            None => return,
+        };
+        if !done {
+            return;
+        }
+        if self.conns[idx].as_ref().is_some_and(|c| c.in_flight > 0) {
+            self.pending.retain(|_, p| p.conn != idx);
+        }
+        self.conns[idx] = None;
+        self.free.push(idx);
+    }
+}
+
+/// Best-effort extraction of the tag field from an undecodable request
+/// payload, so error replies stay correlatable. Layout: version `u8`,
+/// graph `u64`, priority `u8`, then the tag.
+fn salvage_tag(payload: &[u8]) -> u64 {
+    match payload.get(10..18) {
+        Some(bytes) => u64::from_le_bytes(bytes.try_into().expect("8 bytes")),
+        None => 0,
+    }
+}
+
+/// Convenience: start a loopback server for `engine` on an ephemeral
+/// port. The workhorse of tests, benches and examples.
+pub fn loopback(engine: Arc<MultiEngine>, event_loops: usize) -> io::Result<PsiServer> {
+    PsiServer::start(engine, ServerConfig { addr: "127.0.0.1:0".to_string(), event_loops })
+}
+
+/// Resolves `addr` and opens one blocking client connection — shared by
+/// [`crate::PsiClient::connect`].
+pub(crate) fn connect_blocking(addr: impl ToSocketAddrs) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}

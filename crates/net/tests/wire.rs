@@ -1,0 +1,176 @@
+//! End-to-end wire tests: a real `PsiServer` on a loopback socket, real
+//! `PsiClient`s, and the full codec → route → race → reply path.
+
+use psi_core::{PsiRunner, RaceBudget};
+use psi_engine::{EngineConfig, MultiEngine, MultiEngineConfig};
+use psi_graph::generate::{random_connected_graph, LabelDist};
+use psi_graph::graph::graph_from_parts;
+use psi_graph::Graph;
+use psi_net::{loopback, PsiClient, QueryFrame, WireStatus, WIRE_VERSION};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Grows a small connected query from a random stored-graph node, so
+/// the query is guaranteed to embed.
+fn grown_query(g: &Graph, nodes: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let start = rng.random_range(0..g.node_count() as u32);
+    let mut picked = vec![start];
+    while picked.len() < nodes {
+        let from = picked[rng.random_range(0..picked.len())];
+        let nbrs = g.neighbors(from);
+        let next = nbrs[rng.random_range(0..nbrs.len())];
+        if !picked.contains(&next) {
+            picked.push(next);
+        }
+    }
+    let labels: Vec<u32> = picked.iter().map(|&v| g.label(v)).collect();
+    let mut edges = Vec::new();
+    for (i, &u) in picked.iter().enumerate() {
+        for (j, &v) in picked.iter().enumerate().skip(i + 1) {
+            if g.has_edge(u, v) {
+                edges.push((i as u32, j as u32));
+            }
+        }
+    }
+    graph_from_parts(&labels, &edges)
+}
+
+fn serving_engine(seed: u64) -> (Arc<MultiEngine>, Graph) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+    let stored = random_connected_graph(60, 140, &labels, &mut rng);
+    let multi = MultiEngine::new(MultiEngineConfig {
+        workers: 2,
+        max_concurrent_races: 4,
+        tenant: EngineConfig { default_budget: RaceBudget::decision(), ..EngineConfig::default() },
+    });
+    multi.register("stored", PsiRunner::nfv_default(&stored)).expect("first registration");
+    (Arc::new(multi), stored)
+}
+
+#[test]
+fn roundtrip_serves_an_embedding_query() {
+    let (engine, stored) = serving_engine(11);
+    let server = loopback(engine, 1).expect("bind loopback");
+    let mut client = PsiClient::connect(server.addr()).expect("connect");
+
+    let query = grown_query(&stored, 4, 7);
+    let mut frame = QueryFrame::new(0, &query);
+    frame.tag = 99;
+    let reply = client.roundtrip(&frame).expect("roundtrip");
+    assert_eq!(reply.tag, 99, "reply echoes the request tag");
+    assert_eq!(reply.status, WireStatus::Ok);
+    let verdict = reply.verdict.expect("Ok replies carry a verdict");
+    assert!(verdict.found, "grown queries embed");
+    assert!(verdict.conclusive);
+    assert_eq!(verdict.embedding.len(), query.node_count(), "one full embedding comes back");
+    // The embedding is in the *query's* numbering: endpoints of every
+    // query edge must be adjacent in the stored graph.
+    for (u, v) in query.edges() {
+        assert!(
+            stored.has_edge(verdict.embedding[u as usize], verdict.embedding[v as usize]),
+            "wire embedding must be a genuine subgraph embedding"
+        );
+    }
+}
+
+#[test]
+fn pipelined_requests_come_back_tagged() {
+    let (engine, stored) = serving_engine(13);
+    let server = loopback(engine, 2).expect("bind loopback");
+    let mut client = PsiClient::connect(server.addr()).expect("connect");
+
+    // Fire 16 tagged requests back to back, then collect 16 replies in
+    // completion order — the tags, not the order, correlate them.
+    let total = 16u64;
+    for tag in 0..total {
+        let mut frame = QueryFrame::new(0, &grown_query(&stored, 4, 100 + tag));
+        frame.tag = tag;
+        client.send(&frame).expect("pipelined send");
+    }
+    let mut seen = vec![false; total as usize];
+    for _ in 0..total {
+        let reply = client.recv().expect("pipelined recv");
+        assert_eq!(reply.status, WireStatus::Ok);
+        assert!(!seen[reply.tag as usize], "each tag answered exactly once");
+        seen[reply.tag as usize] = true;
+        assert!(reply.verdict.expect("verdict").found);
+    }
+    assert!(seen.iter().all(|&s| s));
+}
+
+#[test]
+fn unknown_graph_and_bad_version_map_to_typed_statuses() {
+    let (engine, stored) = serving_engine(17);
+    let server = loopback(engine, 1).expect("bind loopback");
+    let mut client = PsiClient::connect(server.addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(30))).expect("read timeout");
+
+    // Graph index 7 was never registered.
+    let query = grown_query(&stored, 3, 1);
+    let mut frame = QueryFrame::new(7, &query);
+    frame.tag = 41;
+    let reply = client.roundtrip(&frame).expect("roundtrip");
+    assert_eq!(reply.tag, 41);
+    assert_eq!(reply.status, WireStatus::UnknownGraph);
+
+    // A bad version byte cannot be parsed; the server salvages the tag
+    // (fixed offset) and answers BadRequest instead of hanging up.
+    let mut frame = QueryFrame::new(0, &query);
+    frame.tag = 43;
+    let mut payload = frame.encode();
+    payload[0] = WIRE_VERSION + 1;
+    let mut raw = (payload.len() as u32).to_le_bytes().to_vec();
+    raw.extend_from_slice(&payload);
+
+    // Send it on a second, raw connection: bad frames and good clients
+    // coexist on the server.
+    use std::io::{Read, Write};
+    let mut raw_conn = std::net::TcpStream::connect(server.addr()).expect("raw connect");
+    raw_conn.write_all(&raw).expect("write bad frame");
+    let mut bad_client_reply = [0u8; 4];
+    raw_conn.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    raw_conn.read_exact(&mut bad_client_reply).expect("reply header");
+    let len = u32::from_le_bytes(bad_client_reply) as usize;
+    let mut body = vec![0u8; len];
+    raw_conn.read_exact(&mut body).expect("reply body");
+    let reply = psi_net::ReplyFrame::decode(&body).expect("decodable reply");
+    assert_eq!(reply.tag, 43, "tag salvaged from the malformed request");
+    assert_eq!(reply.status, WireStatus::BadRequest);
+
+    // The well-formed client still works after someone else misbehaved.
+    let mut frame = QueryFrame::new(0, &query);
+    frame.tag = 47;
+    let reply = client.roundtrip(&frame).expect("server still serving");
+    assert_eq!(reply.tag, 47);
+    assert_eq!(reply.status, WireStatus::Ok);
+}
+
+#[test]
+fn many_connections_share_few_event_loops() {
+    let (engine, stored) = serving_engine(23);
+    let server = loopback(Arc::clone(&engine), 2).expect("bind loopback");
+
+    // 32 concurrent connections, 4 queries each, over 2 event loops.
+    let addr = server.addr();
+    std::thread::scope(|scope| {
+        for c in 0..32u64 {
+            let stored = &stored;
+            scope.spawn(move || {
+                let mut client = PsiClient::connect(addr).expect("connect");
+                for q in 0..4u64 {
+                    let tag = c * 100 + q;
+                    let mut frame = QueryFrame::new(0, &grown_query(stored, 4, 1000 + tag));
+                    frame.tag = tag;
+                    let reply = client.roundtrip(&frame).expect("roundtrip");
+                    assert_eq!(reply.tag, tag);
+                    assert_eq!(reply.status, WireStatus::Ok);
+                }
+            });
+        }
+    });
+    assert_eq!(engine.stats().queries, 32 * 4, "every wire query reached the engine");
+}

@@ -9,10 +9,11 @@
 //! [`psi_engine::Submit::submit_nonblocking`] and draining completions
 //! through a [`psi_engine::CompletionQueue`]. Two client threads can
 //! keep hundreds of queries in flight over the engine's bounded pool —
-//! the multiplexing a network layer needs. Backpressure shows up as
-//! [`EngineError::Busy`] at submission; the driver reacts by draining a
-//! completion and retrying, which is exactly the loop a real server
-//! would run.
+//! the multiplexing a network layer needs. Over-limit submissions park
+//! in the engine's waiting room; only once that overflows does
+//! backpressure surface as a typed [`psi_engine::AdmissionError`], and
+//! the driver reacts by draining a completion and retrying — exactly
+//! the loop a real server runs.
 //!
 //! Works against either engine through the [`Submit`] trait: route
 //! multi-graph traffic by building requests with
@@ -20,7 +21,7 @@
 
 use crate::metrics::SummaryStats;
 use psi_engine::{
-    CompletionQueue, EngineError, EngineResponse, QueryRequest, QueryTicket, ServePath, Submit,
+    CompletionQueue, EngineResponse, QueryRequest, QueryTicket, ServePath, Submit, SubmitError,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -47,7 +48,9 @@ pub struct AsyncBatchReport {
     /// secretly completed synchronously would collapse this to ≈ the
     /// client count.
     pub in_flight_high_water: usize,
-    /// `Busy` rejections absorbed by the drain-and-retry loop.
+    /// Admission refusals (`Busy` / `QueueFull`) absorbed by the
+    /// drain-and-retry loop. With a non-zero waiting room this stays 0
+    /// until the room itself overflows.
     pub busy_retries: u64,
     /// Requests answered from the result cache.
     pub cache_hits: usize,
@@ -106,22 +109,21 @@ pub fn submit_batch_async<S: Submit + Sync>(
                     slots.lock().expect("batch slots lock")[tag as usize] = Some(response);
                 };
                 loop {
-                    // Top the window up without blocking; Busy means the
-                    // engine's admission gate is full — fall through and
-                    // drain a completion instead.
+                    // Top the window up without blocking; an admission
+                    // refusal means even the waiting room is full — fall
+                    // through and drain a completion instead.
                     while held.len() < window {
                         let Some(idx) = pending.lock().expect("pending queue lock").pop_front()
                         else {
                             break;
                         };
                         let tag = idx as u64;
-                        match engine.submit_nonblocking(requests[idx].clone()) {
+                        match engine.submit_into(requests[idx].clone().tag(tag), &queue) {
                             Ok(ticket) => {
                                 track();
-                                ticket.attach(&queue, tag);
                                 held.insert(tag, ticket);
                             }
-                            Err(EngineError::Busy) => {
+                            Err(SubmitError::Admission(_)) => {
                                 busy_retries.fetch_add(1, Ordering::Relaxed);
                                 pending.lock().expect("pending queue lock").push_front(idx);
                                 break;
@@ -147,10 +149,9 @@ pub fn submit_batch_async<S: Submit + Sync>(
                         // admission (priority-ordered, no spinning).
                         let tag = idx as u64;
                         let ticket = engine
-                            .submit_queued(requests[idx].clone())
+                            .submit_queued_into(requests[idx].clone().tag(tag), &queue)
                             .unwrap_or_else(|e| panic!("async batch request failed to route: {e}"));
                         track();
-                        ticket.attach(&queue, tag);
                         held.insert(tag, ticket);
                     }
                     // Block for one completion (more drain on later spins).

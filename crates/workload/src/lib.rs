@@ -24,6 +24,9 @@
 //!   threads keep windows of in-flight [`psi_engine::QueryTicket`]s
 //!   open and drain a [`psi_engine::CompletionQueue`], reporting the
 //!   in-flight high-water mark.
+//! * [`net_fleet`] — loopback TCP client fleets against a
+//!   [`psi_net::PsiServer`]: hundreds of pipelined connections from a
+//!   few threads, feeding the CI bench artifact's `net_qps` trail.
 //! * [`multi`] — multi-graph workloads (mixed graph sizes and label
 //!   alphabets, Zipf-skewed per-graph traffic with repeats) and batch
 //!   routing through a [`psi_engine::MultiEngine`] with per-graph
@@ -44,6 +47,7 @@ pub mod classify;
 pub mod index_cmp;
 pub mod metrics;
 pub mod multi;
+pub mod net_fleet;
 pub mod overhead;
 pub mod query_gen;
 pub mod runner;
@@ -57,6 +61,7 @@ pub use metrics::{qla, speedup_star, wla, SummaryStats};
 pub use multi::{
     submit_batch_multi, GraphBatchStats, MultiBatchReport, MultiWorkload, MultiWorkloadSpec,
 };
+pub use net_fleet::{run_net_fleet, NetFleetReport, NetFleetSpec};
 pub use overhead::{compare_telemetry_overhead, OverheadSpec, TelemetryOverhead};
 pub use query_gen::{QueryGen, Workloads};
 pub use runner::{run_with_cap, RunRecord};

@@ -1,0 +1,234 @@
+//! Loopback client fleets: hundreds of TCP connections hammering a
+//! [`psi_net::PsiServer`] from a few client threads.
+//!
+//! [`crate::submit_batch_async`] measures the engine's in-process
+//! multiplexing; [`run_net_fleet`] measures the same thing *through the
+//! wire*. A fleet opens [`NetFleetSpec::connections`] real sockets,
+//! spreads them over [`NetFleetSpec::client_threads`] threads, and
+//! drives each connection in pipelined bursts: write a burst of tagged
+//! request frames on every connection, then collect the replies. All
+//! threads rendezvous on a [`std::sync::Barrier`] after connecting, so
+//! the server genuinely holds every connection at once — the fleet
+//! exists to prove the event loops multiplex, not to trickle requests.
+//!
+//! The per-reply bookkeeping is deliberately strict: tags must echo,
+//! statuses are counted by kind, and admission refusals (which a
+//! correctly sized waiting room should make impossible) are reported
+//! separately from transport or protocol failures.
+
+use psi_net::{PsiClient, QueryFrame, WireStatus};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Shape of one loopback fleet run.
+#[derive(Debug, Clone)]
+pub struct NetFleetSpec {
+    /// Concurrent TCP connections to open (all held simultaneously).
+    pub connections: usize,
+    /// Requests sent per connection over the run.
+    pub queries_per_conn: usize,
+    /// OS threads driving the fleet — each owns
+    /// `connections / client_threads` connections.
+    pub client_threads: usize,
+    /// Requests in flight per connection within one burst.
+    pub pipeline: usize,
+}
+
+impl Default for NetFleetSpec {
+    fn default() -> Self {
+        Self { connections: 256, queries_per_conn: 8, client_threads: 8, pipeline: 4 }
+    }
+}
+
+/// What a fleet run observed.
+#[derive(Debug)]
+pub struct NetFleetReport {
+    /// Replies with status `Ok`.
+    pub completed: usize,
+    /// `Ok` replies whose verdict found an embedding.
+    pub found: usize,
+    /// Replies with `Busy` or `QueueFull` status — the waiting room
+    /// failed to absorb the burst.
+    pub admission_errors: u64,
+    /// Any other non-`Ok` reply plus transport failures.
+    pub other_errors: u64,
+    /// First post-barrier write to last reply collected.
+    pub wall: Duration,
+    /// `Ok` replies per second over `wall` — the wire-serving
+    /// throughput (`net_qps` in the bench artifact).
+    pub qps: f64,
+}
+
+/// Runs a fleet of [`NetFleetSpec::connections`] loopback clients
+/// against the server at `addr`, sending each connection
+/// [`NetFleetSpec::queries_per_conn`] requests drawn round-robin from
+/// `frames` (re-tagged per connection; the frame's own tag is ignored).
+///
+/// # Panics
+/// Panics if `frames` is empty or a connection cannot be established —
+/// harness construction failures, not serving conditions.
+pub fn run_net_fleet(
+    addr: SocketAddr,
+    frames: &[QueryFrame],
+    spec: &NetFleetSpec,
+) -> NetFleetReport {
+    assert!(!frames.is_empty(), "a fleet needs at least one request frame");
+    let connections = spec.connections.max(1);
+    let threads = spec.client_threads.clamp(1, connections);
+    let per_conn = spec.queries_per_conn.max(1);
+    let pipeline = spec.pipeline.clamp(1, per_conn);
+
+    let completed = AtomicUsize::new(0);
+    let found = AtomicUsize::new(0);
+    let admission_errors = AtomicU64::new(0);
+    let other_errors = AtomicU64::new(0);
+    // +1 for this thread: it releases the fleet and starts the clock
+    // only after every connection is open.
+    let barrier = Barrier::new(threads + 1);
+    let started: std::sync::Mutex<Option<Instant>> = std::sync::Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (barrier, completed, found, admission_errors, other_errors) =
+                (&barrier, &completed, &found, &admission_errors, &other_errors);
+            scope.spawn(move || {
+                // Connections are dealt round-robin so thread loads
+                // differ by at most one.
+                let mine: Vec<usize> = (0..connections).filter(|c| c % threads == t).collect();
+                let mut clients: Vec<PsiClient> = mine
+                    .iter()
+                    .map(|_| PsiClient::connect(addr).expect("fleet connection"))
+                    .collect();
+                barrier.wait();
+
+                // Burst loop: phase-write `pipeline` frames on every
+                // connection, then phase-read them back — so the server
+                // sees all of this thread's connections active at once,
+                // not one socket served to completion at a time.
+                let mut sent = vec![0usize; clients.len()];
+                let mut next_frame = t; // stagger the round-robin start
+                while sent.iter().any(|&s| s < per_conn) {
+                    let mut expect = vec![0usize; clients.len()];
+                    for (i, client) in clients.iter_mut().enumerate() {
+                        let burst = pipeline.min(per_conn - sent[i]);
+                        for b in 0..burst {
+                            let mut frame = frames[next_frame % frames.len()].clone();
+                            next_frame += 1;
+                            frame.tag = ((mine[i] as u64) << 32) | (sent[i] + b) as u64;
+                            if client.send(&frame).is_err() {
+                                other_errors.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            expect[i] += 1;
+                        }
+                        sent[i] += burst;
+                    }
+                    for (i, client) in clients.iter_mut().enumerate() {
+                        for _ in 0..expect[i] {
+                            match client.recv() {
+                                Ok(reply) => {
+                                    assert_eq!(
+                                        reply.tag >> 32,
+                                        mine[i] as u64,
+                                        "replies must stay on their connection"
+                                    );
+                                    match reply.status {
+                                        WireStatus::Ok => {
+                                            completed.fetch_add(1, Ordering::Relaxed);
+                                            if reply.verdict.as_ref().is_some_and(|v| v.found) {
+                                                found.fetch_add(1, Ordering::Relaxed);
+                                            }
+                                        }
+                                        WireStatus::Busy | WireStatus::QueueFull => {
+                                            admission_errors.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        _ => {
+                                            other_errors.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
+                                }
+                                Err(_) => {
+                                    other_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        barrier.wait();
+        *started.lock().expect("fleet start lock") = Some(Instant::now());
+    });
+    let wall = started.lock().expect("fleet start lock").expect("barrier passed").elapsed();
+
+    let completed = completed.into_inner();
+    NetFleetReport {
+        completed,
+        found: found.into_inner(),
+        admission_errors: admission_errors.into_inner(),
+        other_errors: other_errors.into_inner(),
+        qps: if wall.as_secs_f64() > 0.0 { completed as f64 / wall.as_secs_f64() } else { 0.0 },
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_gen::Workloads;
+    use psi_core::{PsiRunner, RaceBudget};
+    use psi_engine::{EngineConfig, MultiEngine, MultiEngineConfig};
+    use psi_graph::generate::{random_connected_graph, LabelDist};
+    use psi_net::loopback;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+
+    #[test]
+    fn fleet_completes_a_burst_far_over_the_race_limit_without_refusals() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let labels = LabelDist::Uniform { num_labels: 4 }.sampler();
+        let stored = random_connected_graph(60, 140, &labels, &mut rng);
+        let multi = Arc::new(MultiEngine::new(MultiEngineConfig {
+            workers: 2,
+            // Deliberately tiny: the fleet's concurrency is many times
+            // this, so the waiting room must absorb the overflow.
+            max_concurrent_races: 4,
+            tenant: EngineConfig {
+                default_budget: RaceBudget::decision(),
+                // No cache, no fast path: every wire request must race,
+                // so the tiny race limit is genuinely contended.
+                cache_capacity: 0,
+                predictor_confidence: 2.0,
+                ..EngineConfig::default()
+            },
+        }));
+        multi.register("stored", PsiRunner::nfv_default(&stored)).expect("register");
+
+        let frames: Vec<QueryFrame> = Workloads::nfv_workload(&stored, 5, 24, 99)
+            .iter()
+            .map(|q| QueryFrame::new(0, q))
+            .collect();
+        let server = loopback(Arc::clone(&multi), 2).expect("loopback server");
+        let spec =
+            NetFleetSpec { connections: 64, queries_per_conn: 4, client_threads: 8, pipeline: 4 };
+        let report = run_net_fleet(server.addr(), &frames, &spec);
+
+        let total = spec.connections * spec.queries_per_conn;
+        assert_eq!(report.completed, total, "every wire request must be served");
+        assert_eq!(report.admission_errors, 0, "the waiting room absorbs the whole burst");
+        assert_eq!(report.other_errors, 0);
+        assert_eq!(report.found, total, "workload queries are grown from the stored graph");
+        assert!(report.qps > 0.0);
+        let stats = multi.stats();
+        assert_eq!(stats.queries, total as u64);
+        assert_eq!(stats.busy_rejections, 0);
+        assert_eq!(stats.queue_full_rejections, 0);
+        assert!(
+            stats.parked > 0,
+            "a 64-connection burst over 4 race slots must have parked queries"
+        );
+    }
+}

@@ -85,11 +85,10 @@ fn main() {
                         break;
                     }
                     let ticket = engine
-                        .submit_nonblocking(requests[idx].clone())
+                        .submit_into(requests[idx].clone().tag(idx as u64), &queue)
                         .expect("admission sized above the workload");
                     let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
                     high_water.fetch_max(now, Ordering::Relaxed);
-                    ticket.attach(&queue, idx as u64);
                     held.insert(idx as u64, ticket);
                     submitted += 1;
                     // Drain whatever already finished, so the in-flight

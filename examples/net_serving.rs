@@ -1,0 +1,106 @@
+//! The wire frontend end to end: 256 TCP connections, 2 event-loop
+//! threads, a burst far over the race limit — and zero refusals.
+//!
+//! A `PsiServer` multiplexes every connection over the engine's
+//! non-blocking ticket frontend; submissions beyond
+//! `max_concurrent_races` park in the engine's **waiting room** instead
+//! of bouncing with `Busy`, so a client fleet can slam the server with
+//! a burst dozens of times the race limit and every request still
+//! completes. The Prometheus scrape at the end shows the waiting room
+//! at work: the depth gauge, the park counter, and the park-wait
+//! histogram.
+//!
+//! ```text
+//! cargo run --release --example net_serving
+//! ```
+
+use psi::prelude::*;
+use psi_net::loopback;
+use std::sync::Arc;
+
+fn main() {
+    let stored = psi::graph::datasets::yeast_like(0.3, 7);
+    println!(
+        "stored graph: {} nodes / {} edges; racing 2 variants per query",
+        stored.node_count(),
+        stored.edge_count()
+    );
+
+    // A deliberately tight race limit: the fleet below keeps ~1024
+    // queries in flight, >100x this. The waiting room absorbs the
+    // difference — sized so the whole burst fits.
+    let race_limit = 8;
+    let multi = Arc::new(MultiEngine::new(MultiEngineConfig {
+        workers: 4,
+        max_concurrent_races: race_limit,
+        tenant: EngineConfig {
+            default_budget: RaceBudget::decision(),
+            waiting_room: 4096,
+            ..EngineConfig::default()
+        },
+    }));
+    multi.register("yeast", PsiRunner::nfv_default(&stored)).expect("first registration");
+
+    // 1024 distinct queries as wire frames against graph index 0.
+    let frames: Vec<QueryFrame> = Workloads::nfv_workload(&stored, 8, 1024, 2026)
+        .iter()
+        .map(|q| QueryFrame::new(0, q))
+        .collect();
+
+    let event_loops = 2;
+    let server = loopback(Arc::clone(&multi), event_loops).expect("loopback server");
+    let spec =
+        NetFleetSpec { connections: 256, queries_per_conn: 4, client_threads: 8, pipeline: 4 };
+    let total = spec.connections * spec.queries_per_conn;
+    println!(
+        "server: {event_loops} event loops on {}; fleet: {} connections x {} queries \
+         (pipeline {}), race limit {race_limit}\n",
+        server.addr(),
+        spec.connections,
+        spec.queries_per_conn,
+        spec.pipeline,
+    );
+
+    let report = run_net_fleet(server.addr(), &frames, &spec);
+
+    let stats = multi.stats();
+    println!(
+        "served {}/{total} wire queries in {:.1} ms ({:.0} queries/s)",
+        report.completed,
+        report.wall.as_secs_f64() * 1e3,
+        report.qps
+    );
+    println!("  verdicts: {} embed / {} don't", report.found, report.completed - report.found);
+    println!(
+        "  backpressure: {} parked, park wait p50 {:?} p99 {:?}, {} busy, {} queue-full",
+        stats.parked,
+        stats.park_wait_p50,
+        stats.park_wait_p99,
+        stats.busy_rejections,
+        stats.queue_full_rejections
+    );
+
+    // The burst ran >100x over the race limit, yet nothing bounced:
+    // that is the waiting room's contract.
+    assert_eq!(report.completed, total, "every wire request completes");
+    assert_eq!(report.admission_errors, 0, "the waiting room absorbs the whole burst");
+    assert_eq!(report.other_errors, 0);
+    assert_eq!(stats.busy_rejections, 0);
+    assert_eq!(stats.queue_full_rejections, 0);
+    assert!(stats.parked > 0, "a {}x-over-limit burst must park queries", total / race_limit);
+
+    // The waiting room is observable: depth gauge, park counter and
+    // park-wait histogram all render in the Prometheus scrape.
+    let scrape = multi.exporter().render_prometheus();
+    for family in ["psi_waiting_room_depth", "psi_parked_total", "psi_park_wait_us"] {
+        assert!(scrape.contains(family), "scrape must expose {family}");
+    }
+    println!("\nwaiting-room families in the Prometheus scrape:");
+    for line in scrape.lines().filter(|l| {
+        l.contains("psi_waiting_room_depth")
+            || l.contains("psi_parked_total")
+            || (l.contains("psi_park_wait_us") && (l.contains("sum") || l.contains("count")))
+    }) {
+        println!("  {line}");
+    }
+}

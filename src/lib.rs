@@ -23,6 +23,12 @@
 //!   queries can be in flight from a few client threads) and the
 //!   multi-graph registry (`MultiEngine`) multiplexing many stored
 //!   graphs over one shared pool with fair cross-graph admission;
+//! * [`net`] — the wire frontend: a std-only length-prefixed binary
+//!   codec ([`net::QueryFrame`] / [`net::ReplyFrame`]), the
+//!   [`net::PsiServer`] event-loop TCP server multiplexing many
+//!   connections over a few threads through the non-blocking ticket
+//!   frontend (over-limit bursts park in the engine's waiting room
+//!   instead of bouncing), and the blocking [`net::PsiClient`];
 //! * [`workload`] — query-workload generation and the paper's metric
 //!   machinery (easy/2″–600″/hard classes, WLA/QLA, (max/min), speedup★),
 //!   plus batch submission of whole (single- or multi-graph) workloads
@@ -108,6 +114,47 @@
 //! assert_eq!(multi.stats().queries, 2);
 //! ```
 //!
+//! ## Quickstart: serving over the wire
+//!
+//! [`net::PsiServer`] is the engine on a TCP port: length-prefixed
+//! binary frames in, verdicts out, every connection multiplexed over
+//! a few event-loop threads via the same ticket frontend as above —
+//! so a burst beyond `max_concurrent_races` parks in the waiting room
+//! instead of bouncing with `Busy`. [`net::loopback`] binds an
+//! ephemeral port for tests and examples; `examples/net_serving.rs`
+//! drives a 256-connection fleet >100x over the race limit through
+//! one server with zero refusals:
+//!
+//! ```
+//! use psi::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let stored = psi::graph::datasets::yeast_like(0.05, 42);
+//! let multi = Arc::new(MultiEngine::new(MultiEngineConfig {
+//!     workers: 2,
+//!     max_concurrent_races: 2,
+//!     tenant: EngineConfig {
+//!         default_budget: RaceBudget::decision(),
+//!         ..EngineConfig::default()
+//!     },
+//! }));
+//! multi.register("yeast", PsiRunner::nfv_default(&stored)).unwrap();
+//!
+//! // A real TCP server on an ephemeral loopback port.
+//! let server = psi::net::loopback(Arc::clone(&multi), 1).unwrap();
+//! let mut client = PsiClient::connect(server.addr()).unwrap();
+//!
+//! // Requests are QueryFrames: graph index 0, any correlation tag.
+//! let query = Workloads::single_query(&stored, 6, 7).expect("query");
+//! let mut frame = QueryFrame::new(0, &query);
+//! frame.tag = 7;
+//! let reply = client.roundtrip(&frame).unwrap();
+//! assert_eq!(reply.tag, 7);
+//! assert_eq!(reply.status, WireStatus::Ok);
+//! assert!(reply.verdict.unwrap().conclusive);
+//! assert_eq!(multi.stats().queries, 1);
+//! ```
+//!
 //! ## Quickstart: observability (Ψ-trace)
 //!
 //! Every engine buffers per-query lifecycle events (admitted → setup →
@@ -145,6 +192,7 @@ pub use psi_engine as engine;
 pub use psi_ftv as ftv;
 pub use psi_graph as graph;
 pub use psi_matchers as matchers;
+pub use psi_net as net;
 pub use psi_rewrite as rewrite;
 pub use psi_workload as workload;
 
@@ -152,19 +200,20 @@ pub use psi_workload as workload;
 pub mod prelude {
     pub use psi_core::{PsiConfig, PsiOutcome, PsiRunner, RaceBudget, Variant};
     pub use psi_engine::{
-        CompletionQueue, Engine, EngineConfig, EngineError, EngineResponse, EngineStats,
+        AdmissionError, CompletionQueue, Engine, EngineConfig, EngineResponse, EngineStats,
         EntrantTiming, GraphId, MetricsExporter, MultiEngine, MultiEngineConfig, Priority,
-        QueryRequest, QueryTicket, RaceStrategy, ServePath, SlowQuery, Submit, TelemetryConfig,
-        TraceEvent, TraceRecord,
+        QueryRequest, QueryTicket, RaceStrategy, RouteError, ServePath, SlowQuery, Submit,
+        SubmitError, TelemetryConfig, TraceEvent, TraceRecord,
     };
     pub use psi_ftv::{GgsxIndex, GrapesIndex, GraphDb};
     pub use psi_graph::{Graph, GraphBuilder, LabelStats, Permutation};
     pub use psi_matchers::{MatchResult, Matcher, SearchBudget, StopReason};
+    pub use psi_net::{PsiClient, PsiServer, QueryFrame, ReplyFrame, ServerConfig, WireStatus};
     pub use psi_rewrite::{rewrite_query, Rewriting};
     pub use psi_workload::{
-        compare_race_strategies, compare_telemetry_overhead, submit_batch, submit_batch_async,
-        submit_batch_multi, AsyncBatchReport, BatchReport, MultiBatchReport, MultiWorkload,
-        MultiWorkloadSpec, OverheadSpec, QueryGen, StrategyComparison, StrategySpec,
-        TelemetryOverhead, Workloads,
+        compare_race_strategies, compare_telemetry_overhead, run_net_fleet, submit_batch,
+        submit_batch_async, submit_batch_multi, AsyncBatchReport, BatchReport, MultiBatchReport,
+        MultiWorkload, MultiWorkloadSpec, NetFleetReport, NetFleetSpec, OverheadSpec, QueryGen,
+        StrategyComparison, StrategySpec, TelemetryOverhead, Workloads,
     };
 }
