@@ -29,7 +29,7 @@ use psi_workload::{
     Workloads,
 };
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Artifact schema version (bump when fields change meaning).
 /// v2: added `topk_qps` and `escalation_rate` (adaptive top-K racing).
@@ -42,7 +42,13 @@ use std::time::Instant;
 /// v6: added `net_qps` (the same race-only workload served over real
 ///     loopback TCP by `psi_net::PsiServer` — 256 pipelined
 ///     connections, one event-loop thread).
-pub const SCHEMA_VERSION: f64 = 6.0;
+/// v7: added `cold_start_speedup` (register-and-retrain from scratch vs
+///     cold-opening a psi-store snapshot + WAL, gated) plus the
+///     informational trail columns `snapshot_bytes` and
+///     `wal_replay_us`; the top-K registry now races under a wall-clock
+///     timeout with an early stage deadline so `escalation_rate` is
+///     exercised (nonzero) instead of sitting at 0.000.
+pub const SCHEMA_VERSION: f64 = 7.0;
 
 /// The headline serving metrics CI tracks over time.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,6 +127,19 @@ pub struct EngineBenchMetrics {
     /// Adjacency probes that fell back to binary search (v5,
     /// informational).
     pub edge_probes_binary: f64,
+    /// Cold-start speedup (v7): time to register-and-retrain a tenant
+    /// from scratch (index build + training stream + first answer)
+    /// divided by time to cold-open the same tenant from its psi-store
+    /// snapshot + WAL (`MultiEngine::load_graph` + first answer). The
+    /// gate holds this up: a restart must stay an order of magnitude
+    /// cheaper than a rebuild. Higher is better.
+    pub cold_start_speedup: f64,
+    /// Size of the tenant's snapshot file on disk, bytes (v7,
+    /// informational — it measures dataset size as much as code).
+    pub snapshot_bytes: f64,
+    /// Time `load_graph` spent replaying the WAL tail into the
+    /// predictor, microseconds (v7, informational).
+    pub wal_replay_us: f64,
 }
 
 /// One metric's comparison direction in the regression gate.
@@ -153,6 +172,9 @@ impl EngineBenchMetrics {
             ("index_build_us", self.index_build_us, Direction::Informational),
             ("edge_probes_bitset", self.edge_probes_bitset, Direction::Informational),
             ("edge_probes_binary", self.edge_probes_binary, Direction::Informational),
+            ("cold_start_speedup", self.cold_start_speedup, Direction::HigherIsBetter),
+            ("snapshot_bytes", self.snapshot_bytes, Direction::Informational),
+            ("wal_replay_us", self.wal_replay_us, Direction::Informational),
         ]
     }
 
@@ -206,6 +228,9 @@ impl EngineBenchMetrics {
             index_build_us: get("index_build_us")?,
             edge_probes_bitset: get("edge_probes_bitset")?,
             edge_probes_binary: get("edge_probes_binary")?,
+            cold_start_speedup: get("cold_start_speedup")?,
+            snapshot_bytes: get("snapshot_bytes")?,
+            wal_replay_us: get("wal_replay_us")?,
         })
     }
 }
@@ -383,8 +408,13 @@ pub fn measure() -> EngineBenchMetrics {
                 race_strategy: strategy,
                 // Matching (not decision) races: enough work per entrant
                 // that pool occupancy, the thing pruning reclaims,
-                // dominates the per-query serving overhead.
-                default_budget: RaceBudget::with_max_matches(64),
+                // dominates the per-query serving overhead. The
+                // wall-clock cap anchors the TopK registry's stage
+                // deadline (escalate_after is a fraction of it) low
+                // enough that slow staged races really escalate — a
+                // benchmark whose escalation_rate sits at 0.000 is not
+                // exercising staged racing at all.
+                default_budget: RaceBudget::with_max_matches(64).timeout(Duration::from_millis(25)),
                 ..EngineConfig::default()
             },
         });
@@ -411,7 +441,7 @@ pub fn measure() -> EngineBenchMetrics {
     };
     let (full_multi, full_traffic) = race_only_registry(RaceStrategy::Full, 8);
     let (topk_multi, topk_traffic) =
-        race_only_registry(RaceStrategy::TopK { k: 1, escalate_after: 0.5 }, 8);
+        race_only_registry(RaceStrategy::TopK { k: 1, escalate_after: 0.02 }, 8);
     // --- Ticket frontend on the same race-only workload: one
     // event-loop client keeps 8 tickets in flight (admission 16) over
     // the identical saturated 4-worker pool — the same pipeline depth
@@ -529,6 +559,88 @@ pub fn measure() -> EngineBenchMetrics {
         2024,
     );
 
+    // --- Cold-start speedup (v7): rebuilding a tenant from scratch vs
+    // cold-opening its psi-store snapshot + WAL. The first life trains
+    // on a query stream, saves (compacting learned state into the
+    // snapshot) and serves a little post-save traffic so the WAL holds
+    // a tail. Both cold paths then answer one probe query; rebuild is
+    // measured first so a throttled runner's monotonic decay can only
+    // understate the speedup. ---
+    let persist_dir =
+        std::env::temp_dir().join(format!("psi-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&persist_dir);
+    let persist_stored = Arc::new(datasets::yeast_like(0.2, 42));
+    // A roster without sPath: sPath's per-registration preparation is
+    // ~50ms on this graph and is paid identically by both lives (matcher
+    // prep is not persisted), so it would only dilute the ratio the
+    // metric tracks — what the snapshot actually avoids.
+    let persist_config = || {
+        PsiConfig::algorithms(
+            [psi_matchers::Algorithm::GraphQl, psi_matchers::Algorithm::QuickSi],
+            psi_rewrite::Rewriting::Orig,
+        )
+    };
+    // Matching-budget training: decision races on this graph finish in
+    // tens of microseconds, which would let a from-scratch rebuild
+    // "retrain" nearly for free and understate what the snapshot saves.
+    // A 256-query matching stream is the realistic warm-up the cold
+    // open gets to skip.
+    let train: Vec<Graph> = Workloads::nfv_workload(&persist_stored, 8, 256, 4242);
+    let probe = Workloads::single_query(&persist_stored, 8, 9999).expect("generable probe");
+    let persist_engine = || {
+        MultiEngine::new(MultiEngineConfig {
+            workers: 4,
+            max_concurrent_races: 4,
+            tenant: EngineConfig {
+                // Cache off and fast path off: every training query
+                // really races, in both lives.
+                cache_capacity: 0,
+                predictor_confidence: 2.0,
+                default_budget: RaceBudget::with_max_matches(64),
+                ..EngineConfig::default()
+            },
+        })
+    };
+    let (snapshot_bytes, snapshot_path) = {
+        let multi = persist_engine();
+        let id = multi
+            .register("persist", PsiRunner::new(Arc::clone(&persist_stored), persist_config()))
+            .expect("unique name");
+        for query in &train {
+            multi.submit(id, query).expect("registered graph");
+        }
+        let saved = multi.save_graph(id, &persist_dir).expect("bench snapshot saves");
+        // Post-save traffic lands only in the WAL; the cold open below
+        // must replay it.
+        for query in &train[..8] {
+            multi.submit(id, query).expect("registered graph");
+        }
+        (saved.snapshot_bytes as f64, saved.snapshot_path)
+    };
+    let t_rebuild = Instant::now();
+    let rebuild_multi = persist_engine();
+    let rebuild_id = rebuild_multi
+        .register("persist", PsiRunner::new(Arc::clone(&persist_stored), persist_config()))
+        .expect("unique name");
+    for query in &train {
+        rebuild_multi.submit(rebuild_id, query).expect("registered graph");
+    }
+    rebuild_multi.submit(rebuild_id, &probe).expect("registered graph");
+    let rebuild_s = t_rebuild.elapsed().as_secs_f64();
+    let t_cold = Instant::now();
+    let cold_multi = persist_engine();
+    let loaded = cold_multi.load_graph(&snapshot_path).expect("bench snapshot loads");
+    cold_multi.submit(loaded.graph, &probe).expect("registered graph");
+    let cold_s = t_cold.elapsed().as_secs_f64();
+    assert!(!loaded.index_rebuilt, "same-version snapshot must load its index sections");
+    assert!(loaded.replayed_samples > 0, "the cold engine must start trained");
+    let cold_start_speedup = if cold_s > 0.0 { rebuild_s / cold_s } else { 0.0 };
+    let wal_replay_us = loaded.wal_replay_us as f64;
+    let _ = std::fs::remove_dir_all(&persist_dir);
+
+    let escalation_rate = topk_multi.stats().escalation_rate;
+    assert!(escalation_rate > 0.0, "the top-K bench must exercise staged escalation (rate was 0)");
+
     EngineBenchMetrics {
         qps,
         p50_us,
@@ -536,7 +648,7 @@ pub fn measure() -> EngineBenchMetrics {
         cache_hit_speedup,
         multi_qps,
         topk_qps,
-        escalation_rate: topk_multi.stats().escalation_rate,
+        escalation_rate,
         async_qps,
         net_qps,
         indexed_speedup: index_cmp.speedup,
@@ -544,6 +656,9 @@ pub fn measure() -> EngineBenchMetrics {
         index_build_us: index_cmp.index_build_us as f64,
         edge_probes_bitset: index_cmp.edge_probes_bitset as f64,
         edge_probes_binary: index_cmp.edge_probes_binary as f64,
+        cold_start_speedup,
+        snapshot_bytes,
+        wal_replay_us,
     }
 }
 
@@ -567,6 +682,9 @@ mod tests {
             index_build_us: 1500.0,
             edge_probes_bitset: 2_000_000.0,
             edge_probes_binary: 0.0,
+            cold_start_speedup: 12.0,
+            snapshot_bytes: 250_000.0,
+            wal_replay_us: 80.0,
         }
     }
 
@@ -624,6 +742,9 @@ mod tests {
             index_build_us: 1500.0,
             edge_probes_bitset: 2_000_000.0,
             edge_probes_binary: 0.0,
+            cold_start_speedup: 200.0,
+            snapshot_bytes: 250_000.0,
+            wal_replay_us: 80.0,
         };
         assert!(check_regressions(&better, &base, 0.30).is_empty());
     }
@@ -647,9 +768,22 @@ mod tests {
             index_build_us: 90_000.0,
             edge_probes_bitset: 10.0,
             edge_probes_binary: 5_000_000.0,
+            snapshot_bytes: 9_000_000.0,
+            wal_replay_us: 40_000.0,
             ..base.clone()
         };
         assert!(check_regressions(&wild, &base, 0.30).is_empty());
+    }
+
+    #[test]
+    fn cold_start_speedup_regressions_are_gated() {
+        let base = sample();
+        // Restart cost creeping back toward rebuild cost (a lost
+        // snapshot, an index rebuilt on load) trips the gate.
+        let worse = EngineBenchMetrics { cold_start_speedup: 4.0, ..base.clone() };
+        let names: Vec<_> =
+            check_regressions(&worse, &base, 0.30).iter().map(|r| r.metric).collect();
+        assert_eq!(names, vec!["cold_start_speedup"]);
     }
 
     #[test]

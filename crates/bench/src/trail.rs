@@ -22,12 +22,14 @@
 use crate::artifact::parse_flat_json;
 
 /// The metrics a trail table tracks, in column order: the qps columns
-/// and the `indexed_speedup` / `telemetry_overhead` ratios (up is good
-/// for all of them), plus the informational v5 columns — index build
-/// cost and the adjacency-probe split — which trend with workload shape
-/// rather than gate. Artifacts predating a metric (older schema
-/// versions) show `—` in its column instead of failing the whole trail.
-pub const TRAIL_METRICS: [&str; 10] = [
+/// and the `indexed_speedup` / `telemetry_overhead` /
+/// `cold_start_speedup` ratios (up is good for all of them), plus the
+/// informational columns — index build cost, the adjacency-probe split
+/// (v5), snapshot size and WAL replay cost (v7) — which trend with
+/// workload shape rather than gate. Artifacts predating a metric (older
+/// schema versions) show `—` in its column instead of failing the whole
+/// trail.
+pub const TRAIL_METRICS: [&str; 13] = [
     "qps",
     "multi_qps",
     "topk_qps",
@@ -35,9 +37,12 @@ pub const TRAIL_METRICS: [&str; 10] = [
     "net_qps",
     "indexed_speedup",
     "telemetry_overhead",
+    "cold_start_speedup",
     "index_build_us",
     "edge_probes_bitset",
     "edge_probes_binary",
+    "snapshot_bytes",
+    "wal_replay_us",
 ];
 
 /// One parsed artifact in the trail.
@@ -187,6 +192,9 @@ mod tests {
             index_build_us: 1500.0,
             edge_probes_bitset: qps * 1000.0,
             edge_probes_binary: 0.0,
+            cold_start_speedup: qps / 100.0,
+            snapshot_bytes: 250_000.0,
+            wal_replay_us: 80.0,
         };
         metrics.to_json_stamped(&[
             ("commit".to_string(), commit.to_string()),

@@ -41,6 +41,34 @@ impl PsiRunner {
         Self { stored, stats, index: Some(index), matchers, config }
     }
 
+    /// Like [`PsiRunner::new`], but over an **already-built**
+    /// [`TargetIndex`] (e.g. one loaded from a snapshot by the
+    /// persistence layer) instead of building one here. The index must
+    /// be over `stored` — matchers probe it for every candidate and
+    /// adjacency decision.
+    ///
+    /// # Panics
+    /// Panics if `index` was built over a different graph handle's
+    /// contents (node counts disagree).
+    pub fn with_prebuilt_index(
+        stored: Arc<Graph>,
+        config: PsiConfig,
+        index: Arc<TargetIndex>,
+    ) -> Self {
+        assert_eq!(
+            index.node_count(),
+            stored.node_count(),
+            "prebuilt index does not match the stored graph"
+        );
+        let stats = LabelStats::from_graph(&stored);
+        let matchers = config
+            .algorithms_used()
+            .into_iter()
+            .map(|a| (a, a.prepare_indexed(Arc::clone(&index))))
+            .collect();
+        Self { stored, stats, index: Some(index), matchers, config }
+    }
+
     /// Prepares all algorithms in **legacy scan mode** — the seed,
     /// pre-index behavior (per-query candidate rescans, binary-search
     /// adjacency probes, per-query allocations). This is the reference

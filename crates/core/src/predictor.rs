@@ -61,6 +61,13 @@ impl QueryFeatures {
     }
 
     fn as_array(&self) -> [f64; 6] {
+        self.to_array()
+    }
+
+    /// The features as a fixed-order array — the persistence layer's
+    /// serialized form. Order: edges, nodes, label_diversity,
+    /// degree_spread, rarest_label, density.
+    pub fn to_array(&self) -> [f64; 6] {
         [
             self.edges,
             self.nodes,
@@ -69,6 +76,18 @@ impl QueryFeatures {
             self.rarest_label,
             self.density,
         ]
+    }
+
+    /// Inverse of [`QueryFeatures::to_array`].
+    pub fn from_array(a: [f64; 6]) -> Self {
+        Self {
+            edges: a[0],
+            nodes: a[1],
+            label_diversity: a[2],
+            degree_spread: a[3],
+            rarest_label: a[4],
+            density: a[5],
+        }
     }
 
     /// Euclidean distance in (crudely) normalized feature space: counts are
@@ -204,6 +223,46 @@ impl VariantPredictor {
     /// displaced from a bounded window).
     pub fn observations(&self) -> usize {
         self.observed
+    }
+
+    /// The retained training samples in observation order, **oldest
+    /// first** — the order the persistence layer serializes them in, so
+    /// that [`restore`](Self::restore) followed by further `observe`
+    /// calls displaces the same samples the original predictor would
+    /// have displaced.
+    pub fn samples(&self) -> Vec<(QueryFeatures, usize)> {
+        if self.samples.len() < self.window {
+            self.samples.clone()
+        } else {
+            // Ring full: `next` is the oldest slot.
+            let mut out = Vec::with_capacity(self.samples.len());
+            out.extend_from_slice(&self.samples[self.next..]);
+            out.extend_from_slice(&self.samples[..self.next]);
+            out
+        }
+    }
+
+    /// Restores persisted learned state into this predictor (built fresh
+    /// with the serving `k`/`window`): training samples oldest-first (as
+    /// exported by [`samples`](Self::samples) or replayed from a WAL),
+    /// lifetime tallies by variant index, and the total observation
+    /// count. Samples beyond the configured window keep only the most
+    /// recent `window` of them, matching what live observation would
+    /// have retained. Tallies are installed verbatim — `observed` is an
+    /// independent counter, so it is restored explicitly rather than
+    /// re-derived.
+    pub fn restore(
+        &mut self,
+        samples: Vec<(QueryFeatures, usize)>,
+        tallies: Vec<EntrantTally>,
+        observed: usize,
+    ) {
+        let skip = samples.len().saturating_sub(self.window);
+        self.samples = samples[skip..].to_vec();
+        self.next =
+            if self.samples.len() < self.window { 0 } else { self.samples.len() % self.window };
+        self.tallies = tallies;
+        self.observed = observed;
     }
 
     /// Predicts the variant index for a new query: majority vote of the k
@@ -439,6 +498,64 @@ mod tests {
         assert_eq!(r[1], 3, "lifetime win rate breaks the tie");
         assert_eq!(r[2], 2, "fewer timeouts rank above more");
         assert_eq!(r[3], 1);
+    }
+
+    #[test]
+    fn features_array_roundtrip() {
+        let f = star_query();
+        assert_eq!(QueryFeatures::from_array(f.to_array()), f);
+    }
+
+    #[test]
+    fn samples_export_is_oldest_first() {
+        let mut p = VariantPredictor::with_window(1, 3);
+        // Unfilled ring: insertion order.
+        p.observe(path_query(), 0);
+        p.observe(star_query(), 1);
+        assert_eq!(p.samples().iter().map(|&(_, w)| w).collect::<Vec<_>>(), vec![0, 1]);
+        // Overflowing ring: winner 0 is displaced, oldest survivor first.
+        p.observe(path_query(), 2);
+        p.observe(star_query(), 3);
+        assert_eq!(p.samples().iter().map(|&(_, w)| w).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn restore_reproduces_live_predictor() {
+        let mut live = VariantPredictor::with_window(3, 4);
+        for _ in 0..3 {
+            live.observe(path_query(), 0);
+            live.observe(star_query(), 1);
+        }
+        live.record_loss(1);
+        live.record_timeout(2);
+
+        let mut restored = VariantPredictor::with_window(3, 4);
+        restored.restore(live.samples(), live.tallies().to_vec(), live.observations());
+        assert_eq!(restored.observations(), live.observations());
+        assert_eq!(restored.tallies(), live.tallies());
+        assert_eq!(restored.predict(&path_query()), live.predict(&path_query()));
+        assert_eq!(restored.predict(&star_query()), live.predict(&star_query()));
+
+        // Future observations displace the same slots in both.
+        live.observe(path_query(), 2);
+        restored.observe(path_query(), 2);
+        assert_eq!(restored.samples(), live.samples());
+    }
+
+    #[test]
+    fn restore_truncates_to_window() {
+        let mut big = VariantPredictor::with_window(1, 100);
+        for i in 0..6 {
+            big.observe(path_query(), i);
+        }
+        let mut small = VariantPredictor::with_window(1, 4);
+        small.restore(big.samples(), big.tallies().to_vec(), big.observations());
+        assert_eq!(
+            small.samples().iter().map(|&(_, w)| w).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5],
+            "only the most recent `window` samples are kept"
+        );
+        assert_eq!(small.observations(), 6);
     }
 
     #[test]

@@ -489,6 +489,11 @@ pub(crate) struct ServeCore {
     pub(crate) staged_seq: AtomicU64,
     /// Ψ-trace: query-id allocator, trace-event rings, slow-query log.
     pub(crate) telemetry: Telemetry,
+    /// The tenant's learned-state WAL. `None` until persistence is
+    /// attached by [`crate::MultiEngine::save_graph`] /
+    /// [`crate::MultiEngine::load_graph`]; once attached, every race
+    /// finalize mirrors its predictor mutations here.
+    pub(crate) learned_wal: Mutex<Option<psi_store::Wal>>,
     pub(crate) config: EngineConfig,
 }
 
@@ -548,6 +553,38 @@ impl ServeCore {
         }
         tallies
     }
+
+    /// Mirrors one finalize's predictor mutations into the attached
+    /// learned-state WAL (no-op when persistence is not enabled). An I/O
+    /// failure detaches the log rather than failing the query: learned
+    /// state keeps accruing in memory, and the next `save_graph` folds
+    /// it into a fresh snapshot wholesale.
+    pub(crate) fn wal_append(&self, records: &[psi_store::WalRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let mut guard = self.learned_wal.lock().expect("wal lock");
+        let Some(wal) = guard.as_mut() else { return };
+        for record in records {
+            if wal.append(record).is_err() {
+                *guard = None;
+                return;
+            }
+        }
+        self.stats.wal_appended.fetch_add(records.len() as u64, Ordering::Relaxed);
+    }
+
+    /// The predictor's full learned state, exported in the store's
+    /// serialization types (winner indices narrowed to `u32` — variant
+    /// rosters are tiny).
+    pub(crate) fn learned_state(&self) -> psi_store::LearnedState {
+        let predictor = self.predictor.lock().expect("predictor lock");
+        psi_store::LearnedState {
+            observed: predictor.observations() as u64,
+            samples: predictor.samples().into_iter().map(|(f, w)| (f, w as u32)).collect(),
+            tallies: predictor.tallies().to_vec(),
+        }
+    }
 }
 
 /// A long-lived, concurrency-safe query-serving engine over one prepared
@@ -606,6 +643,7 @@ impl Engine {
             stats: StatsCollector::new(),
             staged_seq: AtomicU64::new(0),
             telemetry: Telemetry::new(&config.telemetry, epoch),
+            learned_wal: Mutex::new(None),
             config,
         });
         Self { core, pool, admission, timer }
@@ -643,6 +681,12 @@ impl Engine {
     /// merge latency histograms across graphs for aggregate percentiles.
     pub(crate) fn stats_collector(&self) -> &StatsCollector {
         &self.core.stats
+    }
+
+    /// The shared serving core — the registry's persistence paths reach
+    /// the predictor and WAL slot through it.
+    pub(crate) fn serve_core(&self) -> &Arc<ServeCore> {
+        &self.core
     }
 
     /// Drains and returns the buffered lifecycle trace events, merged

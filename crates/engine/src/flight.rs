@@ -769,20 +769,36 @@ impl RaceFlight {
         // predictor; the exploration probes guarantee a steady supply.
         let contested = n - pruned_count > 1;
         if contested {
-            let mut predictor = self.core.predictor.lock().expect("predictor lock");
-            if let Some(winner_idx) = outcome.winner_index {
-                predictor.observe(self.features, winner_idx);
-            }
-            for (idx, vr) in outcome.per_variant.iter().enumerate() {
-                if pruned[idx] || outcome.winner_index == Some(idx) {
-                    continue;
+            let mut wal_records: Vec<psi_store::WalRecord> = Vec::new();
+            {
+                let mut predictor = self.core.predictor.lock().expect("predictor lock");
+                if let Some(winner_idx) = outcome.winner_index {
+                    predictor.observe(self.features, winner_idx);
+                    wal_records.push(psi_store::WalRecord::Sample {
+                        features: self.features,
+                        winner: winner_idx as u32,
+                    });
                 }
-                match vr.result.stop {
-                    StopReason::TimedOut => predictor.record_timeout(idx),
-                    _ if outcome.winner_index.is_some() => predictor.record_loss(idx),
-                    _ => {}
+                for (idx, vr) in outcome.per_variant.iter().enumerate() {
+                    if pruned[idx] || outcome.winner_index == Some(idx) {
+                        continue;
+                    }
+                    match vr.result.stop {
+                        StopReason::TimedOut => {
+                            predictor.record_timeout(idx);
+                            wal_records.push(psi_store::WalRecord::Timeout { idx: idx as u32 });
+                        }
+                        _ if outcome.winner_index.is_some() => {
+                            predictor.record_loss(idx);
+                            wal_records.push(psi_store::WalRecord::Loss { idx: idx as u32 });
+                        }
+                        _ => {}
+                    }
                 }
             }
+            // File I/O happens after the predictor lock is released so a
+            // slow disk never serializes other finalizing races.
+            self.core.wal_append(&wal_records);
         }
         if outcome.winner_index.is_none() {
             stats.inconclusive.fetch_add(1, Ordering::Relaxed);

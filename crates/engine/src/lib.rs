@@ -43,7 +43,12 @@
 //! * [`registry`] — multi-graph serving: a [`MultiEngine`] registers
 //!   named stored graphs (each with its own runner, predictor state and
 //!   cache partition) and routes all of their races through **one**
-//!   shared pool with fair cross-graph admission.
+//!   shared pool with fair cross-graph admission. Tenants persist via
+//!   `psi_store`: [`MultiEngine::save_graph`] snapshots the graph, its
+//!   `TargetIndex` and the learned predictor state (compacting the
+//!   learned-state WAL); [`MultiEngine::load_graph`] cold-opens the
+//!   snapshot, replays the WAL tail and serves without rebuilding or
+//!   retraining.
 //! * [`telemetry`] — Ψ-trace: per-query lifecycle events (admitted →
 //!   setup → heat launch → per-entrant finish → escalation → finalize)
 //!   buffered in lock-free per-shard rings, drained via
@@ -125,7 +130,10 @@ pub use engine::{
 };
 pub use export::{GraphMetricsSnapshot, HistogramKind, MetricsExporter};
 pub use pool::WorkerPool;
-pub use registry::{GraphId, GraphRegistry, MultiEngine, MultiEngineConfig, RegistryError};
+pub use registry::{
+    GraphId, GraphRegistry, LoadReport, MultiEngine, MultiEngineConfig, PersistError,
+    RegistryError, SaveReport,
+};
 pub use stats::{EngineStats, HistogramSnapshot, LatencyHistogram, StageLatencies};
 pub use submit::{CompletionQueue, Priority, QueryRequest, QueryTicket, Submit};
 pub use telemetry::{

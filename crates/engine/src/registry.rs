@@ -42,10 +42,12 @@ use crate::pool::WorkerPool;
 use crate::stats::{EngineStats, LatencyHistogram, StageLatencies};
 use crate::submit::{Priority, QueryRequest, QueryTicket, Submit};
 use crate::telemetry::{SlowQuery, TraceRecord};
-use psi_core::{PsiRunner, RaceBudget};
+use psi_core::{PsiConfig, PsiRunner, RaceBudget};
 use psi_graph::Graph;
+use psi_store::{read_snapshot, write_snapshot, SnapshotContents, StoreError, Wal, WalRecord};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -86,6 +88,81 @@ impl fmt::Display for RegistryError {
 }
 
 impl std::error::Error for RegistryError {}
+
+/// Why a graph could not be saved to or loaded from disk.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The snapshot or WAL could not be read, written or decoded.
+    Store(StoreError),
+    /// Loading succeeded but registration did not (the snapshot's tenant
+    /// name is already registered here).
+    Registry(RegistryError),
+    /// [`MultiEngine::save_graph`] was handed a [`GraphId`] this registry
+    /// never issued.
+    UnknownGraph,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Store(e) => write!(f, "persistence failed: {e}"),
+            PersistError::Registry(e) => write!(f, "loaded snapshot cannot register: {e}"),
+            PersistError::UnknownGraph => f.write_str("graph not registered with this engine"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Store(e) => Some(e),
+            PersistError::Registry(e) => Some(e),
+            PersistError::UnknownGraph => None,
+        }
+    }
+}
+
+impl From<StoreError> for PersistError {
+    fn from(e: StoreError) -> Self {
+        PersistError::Store(e)
+    }
+}
+
+/// What [`MultiEngine::save_graph`] wrote.
+#[derive(Debug, Clone)]
+pub struct SaveReport {
+    /// The snapshot file (named `<tenant>.psisnap` under the save dir).
+    pub snapshot_path: PathBuf,
+    /// The learned-state WAL the tenant appends to from now on
+    /// (`<tenant>.psiwal`, truncated by this save's compaction).
+    pub wal_path: PathBuf,
+    /// Snapshot size on disk.
+    pub snapshot_bytes: u64,
+    /// Predictor samples folded into the snapshot.
+    pub saved_samples: u64,
+}
+
+/// What [`MultiEngine::load_graph`] registered.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The id the loaded graph serves under.
+    pub graph: GraphId,
+    /// The tenant name recorded in the snapshot.
+    pub name: String,
+    /// Snapshot size on disk.
+    pub snapshot_bytes: u64,
+    /// Whether the `TargetIndex` had to be rebuilt (index sections
+    /// absent or written under a different layout version) instead of
+    /// loaded from its flat sections.
+    pub index_rebuilt: bool,
+    /// Predictor samples restored: snapshot samples plus WAL-replayed
+    /// wins.
+    pub replayed_samples: u64,
+    /// WAL records replayed on top of the snapshot's learned state.
+    pub replayed_records: u64,
+    /// Wall-clock cost of the restore + WAL replay, microseconds.
+    pub wal_replay_us: u64,
+}
 
 /// Tuning knobs for a [`MultiEngine`].
 #[derive(Debug, Clone)]
@@ -632,6 +709,118 @@ impl MultiEngine {
         Ok(id)
     }
 
+    /// Snapshots `graph` to `dir` and switches the tenant to logged
+    /// serving: the stored graph, its `TargetIndex` and the predictor's
+    /// full learned state are written to `<name>.psisnap` (atomic
+    /// temp-file + rename), the sibling `<name>.psiwal` is truncated
+    /// (every record it held is now folded into the snapshot), and from
+    /// here on each race finalize appends its predictor mutations to the
+    /// WAL. Calling it again later compacts: same rewrite, same cut.
+    ///
+    /// The WAL slot is held across the snapshot write so no concurrent
+    /// finalize can append a record that the compaction cut would then
+    /// silently discard — those finalizes block briefly instead.
+    pub fn save_graph(&self, graph: GraphId, dir: &Path) -> Result<SaveReport, PersistError> {
+        let tenant = self.registry.tenant(graph).ok_or(PersistError::UnknownGraph)?;
+        std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
+        let snapshot_path = dir.join(format!("{}.psisnap", tenant.name));
+        let wal_path = snapshot_path.with_extension("psiwal");
+        let core = tenant.engine.serve_core();
+        let mut wal_guard = core.learned_wal.lock().expect("wal lock");
+        let learned = core.learned_state();
+        let saved_samples = learned.samples.len() as u64;
+        let contents = SnapshotContents {
+            name: tenant.name.clone(),
+            variants: tenant.engine.runner().config().variants.clone(),
+            learned,
+        };
+        let runner = tenant.engine.runner();
+        let snapshot_bytes = write_snapshot(
+            &snapshot_path,
+            runner.stored(),
+            runner.target_index().map(|ix| ix.as_ref()),
+            &contents,
+        )?;
+        match wal_guard.as_mut() {
+            Some(wal) => wal.reset()?,
+            None => {
+                // First save: any WAL left on disk predates this
+                // snapshot's learned state, so open-and-cut, then attach.
+                let (mut wal, _stale) = Wal::open(&wal_path)?;
+                wal.reset()?;
+                *wal_guard = Some(wal);
+            }
+        }
+        Ok(SaveReport { snapshot_path, wal_path, snapshot_bytes, saved_samples })
+    }
+
+    /// Registers a tenant from a snapshot written by
+    /// [`MultiEngine::save_graph`], under the tenant template config: the
+    /// graph and `TargetIndex` load as flat sections (no rebuild unless
+    /// the index layout version moved), the predictor restores the
+    /// snapshot's learned state, the sibling WAL's records replay on top
+    /// (re-executing the training they logged), and the WAL stays
+    /// attached so serving keeps appending. The first query after a cold
+    /// open races with a fully trained predictor.
+    pub fn load_graph(&self, snapshot_path: &Path) -> Result<LoadReport, PersistError> {
+        self.load_graph_with_config(snapshot_path, self.config.tenant.clone())
+    }
+
+    /// [`MultiEngine::load_graph`] with a per-tenant [`EngineConfig`]
+    /// override (same contract as
+    /// [`MultiEngine::register_with_config`]).
+    pub fn load_graph_with_config(
+        &self,
+        snapshot_path: &Path,
+        tenant_config: EngineConfig,
+    ) -> Result<LoadReport, PersistError> {
+        let loaded = read_snapshot(snapshot_path)?;
+        let name = loaded.contents.name.clone();
+        let runner = PsiRunner::with_prebuilt_index(
+            Arc::clone(&loaded.graph),
+            PsiConfig::new(loaded.contents.variants.clone()),
+            Arc::clone(&loaded.index),
+        );
+        let id = self
+            .register_with_config(name.clone(), Arc::new(runner), tenant_config)
+            .map_err(PersistError::Registry)?;
+        let tenant = self.registry.tenant(id).expect("tenant was just registered");
+        let core = tenant.engine.serve_core();
+        let replay_started = Instant::now();
+        let (wal, records) = Wal::open(&snapshot_path.with_extension("psiwal"))?;
+        let learned = &loaded.contents.learned;
+        let mut replayed_samples = learned.samples.len() as u64;
+        {
+            let mut predictor = core.predictor.lock().expect("predictor lock");
+            predictor.restore(
+                learned.samples.iter().map(|&(f, w)| (f, w as usize)).collect(),
+                learned.tallies.clone(),
+                learned.observed as usize,
+            );
+            for record in &records {
+                match *record {
+                    WalRecord::Sample { features, winner } => {
+                        predictor.observe(features, winner as usize);
+                        replayed_samples += 1;
+                    }
+                    WalRecord::Loss { idx } => predictor.record_loss(idx as usize),
+                    WalRecord::Timeout { idx } => predictor.record_timeout(idx as usize),
+                }
+            }
+        }
+        *core.learned_wal.lock().expect("wal lock") = Some(wal);
+        core.stats.wal_replayed.fetch_add(records.len() as u64, Ordering::Relaxed);
+        Ok(LoadReport {
+            graph: id,
+            name,
+            snapshot_bytes: loaded.file_bytes,
+            index_rebuilt: loaded.index_rebuilt,
+            replayed_samples,
+            replayed_records: records.len() as u64,
+            wal_replay_us: replay_started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        })
+    }
+
     /// The name → graph directory.
     pub fn registry(&self) -> &GraphRegistry {
         &self.registry
@@ -755,6 +944,8 @@ impl MultiEngine {
             index_build_us: 0,
             edge_probes_bitset: 0,
             edge_probes_binary: 0,
+            wal_appended: 0,
+            wal_replayed: 0,
             throughput_qps: 0.0,
             latency_p50: std::time::Duration::ZERO,
             latency_p99: std::time::Duration::ZERO,
@@ -786,6 +977,8 @@ impl MultiEngine {
             agg.escalations += c.escalations.load(Ordering::Relaxed);
             agg.edge_probes_bitset += c.edge_probes_bitset.load(Ordering::Relaxed);
             agg.edge_probes_binary += c.edge_probes_binary.load(Ordering::Relaxed);
+            agg.wal_appended += c.wal_appended.load(Ordering::Relaxed);
+            agg.wal_replayed += c.wal_replayed.load(Ordering::Relaxed);
             agg.index_build_us +=
                 tenant.engine.runner().target_index().map_or(0, |ix| ix.build_micros());
             latency.merge_from(&c.latency);
@@ -1228,6 +1421,123 @@ mod tests {
         );
         assert!(multi.graph_stats(bogus).is_none());
         assert!(multi.runner(bogus).is_none());
+    }
+
+    // ---- Persistence (save_graph / load_graph) ----
+
+    fn persist_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("psi-registry-persist-{}", std::process::id()));
+        let dir = dir.join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_multi() -> MultiEngine {
+        MultiEngine::new(MultiEngineConfig {
+            workers: 2,
+            max_concurrent_races: 2,
+            tenant: EngineConfig {
+                default_budget: RaceBudget::matching(),
+                // Keep the fast path out of the way so every query races
+                // and trains the predictor deterministically.
+                predictor_confidence: 1.1,
+                ..EngineConfig::default()
+            },
+        })
+    }
+
+    /// A family of distinct path queries so repeated submissions miss
+    /// the cache and keep racing.
+    fn path_query(len: usize) -> Graph {
+        use psi_graph::graph::graph_from_parts;
+        let labels: Vec<u32> = (0..len as u32).map(|i| i % 2).collect();
+        let edges: Vec<(u32, u32)> = (0..len as u32 - 1).map(|i| (i, i + 1)).collect();
+        graph_from_parts(&labels, &edges)
+    }
+
+    fn stored_cycle(n: usize) -> Graph {
+        use psi_graph::graph::graph_from_parts;
+        let labels: Vec<u32> = (0..n as u32).map(|i| i % 2).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        graph_from_parts(&labels, &edges)
+    }
+
+    #[test]
+    fn save_then_cold_load_preserves_answers_and_learned_state() {
+        let dir = persist_dir("roundtrip");
+        let stored = stored_cycle(8);
+        let warm = small_multi();
+        let id = warm.register("tenant", PsiRunner::nfv_default(&stored)).unwrap();
+        for len in 2..6 {
+            warm.submit(id, &path_query(len)).unwrap();
+        }
+        let report = warm.save_graph(id, &dir).expect("save");
+        assert!(report.snapshot_bytes > 0);
+        assert!(report.saved_samples > 0, "contested races trained the predictor before save");
+        assert!(report.snapshot_path.exists());
+        assert!(report.wal_path.exists());
+        // Post-save traffic appends to the now-attached WAL.
+        for len in 2..6 {
+            warm.submit(id, &path_query(len)).unwrap(); // cache hits: no WAL traffic
+        }
+        for len in 6..9 {
+            warm.submit(id, &path_query(len)).unwrap();
+        }
+        let appended = warm.graph_stats(id).unwrap().wal_appended;
+        assert!(appended > 0, "contested post-save races must log WAL records");
+
+        let cold = small_multi();
+        let load = cold.load_graph(&report.snapshot_path).expect("load");
+        assert_eq!(load.name, "tenant");
+        assert!(!load.index_rebuilt, "same layout version loads without a rebuild");
+        assert_eq!(load.replayed_records, appended);
+        assert!(load.replayed_samples > 0);
+        assert_eq!(cold.graph_stats(load.graph).unwrap().wal_replayed, appended);
+        // Learned state is byte-identical: snapshot + WAL replay re-runs
+        // exactly the training the warm engine performed.
+        assert_eq!(cold.entrant_tallies(load.graph), warm.entrant_tallies(id));
+        // Same answers after the cold open, first query included.
+        for len in 2..9 {
+            let q = path_query(len);
+            let a = warm.submit(id, &q).unwrap();
+            let b = cold.submit(load.graph, &q).unwrap();
+            assert_eq!(a.found(), b.found(), "path-{len}");
+            assert_eq!(a.num_matches(), b.num_matches(), "path-{len}");
+        }
+    }
+
+    #[test]
+    fn load_twice_is_a_duplicate_name_error() {
+        let dir = persist_dir("dup");
+        let multi = small_multi();
+        let id = multi.register("twice", PsiRunner::nfv_default(&stored_cycle(4))).unwrap();
+        let report = multi.save_graph(id, &dir).unwrap();
+        let other = small_multi();
+        other.load_graph(&report.snapshot_path).unwrap();
+        match other.load_graph(&report.snapshot_path) {
+            Err(PersistError::Registry(RegistryError::DuplicateName(name))) => {
+                assert_eq!(name, "twice");
+            }
+            other => panic!("expected duplicate-name error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_unknown_graph_is_typed() {
+        let dir = persist_dir("unknown");
+        let multi = small_multi();
+        assert!(matches!(multi.save_graph(GraphId(3), &dir), Err(PersistError::UnknownGraph)));
+    }
+
+    #[test]
+    fn load_missing_snapshot_is_typed() {
+        let dir = persist_dir("missing");
+        let multi = small_multi();
+        assert!(matches!(
+            multi.load_graph(&dir.join("nope.psisnap")),
+            Err(PersistError::Store(StoreError::Io(_)))
+        ));
     }
 
     #[test]

@@ -278,6 +278,11 @@ pub(crate) struct StatsCollector {
     pub escalations: AtomicU64,
     pub edge_probes_bitset: AtomicU64,
     pub edge_probes_binary: AtomicU64,
+    /// Learned-state WAL records appended while serving (0 until
+    /// persistence is attached by save/load).
+    pub wal_appended: AtomicU64,
+    /// Learned-state WAL records replayed into the predictor at load.
+    pub wal_replayed: AtomicU64,
     /// End-to-end served latency (admission or cache probe → fulfilled).
     pub latency: LatencyHistogram,
     /// Admission → setup-start queue wait.
@@ -311,6 +316,8 @@ impl StatsCollector {
             escalations: AtomicU64::new(0),
             edge_probes_bitset: AtomicU64::new(0),
             edge_probes_binary: AtomicU64::new(0),
+            wal_appended: AtomicU64::new(0),
+            wal_replayed: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
             park_wait: LatencyHistogram::new(),
@@ -380,6 +387,8 @@ impl StatsCollector {
             index_build_us: 0,
             edge_probes_bitset: self.edge_probes_bitset.load(Ordering::Relaxed),
             edge_probes_binary: self.edge_probes_binary.load(Ordering::Relaxed),
+            wal_appended: self.wal_appended.load(Ordering::Relaxed),
+            wal_replayed: self.wal_replayed.load(Ordering::Relaxed),
             throughput_qps: if uptime.as_secs_f64() > 0.0 {
                 queries as f64 / uptime.as_secs_f64()
             } else {
@@ -459,6 +468,13 @@ pub struct EngineStats {
     /// Adjacency probes answered by CSR binary search (bitset not built
     /// for the graph, or scan-mode matchers).
     pub edge_probes_binary: u64,
+    /// Learned-state WAL records appended while serving. Stays 0 until
+    /// persistence is attached ([`crate::MultiEngine::save_graph`] /
+    /// [`crate::MultiEngine::load_graph`]).
+    pub wal_appended: u64,
+    /// Learned-state WAL records replayed into the predictor when this
+    /// graph was loaded from disk.
+    pub wal_replayed: u64,
     /// Queries per second since engine start.
     pub throughput_qps: f64,
     /// Median end-to-end latency over *all* served queries (bucketed).

@@ -34,6 +34,10 @@ pub enum GraphError {
     TooManyNodes,
     /// Parse error from the text loader (see [`crate::io`]).
     Parse { line: usize, msg: String },
+    /// Flat CSR sections supplied to [`Graph::from_csr_parts`] violate
+    /// the CSR invariants (non-monotone offsets, unsorted adjacency,
+    /// out-of-range neighbor, ...).
+    InvalidCsr { msg: String },
 }
 
 impl fmt::Display for GraphError {
@@ -48,6 +52,7 @@ impl fmt::Display for GraphError {
             }
             GraphError::TooManyNodes => write!(f, "graph exceeds u32::MAX nodes"),
             GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::InvalidCsr { msg } => write!(f, "invalid CSR sections: {msg}"),
         }
     }
 }
@@ -187,6 +192,99 @@ impl Graph {
             return 0.0;
         }
         2.0 * self.edge_count() as f64 / n
+    }
+
+    /// The raw CSR offset array (`n + 1` entries; `offsets[v]..offsets[v+1]`
+    /// is node `v`'s slice of [`Graph::neighbors_flat`]). Exposed for the
+    /// persistence layer, which serializes the graph as flat sections.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw flattened adjacency array (every undirected edge appears
+    /// twice, each per-node slice sorted strictly ascending).
+    #[inline]
+    pub fn neighbors_flat(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// The raw flattened edge-label array (parallel to
+    /// [`Graph::neighbors_flat`]), if the graph is edge-labeled.
+    #[inline]
+    pub fn edge_labels_flat(&self) -> Option<&[Label]> {
+        self.edge_labels.as_deref()
+    }
+
+    /// Reassembles a graph directly from its flat CSR sections — the
+    /// inverse of [`Graph::offsets`] / [`Graph::neighbors_flat`] /
+    /// [`Graph::edge_labels_flat`], used by the persistence layer to load
+    /// a snapshot without re-running [`GraphBuilder`]'s sort/dedup.
+    ///
+    /// Validation is `O(n + m)`: offset shape and monotonicity, strictly
+    /// sorted in-range adjacency per node, no self-loops, and edge-label
+    /// length. The `O(m·deg)` symmetry check of
+    /// [`Graph::check_invariants`] is intentionally skipped — a snapshot
+    /// written from a valid graph is symmetric by construction, and the
+    /// checks here are exactly those that keep the matchers memory-safe.
+    pub fn from_csr_parts(
+        labels: Vec<Label>,
+        offsets: Vec<u32>,
+        neighbors: Vec<NodeId>,
+        edge_labels: Option<Vec<Label>>,
+    ) -> Result<Graph, GraphError> {
+        let n = labels.len();
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes);
+        }
+        let err = |msg: String| GraphError::InvalidCsr { msg };
+        if offsets.len() != n + 1 {
+            return Err(err(format!("offsets.len() = {}, expected {}", offsets.len(), n + 1)));
+        }
+        if offsets[0] != 0 {
+            return Err(err("offsets[0] != 0".into()));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(err("offsets not monotone".into()));
+        }
+        if *offsets.last().unwrap() as usize != neighbors.len() {
+            return Err(err(format!(
+                "offsets tail {} != neighbors.len() {}",
+                offsets.last().unwrap(),
+                neighbors.len()
+            )));
+        }
+        if !neighbors.len().is_multiple_of(2) {
+            return Err(err(format!("odd adjacency length {}", neighbors.len())));
+        }
+        if let Some(els) = &edge_labels {
+            if els.len() != neighbors.len() {
+                return Err(err(format!(
+                    "edge_labels.len() = {} != neighbors.len() = {}",
+                    els.len(),
+                    neighbors.len()
+                )));
+            }
+        }
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            let adj = &neighbors[lo..hi];
+            for w in adj.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(err(format!("adjacency of {v} not strictly sorted")));
+                }
+            }
+            for &u in adj {
+                if u as usize >= n {
+                    return Err(err(format!("neighbor {u} of {v} out of range")));
+                }
+                if u as usize == v {
+                    return Err(err(format!("self-loop on {v}")));
+                }
+            }
+        }
+        Ok(Graph { labels, offsets, edge_labels, num_edges: neighbors.len() / 2, neighbors })
     }
 
     /// Checks internal CSR invariants. Used by tests and debug assertions;
@@ -558,6 +656,64 @@ mod tests {
         let mut es: Vec<_> = g.labeled_edges().collect();
         es.sort_unstable();
         assert_eq!(es, vec![(0, 1, 9), (0, 2, 5)]);
+    }
+
+    #[test]
+    fn csr_parts_roundtrip() {
+        let g = graph_from_parts(&[1, 0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let back = Graph::from_csr_parts(
+            g.labels().to_vec(),
+            g.offsets().to_vec(),
+            g.neighbors_flat().to_vec(),
+            g.edge_labels_flat().map(<[Label]>::to_vec),
+        )
+        .unwrap();
+        assert_eq!(back, g);
+        assert!(back.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn csr_parts_with_edge_labels_roundtrip() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(&[0, 1, 2]);
+        b.add_labeled_edge(0, 1, 10).unwrap();
+        b.add_labeled_edge(1, 2, 20).unwrap();
+        let g = b.build().unwrap();
+        let back = Graph::from_csr_parts(
+            g.labels().to_vec(),
+            g.offsets().to_vec(),
+            g.neighbors_flat().to_vec(),
+            g.edge_labels_flat().map(<[Label]>::to_vec),
+        )
+        .unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.edge_label(1, 0), Some(10));
+    }
+
+    #[test]
+    fn csr_parts_rejects_malformed_sections() {
+        let bad = |labels: &[Label], offsets: &[u32], neighbors: &[NodeId]| {
+            Graph::from_csr_parts(labels.to_vec(), offsets.to_vec(), neighbors.to_vec(), None)
+        };
+        // Wrong offsets length.
+        assert!(matches!(bad(&[0, 0], &[0, 2], &[1, 0]), Err(GraphError::InvalidCsr { .. })));
+        // offsets[0] != 0.
+        assert!(matches!(bad(&[0, 0], &[1, 1, 2], &[1, 0]), Err(GraphError::InvalidCsr { .. })));
+        // Non-monotone offsets.
+        assert!(matches!(bad(&[0, 0], &[0, 2, 1], &[1, 0]), Err(GraphError::InvalidCsr { .. })));
+        // Tail mismatch.
+        assert!(matches!(bad(&[0, 0], &[0, 1, 3], &[1, 0]), Err(GraphError::InvalidCsr { .. })));
+        // Unsorted adjacency (duplicate neighbor).
+        assert!(matches!(
+            bad(&[0, 0, 0], &[0, 2, 3, 3], &[1, 1, 0]),
+            Err(GraphError::InvalidCsr { .. })
+        ));
+        // Out-of-range neighbor.
+        assert!(matches!(bad(&[0, 0], &[0, 1, 2], &[5, 0]), Err(GraphError::InvalidCsr { .. })));
+        // Self-loop.
+        assert!(matches!(bad(&[0, 0], &[0, 1, 2], &[0, 0]), Err(GraphError::InvalidCsr { .. })));
+        // Odd adjacency length.
+        assert!(matches!(bad(&[0], &[0, 1], &[0]), Err(GraphError::InvalidCsr { .. })));
     }
 
     #[test]

@@ -25,10 +25,13 @@
 //!
 //! The index is pure derived state: it holds an `Arc<Graph>` and can be
 //! rebuilt from it at any time, which is exactly what makes it the
-//! natural unit to persist alongside learned predictor state.
+//! natural unit to persist alongside learned predictor state. Every
+//! structure is stored as **flat arrays** (offset/value pairs instead of
+//! nested `Vec`s or hash maps), so a snapshot of the index is a handful
+//! of contiguous sections and loading one is [`TargetIndex::from_parts`]
+//! — validate + move, no rebuild.
 
 use crate::graph::{Graph, Label, NodeId};
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -40,6 +43,13 @@ pub const DENSE_BITSET_MAX_BYTES: usize = 4 << 20;
 /// vertices get a bitset up to twice the byte cap — binary searches over
 /// hub adjacency lists are exactly the probes the bitset eliminates.
 pub const HUB_DEGREE_THRESHOLD: usize = 64;
+
+/// Layout version of the flat structures in [`IndexParts`]. Bumped
+/// whenever the derived-state layout changes meaning (new section
+/// semantics, different ordering contract); a persisted index section
+/// carrying an older version is ignored and the index rebuilt from the
+/// graph instead.
+pub const INDEX_LAYOUT_VERSION: u32 = 1;
 
 /// Dense row-major adjacency bits: bit `u * n + v` is set iff `(u, v)`
 /// is an edge. Symmetric (undirected graphs), so either orientation of a
@@ -71,22 +81,59 @@ impl DenseBits {
     }
 }
 
+/// The flat sections of a [`TargetIndex`], decoupled from the index for
+/// serialization: everything here is a contiguous `Vec` of a primitive,
+/// so a persistence layer can write each field as one binary section and
+/// reassemble the index with [`TargetIndex::from_parts`] — validation
+/// plus moves, no per-node rebuild work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexParts {
+    /// Distinct node labels present in the graph, sorted ascending.
+    pub label_keys: Vec<Label>,
+    /// `label_keys.len() + 1` offsets into [`IndexParts::label_nodes`].
+    pub label_offsets: Vec<u32>,
+    /// Concatenated per-label vertex lists, each sorted ascending.
+    pub label_nodes: Vec<NodeId>,
+    /// Degree per node, dense.
+    pub degrees: Vec<u32>,
+    /// Node IDs sorted by degree descending (ties by ID ascending).
+    pub degree_desc: Vec<NodeId>,
+    /// `n + 1` offsets into [`IndexParts::sig_labels`].
+    pub sig_offsets: Vec<u32>,
+    /// Concatenated per-node sorted neighbor-label multisets.
+    pub sig_labels: Vec<Label>,
+    /// 64-bit label-presence mask per node.
+    pub label_masks: Vec<u64>,
+    /// Dense adjacency bitset words (`(n*n).div_ceil(64)` of them), or
+    /// `None` when the bitset was not built.
+    pub bitset_words: Option<Vec<u64>>,
+}
+
 /// Shared, immutable derived state of one stored graph. Build once at
 /// registration ([`TargetIndex::build`]), share via `Arc` across every
 /// matcher, race and query.
 #[derive(Debug)]
 pub struct TargetIndex {
     graph: Arc<Graph>,
-    /// label → vertex list, sorted ascending by node ID (the order the
-    /// matchers' seed implementations enumerated candidates in, so
-    /// indexed searches visit candidates identically).
-    by_label: HashMap<Label, Vec<NodeId>>,
+    /// Distinct labels sorted ascending; `candidates` binary-searches
+    /// here, then reads the matching slice of `label_nodes`.
+    label_keys: Vec<Label>,
+    /// `label_keys.len() + 1` offsets into `label_nodes`.
+    label_offsets: Vec<u32>,
+    /// Concatenated per-label vertex lists, sorted ascending by node ID
+    /// (the order the matchers' seed implementations enumerated
+    /// candidates in, so indexed searches visit candidates identically).
+    label_nodes: Vec<NodeId>,
     /// Degree per node, dense.
     degrees: Vec<u32>,
     /// Node IDs sorted by degree descending (ties by ID ascending).
     degree_desc: Vec<NodeId>,
-    /// Sorted neighbor-label multiset per node (GraphQL's signature).
-    signatures: Vec<Vec<Label>>,
+    /// `n + 1` offsets into `sig_labels`: node `v`'s signature is
+    /// `sig_labels[sig_offsets[v]..sig_offsets[v + 1]]`.
+    sig_offsets: Vec<u32>,
+    /// Concatenated sorted neighbor-label multisets (GraphQL's
+    /// signatures), flattened.
+    sig_labels: Vec<Label>,
     /// 64-bit label-presence mask per node: bit `l % 64` is set iff some
     /// neighbor carries label `l`. A query signature can only be
     /// contained if its mask is a subset of the target's.
@@ -115,21 +162,43 @@ impl TargetIndex {
     fn build_inner(graph: Arc<Graph>, want_bitset: bool) -> Self {
         let t0 = Instant::now();
         let n = graph.node_count();
-        let mut by_label: HashMap<Label, Vec<NodeId>> = HashMap::new();
         let mut degrees = Vec::with_capacity(n);
-        let mut signatures = Vec::with_capacity(n);
+        let mut sig_offsets = Vec::with_capacity(n + 1);
+        let mut sig_labels = Vec::new();
         let mut label_masks = Vec::with_capacity(n);
+        sig_offsets.push(0u32);
         for v in graph.nodes() {
-            by_label.entry(graph.label(v)).or_default().push(v);
             degrees.push(graph.degree(v) as u32);
-            let mut sig: Vec<Label> = graph.neighbors(v).iter().map(|&u| graph.label(u)).collect();
-            sig.sort_unstable();
+            let start = sig_labels.len();
+            sig_labels.extend(graph.neighbors(v).iter().map(|&u| graph.label(u)));
+            sig_labels[start..].sort_unstable();
+            sig_offsets.push(sig_labels.len() as u32);
             let mut mask = 0u64;
-            for &l in &sig {
+            for &l in &sig_labels[start..] {
                 mask |= 1 << (l % 64);
             }
-            signatures.push(sig);
             label_masks.push(mask);
+        }
+        // Label → vertex lists, flattened: a counting sort over the
+        // distinct sorted labels. Nodes are visited in ID order, so each
+        // per-label list comes out sorted ascending for free.
+        let mut label_keys: Vec<Label> = graph.labels().to_vec();
+        label_keys.sort_unstable();
+        label_keys.dedup();
+        let mut label_offsets = vec![0u32; label_keys.len() + 1];
+        for &l in graph.labels() {
+            let k = label_keys.binary_search(&l).expect("label key present");
+            label_offsets[k + 1] += 1;
+        }
+        for k in 0..label_keys.len() {
+            label_offsets[k + 1] += label_offsets[k];
+        }
+        let mut cursor = label_offsets[..label_keys.len()].to_vec();
+        let mut label_nodes = vec![0 as NodeId; n];
+        for v in graph.nodes() {
+            let k = label_keys.binary_search(&graph.label(v)).expect("label key present");
+            label_nodes[cursor[k] as usize] = v;
+            cursor[k] += 1;
         }
         let mut degree_desc: Vec<NodeId> = (0..n as NodeId).collect();
         degree_desc.sort_unstable_by_key(|&v| (u32::MAX - degrees[v as usize], v));
@@ -143,14 +212,124 @@ impl TargetIndex {
             .then(|| DenseBits::build(&graph));
         Self {
             graph,
-            by_label,
+            label_keys,
+            label_offsets,
+            label_nodes,
             degrees,
             degree_desc,
-            signatures,
+            sig_offsets,
+            sig_labels,
             label_masks,
             bits,
             build_micros: t0.elapsed().as_micros().min(u64::MAX as u128) as u64,
         }
+    }
+
+    /// Decomposes the index into its flat sections (cloned) for
+    /// serialization. The graph itself is not part of the parts — it is
+    /// serialized separately (its CSR arrays are already flat).
+    pub fn to_parts(&self) -> IndexParts {
+        IndexParts {
+            label_keys: self.label_keys.clone(),
+            label_offsets: self.label_offsets.clone(),
+            label_nodes: self.label_nodes.clone(),
+            degrees: self.degrees.clone(),
+            degree_desc: self.degree_desc.clone(),
+            sig_offsets: self.sig_offsets.clone(),
+            sig_labels: self.sig_labels.clone(),
+            label_masks: self.label_masks.clone(),
+            bitset_words: self.bits.as_ref().map(|b| b.words.clone()),
+        }
+    }
+
+    /// Reassembles an index from flat sections — the load path of the
+    /// persistence layer. Validation is `O(n + total section length)`:
+    /// shapes, offset monotonicity, IDs in range, and `degree_desc`
+    /// being a permutation of `0..n`. Contents that pass these checks
+    /// but were maliciously permuted cannot cause memory unsafety — at
+    /// worst wrong answers, which the snapshot checksum already guards.
+    ///
+    /// Returns `Err` with a description when any section is malformed;
+    /// callers fall back to [`TargetIndex::build`].
+    pub fn from_parts(graph: Arc<Graph>, parts: IndexParts) -> Result<Self, String> {
+        let n = graph.node_count();
+        let IndexParts {
+            label_keys,
+            label_offsets,
+            label_nodes,
+            degrees,
+            degree_desc,
+            sig_offsets,
+            sig_labels,
+            label_masks,
+            bitset_words,
+        } = parts;
+        if degrees.len() != n {
+            return Err(format!("degrees.len() = {}, expected {n}", degrees.len()));
+        }
+        if label_masks.len() != n {
+            return Err(format!("label_masks.len() = {}, expected {n}", label_masks.len()));
+        }
+        if degree_desc.len() != n {
+            return Err(format!("degree_desc.len() = {}, expected {n}", degree_desc.len()));
+        }
+        let mut seen = vec![false; n];
+        for &v in &degree_desc {
+            if v as usize >= n || seen[v as usize] {
+                return Err(format!("degree_desc is not a permutation (node {v})"));
+            }
+            seen[v as usize] = true;
+        }
+        let check_offsets = |name: &str, offsets: &[u32], rows: usize, total: usize| {
+            if offsets.len() != rows + 1 {
+                return Err(format!("{name}.len() = {}, expected {}", offsets.len(), rows + 1));
+            }
+            if offsets[0] != 0 {
+                return Err(format!("{name}[0] != 0"));
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("{name} not monotone"));
+            }
+            if *offsets.last().unwrap() as usize != total {
+                return Err(format!("{name} tail != {total}"));
+            }
+            Ok(())
+        };
+        check_offsets("sig_offsets", &sig_offsets, n, sig_labels.len())?;
+        check_offsets("label_offsets", &label_offsets, label_keys.len(), label_nodes.len())?;
+        if label_keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("label_keys not strictly sorted".into());
+        }
+        if label_nodes.len() != n {
+            return Err(format!("label_nodes.len() = {}, expected {n}", label_nodes.len()));
+        }
+        if label_nodes.iter().any(|&v| v as usize >= n) {
+            return Err("label_nodes entry out of range".into());
+        }
+        let bits = match bitset_words {
+            Some(words) => {
+                if words.len() != n.saturating_mul(n).div_ceil(64) {
+                    return Err(format!("bitset has {} words, expected {}", words.len(), {
+                        n.saturating_mul(n).div_ceil(64)
+                    }));
+                }
+                Some(DenseBits { n, words })
+            }
+            None => None,
+        };
+        Ok(Self {
+            graph,
+            label_keys,
+            label_offsets,
+            label_nodes,
+            degrees,
+            degree_desc,
+            sig_offsets,
+            sig_labels,
+            label_masks,
+            bits,
+            build_micros: 0,
+        })
     }
 
     /// The indexed stored graph.
@@ -169,7 +348,14 @@ impl TargetIndex {
     /// Returns an empty slice for labels absent from the graph.
     #[inline]
     pub fn candidates(&self, label: Label) -> &[NodeId] {
-        self.by_label.get(&label).map_or(&[], Vec::as_slice)
+        match self.label_keys.binary_search(&label) {
+            Ok(k) => {
+                let lo = self.label_offsets[k] as usize;
+                let hi = self.label_offsets[k + 1] as usize;
+                &self.label_nodes[lo..hi]
+            }
+            Err(_) => &[],
+        }
     }
 
     /// Degree of `v` (array read; no CSR offset arithmetic).
@@ -193,7 +379,9 @@ impl TargetIndex {
     /// Sorted neighbor-label multiset of `v` (GraphQL's signature).
     #[inline]
     pub fn signature(&self, v: NodeId) -> &[Label] {
-        &self.signatures[v as usize]
+        let lo = self.sig_offsets[v as usize] as usize;
+        let hi = self.sig_offsets[v as usize + 1] as usize;
+        &self.sig_labels[lo..hi]
     }
 
     /// 64-bit label-presence mask over `v`'s neighbor labels. A sorted
@@ -251,7 +439,9 @@ impl TargetIndex {
         }
     }
 
-    /// Wall-clock cost of building this index, in microseconds.
+    /// Wall-clock cost of building this index, in microseconds. Zero for
+    /// an index loaded from a snapshot ([`TargetIndex::from_parts`]) —
+    /// nothing was built.
     #[inline]
     pub fn build_micros(&self) -> u64 {
         self.build_micros
@@ -262,14 +452,14 @@ impl TargetIndex {
     /// lists + bitset words. Documented in `docs/architecture.md` as the
     /// per-graph memory cost of registration.
     pub fn memory_bytes(&self) -> usize {
-        let sigs: usize = self.signatures.iter().map(|s| s.len() * size_of::<Label>()).sum();
-        let labels: usize =
-            self.by_label.values().map(|v| v.len() * size_of::<NodeId>()).sum::<usize>();
         self.degrees.len() * size_of::<u32>()
             + self.degree_desc.len() * size_of::<NodeId>()
             + self.label_masks.len() * size_of::<u64>()
-            + sigs
-            + labels
+            + self.sig_offsets.len() * size_of::<u32>()
+            + self.sig_labels.len() * size_of::<Label>()
+            + self.label_keys.len() * size_of::<Label>()
+            + self.label_offsets.len() * size_of::<u32>()
+            + self.label_nodes.len() * size_of::<NodeId>()
             + self.bits.as_ref().map_or(0, |b| b.words.len() * size_of::<u64>())
     }
 }
@@ -379,5 +569,61 @@ mod tests {
         assert!(ix.memory_bytes() > 0);
         // build_micros is best-effort wall clock; it must at least exist.
         let _ = ix.build_micros();
+    }
+
+    /// Every public accessor answers identically after a
+    /// `to_parts` → `from_parts` round trip.
+    #[test]
+    fn parts_roundtrip_preserves_all_accessors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let labels = LabelDist::Uniform { num_labels: 5 }.sampler();
+        let g = Arc::new(random_connected_graph(50, 120, &labels, &mut rng));
+        for built in
+            [TargetIndex::build(Arc::clone(&g)), TargetIndex::build_without_bitset(Arc::clone(&g))]
+        {
+            let loaded = TargetIndex::from_parts(Arc::clone(&g), built.to_parts()).unwrap();
+            assert_eq!(loaded.has_bitset(), built.has_bitset());
+            assert_eq!(loaded.degree_descending(), built.degree_descending());
+            assert_eq!(loaded.memory_bytes(), built.memory_bytes());
+            for l in 0..6 {
+                assert_eq!(loaded.candidates(l), built.candidates(l));
+            }
+            for v in g.nodes() {
+                assert_eq!(loaded.degree(v), built.degree(v));
+                assert_eq!(loaded.signature(v), built.signature(v));
+                assert_eq!(loaded.label_mask(v), built.label_mask(v));
+                for u in g.nodes() {
+                    assert_eq!(loaded.has_edge(u, v), built.has_edge(u, v));
+                }
+            }
+            assert_eq!(loaded.build_micros(), 0, "loaded indexes built nothing");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_sections() {
+        let g = Arc::new(graph_from_parts(&[1, 0, 1], &[(0, 1), (1, 2)]));
+        let good = TargetIndex::build(Arc::clone(&g)).to_parts();
+        let reject = |mutate: &dyn Fn(&mut IndexParts)| {
+            let mut p = good.clone();
+            mutate(&mut p);
+            assert!(TargetIndex::from_parts(Arc::clone(&g), p).is_err());
+        };
+        reject(&|p| p.degrees.pop().map(|_| ()).unwrap());
+        reject(&|p| p.label_masks.push(0));
+        reject(&|p| p.degree_desc[0] = p.degree_desc[1]); // not a permutation
+        reject(&|p| p.degree_desc[0] = 99); // out of range
+        reject(&|p| p.sig_offsets[1] = 1000); // non-monotone / tail break
+        reject(&|p| p.sig_offsets[0] = 1);
+        reject(&|p| p.label_keys.reverse()); // unsorted keys
+        reject(&|p| p.label_nodes[0] = 99);
+        reject(&|p| p.label_nodes.pop().map(|_| ()).unwrap());
+        reject(&|p| {
+            if let Some(w) = p.bitset_words.as_mut() {
+                w.pop();
+            }
+        });
+        // The untouched parts still load.
+        assert!(TargetIndex::from_parts(Arc::clone(&g), good).is_ok());
     }
 }

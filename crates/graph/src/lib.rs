@@ -54,6 +54,6 @@ pub mod permute;
 pub mod stats;
 
 pub use graph::{Graph, GraphBuilder, GraphError, Label, NodeId};
-pub use index::TargetIndex;
+pub use index::{IndexParts, TargetIndex, INDEX_LAYOUT_VERSION};
 pub use permute::Permutation;
 pub use stats::{DbStats, GraphStats, LabelStats};

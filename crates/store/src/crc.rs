@@ -1,0 +1,88 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial), hand-rolled so the
+//! persistence layer stays std-only. Table-driven, one byte per step —
+//! snapshots are written once and read once per process start, so
+//! throughput is irrelevant next to correctness and zero dependencies.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32/ISO-HDLC of `data` (init `!0`, final xor `!0`) — the checksum
+/// `cksum`-adjacent tools and zlib compute.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Streaming form of [`crc32`], for checksumming a file in pieces (the
+/// snapshot checksum covers the whole file with its own CRC field read
+/// as zeros — three `update` calls, no copy).
+#[derive(Debug, Clone)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Self(!0)
+    }
+
+    /// Feeds `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 = (self.0 >> 8) ^ TABLE[((self.0 ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.0
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_byte_flip_changes_crc() {
+        let base = b"the learned state of tenant 7".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupt = base.clone();
+                corrupt[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), reference, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! # psi-store — zero-copy persistence for the Ψ-framework
+//!
+//! A restarted serving process used to rebuild every CSR graph,
+//! re-index every `TargetIndex` and retrain every predictor from zero.
+//! Everything hot is already flat arrays, so this crate persists them as
+//! flat arrays and makes load "validate + move" instead of
+//! "parse + rebuild + retrain":
+//!
+//! * [`snapshot`] — a sectioned, versioned, checksummed binary image of
+//!   one stored graph, its [`psi_graph::TargetIndex`] and its learned
+//!   predictor state. Sections are 8-byte-aligned little-endian arrays
+//!   addressed by a TOC of `(tag, offset, len)`; loading is
+//!   header-validate + bounds-check + reinterpret, with a
+//!   rebuild-fallback when the index sections are absent or their
+//!   layout version has been bumped.
+//! * [`wal`] — a tiny append-only write-ahead log for the learned state
+//!   that accrues *between* snapshots (predictor samples and
+//!   win/loss/timeout tallies; cache contents are re-derivable and
+//!   deliberately **not** persisted). Records are CRC-framed; a torn
+//!   final record is dropped on replay, never an error.
+//! * [`crc`] — the hand-rolled CRC-32 both layers frame with (std-only,
+//!   consistent with the workspace's vendored-offline constraint).
+//!
+//! The durability contract: `psi_engine::MultiEngine::save_graph`
+//! compacts (snapshot rewritten with all learned state, WAL truncated);
+//! `load_graph` reads the snapshot, replays the WAL tail, and keeps
+//! appending while serving.
+
+pub mod crc;
+pub mod snapshot;
+pub mod wal;
+
+use std::fmt;
+
+pub use crc::crc32;
+pub use snapshot::{
+    read_snapshot, write_snapshot, LearnedState, LoadedSnapshot, SnapshotContents, STORE_VERSION,
+};
+pub use wal::{Wal, WalRecord, WAL_HEADER_LEN};
+
+/// Errors from reading or writing persistent state. Every malformed
+/// input maps to a variant here — the load paths never panic on
+/// untrusted bytes (mirroring psi-net's bounds-check-before-allocate
+/// discipline).
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic bytes.
+    BadMagic,
+    /// The file's format version is newer than this decoder.
+    UnsupportedVersion { found: u32 },
+    /// The whole-file checksum did not match: corruption or truncation.
+    ChecksumMismatch { expected: u32, actual: u32 },
+    /// The file ends before a length implied by its own framing.
+    Truncated { needed: u64, available: u64 },
+    /// A section or record is structurally invalid.
+    Malformed(String),
+    /// Graph CSR sections failed [`psi_graph::Graph::from_csr_parts`]
+    /// validation.
+    Graph(psi_graph::GraphError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a psi-store file (bad magic)"),
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported store version {found} (decoder supports {STORE_VERSION})")
+            }
+            StoreError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}")
+            }
+            StoreError::Truncated { needed, available } => {
+                write!(f, "file truncated: need {needed} bytes, have {available}")
+            }
+            StoreError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+            StoreError::Graph(e) => write!(f, "invalid graph sections: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<psi_graph::GraphError> for StoreError {
+    fn from(e: psi_graph::GraphError) -> Self {
+        StoreError::Graph(e)
+    }
+}

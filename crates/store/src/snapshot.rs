@@ -1,0 +1,665 @@
+//! The sectioned snapshot format: one file = one stored graph + its
+//! derived [`TargetIndex`] + its learned predictor state.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"PSISNAP\x01"
+//! 8       4     STORE_VERSION (u32)
+//! 12      4     CRC-32 of the whole file with this field read as zero
+//! 16      4     section count (u32)
+//! 20      4     reserved (zero)
+//! 24      24×k  TOC: k entries of (tag u32, reserved u32, offset u64, len u64)
+//! ...           sections, each starting on an 8-byte boundary
+//! ```
+//!
+//! Every section is a flat array of one primitive (`u32`, `u64`, `f64`)
+//! or raw bytes, so loading is: validate the header, verify the
+//! checksum, bounds-check each TOC entry against the file length, and
+//! reinterpret the section bytes as the target arrays. Nothing is
+//! parsed element-by-element; nothing is rebuilt.
+//!
+//! Unknown tags are ignored on read (forward-compatible additions);
+//! the **index** sections are optional as a group — when they are
+//! absent, or their recorded layout version differs from the current
+//! [`psi_graph::INDEX_LAYOUT_VERSION`], the loader falls back to
+//! [`TargetIndex::build`] and reports `index_rebuilt`.
+//!
+//! What is persisted: the graph CSR, the index's flat sections, the
+//! predictor's feature samples / lifetime tallies / observation count,
+//! and the variant roster they are indexed against. What is **not**:
+//! cache contents (re-derivable), histograms and counters (telemetry,
+//! not state).
+
+use crate::crc::Crc32;
+use crate::StoreError;
+use psi_core::predictor::{EntrantTally, QueryFeatures};
+use psi_core::Variant;
+use psi_graph::{Graph, IndexParts, TargetIndex, INDEX_LAYOUT_VERSION};
+use psi_matchers::Algorithm;
+use psi_rewrite::Rewriting;
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Snapshot format version. Bumped only on incompatible layout changes;
+/// readers reject newer versions with a typed error.
+pub const STORE_VERSION: u32 = 1;
+
+/// First 8 bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"PSISNAP\x01";
+
+const HEADER_LEN: usize = 24;
+const TOC_ENTRY_LEN: usize = 24;
+const CRC_OFFSET: usize = 12;
+
+// Section tags. Graph sections:
+const TAG_GRAPH_META: u32 = 1;
+const TAG_LABELS: u32 = 2;
+const TAG_OFFSETS: u32 = 3;
+const TAG_NEIGHBORS: u32 = 4;
+const TAG_EDGE_LABELS: u32 = 5;
+// Index sections (optional as a group):
+const TAG_INDEX_META: u32 = 6;
+const TAG_DEGREES: u32 = 7;
+const TAG_DEGREE_DESC: u32 = 8;
+const TAG_SIG_OFFSETS: u32 = 9;
+const TAG_SIG_LABELS: u32 = 10;
+const TAG_LABEL_MASKS: u32 = 11;
+const TAG_BITSET: u32 = 12;
+const TAG_LABEL_KEYS: u32 = 13;
+const TAG_LABEL_OFFSETS: u32 = 14;
+const TAG_LABEL_NODES: u32 = 15;
+// Learned state + identity:
+const TAG_LEARNED_META: u32 = 16;
+const TAG_SAMPLES: u32 = 17;
+const TAG_TALLIES: u32 = 18;
+const TAG_NAME: u32 = 19;
+const TAG_VARIANTS: u32 = 20;
+
+/// Bytes per serialized predictor sample: six `f64` features + `u32`
+/// winner + padding to 8.
+const SAMPLE_LEN: usize = 56;
+/// Bytes per serialized [`EntrantTally`]: wins/losses/timeouts `u64`s.
+const TALLY_LEN: usize = 24;
+/// Bytes per serialized [`Variant`]: algorithm u32, rewriting u32,
+/// rewriting seed u64.
+const VARIANT_LEN: usize = 16;
+
+/// The learned (trained) state of one tenant's predictor, decoupled
+/// from the predictor so the store does not depend on serving innards.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LearnedState {
+    /// Total race observations ever recorded (outlives the window).
+    pub observed: u64,
+    /// Retained training samples, oldest first, winner by variant index.
+    pub samples: Vec<(QueryFeatures, u32)>,
+    /// Lifetime win/loss/timeout tallies by variant index.
+    pub tallies: Vec<EntrantTally>,
+}
+
+/// Everything a snapshot stores besides the graph and index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotContents {
+    /// The tenant name the graph was registered under.
+    pub name: String,
+    /// The variant roster the learned state is indexed against. A
+    /// loader serving a different roster must discard the learned state
+    /// (the indices would mean different entrants).
+    pub variants: Vec<Variant>,
+    /// The predictor's learned state at snapshot time.
+    pub learned: LearnedState,
+}
+
+/// A fully decoded snapshot.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// The stored graph, reassembled from its CSR sections.
+    pub graph: Arc<Graph>,
+    /// The target index: reinterpreted from the snapshot's flat
+    /// sections, or rebuilt when they were absent or version-skewed.
+    pub index: Arc<TargetIndex>,
+    /// Whether the index had to be rebuilt instead of loaded.
+    pub index_rebuilt: bool,
+    /// Name, variant roster and learned state.
+    pub contents: SnapshotContents,
+    /// Size of the snapshot file on disk.
+    pub file_bytes: u64,
+}
+
+// ---------------------------------------------------------------- write
+
+struct SectionWriter {
+    toc: Vec<(u32, u64, u64)>,
+    body: Vec<u8>,
+    base: usize,
+}
+
+impl SectionWriter {
+    fn new(sections: usize) -> Self {
+        Self { toc: Vec::with_capacity(sections), body: Vec::new(), base: 0 }
+    }
+
+    fn push(&mut self, tag: u32, bytes: &[u8]) {
+        while !(self.base + self.body.len()).is_multiple_of(8) {
+            self.body.push(0);
+        }
+        self.toc.push(((tag), (self.base + self.body.len()) as u64, bytes.len() as u64));
+        self.body.extend_from_slice(bytes);
+    }
+}
+
+fn u32s_bytes(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn u64s_bytes(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn variant_codes(v: Variant) -> (u32, u32, u64) {
+    let algo = match v.algorithm {
+        Algorithm::Vf2 => 0,
+        Algorithm::Ullmann => 1,
+        Algorithm::QuickSi => 2,
+        Algorithm::GraphQl => 3,
+        Algorithm::SPath => 4,
+    };
+    let (rw, seed) = match v.rewriting {
+        Rewriting::Orig => (0, 0),
+        Rewriting::Ilf => (1, 0),
+        Rewriting::Ind => (2, 0),
+        Rewriting::Dnd => (3, 0),
+        Rewriting::IlfInd => (4, 0),
+        Rewriting::IlfDnd => (5, 0),
+        Rewriting::Random(seed) => (6, seed),
+    };
+    (algo, rw, seed)
+}
+
+fn variant_from_codes(algo: u32, rw: u32, seed: u64) -> Result<Variant, StoreError> {
+    let algorithm = match algo {
+        0 => Algorithm::Vf2,
+        1 => Algorithm::Ullmann,
+        2 => Algorithm::QuickSi,
+        3 => Algorithm::GraphQl,
+        4 => Algorithm::SPath,
+        other => return Err(StoreError::Malformed(format!("unknown algorithm code {other}"))),
+    };
+    let rewriting = match rw {
+        0 => Rewriting::Orig,
+        1 => Rewriting::Ilf,
+        2 => Rewriting::Ind,
+        3 => Rewriting::Dnd,
+        4 => Rewriting::IlfInd,
+        5 => Rewriting::IlfDnd,
+        6 => Rewriting::Random(seed),
+        other => return Err(StoreError::Malformed(format!("unknown rewriting code {other}"))),
+    };
+    Ok(Variant::new(algorithm, rewriting))
+}
+
+/// Serializes `graph` (+ optionally its `index`) and `contents` into the
+/// sectioned snapshot format and atomically replaces `path` (write to a
+/// sibling temp file, fsync, rename). Returns the file size in bytes.
+pub fn write_snapshot(
+    path: &Path,
+    graph: &Graph,
+    index: Option<&TargetIndex>,
+    contents: &SnapshotContents,
+) -> Result<u64, StoreError> {
+    let mut w = SectionWriter::new(20);
+
+    // Graph sections.
+    let has_els = graph.edge_labels_flat().is_some() as u64;
+    w.push(TAG_GRAPH_META, &u64s_bytes(&[graph.node_count() as u64, has_els]));
+    w.push(TAG_LABELS, &u32s_bytes(graph.labels()));
+    w.push(TAG_OFFSETS, &u32s_bytes(graph.offsets()));
+    w.push(TAG_NEIGHBORS, &u32s_bytes(graph.neighbors_flat()));
+    if let Some(els) = graph.edge_labels_flat() {
+        w.push(TAG_EDGE_LABELS, &u32s_bytes(els));
+    }
+
+    // Index sections.
+    if let Some(ix) = index {
+        let parts = ix.to_parts();
+        w.push(
+            TAG_INDEX_META,
+            &u32s_bytes(&[INDEX_LAYOUT_VERSION, parts.bitset_words.is_some() as u32]),
+        );
+        w.push(TAG_DEGREES, &u32s_bytes(&parts.degrees));
+        w.push(TAG_DEGREE_DESC, &u32s_bytes(&parts.degree_desc));
+        w.push(TAG_SIG_OFFSETS, &u32s_bytes(&parts.sig_offsets));
+        w.push(TAG_SIG_LABELS, &u32s_bytes(&parts.sig_labels));
+        w.push(TAG_LABEL_MASKS, &u64s_bytes(&parts.label_masks));
+        w.push(TAG_LABEL_KEYS, &u32s_bytes(&parts.label_keys));
+        w.push(TAG_LABEL_OFFSETS, &u32s_bytes(&parts.label_offsets));
+        w.push(TAG_LABEL_NODES, &u32s_bytes(&parts.label_nodes));
+        if let Some(words) = &parts.bitset_words {
+            w.push(TAG_BITSET, &u64s_bytes(words));
+        }
+    }
+
+    // Learned state + identity.
+    w.push(TAG_LEARNED_META, &u64s_bytes(&[contents.learned.observed]));
+    let mut samples = Vec::with_capacity(contents.learned.samples.len() * SAMPLE_LEN);
+    for (features, winner) in &contents.learned.samples {
+        for x in features.to_array() {
+            samples.extend_from_slice(&x.to_le_bytes());
+        }
+        samples.extend_from_slice(&winner.to_le_bytes());
+        samples.extend_from_slice(&[0u8; 4]);
+    }
+    w.push(TAG_SAMPLES, &samples);
+    let mut tallies = Vec::with_capacity(contents.learned.tallies.len() * TALLY_LEN);
+    for t in &contents.learned.tallies {
+        tallies.extend_from_slice(&u64s_bytes(&[t.wins, t.losses, t.timeouts]));
+    }
+    w.push(TAG_TALLIES, &tallies);
+    w.push(TAG_NAME, contents.name.as_bytes());
+    let mut variants = Vec::with_capacity(contents.variants.len() * VARIANT_LEN);
+    for &v in &contents.variants {
+        let (algo, rw, seed) = variant_codes(v);
+        variants.extend_from_slice(&algo.to_le_bytes());
+        variants.extend_from_slice(&rw.to_le_bytes());
+        variants.extend_from_slice(&seed.to_le_bytes());
+    }
+    w.push(TAG_VARIANTS, &variants);
+
+    // Assemble: header + TOC + body, then patch offsets and CRC.
+    let toc_len = w.toc.len() * TOC_ENTRY_LEN;
+    let base = HEADER_LEN + toc_len;
+    debug_assert_eq!(base % 8, 0, "TOC entries keep 8-byte alignment");
+    let mut file = Vec::with_capacity(base + w.body.len());
+    file.extend_from_slice(&MAGIC);
+    file.extend_from_slice(&STORE_VERSION.to_le_bytes());
+    file.extend_from_slice(&[0u8; 4]); // CRC patched below.
+    file.extend_from_slice(&(w.toc.len() as u32).to_le_bytes());
+    file.extend_from_slice(&[0u8; 4]);
+    for &(tag, offset, len) in &w.toc {
+        file.extend_from_slice(&tag.to_le_bytes());
+        file.extend_from_slice(&[0u8; 4]);
+        file.extend_from_slice(&(base as u64 + offset).to_le_bytes());
+        file.extend_from_slice(&len.to_le_bytes());
+    }
+    file.extend_from_slice(&w.body);
+    let mut crc = Crc32::new();
+    crc.update(&file);
+    file[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.finish().to_le_bytes());
+
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, &file)?;
+    fs::rename(&tmp, path)?;
+    Ok(file.len() as u64)
+}
+
+// ----------------------------------------------------------------- read
+
+struct Sections<'a> {
+    file: &'a [u8],
+    toc: Vec<(u32, usize, usize)>,
+}
+
+impl<'a> Sections<'a> {
+    fn get(&self, tag: u32) -> Option<&'a [u8]> {
+        self.toc.iter().find(|&&(t, _, _)| t == tag).map(|&(_, o, l)| &self.file[o..o + l])
+    }
+
+    fn require(&self, tag: u32) -> Result<&'a [u8], StoreError> {
+        self.get(tag).ok_or_else(|| StoreError::Malformed(format!("missing section tag {tag}")))
+    }
+}
+
+fn decode_u32s(bytes: &[u8], what: &str) -> Result<Vec<u32>, StoreError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(StoreError::Malformed(format!("{what}: length {} not /4", bytes.len())));
+    }
+    Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+fn decode_u64s(bytes: &[u8], what: &str) -> Result<Vec<u64>, StoreError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(StoreError::Malformed(format!("{what}: length {} not /8", bytes.len())));
+    }
+    Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+fn parse_sections(file: &[u8]) -> Result<Sections<'_>, StoreError> {
+    if file.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            needed: HEADER_LEN as u64,
+            available: file.len() as u64,
+        });
+    }
+    if file[..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(file[8..12].try_into().unwrap());
+    if version != STORE_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let expected = u32::from_le_bytes(file[CRC_OFFSET..CRC_OFFSET + 4].try_into().unwrap());
+    let mut crc = Crc32::new();
+    crc.update(&file[..CRC_OFFSET]);
+    crc.update(&[0u8; 4]);
+    crc.update(&file[CRC_OFFSET + 4..]);
+    let actual = crc.finish();
+    if expected != actual {
+        return Err(StoreError::ChecksumMismatch { expected, actual });
+    }
+    let count = u32::from_le_bytes(file[16..20].try_into().unwrap()) as usize;
+    let toc_end = HEADER_LEN
+        .checked_add(
+            count
+                .checked_mul(TOC_ENTRY_LEN)
+                .ok_or_else(|| StoreError::Malformed(format!("section count {count} overflows")))?,
+        )
+        .ok_or_else(|| StoreError::Malformed(format!("section count {count} overflows")))?;
+    if toc_end > file.len() {
+        return Err(StoreError::Truncated { needed: toc_end as u64, available: file.len() as u64 });
+    }
+    let mut toc = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = HEADER_LEN + i * TOC_ENTRY_LEN;
+        let tag = u32::from_le_bytes(file[at..at + 4].try_into().unwrap());
+        let offset = u64::from_le_bytes(file[at + 8..at + 16].try_into().unwrap());
+        let len = u64::from_le_bytes(file[at + 16..at + 24].try_into().unwrap());
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| StoreError::Malformed(format!("section {tag}: offset+len overflows")))?;
+        if end > file.len() as u64 {
+            return Err(StoreError::Truncated { needed: end, available: file.len() as u64 });
+        }
+        if offset % 8 != 0 {
+            return Err(StoreError::Malformed(format!("section {tag}: offset {offset} unaligned")));
+        }
+        if toc.iter().any(|&(t, _, _)| t == tag) {
+            return Err(StoreError::Malformed(format!("duplicate section tag {tag}")));
+        }
+        toc.push((tag, offset as usize, len as usize));
+    }
+    Ok(Sections { file, toc })
+}
+
+fn read_index(s: &Sections<'_>, graph: &Arc<Graph>) -> Result<Option<TargetIndex>, StoreError> {
+    let Some(meta) = s.get(TAG_INDEX_META) else { return Ok(None) };
+    let meta = decode_u32s(meta, "index meta")?;
+    if meta.len() != 2 {
+        return Err(StoreError::Malformed(format!("index meta has {} words", meta.len())));
+    }
+    if meta[0] != INDEX_LAYOUT_VERSION {
+        return Ok(None); // layout bumped: rebuild instead of misread.
+    }
+    let has_bitset = meta[1] != 0;
+    let parts = IndexParts {
+        label_keys: decode_u32s(s.require(TAG_LABEL_KEYS)?, "label keys")?,
+        label_offsets: decode_u32s(s.require(TAG_LABEL_OFFSETS)?, "label offsets")?,
+        label_nodes: decode_u32s(s.require(TAG_LABEL_NODES)?, "label nodes")?,
+        degrees: decode_u32s(s.require(TAG_DEGREES)?, "degrees")?,
+        degree_desc: decode_u32s(s.require(TAG_DEGREE_DESC)?, "degree order")?,
+        sig_offsets: decode_u32s(s.require(TAG_SIG_OFFSETS)?, "signature offsets")?,
+        sig_labels: decode_u32s(s.require(TAG_SIG_LABELS)?, "signature labels")?,
+        label_masks: decode_u64s(s.require(TAG_LABEL_MASKS)?, "label masks")?,
+        bitset_words: if has_bitset {
+            Some(decode_u64s(s.require(TAG_BITSET)?, "bitset")?)
+        } else {
+            None
+        },
+    };
+    TargetIndex::from_parts(Arc::clone(graph), parts)
+        .map(Some)
+        .map_err(|msg| StoreError::Malformed(format!("index sections: {msg}")))
+}
+
+/// Reads, validates and decodes a snapshot written by
+/// [`write_snapshot`]. All validation is up front (magic, version,
+/// whole-file checksum, per-section bounds); any malformed input yields
+/// a typed [`StoreError`], never a panic.
+pub fn read_snapshot(path: &Path) -> Result<LoadedSnapshot, StoreError> {
+    let file = fs::read(path)?;
+    let s = parse_sections(&file)?;
+
+    // Graph.
+    let meta = decode_u64s(s.require(TAG_GRAPH_META)?, "graph meta")?;
+    if meta.len() != 2 {
+        return Err(StoreError::Malformed(format!("graph meta has {} words", meta.len())));
+    }
+    let labels = decode_u32s(s.require(TAG_LABELS)?, "labels")?;
+    if labels.len() as u64 != meta[0] {
+        return Err(StoreError::Malformed(format!(
+            "graph meta claims {} nodes, labels section has {}",
+            meta[0],
+            labels.len()
+        )));
+    }
+    let offsets = decode_u32s(s.require(TAG_OFFSETS)?, "offsets")?;
+    let neighbors = decode_u32s(s.require(TAG_NEIGHBORS)?, "neighbors")?;
+    let edge_labels = match (meta[1] != 0, s.get(TAG_EDGE_LABELS)) {
+        (true, Some(bytes)) => Some(decode_u32s(bytes, "edge labels")?),
+        (true, None) => return Err(StoreError::Malformed("edge labels promised, absent".into())),
+        (false, _) => None,
+    };
+    let graph = Arc::new(Graph::from_csr_parts(labels, offsets, neighbors, edge_labels)?);
+
+    // Index (with rebuild fallback).
+    let (index, index_rebuilt) = match read_index(&s, &graph)? {
+        Some(ix) => (Arc::new(ix), false),
+        None => (Arc::new(TargetIndex::build(Arc::clone(&graph))), true),
+    };
+
+    // Learned state + identity.
+    let lmeta = decode_u64s(s.require(TAG_LEARNED_META)?, "learned meta")?;
+    if lmeta.len() != 1 {
+        return Err(StoreError::Malformed(format!("learned meta has {} words", lmeta.len())));
+    }
+    let sample_bytes = s.require(TAG_SAMPLES)?;
+    if sample_bytes.len() % SAMPLE_LEN != 0 {
+        return Err(StoreError::Malformed(format!(
+            "samples section length {} not a multiple of {SAMPLE_LEN}",
+            sample_bytes.len()
+        )));
+    }
+    let mut samples = Vec::with_capacity(sample_bytes.len() / SAMPLE_LEN);
+    for rec in sample_bytes.chunks_exact(SAMPLE_LEN) {
+        let mut features = [0f64; 6];
+        for (i, f) in features.iter_mut().enumerate() {
+            *f = f64::from_le_bytes(rec[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        let winner = u32::from_le_bytes(rec[48..52].try_into().unwrap());
+        samples.push((QueryFeatures::from_array(features), winner));
+    }
+    let tally_bytes = s.require(TAG_TALLIES)?;
+    if tally_bytes.len() % TALLY_LEN != 0 {
+        return Err(StoreError::Malformed(format!(
+            "tallies section length {} not a multiple of {TALLY_LEN}",
+            tally_bytes.len()
+        )));
+    }
+    let tallies = tally_bytes
+        .chunks_exact(TALLY_LEN)
+        .map(|rec| EntrantTally {
+            wins: u64::from_le_bytes(rec[0..8].try_into().unwrap()),
+            losses: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+            timeouts: u64::from_le_bytes(rec[16..24].try_into().unwrap()),
+        })
+        .collect();
+    let name = std::str::from_utf8(s.require(TAG_NAME)?)
+        .map_err(|e| StoreError::Malformed(format!("name is not UTF-8: {e}")))?
+        .to_string();
+    let variant_bytes = s.require(TAG_VARIANTS)?;
+    if variant_bytes.len() % VARIANT_LEN != 0 {
+        return Err(StoreError::Malformed(format!(
+            "variants section length {} not a multiple of {VARIANT_LEN}",
+            variant_bytes.len()
+        )));
+    }
+    let mut variants = Vec::with_capacity(variant_bytes.len() / VARIANT_LEN);
+    for rec in variant_bytes.chunks_exact(VARIANT_LEN) {
+        let algo = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let rw = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        let seed = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+        variants.push(variant_from_codes(algo, rw, seed)?);
+    }
+
+    Ok(LoadedSnapshot {
+        graph,
+        index,
+        index_rebuilt,
+        contents: SnapshotContents {
+            name,
+            variants,
+            learned: LearnedState { observed: lmeta[0], samples, tallies },
+        },
+        file_bytes: file.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::graph::graph_from_parts;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("psi-store-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_graph() -> Graph {
+        graph_from_parts(&[1, 0, 1, 0, 1, 2], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)])
+    }
+
+    fn sample_contents() -> SnapshotContents {
+        SnapshotContents {
+            name: "tenant-a".into(),
+            variants: vec![
+                Variant::new(Algorithm::GraphQl, Rewriting::Orig),
+                Variant::new(Algorithm::SPath, Rewriting::Random(99)),
+            ],
+            learned: LearnedState {
+                observed: 17,
+                samples: vec![
+                    (QueryFeatures::from_array([2.0, 3.0, 0.5, 0.25, 0.1, 0.66]), 0),
+                    (QueryFeatures::from_array([4.0, 4.0, 1.0, 0.0, 0.9, 0.5]), 1),
+                ],
+                tallies: vec![
+                    EntrantTally { wins: 9, losses: 2, timeouts: 0 },
+                    EntrantTally { wins: 8, losses: 7, timeouts: 1 },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let path = tmp("roundtrip.psi");
+        let g = sample_graph();
+        let ix = TargetIndex::build(Arc::new(g.clone()));
+        let contents = sample_contents();
+        let bytes = write_snapshot(&path, &g, Some(&ix), &contents).unwrap();
+        let loaded = read_snapshot(&path).unwrap();
+        assert_eq!(loaded.file_bytes, bytes);
+        assert_eq!(*loaded.graph, g);
+        assert!(!loaded.index_rebuilt);
+        assert_eq!(loaded.contents, contents);
+        for v in g.nodes() {
+            assert_eq!(loaded.index.signature(v), ix.signature(v));
+            assert_eq!(loaded.index.degree(v), ix.degree(v));
+        }
+        assert_eq!(loaded.index.has_bitset(), ix.has_bitset());
+    }
+
+    #[test]
+    fn snapshot_without_index_rebuilds() {
+        let path = tmp("no-index.psi");
+        let g = sample_graph();
+        write_snapshot(&path, &g, None, &sample_contents()).unwrap();
+        let loaded = read_snapshot(&path).unwrap();
+        assert!(loaded.index_rebuilt);
+        let fresh = TargetIndex::build(Arc::new(g.clone()));
+        for v in g.nodes() {
+            assert_eq!(loaded.index.signature(v), fresh.signature(v));
+        }
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let path = tmp("empty.psi");
+        let g = graph_from_parts(&[], &[]);
+        let ix = TargetIndex::build(Arc::new(g.clone()));
+        write_snapshot(&path, &g, Some(&ix), &SnapshotContents::default()).unwrap();
+        let loaded = read_snapshot(&path).unwrap();
+        assert_eq!(loaded.graph.node_count(), 0);
+        assert!(loaded.contents.learned.samples.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let path = tmp("magic.psi");
+        let g = sample_graph();
+        write_snapshot(&path, &g, None, &sample_contents()).unwrap();
+        let mut file = fs::read(&path).unwrap();
+        file[0] = b'X';
+        fs::write(&path, &file).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(StoreError::BadMagic)));
+        file[0] = MAGIC[0];
+        file[8] = 200; // future version; checked before the checksum.
+        fs::write(&path, &file).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(StoreError::UnsupportedVersion { found: 200 })));
+    }
+
+    #[test]
+    fn corruption_is_detected_by_checksum() {
+        let path = tmp("corrupt.psi");
+        let g = sample_graph();
+        let ix = TargetIndex::build(Arc::new(g.clone()));
+        write_snapshot(&path, &g, Some(&ix), &sample_contents()).unwrap();
+        let file = fs::read(&path).unwrap();
+        // Flip one byte somewhere in the body.
+        let mut corrupt = file.clone();
+        let at = file.len() - 3;
+        corrupt[at] ^= 0x40;
+        fs::write(&path, &corrupt).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(StoreError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let path = tmp("trunc.psi");
+        let g = sample_graph();
+        write_snapshot(&path, &g, None, &sample_contents()).unwrap();
+        let file = fs::read(&path).unwrap();
+        for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN, file.len() / 2, file.len() - 1] {
+            fs::write(&path, &file[..cut]).unwrap();
+            assert!(read_snapshot(&path).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn variant_codes_roundtrip() {
+        let all = [
+            Variant::new(Algorithm::Vf2, Rewriting::Orig),
+            Variant::new(Algorithm::Ullmann, Rewriting::Ilf),
+            Variant::new(Algorithm::QuickSi, Rewriting::Ind),
+            Variant::new(Algorithm::GraphQl, Rewriting::Dnd),
+            Variant::new(Algorithm::SPath, Rewriting::IlfInd),
+            Variant::new(Algorithm::Vf2, Rewriting::IlfDnd),
+            Variant::new(Algorithm::SPath, Rewriting::Random(12345)),
+        ];
+        for v in all {
+            let (a, r, s) = variant_codes(v);
+            assert_eq!(variant_from_codes(a, r, s).unwrap(), v);
+        }
+        assert!(variant_from_codes(9, 0, 0).is_err());
+        assert!(variant_from_codes(0, 9, 0).is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! The learned-state write-ahead log: what the predictor learns
+//! *between* snapshots, one CRC-framed record per mutation.
+//!
+//! ## Layout (little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"PSIWAL\x00\x01"
+//! 8       4     STORE_VERSION (u32)
+//! 12      4     reserved (zero)
+//! then records:
+//!   [payload len u32][CRC-32 of payload u32][payload]
+//! ```
+//!
+//! Each payload starts with a kind byte and mirrors exactly one of the
+//! three predictor mutations a race finalize performs: an observed
+//! winner (features + winner index), a loss, or a timeout. Replay is
+//! therefore a verbatim re-execution of training.
+//!
+//! **Torn-tail tolerance**: a crash can leave a partial record at the
+//! end of the file. On open, the log is scanned from the start; the
+//! first record whose frame is incomplete or whose CRC disagrees ends
+//! the valid prefix — everything before it replays, the tail is
+//! truncated away (dropped, not an error), and appending resumes at the
+//! cut. Compaction is the snapshot's job: `save_graph` folds all
+//! learned state into the snapshot and resets the log.
+
+use crate::crc::crc32;
+use crate::snapshot::STORE_VERSION;
+use crate::StoreError;
+use psi_core::predictor::QueryFeatures;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// First 8 bytes of every WAL file.
+pub const WAL_MAGIC: [u8; 8] = *b"PSIWAL\x00\x01";
+
+/// Bytes of fixed header (magic + version) before the first frame.
+pub const WAL_HEADER_LEN: usize = 16;
+const FRAME_LEN: usize = 8;
+/// Backstop against absurd frame lengths from a corrupt length field:
+/// no legitimate record payload comes close.
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+const KIND_SAMPLE: u8 = 1;
+const KIND_LOSS: u8 = 2;
+const KIND_TIMEOUT: u8 = 3;
+
+/// One learned-state mutation, 1:1 with the predictor calls a race
+/// finalize makes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalRecord {
+    /// `predictor.observe(features, winner)` — a race was won.
+    Sample {
+        /// The query's structural features at observation time.
+        features: QueryFeatures,
+        /// Winning variant index.
+        winner: u32,
+    },
+    /// `predictor.record_loss(idx)`.
+    Loss {
+        /// Losing variant index.
+        idx: u32,
+    },
+    /// `predictor.record_timeout(idx)`.
+    Timeout {
+        /// Timed-out variant index.
+        idx: u32,
+    },
+}
+
+impl WalRecord {
+    fn payload(&self) -> Vec<u8> {
+        match self {
+            WalRecord::Sample { features, winner } => {
+                let mut out = Vec::with_capacity(56);
+                out.extend_from_slice(&[KIND_SAMPLE, 0, 0, 0]);
+                out.extend_from_slice(&winner.to_le_bytes());
+                for x in features.to_array() {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+                out
+            }
+            WalRecord::Loss { idx } => {
+                let mut out = Vec::with_capacity(8);
+                out.extend_from_slice(&[KIND_LOSS, 0, 0, 0]);
+                out.extend_from_slice(&idx.to_le_bytes());
+                out
+            }
+            WalRecord::Timeout { idx } => {
+                let mut out = Vec::with_capacity(8);
+                out.extend_from_slice(&[KIND_TIMEOUT, 0, 0, 0]);
+                out.extend_from_slice(&idx.to_le_bytes());
+                out
+            }
+        }
+    }
+
+    fn decode(payload: &[u8]) -> Option<WalRecord> {
+        match *payload.first()? {
+            KIND_SAMPLE if payload.len() == 56 => {
+                let winner = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+                let mut features = [0f64; 6];
+                for (i, f) in features.iter_mut().enumerate() {
+                    *f = f64::from_le_bytes(payload[8 + i * 8..16 + i * 8].try_into().unwrap());
+                }
+                Some(WalRecord::Sample { features: QueryFeatures::from_array(features), winner })
+            }
+            KIND_LOSS if payload.len() == 8 => {
+                Some(WalRecord::Loss { idx: u32::from_le_bytes(payload[4..8].try_into().unwrap()) })
+            }
+            KIND_TIMEOUT if payload.len() == 8 => Some(WalRecord::Timeout {
+                idx: u32::from_le_bytes(payload[4..8].try_into().unwrap()),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Scans `bytes` (the file contents *after* the header) and returns the
+/// decoded records of the valid prefix plus that prefix's byte length.
+/// Scanning stops — without error — at the first incomplete frame,
+/// CRC mismatch, or undecodable payload: everything from there on is a
+/// torn tail.
+pub fn replay_bytes(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while bytes.len() - at >= FRAME_LEN {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            break;
+        }
+        let start = at + FRAME_LEN;
+        let Some(end) = start.checked_add(len as usize) else { break };
+        if end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Some(record) = WalRecord::decode(payload) else { break };
+        records.push(record);
+        at = end;
+    }
+    (records, at)
+}
+
+/// An open, append-ready learned-state log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, replaying the valid record
+    /// prefix and truncating any torn tail so appends resume at the cut.
+    ///
+    /// A file shorter than the header is treated as torn at creation
+    /// and reset. A full-length header with wrong magic or a newer
+    /// version is a typed error — that file is not ours to truncate.
+    pub fn open(path: &Path) -> Result<(Wal, Vec<WalRecord>), StoreError> {
+        // truncate(false): an existing log's contents are the point —
+        // the valid prefix is replayed, only a torn tail is cut.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() >= WAL_HEADER_LEN {
+            if bytes[..8] != WAL_MAGIC {
+                return Err(StoreError::BadMagic);
+            }
+            let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+            if version != STORE_VERSION {
+                return Err(StoreError::UnsupportedVersion { found: version });
+            }
+            let (records, valid) = replay_bytes(&bytes[WAL_HEADER_LEN..]);
+            let keep = (WAL_HEADER_LEN + valid) as u64;
+            if keep < bytes.len() as u64 {
+                file.set_len(keep)?;
+            }
+            file.seek(SeekFrom::Start(keep))?;
+            Ok((Wal { file }, records))
+        } else {
+            // Empty or torn header: start fresh.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            let mut header = Vec::with_capacity(WAL_HEADER_LEN);
+            header.extend_from_slice(&WAL_MAGIC);
+            header.extend_from_slice(&STORE_VERSION.to_le_bytes());
+            header.extend_from_slice(&[0u8; 4]);
+            file.write_all(&header)?;
+            file.flush()?;
+            Ok((Wal { file }, Vec::new()))
+        }
+    }
+
+    /// Appends one CRC-framed record and flushes it to the OS.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        let payload = record.payload();
+        let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Compaction cut: discards every record (the caller has just folded
+    /// them into a snapshot), keeping the log open for further appends.
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(WAL_HEADER_LEN as u64)?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER_LEN as u64))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("psi-wal-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Sample {
+                features: QueryFeatures::from_array([3.0, 4.0, 0.75, 0.5, 0.2, 0.5]),
+                winner: 1,
+            },
+            WalRecord::Loss { idx: 0 },
+            WalRecord::Timeout { idx: 2 },
+            WalRecord::Sample {
+                features: QueryFeatures::from_array([8.0, 8.0, 0.25, 1.5, 0.9, 0.25]),
+                winner: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let path = tmp("roundtrip.wal");
+        let _ = fs::remove_file(&path);
+        let (mut wal, empty) = Wal::open(&path).unwrap();
+        assert!(empty.is_empty());
+        for r in records() {
+            wal.append(&r).unwrap();
+        }
+        drop(wal);
+        let (_wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed, records());
+    }
+
+    #[test]
+    fn append_resumes_after_reopen() {
+        let path = tmp("resume.wal");
+        let _ = fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::Loss { idx: 5 }).unwrap();
+        drop(wal);
+        let (mut wal, first) = Wal::open(&path).unwrap();
+        assert_eq!(first.len(), 1);
+        wal.append(&WalRecord::Timeout { idx: 6 }).unwrap();
+        drop(wal);
+        let (_w, all) = Wal::open(&path).unwrap();
+        assert_eq!(all, vec![WalRecord::Loss { idx: 5 }, WalRecord::Timeout { idx: 6 }]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_an_error() {
+        let path = tmp("torn.wal");
+        let _ = fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        for r in records() {
+            wal.append(&r).unwrap();
+        }
+        drop(wal);
+        let full = fs::read(&path).unwrap();
+        // Cut mid-way through the final record.
+        fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let (mut wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed, records()[..3].to_vec(), "torn final record dropped");
+        // The file was truncated to the valid prefix; appends continue.
+        wal.append(&WalRecord::Loss { idx: 9 }).unwrap();
+        drop(wal);
+        let (_w, after) = Wal::open(&path).unwrap();
+        assert_eq!(after.len(), 4);
+        assert_eq!(after[3], WalRecord::Loss { idx: 9 });
+    }
+
+    #[test]
+    fn torn_header_resets() {
+        let path = tmp("torn-header.wal");
+        fs::write(&path, b"PSIWA").unwrap();
+        let (_w, replayed) = Wal::open(&path).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(fs::read(&path).unwrap().len(), WAL_HEADER_LEN);
+    }
+
+    #[test]
+    fn foreign_file_is_a_typed_error() {
+        let path = tmp("foreign.wal");
+        fs::write(&path, b"definitely not a wal file at all").unwrap();
+        assert!(matches!(Wal::open(&path), Err(StoreError::BadMagic)));
+    }
+
+    #[test]
+    fn reset_discards_records() {
+        let path = tmp("reset.wal");
+        let _ = fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        for r in records() {
+            wal.append(&r).unwrap();
+        }
+        wal.reset().unwrap();
+        wal.append(&WalRecord::Loss { idx: 1 }).unwrap();
+        drop(wal);
+        let (_w, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed, vec![WalRecord::Loss { idx: 1 }]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Torn-write and bit-rot resilience. The load paths' contract: any
+//! truncation or corruption of a snapshot yields a typed [`StoreError`]
+//! (never a panic, never a silently wrong graph), and WAL replay after a
+//! truncation at *any* byte offset recovers exactly the prefix of
+//! records whose frames are fully intact.
+
+use proptest::prelude::*;
+use psi_core::predictor::QueryFeatures;
+use psi_graph::{GraphBuilder, TargetIndex};
+use psi_store::{
+    read_snapshot, write_snapshot, SnapshotContents, StoreError, Wal, WalRecord, WAL_HEADER_LEN,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch path per proptest case (cases run concurrently).
+fn scratch(stem: &str) -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("psi-store-corrupt-{}-{stem}-{n}", std::process::id()))
+}
+
+fn features(seed: f64) -> QueryFeatures {
+    QueryFeatures {
+        edges: 3.0 + seed,
+        nodes: 4.0,
+        label_diversity: 0.5,
+        degree_spread: seed * 0.1,
+        rarest_label: 0.2,
+        density: 0.6,
+    }
+}
+
+/// A healthy snapshot's bytes, written once and shared across cases.
+fn healthy_snapshot() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut b = GraphBuilder::new();
+        for i in 0..12u32 {
+            b.add_node(i % 4);
+        }
+        for i in 0..12u32 {
+            b.add_edge(i, (i + 1) % 12).expect("edge");
+        }
+        let graph = Arc::new(b.build().expect("graph"));
+        let index = TargetIndex::build(Arc::clone(&graph));
+        let contents = SnapshotContents {
+            name: "corruption-fixture".into(),
+            variants: Vec::new(),
+            learned: Default::default(),
+        };
+        let path = scratch("healthy");
+        write_snapshot(&path, &graph, Some(&index), &contents).expect("healthy snapshot");
+        let bytes = std::fs::read(&path).expect("read back");
+        let _ = std::fs::remove_file(&path);
+        bytes
+    })
+}
+
+/// The WAL fixture: header + frames, plus the frame-end offsets so a
+/// truncation point maps to its expected intact-record prefix.
+fn healthy_wal() -> &'static (Vec<u8>, Vec<WalRecord>, Vec<usize>) {
+    static FIXTURE: OnceLock<(Vec<u8>, Vec<WalRecord>, Vec<usize>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let records = vec![
+            WalRecord::Sample { features: features(0.0), winner: 0 },
+            WalRecord::Loss { idx: 1 },
+            WalRecord::Sample { features: features(1.0), winner: 2 },
+            WalRecord::Timeout { idx: 0 },
+            WalRecord::Sample { features: features(2.0), winner: 1 },
+            WalRecord::Loss { idx: 2 },
+        ];
+        let path = scratch("healthy-wal");
+        let (mut wal, existing) = Wal::open(&path).expect("fresh wal");
+        assert!(existing.is_empty());
+        let mut frame_ends = Vec::new();
+        for r in &records {
+            wal.append(r).expect("append");
+            frame_ends.push(std::fs::metadata(&path).expect("len").len() as usize);
+        }
+        let bytes = std::fs::read(&path).expect("read back");
+        let _ = std::fs::remove_file(&path);
+        (bytes, records, frame_ends)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cutting a snapshot anywhere must be a typed error, not a panic.
+    #[test]
+    fn truncated_snapshot_is_a_typed_error(cut in 0usize..10_000) {
+        let full = healthy_snapshot();
+        let cut = cut % full.len();
+        let path = scratch("trunc");
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let err = read_snapshot(&path).expect_err("truncated snapshot must not load");
+        prop_assert!(matches!(
+            err,
+            StoreError::Truncated { .. }
+                | StoreError::ChecksumMismatch { .. }
+                | StoreError::BadMagic
+                | StoreError::Malformed(_)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Flipping any single byte must be caught — by the magic check, the
+    /// version check or the whole-file checksum — never served as a
+    /// silently wrong graph.
+    #[test]
+    fn corrupted_snapshot_is_a_typed_error(idx in 0usize..10_000, xor in 1u8..=255) {
+        let full = healthy_snapshot();
+        let idx = idx % full.len();
+        let mut bytes = full.to_vec();
+        bytes[idx] ^= xor;
+        let path = scratch("flip");
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_snapshot(&path).expect_err("corrupted snapshot must not load");
+        prop_assert!(matches!(
+            err,
+            StoreError::ChecksumMismatch { .. }
+                | StoreError::BadMagic
+                | StoreError::UnsupportedVersion { .. }
+                | StoreError::Truncated { .. }
+                | StoreError::Malformed(_)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A corrupted WAL frame stops replay at the last intact record —
+    /// open never errors on body damage and never panics.
+    #[test]
+    fn corrupted_wal_recovers_an_intact_prefix(idx in 0usize..10_000, xor in 1u8..=255) {
+        let (bytes, records, frame_ends) = healthy_wal();
+        let idx = WAL_HEADER_LEN + idx % (bytes.len() - WAL_HEADER_LEN);
+        let mut damaged = bytes.clone();
+        damaged[idx] ^= xor;
+        let path = scratch("wal-flip");
+        std::fs::write(&path, &damaged).unwrap();
+        let (_, replayed) = Wal::open(&path).expect("body damage is recoverable");
+        // Everything before the damaged frame must replay verbatim.
+        let intact = frame_ends.iter().filter(|&&end| end <= idx).count();
+        prop_assert!(replayed.len() >= intact);
+        prop_assert_eq!(&replayed[..intact], &records[..intact]);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Exhaustive, not sampled: truncating the WAL at *every* byte offset
+/// recovers exactly the records whose frames end at or before the cut.
+#[test]
+fn wal_truncation_at_every_offset_recovers_exact_prefix() {
+    let (bytes, records, frame_ends) = healthy_wal();
+    for cut in 0..=bytes.len() {
+        let path = scratch("wal-trunc");
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let (_, replayed) = Wal::open(&path).expect("truncation is always recoverable");
+        let expected = if cut < WAL_HEADER_LEN {
+            0 // too short for a header: reset to a fresh log
+        } else {
+            frame_ends.iter().filter(|&&end| end <= cut).count()
+        };
+        assert_eq!(
+            replayed,
+            records[..expected],
+            "cut at byte {cut}: wrong record prefix recovered"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

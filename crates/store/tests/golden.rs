@@ -1,0 +1,177 @@
+//! Format-stability gate: a snapshot + WAL pair committed to the repo at
+//! `tests/golden/`, generated exactly once when `STORE_VERSION` was 1.
+//!
+//! **The committed fixtures are never regenerated.** If the on-disk
+//! format changes, bump `STORE_VERSION`, add a *new* `v2.psisnap` /
+//! `v2.psiwal` pair, and keep this test loading the v1 files — that is
+//! the whole point: bytes written by an old build must keep loading (or
+//! fail with a typed version error) forever. The `#[ignore]`d generator
+//! below exists for provenance and for minting future-version fixtures;
+//! it refuses to overwrite files that already exist.
+
+use psi_core::predictor::{EntrantTally, QueryFeatures};
+use psi_core::{PsiConfig, PsiRunner, RaceBudget, Variant};
+use psi_graph::{Graph, GraphBuilder, TargetIndex};
+use psi_matchers::Algorithm;
+use psi_rewrite::Rewriting;
+use psi_store::{
+    read_snapshot, write_snapshot, LearnedState, SnapshotContents, Wal, WalRecord, STORE_VERSION,
+    WAL_HEADER_LEN,
+};
+use std::path::Path;
+use std::sync::Arc;
+
+const SNAP_V1: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/v1.psisnap");
+const WAL_V1: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/v1.psiwal");
+
+/// The fixture graph: a 24-cycle with labels `i % 3` plus a chord
+/// `(i, i+9)` from every fourth node (chord endpoints share a label
+/// since 9 ≡ 0 mod 3). Deterministic by construction.
+fn fixture_graph() -> Graph {
+    let mut g = GraphBuilder::new();
+    for i in 0..24u32 {
+        g.add_node(i % 3);
+    }
+    for i in 0..24u32 {
+        g.add_edge(i, (i + 1) % 24).expect("cycle edge");
+    }
+    for i in (0..24u32).step_by(4) {
+        g.add_edge(i, (i + 9) % 24).expect("chord edge");
+    }
+    g.build().expect("fixture graph")
+}
+
+fn fixture_variants() -> Vec<Variant> {
+    vec![
+        Variant::new(Algorithm::Vf2, Rewriting::Orig),
+        Variant::new(Algorithm::QuickSi, Rewriting::Ind),
+    ]
+}
+
+fn sample_features(seed: f64) -> QueryFeatures {
+    QueryFeatures {
+        edges: 2.0 + seed,
+        nodes: 3.0 + seed,
+        label_diversity: 0.5,
+        degree_spread: 0.25 * seed,
+        rarest_label: 0.125,
+        density: 0.75,
+    }
+}
+
+fn fixture_learned() -> LearnedState {
+    LearnedState {
+        observed: 7,
+        samples: vec![
+            (sample_features(0.0), 0),
+            (sample_features(1.0), 1),
+            (sample_features(2.0), 0),
+        ],
+        tallies: vec![
+            EntrantTally { wins: 4, losses: 2, timeouts: 1 },
+            EntrantTally { wins: 3, losses: 4, timeouts: 0 },
+        ],
+    }
+}
+
+fn fixture_wal_records() -> Vec<WalRecord> {
+    vec![
+        WalRecord::Sample { features: sample_features(3.0), winner: 1 },
+        WalRecord::Loss { idx: 0 },
+        WalRecord::Timeout { idx: 1 },
+        WalRecord::Sample { features: sample_features(4.0), winner: 0 },
+    ]
+}
+
+/// A labeled edge list as a query graph.
+fn query(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+    let mut q = GraphBuilder::new();
+    for &l in labels {
+        q.add_node(l);
+    }
+    for &(u, v) in edges {
+        q.add_edge(u, v).expect("query edge");
+    }
+    q.build().expect("query graph")
+}
+
+/// The committed query expectations: `(labels, edges, found)`. The
+/// 0-1-2 path follows the cycle's label pattern; the 0-0 edge exists
+/// only via a chord; label 5 appears nowhere in the stored graph.
+fn fixture_queries() -> Vec<(Graph, bool)> {
+    vec![
+        (query(&[0, 1, 2], &[(0, 1), (1, 2)]), true),
+        (query(&[0, 0], &[(0, 1)]), true),
+        (query(&[5, 5], &[(0, 1)]), false),
+    ]
+}
+
+/// Run once (`cargo test -p psi-store --test golden -- --ignored`) at a
+/// new `STORE_VERSION` to mint that version's fixture pair. Refuses to
+/// overwrite: existing goldens are immutable.
+#[test]
+#[ignore = "fixture generator: run once per STORE_VERSION, never to regenerate"]
+fn generate_golden_fixtures() {
+    assert_eq!(STORE_VERSION, 1, "bump the fixture paths before minting a new version");
+    assert!(
+        !Path::new(SNAP_V1).exists() && !Path::new(WAL_V1).exists(),
+        "golden fixtures already exist and must never be regenerated"
+    );
+    std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+        .expect("golden dir");
+    let graph = Arc::new(fixture_graph());
+    let index = TargetIndex::build(Arc::clone(&graph));
+    let contents = SnapshotContents {
+        name: "golden-v1".into(),
+        variants: fixture_variants(),
+        learned: fixture_learned(),
+    };
+    write_snapshot(Path::new(SNAP_V1), &graph, Some(&index), &contents).expect("fixture snapshot");
+    let (mut wal, existing) = Wal::open(Path::new(WAL_V1)).expect("fixture wal");
+    assert!(existing.is_empty());
+    for record in fixture_wal_records() {
+        wal.append(&record).expect("fixture record");
+    }
+}
+
+#[test]
+fn golden_snapshot_loads_with_exact_contents() {
+    let loaded = read_snapshot(Path::new(SNAP_V1)).expect("committed v1 snapshot must load");
+    assert!(!loaded.index_rebuilt, "v1 index sections must load, not rebuild");
+    assert_eq!(loaded.contents.name, "golden-v1");
+    assert_eq!(loaded.contents.variants, fixture_variants());
+    assert_eq!(loaded.contents.learned, fixture_learned());
+
+    let expected = fixture_graph();
+    assert_eq!(loaded.graph.node_count(), expected.node_count());
+    assert_eq!(loaded.graph.labels(), expected.labels());
+    assert_eq!(loaded.graph.offsets(), expected.offsets());
+    assert_eq!(loaded.graph.neighbors_flat(), expected.neighbors_flat());
+}
+
+#[test]
+fn golden_snapshot_answers_queries_correctly() {
+    let loaded = read_snapshot(Path::new(SNAP_V1)).expect("committed v1 snapshot must load");
+    let runner = PsiRunner::with_prebuilt_index(
+        Arc::clone(&loaded.graph),
+        PsiConfig::new(loaded.contents.variants.clone()),
+        Arc::clone(&loaded.index),
+    );
+    for (i, (q, expect_found)) in fixture_queries().into_iter().enumerate() {
+        let outcome = runner.race(&q, RaceBudget::decision());
+        assert_eq!(outcome.found(), expect_found, "query {i} verdict drifted");
+    }
+}
+
+#[test]
+fn golden_wal_replays_exact_records() {
+    let bytes = std::fs::read(WAL_V1).expect("committed v1 wal");
+    let (records, consumed) = psi_store::wal::replay_bytes(&bytes[WAL_HEADER_LEN..]);
+    assert_eq!(consumed, bytes.len() - WAL_HEADER_LEN, "every committed frame must decode");
+    assert_eq!(records, fixture_wal_records());
+
+    let samples = records.iter().filter(|r| matches!(r, WalRecord::Sample { .. })).count();
+    let losses = records.iter().filter(|r| matches!(r, WalRecord::Loss { .. })).count();
+    let timeouts = records.iter().filter(|r| matches!(r, WalRecord::Timeout { .. })).count();
+    assert_eq!((samples, losses, timeouts), (2, 1, 1));
+}

@@ -1,0 +1,146 @@
+//! Cold-start persistence end to end. Run twice with the same directory:
+//! the first life registers a graph, serves and trains, saves a snapshot
+//! and keeps appending learned state to the WAL; the second life finds
+//! the snapshot, cold-opens it (no index rebuild, no retraining), replays
+//! the WAL and must produce byte-identical answers to the first life.
+//! Any divergence exits nonzero — CI drives exactly this pair of runs.
+//!
+//! ```text
+//! cargo run --release --example persistent_registry -- /tmp/psi-persist
+//! cargo run --release --example persistent_registry -- /tmp/psi-persist
+//! ```
+//!
+//! Without an argument a fresh per-process temp directory is used (the
+//! run is then always a first life).
+
+use psi::engine::{MultiEngine, MultiEngineConfig};
+use psi::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const TENANT: &str = "social";
+/// Queries served before the save (they train the predictor into the
+/// snapshot) and again after it (they append to the WAL).
+const QUERIES: usize = 24;
+
+fn engine() -> MultiEngine {
+    MultiEngine::new(MultiEngineConfig {
+        workers: 2,
+        max_concurrent_races: 2,
+        tenant: EngineConfig {
+            // Keep the predictor training (fast path off) so both lives
+            // serve race-driven, definitive answers.
+            predictor_confidence: 1.1,
+            default_budget: RaceBudget::decision(),
+            ..EngineConfig::default()
+        },
+    })
+}
+
+/// The deterministic probe workload, identical in both lives.
+fn queries(stored: &Graph) -> Vec<Graph> {
+    (0..QUERIES)
+        .map(|i| {
+            Workloads::single_query(stored, 4 + i % 5, 1000 + i as u64)
+                .expect("yeast-like graphs always grow these queries")
+        })
+        .collect()
+}
+
+/// Serves every query (all distinct, so all cache misses) and returns
+/// the definitive verdicts.
+fn serve_all(multi: &MultiEngine, graph: psi::engine::GraphId, probes: &[Graph]) -> Vec<bool> {
+    probes
+        .iter()
+        .map(|q| {
+            let r = multi.submit(graph, q).expect("registered graph");
+            assert!(r.conclusive, "decision races run to completion");
+            r.found()
+        })
+        .collect()
+}
+
+fn answers_path(dir: &Path) -> PathBuf {
+    dir.join("answers.txt")
+}
+
+fn encode_answers(found: &[bool]) -> String {
+    found.iter().map(|&f| if f { '1' } else { '0' }).collect()
+}
+
+fn first_life(dir: &Path, stored: &Graph, probes: &[Graph]) -> ExitCode {
+    println!("first life: registering {TENANT} and training from scratch");
+    let multi = engine();
+    let id = multi.register(TENANT, PsiRunner::nfv_default(stored)).expect("fresh registry");
+    let pre_save = serve_all(&multi, id, &probes[..QUERIES / 2]);
+
+    let saved = multi.save_graph(id, dir).expect("snapshot written");
+    println!(
+        "saved {} ({} bytes, {} predictor samples folded in)",
+        saved.snapshot_path.display(),
+        saved.snapshot_bytes,
+        saved.saved_samples
+    );
+
+    // Served *after* the save: this learning exists only in the WAL
+    // until the next compaction, so the cold open must replay it.
+    let post_save = serve_all(&multi, id, &probes[QUERIES / 2..]);
+    let stats = multi.graph_stats(id).expect("registered");
+    assert!(stats.wal_appended > 0, "post-save contested races must append WAL records");
+    println!("appended {} learned-state WAL records while serving", stats.wal_appended);
+
+    let answers: Vec<bool> = pre_save.into_iter().chain(post_save).collect();
+    std::fs::write(answers_path(dir), encode_answers(&answers)).expect("answers file");
+    println!("recorded {} answers; run again with the same directory to cold-open", QUERIES);
+    ExitCode::SUCCESS
+}
+
+fn second_life(dir: &Path, snapshot: &Path, probes: &[Graph]) -> ExitCode {
+    println!("second life: cold-opening {}", snapshot.display());
+    let multi = engine();
+    let t0 = Instant::now();
+    let loaded = multi.load_graph(snapshot).expect("snapshot loads");
+    let open_time = t0.elapsed();
+    println!(
+        "cold open in {open_time:?}: {} bytes, index {}, {} samples restored \
+         ({} WAL records replayed in {} µs)",
+        loaded.snapshot_bytes,
+        if loaded.index_rebuilt { "REBUILT" } else { "loaded from sections" },
+        loaded.replayed_samples,
+        loaded.replayed_records,
+        loaded.wal_replay_us
+    );
+    assert!(!loaded.index_rebuilt, "same layout version must load without a rebuild");
+    assert!(loaded.replayed_samples > 0, "the cold engine must start trained");
+    assert!(loaded.replayed_records > 0, "the first life's post-save learning must replay");
+
+    let t1 = Instant::now();
+    let answers = serve_all(&multi, loaded.graph, probes);
+    println!("first post-restart query answered in {:?}", t1.elapsed());
+
+    let expected = std::fs::read_to_string(answers_path(dir)).expect("first life's answers");
+    let actual = encode_answers(&answers);
+    if actual != expected.trim() {
+        eprintln!("ANSWER MISMATCH after cold open:\n  expected {expected}\n  actual   {actual}");
+        return ExitCode::FAILURE;
+    }
+    println!("all {} answers identical across the restart", answers.len());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).map_or_else(
+        || std::env::temp_dir().join(format!("psi-persistent-registry-{}", std::process::id())),
+        PathBuf::from,
+    );
+    std::fs::create_dir_all(&dir).expect("persistence directory");
+    let stored = psi::graph::datasets::yeast_like(0.05, 42);
+    let probes = queries(&stored);
+    let snapshot = dir.join(format!("{TENANT}.psisnap"));
+    if snapshot.exists() {
+        second_life(&dir, &snapshot, &probes)
+    } else {
+        first_life(&dir, &stored, &probes)
+    }
+}

@@ -23,6 +23,11 @@
 //!   queries can be in flight from a few client threads) and the
 //!   multi-graph registry (`MultiEngine`) multiplexing many stored
 //!   graphs over one shared pool with fair cross-graph admission;
+//! * [`store`] — zero-copy persistence: sectioned, checksummed snapshots
+//!   of a stored graph + its [`graph::TargetIndex`] + the learned
+//!   predictor state, plus the append-only learned-state WAL —
+//!   `MultiEngine::save_graph` / `load_graph` cold-open a tenant in
+//!   milliseconds without rebuilding the index or retraining;
 //! * [`net`] — the wire frontend: a std-only length-prefixed binary
 //!   codec ([`net::QueryFrame`] / [`net::ReplyFrame`]), the
 //!   [`net::PsiServer`] event-loop TCP server multiplexing many
@@ -114,6 +119,45 @@
 //! assert_eq!(multi.stats().queries, 2);
 //! ```
 //!
+//! ## Quickstart: save, restart, cold-open
+//!
+//! A tenant's whole serving state — graph CSR, `TargetIndex` sections,
+//! predictor samples and tallies — snapshots to one file, and the
+//! learning that accrues afterwards appends to a sibling WAL. A fresh
+//! process `load_graph`s the snapshot, replays the WAL, and answers its
+//! first query with the index and training it shut down with:
+//!
+//! ```
+//! use psi::prelude::*;
+//!
+//! let dir = std::env::temp_dir().join(format!("psi-doc-persist-{}", std::process::id()));
+//! let stored = psi::graph::datasets::yeast_like(0.05, 42);
+//! let query = Workloads::single_query(&stored, 6, 7).expect("query");
+//!
+//! // First life: register, serve, save.
+//! let warm = MultiEngine::new(MultiEngineConfig {
+//!     workers: 2,
+//!     max_concurrent_races: 2,
+//!     tenant: EngineConfig { default_budget: RaceBudget::decision(), ..EngineConfig::default() },
+//! });
+//! let y = warm.register("yeast", PsiRunner::nfv_default(&stored)).unwrap();
+//! let before = warm.submit(y, &query).unwrap();
+//! let saved = warm.save_graph(y, &dir).unwrap();
+//!
+//! // Second life: cold-open from disk — no index rebuild, no retraining.
+//! let cold = MultiEngine::new(MultiEngineConfig {
+//!     workers: 2,
+//!     max_concurrent_races: 2,
+//!     tenant: EngineConfig { default_budget: RaceBudget::decision(), ..EngineConfig::default() },
+//! });
+//! let loaded = cold.load_graph(&saved.snapshot_path).unwrap();
+//! assert_eq!(loaded.name, "yeast");
+//! assert!(!loaded.index_rebuilt);
+//! let after = cold.submit(loaded.graph, &query).unwrap();
+//! assert_eq!(before.found(), after.found());
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+//!
 //! ## Quickstart: serving over the wire
 //!
 //! [`net::PsiServer`] is the engine on a TCP port: length-prefixed
@@ -194,6 +238,7 @@ pub use psi_graph as graph;
 pub use psi_matchers as matchers;
 pub use psi_net as net;
 pub use psi_rewrite as rewrite;
+pub use psi_store as store;
 pub use psi_workload as workload;
 
 /// One-stop imports for examples and downstream users.
@@ -201,9 +246,9 @@ pub mod prelude {
     pub use psi_core::{PsiConfig, PsiOutcome, PsiRunner, RaceBudget, Variant};
     pub use psi_engine::{
         AdmissionError, CompletionQueue, Engine, EngineConfig, EngineResponse, EngineStats,
-        EntrantTiming, GraphId, MetricsExporter, MultiEngine, MultiEngineConfig, Priority,
-        QueryRequest, QueryTicket, RaceStrategy, RouteError, ServePath, SlowQuery, Submit,
-        SubmitError, TelemetryConfig, TraceEvent, TraceRecord,
+        EntrantTiming, GraphId, LoadReport, MetricsExporter, MultiEngine, MultiEngineConfig,
+        PersistError, Priority, QueryRequest, QueryTicket, RaceStrategy, RouteError, SaveReport,
+        ServePath, SlowQuery, Submit, SubmitError, TelemetryConfig, TraceEvent, TraceRecord,
     };
     pub use psi_ftv::{GgsxIndex, GrapesIndex, GraphDb};
     pub use psi_graph::{Graph, GraphBuilder, LabelStats, Permutation};
