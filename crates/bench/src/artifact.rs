@@ -48,7 +48,13 @@ use std::time::{Duration, Instant};
 ///     `wal_replay_us`; the top-K registry now races under a wall-clock
 ///     timeout with an early stage deadline so `escalation_rate` is
 ///     exercised (nonzero) instead of sitting at 0.000.
-pub const SCHEMA_VERSION: f64 = 7.0;
+/// v8: added `ingest_qps` (query throughput while concurrent writers
+///     stream additive `GraphUpdate` batches into the served graph —
+///     reads through the delta overlay under constant cache
+///     invalidation and epoch swaps, gated) plus the informational
+///     trail column `compaction_us` (total time folding overlays into
+///     new epochs during the ingest run).
+pub const SCHEMA_VERSION: f64 = 8.0;
 
 /// The headline serving metrics CI tracks over time.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +146,19 @@ pub struct EngineBenchMetrics {
     /// Time `load_graph` spent replaying the WAL tail into the
     /// predictor, microseconds (v7, informational).
     pub wal_replay_us: f64,
+    /// Live-graph serving throughput (v8): queries/second answered
+    /// while concurrent writer threads stream additive `GraphUpdate`
+    /// batches into the same graph — every read probes the delta
+    /// overlay, every write clears the cache partition, and background
+    /// epoch swaps land mid-stream. The headline comparison is
+    /// `ingest_qps` vs `multi_qps`: mutation must not collapse read
+    /// throughput (the acceptance floor is half of static multi-graph
+    /// throughput). Higher is better.
+    pub ingest_qps: f64,
+    /// Total time the ingest run spent folding delta overlays into new
+    /// epochs (CSR rebuild + index rebuild + swap), microseconds (v8,
+    /// informational — it measures overlay size as much as code).
+    pub compaction_us: f64,
 }
 
 /// One metric's comparison direction in the regression gate.
@@ -175,6 +194,8 @@ impl EngineBenchMetrics {
             ("cold_start_speedup", self.cold_start_speedup, Direction::HigherIsBetter),
             ("snapshot_bytes", self.snapshot_bytes, Direction::Informational),
             ("wal_replay_us", self.wal_replay_us, Direction::Informational),
+            ("ingest_qps", self.ingest_qps, Direction::HigherIsBetter),
+            ("compaction_us", self.compaction_us, Direction::Informational),
         ]
     }
 
@@ -231,6 +252,8 @@ impl EngineBenchMetrics {
             cold_start_speedup: get("cold_start_speedup")?,
             snapshot_bytes: get("snapshot_bytes")?,
             wal_replay_us: get("wal_replay_us")?,
+            ingest_qps: get("ingest_qps")?,
+            compaction_us: get("compaction_us")?,
         })
     }
 }
@@ -638,6 +661,53 @@ pub fn measure() -> EngineBenchMetrics {
     let wal_replay_us = loaded.wal_replay_us as f64;
     let _ = std::fs::remove_dir_all(&persist_dir);
 
+    // --- Streaming ingest (v8): the live-graph subsystem under load.
+    // A query fleet (4 clients, decision races, warm cache allowed —
+    // mutations keep clearing it) reads one registered graph while two
+    // writer threads stream additive GraphUpdate batches through the
+    // same fair admission gate; a low compact threshold forces
+    // background epoch swaps to land mid-stream. Best of two passes,
+    // each against a fresh registry so replayed batches never conflict.
+    // Every answer is checked: mutations are additive, so a conclusive
+    // "not found" would be a serving bug, not noise. ---
+    let ingest_spec = psi_workload::StreamingSpec::default();
+    let ingest_workload = psi_workload::StreamingWorkload::generate(&ingest_spec, 2024);
+    let mut ingest_qps = 0.0f64;
+    let mut compaction_us = 0.0f64;
+    for _ in 0..2 {
+        let ingest_multi = MultiEngine::new(MultiEngineConfig {
+            workers: 4,
+            max_concurrent_races: 8,
+            tenant: EngineConfig {
+                cache_capacity: 4096,
+                predictor_confidence: 2.0,
+                default_budget: RaceBudget::decision(),
+                // Well under the ~64 ops the writers stream: background
+                // compactions must really land while queries are racing.
+                compact_threshold: 24,
+                ..EngineConfig::default()
+            },
+        });
+        let ingest_id = ingest_multi
+            .register(
+                "live",
+                PsiRunner::new(
+                    Arc::new(ingest_workload.stored.clone()),
+                    PsiConfig::gql_spa_orig_dnd(),
+                ),
+            )
+            .expect("unique name");
+        let report =
+            psi_workload::run_streaming_ingest(&ingest_multi, ingest_id, &ingest_workload, 4);
+        assert_eq!(report.wrong_answers, 0, "additive ingest must not lose answers");
+        assert_eq!(report.update_failures, 0, "generated batches never conflict");
+        assert!(report.final_epoch >= 1, "the ingest run must swap at least one epoch");
+        if report.ingest_qps > ingest_qps {
+            ingest_qps = report.ingest_qps;
+            compaction_us = report.compaction_us as f64;
+        }
+    }
+
     let escalation_rate = topk_multi.stats().escalation_rate;
     assert!(escalation_rate > 0.0, "the top-K bench must exercise staged escalation (rate was 0)");
 
@@ -659,6 +729,8 @@ pub fn measure() -> EngineBenchMetrics {
         cold_start_speedup,
         snapshot_bytes,
         wal_replay_us,
+        ingest_qps,
+        compaction_us,
     }
 }
 
@@ -685,6 +757,8 @@ mod tests {
             cold_start_speedup: 12.0,
             snapshot_bytes: 250_000.0,
             wal_replay_us: 80.0,
+            ingest_qps: 600.0,
+            compaction_us: 3_000.0,
         }
     }
 
@@ -745,6 +819,8 @@ mod tests {
             cold_start_speedup: 200.0,
             snapshot_bytes: 250_000.0,
             wal_replay_us: 80.0,
+            ingest_qps: 8_000.0,
+            compaction_us: 3_000.0,
         };
         assert!(check_regressions(&better, &base, 0.30).is_empty());
     }
@@ -770,6 +846,7 @@ mod tests {
             edge_probes_binary: 5_000_000.0,
             snapshot_bytes: 9_000_000.0,
             wal_replay_us: 40_000.0,
+            compaction_us: 900_000.0,
             ..base.clone()
         };
         assert!(check_regressions(&wild, &base, 0.30).is_empty());
@@ -794,6 +871,17 @@ mod tests {
         let names: Vec<_> =
             check_regressions(&worse, &base, 0.30).iter().map(|r| r.metric).collect();
         assert_eq!(names, vec!["indexed_speedup"]);
+    }
+
+    #[test]
+    fn ingest_qps_regressions_are_gated() {
+        let base = sample();
+        // Live-graph reads collapsing under mutation (a lost overlay
+        // fast path, a serialized writer) trips the gate.
+        let worse = EngineBenchMetrics { ingest_qps: 200.0, ..base.clone() };
+        let names: Vec<_> =
+            check_regressions(&worse, &base, 0.30).iter().map(|r| r.metric).collect();
+        assert_eq!(names, vec!["ingest_qps"]);
     }
 
     #[test]

@@ -25,16 +25,17 @@ use crate::artifact::parse_flat_json;
 /// and the `indexed_speedup` / `telemetry_overhead` /
 /// `cold_start_speedup` ratios (up is good for all of them), plus the
 /// informational columns — index build cost, the adjacency-probe split
-/// (v5), snapshot size and WAL replay cost (v7) — which trend with
-/// workload shape rather than gate. Artifacts predating a metric (older
-/// schema versions) show `—` in its column instead of failing the whole
-/// trail.
-pub const TRAIL_METRICS: [&str; 13] = [
+/// (v5), snapshot size and WAL replay cost (v7), overlay compaction
+/// cost (v8) — which trend with workload shape rather than gate.
+/// Artifacts predating a metric (older schema versions) show `—` in its
+/// column instead of failing the whole trail.
+pub const TRAIL_METRICS: [&str; 15] = [
     "qps",
     "multi_qps",
     "topk_qps",
     "async_qps",
     "net_qps",
+    "ingest_qps",
     "indexed_speedup",
     "telemetry_overhead",
     "cold_start_speedup",
@@ -43,6 +44,7 @@ pub const TRAIL_METRICS: [&str; 13] = [
     "edge_probes_binary",
     "snapshot_bytes",
     "wal_replay_us",
+    "compaction_us",
 ];
 
 /// One parsed artifact in the trail.
@@ -195,6 +197,8 @@ mod tests {
             cold_start_speedup: qps / 100.0,
             snapshot_bytes: 250_000.0,
             wal_replay_us: 80.0,
+            ingest_qps: qps * 0.6,
+            compaction_us: 3_000.0,
         };
         metrics.to_json_stamped(&[
             ("commit".to_string(), commit.to_string()),

@@ -41,5 +41,8 @@ pub mod race;
 
 pub use config::{PsiConfig, Variant};
 pub use ftv::PsiFtvRunner;
-pub use nfv::{PreparedEntrant, PsiRunner};
+pub use nfv::{Compaction, PreparedEntrant, PsiRunner};
+pub use psi_delta::{
+    DeltaOverlay, GraphUpdate, GraphView, PinnedView, UpdateError, UpdateOp, TOMBSTONE_LABEL,
+};
 pub use race::{race, PsiOutcome, RaceBudget, RaceObserver, RaceState, VariantResult};

@@ -7,24 +7,78 @@
 
 use crate::config::{PsiConfig, Variant};
 use crate::race::{race, PsiOutcome, RaceBudget};
-use psi_graph::{Graph, LabelStats, TargetIndex};
+use psi_delta::{DeltaOverlay, GraphUpdate, GraphView, PinnedView, UpdateError, UpdateOp};
+use psi_graph::{Graph, LabelStats, NodeId, TargetIndex};
 use psi_matchers::{Algorithm, MatchResult, Matcher, SearchBudget};
 use psi_rewrite::{embedding_for_original, Rewriting};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Prepared matcher per algorithm, shared by every entrant of a race.
+type MatcherSet = HashMap<Algorithm, Arc<dyn Matcher>>;
 
 /// The Ψ-framework runner for a single stored graph (NFV setting).
+///
+/// The runner is **live**: [`PsiRunner::apply_update`] lands mutation
+/// batches in a per-runner delta overlay, every race prepared afterwards
+/// probes base + overlay through a pinned [`GraphView`], and
+/// [`PsiRunner::compact`] folds a grown overlay into a fresh CSR +
+/// rebuilt index under a new epoch. In-flight races hold `Arc` pins to
+/// the epoch they started on, so neither updates nor compaction ever
+/// pause or invalidate them.
 pub struct PsiRunner {
     stored: Arc<Graph>,
     stats: LabelStats,
-    /// The shared per-graph [`TargetIndex`]: built exactly once here and
-    /// handed (as an `Arc`) to every prepared matcher, so every entrant
-    /// of every race probes the same label/degree/signature/adjacency
-    /// structures. `None` for legacy scan-mode runners (the seed
-    /// behavior kept for the `indexed_speedup` comparison).
+    /// The shared per-graph [`TargetIndex`] of the *registration* epoch:
+    /// built exactly once here and handed (as an `Arc`) to every prepared
+    /// matcher, so every entrant of every race probes the same
+    /// label/degree/signature/adjacency structures. `None` for legacy
+    /// scan-mode runners (the seed behavior kept for the
+    /// `indexed_speedup` comparison).
     index: Option<Arc<TargetIndex>>,
     matchers: HashMap<Algorithm, Arc<dyn Matcher>>,
     config: PsiConfig,
+    live: RwLock<Live>,
+}
+
+/// The mutable serving state: everything a race pins when prepared.
+struct Live {
+    base: Arc<Graph>,
+    index: Option<Arc<TargetIndex>>,
+    matchers: Arc<HashMap<Algorithm, Arc<dyn Matcher>>>,
+    stats: Arc<LabelStats>,
+    overlay: Option<Arc<DeltaOverlay>>,
+    /// Cumulative ops since the last compaction, in application order.
+    ops: Vec<UpdateOp>,
+    epoch: u64,
+}
+
+/// What one [`PsiRunner::compact`] run did.
+#[derive(Debug, Clone, Copy)]
+pub struct Compaction {
+    /// The epoch the compacted state was installed as.
+    pub epoch: u64,
+    /// Number of overlay ops folded into the new base CSR.
+    pub folded_ops: usize,
+    /// Wall-clock time spent materializing + rebuilding off-lock.
+    pub duration: Duration,
+}
+
+/// Label statistics of the live view: tombstones (and overlay-removed
+/// nodes) excluded, overlay-added nodes included.
+fn live_label_stats(base: &Graph, overlay: Option<&DeltaOverlay>) -> LabelStats {
+    let view = GraphView::of_graph(base).with_overlay(overlay);
+    let mut s = LabelStats::new();
+    for v in 0..view.node_count() as NodeId {
+        if view.is_live(v) {
+            let l = view.label(v);
+            if l != psi_delta::TOMBSTONE_LABEL {
+                s.add_label(l);
+            }
+        }
+    }
+    s
 }
 
 impl PsiRunner {
@@ -33,12 +87,33 @@ impl PsiRunner {
     pub fn new(stored: Arc<Graph>, config: PsiConfig) -> Self {
         let stats = LabelStats::from_graph(&stored);
         let index = Arc::new(TargetIndex::build(Arc::clone(&stored)));
-        let matchers = config
+        let matchers: HashMap<Algorithm, Arc<dyn Matcher>> = config
             .algorithms_used()
             .into_iter()
             .map(|a| (a, a.prepare_indexed(Arc::clone(&index))))
             .collect();
-        Self { stored, stats, index: Some(index), matchers, config }
+        Self::assemble(stored, stats, Some(index), matchers, config)
+    }
+
+    /// Wires the registration-epoch parts into a runner whose live state
+    /// starts as epoch 0 with no overlay.
+    fn assemble(
+        stored: Arc<Graph>,
+        stats: LabelStats,
+        index: Option<Arc<TargetIndex>>,
+        matchers: HashMap<Algorithm, Arc<dyn Matcher>>,
+        config: PsiConfig,
+    ) -> Self {
+        let live = Live {
+            base: Arc::clone(&stored),
+            index: index.clone(),
+            matchers: Arc::new(matchers.clone()),
+            stats: Arc::new(stats.clone()),
+            overlay: None,
+            ops: Vec::new(),
+            epoch: 0,
+        };
+        Self { stored, stats, index, matchers, config, live: RwLock::new(live) }
     }
 
     /// Like [`PsiRunner::new`], but over an **already-built**
@@ -61,12 +136,12 @@ impl PsiRunner {
             "prebuilt index does not match the stored graph"
         );
         let stats = LabelStats::from_graph(&stored);
-        let matchers = config
+        let matchers: HashMap<Algorithm, Arc<dyn Matcher>> = config
             .algorithms_used()
             .into_iter()
             .map(|a| (a, a.prepare_indexed(Arc::clone(&index))))
             .collect();
-        Self { stored, stats, index: Some(index), matchers, config }
+        Self::assemble(stored, stats, Some(index), matchers, config)
     }
 
     /// Prepares all algorithms in **legacy scan mode** — the seed,
@@ -80,12 +155,12 @@ impl PsiRunner {
         // they ignore its derived structures wherever the seed rescanned,
         // but there is no reason to build the shared state per algorithm.
         let index = Arc::new(TargetIndex::build_without_bitset(Arc::clone(&stored)));
-        let matchers = config
+        let matchers: HashMap<Algorithm, Arc<dyn Matcher>> = config
             .algorithms_used()
             .into_iter()
             .map(|a| (a, a.prepare_legacy_shared(Arc::clone(&index))))
             .collect();
-        Self { stored, stats, index: None, matchers, config }
+        Self::assemble(stored, stats, None, matchers, config)
     }
 
     /// The paper's §8 NFV default: GraphQL ∥ sPath on the original query.
@@ -113,18 +188,148 @@ impl PsiRunner {
                 None => a.prepare_legacy(Arc::clone(&self.stored)),
             });
         }
-        Self {
-            stored: Arc::clone(&self.stored),
-            stats: self.stats.clone(),
-            index: self.index.clone(),
+        Self::assemble(
+            Arc::clone(&self.stored),
+            self.stats.clone(),
+            self.index.clone(),
             matchers,
             config,
+        )
+    }
+
+    /// The stored graph **as registered** (epoch 0). Live mutations do
+    /// not touch this handle; see [`PsiRunner::materialized`] for the
+    /// current contents.
+    pub fn stored(&self) -> &Arc<Graph> {
+        &self.stored
+    }
+
+    /// The current epoch: 0 at registration, bumped by every
+    /// [`PsiRunner::compact`] that folds outstanding ops.
+    pub fn epoch(&self) -> u64 {
+        self.live.read().unwrap().epoch
+    }
+
+    /// Number of overlay ops applied since the last compaction.
+    pub fn pending_ops(&self) -> usize {
+        self.live.read().unwrap().ops.len()
+    }
+
+    /// Pins the current epoch's state (base, index, overlay) for a race.
+    /// The pin keeps its epoch alive via `Arc`s no matter how many
+    /// updates or compactions land after it is taken.
+    pub fn pinned(&self) -> PinnedView {
+        let live = self.live.read().unwrap();
+        PinnedView::new(
+            Arc::clone(&live.base),
+            live.index.clone(),
+            live.overlay.clone(),
+            live.index.is_some(),
+            live.epoch,
+        )
+    }
+
+    /// The current epoch's base CSR (overlay **not** applied).
+    pub fn live_graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.live.read().unwrap().base)
+    }
+
+    /// The current epoch's shared index (`None` for scan-mode runners).
+    pub fn live_index(&self) -> Option<Arc<TargetIndex>> {
+        self.live.read().unwrap().index.clone()
+    }
+
+    /// The current live contents as a standalone graph: the epoch base
+    /// with any outstanding overlay folded in (tombstones kept as
+    /// isolated [`psi_delta::TOMBSTONE_LABEL`] nodes so IDs are stable).
+    pub fn materialized(&self) -> Arc<Graph> {
+        let live = self.live.read().unwrap();
+        match &live.overlay {
+            None => Arc::clone(&live.base),
+            Some(o) => Arc::new(o.materialize(&live.base)),
         }
     }
 
-    /// The stored graph.
-    pub fn stored(&self) -> &Arc<Graph> {
-        &self.stored
+    /// Applies one mutation batch to the live view. The batch is
+    /// validated against the current base + overlay and lands atomically:
+    /// on `Ok` the returned epoch's view (and every race prepared from
+    /// now on) reflects it; on `Err` the graph is untouched.
+    ///
+    /// Races already in flight keep their pinned state and never observe
+    /// the update — the paper's immutable-CSR serving discipline, kept
+    /// per epoch.
+    pub fn apply_update(&self, update: &GraphUpdate) -> Result<u64, UpdateError> {
+        let mut live = self.live.write().unwrap();
+        if update.ops.is_empty() {
+            return Ok(live.epoch);
+        }
+        let mut ops = live.ops.clone();
+        ops.extend_from_slice(&update.ops);
+        let overlay = DeltaOverlay::build(&live.base, live.index.as_deref(), &ops)?;
+        live.stats = Arc::new(live_label_stats(&live.base, Some(&overlay)));
+        live.overlay = Some(Arc::new(overlay));
+        live.ops = ops;
+        Ok(live.epoch)
+    }
+
+    /// Folds the outstanding overlay into a fresh CSR, rebuilds the
+    /// shared index and every configured matcher over it, and installs
+    /// the result as a new epoch. Materialization and index/matcher
+    /// rebuilds run **off-lock**, so queries and updates keep flowing;
+    /// ops that land while the rebuild runs survive as the new epoch's
+    /// (small) overlay.
+    ///
+    /// Returns `None` when there was nothing to fold, or when a
+    /// concurrent compaction installed a newer epoch first.
+    pub fn compact(&self) -> Option<Compaction> {
+        let (base, overlay, folded_ops, epoch, accel) = {
+            let live = self.live.read().unwrap();
+            let overlay = live.overlay.clone()?;
+            (Arc::clone(&live.base), overlay, live.ops.len(), live.epoch, live.index.is_some())
+        };
+        let started = Instant::now();
+        let new_base = Arc::new(overlay.materialize(&base));
+        let algorithms = self.config.algorithms_used();
+        let (index, matchers): (Option<Arc<TargetIndex>>, MatcherSet) = if accel {
+            let ix = Arc::new(TargetIndex::build(Arc::clone(&new_base)));
+            let m =
+                algorithms.into_iter().map(|a| (a, a.prepare_indexed(Arc::clone(&ix)))).collect();
+            (Some(ix), m)
+        } else {
+            let ix = Arc::new(TargetIndex::build_without_bitset(Arc::clone(&new_base)));
+            let m = algorithms
+                .into_iter()
+                .map(|a| (a, a.prepare_legacy_shared(Arc::clone(&ix))))
+                .collect();
+            (None, m)
+        };
+        let duration = started.elapsed();
+
+        let mut live = self.live.write().unwrap();
+        if live.epoch != epoch {
+            // A concurrent compaction won; its epoch already folded our ops.
+            return None;
+        }
+        // Ops that landed during the rebuild become the new epoch's
+        // overlay — valid as-is because materialization preserves node
+        // IDs (tombstones keep theirs).
+        let tail: Vec<UpdateOp> = live.ops[folded_ops..].to_vec();
+        let overlay = if tail.is_empty() {
+            None
+        } else {
+            Some(Arc::new(
+                DeltaOverlay::build(&new_base, index.as_deref(), &tail)
+                    .expect("tail ops were validated when applied and IDs are stable"),
+            ))
+        };
+        live.stats = Arc::new(live_label_stats(&new_base, overlay.as_deref()));
+        live.base = new_base;
+        live.index = index;
+        live.matchers = Arc::new(matchers);
+        live.overlay = overlay;
+        live.ops = tail;
+        live.epoch = epoch + 1;
+        Some(Compaction { epoch: live.epoch, folded_ops, duration })
     }
 
     /// The shared per-graph [`TargetIndex`], built once at construction
@@ -134,9 +339,17 @@ impl PsiRunner {
         self.index.as_ref()
     }
 
-    /// Label statistics of the stored graph (drives the ILF rewritings).
+    /// Label statistics of the stored graph **as registered** (drives the
+    /// ILF rewritings; see [`PsiRunner::live_stats`] for the mutated
+    /// view's statistics).
     pub fn label_stats(&self) -> &LabelStats {
         &self.stats
+    }
+
+    /// Label statistics of the current live view: recomputed on every
+    /// applied update and compaction, tombstones excluded.
+    pub fn live_stats(&self) -> Arc<LabelStats> {
+        Arc::clone(&self.live.read().unwrap().stats)
     }
 
     /// The configured variant set.
@@ -161,10 +374,25 @@ impl PsiRunner {
         variant: Variant,
         budget: &SearchBudget,
     ) -> MatchResult {
-        let matcher = self.matcher(variant.algorithm);
-        let perm = variant.rewriting.permutation(query, &self.stats);
+        let (pin, stats, matcher) = {
+            let live = self.live.read().unwrap();
+            let pin = PinnedView::new(
+                Arc::clone(&live.base),
+                live.index.clone(),
+                live.overlay.clone(),
+                live.index.is_some(),
+                live.epoch,
+            );
+            let matcher = Arc::clone(
+                live.matchers
+                    .get(&variant.algorithm)
+                    .expect("algorithm not prepared for this runner"),
+            );
+            (pin, Arc::clone(&live.stats), matcher)
+        };
+        let perm = variant.rewriting.permutation(query, &stats);
         let rewritten = perm.apply_to(query);
-        let mut result = matcher.search(&rewritten, budget);
+        let mut result = matcher.search_view(&rewritten, pin.as_view(), budget);
         for emb in &mut result.embeddings {
             *emb = embedding_for_original(emb, &perm);
         }
@@ -177,10 +405,21 @@ impl PsiRunner {
     /// so it can run on any thread — a scoped racing thread here, or a
     /// pooled worker in `psi-engine`.
     pub fn prepare_entrants(&self, query: &Graph) -> Vec<PreparedEntrant> {
+        let (pin, stats, matchers) = {
+            let live = self.live.read().unwrap();
+            let pin = PinnedView::new(
+                Arc::clone(&live.base),
+                live.index.clone(),
+                live.overlay.clone(),
+                live.index.is_some(),
+                live.epoch,
+            );
+            (pin, Arc::clone(&live.stats), Arc::clone(&live.matchers))
+        };
         let mut perms: HashMap<Rewriting, Arc<(Graph, psi_graph::Permutation)>> = HashMap::new();
         for v in &self.config.variants {
             perms.entry(v.rewriting).or_insert_with(|| {
-                let p = v.rewriting.permutation(query, &self.stats);
+                let p = v.rewriting.permutation(query, &stats);
                 Arc::new((p.apply_to(query), p))
             });
         }
@@ -189,8 +428,11 @@ impl PsiRunner {
             .iter()
             .map(|&v| PreparedEntrant {
                 variant: v,
-                matcher: Arc::clone(self.matcher(v.algorithm)),
+                matcher: Arc::clone(
+                    matchers.get(&v.algorithm).expect("algorithm not prepared for this runner"),
+                ),
                 prepared: Arc::clone(&perms[&v.rewriting]),
+                pin: pin.clone(),
             })
             .collect()
     }
@@ -218,17 +460,31 @@ pub struct PreparedEntrant {
     pub variant: Variant,
     matcher: Arc<dyn Matcher>,
     prepared: Arc<(Graph, psi_graph::Permutation)>,
+    /// The epoch state this entrant was prepared against. Holding the
+    /// `Arc`s here is what pins an in-flight race to its start epoch
+    /// while updates and compactions land concurrently.
+    pin: PinnedView,
 }
 
 impl PreparedEntrant {
     /// Runs the search under `budget`; embeddings come back in the
     /// **original** query's node numbering.
     pub fn execute(&self, budget: &SearchBudget) -> MatchResult {
-        let mut result = self.matcher.search(&self.prepared.0, budget);
+        let mut result = self.matcher.search_view(&self.prepared.0, self.pin.as_view(), budget);
         for emb in &mut result.embeddings {
             *emb = embedding_for_original(emb, &self.prepared.1);
         }
         result
+    }
+
+    /// The epoch this entrant is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.pin.epoch()
+    }
+
+    /// The pinned epoch state (base graph, index, overlay).
+    pub fn pin(&self) -> &PinnedView {
+        &self.pin
     }
 }
 

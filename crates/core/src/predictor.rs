@@ -159,6 +159,12 @@ pub struct VariantPredictor {
     observed: usize,
     /// Per-entrant lifetime tallies, indexed by variant index.
     tallies: Vec<EntrantTally>,
+    /// Graph-epoch stamp of the learned state: bumped when the stored
+    /// graph the samples were observed against is compacted into a new
+    /// epoch. Ranking quality degrades gracefully across epochs (the
+    /// evidence is advisory, never a soundness input), so the samples
+    /// are kept — the stamp lets observers tell how stale they are.
+    version: u64,
     k: usize,
     window: usize,
 }
@@ -175,7 +181,32 @@ impl VariantPredictor {
     pub fn with_window(k: usize, window: usize) -> Self {
         assert!(k >= 1, "k must be positive");
         assert!(window >= 1, "window must be positive");
-        Self { samples: Vec::new(), next: 0, observed: 0, tallies: Vec::new(), k, window }
+        Self {
+            samples: Vec::new(),
+            next: 0,
+            observed: 0,
+            tallies: Vec::new(),
+            version: 0,
+            k,
+            window,
+        }
+    }
+
+    /// The learned state's graph-epoch stamp: how many times the stored
+    /// graph has been compacted under this predictor. 0 for a predictor
+    /// that has only ever seen one graph epoch.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Stamps the learned state as belonging to a newer graph epoch —
+    /// called when a compaction swaps the stored graph out from under
+    /// the training set. Samples and tallies survive (their evidence is
+    /// advisory, not answer-bearing: a stale ranking costs latency,
+    /// never correctness), but the stamp records that they were trained
+    /// against earlier epochs.
+    pub fn bump_version(&mut self) {
+        self.version += 1;
     }
 
     /// Records that `winner` (a variant index) won the race for a query
@@ -556,6 +587,17 @@ mod tests {
             "only the most recent `window` samples are kept"
         );
         assert_eq!(small.observations(), 6);
+    }
+
+    #[test]
+    fn version_bump_keeps_samples_and_stamps_epoch() {
+        let mut p = VariantPredictor::new(1);
+        assert_eq!(p.version(), 0);
+        p.observe(path_query(), 0);
+        p.bump_version();
+        p.bump_version();
+        assert_eq!(p.version(), 2);
+        assert_eq!(p.predict(&path_query()), Some(0), "samples survive the bump");
     }
 
     #[test]

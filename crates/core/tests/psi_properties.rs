@@ -1,10 +1,12 @@
 //! Property tests for the Ψ core: race answers equal solo answers, the
-//! winner is always conclusive, and the predictor never panics on
-//! arbitrary feature mixes.
+//! winner is always conclusive, the predictor never panics on arbitrary
+//! feature mixes, and live-graph serving (delta overlays, epoch pins,
+//! compaction) answers exactly like a from-scratch build of the mutated
+//! graph.
 
 use proptest::prelude::*;
 use psi_core::predictor::{QueryFeatures, VariantPredictor};
-use psi_core::{PsiConfig, PsiRunner, RaceBudget, Variant};
+use psi_core::{GraphUpdate, PsiConfig, PsiRunner, RaceBudget, UpdateOp, Variant};
 use psi_graph::generate::{random_connected_graph, LabelDist};
 use psi_graph::{Graph, LabelStats};
 use psi_matchers::{bruteforce, Algorithm, SearchBudget};
@@ -97,5 +99,121 @@ proptest! {
         }
         let pred = p.predict(&f).expect("trained predictor answers");
         prop_assert!(winners.contains(&pred), "prediction must be an observed variant");
+    }
+
+    /// Overlay-vs-materialized equivalence: a runner serving through a
+    /// delta overlay (random adds *and* removals, never compacted)
+    /// answers exactly like a fresh runner built from the materialized
+    /// mutated graph — same decision, same match count under a cap.
+    #[test]
+    fn prop_overlay_matches_materialized(seed in 0u64..20_000, cap in 1usize..30) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD1F7);
+        let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+        let target = random_connected_graph(16, 30, &labels, &mut rng);
+        let n = target.node_count() as u32;
+        let live = PsiRunner::new(Arc::new(target), PsiConfig::gql_spa_orig());
+
+        // A random mutation stream, validated by attempt-and-keep: an
+        // op the current view rejects (duplicate edge, unknown node,
+        // removed endpoint) is simply skipped, so every kept op is a
+        // *valid* mutation of the evolving view.
+        use rand::Rng;
+        let mut added_nodes = 0u32;
+        for _ in 0..24 {
+            let hi = n + added_nodes;
+            let op = match rng.random_range(0..4u8) {
+                0 => { added_nodes += 1; UpdateOp::AddNode { label: rng.random_range(0..3) } }
+                1 => UpdateOp::AddEdge {
+                    u: rng.random_range(0..hi),
+                    v: rng.random_range(0..hi),
+                    label: None,
+                },
+                2 => UpdateOp::RemoveEdge {
+                    u: rng.random_range(0..hi),
+                    v: rng.random_range(0..hi),
+                },
+                _ => UpdateOp::RemoveNode { node: rng.random_range(0..hi) },
+            };
+            let _ = live.apply_update(&GraphUpdate::new(vec![op]));
+        }
+        prop_assert!(live.pending_ops() > 0, "some ops must have applied");
+        prop_assert_eq!(live.epoch(), 0, "never compacted: pure overlay serving");
+
+        let flat = PsiRunner::new(live.materialized(), PsiConfig::gql_spa_orig());
+        let query = random_connected_graph(4, 5, &labels, &mut rng);
+        let via_overlay = live.race(&query, RaceBudget::with_max_matches(cap));
+        let via_flat = flat.race(&query, RaceBudget::with_max_matches(cap));
+        prop_assert_eq!(via_overlay.found(), via_flat.found());
+        prop_assert_eq!(via_overlay.num_matches(), via_flat.num_matches());
+    }
+
+    /// Epoch pinning under concurrent mutation: a race launched at
+    /// epoch N returns embeddings valid against epoch N's view even as
+    /// additive updates and compactions land mid-race. Additive updates
+    /// keep every epoch's view a subgraph of the final one, so validity
+    /// is checked against the final materialized graph — and the
+    /// decision itself is monotone (a query embedding at launch still
+    /// embeds after every swap).
+    #[test]
+    fn prop_pinned_race_survives_mid_race_compaction(seed in 0u64..20_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xE9);
+        let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+        let target = random_connected_graph(24, 50, &labels, &mut rng);
+        let n = target.node_count() as u32;
+        let query = random_connected_graph(4, 5, &labels, &mut rng);
+        use psi_matchers::bruteforce;
+        let truth = bruteforce::contains(&query, &target);
+        let live = PsiRunner::new(Arc::new(target), PsiConfig::gql_spa_orig());
+
+        let outcome = std::thread::scope(|scope| {
+            let racer = scope.spawn(|| live.race(&query, RaceBudget::matching()));
+            // Mutations + epoch swaps racing the query: fresh nodes
+            // wired into existing ones, compacted every few batches.
+            for i in 0..12u32 {
+                let new = n + i;
+                live.apply_update(&GraphUpdate::new(vec![
+                    UpdateOp::AddNode { label: i % 3 },
+                    UpdateOp::AddEdge { u: i % n, v: new, label: None },
+                ]))
+                .expect("additive batches always apply");
+                if i % 3 == 2 {
+                    live.compact();
+                }
+            }
+            racer.join().expect("racing thread")
+        });
+        let _ = live.compact();
+        prop_assert!(live.epoch() >= 1, "swaps must have landed");
+
+        // The race is conclusive on these tiny inputs and must agree
+        // with ground truth at its pinned epoch; additive mutations
+        // never flip an existing embedding, so truth-at-launch equals
+        // truth at every later epoch the race could have pinned.
+        prop_assert!(outcome.is_conclusive());
+        if truth {
+            prop_assert!(outcome.found());
+        }
+        // Every returned embedding must be valid against the final
+        // view: labels match and every query edge maps to a live edge.
+        let final_view = live.materialized();
+        let winner = outcome.winner();
+        if let Some(w) = winner {
+            for emb in &w.result.embeddings {
+                prop_assert_eq!(emb.len(), query.node_count());
+                for (q, &t) in emb.iter().enumerate() {
+                    prop_assert_eq!(query.label(q as u32), final_view.label(t));
+                }
+                for qu in 0..query.node_count() as u32 {
+                    for &qv in query.neighbors(qu) {
+                        if qu < qv {
+                            prop_assert!(
+                                final_view.has_edge(emb[qu as usize], emb[qv as usize]),
+                                "query edge ({qu},{qv}) must map to a live edge"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

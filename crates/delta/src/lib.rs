@@ -1,0 +1,31 @@
+//! # psi-delta — live-graph mutations for the Ψ-framework
+//!
+//! Everything below the serving layer treats a stored graph as immutable:
+//! the CSR and its [`psi_graph::TargetIndex`] are built at registration
+//! and shared read-only by racing matchers. This crate adds the mutation
+//! layer on top of that contract instead of breaking it:
+//!
+//! - [`GraphUpdate`] / [`UpdateOp`] — validated, atomically-applied
+//!   mutation batches with a stable byte encoding (WAL records, wire
+//!   frames).
+//! - [`DeltaOverlay`] — the accumulated effect of every batch since the
+//!   last compaction: final adjacency + labels + signatures for each
+//!   *touched* node, merged candidate lists for each touched label.
+//!   Immutable once built; applying a batch swaps in a new overlay.
+//! - [`GraphView`] / [`PinnedView`] — the unified read surface matchers
+//!   probe instead of raw `Graph` + index: overlay for touched state,
+//!   base structures for everything else, `Arc`-pinned per race so
+//!   compactions never move state under an in-flight search.
+//!
+//! Compaction is [`DeltaOverlay::materialize`]: fold base + overlay into
+//! a fresh CSR (node IDs preserved — removed nodes become isolated
+//! [`TOMBSTONE_LABEL`] tombstones), rebuild the index, and publish the
+//! pair as the next *epoch*.
+
+pub mod overlay;
+pub mod update;
+pub mod view;
+
+pub use overlay::DeltaOverlay;
+pub use update::{GraphUpdate, UpdateError, UpdateOp, TOMBSTONE_LABEL};
+pub use view::{GraphView, PinnedView};

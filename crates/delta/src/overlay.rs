@@ -1,0 +1,488 @@
+//! The delta overlay: accumulated mutations over an immutable base CSR.
+//!
+//! A [`DeltaOverlay`] is built by replaying the cumulative [`UpdateOp`]
+//! stream (since the last compaction) against the base graph. It stores,
+//! for every **touched** node — any node that gained or lost an incident
+//! edge, was added, or was removed — the node's *final* merged adjacency,
+//! aligned edge labels, and recomputed label signature/mask; untouched
+//! nodes keep answering straight from the base CSR and [`TargetIndex`].
+//! Because every edge mutation touches both endpoints, a node being
+//! untouched guarantees its base adjacency (and therefore its signature)
+//! is still exact, which is what makes the overlay probe path sound.
+//!
+//! The overlay is immutable once built: appending a batch builds a *new*
+//! overlay from the extended op stream and swaps it in behind an `Arc`,
+//! so in-flight races keep probing the overlay they pinned at submit.
+//!
+//! [`DeltaOverlay::materialize`] folds base + overlay into a fresh CSR,
+//! preserving node IDs exactly: removed nodes stay as isolated
+//! [`TOMBSTONE_LABEL`] nodes, added nodes keep their appended IDs. This is
+//! the compaction step — the materialized graph plus a rebuilt index form
+//! the next epoch, and op streams recorded against the old view remain
+//! valid against it.
+
+use crate::update::{UpdateError, UpdateOp, TOMBSTONE_LABEL};
+use psi_graph::{Graph, GraphBuilder, Label, NodeId, TargetIndex};
+use std::collections::{HashMap, HashSet};
+
+/// Final state of one touched node.
+#[derive(Debug, Clone)]
+pub(crate) struct OverlayNode {
+    /// Current label ([`TOMBSTONE_LABEL`] if removed).
+    pub label: Label,
+    /// Sorted live adjacency.
+    pub neighbors: Vec<NodeId>,
+    /// Edge labels aligned with `neighbors` (all 0 when unlabeled).
+    pub edge_labels: Vec<Label>,
+    /// Sorted multiset of live neighbor labels.
+    pub signature: Vec<Label>,
+    /// 64-bit Bloom-style mask of `signature` ([`TargetIndex::mask_of`]).
+    pub mask: u64,
+}
+
+/// Accumulated, immutable mutation state over one base graph. See the
+/// module docs for the probe contract.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaOverlay {
+    base_nodes: usize,
+    /// Labels of appended nodes (IDs `base_nodes..`), as added — a later
+    /// removal tombstones the node but keeps this slot.
+    added: Vec<Label>,
+    removed: HashSet<NodeId>,
+    nodes: HashMap<NodeId, OverlayNode>,
+    /// Merged candidate lists, only for labels whose membership changed.
+    candidates: HashMap<Label, Vec<NodeId>>,
+    edge_count: usize,
+    op_count: usize,
+    edge_labeled: bool,
+}
+
+impl DeltaOverlay {
+    /// Replays `ops` (the cumulative stream since the last compaction)
+    /// against `base`, validating each op against the evolving view.
+    /// `index` (when available) seeds the merged candidate lists; without
+    /// it the base graph is scanned per touched label.
+    ///
+    /// On error nothing is returned — the caller keeps its previous
+    /// overlay, so a rejected batch never dirties the view.
+    pub fn build(
+        base: &Graph,
+        index: Option<&TargetIndex>,
+        ops: &[UpdateOp],
+    ) -> Result<Self, UpdateError> {
+        let mut b = Builder {
+            base,
+            base_nodes: base.node_count(),
+            added: Vec::new(),
+            removed: HashSet::new(),
+            adj: HashMap::new(),
+            edge_count: base.edge_count(),
+            edge_labeled: base.has_edge_labels(),
+        };
+        for &op in ops {
+            b.apply(op)?;
+        }
+        Ok(b.finish(index, ops.len()))
+    }
+
+    /// Number of nodes in the base graph this overlay was built over.
+    pub fn base_nodes(&self) -> usize {
+        self.base_nodes
+    }
+
+    /// Number of appended nodes (including later-tombstoned ones).
+    pub fn added_nodes(&self) -> usize {
+        self.added.len()
+    }
+
+    /// Number of tombstoned nodes.
+    pub fn removed_nodes(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Number of nodes with overlay-resident adjacency.
+    pub fn touched_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Live undirected edge count of the view.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Length of the op stream this overlay accumulates (compaction
+    /// thresholds key off this).
+    pub fn op_count(&self) -> usize {
+        self.op_count
+    }
+
+    /// Whether the *view* carries edge labels (base labels, or a labeled
+    /// edge added by the overlay).
+    pub fn edge_labeled(&self) -> bool {
+        self.edge_labeled
+    }
+
+    /// Whether `v` is tombstoned.
+    pub fn is_removed(&self, v: NodeId) -> bool {
+        self.removed.contains(&v)
+    }
+
+    pub(crate) fn node(&self, v: NodeId) -> Option<&OverlayNode> {
+        self.nodes.get(&v)
+    }
+
+    pub(crate) fn added_label(&self, v: NodeId) -> Label {
+        self.added[v as usize - self.base_nodes]
+    }
+
+    pub(crate) fn candidates_override(&self, label: Label) -> Option<&[NodeId]> {
+        self.candidates.get(&label).map(Vec::as_slice)
+    }
+
+    /// Folds base + overlay into a fresh CSR with identical node IDs:
+    /// removed nodes become isolated [`TOMBSTONE_LABEL`] nodes, added
+    /// nodes keep their appended IDs. Query answers over the materialized
+    /// graph equal answers over `(base, overlay)` embedding-for-embedding.
+    pub fn materialize(&self, base: &Graph) -> Graph {
+        assert_eq!(base.node_count(), self.base_nodes, "overlay built over a different base");
+        let n = self.base_nodes + self.added.len();
+        let mut gb = GraphBuilder::with_capacity(n, self.edge_count);
+        for v in 0..n as NodeId {
+            let label = match self.nodes.get(&v) {
+                Some(on) => on.label,
+                None => base.label(v),
+            };
+            gb.add_node(label);
+        }
+        for v in 0..n as NodeId {
+            match self.nodes.get(&v) {
+                Some(on) => {
+                    for (i, &w) in on.neighbors.iter().enumerate() {
+                        if v < w {
+                            let l = on.edge_labels[i];
+                            add_edge(&mut gb, v, w, l, self.edge_labeled);
+                        }
+                    }
+                }
+                None => {
+                    for &w in base.neighbors(v) {
+                        if v < w {
+                            let l = base.edge_label(v, w).unwrap_or(0);
+                            add_edge(&mut gb, v, w, l, self.edge_labeled);
+                        }
+                    }
+                }
+            }
+        }
+        gb.build().expect("overlay invariants guarantee a valid graph")
+    }
+}
+
+fn add_edge(gb: &mut GraphBuilder, u: NodeId, v: NodeId, label: Label, labeled: bool) {
+    if labeled {
+        gb.add_labeled_edge(u, v, label).expect("no self-loops in overlay");
+    } else {
+        gb.add_edge(u, v).expect("no self-loops in overlay");
+    }
+}
+
+/// Mutable replay state; collapsed into a [`DeltaOverlay`] at the end.
+struct Builder<'a> {
+    base: &'a Graph,
+    base_nodes: usize,
+    added: Vec<Label>,
+    removed: HashSet<NodeId>,
+    adj: HashMap<NodeId, (Vec<NodeId>, Vec<Label>)>,
+    edge_count: usize,
+    edge_labeled: bool,
+}
+
+impl Builder<'_> {
+    fn exists(&self, v: NodeId) -> bool {
+        (v as usize) < self.base_nodes + self.added.len()
+    }
+
+    fn check_live(&self, v: NodeId) -> Result<(), UpdateError> {
+        if !self.exists(v) {
+            return Err(UpdateError::UnknownNode(v));
+        }
+        if self.removed.contains(&v) {
+            return Err(UpdateError::RemovedNode(v));
+        }
+        Ok(())
+    }
+
+    /// Copy-on-touch: materializes `v`'s adjacency into the overlay map.
+    fn touch(&mut self, v: NodeId) -> &mut (Vec<NodeId>, Vec<Label>) {
+        let base = self.base;
+        let base_nodes = self.base_nodes;
+        self.adj.entry(v).or_insert_with(|| {
+            if (v as usize) < base_nodes {
+                let ns = base.neighbors(v).to_vec();
+                let ls = ns.iter().map(|&w| base.edge_label(v, w).unwrap_or(0)).collect();
+                (ns, ls)
+            } else {
+                (Vec::new(), Vec::new())
+            }
+        })
+    }
+
+    fn adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        match self.adj.get(&u) {
+            Some((ns, _)) => ns.binary_search(&v).is_ok(),
+            None => self.base.has_edge(u, v),
+        }
+    }
+
+    fn apply(&mut self, op: UpdateOp) -> Result<(), UpdateError> {
+        match op {
+            UpdateOp::AddNode { label } => {
+                if label == TOMBSTONE_LABEL {
+                    return Err(UpdateError::ReservedLabel);
+                }
+                let id = (self.base_nodes + self.added.len()) as NodeId;
+                self.added.push(label);
+                self.touch(id);
+            }
+            UpdateOp::RemoveNode { node } => {
+                self.check_live(node)?;
+                let neighbors = match self.adj.get(&node) {
+                    Some((ns, _)) => ns.clone(),
+                    None => self.base.neighbors(node).to_vec(),
+                };
+                for w in neighbors {
+                    let (ns, ls) = self.touch(w);
+                    let i = ns.binary_search(&node).expect("symmetric adjacency");
+                    ns.remove(i);
+                    ls.remove(i);
+                    self.edge_count -= 1;
+                }
+                let (ns, ls) = self.touch(node);
+                ns.clear();
+                ls.clear();
+                self.removed.insert(node);
+            }
+            UpdateOp::AddEdge { u, v, label } => {
+                if u == v {
+                    return Err(UpdateError::SelfLoop(u));
+                }
+                self.check_live(u)?;
+                self.check_live(v)?;
+                if self.adjacent(u, v) {
+                    return Err(UpdateError::DuplicateEdge(u, v));
+                }
+                let l = label.unwrap_or(0);
+                if label.is_some() {
+                    self.edge_labeled = true;
+                }
+                for (a, b) in [(u, v), (v, u)] {
+                    let (ns, ls) = self.touch(a);
+                    let i = ns.binary_search(&b).unwrap_err();
+                    ns.insert(i, b);
+                    ls.insert(i, l);
+                }
+                self.edge_count += 1;
+            }
+            UpdateOp::RemoveEdge { u, v } => {
+                if u == v {
+                    return Err(UpdateError::SelfLoop(u));
+                }
+                self.check_live(u)?;
+                self.check_live(v)?;
+                if !self.adjacent(u, v) {
+                    return Err(UpdateError::MissingEdge(u, v));
+                }
+                for (a, b) in [(u, v), (v, u)] {
+                    let (ns, ls) = self.touch(a);
+                    let i = ns.binary_search(&b).expect("checked adjacent");
+                    ns.remove(i);
+                    ls.remove(i);
+                }
+                self.edge_count -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, index: Option<&TargetIndex>, op_count: usize) -> DeltaOverlay {
+        let Builder { base, base_nodes, added, removed, adj, edge_count, edge_labeled } = self;
+
+        let mut nodes = HashMap::with_capacity(adj.len());
+        for (v, (neighbors, edge_labels)) in adj {
+            let label = if removed.contains(&v) {
+                TOMBSTONE_LABEL
+            } else if (v as usize) < base_nodes {
+                base.label(v)
+            } else {
+                added[v as usize - base_nodes]
+            };
+            let mut signature: Vec<Label> = neighbors
+                .iter()
+                .map(|&w| {
+                    if (w as usize) < base_nodes {
+                        base.label(w)
+                    } else {
+                        added[w as usize - base_nodes]
+                    }
+                })
+                .collect();
+            signature.sort_unstable();
+            let mask = TargetIndex::mask_of(&signature);
+            nodes.insert(v, OverlayNode { label, neighbors, edge_labels, signature, mask });
+        }
+
+        // Candidate lists change membership only for labels of added or
+        // removed nodes; merge those, leave every other label on the index.
+        let mut touched_labels: HashSet<Label> = HashSet::new();
+        for &l in &added {
+            touched_labels.insert(l);
+        }
+        for &v in &removed {
+            let l = if (v as usize) < base_nodes {
+                base.label(v)
+            } else {
+                added[v as usize - base_nodes]
+            };
+            touched_labels.insert(l);
+        }
+        let mut candidates = HashMap::with_capacity(touched_labels.len());
+        for l in touched_labels {
+            let mut list: Vec<NodeId> = match index {
+                Some(ix) => ix.candidates(l).to_vec(),
+                None => (0..base_nodes as NodeId).filter(|&v| base.label(v) == l).collect(),
+            };
+            list.retain(|v| !removed.contains(v));
+            for (i, &al) in added.iter().enumerate() {
+                let v = (base_nodes + i) as NodeId;
+                if al == l && !removed.contains(&v) {
+                    list.push(v);
+                }
+            }
+            list.sort_unstable();
+            candidates.insert(l, list);
+        }
+
+        DeltaOverlay {
+            base_nodes,
+            added,
+            removed,
+            nodes,
+            candidates,
+            edge_count,
+            op_count,
+            edge_labeled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::graph::graph_from_parts;
+
+    fn base() -> Graph {
+        // 0-1-2 path plus isolated-ish 3 connected to 1.
+        graph_from_parts(&[0, 1, 0, 2], &[(0, 1), (1, 2), (1, 3)])
+    }
+
+    #[test]
+    fn empty_overlay_is_transparent() {
+        let g = base();
+        let ov = DeltaOverlay::build(&g, None, &[]).unwrap();
+        assert_eq!(ov.edge_count(), g.edge_count());
+        assert_eq!(ov.touched_nodes(), 0);
+        let m = ov.materialize(&g);
+        assert_eq!(m.labels(), g.labels());
+        assert_eq!(m.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn add_node_and_edge() {
+        let g = base();
+        let ops = [UpdateOp::AddNode { label: 5 }, UpdateOp::AddEdge { u: 4, v: 0, label: None }];
+        let ov = DeltaOverlay::build(&g, None, &ops).unwrap();
+        assert_eq!(ov.added_nodes(), 1);
+        assert_eq!(ov.edge_count(), 4);
+        let on = ov.node(4).unwrap();
+        assert_eq!(on.neighbors, vec![0]);
+        assert_eq!(on.signature, vec![0]);
+        assert_eq!(ov.candidates_override(5).unwrap(), &[4]);
+        let m = ov.materialize(&g);
+        assert_eq!(m.node_count(), 5);
+        assert!(m.has_edge(4, 0));
+        assert_eq!(m.label(4), 5);
+    }
+
+    #[test]
+    fn remove_node_tombstones_and_detaches() {
+        let g = base();
+        let ops = [UpdateOp::RemoveNode { node: 1 }];
+        let ov = DeltaOverlay::build(&g, None, &ops).unwrap();
+        assert_eq!(ov.edge_count(), 0);
+        assert!(ov.is_removed(1));
+        // All of 1's neighbors were touched.
+        assert_eq!(ov.touched_nodes(), 4);
+        assert_eq!(ov.node(1).unwrap().label, TOMBSTONE_LABEL);
+        assert!(ov.node(0).unwrap().neighbors.is_empty());
+        // Label 1's candidate list no longer offers node 1.
+        assert_eq!(ov.candidates_override(1).unwrap(), &[] as &[NodeId]);
+        let m = ov.materialize(&g);
+        assert_eq!(m.node_count(), 4);
+        assert_eq!(m.label(1), TOMBSTONE_LABEL);
+        assert_eq!(m.edge_count(), 0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = base();
+        let check = |ops: &[UpdateOp], want: UpdateError| {
+            assert_eq!(DeltaOverlay::build(&g, None, ops).unwrap_err(), want);
+        };
+        check(&[UpdateOp::AddNode { label: TOMBSTONE_LABEL }], UpdateError::ReservedLabel);
+        check(&[UpdateOp::RemoveNode { node: 9 }], UpdateError::UnknownNode(9));
+        check(
+            &[UpdateOp::RemoveNode { node: 1 }, UpdateOp::RemoveNode { node: 1 }],
+            UpdateError::RemovedNode(1),
+        );
+        check(&[UpdateOp::AddEdge { u: 2, v: 2, label: None }], UpdateError::SelfLoop(2));
+        check(&[UpdateOp::AddEdge { u: 0, v: 1, label: None }], UpdateError::DuplicateEdge(0, 1));
+        check(&[UpdateOp::RemoveEdge { u: 0, v: 2 }], UpdateError::MissingEdge(0, 2));
+    }
+
+    #[test]
+    fn rebuild_from_longer_stream_matches_incremental_expectation() {
+        let g = base();
+        let mut ops = vec![UpdateOp::AddEdge { u: 0, v: 3, label: None }];
+        let ov1 = DeltaOverlay::build(&g, None, &ops).unwrap();
+        assert_eq!(ov1.edge_count(), 4);
+        ops.push(UpdateOp::RemoveEdge { u: 0, v: 3 });
+        let ov2 = DeltaOverlay::build(&g, None, &ops).unwrap();
+        assert_eq!(ov2.edge_count(), 3);
+        assert_eq!(ov2.op_count(), 2);
+        let m = ov2.materialize(&g);
+        assert!(!m.has_edge(0, 3));
+    }
+
+    #[test]
+    fn labeled_edge_promotes_view_to_edge_labeled() {
+        let g = base();
+        assert!(!g.has_edge_labels());
+        let ops = [UpdateOp::AddEdge { u: 0, v: 3, label: Some(7) }];
+        let ov = DeltaOverlay::build(&g, None, &ops).unwrap();
+        assert!(ov.edge_labeled());
+        let m = ov.materialize(&g);
+        assert!(m.has_edge_labels());
+        assert_eq!(m.edge_label(0, 3), Some(7));
+        assert_eq!(m.edge_label(0, 1), Some(0));
+    }
+
+    #[test]
+    fn candidates_merge_with_index() {
+        let g = base();
+        let ix = TargetIndex::build(std::sync::Arc::new(g.clone()));
+        let ops = [UpdateOp::AddNode { label: 0 }, UpdateOp::RemoveNode { node: 2 }];
+        let ov = DeltaOverlay::build(&g, Some(&ix), &ops).unwrap();
+        // Label 0: base {0, 2}, node 2 removed, node 4 added.
+        assert_eq!(ov.candidates_override(0).unwrap(), &[0, 4]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Mutation batches against a stored graph.
+//!
+//! A [`GraphUpdate`] is an ordered batch of [`UpdateOp`]s, validated and
+//! applied atomically: either every op in the batch is consistent with the
+//! current view of the graph (base CSR + delta overlay) and the whole batch
+//! lands, or the first inconsistent op rejects the batch with an
+//! [`UpdateError`] and the graph is untouched.
+//!
+//! Updates carry their own byte encoding ([`GraphUpdate::encode`] /
+//! [`GraphUpdate::decode`]) shared by the psi-store WAL (update records
+//! replayed on cold open) and the psi-net wire frontend (the v2 update
+//! frame) — one format, two transports.
+
+use psi_graph::{Label, NodeId};
+
+/// Node label reserved for removed ("tombstoned") nodes.
+///
+/// Removing a node keeps its ID — compaction materializes it as an
+/// isolated node carrying this label, so node IDs stay stable across
+/// epochs and WAL replay. The label is rejected on [`UpdateOp::AddNode`]
+/// and never appears in well-formed queries, which keeps full-scan matcher
+/// paths sound without per-node liveness checks.
+pub const TOMBSTONE_LABEL: Label = Label::MAX;
+
+/// One primitive mutation against the live view of a stored graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Appends a node with `label`; its ID is the current view node count.
+    AddNode {
+        /// Label of the new node (must not be [`TOMBSTONE_LABEL`]).
+        label: Label,
+    },
+    /// Tombstones a live node, detaching all of its incident edges.
+    RemoveNode {
+        /// The node to remove.
+        node: NodeId,
+    },
+    /// Adds an undirected edge between two live, non-adjacent nodes.
+    AddEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// Optional edge label; `Some` makes the view edge-labeled.
+        label: Option<Label>,
+    },
+    /// Removes an existing undirected edge.
+    RemoveEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+}
+
+/// An atomic, ordered batch of mutations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphUpdate {
+    /// The ops, applied in order.
+    pub ops: Vec<UpdateOp>,
+}
+
+/// Why a [`GraphUpdate`] batch (or its encoding) was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// An op referenced a node ID outside the current view.
+    UnknownNode(NodeId),
+    /// An op referenced a node that has been removed.
+    RemovedNode(NodeId),
+    /// An edge op had identical endpoints.
+    SelfLoop(NodeId),
+    /// `AddEdge` for an edge that already exists.
+    DuplicateEdge(NodeId, NodeId),
+    /// `RemoveEdge` for an edge that does not exist.
+    MissingEdge(NodeId, NodeId),
+    /// `AddNode` with the reserved [`TOMBSTONE_LABEL`].
+    ReservedLabel,
+    /// The byte encoding was truncated or malformed.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::UnknownNode(v) => write!(f, "unknown node {v}"),
+            UpdateError::RemovedNode(v) => write!(f, "node {v} was removed"),
+            UpdateError::SelfLoop(v) => write!(f, "self-loop on node {v}"),
+            UpdateError::DuplicateEdge(u, v) => write!(f, "edge ({u}, {v}) already exists"),
+            UpdateError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
+            UpdateError::ReservedLabel => {
+                write!(f, "label {TOMBSTONE_LABEL:#x} is reserved for tombstones")
+            }
+            UpdateError::Malformed(msg) => write!(f, "malformed update encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+const OP_ADD_NODE: u8 = 1;
+const OP_REMOVE_NODE: u8 = 2;
+const OP_ADD_EDGE: u8 = 3;
+const OP_REMOVE_EDGE: u8 = 4;
+
+impl GraphUpdate {
+    /// A batch from an op list.
+    pub fn new(ops: Vec<UpdateOp>) -> Self {
+        Self { ops }
+    }
+
+    /// Serializes the batch: `[op_count: u32 LE]` followed by one
+    /// tag-prefixed record per op. Stable across WAL and wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.ops.len() * 10);
+        out.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+        for op in &self.ops {
+            match *op {
+                UpdateOp::AddNode { label } => {
+                    out.push(OP_ADD_NODE);
+                    out.extend_from_slice(&label.to_le_bytes());
+                }
+                UpdateOp::RemoveNode { node } => {
+                    out.push(OP_REMOVE_NODE);
+                    out.extend_from_slice(&node.to_le_bytes());
+                }
+                UpdateOp::AddEdge { u, v, label } => {
+                    out.push(OP_ADD_EDGE);
+                    out.extend_from_slice(&u.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                    match label {
+                        Some(l) => {
+                            out.push(1);
+                            out.extend_from_slice(&l.to_le_bytes());
+                        }
+                        None => out.push(0),
+                    }
+                }
+                UpdateOp::RemoveEdge { u, v } => {
+                    out.push(OP_REMOVE_EDGE);
+                    out.extend_from_slice(&u.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`GraphUpdate::encode`]; rejects truncated or
+    /// unknown-tag input without panicking (WAL tails and wire frames are
+    /// untrusted).
+    pub fn decode(bytes: &[u8]) -> Result<Self, UpdateError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let count = cur.u32()? as usize;
+        // Each op is at least 5 bytes; cap preallocation against bogus counts.
+        let mut ops = Vec::with_capacity(count.min(bytes.len() / 5 + 1));
+        for _ in 0..count {
+            let tag = cur.u8()?;
+            let op = match tag {
+                OP_ADD_NODE => UpdateOp::AddNode { label: cur.u32()? },
+                OP_REMOVE_NODE => UpdateOp::RemoveNode { node: cur.u32()? },
+                OP_ADD_EDGE => {
+                    let u = cur.u32()?;
+                    let v = cur.u32()?;
+                    let label = match cur.u8()? {
+                        0 => None,
+                        1 => Some(cur.u32()?),
+                        _ => return Err(UpdateError::Malformed("bad edge-label flag")),
+                    };
+                    UpdateOp::AddEdge { u, v, label }
+                }
+                OP_REMOVE_EDGE => UpdateOp::RemoveEdge { u: cur.u32()?, v: cur.u32()? },
+                _ => return Err(UpdateError::Malformed("unknown op tag")),
+            };
+            ops.push(op);
+        }
+        if cur.pos != bytes.len() {
+            return Err(UpdateError::Malformed("trailing bytes"));
+        }
+        Ok(Self { ops })
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch is empty (applying it is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn u8(&mut self) -> Result<u8, UpdateError> {
+        let b = *self.bytes.get(self.pos).ok_or(UpdateError::Malformed("truncated"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, UpdateError> {
+        let end = self.pos + 4;
+        let s = self.bytes.get(self.pos..end).ok_or(UpdateError::Malformed("truncated"))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GraphUpdate {
+        GraphUpdate::new(vec![
+            UpdateOp::AddNode { label: 7 },
+            UpdateOp::AddEdge { u: 0, v: 9, label: None },
+            UpdateOp::AddEdge { u: 1, v: 9, label: Some(3) },
+            UpdateOp::RemoveEdge { u: 2, v: 5 },
+            UpdateOp::RemoveNode { node: 4 },
+        ])
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let u = sample();
+        assert_eq!(GraphUpdate::decode(&u.encode()).unwrap(), u);
+        let empty = GraphUpdate::default();
+        assert_eq!(GraphUpdate::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let enc = sample().encode();
+        for cut in 0..enc.len() {
+            assert!(GraphUpdate::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert_eq!(GraphUpdate::decode(&trailing), Err(UpdateError::Malformed("trailing bytes")));
+        let mut bad_tag = enc;
+        bad_tag[4] = 99;
+        assert_eq!(GraphUpdate::decode(&bad_tag), Err(UpdateError::Malformed("unknown op tag")));
+    }
+
+    #[test]
+    fn decode_rejects_bogus_count() {
+        // Count claims 4B ops; must error, not OOM.
+        let bytes = u32::MAX.to_le_bytes().to_vec();
+        assert!(GraphUpdate::decode(&bytes).is_err());
+    }
+}

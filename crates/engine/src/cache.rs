@@ -190,6 +190,22 @@ impl ShardedCache {
         shard.map.insert(key, Entry { value, last_used: tick });
     }
 
+    /// Invalidates every cached answer across all shards, returning the
+    /// number of entries dropped. Used when the stored graph mutates:
+    /// cached answers were computed against an earlier graph epoch, and
+    /// a hit on one would serve a stale (possibly wrong) result.
+    pub fn clear(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut shard = s.lock().expect("cache shard lock");
+                let dropped = shard.map.len();
+                shard.map.clear();
+                dropped
+            })
+            .sum()
+    }
+
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().expect("cache shard lock").map.len()).sum()
@@ -285,6 +301,24 @@ mod tests {
         cache.insert(key.clone(), answer(3));
         assert_eq!(cache.get(&key).expect("hit").num_matches, 3);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_drops_every_shard() {
+        let cache = ShardedCache::new(4, 64);
+        let keys: Vec<QueryKey> = (0..6)
+            .map(|i| {
+                QueryKey::canonical(&graph_from_parts(&[i as u32, i as u32 + 1], &[(0, 1)]), 1)
+            })
+            .collect();
+        for key in &keys {
+            cache.insert(key.clone(), answer(1));
+        }
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.clear(), 6);
+        assert!(cache.is_empty());
+        assert!(keys.iter().all(|k| cache.get(k).is_none()));
+        assert_eq!(cache.clear(), 0, "clearing an empty cache drops nothing");
     }
 
     #[test]

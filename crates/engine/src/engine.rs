@@ -48,11 +48,11 @@ use crate::telemetry::{
     SlowQuery, Telemetry, TelemetryConfig, TraceEvent, TraceRecord, TraceSubscriber,
 };
 use psi_core::predictor::{EntrantTally, QueryFeatures, VariantPredictor};
-use psi_core::{PsiRunner, RaceBudget};
+use psi_core::{Compaction, GraphUpdate, PsiRunner, RaceBudget};
 use psi_graph::Graph;
 use psi_matchers::CancelToken;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
@@ -125,6 +125,14 @@ pub struct EngineConfig {
     /// Budget applied to requests that set none
     /// ([`crate::QueryRequest::budget`] overrides per query).
     pub default_budget: RaceBudget,
+    /// Pending overlay operations that trigger a background compaction:
+    /// after an applied update batch leaves at least this many ops in
+    /// the tenant's delta overlay, a compaction task is queued on the
+    /// worker pool (single-flight — at most one per tenant at a time)
+    /// to fold the overlay into a fresh base graph + index and swap the
+    /// epoch. `0` disables automatic compaction; explicit
+    /// [`crate::Engine::compact_now`] still works. Default 512.
+    pub compact_threshold: usize,
     /// Ψ-trace knobs: lifecycle event tracing, ring capacity, slow-query
     /// log size (see [`TelemetryConfig`]).
     pub telemetry: TelemetryConfig,
@@ -145,6 +153,7 @@ impl Default for EngineConfig {
             predictor_confidence: 0.8,
             race_strategy: RaceStrategy::Full,
             default_budget: RaceBudget::matching(),
+            compact_threshold: 512,
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -256,12 +265,49 @@ impl From<RouteError> for SubmitError {
     }
 }
 
-/// The flat error enum this split replaces. Kept one release for
-/// migration: `EngineError::Busy` became
-/// `SubmitError::Admission(AdmissionError::Busy { .. })`,
-/// `UnknownGraph`/`NoGraph` became `SubmitError::Route(..)`.
-#[deprecated(since = "0.7.0", note = "use SubmitError and match on AdmissionError / RouteError")]
-pub type EngineError = SubmitError;
+/// Why a graph mutation could not be applied: routing (the target graph
+/// does not exist — [`crate::MultiEngine`] only) or a semantic problem
+/// with the batch itself ([`psi_core::UpdateError`]). Mutations are
+/// validated atomically — a rejected batch leaves the graph untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ApplyError {
+    /// Unroutable; retrying cannot help.
+    Route(RouteError),
+    /// The batch references unknown/removed nodes, duplicates an edge,
+    /// or is otherwise invalid against the current live graph.
+    Update(psi_core::UpdateError),
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::Route(e) => e.fmt(f),
+            ApplyError::Update(e) => write!(f, "invalid graph update: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApplyError::Route(e) => Some(e),
+            ApplyError::Update(e) => Some(e),
+        }
+    }
+}
+
+impl From<RouteError> for ApplyError {
+    fn from(e: RouteError) -> Self {
+        ApplyError::Route(e)
+    }
+}
+
+impl From<psi_core::UpdateError> for ApplyError {
+    fn from(e: psi_core::UpdateError) -> Self {
+        ApplyError::Update(e)
+    }
+}
 
 /// How a query was served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -492,8 +538,18 @@ pub(crate) struct ServeCore {
     /// The tenant's learned-state WAL. `None` until persistence is
     /// attached by [`crate::MultiEngine::save_graph`] /
     /// [`crate::MultiEngine::load_graph`]; once attached, every race
-    /// finalize mirrors its predictor mutations here.
+    /// finalize mirrors its predictor mutations here, and every applied
+    /// graph-mutation batch appends an update record. The lock also
+    /// orders mutations against save-time compaction cuts: `save_graph`
+    /// holds it across compact + snapshot + reset, so no update record
+    /// can slip between the state the snapshot captures and the cut
+    /// that discards the records it absorbed.
     pub(crate) learned_wal: Mutex<Option<psi_store::Wal>>,
+    /// Single-flight latch for background compaction: at most one
+    /// compaction task per tenant occupies the pool at a time. (The
+    /// runner's own epoch guard makes concurrent compactions *safe*;
+    /// this flag just keeps them from wasting workers.)
+    pub(crate) compacting: AtomicBool,
     pub(crate) config: EngineConfig,
 }
 
@@ -574,6 +630,49 @@ impl ServeCore {
         self.stats.wal_appended.fetch_add(records.len() as u64, Ordering::Relaxed);
     }
 
+    /// Runs one compaction attempt with full serving bookkeeping: folds
+    /// the runner's delta overlay into a fresh base graph + rebuilt
+    /// index (a new epoch), then invalidates everything trained or
+    /// cached against the old epoch — the tenant's whole cache
+    /// partition, and the predictor's version stamp. `None` when there
+    /// was nothing to fold, or a concurrent compaction won the install.
+    ///
+    /// In-flight races are untouched: each holds a pinned view of the
+    /// epoch it started under and finishes against it.
+    pub(crate) fn compact_with_stats(&self) -> Option<Compaction> {
+        let compaction = self.runner.compact()?;
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        self.stats.compaction_time_us.fetch_add(
+            compaction.duration.as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        // Cached answers and learned samples reference the pre-swap
+        // epoch. Answers must go (a stale hit could be wrong); samples
+        // survive with a bumped version stamp (ranking evidence is
+        // advisory — a stale rank costs latency, never correctness).
+        self.cache.clear();
+        self.stats.cache_invalidations.fetch_add(1, Ordering::Relaxed);
+        self.predictor.lock().expect("predictor lock").bump_version();
+        Some(compaction)
+    }
+
+    /// [`ServeCore::compact_with_stats`] behind the single-flight latch:
+    /// the entry point for background (pool-queued) and explicit
+    /// compaction. Returns `None` without compacting when another
+    /// compaction for this tenant is already running.
+    pub(crate) fn compact_single_flight(&self) -> Option<Compaction> {
+        if self
+            .compacting
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return None;
+        }
+        let result = self.compact_with_stats();
+        self.compacting.store(false, Ordering::Release);
+        result
+    }
+
     /// The predictor's full learned state, exported in the store's
     /// serialization types (winner indices narrowed to `u32` — variant
     /// rosters are tiny).
@@ -644,6 +743,7 @@ impl Engine {
             staged_seq: AtomicU64::new(0),
             telemetry: Telemetry::new(&config.telemetry, epoch),
             learned_wal: Mutex::new(None),
+            compacting: AtomicBool::new(false),
             config,
         });
         Self { core, pool, admission, timer }
@@ -674,6 +774,9 @@ impl Engine {
         // Waiting-room depth is gate state, not collector state: read it
         // live at snapshot time, like the index cost above.
         stats.waiting_room_depth = self.admission.waiting() as u64;
+        // The graph epoch is runner state: 0 at construction, +1 per
+        // compaction.
+        stats.epoch = self.core.runner.epoch();
         stats
     }
 
@@ -722,6 +825,78 @@ impl Engine {
     /// zero). These are the learned statistics behind top-K ranking.
     pub fn entrant_tallies(&self) -> Vec<EntrantTally> {
         self.core.entrant_tallies()
+    }
+
+    /// Applies one validated mutation batch to the live graph, returning
+    /// the epoch it landed in. The write goes through the same
+    /// admission gate as queries — it occupies one race slot for its
+    /// (short) duration, so a stream of writes is arbitrated by the
+    /// fair-grant machinery like any other tenant traffic and can
+    /// neither starve nor be starved by reads. The batch is atomic: on
+    /// any [`psi_core::UpdateError`] the live graph is untouched.
+    ///
+    /// On success the tenant's cache partition is invalidated (cached
+    /// answers predate the mutation), the batch is appended to the
+    /// learned-state WAL when persistence is attached (replayed on cold
+    /// open), and — once the overlay holds at least
+    /// [`EngineConfig::compact_threshold`] pending ops — a background
+    /// compaction is queued on the worker pool. Queries racing while
+    /// the update lands keep their pinned pre-update view; queries
+    /// admitted afterwards see the mutated graph.
+    pub fn apply_update(&self, update: &GraphUpdate) -> Result<u64, psi_core::UpdateError> {
+        self.admission.acquire(Priority::Normal);
+        let _permit = OwnedPermit::new(Arc::clone(&self.admission));
+        let epoch = {
+            // Hold the WAL slot across apply + append so a concurrent
+            // save_graph cannot cut the log between the two (its
+            // snapshot would miss the update *and* the reset would
+            // discard the record).
+            let mut wal_guard = self.core.learned_wal.lock().expect("wal lock");
+            let epoch = self.core.runner.apply_update(update)?;
+            if let Some(wal) = wal_guard.as_mut() {
+                let record = psi_store::WalRecord::Update { bytes: update.encode() };
+                if wal.append(&record).is_err() {
+                    // Same policy as race-finalize appends: an I/O
+                    // failure detaches the log; the next save_graph
+                    // snapshots the live state wholesale.
+                    *wal_guard = None;
+                } else {
+                    self.core.stats.wal_appended.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            epoch
+        };
+        self.core.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
+        // Every cached answer was computed against the pre-update graph.
+        self.core.cache.clear();
+        self.core.stats.cache_invalidations.fetch_add(1, Ordering::Relaxed);
+        let threshold = self.core.config.compact_threshold;
+        if threshold > 0 && self.core.runner.pending_ops() >= threshold {
+            let core = Arc::clone(&self.core);
+            // The single-flight latch is taken inside the task (not
+            // here), so a burst of triggering updates queues at most a
+            // few no-op tasks rather than racing on the flag twice.
+            self.pool.submit(move || {
+                core.compact_single_flight();
+            });
+        }
+        Ok(epoch)
+    }
+
+    /// Explicitly folds any pending delta overlay into a fresh base
+    /// graph + rebuilt index, swapping the tenant to a new epoch.
+    /// Returns what was compacted, or `None` when the overlay was empty
+    /// or a background compaction is already running. In-flight races
+    /// finish against their pinned pre-swap epoch; the swap never
+    /// pauses them.
+    pub fn compact_now(&self) -> Option<Compaction> {
+        self.core.compact_single_flight()
+    }
+
+    /// The live graph's current epoch: 0 at construction, +1 per
+    /// compaction.
+    pub fn epoch(&self) -> u64 {
+        self.core.runner.epoch()
     }
 
     /// Serves `query` under the configured default budget, blocking while

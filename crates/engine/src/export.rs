@@ -142,7 +142,7 @@ impl MetricsExporter {
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         type CounterFamily = (&'static str, &'static str, fn(&EngineStats) -> u64);
-        let counters: [CounterFamily; 14] = [
+        let counters: [CounterFamily; 17] = [
             ("psi_queries_total", "Queries accepted", |s| s.queries),
             ("psi_cache_hits_total", "Result-cache hits", |s| s.cache_hits),
             ("psi_cache_misses_total", "Result-cache misses", |s| s.cache_misses),
@@ -171,6 +171,13 @@ impl MetricsExporter {
             ("psi_escalations_total", "Pruned heats escalated to the full field", |s| {
                 s.escalations
             }),
+            ("psi_updates_applied_total", "Graph-mutation batches applied", |s| s.updates_applied),
+            ("psi_compactions_total", "Delta overlays folded into a new epoch", |s| s.compactions),
+            (
+                "psi_cache_invalidations_total",
+                "Cache partition wipes (mutations and epoch swaps)",
+                |s| s.cache_invalidations,
+            ),
         ];
         for (name, help, get) in counters {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -202,7 +209,7 @@ impl MetricsExporter {
                 writeln!(out, "psi_trace_dropped_total{} {}", self.labels(g, &[]), g.trace_dropped);
         }
         type GaugeFamily = (&'static str, &'static str, fn(&GraphMetricsSnapshot) -> f64);
-        let gauges: [GaugeFamily; 5] = [
+        let gauges: [GaugeFamily; 6] = [
             ("psi_uptime_seconds", "Engine uptime", |g| g.stats.uptime.as_secs_f64()),
             ("psi_cache_hit_rate", "Cache hit rate (hits / lookups)", |g| g.stats.hit_rate),
             ("psi_escalation_rate", "Escalations per top-K race", |g| g.stats.escalation_rate),
@@ -212,6 +219,7 @@ impl MetricsExporter {
             ("psi_waiting_room_depth", "Requests currently parked in the waiting room", |g| {
                 g.stats.waiting_room_depth as f64
             }),
+            ("psi_epoch", "Live-graph epoch (bumped per compaction)", |g| g.stats.epoch as f64),
         ];
         for (name, help, get) in gauges {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -304,6 +312,8 @@ impl MetricsExporter {
                  \"topk_races\":{},\"pruned_entrants\":{},\"escalations\":{},\
                  \"escalation_rate\":{:.6},\"index_build_us\":{},\
                  \"edge_probes_bitset\":{},\"edge_probes_binary\":{},\
+                 \"updates_applied\":{},\"compactions\":{},\"compaction_us\":{},\
+                 \"cache_invalidations\":{},\"epoch\":{},\
                  \"throughput_qps\":{:.3},\"uptime_us\":{},\"trace_dropped\":{}",
                 s.queries,
                 s.cache_hits,
@@ -325,6 +335,11 @@ impl MetricsExporter {
                 s.index_build_us,
                 s.edge_probes_bitset,
                 s.edge_probes_binary,
+                s.updates_applied,
+                s.compactions,
+                s.compaction_us,
+                s.cache_invalidations,
+                s.epoch,
                 s.throughput_qps,
                 s.uptime.as_micros(),
                 g.trace_dropped,

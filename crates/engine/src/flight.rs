@@ -910,6 +910,7 @@ struct TimerShared {
 pub(crate) struct StageTimer {
     shared: Arc<TimerShared>,
     handle: Option<JoinHandle<()>>,
+    owner: std::thread::ThreadId,
 }
 
 impl StageTimer {
@@ -920,7 +921,7 @@ impl StageTimer {
             .name("psi-stage-timer".to_string())
             .spawn(move || timer_loop(&thread_shared))
             .expect("spawning the stage timer must succeed");
-        Self { shared, handle: Some(handle) }
+        Self { shared, handle: Some(handle), owner: std::thread::current().id() }
     }
 
     /// Schedules a stage check for `flight` at `at`.
@@ -943,8 +944,16 @@ impl Drop for StageTimer {
     fn drop(&mut self) {
         self.shared.inner.lock().expect("stage timer lock").shutdown = true;
         self.shared.tick.notify_all();
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+        // Join only from the thread that built the timer: workers
+        // briefly hold strong references (launch registers deadlines),
+        // so during teardown a pool worker can run this drop — joining
+        // from there risks a mutual join with `WorkerPool::drop`
+        // (EDEADLK → panic). The shutdown flag already makes the timer
+        // thread exit on its own.
+        if std::thread::current().id() == self.owner {
+            if let Some(handle) = self.handle.take() {
+                let _ = handle.join();
+            }
         }
     }
 }

@@ -122,11 +122,9 @@ pub mod telemetry;
 pub use cache::{
     embedding_from_canonical, embedding_to_canonical, CachedAnswer, QueryKey, ShardedCache,
 };
-#[allow(deprecated)]
-pub use engine::EngineError;
 pub use engine::{
-    AdmissionError, Engine, EngineConfig, EngineResponse, RaceStrategy, RouteError, ServePath,
-    SubmitError,
+    AdmissionError, ApplyError, Engine, EngineConfig, EngineResponse, RaceStrategy, RouteError,
+    ServePath, SubmitError,
 };
 pub use export::{GraphMetricsSnapshot, HistogramKind, MetricsExporter};
 pub use pool::WorkerPool;

@@ -12,7 +12,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::thread::{JoinHandle, ThreadId};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -27,6 +27,7 @@ pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
     workers: usize,
     panics: Arc<AtomicU64>,
+    owner: ThreadId,
 }
 
 impl WorkerPool {
@@ -46,7 +47,7 @@ impl WorkerPool {
                     .expect("spawning a worker thread must succeed")
             })
             .collect();
-        Self { sender: Some(sender), handles, workers, panics }
+        Self { sender: Some(sender), handles, workers, panics, owner: std::thread::current().id() }
     }
 
     /// Number of worker threads.
@@ -90,10 +91,20 @@ fn worker_loop(receiver: &Mutex<Receiver<Task>>, panics: &AtomicU64) {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Closing the channel lets each worker drain remaining tasks and
-        // exit; then join so no task outlives the pool.
+        // exit; then join so no task outlives the pool. Join only from
+        // the thread that built the pool: pooled tasks and the stage
+        // timer upgrade `Weak` handles to the pool, so during engine
+        // teardown one of *their* threads can briefly hold the last
+        // strong reference and run this drop — joining from there risks
+        // a self-join (a worker joining itself) or a mutual join with
+        // the stage timer's drop, both of which pthread_join rejects
+        // with EDEADLK and std turns into a panic. The closed channel
+        // already guarantees those threads drain and exit on their own.
         self.sender.take();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        if std::thread::current().id() == self.owner {
+            for handle in self.handles.drain(..) {
+                let _ = handle.join();
+            }
         }
     }
 }

@@ -34,15 +34,15 @@
 //! (its ticket was dropped) can never orphan the grant chain.
 
 use crate::engine::{
-    AdmissionGate, Admit, DeferredLaunch, Engine, EngineConfig, EngineResponse, RouteError,
-    SubmitError,
+    AdmissionGate, Admit, ApplyError, DeferredLaunch, Engine, EngineConfig, EngineResponse,
+    RouteError, SubmitError,
 };
 use crate::flight::StageTimer;
 use crate::pool::WorkerPool;
 use crate::stats::{EngineStats, LatencyHistogram, StageLatencies};
 use crate::submit::{Priority, QueryRequest, QueryTicket, Submit};
 use crate::telemetry::{SlowQuery, TraceRecord};
-use psi_core::{PsiConfig, PsiRunner, RaceBudget};
+use psi_core::{Compaction, GraphUpdate, PsiConfig, PsiRunner, RaceBudget};
 use psi_graph::Graph;
 use psi_store::{read_snapshot, write_snapshot, SnapshotContents, StoreError, Wal, WalRecord};
 use std::collections::HashMap;
@@ -160,6 +160,9 @@ pub struct LoadReport {
     pub replayed_samples: u64,
     /// WAL records replayed on top of the snapshot's learned state.
     pub replayed_records: u64,
+    /// Graph-mutation batches replayed on top of the snapshot's graph
+    /// (updates applied after the last save, recovered from the WAL).
+    pub replayed_updates: u64,
     /// Wall-clock cost of the restore + WAL replay, microseconds.
     pub wal_replay_us: u64,
 }
@@ -718,8 +721,14 @@ impl MultiEngine {
     /// WAL. Calling it again later compacts: same rewrite, same cut.
     ///
     /// The WAL slot is held across the snapshot write so no concurrent
-    /// finalize can append a record that the compaction cut would then
-    /// silently discard — those finalizes block briefly instead.
+    /// finalize (or [`MultiEngine::apply_update`]) can append a record
+    /// that the compaction cut would then silently discard — those
+    /// writers block briefly instead.
+    ///
+    /// A tenant with a live delta overlay is compacted first (the
+    /// overlay folds into a fresh base graph and rebuilt index as a new
+    /// epoch), so the snapshot always captures a flat graph and the WAL
+    /// cut never loses an already-applied mutation.
     pub fn save_graph(&self, graph: GraphId, dir: &Path) -> Result<SaveReport, PersistError> {
         let tenant = self.registry.tenant(graph).ok_or(PersistError::UnknownGraph)?;
         std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
@@ -727,6 +736,10 @@ impl MultiEngine {
         let wal_path = snapshot_path.with_extension("psiwal");
         let core = tenant.engine.serve_core();
         let mut wal_guard = core.learned_wal.lock().expect("wal lock");
+        // Fold any pending overlay under the WAL lock: apply_update also
+        // appends under this lock, so no mutation can land between the
+        // fold and the cut below.
+        core.compact_with_stats();
         let learned = core.learned_state();
         let saved_samples = learned.samples.len() as u64;
         let contents = SnapshotContents {
@@ -735,12 +748,10 @@ impl MultiEngine {
             learned,
         };
         let runner = tenant.engine.runner();
-        let snapshot_bytes = write_snapshot(
-            &snapshot_path,
-            runner.stored(),
-            runner.target_index().map(|ix| ix.as_ref()),
-            &contents,
-        )?;
+        let live_graph = runner.live_graph();
+        let live_index = runner.live_index();
+        let snapshot_bytes =
+            write_snapshot(&snapshot_path, &live_graph, live_index.as_deref(), &contents)?;
         match wal_guard.as_mut() {
             Some(wal) => wal.reset()?,
             None => {
@@ -798,13 +809,32 @@ impl MultiEngine {
                 learned.observed as usize,
             );
             for record in &records {
-                match *record {
+                match record {
                     WalRecord::Sample { features, winner } => {
-                        predictor.observe(features, winner as usize);
+                        predictor.observe(*features, *winner as usize);
                         replayed_samples += 1;
                     }
-                    WalRecord::Loss { idx } => predictor.record_loss(idx as usize),
-                    WalRecord::Timeout { idx } => predictor.record_timeout(idx as usize),
+                    WalRecord::Loss { idx } => predictor.record_loss(*idx as usize),
+                    WalRecord::Timeout { idx } => predictor.record_timeout(*idx as usize),
+                    // Graph mutations replay below, against the runner.
+                    WalRecord::Update { .. } => {}
+                }
+            }
+        }
+        // Replay graph mutations logged after the snapshot's compaction
+        // cut: each record is one applied batch, re-applied in WAL order
+        // so the overlay converges to the pre-crash live graph.
+        let mut replayed_updates = 0u64;
+        {
+            let runner = tenant.engine.runner();
+            for record in &records {
+                if let WalRecord::Update { bytes } = record {
+                    let update = GraphUpdate::decode(bytes)
+                        .map_err(|e| StoreError::Malformed(format!("WAL update record: {e}")))?;
+                    runner
+                        .apply_update(&update)
+                        .map_err(|e| StoreError::Malformed(format!("WAL update replay: {e}")))?;
+                    replayed_updates += 1;
                 }
             }
         }
@@ -817,6 +847,7 @@ impl MultiEngine {
             index_rebuilt: loaded.index_rebuilt,
             replayed_samples,
             replayed_records: records.len() as u64,
+            replayed_updates,
             wal_replay_us: replay_started.elapsed().as_micros().min(u64::MAX as u128) as u64,
         })
     }
@@ -846,6 +877,35 @@ impl MultiEngine {
     /// prepared matchers).
     pub fn runner(&self, graph: GraphId) -> Option<Arc<PsiRunner>> {
         self.registry.tenant(graph).map(|t| Arc::clone(t.engine.runner()))
+    }
+
+    /// Applies a batch of graph mutations to `graph`'s live view and
+    /// returns the epoch the batch landed in. The write takes one
+    /// admission slot through the same fair gate as queries — a firehose
+    /// of updates to one tenant is arbitrated against every other
+    /// tenant's reads, and can no more starve them than a query flood
+    /// could. The batch is validated atomically (all ops or none),
+    /// logged to the tenant's WAL when one is attached, and visible to
+    /// every subsequently-admitted query; races already in flight stay
+    /// pinned to the epoch they started under.
+    pub fn apply_update(&self, graph: GraphId, update: &GraphUpdate) -> Result<u64, ApplyError> {
+        let tenant = self.registry.tenant(graph).ok_or(RouteError::UnknownGraph)?;
+        tenant.engine.apply_update(update).map_err(ApplyError::Update)
+    }
+
+    /// Folds `graph`'s pending delta overlay into a fresh base graph and
+    /// rebuilt index, installed as a new epoch (see
+    /// [`Engine::compact_now`]). `Ok(None)` when nothing was pending or
+    /// a compaction is already running.
+    pub fn compact(&self, graph: GraphId) -> Result<Option<Compaction>, RouteError> {
+        let tenant = self.registry.tenant(graph).ok_or(RouteError::UnknownGraph)?;
+        Ok(tenant.engine.compact_now())
+    }
+
+    /// The current epoch of one registered graph (0 until its first
+    /// compaction).
+    pub fn epoch(&self, graph: GraphId) -> Option<u64> {
+        self.registry.tenant(graph).map(|t| t.engine.epoch())
     }
 
     /// Resolves a request's target tenant. This is the *only* routing
@@ -946,6 +1006,11 @@ impl MultiEngine {
             edge_probes_binary: 0,
             wal_appended: 0,
             wal_replayed: 0,
+            updates_applied: 0,
+            compactions: 0,
+            compaction_us: 0,
+            cache_invalidations: 0,
+            epoch: 0,
             throughput_qps: 0.0,
             latency_p50: std::time::Duration::ZERO,
             latency_p99: std::time::Duration::ZERO,
@@ -979,6 +1044,13 @@ impl MultiEngine {
             agg.edge_probes_binary += c.edge_probes_binary.load(Ordering::Relaxed);
             agg.wal_appended += c.wal_appended.load(Ordering::Relaxed);
             agg.wal_replayed += c.wal_replayed.load(Ordering::Relaxed);
+            agg.updates_applied += c.updates_applied.load(Ordering::Relaxed);
+            agg.compactions += c.compactions.load(Ordering::Relaxed);
+            agg.compaction_us += c.compaction_time_us.load(Ordering::Relaxed);
+            agg.cache_invalidations += c.cache_invalidations.load(Ordering::Relaxed);
+            // Epochs are per-graph gauges; the aggregate reports the
+            // furthest-advanced tenant.
+            agg.epoch = agg.epoch.max(tenant.engine.runner().epoch());
             agg.index_build_us +=
                 tenant.engine.runner().target_index().map_or(0, |ix| ix.build_micros());
             latency.merge_from(&c.latency);

@@ -283,6 +283,16 @@ pub(crate) struct StatsCollector {
     pub wal_appended: AtomicU64,
     /// Learned-state WAL records replayed into the predictor at load.
     pub wal_replayed: AtomicU64,
+    /// Graph-mutation batches applied while serving.
+    pub updates_applied: AtomicU64,
+    /// Delta-overlay compactions folded into a new graph epoch.
+    pub compactions: AtomicU64,
+    /// Total wall-clock spent compacting (materialize + index rebuild +
+    /// epoch install), microseconds.
+    pub compaction_time_us: AtomicU64,
+    /// Times this tenant's cache partition was invalidated wholesale —
+    /// once per applied update batch and once per epoch swap.
+    pub cache_invalidations: AtomicU64,
     /// End-to-end served latency (admission or cache probe → fulfilled).
     pub latency: LatencyHistogram,
     /// Admission → setup-start queue wait.
@@ -318,6 +328,10 @@ impl StatsCollector {
             edge_probes_binary: AtomicU64::new(0),
             wal_appended: AtomicU64::new(0),
             wal_replayed: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            compaction_time_us: AtomicU64::new(0),
+            cache_invalidations: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
             park_wait: LatencyHistogram::new(),
@@ -389,6 +403,11 @@ impl StatsCollector {
             edge_probes_binary: self.edge_probes_binary.load(Ordering::Relaxed),
             wal_appended: self.wal_appended.load(Ordering::Relaxed),
             wal_replayed: self.wal_replayed.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            compaction_us: self.compaction_time_us.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
+            epoch: 0,
             throughput_qps: if uptime.as_secs_f64() > 0.0 {
                 queries as f64 / uptime.as_secs_f64()
             } else {
@@ -475,6 +494,25 @@ pub struct EngineStats {
     /// Learned-state WAL records replayed into the predictor when this
     /// graph was loaded from disk.
     pub wal_replayed: u64,
+    /// Graph-mutation batches applied to the live graph while serving
+    /// ([`crate::Engine::apply_update`] / [`crate::MultiEngine::apply_update`]).
+    pub updates_applied: u64,
+    /// Delta-overlay compactions: background or explicit rebuilds that
+    /// folded the overlay into a fresh base graph and index, swapping
+    /// the tenant to a new epoch.
+    pub compactions: u64,
+    /// Total wall-clock spent in compaction (off the serving lock:
+    /// materialize + index rebuild; only the final swap blocks writers),
+    /// microseconds (summed across graphs in the registry aggregate).
+    pub compaction_us: u64,
+    /// Wholesale cache-partition invalidations — one per applied update
+    /// batch and one per epoch swap, since cached answers were computed
+    /// against the earlier graph state.
+    pub cache_invalidations: u64,
+    /// The tenant's current graph epoch: 0 at registration, +1 per
+    /// compaction (a gauge, read from the runner at snapshot time; the
+    /// registry aggregate reports the **maximum** across graphs).
+    pub epoch: u64,
     /// Queries per second since engine start.
     pub throughput_qps: f64,
     /// Median end-to-end latency over *all* served queries (bucketed).

@@ -1,0 +1,333 @@
+//! Live-graph integration: concurrent mutation batches served through
+//! the delta overlay answer exactly like a from-scratch registration of
+//! the mutated graph, background compaction swaps epochs without
+//! pausing in-flight races, updates invalidate the tenant's cache
+//! partition, the new counters reach the metrics exporter, and a
+//! save/load round trip replays post-save updates from the WAL.
+
+use psi_core::{GraphUpdate, PsiRunner, RaceBudget, UpdateOp};
+use psi_engine::{ApplyError, EngineConfig, MultiEngine, MultiEngineConfig, RouteError, ServePath};
+use psi_graph::generate::{random_connected_graph, LabelDist};
+use psi_graph::graph::graph_from_parts;
+use psi_graph::Graph;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn stored_graph(seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let labels = LabelDist::Uniform { num_labels: 3 }.sampler();
+    random_connected_graph(48, 110, &labels, &mut rng)
+}
+
+fn live_multi(compact_threshold: usize) -> MultiEngine {
+    MultiEngine::new(MultiEngineConfig {
+        workers: 2,
+        max_concurrent_races: 4,
+        tenant: EngineConfig {
+            predictor_confidence: 2.0,
+            default_budget: RaceBudget::matching(),
+            compact_threshold,
+            ..EngineConfig::default()
+        },
+    })
+}
+
+/// Grows a small connected query from a stored-graph node, so the query
+/// embeds in that graph.
+fn grown_query(g: &Graph, nodes: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let start = rng.random_range(0..g.node_count() as u32);
+    let mut picked = vec![start];
+    while picked.len() < nodes {
+        let from = picked[rng.random_range(0..picked.len())];
+        let nbrs = g.neighbors(from);
+        let next = nbrs[rng.random_range(0..nbrs.len())];
+        if !picked.contains(&next) {
+            picked.push(next);
+        }
+    }
+    let labels: Vec<u32> = picked.iter().map(|&v| g.label(v)).collect();
+    let mut edges = Vec::new();
+    for (i, &u) in picked.iter().enumerate() {
+        for (j, &v) in picked.iter().enumerate().skip(i + 1) {
+            if g.has_edge(u, v) {
+                edges.push((i as u32, j as u32));
+            }
+        }
+    }
+    graph_from_parts(&labels, &edges)
+}
+
+/// Disjoint per-writer mutation batches: writer `w` adds edges (and one
+/// removal) only among nodes in its own territory, so concurrent
+/// application can never conflict.
+fn writer_batches(stored: &Graph, writers: u32) -> Vec<Vec<GraphUpdate>> {
+    let n = stored.node_count() as u32;
+    let span = n / writers;
+    (0..writers)
+        .map(|w| {
+            let (lo, hi) = (w * span, if w + 1 == writers { n } else { (w + 1) * span });
+            let mut adds = Vec::new();
+            for u in lo..hi {
+                for v in (u + 1)..hi {
+                    if !stored.has_edge(u, v) {
+                        adds.push(UpdateOp::AddEdge { u, v, label: None });
+                    }
+                }
+            }
+            adds.truncate(12);
+            adds.chunks(3).map(|c| GraphUpdate::new(c.to_vec())).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_batches_answer_like_a_fresh_registration_of_the_mutated_graph() {
+    let stored = stored_graph(11);
+    let live = live_multi(0); // no auto-compaction: answers come through the overlay
+    let id = live.register("live", PsiRunner::nfv_default(&stored)).unwrap();
+    let batches = writer_batches(&stored, 4);
+
+    // Writers race each other (and a few readers) through the fair gate.
+    std::thread::scope(|scope| {
+        for writer in &batches {
+            let live = &live;
+            scope.spawn(move || {
+                for update in writer {
+                    live.apply_update(id, update).expect("disjoint batches apply cleanly");
+                }
+            });
+        }
+        let (live, stored) = (&live, &stored);
+        scope.spawn(move || {
+            for seed in 0..6 {
+                let q = grown_query(stored, 4, seed);
+                assert!(live.submit(id, &q).unwrap().found(), "pre-update answers survive");
+            }
+        });
+    });
+    let applied: usize = batches.iter().map(|b| b.len()).sum();
+    assert_eq!(live.graph_stats(id).unwrap().updates_applied, applied as u64);
+    assert_eq!(live.epoch(id), Some(0), "no compaction ran: everything is overlay");
+
+    // From-scratch reference: register the materialized graph in a
+    // fresh engine and compare answers on queries grown from it (they
+    // exercise the added edges, not just the base).
+    let mutated = live.runner(id).unwrap().materialized();
+    let fresh = live_multi(0);
+    let ref_id = fresh.register("fresh", PsiRunner::nfv_default(&mutated)).unwrap();
+    for seed in 100..130 {
+        let q = grown_query(&mutated, 5, seed);
+        let via_overlay = live.submit(id, &q).unwrap();
+        let via_fresh = fresh.submit(ref_id, &q).unwrap();
+        assert_eq!(via_overlay.found(), via_fresh.found(), "seed {seed}");
+        assert_eq!(via_overlay.num_matches(), via_fresh.num_matches(), "seed {seed}");
+    }
+
+    // After an explicit fold the answers must not change either.
+    let compaction = live.compact(id).expect("graph is registered").expect("overlay was pending");
+    assert_eq!(compaction.epoch, 1);
+    assert_eq!(live.epoch(id), Some(1));
+    for seed in 100..130 {
+        let q = grown_query(&mutated, 5, seed);
+        assert_eq!(
+            live.submit(id, &q).unwrap().num_matches(),
+            fresh.submit(ref_id, &q).unwrap().num_matches(),
+            "post-compaction seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn background_compaction_swaps_epochs_without_pausing_in_flight_races() {
+    let stored = stored_graph(23);
+    // Auto-compact after every few ops: swaps land *while* queries run.
+    let live = live_multi(4);
+    let id = live.register("live", PsiRunner::nfv_default(&stored)).unwrap();
+    let batches = writer_batches(&stored, 4);
+
+    std::thread::scope(|scope| {
+        for writer in &batches {
+            let live = &live;
+            scope.spawn(move || {
+                for update in writer {
+                    live.apply_update(id, update).expect("disjoint batches apply cleanly");
+                }
+            });
+        }
+        for reader in 0..2u64 {
+            let (live, stored) = (&live, &stored);
+            scope.spawn(move || {
+                for seed in 0..12 {
+                    let q = grown_query(stored, 5, reader * 100 + seed);
+                    let resp = live.submit(id, &q).unwrap();
+                    // Additive updates cannot invalidate a base-grown
+                    // query, whatever epoch the race was pinned to.
+                    assert!(resp.found(), "reader {reader} seed {seed}");
+                }
+            });
+        }
+    });
+    // Quiesce: fold whatever tail the threshold compactions left.
+    let _ = live.compact(id).unwrap();
+    let stats = live.graph_stats(id).unwrap();
+    assert!(stats.compactions >= 1, "threshold compactions must have run");
+    assert!(stats.epoch >= 1, "epoch must have advanced");
+    assert_eq!(stats.epoch, live.epoch(id).unwrap());
+    assert!(stats.compaction_us > 0, "folds cost time");
+    assert_eq!(live.runner(id).unwrap().pending_ops(), 0, "quiesced graph has no overlay");
+}
+
+#[test]
+fn updates_invalidate_the_cache_partition_and_export_the_new_counters() {
+    let stored = stored_graph(37);
+    let live = live_multi(0);
+    let id = live.register("live", PsiRunner::nfv_default(&stored)).unwrap();
+    let q = grown_query(&stored, 4, 5);
+    live.submit(id, &q).unwrap();
+    assert_eq!(live.submit(id, &q).unwrap().path, ServePath::CacheHit);
+
+    let update = GraphUpdate::new(vec![UpdateOp::AddNode { label: 9 }]);
+    live.apply_update(id, &update).unwrap();
+    // The cached answer predates the mutation: the repeat must re-race.
+    assert_ne!(live.submit(id, &q).unwrap().path, ServePath::CacheHit);
+    let stats = live.graph_stats(id).unwrap();
+    assert!(stats.cache_invalidations >= 1);
+    assert_eq!(stats.updates_applied, 1);
+
+    live.compact(id).unwrap().expect("one pending op folds");
+    let prom = live.exporter().render_prometheus();
+    for family in
+        ["psi_updates_applied_total", "psi_compactions_total", "psi_cache_invalidations_total"]
+    {
+        assert!(prom.contains(family), "missing {family} in:\n{prom}");
+    }
+    assert!(
+        prom.contains("psi_epoch{graph=\"live\"} 1"),
+        "epoch gauge must export the swap:\n{prom}"
+    );
+    let json = live.exporter().render_json();
+    for field in ["\"updates_applied\":1", "\"compactions\":1", "\"epoch\":1"] {
+        assert!(json.contains(field), "missing {field} in:\n{json}");
+    }
+}
+
+#[test]
+fn apply_update_errors_are_typed() {
+    let stored = stored_graph(41);
+    let live = live_multi(0);
+    let id = live.register("live", PsiRunner::nfv_default(&stored)).unwrap();
+    let n = stored.node_count() as u32;
+    // A GraphId minted by a *different* registry (index 1) is unknown
+    // to this one (which only holds index 0).
+    let other = live_multi(0);
+    other.register("a", PsiRunner::nfv_default(&stored)).unwrap();
+    let foreign = other.register("b", PsiRunner::nfv_default(&stored)).unwrap();
+    assert_eq!(
+        live.apply_update(foreign, &GraphUpdate::new(vec![])),
+        Err(ApplyError::Route(RouteError::UnknownGraph))
+    );
+    assert_eq!(
+        live.apply_update(id, &GraphUpdate::new(vec![UpdateOp::RemoveEdge { u: n, v: n + 1 }])),
+        Err(ApplyError::Update(psi_core::UpdateError::UnknownNode(n)))
+    );
+    // A rejected batch is atomic: nothing landed, nothing was counted.
+    assert_eq!(live.graph_stats(id).unwrap().updates_applied, 0);
+}
+
+#[test]
+fn save_then_load_replays_post_save_updates_from_the_wal() {
+    let dir = std::env::temp_dir().join(format!("psi-live-graph-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let stored = stored_graph(53);
+    let warm = live_multi(0);
+    let id = warm.register("live", PsiRunner::nfv_default(&stored)).unwrap();
+    for seed in 0..4 {
+        warm.submit(id, &grown_query(&stored, 4, seed)).unwrap();
+    }
+    let report = warm.save_graph(id, &dir).expect("save");
+
+    // Post-save mutations land only in the WAL: a fresh label wired
+    // into node 0 that no pre-save state knows about.
+    let n = stored.node_count() as u32;
+    let fresh_label = 7u32;
+    warm.apply_update(id, &GraphUpdate::new(vec![UpdateOp::AddNode { label: fresh_label }]))
+        .unwrap();
+    warm.apply_update(id, &GraphUpdate::new(vec![UpdateOp::AddEdge { u: 0, v: n, label: None }]))
+        .unwrap();
+    let probe = graph_from_parts(&[stored.label(0), fresh_label], &[(0, 1)]);
+    assert!(warm.submit(id, &probe).unwrap().found());
+
+    let cold = live_multi(0);
+    let load = cold.load_graph(&report.snapshot_path).expect("load");
+    assert_eq!(load.replayed_updates, 2, "both post-save batches replay");
+    assert!(
+        cold.submit(load.graph, &probe).unwrap().found(),
+        "the replayed updates are visible to cold queries"
+    );
+    // The mutated views agree exactly.
+    let warm_view = warm.runner(id).unwrap().materialized();
+    let cold_view = cold.runner(load.graph).unwrap().materialized();
+    assert_eq!(warm_view.node_count(), cold_view.node_count());
+    assert_eq!(warm_view.edge_count(), cold_view.edge_count());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn saving_a_mutated_tenant_snapshots_the_folded_graph() {
+    let dir = std::env::temp_dir().join(format!("psi-live-graph-foldsave-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let stored = stored_graph(67);
+    let warm = live_multi(0);
+    let id = warm.register("live", PsiRunner::nfv_default(&stored)).unwrap();
+    warm.submit(id, &grown_query(&stored, 4, 1)).unwrap();
+    warm.apply_update(id, &GraphUpdate::new(vec![UpdateOp::AddNode { label: 8 }])).unwrap();
+
+    // save_graph folds the overlay first: the snapshot is a flat graph
+    // at a bumped epoch, and the WAL starts empty.
+    let report = warm.save_graph(id, &dir).expect("save");
+    assert_eq!(warm.epoch(id), Some(1), "save compacts the pending overlay");
+    let cold = live_multi(0);
+    let load = cold.load_graph(&report.snapshot_path).expect("load");
+    assert_eq!(load.replayed_updates, 0, "the fold left nothing to replay");
+    assert_eq!(
+        cold.runner(load.graph).unwrap().live_graph().node_count(),
+        stored.node_count() + 1,
+        "the snapshot carries the mutated (folded) graph"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn races_pinned_before_a_swap_finish_against_their_epoch() {
+    // A direct runner-level pin: take a view, let updates + compaction
+    // land, and check the pin still answers from its epoch while the
+    // runner serves the new one.
+    let stored = stored_graph(71);
+    let runner = PsiRunner::nfv_default(&stored);
+    let pin = runner.pinned();
+    assert_eq!(pin.epoch(), 0);
+
+    let n = stored.node_count() as u32;
+    runner
+        .apply_update(&GraphUpdate::new(vec![
+            UpdateOp::AddNode { label: 9 },
+            UpdateOp::AddEdge { u: 0, v: n, label: None },
+        ]))
+        .unwrap();
+    runner.compact().expect("pending ops fold");
+    assert_eq!(runner.epoch(), 1);
+
+    // The pinned view still sees the registration-time graph...
+    assert_eq!(pin.as_view().node_count(), stored.node_count());
+    assert!(!pin.as_view().has_edge(0, n));
+    // ...while the live view serves the mutated epoch.
+    let live = runner.pinned();
+    assert_eq!(live.epoch(), 1);
+    assert_eq!(live.as_view().node_count(), stored.node_count() + 1);
+    assert!(live.as_view().has_edge(0, n));
+}

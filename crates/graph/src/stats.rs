@@ -44,9 +44,15 @@ impl LabelStats {
     /// Folds one more graph into the statistics.
     pub fn add_graph(&mut self, g: &Graph) {
         for v in g.nodes() {
-            *self.counts.entry(g.label(v)).or_insert(0) += 1;
-            self.total += 1;
+            self.add_label(g.label(v));
         }
+    }
+
+    /// Folds a single label occurrence in — used by view-based callers
+    /// (live graphs) that iterate nodes themselves.
+    pub fn add_label(&mut self, label: Label) {
+        *self.counts.entry(label).or_insert(0) += 1;
+        self.total += 1;
     }
 
     /// Frequency of `label` (0 if never seen).

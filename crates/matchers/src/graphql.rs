@@ -20,8 +20,9 @@
 //! default r = 4).
 
 use crate::budget::{BudgetClock, SearchBudget, StopReason};
-use crate::matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
+use crate::matcher::{probe_view, Algorithm, Embedding, MatchResult, Matcher, SearchStats};
 use crate::scratch;
+use psi_delta::GraphView;
 use psi_graph::{Graph, Label, NodeId, TargetIndex};
 use std::sync::Arc;
 use std::time::Instant;
@@ -98,9 +99,9 @@ impl GraphQl {
     fn initial_candidates(
         &self,
         query: &Graph,
+        view: GraphView<'_>,
         clock: &mut BudgetClock<'_>,
     ) -> Result<Vec<Vec<NodeId>>, StopReason> {
-        let ix = &*self.index;
         let qsigs: Vec<Vec<Label>> =
             (0..query.node_count() as NodeId).map(|u| signature(query, u)).collect();
         let mut out = Vec::with_capacity(query.node_count());
@@ -109,20 +110,20 @@ impl GraphQl {
             let qmask = TargetIndex::mask_of(qsig);
             let qdeg = query.degree(u);
             let mut cands = Vec::new();
-            for &v in ix.candidates(query.label(u)) {
+            for &v in view.candidates(query.label(u)) {
                 if let Some(r) = clock.tick() {
                     return Err(r);
                 }
-                if qdeg > ix.degree(v) {
+                if qdeg > view.degree(v) {
                     continue;
                 }
                 // Mask subset is necessary for multiset containment, so
                 // the pre-filter never changes the candidate set — it
                 // only skips doomed multiset walks.
-                if !self.scan && qmask & !ix.label_mask(v) != 0 {
+                if view.accel() && qmask & !view.label_mask(v) != 0 {
                     continue;
                 }
-                if multiset_contains(ix.signature(v), qsig) {
+                if multiset_contains(view.signature(v), qsig) {
                     cands.push(v);
                 }
             }
@@ -137,15 +138,15 @@ impl GraphQl {
     fn refine(
         &self,
         query: &Graph,
+        view: GraphView<'_>,
         cands: &mut [Vec<NodeId>],
         clock: &mut BudgetClock<'_>,
         stats: &mut SearchStats,
     ) -> Result<(), StopReason> {
-        let target = self.index.graph();
         let nq = query.node_count();
-        let nt = target.node_count();
+        let nt = view.node_count();
         // Membership matrix for O(1) "is v a candidate of u" checks.
-        let mut member = scratch::bool_buf(nq * nt, !self.scan);
+        let mut member = scratch::bool_buf(nq * nt, view.accel());
         for (u, c) in cands.iter().enumerate() {
             for &v in c {
                 member[u * nt + v as usize] = true;
@@ -163,7 +164,7 @@ impl GraphQl {
                     if let Some(r) = clock.tick() {
                         return Err(r);
                     }
-                    if bipartite_match_exists(qn, target.neighbors(v), |q2, t2| {
+                    if bipartite_match_exists(qn, view.neighbors(v), |q2, t2| {
                         member[q2 as usize * nt + t2 as usize]
                     }) {
                         survivors.push(v);
@@ -303,7 +304,31 @@ impl Matcher for GraphQl {
     }
 
     fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult {
-        let target = self.index.graph();
+        let view = if self.scan {
+            GraphView::of_index_scan(&self.index)
+        } else {
+            GraphView::of_index(&self.index)
+        };
+        self.search_inner(query, view, budget)
+    }
+
+    fn search_view(
+        &self,
+        query: &Graph,
+        view: GraphView<'_>,
+        budget: &SearchBudget,
+    ) -> MatchResult {
+        self.search_inner(query, view.with_default_index(&self.index), budget)
+    }
+}
+
+impl GraphQl {
+    fn search_inner(
+        &self,
+        query: &Graph,
+        view: GraphView<'_>,
+        budget: &SearchBudget,
+    ) -> MatchResult {
         let start = Instant::now();
         let mut out = MatchResult::empty(StopReason::Complete);
         let mut clock = budget.start();
@@ -318,14 +343,14 @@ impl Matcher for GraphQl {
             out.elapsed = start.elapsed();
             return out;
         }
-        if query.node_count() > target.node_count() || query.edge_count() > target.edge_count() {
+        if query.node_count() > view.node_count() || query.edge_count() > view.edge_count() {
             out.elapsed = start.elapsed();
             return out;
         }
 
         let mut stats = SearchStats::default();
         // Rule 1.
-        let mut cands = match self.initial_candidates(query, &mut clock) {
+        let mut cands = match self.initial_candidates(query, view, &mut clock) {
             Ok(c) => c,
             Err(r) => {
                 out.stop = r;
@@ -339,7 +364,7 @@ impl Matcher for GraphQl {
             return out;
         }
         // Rule 2.
-        if let Err(r) = self.refine(query, &mut cands, &mut clock, &mut stats) {
+        if let Err(r) = self.refine(query, view, &mut cands, &mut clock, &mut stats) {
             out.stop = r;
             out.stats = stats;
             out.elapsed = start.elapsed();
@@ -352,10 +377,11 @@ impl Matcher for GraphQl {
         }
         // Rule 3 + backtracking join.
         let order = self.plan_order(query, &cands);
-        let mut assignment = scratch::u32_buf(query.node_count(), UNMAPPED, !self.scan);
-        let mut used = scratch::bool_buf(target.node_count(), !self.scan);
+        let mut assignment = scratch::u32_buf(query.node_count(), UNMAPPED, view.accel());
+        let mut used = scratch::bool_buf(view.node_count(), view.accel());
         let stop = self.join(
             query,
+            view,
             &order,
             &cands,
             0,
@@ -378,13 +404,12 @@ impl Matcher for GraphQl {
         out.elapsed = start.elapsed();
         out
     }
-}
 
-impl GraphQl {
     #[allow(clippy::too_many_arguments)]
     fn join(
         &self,
         query: &Graph,
+        view: GraphView<'_>,
         order: &[NodeId],
         cands: &[Vec<NodeId>],
         depth: usize,
@@ -400,8 +425,6 @@ impl GraphQl {
             return None;
         }
         let qv = order[depth];
-        let target = self.index.graph();
-        let ix = (!self.scan).then_some(&*self.index);
         for &tv in &cands[qv as usize] {
             if let Some(r) = clock.tick() {
                 return Some(r);
@@ -415,9 +438,9 @@ impl GraphQl {
                 if tn == UNMAPPED {
                     return true;
                 }
-                crate::matcher::probe_edge(ix, target, tn, tv, stats)
+                probe_view(&view, tn, tv, stats)
                     && (!query.has_edge_labels()
-                        || query.edge_label(qv, qn) == target.edge_label(tv, tn))
+                        || query.edge_label(qv, qn) == view.edge_label(tv, tn))
             });
             if !ok {
                 stats.candidates_pruned += 1;
@@ -427,6 +450,7 @@ impl GraphQl {
             used[tv as usize] = true;
             let r = self.join(
                 query,
+                view,
                 order,
                 cands,
                 depth + 1,
@@ -500,7 +524,7 @@ mod tests {
         let q = graph_from_parts(&[1, 2, 3], &[(0, 1), (0, 2)]);
         let budget = SearchBudget::unlimited();
         let mut clock = budget.start();
-        let cands = m.initial_candidates(&q, &mut clock).unwrap();
+        let cands = m.initial_candidates(&q, GraphView::of_index(&m.index), &mut clock).unwrap();
         assert!(cands[0].is_empty(), "signature containment must fail");
     }
 
@@ -546,7 +570,7 @@ mod tests {
         let q = graph_from_parts(&[0, 1], &[(0, 1)]); // node 1 is rare
         let budget = SearchBudget::unlimited();
         let mut clock = budget.start();
-        let cands = m.initial_candidates(&q, &mut clock).unwrap();
+        let cands = m.initial_candidates(&q, GraphView::of_index(&m.index), &mut clock).unwrap();
         let order = m.plan_order(&q, &cands);
         assert_eq!(order[0], 1, "rare label-1 vertex should lead the plan");
     }

@@ -6,6 +6,7 @@
 //! (matchers are `Send + Sync` and `search` takes `&self`).
 
 use crate::budget::{SearchBudget, StopReason};
+use psi_delta::GraphView;
 use psi_graph::{Graph, NodeId, TargetIndex};
 use std::sync::Arc;
 use std::time::Duration;
@@ -188,33 +189,34 @@ pub trait Matcher: Send + Sync {
     /// cancel them promptly.
     fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult;
 
+    /// Like [`Matcher::search`], but against an explicit [`GraphView`] —
+    /// the live-graph entry point. The view's base graph must be the
+    /// graph this matcher was prepared over (same epoch); the view may
+    /// additionally carry a delta overlay, which the matcher's inner
+    /// loops probe for touched nodes. A view without an overlay makes
+    /// this equivalent to [`Matcher::search`].
+    fn search_view(&self, query: &Graph, view: GraphView<'_>, budget: &SearchBudget)
+        -> MatchResult;
+
     /// Decision-problem convenience: does `query` embed at all?
     fn contains(&self, query: &Graph) -> bool {
         self.search(query, &SearchBudget::first_match()).found()
     }
 }
 
-/// One adjacency probe, routed through the shared index (bitset fast
-/// path) when present, or the CSR binary search in scan mode — with the
-/// answering path counted into `stats`. Shared by every matcher's inner
-/// search loop.
+/// One adjacency probe against a [`GraphView`] — overlay adjacency for
+/// touched endpoints, the shared index's bitset fast path when
+/// acceleration is on, CSR binary search otherwise — with the answering
+/// path counted into `stats`. Shared by every matcher's inner search
+/// loop.
 #[inline]
-pub(crate) fn probe_edge(
-    ix: Option<&TargetIndex>,
-    target: &Graph,
+pub(crate) fn probe_view(
+    view: &GraphView<'_>,
     u: NodeId,
     v: NodeId,
     stats: &mut SearchStats,
 ) -> bool {
-    match ix {
-        Some(ix) => {
-            ix.has_edge_counted(u, v, &mut stats.edge_probes_bitset, &mut stats.edge_probes_binary)
-        }
-        None => {
-            stats.edge_probes_binary += 1;
-            target.has_edge(u, v)
-        }
-    }
+    view.has_edge_counted(u, v, &mut stats.edge_probes_bitset, &mut stats.edge_probes_binary)
 }
 
 /// Validates that `embedding` is a correct non-induced sub-iso embedding of

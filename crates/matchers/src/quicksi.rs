@@ -18,6 +18,7 @@
 use crate::budget::{BudgetClock, SearchBudget, StopReason};
 use crate::matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
 use crate::scratch;
+use psi_delta::GraphView;
 use psi_graph::{Graph, Label, NodeId, TargetIndex};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -174,7 +175,21 @@ impl Matcher for QuickSi {
     }
 
     fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult {
-        let target = self.index.graph();
+        let view = if self.scan {
+            GraphView::of_index_scan(&self.index)
+        } else {
+            GraphView::of_index(&self.index)
+        };
+        self.search_view(query, view, budget)
+    }
+
+    fn search_view(
+        &self,
+        query: &Graph,
+        view: GraphView<'_>,
+        budget: &SearchBudget,
+    ) -> MatchResult {
+        let view = view.with_default_index(&self.index);
         let start = Instant::now();
         let mut out = MatchResult::empty(StopReason::Complete);
         let mut clock = budget.start();
@@ -189,16 +204,18 @@ impl Matcher for QuickSi {
             out.elapsed = start.elapsed();
             return out;
         }
-        if query.node_count() > target.node_count() || query.edge_count() > target.edge_count() {
+        if query.node_count() > view.node_count() || query.edge_count() > view.edge_count() {
             out.elapsed = start.elapsed();
             return out;
         }
         let seq = self.build_sequence(query);
         let mut stats = SearchStats::default();
-        let mut assignment = scratch::u32_buf(query.node_count(), UNMAPPED, !self.scan);
-        let mut used = scratch::bool_buf(target.node_count(), !self.scan);
+        let pooled = view.accel();
+        let mut assignment = scratch::u32_buf(query.node_count(), UNMAPPED, pooled);
+        let mut used = scratch::bool_buf(view.node_count(), pooled);
         let stop = self.match_step(
             query,
+            view,
             &seq,
             0,
             &mut assignment,
@@ -227,6 +244,7 @@ impl QuickSi {
     fn match_step(
         &self,
         query: &Graph,
+        view: GraphView<'_>,
         seq: &[(NodeId, Option<usize>)],
         depth: usize,
         assignment: &mut [NodeId],
@@ -240,28 +258,27 @@ impl QuickSi {
             found.push(assignment.to_vec());
             return None;
         }
-        let target = self.index.graph();
-        let ix = (!self.scan).then_some(&*self.index);
         let (qv, parent) = seq[depth];
         let qlabel = query.label(qv);
         let qdeg = query.degree(qv);
 
-        // Candidate source: parent image's neighborhood, or the shared
-        // index's label list for component roots.
+        // Candidate source: parent image's neighborhood, or the label's
+        // candidate list for component roots — both through the view, so
+        // overlay adjacency and merged candidate lists apply.
         let candidates: &[NodeId] = match parent {
             Some(pp) => {
                 let pimg = assignment[seq[pp].0 as usize];
                 debug_assert_ne!(pimg, UNMAPPED);
-                target.neighbors(pimg)
+                view.neighbors(pimg)
             }
-            None => self.index.candidates(qlabel),
+            None => view.candidates(qlabel),
         };
 
         for &tv in candidates {
             if let Some(r) = clock.tick() {
                 return Some(r);
             }
-            if used[tv as usize] || target.label(tv) != qlabel || self.index.degree(tv) < qdeg {
+            if used[tv as usize] || view.label(tv) != qlabel || view.degree(tv) < qdeg {
                 continue;
             }
             stats.nodes_expanded += 1;
@@ -272,9 +289,9 @@ impl QuickSi {
                 if tn == UNMAPPED {
                     return true;
                 }
-                crate::matcher::probe_edge(ix, target, tn, tv, stats)
+                crate::matcher::probe_view(&view, tn, tv, stats)
                     && (!query.has_edge_labels()
-                        || query.edge_label(qv, qn) == target.edge_label(tv, tn))
+                        || query.edge_label(qv, qn) == view.edge_label(tv, tn))
             });
             if !ok {
                 stats.candidates_pruned += 1;
@@ -284,6 +301,7 @@ impl QuickSi {
             used[tv as usize] = true;
             let r = self.match_step(
                 query,
+                view,
                 seq,
                 depth + 1,
                 assignment,

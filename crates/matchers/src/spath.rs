@@ -27,8 +27,9 @@
 //!   verification against previously bound neighbors.
 
 use crate::budget::{BudgetClock, SearchBudget, StopReason};
-use crate::matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
+use crate::matcher::{probe_view, Algorithm, Embedding, MatchResult, Matcher, SearchStats};
 use crate::scratch;
+use psi_delta::GraphView;
 use psi_graph::{Graph, Label, NodeId, TargetIndex};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -111,24 +112,36 @@ impl SPath {
     /// Candidate lists per query node via label + cumulative distance-wise
     /// signature containment. Ticks the budget clock so racing cancellation
     /// reaches the pre-search phase promptly.
+    ///
+    /// The distance signatures were computed over the *base* graph at
+    /// preparation time; a delta overlay can shorten or lengthen BFS
+    /// distances arbitrarily, so on overlay views the signature filter is
+    /// skipped entirely (applying a stale signature could wrongly reject a
+    /// valid candidate — label and degree checks remain sound).
     fn candidates(
         &self,
         query: &Graph,
+        view: GraphView<'_>,
         clock: &mut BudgetClock<'_>,
     ) -> Result<Vec<Vec<NodeId>>, StopReason> {
-        let ix = &*self.index;
-        let qsigs: Vec<DistanceSignature> = (0..query.node_count() as NodeId)
-            .map(|u| distance_signature(query, u, self.radius))
-            .collect();
+        let use_signatures = !view.has_overlay();
+        let qsigs: Vec<DistanceSignature> = if use_signatures {
+            (0..query.node_count() as NodeId)
+                .map(|u| distance_signature(query, u, self.radius))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut out = Vec::with_capacity(query.node_count());
         for u in 0..query.node_count() as NodeId {
             let mut cands = Vec::new();
-            for &v in ix.candidates(query.label(u)) {
+            for &v in view.candidates(query.label(u)) {
                 if let Some(r) = clock.tick() {
                     return Err(r);
                 }
-                if query.degree(u) <= ix.degree(v)
-                    && signature_fits(&qsigs[u as usize], &self.signatures[v as usize])
+                if query.degree(u) <= view.degree(v)
+                    && (!use_signatures
+                        || signature_fits(&qsigs[u as usize], &self.signatures[v as usize]))
                 {
                     cands.push(v);
                 }
@@ -280,7 +293,31 @@ impl Matcher for SPath {
     }
 
     fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult {
-        let target = self.index.graph();
+        let view = if self.scan {
+            GraphView::of_index_scan(&self.index)
+        } else {
+            GraphView::of_index(&self.index)
+        };
+        self.search_inner(query, view, budget)
+    }
+
+    fn search_view(
+        &self,
+        query: &Graph,
+        view: GraphView<'_>,
+        budget: &SearchBudget,
+    ) -> MatchResult {
+        self.search_inner(query, view.with_default_index(&self.index), budget)
+    }
+}
+
+impl SPath {
+    fn search_inner(
+        &self,
+        query: &Graph,
+        view: GraphView<'_>,
+        budget: &SearchBudget,
+    ) -> MatchResult {
         let start = Instant::now();
         let mut out = MatchResult::empty(StopReason::Complete);
         let mut clock = budget.start();
@@ -295,13 +332,13 @@ impl Matcher for SPath {
             out.elapsed = start.elapsed();
             return out;
         }
-        if query.node_count() > target.node_count() || query.edge_count() > target.edge_count() {
+        if query.node_count() > view.node_count() || query.edge_count() > view.edge_count() {
             out.elapsed = start.elapsed();
             return out;
         }
 
         let mut stats = SearchStats::default();
-        let cands = match self.candidates(query, &mut clock) {
+        let cands = match self.candidates(query, view, &mut clock) {
             Ok(c) => c,
             Err(r) => {
                 out.stop = r;
@@ -316,10 +353,11 @@ impl Matcher for SPath {
         }
         let order = self.path_order(query, &cands);
         debug_assert_eq!(order.len(), query.node_count());
-        let mut assignment = scratch::u32_buf(query.node_count(), UNMAPPED, !self.scan);
-        let mut used = scratch::bool_buf(target.node_count(), !self.scan);
+        let mut assignment = scratch::u32_buf(query.node_count(), UNMAPPED, view.accel());
+        let mut used = scratch::bool_buf(view.node_count(), view.accel());
         let stop = self.verify(
             query,
+            view,
             &order,
             &cands,
             0,
@@ -342,14 +380,13 @@ impl Matcher for SPath {
         out.elapsed = start.elapsed();
         out
     }
-}
 
-impl SPath {
     /// Edge-by-edge verification along the path order.
     #[allow(clippy::too_many_arguments)]
     fn verify(
         &self,
         query: &Graph,
+        view: GraphView<'_>,
         order: &[NodeId],
         cands: &[Vec<NodeId>],
         depth: usize,
@@ -365,8 +402,6 @@ impl SPath {
             return None;
         }
         let qv = order[depth];
-        let target = self.index.graph();
-        let ix = (!self.scan).then_some(&*self.index);
         // Prefer extending through a bound neighbor's adjacency when
         // available (path traversal); otherwise use the candidate list.
         let bound_neighbor =
@@ -375,7 +410,7 @@ impl SPath {
         let from_cands: &[NodeId];
         match bound_neighbor {
             Some(qn) => {
-                from_neighbors = target.neighbors(assignment[qn as usize]);
+                from_neighbors = view.neighbors(assignment[qn as usize]);
                 from_cands = &[];
             }
             None => {
@@ -400,9 +435,9 @@ impl SPath {
                 if tn == UNMAPPED {
                     return true;
                 }
-                crate::matcher::probe_edge(ix, target, tn, tv, stats)
+                probe_view(&view, tn, tv, stats)
                     && (!query.has_edge_labels()
-                        || query.edge_label(qv, qn) == target.edge_label(tv, tn))
+                        || query.edge_label(qv, qn) == view.edge_label(tv, tn))
             });
             if !ok {
                 stats.candidates_pruned += 1;
@@ -412,6 +447,7 @@ impl SPath {
             used[tv as usize] = true;
             let r = self.verify(
                 query,
+                view,
                 order,
                 cands,
                 depth + 1,

@@ -12,6 +12,7 @@
 use crate::budget::{BudgetClock, SearchBudget, StopReason};
 use crate::matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
 use crate::scratch;
+use psi_delta::GraphView;
 use psi_graph::{Graph, NodeId, TargetIndex};
 use std::sync::Arc;
 use std::time::Instant;
@@ -66,8 +67,21 @@ impl Matcher for Ullmann {
     }
 
     fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult {
-        let ix = (!self.scan).then_some(&*self.index);
-        search_inner(query, self.index.graph(), ix, !self.scan, budget)
+        let view = if self.scan {
+            GraphView::of_index_scan(&self.index)
+        } else {
+            GraphView::of_index(&self.index)
+        };
+        search_inner(query, view, budget)
+    }
+
+    fn search_view(
+        &self,
+        query: &Graph,
+        view: GraphView<'_>,
+        budget: &SearchBudget,
+    ) -> MatchResult {
+        search_inner(query, view.with_default_index(&self.index), budget)
     }
 }
 
@@ -101,18 +115,13 @@ impl Matrix {
 }
 
 /// Runs Ullmann on a (query, target) pair — the index-free scan
-/// implementation (the seed behavior).
+/// implementation (the seed behavior), routed through a bare
+/// [`GraphView`].
 pub fn ullmann_search(query: &Graph, target: &Graph, budget: &SearchBudget) -> MatchResult {
-    search_inner(query, target, None, false, budget)
+    search_inner(query, GraphView::of_graph(target), budget)
 }
 
-fn search_inner(
-    query: &Graph,
-    target: &Graph,
-    ix: Option<&TargetIndex>,
-    pooled: bool,
-    budget: &SearchBudget,
-) -> MatchResult {
+fn search_inner(query: &Graph, view: GraphView<'_>, budget: &SearchBudget) -> MatchResult {
     let start = Instant::now();
     let mut out = MatchResult::empty(StopReason::Complete);
     let mut clock = budget.start();
@@ -121,15 +130,16 @@ fn search_inner(
         out.elapsed = start.elapsed();
         return out;
     }
+    let pooled = view.accel();
     let nq = query.node_count();
-    let nt = target.node_count();
+    let nt = view.node_count();
     if nq == 0 {
         out.embeddings.push(Vec::new());
         out.num_matches = 1;
         out.elapsed = start.elapsed();
         return out;
     }
-    if nq > nt || query.edge_count() > target.edge_count() {
+    if nq > nt || query.edge_count() > view.edge_count() {
         out.elapsed = start.elapsed();
         return out;
     }
@@ -137,36 +147,33 @@ fn search_inner(
     // Seed matrix: label equality + degree feasibility (non-induced, so
     // deg(q) <= deg(t)).
     let mut m = Matrix::new(nq, nt, pooled);
-    match ix {
+    if view.accel() {
         // Indexed: only the label's candidate list is visited — the
         // seeded membership is identical to the scan, without the
         // `nq × nt` label scan per query.
-        Some(ix) => {
-            for q in 0..nq {
-                let qdeg = query.degree(q as NodeId);
-                for &t in ix.candidates(query.label(q as NodeId)) {
-                    if qdeg <= ix.degree(t) {
-                        m.set(q, t as usize, true);
-                    }
+        for q in 0..nq {
+            let qdeg = query.degree(q as NodeId);
+            for &t in view.candidates(query.label(q as NodeId)) {
+                if qdeg <= view.degree(t) {
+                    m.set(q, t as usize, true);
                 }
             }
         }
-        None => {
-            for q in 0..nq {
-                for t in 0..nt {
-                    m.set(
-                        q,
-                        t,
-                        query.label(q as NodeId) == target.label(t as NodeId)
-                            && query.degree(q as NodeId) <= target.degree(t as NodeId),
-                    );
-                }
+    } else {
+        for q in 0..nq {
+            for t in 0..nt {
+                m.set(
+                    q,
+                    t,
+                    query.label(q as NodeId) == view.label(t as NodeId)
+                        && query.degree(q as NodeId) <= view.degree(t as NodeId),
+                );
             }
         }
     }
 
     let mut stats = SearchStats::default();
-    if !refine(query, target, &mut m, &mut stats) {
+    if !refine(query, view, &mut m, &mut stats) {
         out.stats = stats;
         out.elapsed = start.elapsed();
         return out;
@@ -176,8 +183,7 @@ fn search_inner(
     let mut used = scratch::bool_buf(nt, pooled);
     let stop = backtrack(
         query,
-        target,
-        ix,
+        view,
         0,
         &m,
         &mut assignment,
@@ -203,9 +209,9 @@ fn search_inner(
 /// Ullmann's refinement: iterate to a fixpoint removing candidates `(q, t)`
 /// for which some neighbor of `q` has no candidate among `t`'s neighbors.
 /// Returns false if some query vertex loses all candidates.
-fn refine(query: &Graph, target: &Graph, m: &mut Matrix, stats: &mut SearchStats) -> bool {
+fn refine(query: &Graph, view: GraphView<'_>, m: &mut Matrix, stats: &mut SearchStats) -> bool {
     let nq = query.node_count();
-    let nt = target.node_count();
+    let nt = view.node_count();
     let mut changed = true;
     while changed {
         changed = false;
@@ -215,7 +221,7 @@ fn refine(query: &Graph, target: &Graph, m: &mut Matrix, stats: &mut SearchStats
                     continue;
                 }
                 let ok = query.neighbors(q as NodeId).iter().all(|&qn| {
-                    target.neighbors(t as NodeId).iter().any(|&tn| m.get(qn as usize, tn as usize))
+                    view.neighbors(t as NodeId).iter().any(|&tn| m.get(qn as usize, tn as usize))
                 });
                 if !ok {
                     m.set(q, t, false);
@@ -234,8 +240,7 @@ fn refine(query: &Graph, target: &Graph, m: &mut Matrix, stats: &mut SearchStats
 #[allow(clippy::too_many_arguments)]
 fn backtrack(
     query: &Graph,
-    target: &Graph,
-    ix: Option<&TargetIndex>,
+    view: GraphView<'_>,
     depth: usize,
     m: &Matrix,
     assignment: &mut [NodeId],
@@ -250,7 +255,7 @@ fn backtrack(
         return None;
     }
     let qv = depth as NodeId;
-    for t in 0..target.node_count() {
+    for t in 0..view.node_count() {
         if let Some(r) = clock.tick() {
             return Some(r);
         }
@@ -263,9 +268,9 @@ fn backtrack(
         let ok = query.neighbors(qv).iter().all(|&qn| {
             if qn < qv {
                 let tn = assignment[qn as usize];
-                crate::matcher::probe_edge(ix, target, tn, tv, stats)
+                crate::matcher::probe_view(&view, tn, tv, stats)
                     && (!query.has_edge_labels()
-                        || query.edge_label(qv, qn) == target.edge_label(tv, tn))
+                        || query.edge_label(qv, qn) == view.edge_label(tv, tn))
             } else {
                 true
             }
@@ -278,8 +283,7 @@ fn backtrack(
         used[t] = true;
         let r = backtrack(
             query,
-            target,
-            ix,
+            view,
             depth + 1,
             m,
             assignment,

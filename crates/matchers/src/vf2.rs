@@ -24,6 +24,7 @@
 use crate::budget::{BudgetClock, SearchBudget, StopReason};
 use crate::matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
 use crate::scratch;
+use psi_delta::GraphView;
 use psi_graph::{Graph, NodeId, TargetIndex};
 use std::sync::Arc;
 use std::time::Instant;
@@ -81,25 +82,33 @@ impl Matcher for Vf2 {
     }
 
     fn search(&self, query: &Graph, budget: &SearchBudget) -> MatchResult {
-        let ix = (!self.scan).then_some(&*self.index);
-        search_inner(query, self.index.graph(), ix, !self.scan, budget)
+        let view = if self.scan {
+            GraphView::of_index_scan(&self.index)
+        } else {
+            GraphView::of_index(&self.index)
+        };
+        search_inner(query, view, budget)
+    }
+
+    fn search_view(
+        &self,
+        query: &Graph,
+        view: GraphView<'_>,
+        budget: &SearchBudget,
+    ) -> MatchResult {
+        search_inner(query, view.with_default_index(&self.index), budget)
     }
 }
 
 /// Runs VF2 directly on a (query, target) pair without constructing a
 /// [`Vf2`] value. The FTV systems call this per candidate graph / extracted
-/// component; it is the index-free scan implementation.
+/// component; it is the index-free scan implementation, routed through a
+/// bare [`GraphView`].
 pub fn vf2_search(query: &Graph, target: &Graph, budget: &SearchBudget) -> MatchResult {
-    search_inner(query, target, None, false, budget)
+    search_inner(query, GraphView::of_graph(target), budget)
 }
 
-fn search_inner(
-    query: &Graph,
-    target: &Graph,
-    ix: Option<&TargetIndex>,
-    pooled: bool,
-    budget: &SearchBudget,
-) -> MatchResult {
+fn search_inner(query: &Graph, view: GraphView<'_>, budget: &SearchBudget) -> MatchResult {
     let start = Instant::now();
     let mut out = MatchResult::empty(StopReason::Complete);
     let mut clock = budget.start();
@@ -114,12 +123,12 @@ fn search_inner(
         out.elapsed = start.elapsed();
         return out;
     }
-    if query.node_count() > target.node_count() || query.edge_count() > target.edge_count() {
+    if query.node_count() > view.node_count() || query.edge_count() > view.edge_count() {
         out.elapsed = start.elapsed();
         return out;
     }
 
-    let mut st = State::new(query, target, ix, pooled);
+    let mut st = State::new(query, view);
     let stop = st.grow(0, &mut clock, &mut out.embeddings, budget.max_matches);
     out.num_matches = out.embeddings.len();
     out.stop = match stop {
@@ -136,9 +145,8 @@ fn search_inner(
 
 struct State<'a> {
     q: &'a Graph,
-    t: &'a Graph,
-    /// The shared target index; `None` runs the scan-mode seed paths.
-    ix: Option<&'a TargetIndex>,
+    /// The unified read surface: base CSR + index (+ delta overlay).
+    view: GraphView<'a>,
     /// query → target mapping (UNMAPPED if free).
     core_q: scratch::U32Buf,
     /// target → query mapping (UNMAPPED if free).
@@ -152,24 +160,24 @@ struct State<'a> {
 }
 
 impl<'a> State<'a> {
-    fn new(q: &'a Graph, t: &'a Graph, ix: Option<&'a TargetIndex>, pooled: bool) -> Self {
+    fn new(q: &'a Graph, view: GraphView<'a>) -> Self {
+        let pooled = view.accel();
         Self {
             q,
-            t,
-            ix,
+            view,
             core_q: scratch::u32_buf(q.node_count(), UNMAPPED, pooled),
-            core_t: scratch::u32_buf(t.node_count(), UNMAPPED, pooled),
+            core_t: scratch::u32_buf(view.node_count(), UNMAPPED, pooled),
             tin_q: scratch::u32_buf(q.node_count(), 0, pooled),
-            tin_t: scratch::u32_buf(t.node_count(), 0, pooled),
+            tin_t: scratch::u32_buf(view.node_count(), 0, pooled),
             stats: SearchStats::default(),
         }
     }
 
-    /// Adjacency probe through the index (bitset fast path + counting)
-    /// or the CSR binary search in scan mode.
+    /// Adjacency probe through the view (overlay, bitset fast path, or
+    /// CSR binary search — counted accordingly).
     #[inline]
     fn probe_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        crate::matcher::probe_edge(self.ix, self.t, u, v, &mut self.stats)
+        crate::matcher::probe_view(&self.view, u, v, &mut self.stats)
     }
 
     /// Picks the next query vertex: the lowest-ID unmatched vertex in the
@@ -203,7 +211,7 @@ impl<'a> State<'a> {
                     return false;
                 }
                 if self.q.has_edge_labels()
-                    && self.q.edge_label(qv, qn) != self.t.edge_label(tv, img)
+                    && self.q.edge_label(qv, qn) != self.view.edge_label(tv, img)
                 {
                     return false;
                 }
@@ -221,7 +229,7 @@ impl<'a> State<'a> {
             }
         }
         let (mut t_term, mut t_new) = (0usize, 0usize);
-        for &tn in self.t.neighbors(tv) {
+        for &tn in self.view.neighbors(tv) {
             if self.core_t[tn as usize] == UNMAPPED {
                 if self.tin_t[tn as usize] != 0 {
                     t_term += 1;
@@ -250,7 +258,7 @@ impl<'a> State<'a> {
                 self.tin_q[qn as usize] = depth;
             }
         }
-        for &tn in self.t.neighbors(tv) {
+        for &tn in self.view.neighbors(tv) {
             if self.tin_t[tn as usize] == 0 {
                 self.tin_t[tn as usize] = depth;
             }
@@ -297,7 +305,7 @@ impl<'a> State<'a> {
                 .iter()
                 .copied()
                 .filter(|&qn| self.core_q[qn as usize] != UNMAPPED)
-                .min_by_key(|&qn| self.t.degree(self.core_q[qn as usize]))
+                .min_by_key(|&qn| self.view.degree(self.core_q[qn as usize]))
         } else {
             None
         };
@@ -308,7 +316,7 @@ impl<'a> State<'a> {
                 if let Some(r) = clock.tick() {
                     return Some(r);
                 }
-                if self.core_t[tv as usize] == UNMAPPED && self.t.label(tv) == qlabel {
+                if self.core_t[tv as usize] == UNMAPPED && self.view.label(tv) == qlabel {
                     self.stats.nodes_expanded += 1;
                     if self.feasible(qv, tv) {
                         self.add_pair(qv, tv, depth);
@@ -332,28 +340,26 @@ impl<'a> State<'a> {
             Some(qn) => {
                 let img = self.core_q[qn as usize];
                 // Candidates must be adjacent to the image of the anchor.
-                for i in 0..self.t.neighbors(img).len() {
-                    let tv = self.t.neighbors(img)[i];
+                // The slice borrows the view's state (lifetime 'a), not
+                // `self`, so the macro's `&mut self` calls are fine.
+                for &tv in self.view.neighbors(img) {
                     try_candidate!(tv);
                 }
             }
-            None => match self.ix {
+            None if self.view.accel() => {
                 // Indexed: only vertices carrying the query label can
                 // match — same visit order (IDs ascending), no full scan.
-                Some(ix) => {
-                    // `cands` borrows the index (lifetime 'a), not
-                    // `self`, so the macro's `&mut self` calls are fine.
-                    for &tv in ix.candidates(qlabel) {
-                        try_candidate!(tv);
-                    }
+                for &tv in self.view.candidates(qlabel) {
+                    try_candidate!(tv);
                 }
-                // Scan mode (seed behavior): every target vertex.
-                None => {
-                    for tv in 0..self.t.node_count() as NodeId {
-                        try_candidate!(tv);
-                    }
+            }
+            // Scan mode (seed behavior): every target vertex. Tombstones
+            // carry the reserved label, so they never match.
+            None => {
+                for tv in 0..self.view.node_count() as NodeId {
+                    try_candidate!(tv);
                 }
-            },
+            }
         }
         None
     }

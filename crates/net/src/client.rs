@@ -9,7 +9,7 @@
 //! [`send`]: PsiClient::send
 //! [`recv`]: PsiClient::recv
 
-use crate::codec::{read_frame, write_frame, CodecError, QueryFrame, ReplyFrame};
+use crate::codec::{read_frame, write_frame, CodecError, QueryFrame, ReplyFrame, UpdateFrame};
 use crate::server::connect_blocking;
 use std::io::{self, ErrorKind};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -53,6 +53,19 @@ impl PsiClient {
     /// one-at-a-time case.
     pub fn roundtrip(&mut self, frame: &QueryFrame) -> io::Result<ReplyFrame> {
         self.send(frame)?;
+        self.recv()
+    }
+
+    /// Writes one graph-update frame. Pipelines like [`send`](Self::send);
+    /// the reply (status `UpdateApplied` carrying the new epoch, or a
+    /// typed rejection) arrives via [`recv`](Self::recv).
+    pub fn send_update(&mut self, frame: &UpdateFrame) -> io::Result<()> {
+        write_frame(&mut self.stream, &frame.encode())
+    }
+
+    /// [`send_update`](Self::send_update) + [`recv`](Self::recv).
+    pub fn apply_update(&mut self, frame: &UpdateFrame) -> io::Result<ReplyFrame> {
+        self.send_update(frame)?;
         self.recv()
     }
 }

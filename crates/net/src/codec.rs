@@ -7,14 +7,23 @@
 //! are little-endian; no padding, no self-description, no allocation
 //! proportional to anything but the declared (bounded) frame length.
 //!
-//! **Request payload** (client → server), see [`QueryFrame`]:
+//! **Request payload** (client → server). Every request starts with the
+//! same 18-byte header — version, frame kind, graph, tag — so a server
+//! can correlate even a frame whose kind it does not understand (it
+//! replies `BadRequest` with the salvaged tag instead of hanging up):
 //!
 //! | field        | type          | notes                                   |
 //! |--------------|---------------|-----------------------------------------|
 //! | version      | `u8`          | must equal [`WIRE_VERSION`]             |
+//! | kind         | `u8`          | 0 = query, 1 = graph update             |
 //! | graph        | `u64`         | registration index of the target graph |
-//! | priority     | `u8`          | 0 = Low, 1 = Normal, 2 = High           |
 //! | tag          | `u64`         | echoed verbatim in the reply            |
+//!
+//! A **query** (kind 0, [`QueryFrame`]) continues:
+//!
+//! | field        | type          | notes                                   |
+//! |--------------|---------------|-----------------------------------------|
+//! | priority     | `u8`          | 0 = Low, 1 = Normal, 2 = High           |
 //! | max_matches  | `u64`         | race budget cap; 0 = engine default     |
 //! | timeout_us   | `u64`         | race budget timeout, 0 = engine default |
 //! | deadline_us  | `u64`         | admission-anchored deadline, 0 = none   |
@@ -22,6 +31,10 @@
 //! | labels       | `u32 × nodes` | per-node labels                         |
 //! | edge count   | `u32`         |                                         |
 //! | edges        | `(u32,u32) ×` | endpoint pairs, must be in range        |
+//!
+//! A **graph update** (kind 1, [`UpdateFrame`]) continues with the
+//! batch's [`psi_core::GraphUpdate`] wire encoding, running to the end
+//! of the payload.
 //!
 //! **Reply payload** (server → client), see [`ReplyFrame`]: `tag: u64`,
 //! then `status: u8`, then a status-specific body. Status codes are a
@@ -36,12 +49,15 @@
 //! | 3 | unknown graph (`RouteError::UnknownGraph`) | — |
 //! | 4 | no graph named (`RouteError::NoGraph`) | — |
 //! | 5 | malformed request | — |
+//! | 6 | update applied | `epoch u64` |
+//! | 7 | update rejected (`psi_core::UpdateError`) | — |
 //! | 250 | internal / unmapped engine error | — |
 //!
 //! The engine's error enums are `#[non_exhaustive]`; the status mapping
 //! routes any variant added later to code 250 rather than failing to
 //! compile or, worse, reusing an existing code.
 
+use psi_core::GraphUpdate;
 use psi_engine::{AdmissionError, Priority, RouteError, ServePath, SubmitError};
 use psi_graph::graph::graph_from_parts;
 use psi_graph::Graph;
@@ -49,7 +65,13 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Wire protocol version, first byte of every request payload.
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 added the frame-kind byte and the graph-update frame.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Frame-kind byte of a query request.
+const KIND_QUERY: u8 = 0;
+/// Frame-kind byte of a graph-update request.
+const KIND_UPDATE: u8 = 1;
 
 /// Hard cap on a frame's declared payload length (16 MiB). Enforced on
 /// both ends before any buffering happens.
@@ -119,6 +141,11 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
+    /// The unread remainder of the payload.
+    fn rest(self) -> &'a [u8] {
+        &self.buf[self.at..]
+    }
+
     fn finish(self) -> Result<(), CodecError> {
         if self.at == self.buf.len() {
             Ok(())
@@ -182,9 +209,10 @@ impl QueryFrame {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + 4 * self.labels.len() + 8 * self.edges.len());
         out.push(WIRE_VERSION);
+        out.push(KIND_QUERY);
         put_u64(&mut out, self.graph);
-        out.push(self.priority);
         put_u64(&mut out, self.tag);
+        out.push(self.priority);
         put_u64(&mut out, self.max_matches);
         put_u64(&mut out, self.timeout_us);
         put_u64(&mut out, self.deadline_us);
@@ -208,12 +236,15 @@ impl QueryFrame {
         if version != WIRE_VERSION {
             return Err(CodecError::BadVersion(version));
         }
+        if r.u8()? != KIND_QUERY {
+            return Err(CodecError::Malformed("not a query frame"));
+        }
         let graph = r.u64()?;
+        let tag = r.u64()?;
         let priority = r.u8()?;
         if priority > 2 {
             return Err(CodecError::Malformed("priority out of range"));
         }
-        let tag = r.u64()?;
         let max_matches = r.u64()?;
         let timeout_us = r.u64()?;
         let deadline_us = r.u64()?;
@@ -264,6 +295,87 @@ impl QueryFrame {
     }
 }
 
+/// One graph-mutation batch as it travels on the wire (kind 1). The
+/// server applies it through `MultiEngine::apply_update` — the same
+/// fair-admission machinery as queries — and answers
+/// [`WireStatus::UpdateApplied`] with the epoch the batch landed in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateFrame {
+    /// Registration index of the target graph (`GraphId::index`).
+    pub graph: u64,
+    /// Client-chosen correlation id, echoed in the reply.
+    pub tag: u64,
+    /// The mutation batch.
+    pub update: GraphUpdate,
+}
+
+impl UpdateFrame {
+    /// An update frame against graph `graph`.
+    pub fn new(graph: u64, update: GraphUpdate) -> Self {
+        Self { graph, tag: 0, update }
+    }
+
+    /// Serializes the payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.update.encode();
+        let mut out = Vec::with_capacity(18 + body.len());
+        out.push(WIRE_VERSION);
+        out.push(KIND_UPDATE);
+        put_u64(&mut out, self.graph);
+        put_u64(&mut out, self.tag);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parses one payload. Structural validation only — semantic
+    /// rejection (unknown nodes, duplicate edges…) happens when the
+    /// batch is applied.
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(payload);
+        let version = r.u8()?;
+        if version != WIRE_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        if r.u8()? != KIND_UPDATE {
+            return Err(CodecError::Malformed("not an update frame"));
+        }
+        let graph = r.u64()?;
+        let tag = r.u64()?;
+        let update =
+            GraphUpdate::decode(r.rest()).map_err(|_| CodecError::Malformed("update batch"))?;
+        Ok(Self { graph, tag, update })
+    }
+}
+
+/// Any request the server understands, dispatched on the kind byte. An
+/// unknown kind is a [`CodecError::Malformed`] — the server salvages
+/// the fixed-offset tag and replies `BadRequest`, keeping old servers
+/// safe against frames from newer clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RequestFrame {
+    /// A subgraph query (kind 0).
+    Query(QueryFrame),
+    /// A graph-mutation batch (kind 1).
+    Update(UpdateFrame),
+}
+
+impl RequestFrame {
+    /// Parses one request payload, dispatching on the kind byte.
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let version = *payload.first().ok_or(CodecError::Truncated)?;
+        if version != WIRE_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        match payload.get(1) {
+            Some(&KIND_QUERY) => Ok(RequestFrame::Query(QueryFrame::decode(payload)?)),
+            Some(&KIND_UPDATE) => Ok(RequestFrame::Update(UpdateFrame::decode(payload)?)),
+            Some(_) => Err(CodecError::Malformed("unknown frame kind")),
+            None => Err(CodecError::Truncated),
+        }
+    }
+}
+
 /// Wire status of a reply. See the module docs for the stable mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
@@ -280,6 +392,11 @@ pub enum WireStatus {
     NoGraph,
     /// The request failed to decode.
     BadRequest,
+    /// A graph-update batch was applied; the reply carries the epoch.
+    UpdateApplied,
+    /// A graph-update batch was semantically rejected
+    /// (`psi_core::UpdateError`); the live graph is untouched.
+    UpdateRejected,
     /// Any engine error this codec version has no code for.
     Internal,
 }
@@ -294,6 +411,8 @@ impl WireStatus {
             WireStatus::UnknownGraph => 3,
             WireStatus::NoGraph => 4,
             WireStatus::BadRequest => 5,
+            WireStatus::UpdateApplied => 6,
+            WireStatus::UpdateRejected => 7,
             WireStatus::Internal => 250,
         }
     }
@@ -306,6 +425,8 @@ impl WireStatus {
             3 => WireStatus::UnknownGraph,
             4 => WireStatus::NoGraph,
             5 => WireStatus::BadRequest,
+            6 => WireStatus::UpdateApplied,
+            7 => WireStatus::UpdateRejected,
             250 => WireStatus::Internal,
             _ => return Err(CodecError::Malformed("unknown status code")),
         })
@@ -366,17 +487,25 @@ pub struct ReplyFrame {
     pub verdict: Option<WireVerdict>,
     /// Present iff `status == Busy`: suggested client backoff, µs.
     pub retry_hint_us: u64,
+    /// Present iff `status == UpdateApplied`: the epoch the mutation
+    /// batch landed in.
+    pub epoch: u64,
 }
 
 impl ReplyFrame {
     /// A success reply.
     pub fn ok(tag: u64, verdict: WireVerdict) -> Self {
-        Self { tag, status: WireStatus::Ok, verdict: Some(verdict), retry_hint_us: 0 }
+        Self { tag, status: WireStatus::Ok, verdict: Some(verdict), retry_hint_us: 0, epoch: 0 }
+    }
+
+    /// A reply confirming an applied graph-update batch.
+    pub fn update_applied(tag: u64, epoch: u64) -> Self {
+        Self { tag, status: WireStatus::UpdateApplied, verdict: None, retry_hint_us: 0, epoch }
     }
 
     /// An error reply.
     pub fn error(tag: u64, status: WireStatus, retry_hint_us: u64) -> Self {
-        Self { tag, status, verdict: None, retry_hint_us }
+        Self { tag, status, verdict: None, retry_hint_us, epoch: 0 }
     }
 
     /// Serializes the payload (no length prefix).
@@ -398,6 +527,7 @@ impl ReplyFrame {
                 }
             }
             WireStatus::Busy => put_u64(&mut out, self.retry_hint_us),
+            WireStatus::UpdateApplied => put_u64(&mut out, self.epoch),
             _ => {}
         }
         out
@@ -408,7 +538,7 @@ impl ReplyFrame {
         let mut r = Reader::new(payload);
         let tag = r.u64()?;
         let status = WireStatus::from_code(r.u8()?)?;
-        let mut reply = ReplyFrame { tag, status, verdict: None, retry_hint_us: 0 };
+        let mut reply = ReplyFrame { tag, status, verdict: None, retry_hint_us: 0, epoch: 0 };
         match status {
             WireStatus::Ok => {
                 let found = r.u8()? != 0;
@@ -437,6 +567,7 @@ impl ReplyFrame {
                 });
             }
             WireStatus::Busy => reply.retry_hint_us = r.u64()?,
+            WireStatus::UpdateApplied => reply.epoch = r.u64()?,
             _ => {}
         }
         r.finish()?;
@@ -554,12 +685,52 @@ mod tests {
             WireStatus::UnknownGraph,
             WireStatus::NoGraph,
             WireStatus::BadRequest,
+            WireStatus::UpdateRejected,
             WireStatus::Internal,
         ] {
             let hint = if status == WireStatus::Busy { 250 } else { 0 };
             let err = ReplyFrame::error(9, status, hint);
             assert_eq!(ReplyFrame::decode(&err.encode()).unwrap(), err);
         }
+        let applied = ReplyFrame::update_applied(11, 42);
+        assert_eq!(ReplyFrame::decode(&applied.encode()).unwrap(), applied);
+    }
+
+    #[test]
+    fn update_frame_round_trips_and_dispatches() {
+        use psi_core::UpdateOp;
+        let mut frame = UpdateFrame::new(
+            2,
+            GraphUpdate::new(vec![
+                UpdateOp::AddNode { label: 3 },
+                UpdateOp::AddEdge { u: 0, v: 4, label: None },
+                UpdateOp::RemoveNode { node: 1 },
+            ]),
+        );
+        frame.tag = 0xfeed;
+        assert_eq!(UpdateFrame::decode(&frame.encode()).unwrap(), frame);
+        match RequestFrame::decode(&frame.encode()).unwrap() {
+            RequestFrame::Update(decoded) => assert_eq!(decoded, frame),
+            other => panic!("update frames dispatch as updates, got {other:?}"),
+        }
+        match RequestFrame::decode(&sample_query().encode()).unwrap() {
+            RequestFrame::Query(decoded) => assert_eq!(decoded, sample_query()),
+            other => panic!("query frames dispatch as queries, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_frame_kind_is_malformed_with_salvageable_tag() {
+        let mut payload = sample_query().encode();
+        payload[1] = 9; // a kind this codec version does not speak
+        assert_eq!(
+            RequestFrame::decode(&payload),
+            Err(CodecError::Malformed("unknown frame kind"))
+        );
+        // The 18-byte header is kind-independent: the tag still sits at
+        // bytes 10..18, so a server can correlate its BadRequest reply.
+        let tag = u64::from_le_bytes(payload[10..18].try_into().unwrap());
+        assert_eq!(tag, sample_query().tag);
     }
 
     #[test]

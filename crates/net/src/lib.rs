@@ -41,7 +41,7 @@ pub mod server;
 
 pub use client::PsiClient;
 pub use codec::{
-    read_frame, write_frame, CodecError, FrameBuffer, QueryFrame, ReplyFrame, WireStatus,
-    WireVerdict, MAX_FRAME, WIRE_VERSION,
+    read_frame, write_frame, CodecError, FrameBuffer, QueryFrame, ReplyFrame, RequestFrame,
+    UpdateFrame, WireStatus, WireVerdict, MAX_FRAME, WIRE_VERSION,
 };
 pub use server::{loopback, PsiServer, ServerConfig};

@@ -27,11 +27,13 @@
 //! Dropping a connection drops its pending tickets, which cancels the
 //! races mid-flight — a disconnecting client cannot leak engine slots.
 
-use crate::codec::{FrameBuffer, QueryFrame, ReplyFrame, WireStatus, WireVerdict};
+use crate::codec::{
+    FrameBuffer, QueryFrame, ReplyFrame, RequestFrame, UpdateFrame, WireStatus, WireVerdict,
+};
 use psi_core::RaceBudget;
 use psi_engine::{
-    AdmissionError, CompletionQueue, GraphId, MultiEngine, QueryRequest, QueryTicket, Submit,
-    SubmitError,
+    AdmissionError, ApplyError, CompletionQueue, GraphId, MultiEngine, QueryRequest, QueryTicket,
+    Submit, SubmitError,
 };
 use std::collections::HashMap;
 use std::io::{self, ErrorKind, Read, Write};
@@ -312,20 +314,26 @@ impl EventLoop {
         progressed
     }
 
-    /// Decodes, routes and submits one request frame, or replies with
-    /// the mapped error status immediately.
+    /// Decodes, routes and dispatches one request frame, or replies
+    /// with the mapped error status immediately. Unknown frame kinds
+    /// (a newer client speaking to this server) answer `BadRequest`
+    /// with the salvaged tag instead of dropping the connection.
     fn handle_frame(&mut self, idx: usize, payload: &[u8]) {
-        let frame = match QueryFrame::decode(payload) {
-            Ok(frame) => frame,
-            Err(_) => {
-                // The tag sits at a fixed offset past the version byte;
+        match RequestFrame::decode(payload) {
+            Ok(RequestFrame::Query(frame)) => self.handle_query(idx, frame),
+            Ok(RequestFrame::Update(frame)) => self.handle_update(idx, frame),
+            _ => {
+                // The tag sits at a fixed kind-independent offset;
                 // salvage it when present so the client can correlate
                 // even a malformed request's rejection.
                 let tag = salvage_tag(payload);
                 self.reply(idx, ReplyFrame::error(tag, WireStatus::BadRequest, 0));
-                return;
             }
-        };
+        }
+    }
+
+    /// Routes and submits one decoded query frame.
+    fn handle_query(&mut self, idx: usize, frame: QueryFrame) {
         let Some(graph) = self.resolve_graph(frame.graph) else {
             self.reply(idx, ReplyFrame::error(frame.tag, WireStatus::UnknownGraph, 0));
             return;
@@ -370,6 +378,27 @@ impl EventLoop {
                 self.reply(idx, ReplyFrame::error(frame.tag, status, hint));
             }
         }
+    }
+
+    /// Applies one decoded graph-update frame. The apply is synchronous
+    /// on the event loop: the batch takes an admission slot through the
+    /// same fair gate as queries, so under contention this blocks
+    /// briefly — which is the backpressure the gate exists to impose on
+    /// writers.
+    fn handle_update(&mut self, idx: usize, frame: UpdateFrame) {
+        let Some(graph) = self.resolve_graph(frame.graph) else {
+            self.reply(idx, ReplyFrame::error(frame.tag, WireStatus::UnknownGraph, 0));
+            return;
+        };
+        let reply = match self.engine.apply_update(graph, &frame.update) {
+            Ok(epoch) => ReplyFrame::update_applied(frame.tag, epoch),
+            Err(ApplyError::Route(_)) => ReplyFrame::error(frame.tag, WireStatus::UnknownGraph, 0),
+            Err(ApplyError::Update(_)) => {
+                ReplyFrame::error(frame.tag, WireStatus::UpdateRejected, 0)
+            }
+            Err(_) => ReplyFrame::error(frame.tag, WireStatus::Internal, 0),
+        };
+        self.reply(idx, reply);
     }
 
     /// Maps a wire graph index to the engine's routing id, consulting
@@ -466,7 +495,8 @@ impl EventLoop {
 
 /// Best-effort extraction of the tag field from an undecodable request
 /// payload, so error replies stay correlatable. Layout: version `u8`,
-/// graph `u64`, priority `u8`, then the tag.
+/// kind `u8`, graph `u64`, then the tag — the same fixed offset for
+/// every frame kind.
 fn salvage_tag(payload: &[u8]) -> u64 {
     match payload.get(10..18) {
         Some(bytes) => u64::from_le_bytes(bytes.try_into().expect("8 bytes")),

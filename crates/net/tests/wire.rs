@@ -174,3 +174,56 @@ fn many_connections_share_few_event_loops() {
     });
     assert_eq!(engine.stats().queries, 32 * 4, "every wire query reached the engine");
 }
+
+#[test]
+fn update_frames_mutate_the_served_graph() {
+    use psi_core::{GraphUpdate, UpdateOp};
+    use psi_net::UpdateFrame;
+
+    let (engine, stored) = serving_engine(29);
+    let server = loopback(Arc::clone(&engine), 1).expect("bind loopback");
+    let mut client = PsiClient::connect(server.addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(30))).expect("read timeout");
+
+    // A query for a label that does not exist yet: not found.
+    let fresh_label = 7u32;
+    let probe = graph_from_parts(&[stored.label(0), fresh_label], &[(0, 1)]);
+    let reply = client.roundtrip(&QueryFrame::new(0, &probe)).expect("probe before");
+    assert_eq!(reply.status, WireStatus::Ok);
+    assert!(!reply.verdict.expect("verdict").found, "fresh label absent before the update");
+
+    // Attach a fresh-labeled node to node 0 over the wire.
+    let new_node = stored.node_count() as u32;
+    let mut update = UpdateFrame::new(
+        0,
+        GraphUpdate::new(vec![
+            UpdateOp::AddNode { label: fresh_label },
+            UpdateOp::AddEdge { u: 0, v: new_node, label: None },
+        ]),
+    );
+    update.tag = 77;
+    let reply = client.apply_update(&update).expect("apply update");
+    assert_eq!(reply.tag, 77);
+    assert_eq!(reply.status, WireStatus::UpdateApplied);
+
+    // The same probe now embeds through the delta overlay.
+    let reply = client.roundtrip(&QueryFrame::new(0, &probe)).expect("probe after");
+    assert_eq!(reply.status, WireStatus::Ok);
+    assert!(reply.verdict.expect("verdict").found, "update visible to subsequent queries");
+
+    // A semantically bad batch is a typed rejection, not a hangup.
+    let mut bad = UpdateFrame::new(
+        0,
+        GraphUpdate::new(vec![UpdateOp::AddEdge { u: 0, v: new_node, label: None }]),
+    );
+    bad.tag = 78;
+    let reply = client.apply_update(&bad).expect("rejected update still replies");
+    assert_eq!(reply.tag, 78);
+    assert_eq!(reply.status, WireStatus::UpdateRejected);
+
+    // Updates against an unregistered graph index route-fail.
+    let mut lost = UpdateFrame::new(9, GraphUpdate::new(vec![UpdateOp::AddNode { label: 1 }]));
+    lost.tag = 79;
+    let reply = client.apply_update(&lost).expect("unroutable update still replies");
+    assert_eq!(reply.status, WireStatus::UnknownGraph);
+}

@@ -46,10 +46,11 @@ const MAX_PAYLOAD: u32 = 1 << 20;
 const KIND_SAMPLE: u8 = 1;
 const KIND_LOSS: u8 = 2;
 const KIND_TIMEOUT: u8 = 3;
+const KIND_UPDATE: u8 = 4;
 
-/// One learned-state mutation, 1:1 with the predictor calls a race
-/// finalize makes.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One logged mutation: the three predictor calls a race finalize makes,
+/// plus a graph-mutation batch applied while serving live.
+#[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     /// `predictor.observe(features, winner)` — a race was won.
     Sample {
@@ -67,6 +68,16 @@ pub enum WalRecord {
     Timeout {
         /// Timed-out variant index.
         idx: u32,
+    },
+    /// One applied graph-mutation batch, stored as its wire encoding
+    /// (`psi_delta::GraphUpdate::encode`). Replayed on cold open by
+    /// re-applying the batch to the freshly loaded graph; dropped by the
+    /// save-time compaction cut once the snapshot has absorbed it. The
+    /// store does not interpret the bytes — decoding stays with the
+    /// layer that owns the update type.
+    Update {
+        /// The encoded `GraphUpdate` batch.
+        bytes: Vec<u8>,
     },
 }
 
@@ -94,6 +105,12 @@ impl WalRecord {
                 out.extend_from_slice(&idx.to_le_bytes());
                 out
             }
+            WalRecord::Update { bytes } => {
+                let mut out = Vec::with_capacity(4 + bytes.len());
+                out.extend_from_slice(&[KIND_UPDATE, 0, 0, 0]);
+                out.extend_from_slice(bytes);
+                out
+            }
         }
     }
 
@@ -113,6 +130,9 @@ impl WalRecord {
             KIND_TIMEOUT if payload.len() == 8 => Some(WalRecord::Timeout {
                 idx: u32::from_le_bytes(payload[4..8].try_into().unwrap()),
             }),
+            KIND_UPDATE if payload.len() >= 4 => {
+                Some(WalRecord::Update { bytes: payload[4..].to_vec() })
+            }
             _ => None,
         }
     }
@@ -241,6 +261,7 @@ mod tests {
                 features: QueryFeatures::from_array([8.0, 8.0, 0.25, 1.5, 0.9, 0.25]),
                 winner: 3,
             },
+            WalRecord::Update { bytes: vec![2, 0, 0, 0, 1, 7, 0, 0, 0, 1, 9, 0, 0, 0] },
         ]
     }
 
@@ -286,13 +307,13 @@ mod tests {
         // Cut mid-way through the final record.
         fs::write(&path, &full[..full.len() - 5]).unwrap();
         let (mut wal, replayed) = Wal::open(&path).unwrap();
-        assert_eq!(replayed, records()[..3].to_vec(), "torn final record dropped");
+        assert_eq!(replayed, records()[..4].to_vec(), "torn final record dropped");
         // The file was truncated to the valid prefix; appends continue.
         wal.append(&WalRecord::Loss { idx: 9 }).unwrap();
         drop(wal);
         let (_w, after) = Wal::open(&path).unwrap();
-        assert_eq!(after.len(), 4);
-        assert_eq!(after[3], WalRecord::Loss { idx: 9 });
+        assert_eq!(after.len(), 5);
+        assert_eq!(after[4], WalRecord::Loss { idx: 9 });
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!   alphabets, Zipf-skewed per-graph traffic with repeats) and batch
 //!   routing through a [`psi_engine::MultiEngine`] with per-graph
 //!   breakdowns.
+//! * [`streaming`] — streaming ingest: concurrent writer threads apply
+//!   additive [`psi_core::GraphUpdate`] batches while a query fleet
+//!   keeps reading through the delta overlay, feeding the CI bench
+//!   artifact's `ingest_qps` trail.
 //! * [`strategy`] — saturated-pool comparison of race strategies
 //!   (full-field vs adaptive top-K with staged escalation), feeding the
 //!   CI bench artifact's `topk_qps` trail.
@@ -52,6 +56,7 @@ pub mod overhead;
 pub mod query_gen;
 pub mod runner;
 pub mod strategy;
+pub mod streaming;
 
 pub use async_batch::{submit_batch_async, AsyncBatchReport};
 pub use batch::{submit_batch, BatchReport};
@@ -66,3 +71,4 @@ pub use overhead::{compare_telemetry_overhead, OverheadSpec, TelemetryOverhead};
 pub use query_gen::{QueryGen, Workloads};
 pub use runner::{run_with_cap, RunRecord};
 pub use strategy::{compare_race_strategies, StrategyComparison, StrategySpec};
+pub use streaming::{run_streaming_ingest, StreamingReport, StreamingSpec, StreamingWorkload};

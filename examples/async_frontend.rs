@@ -40,7 +40,7 @@ fn main() {
     // so this demo never sheds load — in-flight queries are bounded by
     // tickets (cheap structs), not threads. A production frontend would
     // size `max_concurrent_races` to its latency budget and handle
-    // `EngineError::Busy` (see `psi_workload::submit_batch_async`).
+    // `SubmitError::Admission` (see `psi_workload::submit_batch_async`).
     let workers = 4;
     let engine = Arc::new(Engine::new(
         PsiRunner::nfv_default(&stored),

@@ -13,7 +13,11 @@
 //! * [`rewrite`] — the isomorphic query rewritings (ILF, IND, DND, ILF+IND,
 //!   ILF+DND, random);
 //! * [`core`] — the Ψ-framework itself: parallel racing of
-//!   (rewriting × algorithm) variants with cooperative cancellation;
+//!   (rewriting × algorithm) variants with cooperative cancellation,
+//!   plus the live-graph surface (psi-delta): [`core::GraphUpdate`]
+//!   mutation batches applied as a delta overlay over the immutable
+//!   base CSR, epoch-pinned views for in-flight races, and background
+//!   compaction folding the overlay into a fresh graph + index;
 //! * [`engine`] — the concurrent query-serving subsystem: a bounded
 //!   worker pool shared by all in-flight races, admission control with
 //!   backpressure, a sharded result cache over canonicalized queries,
@@ -158,6 +162,50 @@
 //! # let _ = std::fs::remove_dir_all(&dir);
 //! ```
 //!
+//! ## Quickstart: mutate while serving
+//!
+//! Tenants are live: [`engine::MultiEngine::apply_update`] applies an
+//! atomic [`core::GraphUpdate`] batch as a delta overlay probed by
+//! every matcher — queries keep flowing, the tenant's cache partition
+//! invalidates, and the batch lands in the WAL so a cold open replays
+//! it. When the overlay grows past `EngineConfig::compact_threshold`
+//! pending ops, a background compaction folds it into a fresh CSR +
+//! rebuilt index installed as a new epoch; races already in flight
+//! stay pinned to the epoch they started under:
+//!
+//! ```
+//! use psi::prelude::*;
+//! use psi::core::{GraphUpdate, UpdateOp};
+//!
+//! let stored = psi::graph::datasets::yeast_like(0.05, 42);
+//! let multi = MultiEngine::new(MultiEngineConfig {
+//!     workers: 2,
+//!     max_concurrent_races: 2,
+//!     tenant: EngineConfig { default_budget: RaceBudget::decision(), ..EngineConfig::default() },
+//! });
+//! let y = multi.register("yeast", PsiRunner::nfv_default(&stored)).unwrap();
+//! let query = Workloads::single_query(&stored, 6, 7).expect("query");
+//! let before = multi.submit(y, &query).unwrap();
+//!
+//! // Wire a fresh node into the graph while the tenant serves.
+//! let n = stored.node_count() as u32;
+//! let epoch = multi.apply_update(y, &GraphUpdate::new(vec![
+//!     UpdateOp::AddNode { label: 0 },
+//!     UpdateOp::AddEdge { u: 0, v: n, label: None },
+//! ])).unwrap();
+//! assert_eq!(epoch, 0); // still epoch 0: serving through the overlay
+//!
+//! // Additive updates only grow the answer set.
+//! let after = multi.submit(y, &query).unwrap();
+//! assert_eq!(before.found(), after.found());
+//!
+//! // Force a compaction: overlay folds into a new epoch's base graph.
+//! let folded = multi.compact(y).unwrap().expect("pending ops fold");
+//! assert_eq!(folded.folded_ops, 2);
+//! assert_eq!(multi.epoch(y), Some(1));
+//! assert_eq!(multi.submit(y, &query).unwrap().found(), before.found());
+//! ```
+//!
 //! ## Quickstart: serving over the wire
 //!
 //! [`net::PsiServer`] is the engine on a TCP port: length-prefixed
@@ -243,7 +291,9 @@ pub use psi_workload as workload;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use psi_core::{PsiConfig, PsiOutcome, PsiRunner, RaceBudget, Variant};
+    pub use psi_core::{
+        Compaction, GraphUpdate, PsiConfig, PsiOutcome, PsiRunner, RaceBudget, UpdateOp, Variant,
+    };
     pub use psi_engine::{
         AdmissionError, CompletionQueue, Engine, EngineConfig, EngineResponse, EngineStats,
         EntrantTiming, GraphId, LoadReport, MetricsExporter, MultiEngine, MultiEngineConfig,
