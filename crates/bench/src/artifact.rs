@@ -54,7 +54,12 @@ use std::time::{Duration, Instant};
 ///     invalidation and epoch swaps, gated) plus the informational
 ///     trail column `compaction_us` (total time folding overlays into
 ///     new epochs during the ingest run).
-pub const SCHEMA_VERSION: f64 = 8.0;
+/// v9: added `sliced_p99_speedup` (heavy-tailed idle-biased p99 with
+///     intra-query slicing vs classic one-slice racing, gated) plus the
+///     informational trail columns `slices_per_query` and `steal_count`
+///     (the adaptive scheduler's slicing selectivity and the
+///     work-stealing cursor's rebalancing activity).
+pub const SCHEMA_VERSION: f64 = 9.0;
 
 /// The headline serving metrics CI tracks over time.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,6 +164,24 @@ pub struct EngineBenchMetrics {
     /// epochs (CSR rebuild + index rebuild + swap), microseconds (v8,
     /// informational — it measures overlay size as much as code).
     pub compaction_us: f64,
+    /// Intra-query slicing tail speedup (v9): p99 latency of a
+    /// heavy-tailed workload on an idle-biased pool (1 client, 6
+    /// workers) under classic one-slice racing divided by the same p99
+    /// under `RaceStrategy::Adaptive` — big queries split into
+    /// work-stealing root-candidate slices. Hardware-dependent by
+    /// design: slicing spends *spare physical cores*, so multi-core CI
+    /// shows a genuine speedup while single-core hosts degrade to heat
+    /// narrowing and hover around parity. The gate compares against the
+    /// baseline the same host recorded, catching regressions rather
+    /// than enforcing an absolute. Higher is better.
+    pub sliced_p99_speedup: f64,
+    /// Mean slice tasks spawned per query on the sliced registry (v9,
+    /// informational — it measures the scheduler's selectivity on this
+    /// workload shape as much as code).
+    pub slices_per_query: f64,
+    /// Root-candidate ranges stolen across slices during the sliced
+    /// passes (v9, informational).
+    pub steal_count: f64,
 }
 
 /// One metric's comparison direction in the regression gate.
@@ -196,6 +219,9 @@ impl EngineBenchMetrics {
             ("wal_replay_us", self.wal_replay_us, Direction::Informational),
             ("ingest_qps", self.ingest_qps, Direction::HigherIsBetter),
             ("compaction_us", self.compaction_us, Direction::Informational),
+            ("sliced_p99_speedup", self.sliced_p99_speedup, Direction::HigherIsBetter),
+            ("slices_per_query", self.slices_per_query, Direction::Informational),
+            ("steal_count", self.steal_count, Direction::Informational),
         ]
     }
 
@@ -254,6 +280,9 @@ impl EngineBenchMetrics {
             wal_replay_us: get("wal_replay_us")?,
             ingest_qps: get("ingest_qps")?,
             compaction_us: get("compaction_us")?,
+            sliced_p99_speedup: get("sliced_p99_speedup")?,
+            slices_per_query: get("slices_per_query")?,
+            steal_count: get("steal_count")?,
         })
     }
 }
@@ -708,6 +737,26 @@ pub fn measure() -> EngineBenchMetrics {
         }
     }
 
+    // --- Intra-query slicing tail speedup (v9): a heavy-tailed
+    // workload (power-law query sizes — mostly small, rare large
+    // stragglers) replayed idle-biased (2 clients against 6 workers)
+    // against two registries differing only in race strategy. Under
+    // classic racing a straggler runs on one worker while the rest of
+    // the pool idles; under Adaptive racing the scheduler hands the
+    // spare workers out as work-stealing root-candidate slices, so the
+    // p99 — which the stragglers own — shrinks. compare_slicing
+    // interleaves its passes palindromically itself. ---
+    let slicing = psi_workload::compare_slicing(
+        &psi_workload::SlicingSpec {
+            // Best-of-3 per mode: a p99 ratio of two threaded
+            // measurements is the noisiest kind of metric in the
+            // artifact, and the idle-biased passes are cheap.
+            passes: 3,
+            ..psi_workload::SlicingSpec::default()
+        },
+        2024,
+    );
+
     let escalation_rate = topk_multi.stats().escalation_rate;
     assert!(escalation_rate > 0.0, "the top-K bench must exercise staged escalation (rate was 0)");
 
@@ -731,6 +780,9 @@ pub fn measure() -> EngineBenchMetrics {
         wal_replay_us,
         ingest_qps,
         compaction_us,
+        sliced_p99_speedup: slicing.sliced_p99_speedup,
+        slices_per_query: slicing.slices_per_query,
+        steal_count: slicing.steal_count as f64,
     }
 }
 
@@ -759,6 +811,9 @@ mod tests {
             wal_replay_us: 80.0,
             ingest_qps: 600.0,
             compaction_us: 3_000.0,
+            sliced_p99_speedup: 1.8,
+            slices_per_query: 2.5,
+            steal_count: 400.0,
         }
     }
 
@@ -821,6 +876,9 @@ mod tests {
             wal_replay_us: 80.0,
             ingest_qps: 8_000.0,
             compaction_us: 3_000.0,
+            sliced_p99_speedup: 5.0,
+            slices_per_query: 2.5,
+            steal_count: 400.0,
         };
         assert!(check_regressions(&better, &base, 0.30).is_empty());
     }
@@ -847,6 +905,8 @@ mod tests {
             snapshot_bytes: 9_000_000.0,
             wal_replay_us: 40_000.0,
             compaction_us: 900_000.0,
+            slices_per_query: 12.0,
+            steal_count: 2.0,
             ..base.clone()
         };
         assert!(check_regressions(&wild, &base, 0.30).is_empty());
@@ -882,6 +942,17 @@ mod tests {
         let names: Vec<_> =
             check_regressions(&worse, &base, 0.30).iter().map(|r| r.metric).collect();
         assert_eq!(names, vec!["ingest_qps"]);
+    }
+
+    #[test]
+    fn sliced_p99_speedup_regressions_are_gated() {
+        let base = sample();
+        // The slice path collapsing to parity (scheduler never slicing,
+        // a serialized coordinator) trips the gate.
+        let worse = EngineBenchMetrics { sliced_p99_speedup: 1.0, ..base.clone() };
+        let names: Vec<_> =
+            check_regressions(&worse, &base, 0.30).iter().map(|r| r.metric).collect();
+        assert_eq!(names, vec!["sliced_p99_speedup"]);
     }
 
     #[test]

@@ -23,13 +23,14 @@ use crate::artifact::parse_flat_json;
 
 /// The metrics a trail table tracks, in column order: the qps columns
 /// and the `indexed_speedup` / `telemetry_overhead` /
-/// `cold_start_speedup` ratios (up is good for all of them), plus the
-/// informational columns — index build cost, the adjacency-probe split
-/// (v5), snapshot size and WAL replay cost (v7), overlay compaction
-/// cost (v8) — which trend with workload shape rather than gate.
+/// `cold_start_speedup` / `sliced_p99_speedup` ratios (up is good for
+/// all of them), plus the informational columns — index build cost, the
+/// adjacency-probe split (v5), snapshot size and WAL replay cost (v7),
+/// overlay compaction cost (v8), slicing selectivity and steal activity
+/// (v9) — which trend with workload shape rather than gate.
 /// Artifacts predating a metric (older schema versions) show `—` in its
 /// column instead of failing the whole trail.
-pub const TRAIL_METRICS: [&str; 15] = [
+pub const TRAIL_METRICS: [&str; 18] = [
     "qps",
     "multi_qps",
     "topk_qps",
@@ -39,12 +40,15 @@ pub const TRAIL_METRICS: [&str; 15] = [
     "indexed_speedup",
     "telemetry_overhead",
     "cold_start_speedup",
+    "sliced_p99_speedup",
     "index_build_us",
     "edge_probes_bitset",
     "edge_probes_binary",
     "snapshot_bytes",
     "wal_replay_us",
     "compaction_us",
+    "slices_per_query",
+    "steal_count",
 ];
 
 /// One parsed artifact in the trail.
@@ -199,6 +203,9 @@ mod tests {
             wal_replay_us: 80.0,
             ingest_qps: qps * 0.6,
             compaction_us: 3_000.0,
+            sliced_p99_speedup: qps / 1000.0 * 1.8,
+            slices_per_query: 2.5,
+            steal_count: 400.0,
         };
         metrics.to_json_stamped(&[
             ("commit".to_string(), commit.to_string()),

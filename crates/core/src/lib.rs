@@ -45,4 +45,6 @@ pub use nfv::{Compaction, PreparedEntrant, PsiRunner};
 pub use psi_delta::{
     DeltaOverlay, GraphUpdate, GraphView, PinnedView, UpdateError, UpdateOp, TOMBSTONE_LABEL,
 };
+pub use psi_matchers::Algorithm;
+pub use psi_rewrite::Rewriting;
 pub use race::{race, PsiOutcome, RaceBudget, RaceObserver, RaceState, VariantResult};

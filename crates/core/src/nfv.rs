@@ -471,10 +471,35 @@ impl PreparedEntrant {
     /// **original** query's node numbering.
     pub fn execute(&self, budget: &SearchBudget) -> MatchResult {
         let mut result = self.matcher.search_view(&self.prepared.0, self.pin.as_view(), budget);
+        self.translate(&mut result);
+        result
+    }
+
+    /// Runs one slice task of this entrant's search against `coord`.
+    /// Several pooled tasks call this concurrently on clones of one
+    /// entrant; the coordinator partitions the rewritten query's
+    /// root-candidate space among them. Embeddings stay in the entrant's
+    /// own numbering until [`PreparedEntrant::translate`] runs on the
+    /// merged result.
+    pub fn run_slice_task(
+        &self,
+        coord: &psi_matchers::SliceCoordinator,
+    ) -> psi_matchers::SliceTaskSummary {
+        coord.run_task(self.matcher.as_ref(), &self.prepared.0, self.pin.as_view())
+    }
+
+    /// Translates a merged (or otherwise entrant-numbered) result's
+    /// embeddings back to the original query numbering.
+    pub fn translate(&self, result: &mut MatchResult) {
         for emb in &mut result.embeddings {
             *emb = embedding_for_original(emb, &self.prepared.1);
         }
-        result
+    }
+
+    /// Node count of the (rewritten) query this entrant searches for —
+    /// the scheduler's query-size input.
+    pub fn query_node_count(&self) -> usize {
+        self.prepared.0.node_count()
     }
 
     /// The epoch this entrant is pinned to.

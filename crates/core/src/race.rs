@@ -238,6 +238,18 @@ impl RaceState {
     where
         F: FnOnce(&SearchBudget) -> MatchResult,
     {
+        let entrant_budget = self.start_entrant(idx, budget);
+        let result = f(&entrant_budget);
+        let wall = self.complete_entrant(idx, &result);
+        (result, wall)
+    }
+
+    /// First half of an entrant's lifecycle: wires the race-wide budget
+    /// and records the start milestone. Split from [`RaceState::run_entrant`]
+    /// so a *sliced* entrant — whose body spans several pooled tasks —
+    /// can start once (on its first slice to execute) and complete once
+    /// (on the last slice, with the merged result).
+    pub fn start_entrant(&self, idx: usize, budget: &RaceBudget) -> SearchBudget {
         let entrant_budget = budget.entrant_budget(self.token.clone(), self.start);
         // Mark when the race actually began executing (first entrant to
         // reach a thread/worker): staged schedulers anchor the stage
@@ -248,7 +260,13 @@ impl RaceState {
         if let Some(obs) = &self.observer {
             obs.entrant_started(idx, since_start);
         }
-        let result = f(&entrant_budget);
+        entrant_budget
+    }
+
+    /// Second half of an entrant's lifecycle: claims victory if `result`
+    /// is conclusive and nobody claimed earlier. Returns the entrant's
+    /// wall time from the race anchor.
+    pub fn complete_entrant(&self, idx: usize, result: &MatchResult) -> Duration {
         let wall = self.start.elapsed();
         if result.stop.is_conclusive()
             && self
@@ -263,7 +281,7 @@ impl RaceState {
                 obs.race_claimed(idx, wall);
             }
         }
-        (result, wall)
+        wall
     }
 
     /// Index of the winning entrant, if any has claimed victory yet.

@@ -82,6 +82,25 @@ pub enum RaceStrategy {
         /// timeout measure the fraction against a small fixed window.
         escalate_after: f64,
     },
+    /// Self-tuning scheduler deciding *both* how many entrants launch
+    /// and how many root-candidate **slices** each entrant's search is
+    /// split into ([`psi_matchers::sliced_search_view`] semantics, run
+    /// as cooperating pool tasks with work stealing). The per-query
+    /// plan ([`crate::scheduler::plan_race`]) weighs the predictor's
+    /// vote margin, the observed escalation rate, and live pool
+    /// occupancy: a heavy query on an idle pool races few entrants ×
+    /// many slices; a saturated pool degrades to many queries × one
+    /// slice each (exactly [`RaceStrategy::TopK`] behaviour). Undecided
+    /// pruned heats escalate to the full field at `escalate_after`,
+    /// like `TopK` — escalated reserves run single-slice.
+    Adaptive {
+        /// Upper bound on slices per entrant (1 disables slicing and
+        /// leaves only the entrant-count tuning; default 4).
+        max_slices: usize,
+        /// Fraction of the race budget after which an undecided pruned
+        /// heat escalates, in `[0, 1]` (see [`RaceStrategy::TopK`]).
+        escalate_after: f64,
+    },
 }
 
 /// Tuning knobs for an [`Engine`].
@@ -120,8 +139,15 @@ pub struct EngineConfig {
     pub predictor_confidence: f64,
     /// How cache-missing queries race their entrant field (default
     /// [`RaceStrategy::Full`]; see [`RaceStrategy::TopK`] for adaptive
-    /// pruned racing with staged escalation).
+    /// pruned racing with staged escalation and
+    /// [`RaceStrategy::Adaptive`] for the self-tuning entrants×slices
+    /// scheduler).
     pub race_strategy: RaceStrategy,
+    /// Smallest query (in nodes) eligible for intra-query slicing under
+    /// [`RaceStrategy::Adaptive`]: tiny queries finish faster than the
+    /// slice-coordination overhead costs, so they always run
+    /// single-slice. Default 6.
+    pub slice_min_query_nodes: usize,
     /// Budget applied to requests that set none
     /// ([`crate::QueryRequest::budget`] overrides per query).
     pub default_budget: RaceBudget,
@@ -152,6 +178,7 @@ impl Default for EngineConfig {
             predictor_window: 4096,
             predictor_confidence: 0.8,
             race_strategy: RaceStrategy::Full,
+            slice_min_query_nodes: 6,
             default_budget: RaceBudget::matching(),
             compact_threshold: 512,
             telemetry: TelemetryConfig::default(),
@@ -565,7 +592,13 @@ impl ServeCore {
         variants: usize,
     ) -> Option<(Vec<usize>, f64)> {
         let fast_path = self.config.predictor_confidence <= 1.0;
-        let staged = matches!(self.config.race_strategy, RaceStrategy::TopK { k, .. } if k > 0 && k < variants);
+        let staged = match self.config.race_strategy {
+            RaceStrategy::TopK { k, .. } => k > 0 && k < variants,
+            // Adaptive picks its heat size *from* the ranking, so it
+            // always wants one when the predictor is trained.
+            RaceStrategy::Adaptive { .. } => variants > 1,
+            RaceStrategy::Full => false,
+        };
         if !fast_path && !staged {
             return None;
         }
@@ -711,8 +744,11 @@ impl Engine {
         let admission = crate::registry::standalone_gate(config.max_concurrent_races);
         // Only a staged strategy ever registers a deadline; Full-racing
         // engines skip the timer thread entirely.
-        let timer = matches!(config.race_strategy, RaceStrategy::TopK { .. })
-            .then(|| Arc::new(StageTimer::new()));
+        let timer = matches!(
+            config.race_strategy,
+            RaceStrategy::TopK { .. } | RaceStrategy::Adaptive { .. }
+        )
+        .then(|| Arc::new(StageTimer::new()));
         Self::with_shared(Arc::new(runner), config, pool, admission, timer, Instant::now())
     }
 

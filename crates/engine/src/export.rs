@@ -142,7 +142,7 @@ impl MetricsExporter {
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         type CounterFamily = (&'static str, &'static str, fn(&EngineStats) -> u64);
-        let counters: [CounterFamily; 17] = [
+        let counters: [CounterFamily; 19] = [
             ("psi_queries_total", "Queries accepted", |s| s.queries),
             ("psi_cache_hits_total", "Result-cache hits", |s| s.cache_hits),
             ("psi_cache_misses_total", "Result-cache misses", |s| s.cache_misses),
@@ -170,6 +170,12 @@ impl MetricsExporter {
             }),
             ("psi_escalations_total", "Pruned heats escalated to the full field", |s| {
                 s.escalations
+            }),
+            ("psi_slices_total", "Slice tasks spawned for sliced heat entrants", |s| {
+                s.slices_spawned
+            }),
+            ("psi_slice_steals_total", "Root-candidate ranges stolen across slices", |s| {
+                s.slice_steals
             }),
             ("psi_updates_applied_total", "Graph-mutation batches applied", |s| s.updates_applied),
             ("psi_compactions_total", "Delta overlays folded into a new epoch", |s| s.compactions),
@@ -310,7 +316,9 @@ impl MetricsExporter {
                  \"queue_full_rejections\":{},\"parked\":{},\"waiting_room_depth\":{},\
                  \"inconclusive\":{},\
                  \"topk_races\":{},\"pruned_entrants\":{},\"escalations\":{},\
-                 \"escalation_rate\":{:.6},\"index_build_us\":{},\
+                 \"escalation_rate\":{:.6},\
+                 \"sliced_races\":{},\"slices_spawned\":{},\"slice_steals\":{},\
+                 \"index_build_us\":{},\
                  \"edge_probes_bitset\":{},\"edge_probes_binary\":{},\
                  \"updates_applied\":{},\"compactions\":{},\"compaction_us\":{},\
                  \"cache_invalidations\":{},\"epoch\":{},\
@@ -332,6 +340,9 @@ impl MetricsExporter {
                 s.pruned_entrants,
                 s.escalations,
                 s.escalation_rate,
+                s.sliced_races,
+                s.slices_spawned,
+                s.slice_steals,
                 s.index_build_us,
                 s.edge_probes_bitset,
                 s.edge_probes_binary,

@@ -32,13 +32,14 @@
 use crate::cache::{CachedAnswer, QueryKey};
 use crate::engine::{EngineResponse, OwnedPermit, RaceStrategy, ServeCore, ServePath};
 use crate::pool::WorkerPool;
+use crate::scheduler::{plan_race, RacePlan, SchedulerInputs};
 use crate::submit::CompletionSlot;
 use crate::telemetry::{EntrantTiming, SlowQuery, TraceEvent, TraceSink};
 use psi_core::predictor::QueryFeatures;
 use psi_core::{PreparedEntrant, RaceBudget, RaceObserver, RaceState, Variant, VariantResult};
-use psi_matchers::{CancelToken, MatchResult, StopReason};
+use psi_matchers::{CancelToken, MatchResult, SliceCoordinator, SliceTaskSummary, StopReason};
 use std::collections::BinaryHeap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -356,6 +357,9 @@ impl PendingRace {
             return;
         }
         let variants: Vec<Variant> = entrants.iter().map(|e| e.variant).collect();
+        // Rewritings permute the query, never resize it: any entrant's
+        // prepared node count is the query's.
+        let query_nodes = entrants.first().map_or(0, |e| e.query_node_count());
 
         // Stage only when the strategy says so AND the predictor was
         // consultable (trained past its observation floor): a `ranking`
@@ -363,22 +367,53 @@ impl PendingRace {
         // EXPLORATION_PERIODth would-be staged race runs the full field
         // instead, so contested evidence keeps flowing and a drifted
         // ranking cannot entrench itself behind uncontested heat wins.
-        let heat = match core.config.race_strategy {
-            RaceStrategy::TopK { k, .. } if k > 0 && k < n => ranking
-                .filter(|_| {
-                    !(core.staged_seq.fetch_add(1, Ordering::Relaxed) + 1)
-                        .is_multiple_of(EXPLORATION_PERIOD)
+        let plan = match core.config.race_strategy {
+            RaceStrategy::TopK { k, .. } if k > 0 && k < n => {
+                let (order, heat) = ranking
+                    .filter(|_| {
+                        !(core.staged_seq.fetch_add(1, Ordering::Relaxed) + 1)
+                            .is_multiple_of(EXPLORATION_PERIOD)
+                    })
+                    .map(|(order, _)| (order, k))
+                    .unwrap_or_else(|| ((0..n).collect(), n));
+                RacePlan { order, heat, slices: 1 }
+            }
+            RaceStrategy::Adaptive { max_slices, .. } => {
+                // A trained predictor's plans are subject to the same
+                // exploration cadence as TopK; a cold one already races
+                // the full field.
+                let exploration = ranking.is_some()
+                    && (core.staged_seq.fetch_add(1, Ordering::Relaxed) + 1)
+                        .is_multiple_of(EXPLORATION_PERIOD);
+                let staged_so_far = core.stats.topk_races.load(Ordering::Relaxed);
+                let escalations = core.stats.escalations.load(Ordering::Relaxed);
+                plan_race(SchedulerInputs {
+                    entrants: n,
+                    ranking: ranking.filter(|_| !exploration),
+                    escalation_rate: if staged_so_far == 0 {
+                        0.0
+                    } else {
+                        escalations as f64 / staged_so_far as f64
+                    },
+                    idle_workers: pool.idle(),
+                    max_slices,
+                    query_nodes,
+                    slice_min_query_nodes: core.config.slice_min_query_nodes,
                 })
-                .map(|(order, _)| (order, k)),
-            _ => None,
+            }
+            _ => RacePlan { order: (0..n).collect(), heat: n, slices: 1 },
         };
-        let (order, k) = heat.unwrap_or_else(|| ((0..n).collect(), n));
+        let RacePlan { order, heat: k, slices } = plan;
         let staged = k < n;
         if staged {
             core.stats.topk_races.fetch_add(1, Ordering::Relaxed);
         }
+        if slices > 1 {
+            core.stats.sliced_races.fetch_add(1, Ordering::Relaxed);
+        }
         let escalate_after = match core.config.race_strategy {
-            RaceStrategy::TopK { escalate_after, .. } => escalate_after,
+            RaceStrategy::TopK { escalate_after, .. }
+            | RaceStrategy::Adaptive { escalate_after, .. } => escalate_after,
             RaceStrategy::Full => 0.0,
         };
 
@@ -426,10 +461,17 @@ impl PendingRace {
                 permit: Some(permit),
             }),
         });
-        // The first heat launches immediately, best-ranked first.
+        // The first heat launches immediately, best-ranked first. Heat
+        // entrants granted slices split their root-candidate space
+        // across cooperating tasks; escalated reserves (launched later,
+        // into a pool that just proved itself busy) run single-slice.
         for &idx in &order[..k] {
             let entrant = entrant_slots[idx].take().expect("each entrant launches once");
-            pool.submit(entrant_task(Arc::clone(&flight), idx, entrant));
+            if slices > 1 {
+                submit_sliced(&flight, pool, idx, entrant, slices);
+            } else {
+                pool.submit(entrant_task(Arc::clone(&flight), idx, entrant));
+            }
         }
         if staged {
             if let Some(timer) = timer {
@@ -544,6 +586,107 @@ impl Drop for ReportGuard {
             );
         }
     }
+}
+
+/// One sliced heat entrant in flight: the prepared entrant shared by its
+/// slice tasks plus the [`SliceCoordinator`] they claim root-candidate
+/// chunks from.
+struct SliceGroup {
+    flight: Arc<RaceFlight>,
+    idx: usize,
+    entrant: PreparedEntrant,
+    coord: SliceCoordinator,
+    /// Whether some slice already recorded the entrant-start milestone.
+    started: AtomicBool,
+}
+
+/// Launches one heat entrant as `slices` cooperating slice tasks over a
+/// shared coordinator. The first task to reach a worker records the
+/// entrant's start milestone; the last to finish merges the group,
+/// translates embeddings back to original-query numbering, claims the
+/// race if conclusive, and reports into the flight — so to the flight a
+/// sliced entrant is indistinguishable from an ordinary one.
+fn submit_sliced(
+    flight: &Arc<RaceFlight>,
+    pool: &Arc<WorkerPool>,
+    idx: usize,
+    entrant: PreparedEntrant,
+    slices: usize,
+) {
+    // The coordinator's per-chunk budget mirrors the race-wired entrant
+    // budget (same cap and admission-anchored deadline); its group token
+    // is linked under the race token, so a sibling entrant's win stops
+    // every slice while the group cancelling itself (cap reached in the
+    // committed prefix) never touches the race.
+    let outer = flight.budget.entrant_budget(flight.state.token().clone(), flight.admitted);
+    let group = Arc::new(SliceGroup {
+        flight: Arc::clone(flight),
+        idx,
+        entrant,
+        coord: SliceCoordinator::new(&outer, slices),
+        started: AtomicBool::new(false),
+    });
+    flight.core.stats.slices_spawned.fetch_add(slices as u64, Ordering::Relaxed);
+    for slice in 0..slices as u32 {
+        flight.core.telemetry.emit(TraceEvent::SliceSpawned {
+            query: flight.query_id,
+            entrant: idx as u32,
+            slice,
+        });
+        let group = Arc::clone(&group);
+        pool.submit(move || run_slice(&group, slice));
+    }
+}
+
+/// One slice task's body. The guard mirrors [`ReportGuard`]: even a
+/// panicking slice marks itself finished, so the group always concludes,
+/// the flight always finalizes, and the admission permit can never leak.
+/// A panicked slice's claimed-but-uncommitted range surfaces as a merge
+/// gap — the entrant reports inconclusive, never wrong.
+fn run_slice(group: &Arc<SliceGroup>, slice: u32) {
+    struct SliceGuard {
+        group: Arc<SliceGroup>,
+        slice: u32,
+        started: Instant,
+        summary: SliceTaskSummary,
+    }
+
+    impl Drop for SliceGuard {
+        fn drop(&mut self) {
+            let group = &self.group;
+            let flight = &group.flight;
+            flight.core.telemetry.emit(TraceEvent::SliceFinished {
+                query: flight.query_id,
+                entrant: group.idx as u32,
+                slice: self.slice,
+                chunks: self.summary.chunks,
+                wall_us: self.started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            });
+            if let Some(mut result) = group.coord.finish_task() {
+                flight.core.stats.slice_steals.fetch_add(group.coord.steals(), Ordering::Relaxed);
+                group.entrant.translate(&mut result);
+                let wall = flight.state.complete_entrant(group.idx, &result);
+                flight.on_report(
+                    group.idx,
+                    VariantResult { label: group.entrant.variant, result, wall },
+                );
+            }
+        }
+    }
+
+    let mut guard = SliceGuard {
+        group: Arc::clone(group),
+        slice,
+        started: Instant::now(),
+        summary: SliceTaskSummary::default(),
+    };
+    // The entrant-start milestone fires once, on whichever slice reaches
+    // a worker first. Only the milestone matters: the returned budget is
+    // a copy of what the coordinator already carries.
+    if !group.started.swap(true, Ordering::AcqRel) {
+        let _ = group.flight.state.start_entrant(group.idx, &group.flight.budget);
+    }
+    guard.summary = group.entrant.run_slice_task(&group.coord);
 }
 
 impl RaceFlight {

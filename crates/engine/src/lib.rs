@@ -115,6 +115,7 @@ pub mod export;
 mod flight;
 pub mod pool;
 pub mod registry;
+pub mod scheduler;
 pub mod stats;
 pub mod submit;
 pub mod telemetry;
@@ -132,6 +133,7 @@ pub use registry::{
     GraphId, GraphRegistry, LoadReport, MultiEngine, MultiEngineConfig, PersistError,
     RegistryError, SaveReport,
 };
+pub use scheduler::{plan_race, RacePlan, SchedulerInputs};
 pub use stats::{EngineStats, HistogramSnapshot, LatencyHistogram, StageLatencies};
 pub use submit::{CompletionQueue, Priority, QueryRequest, QueryTicket, Submit};
 pub use telemetry::{

@@ -9,7 +9,7 @@
 //! `SearchBudget`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{JoinHandle, ThreadId};
@@ -27,6 +27,7 @@ pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
     workers: usize,
     panics: Arc<AtomicU64>,
+    active: Arc<AtomicUsize>,
     owner: ThreadId,
 }
 
@@ -37,17 +38,26 @@ impl WorkerPool {
         let (sender, receiver) = channel::<Task>();
         let receiver = Arc::new(Mutex::new(receiver));
         let panics = Arc::new(AtomicU64::new(0));
+        let active = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers)
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
                 let panics = Arc::clone(&panics);
+                let active = Arc::clone(&active);
                 std::thread::Builder::new()
                     .name(format!("psi-engine-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver, &panics))
+                    .spawn(move || worker_loop(&receiver, &panics, &active))
                     .expect("spawning a worker thread must succeed")
             })
             .collect();
-        Self { sender: Some(sender), handles, workers, panics, owner: std::thread::current().id() }
+        Self {
+            sender: Some(sender),
+            handles,
+            workers,
+            panics,
+            active,
+            owner: std::thread::current().id(),
+        }
     }
 
     /// Number of worker threads.
@@ -60,6 +70,19 @@ impl WorkerPool {
         self.panics.load(Ordering::Relaxed)
     }
 
+    /// Number of workers currently running a task — the occupancy gauge
+    /// the adaptive race scheduler reads. A point-in-time snapshot: it
+    /// can be stale by the time the caller acts on it, which is fine for
+    /// a scheduling *hint* (never used for correctness).
+    pub fn busy(&self) -> usize {
+        self.active.load(Ordering::Relaxed).min(self.workers)
+    }
+
+    /// Workers not currently running a task (see [`WorkerPool::busy`]).
+    pub fn idle(&self) -> usize {
+        self.workers - self.busy()
+    }
+
     /// Enqueues a task. Never blocks; ordering is FIFO per the queue.
     pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
         self.sender
@@ -70,7 +93,7 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<Task>>, panics: &AtomicU64) {
+fn worker_loop(receiver: &Mutex<Receiver<Task>>, panics: &AtomicU64, active: &AtomicUsize) {
     loop {
         // Hold the lock only for the dequeue, not while running the task.
         let task = {
@@ -79,9 +102,11 @@ fn worker_loop(receiver: &Mutex<Receiver<Task>>, panics: &AtomicU64) {
         };
         match task {
             Ok(task) => {
+                active.fetch_add(1, Ordering::Relaxed);
                 if catch_unwind(AssertUnwindSafe(task)).is_err() {
                     panics.fetch_add(1, Ordering::Relaxed);
                 }
+                active.fetch_sub(1, Ordering::Relaxed);
             }
             Err(_) => break, // Sender dropped: pool is shutting down.
         }
@@ -164,5 +189,35 @@ mod tests {
     fn at_least_one_worker() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn busy_gauge_tracks_running_tasks() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.busy(), 0);
+        assert_eq!(pool.idle(), 2);
+        let (hold_tx, hold_rx) = channel::<()>();
+        let hold_rx = Arc::new(Mutex::new(hold_rx));
+        let (started_tx, started_rx) = channel();
+        for _ in 0..2 {
+            let hold_rx = Arc::clone(&hold_rx);
+            let started_tx = started_tx.clone();
+            pool.submit(move || {
+                started_tx.send(()).unwrap();
+                let _ = hold_rx.lock().unwrap().recv();
+            });
+        }
+        for _ in 0..2 {
+            started_rx.recv_timeout(Duration::from_secs(5)).expect("task starts");
+        }
+        assert_eq!(pool.busy(), 2);
+        assert_eq!(pool.idle(), 0);
+        drop(hold_tx);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.busy() != 0 {
+            assert!(std::time::Instant::now() < deadline, "workers must go idle");
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.idle(), 2);
     }
 }

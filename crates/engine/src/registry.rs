@@ -1001,6 +1001,9 @@ impl MultiEngine {
             pruned_entrants: 0,
             escalations: 0,
             escalation_rate: 0.0,
+            sliced_races: 0,
+            slices_spawned: 0,
+            slice_steals: 0,
             index_build_us: 0,
             edge_probes_bitset: 0,
             edge_probes_binary: 0,
@@ -1040,6 +1043,9 @@ impl MultiEngine {
             agg.topk_races += c.topk_races.load(Ordering::Relaxed);
             agg.pruned_entrants += c.pruned_entrants.load(Ordering::Relaxed);
             agg.escalations += c.escalations.load(Ordering::Relaxed);
+            agg.sliced_races += c.sliced_races.load(Ordering::Relaxed);
+            agg.slices_spawned += c.slices_spawned.load(Ordering::Relaxed);
+            agg.slice_steals += c.slice_steals.load(Ordering::Relaxed);
             agg.edge_probes_bitset += c.edge_probes_bitset.load(Ordering::Relaxed);
             agg.edge_probes_binary += c.edge_probes_binary.load(Ordering::Relaxed);
             agg.wal_appended += c.wal_appended.load(Ordering::Relaxed);

@@ -276,6 +276,13 @@ pub(crate) struct StatsCollector {
     pub topk_races: AtomicU64,
     pub pruned_entrants: AtomicU64,
     pub escalations: AtomicU64,
+    /// Races whose heat entrants ran sliced (intra-query parallelism).
+    pub sliced_races: AtomicU64,
+    /// Slice tasks submitted to the pool across all sliced entrants.
+    pub slices_spawned: AtomicU64,
+    /// Chunk claims beyond each slice task's first — work stolen from
+    /// straggling siblings.
+    pub slice_steals: AtomicU64,
     pub edge_probes_bitset: AtomicU64,
     pub edge_probes_binary: AtomicU64,
     /// Learned-state WAL records appended while serving (0 until
@@ -324,6 +331,9 @@ impl StatsCollector {
             topk_races: AtomicU64::new(0),
             pruned_entrants: AtomicU64::new(0),
             escalations: AtomicU64::new(0),
+            sliced_races: AtomicU64::new(0),
+            slices_spawned: AtomicU64::new(0),
+            slice_steals: AtomicU64::new(0),
             edge_probes_bitset: AtomicU64::new(0),
             edge_probes_binary: AtomicU64::new(0),
             wal_appended: AtomicU64::new(0),
@@ -398,6 +408,9 @@ impl StatsCollector {
             pruned_entrants: self.pruned_entrants.load(Ordering::Relaxed),
             escalations,
             escalation_rate: EngineStats::rate(escalations, topk_races),
+            sliced_races: self.sliced_races.load(Ordering::Relaxed),
+            slices_spawned: self.slices_spawned.load(Ordering::Relaxed),
+            slice_steals: self.slice_steals.load(Ordering::Relaxed),
             index_build_us: 0,
             edge_probes_bitset: self.edge_probes_bitset.load(Ordering::Relaxed),
             edge_probes_binary: self.edge_probes_binary.load(Ordering::Relaxed),
@@ -478,6 +491,16 @@ pub struct EngineStats {
     /// `escalations / topk_races`, 0 when no race was staged. Low is the
     /// predictor earning its keep; 1.0 means pruning never helps.
     pub escalation_rate: f64,
+    /// Races whose heat entrants ran with intra-query slicing — the
+    /// adaptive scheduler split their root-candidate space across
+    /// cooperating pool tasks ([`crate::RaceStrategy::Adaptive`]).
+    pub sliced_races: u64,
+    /// Slice tasks submitted across all sliced races
+    /// (`Σ heat entrants × slices`).
+    pub slices_spawned: u64,
+    /// Root-candidate ranges stolen by slice tasks beyond their first
+    /// claim — how much the work-stealing cursor actually rebalanced.
+    pub slice_steals: u64,
     /// Wall-clock cost of building this graph's shared `TargetIndex` at
     /// registration, microseconds (summed across graphs in the registry
     /// aggregate; 0 for legacy scan-mode runners).

@@ -124,6 +124,31 @@ pub enum TraceEvent {
         /// Entrant index in configuration order.
         entrant: u32,
     },
+    /// One slice task of a sliced entrant was submitted to the pool
+    /// (adaptive scheduling only; unsliced entrants emit none).
+    SliceSpawned {
+        /// Engine-assigned query id.
+        query: u64,
+        /// Entrant index in configuration order.
+        entrant: u32,
+        /// Slice index within the entrant's group (`0..slices`).
+        slice: u32,
+    },
+    /// A slice task finished its share of the root-candidate domain.
+    /// The entrant's own [`TraceEvent::EntrantFinished`] follows once
+    /// the last slice merges the group.
+    SliceFinished {
+        /// Engine-assigned query id.
+        query: u64,
+        /// Entrant index in configuration order.
+        entrant: u32,
+        /// Slice index within the entrant's group.
+        slice: u32,
+        /// Root-candidate chunks this slice claimed and ran.
+        chunks: u32,
+        /// Task-start-to-finish wall time, µs.
+        wall_us: u64,
+    },
     /// An entrant reported its result.
     EntrantFinished {
         /// Engine-assigned query id.
@@ -190,6 +215,8 @@ impl TraceEvent {
             | TraceEvent::FastPath { query, .. }
             | TraceEvent::HeatLaunched { query, .. }
             | TraceEvent::EntrantStarted { query, .. }
+            | TraceEvent::SliceSpawned { query, .. }
+            | TraceEvent::SliceFinished { query, .. }
             | TraceEvent::EntrantFinished { query, .. }
             | TraceEvent::WinClaimed { query, .. }
             | TraceEvent::Escalated { query, .. }
@@ -628,5 +655,11 @@ mod tests {
         assert_eq!(TraceEvent::Parked { query: 9, depth: 1 }.query(), 9);
         assert!(!TraceEvent::HeatLaunched { query: 1, launched: 2, reserved: 1 }.is_terminal());
         assert_eq!(TraceEvent::Escalated { query: 7, launched: 3 }.query(), 7);
+        assert!(!TraceEvent::SliceSpawned { query: 2, entrant: 0, slice: 1 }.is_terminal());
+        assert_eq!(
+            TraceEvent::SliceFinished { query: 8, entrant: 1, slice: 2, chunks: 3, wall_us: 40 }
+                .query(),
+            8
+        );
     }
 }

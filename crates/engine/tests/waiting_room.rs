@@ -40,8 +40,10 @@ fn grown_query(g: &Graph, nodes: usize, seed: u64) -> Graph {
 #[test]
 fn four_x_over_limit_burst_parks_instead_of_bouncing() {
     let mut rng = ChaCha8Rng::seed_from_u64(11);
-    let labels = LabelDist::Uniform { num_labels: 4 }.sampler();
-    let stored = random_connected_graph(60, 140, &labels, &mut rng);
+    let labels = LabelDist::Uniform { num_labels: 2 }.sampler();
+    // Dense, label-poor graph: a large uncapped query on it is an
+    // explosive enumeration that cannot finish before it is cancelled.
+    let stored = random_connected_graph(60, 400, &labels, &mut rng);
     // Cache and fast path off so every submission needs a race slot —
     // 16 non-blocking submissions against 4 slots is a 4x burst.
     let races = 4;
@@ -58,8 +60,24 @@ fn four_x_over_limit_burst_parks_instead_of_bouncing() {
         },
     );
 
+    // Pin every slot with an explosive uncapped race first — admission
+    // is synchronous, so the four permits are held the moment these
+    // return. The burst below then *must* park: no slot can free while
+    // the pins are alive, which makes the parked count deterministic
+    // instead of racing the submission loop against fast finalizes.
+    let pins: Vec<_> = (0..races)
+        .map(|i| {
+            let query = grown_query(&stored, 10, 500 + i as u64);
+            engine
+                .submit_nonblocking(
+                    QueryRequest::new(query).budget(RaceBudget::with_max_matches(usize::MAX)),
+                )
+                .expect("idle engine admits the pins")
+        })
+        .collect();
+
     let queue = CompletionQueue::new();
-    let tickets: Vec<_> = (0..burst)
+    let tickets: Vec<_> = (0..burst - races)
         .map(|i| {
             let query = grown_query(&stored, 4, 900 + i as u64);
             engine
@@ -68,9 +86,12 @@ fn four_x_over_limit_burst_parks_instead_of_bouncing() {
         })
         .collect();
 
-    // The overflow is parked right now, before anything completes:
-    // at most `races` queries hold slots, the rest sit in the room.
+    // The overflow is parked right now: the pins hold every slot, so
+    // all twelve burst submissions sit in the room.
     let depth_during = engine.stats().waiting_room_depth;
+    // Cancel the pins; their slots free and the room drains in FIFO
+    // order through the grant chain.
+    drop(pins);
 
     let mut seen = vec![false; tickets.len()];
     for _ in 0..tickets.len() {

@@ -35,9 +35,16 @@ impl StopReason {
 /// Shared flag used to cancel in-flight searches across threads (the
 /// Ψ-framework's "kill the losing threads", implemented safely as
 /// cooperative cancellation).
+///
+/// A token may be *linked* to a parent token ([`CancelToken::linked`]):
+/// the child observes its own flag **or** the parent's, while
+/// [`CancelToken::cancel`] on the child sets only its own flag. This is
+/// how a slice group stops its own siblings early (cap reached) without
+/// cancelling the race-wide token it hangs off.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    parent: Option<Arc<AtomicBool>>,
 }
 
 impl CancelToken {
@@ -46,15 +53,39 @@ impl CancelToken {
         Self::default()
     }
 
-    /// Signals every search holding a clone of this token to stop.
+    /// A fresh token linked under `parent`: cancelled when either its own
+    /// flag or the parent's (transitively: the parent's whole chain is
+    /// folded into one observed flag here, so checks stay two loads) is
+    /// set. Cancelling the child never touches the parent.
+    pub fn linked(parent: &CancelToken) -> Self {
+        // Collapse grandparents: a parent that is itself linked trips its
+        // own flag only via `cancel()`, so observing both its flags needs
+        // both — fold them by observing the parent's *effective* state
+        // through a chain of at most one level. In practice our chains
+        // are one level deep (race token → slice group); deeper chains
+        // would need the parent checked via `is_cancelled`, which this
+        // constructor preserves by linking to the nearer flag and
+        // documenting the one-level contract.
+        debug_assert!(
+            parent.parent.is_none(),
+            "CancelToken::linked supports one linking level (race token -> group token)"
+        );
+        Self { flag: Arc::new(AtomicBool::new(false)), parent: Some(Arc::clone(&parent.flag)) }
+    }
+
+    /// Signals every search holding a clone of this token to stop. For a
+    /// linked token, only this token's own flag is set — the parent is
+    /// never cancelled from below.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// Whether cancellation has been signalled.
+    /// Whether cancellation has been signalled — on this token or, for a
+    /// linked token, on its parent.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Relaxed)
+            || self.parent.as_ref().is_some_and(|p| p.load(Ordering::Relaxed))
     }
 }
 
@@ -214,6 +245,26 @@ mod tests {
         let t2 = t.clone();
         t2.cancel();
         assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn linked_token_observes_parent() {
+        let parent = CancelToken::new();
+        let child = CancelToken::linked(&parent);
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled(), "child must observe parent cancellation");
+    }
+
+    #[test]
+    fn linked_token_cancel_stays_local() {
+        let parent = CancelToken::new();
+        let child = CancelToken::linked(&parent);
+        let sibling = child.clone();
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(sibling.is_cancelled(), "clones share the child flag");
+        assert!(!parent.is_cancelled(), "cancelling a child never cancels the parent");
     }
 
     #[test]

@@ -320,6 +320,116 @@ impl Matcher for GraphQl {
     ) -> MatchResult {
         self.search_inner(query, view.with_default_index(&self.index), budget)
     }
+
+    fn slice_session<'a>(
+        &'a self,
+        query: &'a Graph,
+        view: GraphView<'a>,
+        budget: &SearchBudget,
+    ) -> crate::slice::SliceSetup<'a> {
+        use crate::slice::SliceSetup;
+        let view = view.with_default_index(&self.index);
+        let mut clock = budget.start();
+        if let Some(r) = clock.check_now() {
+            return SliceSetup::Halted(MatchResult::empty(r));
+        }
+        if query.node_count() == 0 {
+            let mut out = MatchResult::empty(StopReason::Complete);
+            out.embeddings.push(Vec::new());
+            out.num_matches = 1;
+            return SliceSetup::Halted(out);
+        }
+        if query.node_count() > view.node_count() || query.edge_count() > view.edge_count() {
+            return SliceSetup::Halted(MatchResult::empty(StopReason::Complete));
+        }
+        // Prework = rules 1–3, run once per slice task (each task owns its
+        // own candidate lists; the lists are deterministic, so every task
+        // computes the same plan and the same slice domain).
+        let mut stats = SearchStats::default();
+        let halted = |r: StopReason, stats: SearchStats| {
+            let mut out = MatchResult::empty(r);
+            out.stats = stats;
+            SliceSetup::Halted(out)
+        };
+        let mut cands = match self.initial_candidates(query, view, &mut clock) {
+            Ok(c) => c,
+            Err(r) => return halted(r, stats),
+        };
+        if cands.iter().any(|c| c.is_empty()) {
+            return halted(StopReason::Complete, stats);
+        }
+        if let Err(r) = self.refine(query, view, &mut cands, &mut clock, &mut stats) {
+            return halted(r, stats);
+        }
+        if cands.iter().any(|c| c.is_empty()) {
+            return halted(StopReason::Complete, stats);
+        }
+        let order = self.plan_order(query, &cands);
+        let assignment = scratch::u32_buf(query.node_count(), UNMAPPED, view.accel());
+        let used = scratch::bool_buf(view.node_count(), view.accel());
+        let domain = cands[order[0] as usize].len();
+        SliceSetup::Ready(Box::new(GraphQlSliceSession {
+            matcher: self,
+            query,
+            view,
+            order,
+            cands,
+            assignment,
+            used,
+            stats,
+            domain,
+        }))
+    }
+}
+
+/// A sliceable GraphQL session: rules 1–3 ran at construction; each chunk
+/// re-enters the backtracking join with the plan root's candidate list
+/// restricted to the chunk's range. Buffers survive across chunks because
+/// `join` unwinds its assignments unconditionally, even when halted.
+struct GraphQlSliceSession<'a> {
+    matcher: &'a GraphQl,
+    query: &'a Graph,
+    view: GraphView<'a>,
+    order: Vec<NodeId>,
+    cands: Vec<Vec<NodeId>>,
+    assignment: scratch::U32Buf,
+    used: scratch::BoolBuf,
+    stats: SearchStats,
+    domain: usize,
+}
+
+impl crate::slice::SliceSession for GraphQlSliceSession<'_> {
+    fn domain(&self) -> usize {
+        self.domain
+    }
+
+    fn run_chunk(
+        &mut self,
+        range: std::ops::Range<usize>,
+        budget: &SearchBudget,
+    ) -> crate::slice::ChunkOutcome {
+        let mut clock = budget.start();
+        let mut embeddings = Vec::new();
+        let halted = self.matcher.join(
+            self.query,
+            self.view,
+            &self.order,
+            &self.cands,
+            0,
+            &mut self.assignment,
+            &mut self.used,
+            &mut embeddings,
+            &mut clock,
+            &mut self.stats,
+            budget.max_matches,
+            Some(&range),
+        );
+        crate::slice::ChunkOutcome { range, embeddings, halted }
+    }
+
+    fn stats(&self) -> SearchStats {
+        self.stats
+    }
 }
 
 impl GraphQl {
@@ -391,6 +501,7 @@ impl GraphQl {
             &mut clock,
             &mut stats,
             budget.max_matches,
+            None,
         );
         out.num_matches = out.embeddings.len();
         out.stop = match stop {
@@ -419,13 +530,21 @@ impl GraphQl {
         clock: &mut BudgetClock<'_>,
         stats: &mut SearchStats,
         max_matches: usize,
+        root_range: Option<&std::ops::Range<usize>>,
     ) -> Option<StopReason> {
         if depth == order.len() {
             found.push(assignment.to_vec());
             return None;
         }
         let qv = order[depth];
-        for &tv in &cands[qv as usize] {
+        // When slicing, `root_range` restricts the plan's first vertex
+        // (depth 0) to the chunk's share of its candidate list.
+        let list: &[NodeId] = &cands[qv as usize];
+        let list = match root_range {
+            Some(r) if depth == 0 => &list[r.start.min(list.len())..r.end.min(list.len())],
+            _ => list,
+        };
+        for &tv in list {
             if let Some(r) = clock.tick() {
                 return Some(r);
             }
@@ -460,6 +579,7 @@ impl GraphQl {
                 clock,
                 stats,
                 max_matches,
+                root_range,
             );
             assignment[qv as usize] = UNMAPPED;
             used[tv as usize] = false;

@@ -54,9 +54,13 @@ pub mod graphql;
 pub mod matcher;
 pub mod quicksi;
 pub mod scratch;
+pub mod slice;
 pub mod spath;
 pub mod ullmann;
 pub mod vf2;
 
 pub use budget::{CancelToken, SearchBudget, StopReason};
 pub use matcher::{Algorithm, Embedding, MatchResult, Matcher, SearchStats};
+pub use slice::{
+    sliced_search_view, ChunkOutcome, SliceCoordinator, SliceSession, SliceSetup, SliceTaskSummary,
+};

@@ -198,6 +198,23 @@ pub trait Matcher: Send + Sync {
     fn search_view(&self, query: &Graph, view: GraphView<'_>, budget: &SearchBudget)
         -> MatchResult;
 
+    /// Prepares a sliceable search session over `view`: prework runs here
+    /// (candidate filtering, plan/sequence construction), after which the
+    /// session enumerates arbitrary root-candidate ranges via
+    /// [`SliceSession::run_chunk`](crate::slice::SliceSession::run_chunk).
+    /// The default says the matcher cannot partition its root-candidate
+    /// space; slice groups then fall back to one ordinary
+    /// [`Matcher::search_view`] call.
+    fn slice_session<'a>(
+        &'a self,
+        query: &'a Graph,
+        view: GraphView<'a>,
+        budget: &SearchBudget,
+    ) -> crate::slice::SliceSetup<'a> {
+        let _ = (query, view, budget);
+        crate::slice::SliceSetup::Unsupported
+    }
+
     /// Decision-problem convenience: does `query` embed at all?
     fn contains(&self, query: &Graph) -> bool {
         self.search(query, &SearchBudget::first_match()).found()

@@ -224,6 +224,7 @@ impl Matcher for QuickSi {
             &mut clock,
             &mut stats,
             budget.max_matches,
+            None,
         );
         out.num_matches = out.embeddings.len();
         out.stop = match stop {
@@ -236,6 +237,95 @@ impl Matcher for QuickSi {
         out.stats = stats;
         out.elapsed = start.elapsed();
         out
+    }
+
+    fn slice_session<'a>(
+        &'a self,
+        query: &'a Graph,
+        view: GraphView<'a>,
+        budget: &SearchBudget,
+    ) -> crate::slice::SliceSetup<'a> {
+        use crate::slice::SliceSetup;
+        let view = view.with_default_index(&self.index);
+        let clock = budget.start();
+        if let Some(r) = clock.check_now() {
+            return SliceSetup::Halted(MatchResult::empty(r));
+        }
+        if query.node_count() == 0 {
+            let mut out = MatchResult::empty(StopReason::Complete);
+            out.embeddings.push(Vec::new());
+            out.num_matches = 1;
+            return SliceSetup::Halted(out);
+        }
+        if query.node_count() > view.node_count() || query.edge_count() > view.edge_count() {
+            return SliceSetup::Halted(MatchResult::empty(StopReason::Complete));
+        }
+        let seq = self.build_sequence(query);
+        let pooled = view.accel();
+        let assignment = scratch::u32_buf(query.node_count(), UNMAPPED, pooled);
+        let used = scratch::bool_buf(view.node_count(), pooled);
+        // The slice domain is the candidate list of the sequence root's
+        // label (what `match_step` enumerates at depth 0).
+        let domain = view.candidates(query.label(seq[0].0)).len();
+        SliceSetup::Ready(Box::new(QuickSiSliceSession {
+            matcher: self,
+            query,
+            view,
+            seq,
+            assignment,
+            used,
+            stats: SearchStats::default(),
+            domain,
+        }))
+    }
+}
+
+/// A sliceable QuickSI session: the matching sequence and scratch buffers
+/// are built once; each chunk re-runs `match_step` with the root's
+/// candidate list restricted to the chunk's range. Buffers survive
+/// across chunks because `match_step` unwinds its assignments
+/// unconditionally, even when halted mid-search.
+struct QuickSiSliceSession<'a> {
+    matcher: &'a QuickSi,
+    query: &'a Graph,
+    view: GraphView<'a>,
+    seq: Vec<(NodeId, Option<usize>)>,
+    assignment: scratch::U32Buf,
+    used: scratch::BoolBuf,
+    stats: SearchStats,
+    domain: usize,
+}
+
+impl crate::slice::SliceSession for QuickSiSliceSession<'_> {
+    fn domain(&self) -> usize {
+        self.domain
+    }
+
+    fn run_chunk(
+        &mut self,
+        range: std::ops::Range<usize>,
+        budget: &SearchBudget,
+    ) -> crate::slice::ChunkOutcome {
+        let mut clock = budget.start();
+        let mut embeddings = Vec::new();
+        let halted = self.matcher.match_step(
+            self.query,
+            self.view,
+            &self.seq,
+            0,
+            &mut self.assignment,
+            &mut self.used,
+            &mut embeddings,
+            &mut clock,
+            &mut self.stats,
+            budget.max_matches,
+            Some(&range),
+        );
+        crate::slice::ChunkOutcome { range, embeddings, halted }
+    }
+
+    fn stats(&self) -> SearchStats {
+        self.stats
     }
 }
 
@@ -253,6 +343,7 @@ impl QuickSi {
         clock: &mut BudgetClock<'_>,
         stats: &mut SearchStats,
         max_matches: usize,
+        root_range: Option<&std::ops::Range<usize>>,
     ) -> Option<StopReason> {
         if depth == seq.len() {
             found.push(assignment.to_vec());
@@ -264,14 +355,24 @@ impl QuickSi {
 
         // Candidate source: parent image's neighborhood, or the label's
         // candidate list for component roots — both through the view, so
-        // overlay adjacency and merged candidate lists apply.
+        // overlay adjacency and merged candidate lists apply. When slicing,
+        // `root_range` restricts the sequence root (depth 0) only; roots of
+        // later disconnected components stay unrestricted.
         let candidates: &[NodeId] = match parent {
             Some(pp) => {
                 let pimg = assignment[seq[pp].0 as usize];
                 debug_assert_ne!(pimg, UNMAPPED);
                 view.neighbors(pimg)
             }
-            None => view.candidates(qlabel),
+            None => {
+                let cands = view.candidates(qlabel);
+                match root_range {
+                    Some(r) if depth == 0 => {
+                        &cands[r.start.min(cands.len())..r.end.min(cands.len())]
+                    }
+                    _ => cands,
+                }
+            }
         };
 
         for &tv in candidates {
@@ -310,6 +411,7 @@ impl QuickSi {
                 clock,
                 stats,
                 max_matches,
+                root_range,
             );
             assignment[qv as usize] = UNMAPPED;
             used[tv as usize] = false;

@@ -98,6 +98,36 @@ impl Matcher for Vf2 {
     ) -> MatchResult {
         search_inner(query, view.with_default_index(&self.index), budget)
     }
+
+    fn slice_session<'a>(
+        &'a self,
+        query: &'a Graph,
+        view: GraphView<'a>,
+        budget: &SearchBudget,
+    ) -> crate::slice::SliceSetup<'a> {
+        use crate::slice::SliceSetup;
+        let view = view.with_default_index(&self.index);
+        let clock = budget.start();
+        if let Some(r) = clock.check_now() {
+            return SliceSetup::Halted(MatchResult::empty(r));
+        }
+        // Degenerate cases decided by prework, mirroring `search_inner`.
+        if query.node_count() == 0 {
+            let mut out = MatchResult::empty(StopReason::Complete);
+            out.embeddings.push(Vec::new());
+            out.num_matches = 1;
+            return SliceSetup::Halted(out);
+        }
+        if query.node_count() > view.node_count() || query.edge_count() > view.edge_count() {
+            return SliceSetup::Halted(MatchResult::empty(StopReason::Complete));
+        }
+        // The first vertex placed at the empty mapping is always query
+        // vertex 0 (lowest-ID fallback), so the slice domain is vertex 0's
+        // root-candidate list.
+        let domain =
+            if view.accel() { view.candidates(query.label(0)).len() } else { view.node_count() };
+        SliceSetup::Ready(Box::new(Vf2SliceSession { state: State::new(query, view), domain }))
+    }
 }
 
 /// Runs VF2 directly on a (query, target) pair without constructing a
@@ -156,6 +186,11 @@ struct State<'a> {
     tin_q: scratch::U32Buf,
     /// Ditto for target nodes.
     tin_t: scratch::U32Buf,
+    /// When slicing, the sub-range of the root-candidate domain this run
+    /// enumerates. Applied only at the empty mapping (`matched == 0`);
+    /// later unanchored roots (disconnected query components) stay
+    /// unrestricted, so every slice explores them in full.
+    root_range: Option<std::ops::Range<usize>>,
     stats: SearchStats,
 }
 
@@ -169,6 +204,7 @@ impl<'a> State<'a> {
             core_t: scratch::u32_buf(view.node_count(), UNMAPPED, pooled),
             tin_q: scratch::u32_buf(q.node_count(), 0, pooled),
             tin_t: scratch::u32_buf(view.node_count(), 0, pooled),
+            root_range: None,
             stats: SearchStats::default(),
         }
     }
@@ -336,6 +372,9 @@ impl<'a> State<'a> {
             }};
         }
 
+        // Root-candidate slicing applies only at the empty mapping: the
+        // very first vertex placed is what the slice domain partitions.
+        let root = if matched == 0 { self.root_range.clone() } else { None };
         match anchor {
             Some(qn) => {
                 let img = self.core_q[qn as usize];
@@ -349,19 +388,59 @@ impl<'a> State<'a> {
             None if self.view.accel() => {
                 // Indexed: only vertices carrying the query label can
                 // match — same visit order (IDs ascending), no full scan.
-                for &tv in self.view.candidates(qlabel) {
+                let cands = self.view.candidates(qlabel);
+                let cands = match root {
+                    Some(r) => &cands[r.start.min(cands.len())..r.end.min(cands.len())],
+                    None => cands,
+                };
+                for &tv in cands {
                     try_candidate!(tv);
                 }
             }
             // Scan mode (seed behavior): every target vertex. Tombstones
             // carry the reserved label, so they never match.
             None => {
-                for tv in 0..self.view.node_count() as NodeId {
+                let n = self.view.node_count();
+                let (lo, hi) = match root {
+                    Some(r) => (r.start.min(n), r.end.min(n)),
+                    None => (0, n),
+                };
+                for tv in lo as NodeId..hi as NodeId {
                     try_candidate!(tv);
                 }
             }
         }
         None
+    }
+}
+
+/// A sliceable VF2 session: one reusable [`State`] whose `root_range` is
+/// re-aimed per chunk. Safe to reuse across chunks — even halted runs
+/// unwind `remove_pair` all the way out, leaving the mapping empty.
+struct Vf2SliceSession<'a> {
+    state: State<'a>,
+    domain: usize,
+}
+
+impl crate::slice::SliceSession for Vf2SliceSession<'_> {
+    fn domain(&self) -> usize {
+        self.domain
+    }
+
+    fn run_chunk(
+        &mut self,
+        range: std::ops::Range<usize>,
+        budget: &SearchBudget,
+    ) -> crate::slice::ChunkOutcome {
+        let mut clock = budget.start();
+        let mut embeddings = Vec::new();
+        self.state.root_range = Some(range.clone());
+        let halted = self.state.grow(0, &mut clock, &mut embeddings, budget.max_matches);
+        crate::slice::ChunkOutcome { range, embeddings, halted }
+    }
+
+    fn stats(&self) -> SearchStats {
+        self.state.stats
     }
 }
 

@@ -41,6 +41,10 @@
 //! * [`index_cmp`] — saturated-pool comparison of the shared per-graph
 //!   `TargetIndex` against the legacy scan paths, feeding the CI bench
 //!   artifact's `indexed_speedup` trail.
+//! * [`slicing`] — idle-biased comparison of intra-query slicing
+//!   ([`psi_engine::RaceStrategy::Adaptive`]) against classic one-slice
+//!   racing on a heavy-tailed workload, feeding the CI bench artifact's
+//!   `sliced_p99_speedup` trail.
 //! * [`overhead`] — saturated-pool comparison of tracing-on vs
 //!   tracing-off registries (identical otherwise), feeding the CI bench
 //!   artifact's `telemetry_overhead` trail.
@@ -55,6 +59,7 @@ pub mod net_fleet;
 pub mod overhead;
 pub mod query_gen;
 pub mod runner;
+pub mod slicing;
 pub mod strategy;
 pub mod streaming;
 
@@ -70,5 +75,6 @@ pub use net_fleet::{run_net_fleet, NetFleetReport, NetFleetSpec};
 pub use overhead::{compare_telemetry_overhead, OverheadSpec, TelemetryOverhead};
 pub use query_gen::{QueryGen, Workloads};
 pub use runner::{run_with_cap, RunRecord};
+pub use slicing::{compare_slicing, SlicingComparison, SlicingSpec};
 pub use strategy::{compare_race_strategies, StrategyComparison, StrategySpec};
 pub use streaming::{run_streaming_ingest, StreamingReport, StreamingSpec, StreamingWorkload};

@@ -42,6 +42,21 @@ pub struct MultiWorkloadSpec {
     /// Zipf exponent of the per-graph traffic skew: weight of graph `g`
     /// is `1/(g+1)^skew`. 0 means uniform (default 1.0).
     pub skew: f64,
+    /// Power-law exponent of the distinct-query *size* distribution.
+    /// At 0 (default) every distinct query has [`query_edges`] edges;
+    /// above 0 each distinct query's edge count is drawn with weight
+    /// `e^-tail_alpha` from `query_edges..=tail_max_edges`, producing the
+    /// heavy-tailed mix — mostly small queries plus rare large stragglers
+    /// — that intra-query slicing exists to tame.
+    ///
+    /// [`query_edges`]: MultiWorkloadSpec::query_edges
+    pub tail_alpha: f64,
+    /// Largest query size (edges) in the heavy tail. Ignored unless
+    /// `tail_alpha > 0` and this exceeds [`query_edges`] (default 0:
+    /// tail off).
+    ///
+    /// [`query_edges`]: MultiWorkloadSpec::query_edges
+    pub tail_max_edges: usize,
 }
 
 impl Default for MultiWorkloadSpec {
@@ -55,8 +70,25 @@ impl Default for MultiWorkloadSpec {
             distinct_per_graph: 12,
             total_queries: 200,
             skew: 1.0,
+            tail_alpha: 0.0,
+            tail_max_edges: 0,
         }
     }
+}
+
+/// Draws one edge count from the truncated power law
+/// `P(e) ∝ e^-alpha, e ∈ min..=max`.
+fn power_law_edges(rng: &mut ChaCha8Rng, min: usize, max: usize, alpha: f64) -> usize {
+    let weights: Vec<f64> = (min..=max).map(|e| (e as f64).powf(-alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut pick = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if pick < *w {
+            return min + i;
+        }
+        pick -= w;
+    }
+    max
 }
 
 /// A generated multi-graph workload: the stored graphs and a traffic
@@ -91,17 +123,40 @@ impl MultiWorkload {
         // Distinct query pool per graph. Queries are grown from their
         // graph, so every request has a positive answer on *its* graph —
         // but not necessarily on any other (which is what the per-graph
-        // cache-partition tests rely on).
+        // cache-partition tests rely on). With the heavy tail on, each
+        // distinct query's size is drawn from the power law instead of
+        // being fixed at `query_edges`.
+        let tailed = spec.tail_alpha > 0.0 && spec.tail_max_edges > spec.query_edges;
         let pools: Vec<Vec<Graph>> = graphs
             .iter()
             .enumerate()
             .map(|(g, stored)| {
-                Workloads::nfv_workload(
-                    stored,
-                    spec.query_edges,
-                    spec.distinct_per_graph.max(1),
-                    seed ^ (g as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                )
+                let pool_seed = seed ^ (g as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                if tailed {
+                    (0..spec.distinct_per_graph.max(1))
+                        .flat_map(|i| {
+                            let edges = power_law_edges(
+                                &mut rng,
+                                spec.query_edges,
+                                spec.tail_max_edges,
+                                spec.tail_alpha,
+                            );
+                            Workloads::nfv_workload(
+                                stored,
+                                edges,
+                                1,
+                                pool_seed ^ (i as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+                            )
+                        })
+                        .collect()
+                } else {
+                    Workloads::nfv_workload(
+                        stored,
+                        spec.query_edges,
+                        spec.distinct_per_graph.max(1),
+                        pool_seed,
+                    )
+                }
             })
             .collect();
 
@@ -308,6 +363,33 @@ mod tests {
         let w2 = MultiWorkload::generate(&spec, 11);
         assert_eq!(w.per_graph_counts(), w2.per_graph_counts());
         assert_eq!(w.traffic.len(), w2.traffic.len());
+    }
+
+    #[test]
+    fn heavy_tail_mixes_query_sizes() {
+        let spec = MultiWorkloadSpec {
+            graphs: 2,
+            total_queries: 80,
+            distinct_per_graph: 16,
+            query_edges: 4,
+            tail_alpha: 2.5,
+            tail_max_edges: 20,
+            ..MultiWorkloadSpec::default()
+        };
+        let w = MultiWorkload::generate(&spec, 7);
+        let sizes: Vec<usize> = w.traffic.iter().map(|(_, q)| q.edge_count()).collect();
+        let small = sizes.iter().filter(|&&e| e <= spec.query_edges * 2).count();
+        let large = sizes.iter().filter(|&&e| e > spec.query_edges * 2).count();
+        assert!(small > large, "the power law must favour small queries: {sizes:?}");
+        assert!(large > 0, "the tail must produce some large stragglers: {sizes:?}");
+        // Determinism: the tailed generator is still seed-stable.
+        let w2 = MultiWorkload::generate(&spec, 7);
+        let sizes2: Vec<usize> = w2.traffic.iter().map(|(_, q)| q.edge_count()).collect();
+        assert_eq!(sizes, sizes2);
+        // Alpha 0 keeps the legacy fixed-size behavior.
+        let flat =
+            MultiWorkload::generate(&MultiWorkloadSpec { tail_alpha: 0.0, ..spec.clone() }, 7);
+        assert!(flat.traffic.iter().all(|(_, q)| q.edge_count() == spec.query_edges));
     }
 
     #[test]

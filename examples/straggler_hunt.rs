@@ -21,6 +21,13 @@
 //! wall is a lower bound on what it would have cost alone. That
 //! truncation is exactly the paper's argument for racing.
 //!
+//! A second act replays the same traffic under the self-tuning
+//! scheduler (`RaceStrategy::Adaptive`) and attributes each surviving
+//! straggler to its *slices*: `SliceSpawned`/`SliceFinished` trace
+//! events show how the query's root-candidate space was split across
+//! cooperating work-stealing tasks, which slice carried the weight, and
+//! whether the stealing cursor rebalanced the split.
+//!
 //! ```text
 //! cargo run --release --example straggler_hunt
 //! ```
@@ -162,5 +169,80 @@ fn main() {
             || l.starts_with("psi_query_latency_us_count")
     }) {
         println!("  {line}");
+    }
+
+    // ── Act 2: the same traffic under the self-tuning scheduler ──────
+    //
+    // `RaceStrategy::Adaptive` splits each big query's root-candidate
+    // space into cooperating work-stealing slices whenever the pool has
+    // spare workers (idle-biased here: one race at a time over 4
+    // workers). The trace attributes every straggler to its slices.
+    let sliced = Engine::new(
+        PsiRunner::new(Arc::new(stored), PsiConfig::gql_spa_orig_dnd()),
+        EngineConfig {
+            workers: 4,
+            max_concurrent_races: 1,
+            cache_capacity: 0,
+            predictor_confidence: 2.0,
+            // Let the scheduler plan from the first query: this act is
+            // about slice attribution, not predictor warm-up.
+            predictor_min_observations: 0,
+            race_strategy: RaceStrategy::Adaptive { max_slices: 3, escalate_after: 1.0 },
+            default_budget: RaceBudget::matching().timeout(Duration::from_millis(200)),
+            telemetry: TelemetryConfig {
+                trace_capacity: 1 << 16,
+                slow_query_capacity: 3,
+                ..TelemetryConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    for q in &queries {
+        sliced.submit(q);
+    }
+    let stats = sliced.stats();
+    println!(
+        "\nadaptive scheduler: {} of {} races sliced, {} slice tasks spawned, {} ranges stolen",
+        stats.sliced_races, stats.races, stats.slices_spawned, stats.slice_steals
+    );
+
+    // Per-straggler slice attribution: every `SliceFinished` event names
+    // its (entrant, slice) and reports the chunks that slice claimed off
+    // the shared cursor plus its wall time. An uneven chunk split on a
+    // slow query is the work-stealing cursor rebalancing: the slice that
+    // hit the hard region claimed fewer ranges while its siblings ate
+    // the rest of the domain.
+    let events = sliced.drain_trace();
+    println!("slow queries attributed to slices (entrant/slice: chunks claimed, wall):");
+    for sq in sliced.slow_queries() {
+        let winner = sq.winner.map_or("none".to_string(), |w| w.to_string());
+        println!("  query {:>3}: {:>8} µs  winner {winner}", sq.query, sq.elapsed_us);
+        let mut slices: Vec<(u32, u32, u32, u64)> = events
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::SliceFinished { query, entrant, slice, chunks, wall_us }
+                    if query == sq.query =>
+                {
+                    Some((entrant, slice, chunks, wall_us))
+                }
+                _ => None,
+            })
+            .collect();
+        slices.sort_by_key(|&(entrant, _, _, wall_us)| (entrant, std::cmp::Reverse(wall_us)));
+        if slices.is_empty() {
+            println!("             ran unsliced (the scheduler saw no spare capacity)");
+            continue;
+        }
+        for (entrant, slice, chunks, wall_us) in &slices {
+            println!(
+                "             entrant {entrant} slice {slice}: {chunks:>3} chunks  {wall_us:>8} µs"
+            );
+        }
+        if let Some((entrant, slice, _, wall_us)) = slices.iter().max_by_key(|&&(_, _, _, w)| w) {
+            println!(
+                "             heaviest share: entrant {entrant} slice {slice} at {wall_us} µs — \
+                 the straggling region of the root domain"
+            );
+        }
     }
 }
